@@ -1,0 +1,961 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (§7), plus the design-choice ablations called out in
+   DESIGN.md and Bechamel micro-benchmarks of each experiment's kernel.
+
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe -- table1 fig3  -- run a subset
+     dune exec bench/main.exe -- quick        -- reduced sizes/budgets
+
+   Conventions: times are CPU seconds for compilation and µs for pulses;
+   "-" marks a missing data point (the baseline failed inside its budget,
+   exactly how SimuQ's missing points arise in the paper). *)
+
+open Qturbo_aais
+open Qturbo_util
+
+let quick = ref false
+
+(* ------------------------------------------------------------------ *)
+(* shared plumbing                                                     *)
+
+let relaxed_line =
+  (* the scaling studies follow the paper in ignoring the 75 µm window
+     (93 atoms at ~9 µm spacing span ~850 µm); amplitude limits and the
+     minimum separation stay enforced.  The window must stay moderate:
+     position boxes feed the baseline's bounded transform, and a huge box
+     destroys its finite-difference conditioning. *)
+  { Device.aquila_paper with Device.max_extent = 2000.0 }
+
+let relaxed_plane = Device.with_geometry Device.Plane relaxed_line
+
+let needs_plane name =
+  match name with "ising-cycle" | "ising-cycle+" -> true | _ -> false
+
+let rydberg_for name n =
+  let spec = if needs_plane name then relaxed_plane else relaxed_line in
+  Rydberg.build ~spec ~n
+
+let static_target name n =
+  Qturbo_pauli.Pauli_sum.drop_identity
+    (Qturbo_models.Model.hamiltonian_at
+       (Qturbo_models.Benchmarks.by_name ~name ~n)
+       ~s:0.0)
+
+type point = {
+  compile_s : float;
+  exec_us : float;
+  rel_err : float; (* percent *)
+}
+
+let nan_point = { compile_s = Float.nan; exec_us = Float.nan; rel_err = Float.nan }
+
+let time_run f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (Sys.time () -. t0, r)
+
+let qturbo_point ?options ~aais ~target ~t_tar () =
+  let compile_s, r =
+    time_run (fun () ->
+        Qturbo_core.Compiler.compile ?options ~aais ~target ~t_tar ())
+  in
+  {
+    compile_s;
+    exec_us = r.Qturbo_core.Compiler.t_sim;
+    rel_err = r.Qturbo_core.Compiler.relative_error;
+  }
+
+let simuq_seed name n = Int64.of_int ((Hashtbl.hash (name, n) land 0xFFFF) + 7)
+
+let simuq_point ?(budget = 20.0) ~name ~aais ~target ~t_tar ~n () =
+  let options =
+    {
+      Qturbo_simuq.Simuq_compiler.default_options with
+      Qturbo_simuq.Simuq_compiler.time_budget_seconds = budget;
+      seed = simuq_seed name n;
+    }
+  in
+  let compile_s, r =
+    time_run (fun () ->
+        Qturbo_simuq.Simuq_compiler.compile ~options ~aais ~target ~t_tar ())
+  in
+  if r.Qturbo_simuq.Simuq_compiler.success then
+    {
+      compile_s;
+      exec_us = r.Qturbo_simuq.Simuq_compiler.t_sim;
+      rel_err = r.Qturbo_simuq.Simuq_compiler.relative_error;
+    }
+  else { nan_point with compile_s }
+
+let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
+
+let summarize_pairs pairs =
+  (* (qturbo, simuq) points with a successful baseline *)
+  let ok =
+    List.filter (fun (_, s) -> Float.is_finite s.rel_err) pairs
+  in
+  if ok = [] then
+    print_endline "summary: baseline never succeeded at these sizes"
+  else begin
+    let speedups =
+      Array.of_list
+        (List.map (fun (q, s) -> Float.max 1e-9 (s.compile_s /. Float.max 1e-9 q.compile_s)) ok)
+    in
+    let exec_red =
+      Array.of_list
+        (List.map (fun (q, s) -> 100.0 *. (1.0 -. (q.exec_us /. s.exec_us))) ok)
+    in
+    let err_red =
+      Array.of_list
+        (List.map
+           (fun (q, s) ->
+             if s.rel_err <= 1e-12 then 0.0
+             else 100.0 *. (1.0 -. (q.rel_err /. s.rel_err)))
+           ok)
+    in
+    Printf.printf
+      "summary: compile speedup x%.0f (geomean, max x%.0f), execution time \
+       -%.0f%%, compilation error -%.0f%% (over %d baseline successes)\n"
+      (Stats.geometric_mean speedups)
+      (snd (Stats.min_max speedups))
+      (Stats.mean exec_red) (Stats.mean err_red) (List.length ok)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: baseline compilation time on the Ising cycle               *)
+
+let table1 () =
+  let sizes = if !quick then [ 10; 20; 30 ] else [ 20; 40; 60; 80; 100 ] in
+  let budget = if !quick then 15.0 else 90.0 in
+  let t = Table_fmt.create ~header:[ "Qubit#"; "SimuQ compile (s)"; "QTurbo compile (s)" ] in
+  List.iter
+    (fun n ->
+      progress "table1: n = %d" n;
+      let ryd = rydberg_for "ising-cycle" n in
+      let target = static_target "ising-cycle" n in
+      let q = qturbo_point ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 () in
+      let s =
+        simuq_point ~budget ~name:"table1" ~aais:ryd.Rydberg.aais ~target
+          ~t_tar:1.0 ~n ()
+      in
+      let simuq_cell =
+        if Float.is_finite s.rel_err then Table_fmt.cell_of_float s.compile_s
+        else Printf.sprintf ">%.0f (failed)" s.compile_s
+      in
+      Table_fmt.add_row t
+        [ string_of_int n; simuq_cell; Table_fmt.cell_of_float q.compile_s ])
+    sizes;
+  Table_fmt.print ~title:"Table 1: compilation time for the Ising cycle" t
+
+(* ------------------------------------------------------------------ *)
+(* Figures 3 and 4: the four-benchmark sweeps                          *)
+
+let sweep_sizes () = if !quick then [ 3; 13; 23 ] else [ 3; 13; 23; 43; 63; 93 ]
+
+let min_size = function
+  | "ising-cycle+" -> 5
+  | "ising-cycle" -> 3
+  | _ -> 2
+
+(* log-log scaling exponent of compile time vs n, per compiler *)
+let scaling_exponents points =
+  (* points: (n, qturbo_s, simuq_s option) with n >= some floor *)
+  let fit series =
+    let usable = List.filter (fun (n, t) -> n >= 13 && t > 0.0) series in
+    if List.length usable < 3 then Float.nan
+    else
+      let xs = Array.of_list (List.map (fun (n, _) -> log (float_of_int n)) usable) in
+      let ys = Array.of_list (List.map (fun (_, t) -> log t) usable) in
+      fst (Stats.linear_fit xs ys)
+  in
+  let q = fit (List.map (fun (n, qs, _) -> (n, qs)) points) in
+  let s =
+    fit
+      (List.filter_map
+         (fun (n, _, ss) -> match ss with Some t -> Some (n, t) | None -> None)
+         points)
+  in
+  (q, s)
+
+let sweep ~title ~benchmarks ~make_aais ~budget =
+  let all_points = ref [] in
+  let all_pairs = ref [] in
+  List.iter
+    (fun name ->
+      let t =
+        Table_fmt.create
+          ~header:
+            [
+              "n"; "QT comp(s)"; "SQ comp(s)"; "speedup"; "QT T(us)"; "SQ T(us)";
+              "QT err%"; "SQ err%";
+            ]
+      in
+      List.iter
+        (fun n ->
+          progress "%s / %s: n = %d" title name n;
+          let n = Int.max n (min_size name) in
+          let aais, target = make_aais name n in
+          let q = qturbo_point ~aais ~target ~t_tar:1.0 () in
+          let s = simuq_point ~budget ~name ~aais ~target ~t_tar:1.0 ~n () in
+          all_pairs := (q, s) :: !all_pairs;
+          all_points :=
+            ( n,
+              q.compile_s,
+              if Float.is_finite s.rel_err then Some s.compile_s else None )
+            :: !all_points;
+          Table_fmt.add_row t
+            ([ string_of_int n ]
+            @ List.map Table_fmt.cell_of_float
+                [
+                  q.compile_s;
+                  (if Float.is_finite s.rel_err then s.compile_s else Float.nan);
+                  s.compile_s /. Float.max 1e-9 q.compile_s;
+                  q.exec_us;
+                  s.exec_us;
+                  q.rel_err;
+                  s.rel_err;
+                ]))
+        (sweep_sizes ());
+      Table_fmt.print ~title:(title ^ " — " ^ name) t)
+    benchmarks;
+  summarize_pairs !all_pairs;
+  let qexp, sexp = scaling_exponents !all_points in
+  Printf.printf
+    "summary: compile-time scaling t ~ n^k — QTurbo k=%.1f, baseline k=%.1f \
+     (log-log fit over n >= 13)\n"
+    qexp sexp
+
+let fig3 () =
+  sweep ~title:"Fig. 3 (Rydberg AAIS)"
+    ~benchmarks:[ "ising-chain"; "ising-cycle"; "kitaev"; "ising-cycle+" ]
+    ~make_aais:(fun name n ->
+      let ryd = rydberg_for name n in
+      (ryd.Rydberg.aais, static_target name n))
+    ~budget:(if !quick then 10.0 else 30.0)
+
+let fig4 () =
+  sweep ~title:"Fig. 4 (Heisenberg AAIS)"
+    ~benchmarks:[ "ising-chain"; "ising-cycle"; "kitaev"; "heis-chain" ]
+    ~make_aais:(fun name n ->
+      (* cycle targets need ring connectivity *)
+      let ring = name = "ising-cycle" in
+      let heis =
+        Heisenberg.build ~spec:{ Device.heisenberg_default with Device.ring } ~n
+      in
+      (heis.Heisenberg.aais, static_target name n))
+    ~budget:(if !quick then 10.0 else 30.0)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5a: mapping case study                                       *)
+
+let fig5a () =
+  let sizes = if !quick then [ 13; 23 ] else [ 13; 43; 93 ] in
+  let t =
+    Table_fmt.create
+      ~header:[ "n"; "QT comp(s)"; "SQ comp(s)"; "speedup"; "QT T(us)"; "QT err%" ]
+  in
+  let rng = Rng.create ~seed:5150L in
+  List.iter
+    (fun n ->
+      progress "fig5a: n = %d" n;
+      (* present the compiler with a randomly relabelled chain: the
+         mapping step must first recover the chain order *)
+      let natural = static_target "ising-chain" n in
+      let perm = Array.init n Fun.id in
+      Rng.shuffle rng perm;
+      let shuffled = Qturbo_core.Mapping.apply perm natural in
+      let compile_with_mapping () =
+        let m = Qturbo_core.Mapping.greedy_chain ~target:shuffled ~n in
+        let mapped = Qturbo_core.Mapping.apply m shuffled in
+        let ryd = rydberg_for "ising-chain" n in
+        Qturbo_core.Compiler.compile ~aais:ryd.Rydberg.aais ~target:mapped
+          ~t_tar:1.0 ()
+      in
+      let q_s, q = time_run compile_with_mapping in
+      let s_s, s =
+        time_run (fun () ->
+            let m = Qturbo_core.Mapping.greedy_chain ~target:shuffled ~n in
+            let mapped = Qturbo_core.Mapping.apply m shuffled in
+            let ryd = rydberg_for "ising-chain" n in
+            simuq_point ~budget:(if !quick then 10.0 else 30.0) ~name:"fig5a"
+              ~aais:ryd.Rydberg.aais ~target:mapped ~t_tar:1.0 ~n ())
+      in
+      Table_fmt.add_row t
+        ([ string_of_int n ]
+        @ List.map Table_fmt.cell_of_float
+            [
+              q_s;
+              (if Float.is_finite s.rel_err then s_s else Float.nan);
+              s_s /. Float.max 1e-9 q_s;
+              q.Qturbo_core.Compiler.t_sim;
+              q.Qturbo_core.Compiler.relative_error;
+            ]))
+    sizes;
+  Table_fmt.print
+    ~title:"Fig. 5a: Ising chain with initially-unknown mapping (Rydberg)" t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5b: time-dependent MIS chain                                 *)
+
+let fig5b () =
+  let sizes = if !quick then [ 3; 8 ] else [ 3; 8; 13; 23 ] in
+  let segments = 4 in
+  let t =
+    Table_fmt.create
+      ~header:
+        [
+          "n"; "QT comp(s)"; "SQ comp(s)"; "speedup"; "QT T(us)"; "SQ T(us)";
+          "QT err%"; "SQ err%";
+        ]
+  in
+  List.iter
+    (fun n ->
+      progress "fig5b: n = %d" n;
+      let model = Qturbo_models.Benchmarks.mis_chain ~n () in
+      let ryd = rydberg_for "mis-chain" n in
+      let q_s, q =
+        time_run (fun () ->
+            Qturbo_core.Td_compiler.compile ~aais:ryd.Rydberg.aais ~model
+              ~t_tar:1.0 ~segments ())
+      in
+      (* the baseline compiles each piecewise segment through its global
+         mixed system independently (costs and errors summed) *)
+      let hams = Qturbo_models.Model.discretize model ~segments in
+      let tau = 1.0 /. float_of_int segments in
+      let s_points =
+        List.mapi
+          (fun k h ->
+            simuq_point
+              ~budget:(if !quick then 5.0 else 20.0)
+              ~name:(Printf.sprintf "fig5b-seg%d" k)
+              ~aais:ryd.Rydberg.aais
+              ~target:(Qturbo_pauli.Pauli_sum.drop_identity h)
+              ~t_tar:tau ~n ())
+          hams
+      in
+      let s_ok = List.for_all (fun p -> Float.is_finite p.rel_err) s_points in
+      let s_comp = List.fold_left (fun acc p -> acc +. p.compile_s) 0.0 s_points in
+      let s_exec = List.fold_left (fun acc p -> acc +. p.exec_us) 0.0 s_points in
+      let s_err =
+        List.fold_left (fun acc p -> acc +. p.rel_err) 0.0 s_points
+        /. float_of_int segments
+      in
+      Table_fmt.add_row t
+        ([ string_of_int n ]
+        @ List.map Table_fmt.cell_of_float
+            [
+              q_s;
+              (if s_ok then s_comp else Float.nan);
+              s_comp /. Float.max 1e-9 q_s;
+              q.Qturbo_core.Td_compiler.t_sim;
+              (if s_ok then s_exec else Float.nan);
+              q.Qturbo_core.Td_compiler.relative_error;
+              (if s_ok then s_err else Float.nan);
+            ]))
+    sizes;
+  Table_fmt.print
+    ~title:
+      (Printf.sprintf
+         "Fig. 5b: time-dependent MIS chain, %d piecewise segments (Rydberg)"
+         segments)
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: noisy-device emulation                                    *)
+
+let emulate ~seed ~shots ~trajectories ~cycle pulse =
+  let rng = Rng.create ~seed in
+  Qturbo_device_noise.Emulator.run ~rng
+    ~noise:Qturbo_device_noise.Noise_model.aquila ~shots ~trajectories ~cycle
+    ~pulse ()
+
+let observables_of_state ~cycle st =
+  ( Qturbo_quantum.Observable.z_avg st,
+    Qturbo_quantum.Observable.zz_avg ~cycle st )
+
+let fig6 ~title ~n ~spec ~model_of ~t_tars ~cycle ~t_max () =
+  let shots = if !quick then 120 else 300 in
+  let trajectories = if !quick then 6 else 12 in
+  let t =
+    Table_fmt.create
+      ~header:
+        [
+          "T_tar(us)"; "QT T(us)"; "SQ T(us)"; "Z th"; "Z QT(TH)"; "Z SQ(TH)";
+          "Z QT"; "Z SQ"; "ZZ th"; "ZZ QT"; "ZZ SQ";
+        ]
+  in
+  let errs_q = ref [] and errs_s = ref [] in
+  let zz_errs_q = ref [] and zz_errs_s = ref [] in
+  List.iter
+    (fun t_tar ->
+      progress "%s: T_tar = %.2f us" title t_tar;
+      let target = model_of () in
+      let ryd = Rydberg.build ~spec ~n in
+      let q =
+        Qturbo_core.Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar ()
+      in
+      let q_pulse =
+        Qturbo_core.Extract.rydberg_pulse ryd ~env:q.Qturbo_core.Compiler.env
+          ~t_sim:q.Qturbo_core.Compiler.t_sim
+      in
+      let s =
+        Qturbo_simuq.Simuq_compiler.compile
+          ~options:
+            {
+              Qturbo_simuq.Simuq_compiler.default_options with
+              Qturbo_simuq.Simuq_compiler.t_max;
+              seed = simuq_seed title (int_of_float (100.0 *. t_tar));
+            }
+          ~aais:ryd.Rydberg.aais ~target ~t_tar ()
+      in
+      let th_state =
+        Qturbo_quantum.Evolve.evolve ~h:target ~t:t_tar
+          (Qturbo_quantum.State.ground ~n)
+      in
+      let z_th, zz_th = observables_of_state ~cycle th_state in
+      let z_qth, _ =
+        observables_of_state ~cycle
+          (Qturbo_device_noise.Emulator.noiseless_final_state ~pulse:q_pulse)
+      in
+      let q_noisy = emulate ~seed:61L ~shots ~trajectories ~cycle q_pulse in
+      let z_q = q_noisy.Qturbo_device_noise.Emulator.z_avg in
+      let zz_q = q_noisy.Qturbo_device_noise.Emulator.zz_avg in
+      errs_q := Float.abs (z_q -. z_th) :: !errs_q;
+      zz_errs_q := Float.abs (zz_q -. zz_th) :: !zz_errs_q;
+      let s_t, z_sth, z_s, zz_s =
+        if not s.Qturbo_simuq.Simuq_compiler.success then
+          (Float.nan, Float.nan, Float.nan, Float.nan)
+        else begin
+          let s_pulse =
+            Qturbo_core.Extract.rydberg_pulse ryd
+              ~env:s.Qturbo_simuq.Simuq_compiler.env
+              ~t_sim:s.Qturbo_simuq.Simuq_compiler.t_sim
+          in
+          let z_sth, _ =
+            observables_of_state ~cycle
+              (Qturbo_device_noise.Emulator.noiseless_final_state ~pulse:s_pulse)
+          in
+          let s_noisy = emulate ~seed:62L ~shots ~trajectories ~cycle s_pulse in
+          errs_s :=
+            Float.abs (s_noisy.Qturbo_device_noise.Emulator.z_avg -. z_th)
+            :: !errs_s;
+          zz_errs_s :=
+            Float.abs (s_noisy.Qturbo_device_noise.Emulator.zz_avg -. zz_th)
+            :: !zz_errs_s;
+          ( s.Qturbo_simuq.Simuq_compiler.t_sim,
+            z_sth,
+            s_noisy.Qturbo_device_noise.Emulator.z_avg,
+            s_noisy.Qturbo_device_noise.Emulator.zz_avg )
+        end
+      in
+      Table_fmt.add_float_row t
+        ~label:(Printf.sprintf "%.3f" t_tar)
+        [
+          q.Qturbo_core.Compiler.t_sim; s_t; z_th; z_qth; z_sth; z_q; z_s; zz_th;
+          zz_q; zz_s;
+        ])
+    t_tars;
+  Table_fmt.print ~title t;
+  match (!errs_q, !errs_s) with
+  | _ :: _, _ :: _ ->
+      let mq = Stats.mean (Array.of_list !errs_q) in
+      let ms = Stats.mean (Array.of_list !errs_s) in
+      let zq = Stats.mean (Array.of_list !zz_errs_q) in
+      let zs = Stats.mean (Array.of_list !zz_errs_s) in
+      Printf.printf
+        "summary: mean |Z - theory| — QTurbo %.4f vs SimuQ %.4f (%.0f%% error \
+         reduction)\n"
+        mq ms
+        (100.0 *. (1.0 -. (mq /. ms)));
+      Printf.printf
+        "summary: mean |ZZ - theory| — QTurbo %.4f vs SimuQ %.4f (%.0f%% error \
+         reduction)\n"
+        zq zs
+        (100.0 *. (1.0 -. (zq /. zs)))
+  | _, _ -> print_endline "summary: baseline produced no noisy points"
+
+let fig6a () =
+  let t_tars =
+    if !quick then [ 0.5; 1.0 ] else [ 0.5; 0.625; 0.75; 0.875; 1.0 ]
+  in
+  fig6 ~title:"Fig. 6a: 12-atom Ising cycle on the Aquila emulator"
+    ~n:(if !quick then 8 else 12)
+    ~spec:Device.aquila_fig6a
+    ~model_of:(fun () ->
+      Qturbo_pauli.Pauli_sum.drop_identity
+        (Qturbo_models.Model.hamiltonian_at
+           (Qturbo_models.Benchmarks.ising_cycle
+              ~n:(if !quick then 8 else 12)
+              ~j:0.157 ~h:0.785 ())
+           ~s:0.0))
+    ~t_tars ~cycle:true ~t_max:4.0 ()
+
+let fig6b () =
+  let t_tars = if !quick then [ 5.0; 20.0 ] else [ 5.0; 10.0; 15.0; 20.0 ] in
+  fig6 ~title:"Fig. 6b: 6-atom PXP on the Aquila emulator" ~n:6
+    ~spec:Device.aquila_fig6b
+    ~model_of:(fun () ->
+      Qturbo_pauli.Pauli_sum.drop_identity
+        (Qturbo_models.Model.hamiltonian_at
+           (Qturbo_models.Benchmarks.pxp ~n:6 ~j:1.26 ~h:0.126 ())
+           ~s:0.0))
+    ~t_tars ~cycle:false ~t_max:4.0 ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of DESIGN.md §5                                           *)
+
+let ablations () =
+  let n = if !quick then 13 else 23 in
+  let ryd () = rydberg_for "ising-chain" n in
+  let target = static_target "ising-chain" n in
+  let compile options =
+    let r = ryd () in
+    time_run (fun () ->
+        Qturbo_core.Compiler.compile ~options ~aais:r.Rydberg.aais ~target
+          ~t_tar:1.0 ())
+  in
+  let base = Qturbo_core.Compiler.default_options in
+  let t = Table_fmt.create ~header:[ "variant"; "compile(s)"; "T_sim(us)"; "err%" ] in
+  let row label options =
+    progress "ablation: %s" label;
+    let s, r = compile options in
+    Table_fmt.add_row t
+      [
+        label;
+        Table_fmt.cell_of_float s;
+        Table_fmt.cell_of_float r.Qturbo_core.Compiler.t_sim;
+        Table_fmt.cell_of_float r.Qturbo_core.Compiler.relative_error;
+      ]
+  in
+  row "full QTurbo" base;
+  row "no refinement (§6.2 off)" { base with Qturbo_core.Compiler.refine = false };
+  row "no time optimisation (§5.1 off)"
+    { base with Qturbo_core.Compiler.time_opt = false };
+  row "dense linear solver"
+    { base with Qturbo_core.Compiler.dense_linear_solver = true };
+  row "generic local solver (no analytic patterns)"
+    { base with Qturbo_core.Compiler.generic_local_solver = true };
+  Table_fmt.print
+    ~title:(Printf.sprintf "Ablations (Ising chain, n = %d, Rydberg)" n)
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Extensions beyond the paper's evaluation                            *)
+
+(* error vs noise magnitude: how fast each compiler's pulse degrades as
+   the quasi-static noise scale grows (extends the Fig. 6 mechanism) *)
+let ext_noise () =
+  let n = 6 in
+  let spec = Device.aquila_fig6a in
+  let target =
+    Qturbo_pauli.Pauli_sum.drop_identity
+      (Qturbo_models.Model.hamiltonian_at
+         (Qturbo_models.Benchmarks.ising_cycle ~n ~j:0.157 ~h:0.785 ())
+         ~s:0.0)
+  in
+  let t_tar = 1.0 in
+  let ryd = Rydberg.build ~spec ~n in
+  let q = Qturbo_core.Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar () in
+  let q_pulse =
+    Qturbo_core.Extract.rydberg_pulse ryd ~env:q.Qturbo_core.Compiler.env
+      ~t_sim:q.Qturbo_core.Compiler.t_sim
+  in
+  let s =
+    Qturbo_simuq.Simuq_compiler.compile
+      ~options:
+        {
+          Qturbo_simuq.Simuq_compiler.default_options with
+          Qturbo_simuq.Simuq_compiler.t_max = 4.0;
+        }
+      ~aais:ryd.Rydberg.aais ~target ~t_tar ()
+  in
+  if not s.Qturbo_simuq.Simuq_compiler.success then
+    print_endline "ext-noise: baseline failed; skipping"
+  else begin
+    let s_pulse =
+      Qturbo_core.Extract.rydberg_pulse ryd
+        ~env:s.Qturbo_simuq.Simuq_compiler.env
+        ~t_sim:s.Qturbo_simuq.Simuq_compiler.t_sim
+    in
+    let th =
+      Qturbo_quantum.Observable.z_avg
+        (Qturbo_quantum.Evolve.evolve ~h:target ~t:t_tar
+           (Qturbo_quantum.State.ground ~n))
+    in
+    let shots = if !quick then 150 else 400 in
+    let t =
+      Table_fmt.create
+        ~header:[ "noise scale"; "|dZ| QTurbo"; "|dZ| SimuQ"; "ratio" ]
+    in
+    List.iter
+      (fun scale ->
+        progress "ext-noise: scale %.2f" scale;
+        let noise =
+          Qturbo_device_noise.Noise_model.scaled scale
+            {
+              Qturbo_device_noise.Noise_model.aquila with
+              Qturbo_device_noise.Noise_model.readout =
+                Qturbo_quantum.Measurement.perfect_readout;
+            }
+        in
+        let err pulse seed =
+          let rng = Rng.create ~seed in
+          let o =
+            Qturbo_device_noise.Emulator.run ~rng ~noise ~shots
+              ~trajectories:16 ~pulse ()
+          in
+          Float.abs (o.Qturbo_device_noise.Emulator.z_avg -. th)
+        in
+        let eq = ((err q_pulse 31L) +. (err q_pulse 32L)) /. 2.0 in
+        let es = ((err s_pulse 33L) +. (err s_pulse 34L)) /. 2.0 in
+        Table_fmt.add_float_row t
+          ~label:(Printf.sprintf "%.2f" scale)
+          [ eq; es; es /. Float.max 1e-9 eq ])
+      (if !quick then [ 0.5; 2.0 ] else [ 0.25; 0.5; 1.0; 2.0; 4.0 ]);
+    Table_fmt.print
+      ~title:
+        (Printf.sprintf
+           "Extension: noise sensitivity (QTurbo pulse %.3f us vs baseline \
+            %.3f us, readout off)"
+           (Pulse.rydberg_duration q_pulse)
+           (Pulse.rydberg_duration s_pulse))
+      t
+  end
+
+(* Markovian (Lindblad-unravelled) noise: like ext-noise but with
+   continuous dephasing/decay, which also integrates over the pulse
+   duration and so also favours the shorter pulse *)
+let ext_markovian () =
+  let n = 6 in
+  let spec = Device.aquila_fig6a in
+  let target =
+    Qturbo_pauli.Pauli_sum.drop_identity
+      (Qturbo_models.Model.hamiltonian_at
+         (Qturbo_models.Benchmarks.ising_cycle ~n ~j:0.157 ~h:0.785 ())
+         ~s:0.0)
+  in
+  let t_tar = 1.0 in
+  let ryd = Rydberg.build ~spec ~n in
+  let q = Qturbo_core.Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar () in
+  let q_pulse =
+    Qturbo_core.Extract.rydberg_pulse ryd ~env:q.Qturbo_core.Compiler.env
+      ~t_sim:q.Qturbo_core.Compiler.t_sim
+  in
+  let s =
+    Qturbo_simuq.Simuq_compiler.compile
+      ~options:
+        {
+          Qturbo_simuq.Simuq_compiler.default_options with
+          Qturbo_simuq.Simuq_compiler.t_max = 4.0;
+        }
+      ~aais:ryd.Rydberg.aais ~target ~t_tar ()
+  in
+  if not s.Qturbo_simuq.Simuq_compiler.success then
+    print_endline "ext-markovian: baseline failed; skipping"
+  else begin
+    let s_pulse =
+      Qturbo_core.Extract.rydberg_pulse ryd
+        ~env:s.Qturbo_simuq.Simuq_compiler.env
+        ~t_sim:s.Qturbo_simuq.Simuq_compiler.t_sim
+    in
+    let th =
+      Qturbo_quantum.Observable.z_avg
+        (Qturbo_quantum.Evolve.evolve ~h:target ~t:t_tar
+           (Qturbo_quantum.State.ground ~n))
+    in
+    let shots = if !quick then 100 else 240 in
+    let t =
+      Table_fmt.create
+        ~header:[ "dephasing (1/us)"; "|dZ| QTurbo"; "|dZ| SimuQ"; "ratio" ]
+    in
+    List.iter
+      (fun rate ->
+        progress "ext-markovian: rate %.2f" rate;
+        let noise =
+          {
+            Qturbo_device_noise.Noise_model.ideal with
+            Qturbo_device_noise.Noise_model.dephasing_rate = rate;
+            decay_rate = rate /. 2.0;
+          }
+        in
+        let err pulse seed =
+          let rng = Rng.create ~seed in
+          let o =
+            Qturbo_device_noise.Emulator.run ~rng ~noise ~shots
+              ~trajectories:12 ~pulse ()
+          in
+          Float.abs (o.Qturbo_device_noise.Emulator.z_avg -. th)
+        in
+        let eq = ((err q_pulse 41L) +. (err q_pulse 42L)) /. 2.0 in
+        let es = ((err s_pulse 43L) +. (err s_pulse 44L)) /. 2.0 in
+        Table_fmt.add_float_row t
+          ~label:(Printf.sprintf "%.2f" rate)
+          [ eq; es; es /. Float.max 1e-9 eq ])
+      (if !quick then [ 0.5 ] else [ 0.1; 0.3; 1.0 ]);
+    Table_fmt.print
+      ~title:
+        (Printf.sprintf
+           "Extension: Markovian noise via quantum jumps (QTurbo %.3f us vs \
+            baseline %.3f us)"
+           (Pulse.rydberg_duration q_pulse)
+           (Pulse.rydberg_duration s_pulse))
+      t
+  end
+
+(* digital (Suzuki-Trotter) vs analog: the paper's §1 motivation made
+   quantitative — gates needed by the digital route to match the analog
+   pulse's accuracy *)
+let ext_digital () =
+  let n = if !quick then 6 else 8 in
+  let target =
+    Qturbo_pauli.Pauli_sum.drop_identity
+      (Qturbo_models.Model.hamiltonian_at
+         (Qturbo_models.Benchmarks.ising_chain ~n ())
+         ~s:0.0)
+  in
+  let t_tar = 1.0 in
+  (* analog side: compile and evolve the pulse, measure its infidelity *)
+  let ryd = Rydberg.build ~spec:relaxed_line ~n in
+  let q = Qturbo_core.Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar () in
+  let pulse =
+    Qturbo_core.Extract.rydberg_pulse ryd ~env:q.Qturbo_core.Compiler.env
+      ~t_sim:q.Qturbo_core.Compiler.t_sim
+  in
+  let ground = Qturbo_quantum.State.ground ~n in
+  let exact = Qturbo_quantum.Evolve.evolve ~h:target ~t:t_tar ground in
+  let analog_state =
+    Qturbo_quantum.Evolve.evolve_piecewise
+      ~segments:(Pulse.rydberg_segment_hamiltonians pulse)
+      ground
+  in
+  let analog_infidelity =
+    1.0 -. Qturbo_quantum.State.fidelity exact analog_state
+  in
+  Printf.printf
+    "\n== Extension: digital (Trotter) vs analog (Ising chain, n = %d) ==\n" n;
+  Printf.printf "analog pulse: %.3f us, infidelity %.3e, 0 gates\n"
+    (Pulse.rydberg_duration pulse) analog_infidelity;
+  let t =
+    Table_fmt.create
+      ~header:[ "trotter steps"; "order"; "gates"; "infidelity" ]
+  in
+  List.iter
+    (fun steps ->
+      List.iter
+        (fun order ->
+          let infid =
+            Qturbo_quantum.Trotter.error_vs_exact ~h:target ~t:t_tar ~steps
+              ~order ground
+          in
+          Table_fmt.add_row t
+            [
+              string_of_int steps;
+              (match order with `First -> "1st" | `Second -> "2nd");
+              string_of_int
+                (Qturbo_quantum.Trotter.gate_count ~h:target ~steps ~order);
+              Printf.sprintf "%.3e" infid;
+            ])
+        [ `First; `Second ])
+    (if !quick then [ 4; 16 ] else [ 4; 16; 64; 256 ]);
+  Table_fmt.print t
+
+(* segment-count convergence of the time-dependent compiler (§5.3):
+   discretization error vs K, with the compiled pulse checked against the
+   exact driven evolution *)
+let ext_segments () =
+  let n = 4 in
+  let model = Qturbo_models.Benchmarks.mis_chain ~n () in
+  let t_tar = 1.0 in
+  let ground = Qturbo_quantum.State.ground ~n in
+  let exact =
+    Qturbo_quantum.Evolve.evolve_time_dependent
+      ~h_of_t:(fun t ->
+        Qturbo_pauli.Pauli_sum.drop_identity
+          (Qturbo_models.Model.hamiltonian_at model ~s:(t /. t_tar)))
+      ~t:t_tar ~steps:800 ground
+  in
+  let t =
+    Table_fmt.create
+      ~header:[ "segments"; "compile(s)"; "T_sim(us)"; "rel err%"; "1-fidelity" ]
+  in
+  List.iter
+    (fun segments ->
+      progress "ext-segments: K = %d" segments;
+      let ryd = rydberg_for "mis-chain" n in
+      let compile_s, td =
+        time_run (fun () ->
+            Qturbo_core.Td_compiler.compile ~aais:ryd.Rydberg.aais ~model ~t_tar
+              ~segments ())
+      in
+      let pulse =
+        Qturbo_core.Extract.rydberg_pulse_segments ryd
+          ~segments:
+            (List.map
+               (fun (s : Qturbo_core.Td_compiler.segment_result) ->
+                 (s.Qturbo_core.Td_compiler.env, s.Qturbo_core.Td_compiler.duration))
+               td.Qturbo_core.Td_compiler.segments)
+      in
+      let final =
+        Qturbo_quantum.Evolve.evolve_piecewise
+          ~segments:(Pulse.rydberg_segment_hamiltonians pulse)
+          ground
+      in
+      Table_fmt.add_float_row t
+        ~label:(string_of_int segments)
+        [
+          compile_s;
+          td.Qturbo_core.Td_compiler.t_sim;
+          td.Qturbo_core.Td_compiler.relative_error;
+          1.0 -. Qturbo_quantum.State.fidelity exact final;
+        ])
+    (if !quick then [ 1; 4 ] else [ 1; 2; 4; 8; 16 ]);
+  Table_fmt.print
+    ~title:"Extension: piecewise-segment convergence (MIS chain, n = 4)" t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one kernel per table/figure              *)
+
+let micro () =
+  let open Bechamel in
+  let n = 13 in
+  let ryd = rydberg_for "ising-chain" n in
+  let target = static_target "ising-chain" n in
+  let channels = Aais.channels ryd.Rydberg.aais in
+  let ls = Qturbo_core.Linear_system.build ~channels ~target ~t_tar:1.0 in
+  let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n in
+  let heis_target = static_target "ising-chain" n in
+  let mis = Qturbo_models.Benchmarks.mis_chain ~n:5 () in
+  let mis_ryd = Rydberg.build ~spec:relaxed_line ~n:5 in
+  let fig6_ryd = Rydberg.build ~spec:Device.aquila_fig6a ~n:6 in
+  let fig6_target =
+    Qturbo_pauli.Pauli_sum.drop_identity
+      (Qturbo_models.Model.hamiltonian_at
+         (Qturbo_models.Benchmarks.ising_cycle ~n:6 ~j:0.157 ~h:0.785 ())
+         ~s:0.0)
+  in
+  let fig6_pulse =
+    let r =
+      Qturbo_core.Compiler.compile ~aais:fig6_ryd.Rydberg.aais
+        ~target:fig6_target ~t_tar:0.5 ()
+    in
+    Qturbo_core.Extract.rydberg_pulse fig6_ryd ~env:r.Qturbo_core.Compiler.env
+      ~t_sim:r.Qturbo_core.Compiler.t_sim
+  in
+  let small_ryd = Rydberg.build ~spec:Device.aquila_paper ~n:3 in
+  let small_target = static_target "ising-chain" 3 in
+  let tests =
+    [
+      Test.make ~name:"table1/simuq-global-solve-n3"
+        (Staged.stage (fun () ->
+             Qturbo_simuq.Simuq_compiler.compile
+               ~aais:small_ryd.Rydberg.aais ~target:small_target ~t_tar:1.0 ()));
+      Test.make ~name:"fig3/qturbo-compile-rydberg-n13"
+        (Staged.stage (fun () ->
+             Qturbo_core.Compiler.compile ~aais:ryd.Rydberg.aais ~target
+               ~t_tar:1.0 ()));
+      Test.make ~name:"fig4/qturbo-compile-heisenberg-n13"
+        (Staged.stage (fun () ->
+             Qturbo_core.Compiler.compile ~aais:heis.Heisenberg.aais
+               ~target:heis_target ~t_tar:1.0 ()));
+      Test.make ~name:"fig5a/greedy-mapping-n13"
+        (Staged.stage (fun () ->
+             Qturbo_core.Mapping.greedy_chain ~target ~n));
+      Test.make ~name:"fig5b/td-compile-mis-n5"
+        (Staged.stage (fun () ->
+             Qturbo_core.Td_compiler.compile ~aais:mis_ryd.Rydberg.aais
+               ~model:mis ~t_tar:1.0 ~segments:4 ()));
+      Test.make ~name:"fig6/pulse-evolution-6q"
+        (Staged.stage (fun () ->
+             Qturbo_device_noise.Emulator.noiseless_final_state
+               ~pulse:fig6_pulse));
+      Test.make ~name:"substrate/global-linear-system-n13"
+        (Staged.stage (fun () -> Qturbo_core.Linear_system.solve ls));
+      Test.make ~name:"substrate/locality-decomposition-n13"
+        (Staged.stage (fun () ->
+             Qturbo_core.Locality.decompose ~channels
+               ~n_vars:(Variable.count ryd.Rydberg.aais.Aais.pool)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"qturbo" ~fmt:"%s %s" tests in
+  let cfg =
+    Benchmark.cfg ~limit:500
+      ~quota:(Time.second (if !quick then 0.2 else 0.5))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let t = Table_fmt.create ~header:[ "kernel"; "time/run" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      match Analyze.OLS.estimates est with
+      | Some (ns :: _) ->
+          let cell =
+            if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+            else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+            else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+            else Printf.sprintf "%.0f ns" ns
+          in
+          rows := (name, cell) :: !rows
+      | Some [] | None -> ())
+    results;
+  List.iter
+    (fun (name, cell) -> Table_fmt.add_row t [ name; cell ])
+    (List.sort compare !rows);
+  Table_fmt.print ~title:"Bechamel micro-benchmarks (per-run OLS estimate)" t
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("fig5a", fig5a);
+    ("fig5b", fig5b);
+    ("fig6a", fig6a);
+    ("fig6b", fig6b);
+    ("ablations", ablations);
+    ("ext-noise", ext_noise);
+    ("ext-markovian", ext_markovian);
+    ("ext-digital", ext_digital);
+    ("ext-segments", ext_segments);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> experiments
+    | names ->
+        List.map
+          (fun name ->
+            match List.assoc_opt name experiments with
+            | Some f -> (name, f)
+            | None ->
+                Printf.eprintf "unknown experiment %s (known: %s)\n" name
+                  (String.concat ", " (List.map fst experiments));
+                exit 2)
+          names
+  in
+  Printf.printf "QTurbo benchmark harness%s\n"
+    (if !quick then " (quick mode)" else "");
+  List.iter
+    (fun (name, f) ->
+      progress "=== running %s ===" name;
+      f ())
+    selected

@@ -1,0 +1,385 @@
+(* qturbo: command-line front end to the compiler.
+
+   Examples:
+     qturbo compile --model ising-chain -n 5
+     qturbo compile --model ising-cycle -n 12 --device aquila-fig6a \
+       --j 0.157 --h 0.785 --t-tar 1.0 --show-pulse
+     qturbo compile --model heis-chain -n 8 --backend heisenberg
+     qturbo compile --model mis-chain -n 5 --segments 4
+     qturbo compile --model ising-chain -n 8 --baseline
+     qturbo models
+     qturbo devices *)
+
+open Cmdliner
+open Qturbo_aais
+
+let device_presets =
+  [
+    ("aquila-paper", Device.aquila_paper);
+    ("aquila", Device.aquila);
+    ("aquila-fig6a", Device.aquila_fig6a);
+    ("aquila-fig6b", Device.aquila_fig6b);
+  ]
+
+let model_names =
+  [
+    "ising-chain"; "ising-cycle"; "kitaev"; "ising-cycle+"; "heis-chain";
+    "mis-chain"; "pxp"; "ising-grid";
+  ]
+
+(* ---- compile ---- *)
+
+let build_model ~name ~n ~j ~h =
+  match name with
+  | "ising-chain" -> Qturbo_models.Benchmarks.ising_chain ?j ?h ~n ()
+  | "ising-cycle" -> Qturbo_models.Benchmarks.ising_cycle ?j ?h ~n ()
+  | "kitaev" -> Qturbo_models.Benchmarks.kitaev ?h ~n ()
+  | "ising-cycle+" -> Qturbo_models.Benchmarks.ising_cycle_plus ?j ?h ~n ()
+  | "heis-chain" -> Qturbo_models.Benchmarks.heisenberg_chain ?j ?h ~n ()
+  | "mis-chain" -> Qturbo_models.Benchmarks.mis_chain ~n ()
+  | "pxp" -> Qturbo_models.Benchmarks.pxp ?j ?h ~n ()
+  | "ising-grid" ->
+      let side = int_of_float (Float.round (sqrt (float_of_int n))) in
+      if side * side <> n then
+        invalid_arg "ising-grid needs a square qubit count";
+      Qturbo_models.Benchmarks.ising_grid ?j ?h ~rows:side ~cols:side ()
+  | other -> invalid_arg ("unknown model: " ^ other)
+
+let print_compile_result ~(ryd : Rydberg.t option) ~show_pulse ~ramp
+    (r : Qturbo_core.Compiler.result) =
+  Printf.printf "compiled in %.2f ms\n" (1000.0 *. r.Qturbo_core.Compiler.compile_seconds);
+  Printf.printf "evolution time: %.6f us\n" r.Qturbo_core.Compiler.t_sim;
+  Printf.printf "error (L1):     %.6g\n" r.Qturbo_core.Compiler.error_l1;
+  Printf.printf "relative error: %.4f %%\n" r.Qturbo_core.Compiler.relative_error;
+  Printf.printf "theorem-1 bound %.6g (eps1 %.3g, sum eps2 %.3g)\n"
+    r.Qturbo_core.Compiler.theorem1_bound r.Qturbo_core.Compiler.eps1
+    r.Qturbo_core.Compiler.eps2_total;
+  List.iter (Printf.printf "warning: %s\n") r.Qturbo_core.Compiler.warnings;
+  match ryd with
+  | Some ryd when show_pulse ->
+      let pulse =
+        Qturbo_core.Extract.rydberg_pulse ryd ~env:r.Qturbo_core.Compiler.env
+          ~t_sim:r.Qturbo_core.Compiler.t_sim
+      in
+      let pulse = if ramp then Qturbo_core.Ramp.apply pulse else pulse in
+      Format.printf "%a" Pulse.pp_rydberg pulse;
+      (match Pulse.within_limits pulse @ Pulse.slew_violations pulse with
+      | [] -> print_endline "pulse is executable on this device"
+      | vs -> List.iter (Printf.printf "limit violation: %s\n") vs)
+  | Some _ | None -> ()
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let user_errors f =
+  match f () with
+  | code -> code
+  | exception (Failure msg | Invalid_argument msg) ->
+      Printf.eprintf "qturbo: %s\n" msg;
+      2
+
+let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
+    baseline no_refine no_time_opt show_pulse ramp verbose =
+ user_errors @@ fun () ->
+  setup_logging verbose;
+  let j = if j = 0.0 then None else Some j in
+  let h = if h = 0.0 then None else Some h in
+  let model =
+    match (hamiltonian, model_name) with
+    | Some text, _ ->
+        (* the register size is exactly what the expression touches *)
+        let sum = Qturbo_pauli.Pauli_parse.parse_exn text in
+        Qturbo_models.Model.static ~name:"custom"
+          ~n:(Qturbo_pauli.Pauli_sum.n_qubits sum)
+          sum
+    | None, Some name -> build_model ~name ~n ~j ~h
+    | None, None ->
+        failwith "provide either --model or --hamiltonian"
+  in
+  let n = model.Qturbo_models.Model.n in
+  let options =
+    {
+      Qturbo_core.Compiler.default_options with
+      Qturbo_core.Compiler.refine = not no_refine;
+      time_opt = not no_time_opt;
+    }
+  in
+  match backend with
+  | "heisenberg" ->
+      if Qturbo_models.Model.is_driven model then
+        failwith
+          "time-dependent models are only supported on the rydberg backend";
+      let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n in
+      let target =
+        Qturbo_pauli.Pauli_sum.drop_identity
+          (Qturbo_models.Model.hamiltonian_at model ~s:0.0)
+      in
+      if baseline then begin
+        let r =
+          Qturbo_simuq.Simuq_compiler.compile ~aais:heis.Heisenberg.aais ~target
+            ~t_tar ()
+        in
+        Printf.printf "baseline: success=%b T=%.4f us error=%.4f%% (%.2f s)\n"
+          r.Qturbo_simuq.Simuq_compiler.success r.Qturbo_simuq.Simuq_compiler.t_sim
+          r.Qturbo_simuq.Simuq_compiler.relative_error
+          r.Qturbo_simuq.Simuq_compiler.compile_seconds;
+        0
+      end
+      else begin
+        print_compile_result ~ryd:None ~show_pulse ~ramp
+          (Qturbo_core.Compiler.compile ~options ~aais:heis.Heisenberg.aais
+             ~target ~t_tar ());
+        0
+      end
+  | "rydberg" ->
+      let spec =
+        match List.assoc_opt device_name device_presets with
+        | Some s -> s
+        | None -> failwith ("unknown device: " ^ device_name)
+      in
+      (* widen the window for scaling studies beyond the physical chip *)
+      let spec =
+        if n > 16 then { spec with Device.max_extent = 2000.0 } else spec
+      in
+      (* cycle and lattice couplings need planar atom layouts *)
+      let spec =
+        match model.Qturbo_models.Model.name with
+        | "ising-cycle" | "ising-cycle+" | "ising-grid" ->
+            Device.with_geometry Device.Plane spec
+        | _ -> spec
+      in
+      let ryd = Rydberg.build ~spec ~n in
+      if Qturbo_models.Model.is_driven model then begin
+        let td =
+          Qturbo_core.Td_compiler.compile ~options ~aais:ryd.Rydberg.aais ~model
+            ~t_tar ~segments ()
+        in
+        Printf.printf "compiled %d segments in %.2f ms\n" segments
+          (1000.0 *. td.Qturbo_core.Td_compiler.compile_seconds);
+        Printf.printf "total evolution time: %.6f us\n" td.Qturbo_core.Td_compiler.t_sim;
+        Printf.printf "relative error: %.4f %%\n"
+          td.Qturbo_core.Td_compiler.relative_error;
+        List.iteri
+          (fun k (s : Qturbo_core.Td_compiler.segment_result) ->
+            Printf.printf "  segment %d: %.4f us (error %.4g)\n" k
+              s.Qturbo_core.Td_compiler.duration s.Qturbo_core.Td_compiler.error_l1)
+          td.Qturbo_core.Td_compiler.segments;
+        0
+      end
+      else begin
+        let target =
+          Qturbo_pauli.Pauli_sum.drop_identity
+            (Qturbo_models.Model.hamiltonian_at model ~s:0.0)
+        in
+        if baseline then begin
+          let r =
+            Qturbo_simuq.Simuq_compiler.compile ~aais:ryd.Rydberg.aais ~target
+              ~t_tar ()
+          in
+          Printf.printf "baseline: success=%b T=%.4f us error=%.4f%% (%.2f s)\n"
+            r.Qturbo_simuq.Simuq_compiler.success
+            r.Qturbo_simuq.Simuq_compiler.t_sim
+            r.Qturbo_simuq.Simuq_compiler.relative_error
+            r.Qturbo_simuq.Simuq_compiler.compile_seconds;
+          0
+        end
+        else begin
+          print_compile_result ~ryd:(Some ryd) ~show_pulse ~ramp
+            (Qturbo_core.Compiler.compile ~options ~aais:ryd.Rydberg.aais
+               ~target ~t_tar ());
+          0
+        end
+      end
+  | other ->
+      Printf.eprintf "unknown backend %s (rydberg | heisenberg)\n" other;
+      2
+
+let model_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "model"; "m" ] ~docv:"NAME" ~doc:"Benchmark model (see `qturbo models`).")
+
+let hamiltonian_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "hamiltonian"; "H" ] ~docv:"TEXT"
+        ~doc:"Target Hamiltonian as text, e.g. 'Z0 Z1 + 0.5*X2' (overrides --model).")
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "qubits"; "n" ] ~docv:"N" ~doc:"Number of qubits/atoms.")
+
+let backend_arg =
+  Arg.(
+    value & opt string "rydberg"
+    & info [ "backend"; "b" ] ~docv:"BACKEND" ~doc:"rydberg or heisenberg.")
+
+let device_arg =
+  Arg.(
+    value & opt string "aquila-paper"
+    & info [ "device"; "d" ] ~docv:"DEVICE" ~doc:"Rydberg device preset (see `qturbo devices`).")
+
+let t_tar_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "t-tar"; "t" ] ~docv:"US" ~doc:"Target evolution time (µs).")
+
+let j_arg =
+  Arg.(value & opt float 0.0 & info [ "coupling"; "j" ] ~docv:"J" ~doc:"Coupling strength (0 = model default).")
+
+let h_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "field" ] ~docv:"H"
+        ~doc:"Transverse-field strength (0 = model default).")
+
+let segments_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "segments" ] ~docv:"K" ~doc:"Piecewise segments for driven models.")
+
+let baseline_flag =
+  Arg.(value & flag & info [ "baseline" ] ~doc:"Compile with the SimuQ-style baseline instead.")
+
+let no_refine_flag =
+  Arg.(value & flag & info [ "no-refine" ] ~doc:"Disable §6.2 iterative refinement.")
+
+let no_time_opt_flag =
+  Arg.(value & flag & info [ "no-time-opt" ] ~doc:"Disable §5.1 evolution-time optimisation.")
+
+let show_pulse_flag =
+  Arg.(value & flag & info [ "show-pulse" ] ~doc:"Print the compiled pulse schedule.")
+
+let ramp_flag =
+  Arg.(
+    value & flag
+    & info [ "ramp" ]
+        ~doc:"Apply the hardware ramping post-pass before printing the pulse.")
+
+let verbose_flag =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log the compiler's pipeline stages.")
+
+let compile_term =
+  Term.(
+    const compile_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg $ device_arg $ t_tar_arg
+    $ j_arg $ h_arg $ segments_arg $ baseline_flag $ no_refine_flag
+    $ no_time_opt_flag $ show_pulse_flag $ ramp_flag $ verbose_flag)
+
+let compile_info =
+  Cmd.info "compile" ~doc:"Compile a benchmark Hamiltonian onto an analog device."
+
+(* ---- run: compile + emulate ---- *)
+
+let run_cmd model_name n device_name t_tar j h shots noise_scale seed verbose =
+ user_errors @@ fun () ->
+  setup_logging verbose;
+  let j = if j = 0.0 then None else Some j in
+  let h = if h = 0.0 then None else Some h in
+  let model = build_model ~name:model_name ~n ~j ~h in
+  if Qturbo_models.Model.is_driven model then
+    failwith "run supports static models only (compile driven ones instead)";
+  let spec =
+    match List.assoc_opt device_name device_presets with
+    | Some sp -> sp
+    | None -> failwith ("unknown device: " ^ device_name)
+  in
+  let ryd = Rydberg.build ~spec ~n in
+  let target =
+    Qturbo_pauli.Pauli_sum.drop_identity
+      (Qturbo_models.Model.hamiltonian_at model ~s:0.0)
+  in
+  let r = Qturbo_core.Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar () in
+  let pulse =
+    Qturbo_core.Extract.rydberg_pulse ryd ~env:r.Qturbo_core.Compiler.env
+      ~t_sim:r.Qturbo_core.Compiler.t_sim
+  in
+  Printf.printf "compiled: T_sim = %.4f us, relative error %.3f%%\n"
+    r.Qturbo_core.Compiler.t_sim r.Qturbo_core.Compiler.relative_error;
+  let ground = Qturbo_quantum.State.ground ~n in
+  let th = Qturbo_quantum.Evolve.evolve ~h:target ~t:t_tar ground in
+  Printf.printf "theory:   Z_avg = %+.4f  ZZ_avg = %+.4f\n"
+    (Qturbo_quantum.Observable.z_avg th)
+    (Qturbo_quantum.Observable.zz_avg th);
+  let noise =
+    Qturbo_device_noise.Noise_model.scaled noise_scale
+      Qturbo_device_noise.Noise_model.aquila
+  in
+  let rng = Qturbo_util.Rng.create ~seed:(Int64.of_int seed) in
+  let o = Qturbo_device_noise.Emulator.run ~rng ~noise ~shots ~pulse () in
+  Printf.printf "device:   Z_avg = %+.4f  ZZ_avg = %+.4f  (%d shots, %d trajectories, noise x%g)\n"
+    o.Qturbo_device_noise.Emulator.z_avg o.Qturbo_device_noise.Emulator.zz_avg
+    o.Qturbo_device_noise.Emulator.shots o.Qturbo_device_noise.Emulator.trajectories
+    noise_scale;
+  0
+
+let shots_arg =
+  Arg.(value & opt int 500 & info [ "shots" ] ~docv:"K" ~doc:"Measurement shots.")
+
+let noise_scale_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "noise-scale" ] ~docv:"S" ~doc:"Scale factor on the Aquila noise model.")
+
+let seed_arg =
+  Arg.(value & opt int 2026 & info [ "seed" ] ~docv:"SEED" ~doc:"Emulator RNG seed.")
+
+let run_model_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "model"; "m" ] ~docv:"NAME" ~doc:"Benchmark model (see `qturbo models`).")
+
+let run_device_arg =
+  Arg.(
+    value & opt string "aquila-fig6a"
+    & info [ "device"; "d" ] ~docv:"DEVICE" ~doc:"Rydberg device preset.")
+
+let run_term =
+  Term.(
+    const run_cmd $ run_model_arg $ n_arg $ run_device_arg $ t_tar_arg $ j_arg
+    $ h_arg $ shots_arg $ noise_scale_arg $ seed_arg $ verbose_flag)
+
+let run_info =
+  Cmd.info "run"
+    ~doc:"Compile a model and execute the pulse on the noisy device emulator."
+
+(* ---- models / devices ---- *)
+
+let models_cmd () =
+  List.iter print_endline model_names;
+  0
+
+let devices_cmd () =
+  List.iter
+    (fun (name, (s : Device.rydberg)) ->
+      Printf.printf
+        "%-14s C6=%.4g  Omega<=%.3g  |Delta|<=%.3g  sep>=%g um  window %g um  \
+         %s control, %s\n"
+        name s.Device.c6 s.Device.omega_max s.Device.delta_max
+        s.Device.min_separation s.Device.max_extent
+        (match s.Device.control with Device.Global -> "global" | Device.Local -> "local")
+        (match s.Device.geometry with Device.Line -> "1-D" | Device.Plane -> "2-D"))
+    device_presets;
+  let h = Device.heisenberg_default in
+  Printf.printf "%-14s single<=%g  two<=%g  (chain)\n" h.Device.name
+    h.Device.single_max h.Device.two_max;
+  0
+
+let main () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let cmd =
+    Cmd.group ~default
+      (Cmd.info "qturbo" ~version:"1.0.0"
+         ~doc:"A robust and efficient compiler for analog quantum simulation.")
+      [
+        Cmd.v compile_info compile_term;
+        Cmd.v run_info run_term;
+        Cmd.v (Cmd.info "models" ~doc:"List benchmark models.") Term.(const models_cmd $ const ());
+        Cmd.v (Cmd.info "devices" ~doc:"List device presets.") Term.(const devices_cmd $ const ());
+      ]
+  in
+  exit (Cmd.eval' cmd)
+
+let () = main ()

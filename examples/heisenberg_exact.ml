@@ -1,0 +1,67 @@
+(* The Heisenberg AAIS (superconducting / trapped-ion style backends,
+   paper §2.1.2): every Pauli amplitude is directly tunable, so QTurbo's
+   compilation is exact — the 100%-error-reduction column of Fig. 4.
+
+   This example also shows the surrounding tooling: the independent
+   result verifier, pulse serialization, and the digital-simulation cost
+   the analog pulse avoids.
+
+   Run with:  dune exec examples/heisenberg_exact.exe *)
+
+open Qturbo_aais
+open Qturbo_core
+
+let n = 6
+
+let () =
+  let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n in
+  let target =
+    Qturbo_pauli.Pauli_sum.drop_identity
+      (Qturbo_models.Model.hamiltonian_at
+         (Qturbo_models.Benchmarks.heisenberg_chain ~n ())
+         ~s:0.0)
+  in
+  let t_tar = 1.0 in
+  let r = Compiler.compile ~aais:heis.Heisenberg.aais ~target ~t_tar () in
+  Format.printf "Heisenberg chain, %d qubits, %d target terms@." n
+    (Qturbo_pauli.Pauli_sum.term_count target);
+  Format.printf "compiled in %.2f ms: T_sim = %.3f us, error = %.3g@."
+    (1000.0 *. r.Compiler.compile_seconds)
+    r.Compiler.t_sim r.Compiler.error_l1;
+
+  (* independent verification: rebuild the physical Hamiltonian from the
+     compiled amplitudes and re-check everything *)
+  let v = Verifier.verify_heisenberg heis ~target ~t_tar r in
+  Format.printf
+    "verifier: executable=%b, recomputed error %.3g, consistent=%b@."
+    v.Verifier.executable v.Verifier.error_l1 v.Verifier.consistent_with_compiler;
+
+  (* exact backend ⇒ machine-precision fidelity against the target *)
+  let ground = Qturbo_quantum.State.ground ~n in
+  let theory = Qturbo_quantum.Evolve.evolve ~h:target ~t:t_tar ground in
+  let pulse = Extract.heisenberg_pulse heis ~env:r.Compiler.env ~t_sim:r.Compiler.t_sim in
+  let compiled =
+    Qturbo_quantum.Evolve.evolve_piecewise
+      ~segments:(Pulse.heisenberg_segment_hamiltonians pulse)
+      ground
+  in
+  Format.printf "state fidelity: %.8f@."
+    (Qturbo_quantum.State.fidelity theory compiled);
+
+  (* what would the digital route cost?  Trotterize the same target to
+     comparable accuracy *)
+  Format.printf "@.Digital-simulation comparison (second-order Trotter):@.";
+  List.iter
+    (fun steps ->
+      let infid =
+        Qturbo_quantum.Trotter.error_vs_exact ~h:target ~t:t_tar ~steps
+          ~order:`Second ground
+      in
+      Format.printf "  %4d steps = %5d Pauli-rotation gates, infidelity %.2e@."
+        steps
+        (Qturbo_quantum.Trotter.gate_count ~h:target ~steps ~order:`Second)
+        infid)
+    [ 8; 32; 128 ];
+  Format.printf
+    "The analog pulse implements the same evolution as one continuous@.\
+     %.1f us drive — no gate decomposition at all.@." r.Compiler.t_sim

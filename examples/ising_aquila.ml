@@ -1,0 +1,84 @@
+(* The paper's first device experiment (§7.4) in miniature: a 12-atom
+   Ising cycle with J = 0.157, h = 0.785 rad/µs compiled onto the Aquila
+   preset with Ω ≤ 6.28 rad/µs, executed on the noisy device emulator,
+   and compared against (a) exact target evolution and (b) the
+   SimuQ-style baseline's longer pulse.
+
+   Run with:  dune exec examples/ising_aquila.exe *)
+
+open Qturbo_aais
+open Qturbo_core
+
+let n = 12
+let j = 0.157
+let h = 0.785
+let t_tar = 1.0
+let shots = 500
+
+let () =
+  let spec = Device.aquila_fig6a in
+  let rydberg = Rydberg.build ~spec ~n in
+  let target =
+    Qturbo_models.Model.hamiltonian_at
+      (Qturbo_models.Benchmarks.ising_cycle ~n ~j ~h ())
+      ~s:0.0
+  in
+  Format.printf "Compiling a %d-atom Ising cycle (J = %.3f, h = %.3f rad/us)@."
+    n j h;
+
+  (* QTurbo *)
+  let q = Compiler.compile ~aais:rydberg.Rydberg.aais ~target ~t_tar () in
+  let q_pulse = Extract.rydberg_pulse rydberg ~env:q.Compiler.env ~t_sim:q.Compiler.t_sim in
+  Format.printf "  QTurbo : %.2f ms compile, pulse %.3f us, error %.2f %%@."
+    (1000.0 *. q.Compiler.compile_seconds)
+    (Pulse.rydberg_duration q_pulse) q.Compiler.relative_error;
+
+  (* SimuQ-style baseline *)
+  let s =
+    Qturbo_simuq.Simuq_compiler.compile
+      ~options:
+        {
+          Qturbo_simuq.Simuq_compiler.default_options with
+          Qturbo_simuq.Simuq_compiler.t_max = 4.0;
+        }
+      ~aais:rydberg.Rydberg.aais ~target ~t_tar ()
+  in
+  if not s.Qturbo_simuq.Simuq_compiler.success then
+    Format.printf "  SimuQ  : failed to find a solution within budget@."
+  else begin
+    let s_pulse =
+      Extract.rydberg_pulse rydberg ~env:s.Qturbo_simuq.Simuq_compiler.env
+        ~t_sim:s.Qturbo_simuq.Simuq_compiler.t_sim
+    in
+    Format.printf "  SimuQ  : %.0f ms compile, pulse %.3f us, error %.2f %%@."
+      (1000.0 *. s.Qturbo_simuq.Simuq_compiler.compile_seconds)
+      (Pulse.rydberg_duration s_pulse)
+      s.Qturbo_simuq.Simuq_compiler.relative_error;
+
+    (* theory values *)
+    let ground = Qturbo_quantum.State.ground ~n in
+    let th = Qturbo_quantum.Evolve.evolve ~h:target ~t:t_tar ground in
+    let z_th = Qturbo_quantum.Observable.z_avg th in
+    let zz_th = Qturbo_quantum.Observable.zz_avg th in
+    Format.printf "@.%-12s %10s %10s@." "" "Z_avg" "ZZ_avg";
+    Format.printf "%-12s %10.4f %10.4f@." "theory" z_th zz_th;
+
+    (* noisy emulation of both pulses *)
+    let emulate name pulse =
+      let rng = Qturbo_util.Rng.create ~seed:2026L in
+      let o =
+        Qturbo_device_noise.Emulator.run ~rng
+          ~noise:Qturbo_device_noise.Noise_model.aquila ~shots ~pulse ()
+      in
+      Format.printf "%-12s %10.4f %10.4f   (|dZ| = %.4f)@." name
+        o.Qturbo_device_noise.Emulator.z_avg
+        o.Qturbo_device_noise.Emulator.zz_avg
+        (Float.abs (o.Qturbo_device_noise.Emulator.z_avg -. z_th))
+    in
+    emulate "QTurbo" q_pulse;
+    emulate "SimuQ" s_pulse;
+    Format.printf
+      "@.The shorter QTurbo pulse accumulates less quasi-static noise, so@.\
+       its observables sit closer to the theory line — the paper's Fig. 6@.\
+       mechanism.@."
+  end

@@ -1,0 +1,67 @@
+(* Quickstart: compile the paper's §2.2 running example — a three-qubit
+   Ising chain, H = Z₁Z₂ + Z₂Z₃ + X₁ + X₂ + X₃ evolved for 1 µs — onto a
+   Rydberg device, and inspect every artifact of the compilation.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Qturbo_aais
+open Qturbo_core
+
+let () =
+  (* 1. pick a device: the MHz-unit Aquila used in the paper's worked
+     example (Ω ≤ 2.5 MHz, Δ ≤ 20 MHz, per-atom control, 1-D layout) *)
+  let spec = Device.aquila_paper in
+  let rydberg = Rydberg.build ~spec ~n:3 in
+
+  (* 2. pick a target system from the benchmark suite *)
+  let model = Qturbo_models.Benchmarks.ising_chain ~n:3 () in
+  let target = Qturbo_models.Model.hamiltonian_at model ~s:0.0 in
+  Format.printf "Target Hamiltonian: %a@." Qturbo_pauli.Pauli_sum.pp target;
+
+  (* 3. compile *)
+  let result = Compiler.compile ~aais:rydberg.Rydberg.aais ~target ~t_tar:1.0 () in
+
+  Format.printf "@.Compiled in %.2f ms:@."
+    (1000.0 *. result.Compiler.compile_seconds);
+  Format.printf "  evolution time  T_sim = %.3f us (target evolution 1 us)@."
+    result.Compiler.t_sim;
+  Format.printf "  relative error  E = %.3f %%@." result.Compiler.relative_error;
+  Format.printf "  Theorem-1 bound %.4f >= measured error %.4f@."
+    result.Compiler.theorem1_bound result.Compiler.error_l1;
+
+  (* 4. read off the physical controls *)
+  let env = result.Compiler.env in
+  Format.printf "@.Atom layout (um):@.";
+  Array.iteri
+    (fun i (x, _) -> Format.printf "  atom %d at x = %.3f@." i x)
+    (Rydberg.positions rydberg ~env);
+  Format.printf "Pulse parameters:@.";
+  Array.iteri
+    (fun i v -> Format.printf "  Delta_%d = %.3f MHz@." i env.(v.Variable.id))
+    rydberg.Rydberg.deltas;
+  Array.iteri
+    (fun i v -> Format.printf "  Omega_%d = %.3f MHz@." i env.(v.Variable.id))
+    rydberg.Rydberg.omegas;
+
+  (* 5. extract an executable pulse schedule and sanity-check it against
+     the device limits *)
+  let pulse =
+    Extract.rydberg_pulse rydberg ~env ~t_sim:result.Compiler.t_sim
+  in
+  (match Pulse.within_limits pulse with
+  | [] -> Format.printf "@.Pulse is executable on %s.@." spec.Device.name
+  | violations ->
+      Format.printf "@.Pulse violates device limits:@.";
+      List.iter (Format.printf "  %s@.") violations);
+
+  (* 6. verify the physics: evolve |000> under the compiled pulse and
+     under the target Hamiltonian, and compare *)
+  let ground = Qturbo_quantum.State.ground ~n:3 in
+  let theory = Qturbo_quantum.Evolve.evolve ~h:target ~t:1.0 ground in
+  let compiled =
+    Qturbo_quantum.Evolve.evolve_piecewise
+      ~segments:(Pulse.rydberg_segment_hamiltonians pulse)
+      ground
+  in
+  Format.printf "@.State fidelity |<theory|compiled>|^2 = %.6f@."
+    (Qturbo_quantum.State.fidelity theory compiled)

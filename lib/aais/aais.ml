@@ -1,0 +1,47 @@
+type t = {
+  name : string;
+  n_qubits : int;
+  pool : Variable.pool;
+  instructions : Instruction.t list;
+  check_fixed : float array -> string list;
+}
+
+let channels t =
+  let all =
+    List.concat_map (fun (i : Instruction.t) -> i.Instruction.channels) t.instructions
+  in
+  let n = List.length all in
+  let arr = Array.make n None in
+  List.iter
+    (fun (c : Instruction.channel) ->
+      let cid = c.Instruction.cid in
+      if cid < 0 || cid >= n then invalid_arg "Aais: channel id out of range";
+      if arr.(cid) <> None then invalid_arg "Aais: duplicate channel id";
+      arr.(cid) <- Some c)
+    all;
+  Array.map
+    (function Some c -> c | None -> invalid_arg "Aais: missing channel id")
+    arr
+
+let make ~name ~n_qubits ~pool ~instructions ?(check_fixed = fun _ -> []) () =
+  let t = { name; n_qubits; pool; instructions; check_fixed } in
+  ignore (channels t);
+  t
+
+let channel_count t =
+  List.fold_left
+    (fun acc (i : Instruction.t) -> acc + List.length i.Instruction.channels)
+    0 t.instructions
+
+let variables t = Variable.all t.pool
+let variable t id = (variables t).(id)
+
+let dynamic_variable_ids t =
+  Array.to_list (variables t)
+  |> List.filter Variable.is_dynamic
+  |> List.map (fun v -> v.Variable.id)
+
+let fixed_variable_ids t =
+  Array.to_list (variables t)
+  |> List.filter Variable.is_fixed
+  |> List.map (fun v -> v.Variable.id)

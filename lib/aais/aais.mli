@@ -1,0 +1,41 @@
+(** An Abstract Analog Instruction Set: the compiler's view of a device.
+
+    Bundles the variable pool, the instruction list and a constraint check
+    on the runtime-fixed variables (geometric feasibility of atom
+    layouts).  Built by {!Rydberg.build} / {!Heisenberg.build}; the
+    compiler core consumes only this interface. *)
+
+type t = {
+  name : string;
+  n_qubits : int;
+  pool : Variable.pool;
+  instructions : Instruction.t list;
+  check_fixed : float array -> string list;
+      (** [check_fixed env] returns human-readable violations of the
+          runtime-fixed-variable constraints (empty = feasible).  Drives
+          the evolution-time iteration of paper §5.2. *)
+}
+
+val make :
+  name:string ->
+  n_qubits:int ->
+  pool:Variable.pool ->
+  instructions:Instruction.t list ->
+  ?check_fixed:(float array -> string list) ->
+  unit ->
+  t
+(** Validates that channel [cid]s are dense [0 .. count-1] (raises
+    [Invalid_argument] otherwise). *)
+
+val channels : t -> Instruction.channel array
+(** All channels indexed by [cid]. *)
+
+val channel_count : t -> int
+
+val variable : t -> int -> Variable.t
+
+val variables : t -> Variable.t array
+
+val dynamic_variable_ids : t -> int list
+
+val fixed_variable_ids : t -> int list

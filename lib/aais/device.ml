@@ -1,0 +1,71 @@
+type control = Global | Local
+type geometry = Line | Plane
+
+type rydberg = {
+  name : string;
+  c6 : float;
+  omega_max : float;
+  delta_max : float;
+  min_separation : float;
+  max_extent : float;
+  max_time : float;
+  omega_slew_max : float;
+  control : control;
+  geometry : geometry;
+}
+
+let aquila_paper =
+  {
+    name = "aquila-paper-units";
+    c6 = 862690.0;
+    omega_max = 2.5;
+    delta_max = 20.0;
+    min_separation = 4.0;
+    max_extent = 75.0;
+    max_time = 4.0;
+    (* ~Ω_max in 50 ns, the scale of Aquila's published waveform limits *)
+    omega_slew_max = 50.0;
+    control = Local;
+    geometry = Line;
+  }
+
+let two_pi = 2.0 *. Float.pi
+
+let aquila =
+  {
+    name = "aquila";
+    c6 = two_pi *. 862690.0;
+    omega_max = 15.8;
+    delta_max = 125.0;
+    min_separation = 4.0;
+    max_extent = 75.0;
+    max_time = 4.0;
+    omega_slew_max = 250.0;
+    control = Global;
+    geometry = Plane;
+  }
+
+let aquila_fig6a = { aquila with name = "aquila-fig6a"; omega_max = 6.28 }
+
+let aquila_fig6b =
+  { aquila with name = "aquila-fig6b"; omega_max = 13.8; geometry = Line }
+
+let with_control control spec = { spec with control }
+let with_geometry geometry spec = { spec with geometry }
+
+type heisenberg = {
+  name : string;
+  single_max : float;
+  two_max : float;
+  max_time : float;
+  ring : bool;
+}
+
+let heisenberg_default =
+  {
+    name = "heisenberg-chain";
+    single_max = 50.0;
+    two_max = 1.0;
+    max_time = 100.0;
+    ring = false;
+  }

@@ -1,0 +1,60 @@
+(** Device specifications: physical constants and pulse constraints.
+
+    Units: the Rydberg presets are expressed either in plain MHz·µs·µm
+    (the convention of the paper's worked example, §5) or in rad/µs·µs·µm
+    (the convention of the device experiments, §7.4).  The compiler is
+    unit-agnostic — a spec just has to be internally consistent. *)
+
+type control = Global | Local
+(** [Global]: one Δ/Ω/φ shared by all atoms (Aquila's actual capability);
+    [Local]: per-atom controls (the paper's worked example). *)
+
+type geometry = Line | Plane
+(** Atom placement dimensionality. *)
+
+type rydberg = {
+  name : string;
+  c6 : float;  (** van-der-Waals coefficient, amplitude·µm⁶ *)
+  omega_max : float;  (** Rabi amplitude bound, [Ω ∈ [0, omega_max]] *)
+  delta_max : float;  (** detuning bound, [Δ ∈ [−delta_max, delta_max]] *)
+  min_separation : float;  (** µm between any two atoms *)
+  max_extent : float;  (** µm, side of the placement window *)
+  max_time : float;  (** µs, longest executable pulse *)
+  omega_slew_max : float;
+      (** bound on |dΩ/dt| between consecutive schedule points
+          (amplitude unit per µs); [infinity] disables the check *)
+  control : control;
+  geometry : geometry;
+}
+
+val aquila_paper : rydberg
+(** MHz-unit Aquila as used in the §5 worked example: [C6 = 862690],
+    [Ω_max = 2.5 MHz], [Δ_max = 20 MHz], local control, 1-D geometry.
+    Reproduces the paper's numbers ([x₂ = 7.46 µm], [T = 0.8 µs]) exactly. *)
+
+val aquila : rydberg
+(** rad/µs-unit Aquila per the published spec [39]:
+    [C6 = 2π·862690 ≈ 5.42e6], [Ω_max = 15.8], [Δ_max = 125],
+    global control, planar geometry. *)
+
+val aquila_fig6a : rydberg
+(** Fig. 6(a) preset: [Ω_max] capped at 6.28 rad/µs. *)
+
+val aquila_fig6b : rydberg
+(** Fig. 6(b) preset: [Ω_max] capped at 13.8 rad/µs, 1-D chain. *)
+
+val with_control : control -> rydberg -> rydberg
+
+val with_geometry : geometry -> rydberg -> rydberg
+
+type heisenberg = {
+  name : string;
+  single_max : float;  (** bound on single-Pauli amplitudes [|a^{P_i}|] *)
+  two_max : float;  (** bound on two-Pauli amplitudes [|a^{P_iP_j}|] *)
+  max_time : float;
+  ring : bool;  (** chain (false) or ring (true) connectivity *)
+}
+
+val heisenberg_default : heisenberg
+(** Superconducting-scale bounds (single-qubit drives are fast, two-qubit
+    couplings ~50× weaker), chain connectivity. *)

@@ -1,0 +1,141 @@
+type t =
+  | Const of float
+  | Var of int
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Pow_int of t * int
+  | Sin of t
+  | Cos of t
+
+let const x = Const x
+let var (v : Variable.t) = Var v.Variable.id
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+let ( / ) a b = Div (a, b)
+let pow a n = Pow_int (a, n)
+let neg a = Neg a
+let sin_ a = Sin a
+let cos_ a = Cos a
+
+let rec eval e ~env =
+  match e with
+  | Const x -> x
+  | Var id -> env.(id)
+  | Neg a -> -.eval a ~env
+  | Add (a, b) -> Stdlib.( +. ) (eval a ~env) (eval b ~env)
+  | Sub (a, b) -> Stdlib.( -. ) (eval a ~env) (eval b ~env)
+  | Mul (a, b) -> Stdlib.( *. ) (eval a ~env) (eval b ~env)
+  | Div (a, b) -> Stdlib.( /. ) (eval a ~env) (eval b ~env)
+  | Pow_int (a, n) ->
+      let x = eval a ~env in
+      let rec go acc base n =
+        if n = 0 then acc
+        else if n land 1 = 1 then go (Stdlib.( *. ) acc base) (Stdlib.( *. ) base base) (n asr 1)
+        else go acc (Stdlib.( *. ) base base) (n asr 1)
+      in
+      if n >= 0 then go 1.0 x n else Stdlib.( /. ) 1.0 (go 1.0 x (Stdlib.( ~- ) n))
+  | Sin a -> Stdlib.sin (eval a ~env)
+  | Cos a -> Stdlib.cos (eval a ~env)
+
+module Int_set = Set.Make (Int)
+
+let rec var_set = function
+  | Const _ -> Int_set.empty
+  | Var id -> Int_set.singleton id
+  | Neg a | Sin a | Cos a | Pow_int (a, _) -> var_set a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      Int_set.union (var_set a) (var_set b)
+
+let vars e = Int_set.elements (var_set e)
+let depends_on e id = Int_set.mem id (var_set e)
+
+let rec simplify e =
+  match e with
+  | Const _ | Var _ -> e
+  | Neg a -> (
+      match simplify a with
+      | Const x -> Const (-.x)
+      | Neg b -> b
+      | a' -> Neg a')
+  | Add (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (Stdlib.( +. ) x y)
+      | Const 0.0, b' -> b'
+      | a', Const 0.0 -> a'
+      | a', b' -> Add (a', b'))
+  | Sub (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (Stdlib.( -. ) x y)
+      | a', Const 0.0 -> a'
+      | Const 0.0, b' -> simplify (Neg b')
+      | a', b' -> Sub (a', b'))
+  | Mul (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y -> Const (Stdlib.( *. ) x y)
+      | Const 0.0, _ | _, Const 0.0 -> Const 0.0
+      | Const 1.0, b' -> b'
+      | a', Const 1.0 -> a'
+      | a', b' -> Mul (a', b'))
+  | Div (a, b) -> (
+      match (simplify a, simplify b) with
+      | Const x, Const y when y <> 0.0 -> Const (Stdlib.( /. ) x y)
+      | a', Const 1.0 -> a'
+      | Const 0.0, b' when b' <> Const 0.0 -> Const 0.0
+      | a', b' -> Div (a', b'))
+  | Pow_int (a, n) -> (
+      match (simplify a, n) with
+      | a', 1 -> a'
+      | _, 0 -> Const 1.0
+      | Const x, n -> Const (eval (Pow_int (Const x, n)) ~env:[||])
+      | a', n -> Pow_int (a', n))
+  | Sin a -> (
+      match simplify a with Const x -> Const (Stdlib.sin x) | a' -> Sin a')
+  | Cos a -> (
+      match simplify a with Const x -> Const (Stdlib.cos x) | a' -> Cos a')
+
+let rec deriv_raw e id =
+  match e with
+  | Const _ -> Const 0.0
+  | Var v -> if v = id then Const 1.0 else Const 0.0
+  | Neg a -> Neg (deriv_raw a id)
+  | Add (a, b) -> Add (deriv_raw a id, deriv_raw b id)
+  | Sub (a, b) -> Sub (deriv_raw a id, deriv_raw b id)
+  | Mul (a, b) -> Add (Mul (deriv_raw a id, b), Mul (a, deriv_raw b id))
+  | Div (a, b) ->
+      Div (Sub (Mul (deriv_raw a id, b), Mul (a, deriv_raw b id)), Pow_int (b, 2))
+  | Pow_int (a, n) ->
+      Mul
+        ( Mul (Const (float_of_int n), Pow_int (a, Stdlib.( - ) n 1)),
+          deriv_raw a id )
+  | Sin a -> Mul (Cos a, deriv_raw a id)
+  | Cos a -> Neg (Mul (Sin a, deriv_raw a id))
+
+let deriv e id = simplify (deriv_raw e id)
+
+let is_linear_in e id =
+  match simplify e with
+  | Var v when v = id -> Some 1.0
+  | Mul (Const k, Var v) | Mul (Var v, Const k) when v = id -> Some k
+  | Div (Var v, Const k) when v = id && k <> 0.0 -> Some (Stdlib.( /. ) 1.0 k)
+  | Neg (Var v) when v = id -> Some (-1.0)
+  | Neg (Mul (Const k, Var v)) | Neg (Mul (Var v, Const k)) when v = id ->
+      Some (-.k)
+  | Const _ | Var _ | Neg _ | Add _ | Sub _ | Mul _ | Div _ | Pow_int _ | Sin _
+  | Cos _ ->
+      None
+
+let rec pp ppf = function
+  | Const x -> Format.fprintf ppf "%g" x
+  | Var id -> Format.fprintf ppf "v%d" id
+  | Neg a -> Format.fprintf ppf "-(%a)" pp a
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp a pp b
+  | Pow_int (a, n) -> Format.fprintf ppf "(%a)^%d" pp a n
+  | Sin a -> Format.fprintf ppf "sin(%a)" pp a
+  | Cos a -> Format.fprintf ppf "cos(%a)" pp a

@@ -1,0 +1,58 @@
+(** Symbolic amplitude expressions over AAIS variables.
+
+    Every instruction channel's strength is an expression in the device's
+    amplitude variables — e.g. the van-der-Waals channel is
+    [C6 / (4·(x_i − x_j)⁶)] and a Rabi channel is [(Ω/2)·cos φ].  Keeping
+    these symbolic gives the compiler three things for free: the variable
+    dependency sets that drive the locality decomposition, exact
+    Jacobians for the local solvers (no finite differences on the hot
+    path), and pattern hints that stay trustworthy because they are
+    checked against the expression structure in tests. *)
+
+type t =
+  | Const of float
+  | Var of int  (** a {!Variable.t} id *)
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Pow_int of t * int  (** integer exponent, may be negative *)
+  | Sin of t
+  | Cos of t
+
+val const : float -> t
+val var : Variable.t -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val pow : t -> int -> t
+val neg : t -> t
+val sin_ : t -> t
+val cos_ : t -> t
+
+val eval : t -> env:float array -> float
+(** Evaluate with variable [id] bound to [env.(id)].  Division by zero
+    and 0^negative follow IEEE semantics (yield infinities/NaN) so the
+    optimisers can see and reject the region. *)
+
+val deriv : t -> int -> t
+(** Exact symbolic partial derivative with respect to a variable id,
+    lightly simplified. *)
+
+val vars : t -> int list
+(** Distinct variable ids, ascending. *)
+
+val depends_on : t -> int -> bool
+
+val simplify : t -> t
+(** Constant folding and algebraic identities ([0·x], [x+0], [x^1], …).
+    Idempotent. *)
+
+val is_linear_in : t -> int -> float option
+(** [is_linear_in e v] is [Some k] when [e = k·(Var v)] exactly for a
+    constant [k] (detected structurally after simplification), i.e. the
+    channel is a pure linear drive of a time-critical variable. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** The Heisenberg AAIS (paper §2.1.2): directly tunable single-qubit
+    Pauli amplitudes [a^{P_i}·P_i] and same-Pauli two-qubit couplings
+    [a^{P_iP_j}·P_iP_j] along the device connectivity (chain or ring).
+
+    Every variable is runtime dynamic and time-critical, so compilation
+    is exact and the whole pipeline reduces to linear algebra — which is
+    why the paper reports a 100% compilation-error reduction on this
+    backend. *)
+
+type t = {
+  aais : Aais.t;
+  spec : Device.heisenberg;
+  n : int;
+  singles : Variable.t array array;
+      (** [singles.(i).(p)] with [p] indexing X=0, Y=1, Z=2 *)
+  pairs : (int * int * Variable.t array) list;
+      (** [(i, j, vars)] per connected pair, [vars] indexed like singles *)
+}
+
+val build : spec:Device.heisenberg -> n:int -> t
+(** Chain connectivity [(i, i+1)], plus the wrap-around pair when
+    [spec.ring]. *)
+
+val hamiltonian : t -> env:float array -> Qturbo_pauli.Pauli_sum.t
+(** The simulator Hamiltonian at the given amplitudes. *)
+
+val pauli_ops : Qturbo_pauli.Pauli.op array
+(** [[|X; Y; Z|]], the index convention of [singles]/[pairs]. *)

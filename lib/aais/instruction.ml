@@ -1,0 +1,77 @@
+open Qturbo_pauli
+
+type effect = { pstring : Pauli_string.t; coeff : float }
+
+type solver_hint =
+  | Hint_linear of { var : int; slope : float }
+  | Hint_polar_cos of { amp : int; phase : int; scale : float }
+  | Hint_polar_sin of { amp : int; phase : int; scale : float }
+  | Hint_fixed
+  | Hint_generic
+
+type channel = {
+  cid : int;
+  label : string;
+  expr : Expr.t;
+  effects : effect list;
+  hint : solver_hint;
+}
+
+type t = { label : string; channels : channel list; variables : int list }
+
+let validate_hint c =
+  match c.hint with
+  | Hint_linear { var; slope } -> (
+      match Expr.is_linear_in c.expr var with
+      | Some k -> Float.abs (k -. slope) <= 1e-12 *. Float.max 1.0 (Float.abs k)
+      | None -> false)
+  | Hint_polar_cos { amp; phase; scale } | Hint_polar_sin { amp; phase; scale }
+    ->
+      (* structural check: depends on exactly {amp, phase}; numerical
+         check at a few probe points against the declared closed form *)
+      Expr.vars c.expr = List.sort Int.compare [ amp; phase ]
+      && begin
+           let is_sin =
+             match c.hint with
+             | Hint_polar_sin _ -> true
+             | Hint_polar_cos _ | Hint_linear _ | Hint_fixed | Hint_generic ->
+                 false
+           in
+           let n = 1 + Int.max amp phase in
+           let probe (a, p) =
+             let env = Array.make n 0.0 in
+             env.(amp) <- a;
+             env.(phase) <- p;
+             let expect =
+               if is_sin then scale *. a *. sin p else scale *. a *. cos p
+             in
+             Float.abs (Expr.eval c.expr ~env -. expect)
+             <= 1e-9 *. Float.max 1.0 (Float.abs expect)
+           in
+           List.for_all probe
+             [ (1.0, 0.0); (2.0, 0.7); (0.5, -1.3); (3.0, 2.9) ]
+         end
+  | Hint_fixed | Hint_generic -> true
+
+let channel ~cid ~label ~expr ~effects ~hint =
+  let c = { cid; label; expr; effects; hint } in
+  if not (validate_hint c) then
+    invalid_arg ("Instruction.channel: hint contradicts expression: " ^ label);
+  c
+
+module Int_set = Set.Make (Int)
+
+let make ~label ~channels =
+  let variables =
+    List.fold_left
+      (fun acc c -> Int_set.union acc (Int_set.of_list (Expr.vars c.expr)))
+      Int_set.empty channels
+    |> Int_set.elements
+  in
+  { label; channels; variables }
+
+let effect_terms c =
+  List.filter_map
+    (fun { pstring; coeff } ->
+      if Pauli_string.is_identity pstring then None else Some (pstring, coeff))
+    c.effects

@@ -1,0 +1,144 @@
+let fp = Printf.sprintf "%h"
+
+let floats_line label xs =
+  label ^ " " ^ String.concat " " (Array.to_list (Array.map fp xs))
+
+let to_string (p : Pulse.rydberg) =
+  let b = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let s = p.Pulse.spec in
+  addf "rydberg-pulse v1";
+  addf "device %s" s.Device.name;
+  addf "spec %h %h %h %h %h %h %h %s %s" s.Device.c6 s.Device.omega_max
+    s.Device.delta_max s.Device.min_separation s.Device.max_extent
+    s.Device.max_time s.Device.omega_slew_max
+    (match s.Device.control with Device.Global -> "global" | Device.Local -> "local")
+    (match s.Device.geometry with Device.Line -> "line" | Device.Plane -> "plane");
+  addf "atoms %d" (Array.length p.Pulse.positions);
+  Array.iteri
+    (fun i (x, y) -> addf "atom %d %h %h" i x y)
+    p.Pulse.positions;
+  List.iter
+    (fun (seg : Pulse.rydberg_segment) ->
+      addf "segment %h" seg.Pulse.duration;
+      addf "%s" (floats_line "omega" seg.Pulse.omega);
+      addf "%s" (floats_line "phi" seg.Pulse.phi);
+      addf "%s" (floats_line "delta" seg.Pulse.delta))
+    p.Pulse.segments;
+  addf "end";
+  Buffer.contents b
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+let parse_float w =
+  try float_of_string w with Failure _ -> fail "bad float %S" w
+
+let parse_floats label ws expected =
+  let xs = Array.of_list (List.map parse_float ws) in
+  if Array.length xs <> expected then
+    fail "%s: expected %d values, got %d" label expected (Array.length xs);
+  xs
+
+let of_string text =
+  try
+    let lines =
+      String.split_on_char '\n' text
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "")
+    in
+    let rest = ref lines in
+    let next () =
+      match !rest with
+      | [] -> fail "unexpected end of input"
+      | l :: tl ->
+          rest := tl;
+          l
+    in
+    (match next () with
+    | "rydberg-pulse v1" -> ()
+    | other -> fail "bad header %S" other);
+    let name =
+      match words (next ()) with
+      | "device" :: parts -> String.concat " " parts
+      | _ -> fail "expected device line"
+    in
+    let spec =
+      match words (next ()) with
+      | [ "spec"; c6; om; dm; sep; ext; mt; slew; control; geometry ] ->
+          {
+            Device.name;
+            c6 = parse_float c6;
+            omega_max = parse_float om;
+            delta_max = parse_float dm;
+            min_separation = parse_float sep;
+            max_extent = parse_float ext;
+            max_time = parse_float mt;
+            omega_slew_max = parse_float slew;
+            control =
+              (match control with
+              | "global" -> Device.Global
+              | "local" -> Device.Local
+              | other -> fail "bad control %S" other);
+            geometry =
+              (match geometry with
+              | "line" -> Device.Line
+              | "plane" -> Device.Plane
+              | other -> fail "bad geometry %S" other);
+          }
+      | _ -> fail "expected spec line"
+    in
+    let n =
+      match words (next ()) with
+      | [ "atoms"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 -> n
+          | Some _ | None -> fail "bad atom count %S" n)
+      | _ -> fail "expected atoms line"
+    in
+    let positions =
+      Array.init n (fun i ->
+          match words (next ()) with
+          | [ "atom"; idx; x; y ] ->
+              if int_of_string_opt idx <> Some i then fail "atom %d out of order" i;
+              (parse_float x, parse_float y)
+          | _ -> fail "expected atom line %d" i)
+    in
+    let segments = ref [] in
+    let finished = ref false in
+    while not !finished do
+      match words (next ()) with
+      | [ "end" ] -> finished := true
+      | [ "segment"; duration ] ->
+          let duration = parse_float duration in
+          let channel label =
+            match words (next ()) with
+            | l :: ws when l = label -> parse_floats label ws n
+            | _ -> fail "expected %s line" label
+          in
+          let omega = channel "omega" in
+          let phi = channel "phi" in
+          let delta = channel "delta" in
+          segments := { Pulse.duration; omega; phi; delta } :: !segments
+      | other -> fail "unexpected line %S" (String.concat " " other)
+    done;
+    Ok { Pulse.spec; positions; segments = List.rev !segments }
+  with Parse_error msg -> Error msg
+
+let save ~path pulse =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string pulse))
+
+let load ~path =
+  match open_in path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> of_string (In_channel.input_all ic))
+  | exception Sys_error msg -> Error msg

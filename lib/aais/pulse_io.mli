@@ -1,0 +1,15 @@
+(** Plain-text serialization of Rydberg pulse schedules.
+
+    The compiler's output artifact can be saved, diffed and reloaded — the
+    moral equivalent of SimuQ exporting Braket pulse programs.  The format
+    is line-oriented and versioned; floats round-trip exactly (hex float
+    literals). *)
+
+val to_string : Pulse.rydberg -> string
+
+val of_string : string -> (Pulse.rydberg, string) result
+(** Parse; [Error msg] describes the first offending line. *)
+
+val save : path:string -> Pulse.rydberg -> unit
+
+val load : path:string -> (Pulse.rydberg, string) result

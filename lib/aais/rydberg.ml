@@ -1,0 +1,291 @@
+open Qturbo_pauli
+
+type t = {
+  aais : Aais.t;
+  spec : Device.rydberg;
+  n : int;
+  xs : Variable.t array;
+  ys : Variable.t array option;
+  deltas : Variable.t array;
+  omegas : Variable.t array;
+  phis : Variable.t array;
+}
+
+(* Default inter-atom spacing for initial layouts: comfortably above the
+   minimum separation and in the range where C6/(4d^6) is of order the
+   MHz-scale couplings the benchmarks target. *)
+let default_spacing = 9.0
+
+let chain_inits n = Array.init n (fun i -> (float_of_int i *. default_spacing, 0.0))
+
+let polygon_inits n =
+  if n = 1 then [| (0.0, 0.0) |]
+  else begin
+    let r = default_spacing /. (2.0 *. sin (Float.pi /. float_of_int n)) in
+    let raw =
+      Array.init n (fun k ->
+          let th = 2.0 *. Float.pi *. float_of_int k /. float_of_int n in
+          (r *. cos th, r *. sin th))
+    in
+    (* translate so atom 0 sits at the origin, rotate so atom 1 has y = 0 *)
+    let x0, y0 = raw.(0) in
+    let shifted = Array.map (fun (x, y) -> (x -. x0, y -. y0)) raw in
+    let x1, y1 = shifted.(Int.min 1 (n - 1)) in
+    let d = Float.max 1e-12 (sqrt ((x1 *. x1) +. (y1 *. y1))) in
+    let c = x1 /. d and s = y1 /. d in
+    Array.map (fun (x, y) -> ((c *. x) +. (s *. y), (c *. y) -. (s *. x))) shifted
+  end
+
+let check_layout_positions ~spec positions =
+  let n = Array.length positions in
+  let violations = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let xi, yi = positions.(i) and xj, yj = positions.(j) in
+      let d = sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0)) in
+      if d < spec.Device.min_separation then
+        violations :=
+          Printf.sprintf "atoms %d,%d separated by %.2f um < %.2f um" i j d
+            spec.Device.min_separation
+          :: !violations
+    done
+  done;
+  let xs = Array.map fst positions and ys = Array.map snd positions in
+  let extent coords =
+    let lo = Array.fold_left Float.min infinity coords in
+    let hi = Array.fold_left Float.max neg_infinity coords in
+    hi -. lo
+  in
+  let span = Float.max (extent xs) (extent ys) in
+  if span > spec.Device.max_extent then
+    violations :=
+      Printf.sprintf "layout spans %.1f um > %.1f um window" span
+        spec.Device.max_extent
+      :: !violations;
+  List.rev !violations
+
+let build ~spec ~n =
+  if n < 1 then invalid_arg "Rydberg.build: need at least one atom";
+  let pool = Variable.create_pool () in
+  let inits =
+    match spec.Device.geometry with
+    | Device.Line -> chain_inits n
+    | Device.Plane -> polygon_inits n
+  in
+  let extent = spec.Device.max_extent in
+  let coord ~name ~pinned ~init =
+    if pinned then Variable.fresh pool ~name ~kind:Variable.Runtime_fixed ~lo:0.0 ~hi:0.0 ~init:0.0 ()
+    else
+      Variable.fresh pool ~name ~kind:Variable.Runtime_fixed ~lo:(-2.0 *. extent)
+        ~hi:(2.0 *. extent) ~init ()
+  in
+  let xs =
+    Array.init n (fun i ->
+        coord ~name:(Printf.sprintf "x%d" i) ~pinned:(i = 0) ~init:(fst inits.(i)))
+  in
+  let ys =
+    match spec.Device.geometry with
+    | Device.Line -> None
+    | Device.Plane ->
+        Some
+          (Array.init n (fun i ->
+               coord
+                 ~name:(Printf.sprintf "y%d" i)
+                 ~pinned:(i = 0 || i = 1)
+                 ~init:(snd inits.(i))))
+  in
+  let n_controls =
+    match spec.Device.control with Device.Global -> 1 | Device.Local -> n
+  in
+  let deltas =
+    Array.init n_controls (fun i ->
+        Variable.fresh pool
+          ~name:(Printf.sprintf "delta%d" i)
+          ~kind:Variable.Runtime_dynamic ~lo:(-.spec.Device.delta_max)
+          ~hi:spec.Device.delta_max ~init:0.0 ())
+  in
+  let omegas =
+    Array.init n_controls (fun i ->
+        Variable.fresh pool
+          ~name:(Printf.sprintf "omega%d" i)
+          ~kind:Variable.Runtime_dynamic ~lo:0.0 ~hi:spec.Device.omega_max
+          ~init:0.0 ())
+  in
+  let phis =
+    Array.init n_controls (fun i ->
+        Variable.fresh pool
+          ~name:(Printf.sprintf "phi%d" i)
+          ~kind:Variable.Runtime_dynamic ~lo:(-.Float.pi) ~hi:Float.pi ~init:0.0 ())
+  in
+  let next_cid = ref 0 in
+  let fresh_cid () =
+    let c = !next_cid in
+    incr next_cid;
+    c
+  in
+  let dist6_expr i j =
+    let dx = Expr.(var xs.(i) - var xs.(j)) in
+    match ys with
+    | None -> Expr.pow dx 6
+    | Some ys -> Expr.(pow (pow dx 2 + pow (var ys.(i) - var ys.(j)) 2) 3)
+  in
+  let vdw_instructions =
+    List.concat
+      (List.init n (fun i ->
+           List.filter_map
+             (fun j ->
+               if j <= i then None
+               else
+                 let expr =
+                   Expr.(const (spec.Device.c6 /. 4.0) / dist6_expr i j)
+                 in
+                 let effects =
+                   [
+                     {
+                       Instruction.pstring = Pauli_string.two i Pauli.Z j Pauli.Z;
+                       coeff = 1.0;
+                     };
+                     { Instruction.pstring = Pauli_string.single i Pauli.Z; coeff = -1.0 };
+                     { Instruction.pstring = Pauli_string.single j Pauli.Z; coeff = -1.0 };
+                   ]
+                 in
+                 let channel =
+                   Instruction.channel ~cid:(fresh_cid ())
+                     ~label:(Printf.sprintf "vdw(%d,%d)" i j)
+                     ~expr ~effects ~hint:Instruction.Hint_fixed
+                 in
+                 Some
+                   (Instruction.make
+                      ~label:(Printf.sprintf "vdw(%d,%d)" i j)
+                      ~channels:[ channel ]))
+             (List.init n Fun.id)))
+  in
+  let control_index i =
+    match spec.Device.control with Device.Global -> 0 | Device.Local -> i
+  in
+  let detuning_instructions =
+    match spec.Device.control with
+    | Device.Local ->
+        List.init n (fun i ->
+            let expr = Expr.(const 0.5 * var deltas.(i)) in
+            let channel =
+              Instruction.channel ~cid:(fresh_cid ())
+                ~label:(Printf.sprintf "detuning(%d)" i)
+                ~expr
+                ~effects:
+                  [ { Instruction.pstring = Pauli_string.single i Pauli.Z; coeff = 1.0 } ]
+                ~hint:
+                  (Instruction.Hint_linear
+                     { var = deltas.(i).Variable.id; slope = 0.5 })
+            in
+            Instruction.make ~label:(Printf.sprintf "detuning(%d)" i)
+              ~channels:[ channel ])
+    | Device.Global ->
+        let channels =
+          List.init n (fun i ->
+              Instruction.channel ~cid:(fresh_cid ())
+                ~label:(Printf.sprintf "detuning-global@%d" i)
+                ~expr:Expr.(const 0.5 * var deltas.(0))
+                ~effects:
+                  [ { Instruction.pstring = Pauli_string.single i Pauli.Z; coeff = 1.0 } ]
+                ~hint:
+                  (Instruction.Hint_linear
+                     { var = deltas.(0).Variable.id; slope = 0.5 }))
+        in
+        [ Instruction.make ~label:"detuning(global)" ~channels ]
+  in
+  let rabi_channels i =
+    let k = control_index i in
+    let omega = omegas.(k) and phi = phis.(k) in
+    let cos_channel =
+      Instruction.channel ~cid:(fresh_cid ())
+        ~label:(Printf.sprintf "rabi-cos(%d)" i)
+        ~expr:Expr.(const 0.5 * var omega * cos_ (var phi))
+        ~effects:
+          [ { Instruction.pstring = Pauli_string.single i Pauli.X; coeff = 1.0 } ]
+        ~hint:
+          (Instruction.Hint_polar_cos
+             { amp = omega.Variable.id; phase = phi.Variable.id; scale = 0.5 })
+    in
+    let sin_channel =
+      Instruction.channel ~cid:(fresh_cid ())
+        ~label:(Printf.sprintf "rabi-sin(%d)" i)
+        ~expr:Expr.(neg (const 0.5 * var omega * sin_ (var phi)))
+        ~effects:
+          [ { Instruction.pstring = Pauli_string.single i Pauli.Y; coeff = 1.0 } ]
+        ~hint:
+          (Instruction.Hint_polar_sin
+             { amp = omega.Variable.id; phase = phi.Variable.id; scale = -0.5 })
+    in
+    [ cos_channel; sin_channel ]
+  in
+  let rabi_instructions =
+    match spec.Device.control with
+    | Device.Local ->
+        List.init n (fun i ->
+            Instruction.make
+              ~label:(Printf.sprintf "rabi(%d)" i)
+              ~channels:(rabi_channels i))
+    | Device.Global ->
+        [
+          Instruction.make ~label:"rabi(global)"
+            ~channels:(List.concat (List.init n rabi_channels));
+        ]
+  in
+  let instructions = vdw_instructions @ detuning_instructions @ rabi_instructions in
+  let positions_of_env env =
+    Array.init n (fun i ->
+        let x = env.(xs.(i).Variable.id) in
+        let y = match ys with None -> 0.0 | Some ys -> env.(ys.(i).Variable.id) in
+        (x, y))
+  in
+  let check_fixed env = check_layout_positions ~spec (positions_of_env env) in
+  let aais =
+    Aais.make ~name:(Printf.sprintf "rydberg[%s,n=%d]" spec.Device.name n)
+      ~n_qubits:n ~pool ~instructions ~check_fixed ()
+  in
+  { aais; spec; n; xs; ys; deltas; omegas; phis }
+
+let positions t ~env =
+  Array.init t.n (fun i ->
+      let x = env.(t.xs.(i).Variable.id) in
+      let y =
+        match t.ys with None -> 0.0 | Some ys -> env.(ys.(i).Variable.id)
+      in
+      (x, y))
+
+let distance t ~env i j =
+  let ps = positions t ~env in
+  let xi, yi = ps.(i) and xj, yj = ps.(j) in
+  sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0))
+
+let hamiltonian_of_pulse ~spec ~positions ~omega ~phi ~delta =
+  let n = Array.length positions in
+  if Array.length omega <> n || Array.length phi <> n || Array.length delta <> n
+  then invalid_arg "Rydberg.hamiltonian_of_pulse: per-atom array lengths";
+  let h = ref Pauli_sum.zero in
+  let add c s = h := Pauli_sum.add_term !h s c in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let xi, yi = positions.(i) and xj, yj = positions.(j) in
+      let d2 = ((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0) in
+      let a = spec.Device.c6 /. (4.0 *. (d2 ** 3.0)) in
+      add a (Pauli_string.two i Pauli.Z j Pauli.Z);
+      add (-.a) (Pauli_string.single i Pauli.Z);
+      add (-.a) (Pauli_string.single j Pauli.Z)
+    done;
+    add (delta.(i) /. 2.0) (Pauli_string.single i Pauli.Z);
+    add (omega.(i) /. 2.0 *. cos phi.(i)) (Pauli_string.single i Pauli.X);
+    add (-.(omega.(i) /. 2.0) *. sin phi.(i)) (Pauli_string.single i Pauli.Y)
+  done;
+  !h
+
+let hamiltonian t ~env =
+  let k i =
+    match t.spec.Device.control with Device.Global -> 0 | Device.Local -> i
+  in
+  let per_atom vars = Array.init t.n (fun i -> env.(vars.(k i).Variable.id)) in
+  hamiltonian_of_pulse ~spec:t.spec ~positions:(positions t ~env)
+    ~omega:(per_atom t.omegas) ~phi:(per_atom t.phis) ~delta:(per_atom t.deltas)
+
+let check_layout ~spec positions = check_layout_positions ~spec positions

@@ -1,0 +1,54 @@
+(** The Rydberg AAIS (paper §2.1.1): van-der-Waals pair interactions
+    controlled by runtime-fixed atom positions, plus detuning and Rabi
+    drive instructions controlled by runtime-dynamic variables.
+
+    {ul
+    {- van der Waals, for every atom pair (i, j):
+       [C6/|x_i−x_j|⁶ · n̂_i n̂_j], expanding to Z_iZ_j, Z_i, Z_j (and an
+       ignored identity shift) with synthesized amplitude
+       [C6/(4 d⁶)];}
+    {- detuning, per atom (or one global): [−Δ n̂_i], synthesized
+       amplitude [Δ/2] feeding Z_i;}
+    {- Rabi drive, per atom (or one global):
+       [(Ω/2)cos φ · X_i − (Ω/2)sin φ · Y_i], a cos/sin channel pair.}} *)
+
+type t = {
+  aais : Aais.t;
+  spec : Device.rydberg;
+  n : int;
+  xs : Variable.t array;  (** per-atom x coordinates (runtime fixed) *)
+  ys : Variable.t array option;  (** y coordinates; [None] for 1-D *)
+  deltas : Variable.t array;  (** length [n], or 1 under global control *)
+  omegas : Variable.t array;
+  phis : Variable.t array;
+}
+
+val build : spec:Device.rydberg -> n:int -> t
+(** Build the AAIS for [n] atoms.  Atom 0 is pinned at the origin (and
+    atom 1 at [y = 0] in planar geometry) to fix the translation/rotation
+    gauge of the position solve.  Initial positions are an evenly spaced
+    chain (1-D) or regular polygon (2-D). *)
+
+val positions : t -> env:float array -> (float * float) array
+(** Atom coordinates under an environment ([y = 0] in 1-D). *)
+
+val distance : t -> env:float array -> int -> int -> float
+
+val hamiltonian : t -> env:float array -> Qturbo_pauli.Pauli_sum.t
+(** The physical simulator Hamiltonian at the given variable values:
+    van-der-Waals from the positions plus the detuning/Rabi drives.  Used
+    for theory curves and by the device emulator. *)
+
+val hamiltonian_of_pulse :
+  spec:Device.rydberg ->
+  positions:(float * float) array ->
+  omega:float array ->
+  phi:float array ->
+  delta:float array ->
+  Qturbo_pauli.Pauli_sum.t
+(** Same physics from explicit pulse parameters (per-atom arrays), without
+    an AAIS instance — the emulator's entry point. *)
+
+val check_layout : spec:Device.rydberg -> (float * float) array -> string list
+(** Geometric constraint violations: pairwise separation below
+    [min_separation], or the bounding box exceeding [max_extent]. *)

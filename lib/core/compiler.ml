@@ -1,0 +1,285 @@
+open Qturbo_aais
+open Qturbo_pauli
+
+let src = Logs.Src.create "qturbo.compiler" ~doc:"QTurbo compilation pipeline"
+
+module Log = (val Logs.src_log src)
+
+type options = {
+  refine : bool;
+  time_opt : bool;
+  no_opt_padding : float;
+  dt_factor : float;
+  max_constraint_iters : int;
+  time_floor : float;
+  dense_linear_solver : bool;
+  generic_local_solver : bool;
+}
+
+let default_options =
+  {
+    refine = true;
+    time_opt = true;
+    no_opt_padding = 3.0;
+    dt_factor = 1.25;
+    max_constraint_iters = 24;
+    time_floor = 1e-4;
+    dense_linear_solver = false;
+    generic_local_solver = false;
+  }
+
+type component_summary = {
+  classification : string;
+  channels : int;
+  variables : int;
+  min_time : float;
+  eps2 : float;
+}
+
+type result = {
+  env : float array;
+  t_sim : float;
+  alpha_target : float array;
+  alpha_achieved : float array;
+  error_l1 : float;
+  relative_error : float;
+  eps1 : float;
+  eps2_total : float;
+  theorem1_bound : float;
+  components : component_summary list;
+  constraint_iterations : int;
+  compile_seconds : float;
+  warnings : string list;
+}
+
+let classification_name = function
+  | Local_solver.Const_channels -> "const"
+  | Local_solver.Linear _ -> "linear"
+  | Local_solver.Polar _ -> "polar"
+  | Local_solver.Fixed_vars -> "fixed"
+  | Local_solver.Generic -> "generic"
+
+(* Solve every component at the given evolution time, returning the full
+   environment and the per-component residuals. *)
+let solve_components ~vars ~channels ~alpha ~t_sim comps classifications =
+  let env = Array.map (fun (v : Variable.t) -> v.Variable.init) vars in
+  let eps2s =
+    List.map2
+      (fun comp classification ->
+        let assignments, eps2 =
+          match classification with
+          | Local_solver.Fixed_vars ->
+              let { Fixed_solver.assignments; eps2 } =
+                Fixed_solver.solve ~vars ~channels ~alpha ~t_sim comp
+              in
+              (assignments, eps2)
+          | Local_solver.Const_channels | Local_solver.Linear _
+          | Local_solver.Polar _ | Local_solver.Generic ->
+              let { Local_solver.assignments; eps2 } =
+                Local_solver.solve_at ~vars ~channels ~alpha ~t_sim comp
+                  classification
+              in
+              (assignments, eps2)
+        in
+        List.iter (fun (v, x) -> env.(v) <- x) assignments;
+        eps2)
+      comps classifications
+  in
+  (env, eps2s)
+
+let alpha_achieved_of_env ~channels ~env ~t_sim =
+  Array.map
+    (fun (c : Instruction.channel) ->
+      Expr.eval c.Instruction.expr ~env *. t_sim)
+    channels
+
+let b_tar_norm1 ~aais ~target ~t_tar =
+  let channels = Aais.channels aais in
+  let ls = Linear_system.build ~channels ~target ~t_tar in
+  Array.fold_left (fun acc b -> acc +. Float.abs b) 0.0 ls.Linear_system.b_tar
+
+let compile ?(options = default_options) ~aais ~target ~t_tar () =
+  if t_tar <= 0.0 then invalid_arg "Compiler.compile: t_tar <= 0";
+  if Pauli_sum.n_qubits target > aais.Aais.n_qubits then
+    invalid_arg "Compiler.compile: target touches qubits outside the AAIS";
+  let t0 = Sys.time () in
+  let warnings = ref [] in
+  let channels = Aais.channels aais in
+  let vars = Aais.variables aais in
+  (* stage 1: global linear system over synthesized variables *)
+  let ls = Linear_system.build ~channels ~target ~t_tar in
+  let lin =
+    if options.dense_linear_solver then Linear_system.solve_dense ls
+    else Linear_system.solve ls
+  in
+  let alpha = lin.Qturbo_linalg.Sparse_solve.x in
+  let eps1 = lin.Qturbo_linalg.Sparse_solve.residual_l1 in
+  Log.debug (fun m ->
+      let st = lin.Qturbo_linalg.Sparse_solve.stats in
+      m "linear system: %d rows, %d channels, greedy %d / dense %d, eps1 %.3g"
+        (Term_index.count ls.Linear_system.index)
+        (Array.length channels)
+        st.Qturbo_linalg.Sparse_solve.greedy_solved
+        st.Qturbo_linalg.Sparse_solve.dense_solved eps1);
+  (* stage 2: locality decomposition and classification *)
+  let comps =
+    Locality.decompose ~channels ~n_vars:(Array.length vars)
+  in
+  let classifications =
+    List.map
+      (fun comp ->
+        match Local_solver.classify ~vars ~channels comp with
+        | (Local_solver.Linear _ | Local_solver.Polar _)
+          when options.generic_local_solver ->
+            Local_solver.Generic
+        | cls -> cls)
+      comps
+  in
+  (* stage 3: evolution-time optimisation (bottleneck component) *)
+  let min_times =
+    List.map2
+      (fun comp cls -> Local_solver.min_time ~vars ~channels ~alpha comp cls)
+      comps classifications
+  in
+  let bottleneck = List.fold_left Float.max 0.0 min_times in
+  Log.debug (fun m ->
+      m "locality: %d components, bottleneck evolution time %.4g"
+        (List.length comps) bottleneck);
+  if bottleneck = infinity then
+    warnings := "some component is infeasible at any evolution time" :: !warnings;
+  let t_base =
+    if bottleneck = infinity || bottleneck = 0.0 then options.time_floor
+    else Float.max options.time_floor bottleneck
+  in
+  let t_start = if options.time_opt then t_base else t_base *. options.no_opt_padding in
+  (* stage 4: solve localized systems, iterating T upward while the
+     runtime-fixed layout violates device geometry (paper §5.2) *)
+  let rec attempt t iter =
+    let env, eps2s =
+      solve_components ~vars ~channels ~alpha ~t_sim:t comps classifications
+    in
+    let violations = aais.Aais.check_fixed env in
+    if violations = [] || iter >= options.max_constraint_iters then begin
+      if violations <> [] then
+        warnings :=
+          Printf.sprintf "layout constraints unresolved after %d iterations: %s"
+            iter
+            (String.concat "; " violations)
+          :: !warnings;
+      (t, env, eps2s, iter)
+    end
+    else attempt (t *. options.dt_factor) (iter + 1)
+  in
+  let t_sim, env, eps2s, constraint_iterations = attempt t_start 0 in
+  Log.debug (fun m ->
+      m "localized systems solved at T = %.4g after %d constraint iterations"
+        t_sim constraint_iterations);
+  (* stage 5: iterative refinement (§6.2) — re-solve the runtime-dynamic
+     channels against the residual left by the achieved fixed channels *)
+  let achieved = alpha_achieved_of_env ~channels ~env ~t_sim in
+  let env, eps2s =
+    if not options.refine then (env, eps2s)
+    else begin
+      let fixed_cid = Array.make (Array.length channels) false in
+      List.iter2
+        (fun comp cls ->
+          match cls with
+          | Local_solver.Fixed_vars ->
+              List.iter
+                (fun cid -> fixed_cid.(cid) <- true)
+                comp.Locality.channel_ids
+          | Local_solver.Const_channels | Local_solver.Linear _
+          | Local_solver.Polar _ | Local_solver.Generic ->
+              ())
+        comps classifications;
+      (* residual RHS: move the achieved fixed-channel contributions over *)
+      let rows = Array.of_list (Linear_system.rows ls) in
+      let adjusted_rows =
+        Array.to_list
+          (Array.map
+             (fun { Qturbo_linalg.Sparse_solve.cells; rhs } ->
+               let fixed_part =
+                 List.fold_left
+                   (fun acc (cid, coeff) ->
+                     if fixed_cid.(cid) then acc +. (coeff *. achieved.(cid))
+                     else acc)
+                   0.0 cells
+               in
+               {
+                 Qturbo_linalg.Sparse_solve.cells =
+                   List.filter (fun (cid, _) -> not fixed_cid.(cid)) cells;
+                 rhs = rhs -. fixed_part;
+               })
+             rows)
+      in
+      let refined =
+        Qturbo_linalg.Sparse_solve.solve ~ncols:(Array.length channels)
+          adjusted_rows
+      in
+      let alpha_refined = refined.Qturbo_linalg.Sparse_solve.x in
+      (* keep the fixed channels' original targets for eps accounting *)
+      Array.iteri
+        (fun cid is_fixed -> if is_fixed then alpha_refined.(cid) <- alpha.(cid))
+        fixed_cid;
+      (* re-solve only the dynamic components at the same T *)
+      let env = Array.copy env in
+      let eps2s =
+        List.map2
+          (fun comp cls ->
+            match cls with
+            | Local_solver.Fixed_vars ->
+                (* unchanged: recompute its eps2 against original targets *)
+                List.fold_left
+                  (fun acc cid -> acc +. Float.abs (achieved.(cid) -. alpha.(cid)))
+                  0.0 comp.Locality.channel_ids
+            | Local_solver.Const_channels | Local_solver.Linear _
+            | Local_solver.Polar _ | Local_solver.Generic ->
+                let { Local_solver.assignments; eps2 } =
+                  Local_solver.solve_at ~vars ~channels ~alpha:alpha_refined
+                    ~t_sim comp cls
+                in
+                List.iter (fun (v, x) -> env.(v) <- x) assignments;
+                eps2)
+          comps classifications
+      in
+      (env, eps2s)
+    end
+  in
+  let alpha_achieved = alpha_achieved_of_env ~channels ~env ~t_sim in
+  let error_l1 = Linear_system.residual_l1 ls ~alpha:alpha_achieved in
+  let b_norm =
+    Array.fold_left (fun acc b -> acc +. Float.abs b) 0.0 ls.Linear_system.b_tar
+  in
+  let eps2_total = List.fold_left ( +. ) 0.0 eps2s in
+  let components =
+    List.map2
+      (fun (comp : Locality.component) (cls, (tmin, eps2)) ->
+        {
+          classification = classification_name cls;
+          channels = List.length comp.Locality.channel_ids;
+          variables = List.length comp.Locality.var_ids;
+          min_time = tmin;
+          eps2;
+        })
+      comps
+      (List.map2
+         (fun cls pair -> (cls, pair))
+         classifications
+         (List.combine min_times eps2s))
+  in
+  {
+    env;
+    t_sim;
+    alpha_target = alpha;
+    alpha_achieved;
+    error_l1;
+    relative_error =
+      (if b_norm > 0.0 then error_l1 /. b_norm *. 100.0 else 0.0);
+    eps1;
+    eps2_total;
+    theorem1_bound = (Linear_system.norm1 ls *. eps2_total) +. eps1;
+    components;
+    constraint_iterations;
+    compile_seconds = Sys.time () -. t0;
+    warnings = List.rev !warnings;
+  }

@@ -1,0 +1,76 @@
+(** The QTurbo compilation pipeline (paper §4–§6) for time-independent
+    targets.
+
+    Stages: build the global linear system over synthesized variables and
+    solve it (greedy structural pass, dense fallback); decompose channels
+    and variables into locality components; take [T_sim] as the maximum of
+    the components' shortest feasible evolution times (the bottleneck
+    instruction runs at full amplitude); solve each localized mixed system
+    at [T_sim] — closed forms for linear/polar components, damped
+    least squares for the runtime-fixed (position) components; iterate
+    [T_sim] upward if the layout violates device geometry; finally apply
+    the §6.2 refinement, re-solving the runtime-dynamic channels against
+    the residual left by the achieved runtime-fixed amplitudes. *)
+
+type options = {
+  refine : bool;  (** §6.2 iterative refinement (default true) *)
+  time_opt : bool;
+      (** §5.1 evolution-time optimisation; when false, [T_sim] is padded
+          by [no_opt_padding] — the ablation baseline *)
+  no_opt_padding : float;  (** default 3.0 *)
+  dt_factor : float;
+      (** multiplicative [Δt] step of the §5.2 constraint iteration
+          (default 1.25) *)
+  max_constraint_iters : int;  (** default 24 *)
+  time_floor : float;  (** smallest allowed [T_sim] (default 1e-4) *)
+  dense_linear_solver : bool;
+      (** force the dense least-squares path (linear-solver ablation) *)
+  generic_local_solver : bool;
+      (** ignore the analytic linear/polar patterns and solve every
+          dynamic component through the generic bisection + LM path
+          (local-solver ablation) *)
+}
+
+val default_options : options
+
+type component_summary = {
+  classification : string;  (** ["linear"|"polar"|"fixed"|"const"|"generic"] *)
+  channels : int;
+  variables : int;
+  min_time : float;
+  eps2 : float;
+}
+
+type result = {
+  env : float array;  (** value of every AAIS variable *)
+  t_sim : float;  (** compiled evolution time (µs) *)
+  alpha_target : float array;  (** linear-system solution per channel *)
+  alpha_achieved : float array;  (** [expr(env)·T_sim] per channel *)
+  error_l1 : float;  (** [‖B_sim − B_tar‖₁] (paper Eq. 9) *)
+  relative_error : float;  (** [error_l1 / ‖B_tar‖₁ × 100] (%) *)
+  eps1 : float;  (** linear-system residual (Theorem 1's ε₁) *)
+  eps2_total : float;  (** Σ of localized-system residuals (Σε₂ⁱ) *)
+  theorem1_bound : float;  (** [‖M‖₁·Σε₂ + ε₁] — must dominate [error_l1] *)
+  components : component_summary list;
+  constraint_iterations : int;
+  compile_seconds : float;  (** CPU time of the compilation *)
+  warnings : string list;
+}
+
+val compile :
+  ?options:options ->
+  aais:Qturbo_aais.Aais.t ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  t_tar:float ->
+  unit ->
+  result
+(** Raises [Invalid_argument] when [t_tar <= 0] or the target touches
+    qubits outside the AAIS. *)
+
+val b_tar_norm1 :
+  aais:Qturbo_aais.Aais.t ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  t_tar:float ->
+  float
+(** [‖B_tar‖₁] over the compiler's row set (identity excluded); the
+    denominator of the relative-error metric. *)

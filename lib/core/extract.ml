@@ -1,0 +1,43 @@
+open Qturbo_aais
+
+let per_atom (ryd : Rydberg.t) vars env =
+  let k i =
+    match ryd.Rydberg.spec.Device.control with
+    | Device.Global -> 0
+    | Device.Local -> i
+  in
+  Array.init ryd.Rydberg.n (fun i -> env.(vars.(k i).Variable.id))
+
+let rydberg_segment ryd env duration =
+  {
+    Pulse.duration;
+    omega = per_atom ryd ryd.Rydberg.omegas env;
+    phi = per_atom ryd ryd.Rydberg.phis env;
+    delta = per_atom ryd ryd.Rydberg.deltas env;
+  }
+
+let rydberg_pulse ryd ~env ~t_sim =
+  {
+    Pulse.spec = ryd.Rydberg.spec;
+    positions = Rydberg.positions ryd ~env;
+    segments = [ rydberg_segment ryd env t_sim ];
+  }
+
+let rydberg_pulse_segments ryd ~segments =
+  match segments with
+  | [] -> invalid_arg "Extract.rydberg_pulse_segments: no segments"
+  | (env0, _) :: _ ->
+      {
+        Pulse.spec = ryd.Rydberg.spec;
+        positions = Rydberg.positions ryd ~env:env0;
+        segments =
+          List.map (fun (env, tau) -> rydberg_segment ryd env tau) segments;
+      }
+
+let heisenberg_pulse (heis : Heisenberg.t) ~env ~t_sim =
+  let h = Heisenberg.hamiltonian heis ~env in
+  {
+    Pulse.spec = heis.Heisenberg.spec;
+    segments =
+      [ { Pulse.duration = t_sim; amplitudes = Qturbo_pauli.Pauli_sum.terms h } ];
+  }

@@ -1,0 +1,23 @@
+(** Turn a compilation result into an executable pulse schedule. *)
+
+val rydberg_pulse :
+  Qturbo_aais.Rydberg.t ->
+  env:float array ->
+  t_sim:float ->
+  Qturbo_aais.Pulse.rydberg
+(** Single-segment schedule from the compiled variable values. *)
+
+val rydberg_pulse_segments :
+  Qturbo_aais.Rydberg.t ->
+  segments:(float array * float) list ->
+  Qturbo_aais.Pulse.rydberg
+(** Multi-segment schedule from per-segment [(env, duration)] pairs; the
+    atom layout is taken from the first segment's environment (runtime
+    fixed variables must agree across segments — guaranteed by
+    {!Td_compiler}). *)
+
+val heisenberg_pulse :
+  Qturbo_aais.Heisenberg.t ->
+  env:float array ->
+  t_sim:float ->
+  Qturbo_aais.Pulse.heisenberg

@@ -1,0 +1,93 @@
+open Qturbo_aais
+open Qturbo_optim
+open Qturbo_linalg
+
+type result = { assignments : (int * float) list; eps2 : float }
+
+let is_pinned (b : Bounds.bound) = b.Bounds.lo = b.Bounds.hi
+
+let solve ~vars ~channels ~alpha ~t_sim (comp : Locality.component) =
+  if t_sim <= 0.0 then invalid_arg "Fixed_solver.solve: t_sim <= 0";
+  let all_ids = Array.of_list comp.Locality.var_ids in
+  (* gauge-pinned coordinates (lo = hi) are held fixed; optimising them
+     would let LM translate the layout and the clamp would then break it *)
+  let free_ids =
+    Array.of_list
+      (List.filter
+         (fun v -> not (is_pinned vars.(v).Variable.bound))
+         comp.Locality.var_ids)
+  in
+  let nv = Array.length free_ids in
+  let cids = Array.of_list comp.Locality.channel_ids in
+  let env_size = Array.fold_left (fun acc v -> Int.max acc (v + 1)) 1 all_ids in
+  let scratch = Array.make env_size 0.0 in
+  Array.iter
+    (fun v ->
+      if is_pinned vars.(v).Variable.bound then
+        scratch.(v) <- vars.(v).Variable.bound.Bounds.lo)
+    all_ids;
+  let residual_ext x =
+    Array.iteri (fun k v -> scratch.(v) <- x.(k)) free_ids;
+    Array.map
+      (fun cid ->
+        (Expr.eval channels.(cid).Instruction.expr ~env:scratch *. t_sim)
+        -. alpha.(cid))
+      cids
+  in
+  let cost x =
+    let r = residual_ext x in
+    Array.fold_left (fun acc ri -> acc +. (ri *. ri)) 0.0 r
+  in
+  let x_init = Array.map (fun v -> vars.(v).Variable.init) free_ids in
+  (* magnitude pre-fit: van-der-Waals amplitudes are homogeneous in the
+     coordinates, so a single uniform rescale of the initial layout finds
+     the right magnitude basin before LM refines the shape *)
+  let scaled s = Array.map (fun x -> s *. x) x_init in
+  let log_scale, _ =
+    Scalar.golden_min ~f:(fun ls -> cost (scaled (exp ls))) ~lo:(-3.0) ~hi:3.0 ()
+  in
+  let x0_ext = scaled (exp log_scale) in
+  let bounds = Array.map (fun v -> vars.(v).Variable.bound) free_ids in
+  (* exact symbolic Jacobian; LM runs in external coordinates (position
+     boxes are wide, so iterates stay interior) and the result is clamped,
+     any clamping error landing in eps2 *)
+  (* only the structurally nonzero entries: a van-der-Waals channel
+     depends on two atoms' coordinates, so the Jacobian has O(rows)
+     nonzeros, not O(rows · cols) *)
+  let nonzero_derivs =
+    let triples = ref [] in
+    Array.iteri
+      (fun i cid ->
+        Array.iteri
+          (fun k v ->
+            match Expr.deriv channels.(cid).Instruction.expr v with
+            | Expr.Const 0.0 -> ()
+            | d -> triples := (i, k, d) :: !triples)
+          free_ids)
+      cids;
+    Array.of_list (List.rev !triples)
+  in
+  let jacobian x =
+    Array.iteri (fun k v -> scratch.(v) <- x.(k)) free_ids;
+    let jac = Mat.create ~rows:(Array.length cids) ~cols:nv in
+    Array.iter
+      (fun (i, k, d) -> Mat.set jac i k (Expr.eval d ~env:scratch *. t_sim))
+      nonzero_derivs;
+    jac
+  in
+  let report = Levenberg_marquardt.minimize ~jacobian residual_ext x0_ext in
+  let x_ext =
+    Array.mapi (fun k x -> Bounds.clamp bounds.(k) x) report.Objective.x
+  in
+  let final = residual_ext x_ext in
+  let eps2 = Array.fold_left (fun acc r -> acc +. Float.abs r) 0.0 final in
+  let free_assignments = List.init nv (fun k -> (free_ids.(k), x_ext.(k))) in
+  let pinned_assignments =
+    List.filter_map
+      (fun v ->
+        if is_pinned vars.(v).Variable.bound then
+          Some (v, vars.(v).Variable.bound.Bounds.lo)
+        else None)
+      comp.Locality.var_ids
+  in
+  { assignments = free_assignments @ pinned_assignments; eps2 }

@@ -1,0 +1,28 @@
+(** Runtime-fixed-variable solver (paper §5.2).
+
+    Once the evolution time is fixed by the dynamic bottleneck, the
+    runtime-fixed variables (atom positions) must satisfy
+    [expr_c(x) = α_c / T_sim] for every channel of their component.  The
+    system is nonlinear (van-der-Waals tails couple every pair), generally
+    inconsistent (far pairs cannot reach exactly zero), and solved in
+    least squares by Levenberg–Marquardt with exact symbolic Jacobians.
+
+    Initialisation: the variables' built-in initial layout is first
+    rescaled by a golden-section search over a uniform scale factor —
+    van-der-Waals amplitudes are homogeneous in the coordinates, so one
+    scalar brings the initial guess into the right magnitude basin before
+    LM refines the shape. *)
+
+type result = {
+  assignments : (int * float) list;  (** [(variable id, value)] *)
+  eps2 : float;  (** L1 residual against the component's α targets *)
+}
+
+val solve :
+  vars:Qturbo_aais.Variable.t array ->
+  channels:Qturbo_aais.Instruction.channel array ->
+  alpha:float array ->
+  t_sim:float ->
+  Locality.component ->
+  result
+(** Raises [Invalid_argument] when [t_sim <= 0]. *)

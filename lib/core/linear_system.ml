@@ -1,0 +1,64 @@
+open Qturbo_pauli
+open Qturbo_aais
+open Qturbo_linalg
+
+type t = {
+  index : Term_index.t;
+  cells : (int * float) list array;
+  b_tar : float array;
+  n_channels : int;
+}
+
+let build ~channels ~target ~t_tar =
+  let index = Term_index.build ~channels ~target in
+  let n_rows = Term_index.count index in
+  let cells = Array.make n_rows [] in
+  Array.iter
+    (fun (c : Instruction.channel) ->
+      List.iter
+        (fun (s, coeff) ->
+          match Term_index.row_of index s with
+          | Some row -> cells.(row) <- (c.Instruction.cid, coeff) :: cells.(row)
+          | None -> ())
+        (Instruction.effect_terms c))
+    channels;
+  (* restore channel order within each row *)
+  Array.iteri (fun i row -> cells.(i) <- List.rev row) cells;
+  let b_tar =
+    Array.init n_rows (fun i ->
+        Pauli_sum.coeff target (Term_index.string_of index i) *. t_tar)
+  in
+  { index; cells; b_tar; n_channels = Array.length channels }
+
+let rows t =
+  Array.to_list
+    (Array.mapi
+       (fun i cells -> { Sparse_solve.cells; rhs = t.b_tar.(i) })
+       t.cells)
+
+let solve t = Sparse_solve.solve ~ncols:t.n_channels (rows t)
+let solve_dense t = Sparse_solve.dense_only ~ncols:t.n_channels (rows t)
+
+let b_of_alpha t ~alpha =
+  if Array.length alpha <> t.n_channels then
+    invalid_arg "Linear_system.b_of_alpha: dimension mismatch";
+  Array.map
+    (fun cells ->
+      List.fold_left (fun acc (c, coeff) -> acc +. (coeff *. alpha.(c))) 0.0 cells)
+    t.cells
+
+let residual_l1 t ~alpha =
+  let b = b_of_alpha t ~alpha in
+  let acc = ref 0.0 in
+  Array.iteri (fun i bi -> acc := !acc +. Float.abs (bi -. t.b_tar.(i))) b;
+  !acc
+
+let norm1 t =
+  let col_sums = Array.make t.n_channels 0.0 in
+  Array.iter
+    (fun cells ->
+      List.iter
+        (fun (c, coeff) -> col_sums.(c) <- col_sums.(c) +. Float.abs coeff)
+        cells)
+    t.cells;
+  Array.fold_left Float.max 0.0 col_sums

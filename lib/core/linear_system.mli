@@ -1,0 +1,38 @@
+(** The global linear equation system over synthesized variables
+    (paper §4.1, Eq. 5).
+
+    Unknown [α_k] is channel [k]'s synthesized variable — its amplitude
+    expression times the evolution time.  Row [i] demands
+    [Σ_k M_{ik} α_k = B_tar_i] where [B_tar_i] is the target coefficient
+    of Pauli term [i] times [T_tar] (zero for terms the target does not
+    contain). *)
+
+type t = {
+  index : Term_index.t;
+  cells : (int * float) list array;  (** per-row [(channel, coeff)] *)
+  b_tar : float array;
+  n_channels : int;
+}
+
+val build :
+  channels:Qturbo_aais.Instruction.channel array ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  t_tar:float ->
+  t
+
+val solve : t -> Qturbo_linalg.Sparse_solve.result
+(** Greedy structural pass + dense fallback (see {!Qturbo_linalg.Sparse_solve}). *)
+
+val solve_dense : t -> Qturbo_linalg.Sparse_solve.result
+(** Dense-only reference path, for the linear-solver ablation. *)
+
+val b_of_alpha : t -> alpha:float array -> float array
+(** [M·α] — the achieved coefficient vector [B_sim]. *)
+
+val residual_l1 : t -> alpha:float array -> float
+(** [‖M·α − B_tar‖₁], the compilation error metric (paper Eq. 9). *)
+
+val norm1 : t -> float
+(** [‖M‖₁], the constant of Theorem 1's error bound. *)
+
+val rows : t -> Qturbo_linalg.Sparse_solve.row list

@@ -1,0 +1,225 @@
+open Qturbo_aais
+open Qturbo_optim
+
+type classification =
+  | Const_channels
+  | Linear of { var : int; slopes : (int * float) list }
+  | Polar of {
+      amp : int;
+      phase : int;
+      cos_channels : (int * float) list;
+      sin_channels : (int * float) list;
+    }
+  | Fixed_vars
+  | Generic
+
+type solution = { assignments : (int * float) list; eps2 : float }
+
+let classify ~vars ~channels (comp : Locality.component) =
+  let has_fixed =
+    List.exists (fun v -> Variable.is_fixed vars.(v)) comp.Locality.var_ids
+  in
+  if has_fixed then Fixed_vars
+  else
+    match comp.Locality.var_ids with
+    | [] -> Const_channels
+    | [ v ] ->
+        let slopes =
+          List.filter_map
+            (fun cid ->
+              match channels.(cid).Instruction.hint with
+              | Instruction.Hint_linear { var; slope } when var = v ->
+                  Some (cid, slope)
+              | Instruction.Hint_linear _ | Instruction.Hint_polar_cos _
+              | Instruction.Hint_polar_sin _ | Instruction.Hint_fixed
+              | Instruction.Hint_generic ->
+                  None)
+            comp.Locality.channel_ids
+        in
+        if List.length slopes = List.length comp.Locality.channel_ids then
+          Linear { var = v; slopes }
+        else Generic
+    | [ v1; v2 ] -> (
+        let cos_channels = ref [] and sin_channels = ref [] in
+        let consistent = ref true in
+        let amp = ref (-1) and phase = ref (-1) in
+        let note_pair a p =
+          if !amp = -1 then begin
+            amp := a;
+            phase := p
+          end
+          else if !amp <> a || !phase <> p then consistent := false
+        in
+        List.iter
+          (fun cid ->
+            match channels.(cid).Instruction.hint with
+            | Instruction.Hint_polar_cos { amp = a; phase = p; scale } ->
+                note_pair a p;
+                cos_channels := (cid, scale) :: !cos_channels
+            | Instruction.Hint_polar_sin { amp = a; phase = p; scale } ->
+                note_pair a p;
+                sin_channels := (cid, scale) :: !sin_channels
+            | Instruction.Hint_linear _ | Instruction.Hint_fixed
+            | Instruction.Hint_generic ->
+                consistent := false)
+          comp.Locality.channel_ids;
+        let pair_ok =
+          !consistent && !amp >= 0
+          && List.sort Int.compare [ !amp; !phase ]
+             = List.sort Int.compare [ v1; v2 ]
+        in
+        if pair_ok then
+          Polar
+            {
+              amp = !amp;
+              phase = !phase;
+              cos_channels = List.rev !cos_channels;
+              sin_channels = List.rev !sin_channels;
+            }
+        else Generic)
+    | _ :: _ :: _ :: _ -> Generic
+
+(* Least-squares fit of a single scaled unknown: y* minimising
+   Σ (k_c·y − α_c)². *)
+let fit_scaled targets =
+  let num = List.fold_left (fun acc (k, a) -> acc +. (k *. a)) 0.0 targets in
+  let den = List.fold_left (fun acc (k, _) -> acc +. (k *. k)) 0.0 targets in
+  if den = 0.0 then 0.0 else num /. den
+
+let time_for_bound ~(bound : Bounds.bound) needed =
+  (* smallest T > 0 such that needed / T lies inside [bound] *)
+  if needed = 0.0 then 0.0
+  else if needed > 0.0 then
+    if bound.Bounds.hi > 0.0 then needed /. bound.Bounds.hi else infinity
+  else if bound.Bounds.lo < 0.0 then needed /. bound.Bounds.lo
+  else infinity
+
+let linear_fit_targets ~alpha slopes =
+  List.map (fun (cid, slope) -> (slope, alpha.(cid))) slopes
+
+let polar_fit ~alpha ~cos_channels ~sin_channels =
+  let a_star = fit_scaled (linear_fit_targets ~alpha cos_channels) in
+  let b_star = fit_scaled (linear_fit_targets ~alpha sin_channels) in
+  (* a_star = ΩT·cos φ, b_star = ΩT·sin φ *)
+  let omega_t = sqrt ((a_star *. a_star) +. (b_star *. b_star)) in
+  let phi = if omega_t = 0.0 then 0.0 else atan2 b_star a_star in
+  (omega_t, phi)
+
+(* ---- generic path: bounded LM feasibility + bisection over T ---- *)
+
+let component_residual ~channels ~alpha ~t_sim comp env =
+  List.map
+    (fun cid ->
+      (Expr.eval channels.(cid).Instruction.expr ~env *. t_sim) -. alpha.(cid))
+    comp.Locality.channel_ids
+  |> Array.of_list
+
+let generic_solve_at ~vars ~channels ~alpha ~t_sim comp =
+  let var_ids = Array.of_list comp.Locality.var_ids in
+  let nv = Array.length var_ids in
+  let bounds = Array.map (fun v -> vars.(v).Variable.bound) var_ids in
+  let transform = Bounds.transform bounds in
+  (* residual in terms of the component's own variable slots *)
+  let env_size =
+    Array.fold_left (fun acc v -> Int.max acc (v + 1)) 1 var_ids
+  in
+  let scratch = Array.make env_size 0.0 in
+  let residual x =
+    Array.iteri (fun k v -> scratch.(v) <- x.(k)) var_ids;
+    component_residual ~channels ~alpha ~t_sim comp scratch
+  in
+  let x0_ext = Array.map (fun v -> vars.(v).Variable.init) var_ids in
+  let x0 = Bounds.to_internal transform x0_ext in
+  let report =
+    Levenberg_marquardt.minimize (Bounds.wrap_residual transform residual) x0
+  in
+  let x_ext = Bounds.of_internal transform report.Objective.x in
+  let assignments = List.init nv (fun k -> (var_ids.(k), x_ext.(k))) in
+  let final = residual x_ext in
+  let eps2 = Array.fold_left (fun acc r -> acc +. Float.abs r) 0.0 final in
+  { assignments; eps2 }
+
+let component_alpha_scale ~alpha comp =
+  List.fold_left
+    (fun acc cid -> Float.max acc (Float.abs alpha.(cid)))
+    0.0 comp.Locality.channel_ids
+
+let generic_feasible ~vars ~channels ~alpha ~t_sim comp =
+  let scale = Float.max 1.0 (component_alpha_scale ~alpha comp) in
+  let { eps2; _ } = generic_solve_at ~vars ~channels ~alpha ~t_sim comp in
+  eps2 <= 1e-7 *. scale
+
+let generic_min_time ~vars ~channels ~alpha comp =
+  if component_alpha_scale ~alpha comp = 0.0 then 0.0
+  else begin
+    let feasible t = generic_feasible ~vars ~channels ~alpha ~t_sim:t comp in
+    (* find a feasible upper bracket by doubling *)
+    let rec grow t tries =
+      if tries = 0 then None
+      else if feasible t then Some t
+      else grow (2.0 *. t) (tries - 1)
+    in
+    match grow 1e-3 50 with
+    | None -> infinity
+    | Some hi ->
+        Scalar.bisect_predicate ~tol:1e-6 ~f:feasible ~lo:(hi /. 2.0) ~hi ()
+  end
+
+let min_time ~vars ~channels ~alpha comp classification =
+  match classification with
+  | Fixed_vars -> 0.0
+  | Const_channels ->
+      (* expr·T = α: every channel pins T; take the largest demand (smaller
+         demands become approximation error, reported by solve_at) *)
+      List.fold_left
+        (fun acc cid ->
+          let k = Expr.eval channels.(cid).Instruction.expr ~env:[||] in
+          let a = alpha.(cid) in
+          if a = 0.0 || k = 0.0 then acc else Float.max acc (a /. k))
+        0.0 comp.Locality.channel_ids
+  | Linear { var; slopes } ->
+      let needed = fit_scaled (linear_fit_targets ~alpha slopes) in
+      time_for_bound ~bound:vars.(var).Variable.bound needed
+  | Polar { amp; phase = _; cos_channels; sin_channels } ->
+      let omega_t, _ = polar_fit ~alpha ~cos_channels ~sin_channels in
+      if omega_t = 0.0 then 0.0
+      else
+        let hi = vars.(amp).Variable.bound.Bounds.hi in
+        if hi > 0.0 then omega_t /. hi else infinity
+  | Generic -> generic_min_time ~vars ~channels ~alpha comp
+
+let eval_eps2 ~channels ~alpha ~t_sim comp assignments =
+  let env_size =
+    List.fold_left (fun acc (v, _) -> Int.max acc (v + 1)) 1 assignments
+  in
+  let env = Array.make env_size 0.0 in
+  List.iter (fun (v, x) -> env.(v) <- x) assignments;
+  let r = component_residual ~channels ~alpha ~t_sim comp env in
+  Array.fold_left (fun acc x -> acc +. Float.abs x) 0.0 r
+
+let solve_at ~vars ~channels ~alpha ~t_sim comp classification =
+  if t_sim <= 0.0 then invalid_arg "Local_solver.solve_at: t_sim <= 0";
+  match classification with
+  | Fixed_vars ->
+      invalid_arg "Local_solver.solve_at: fixed component (use Fixed_solver)"
+  | Const_channels ->
+      let eps2 =
+        List.fold_left
+          (fun acc cid ->
+            let k = Expr.eval channels.(cid).Instruction.expr ~env:[||] in
+            acc +. Float.abs ((k *. t_sim) -. alpha.(cid)))
+          0.0 comp.Locality.channel_ids
+      in
+      { assignments = []; eps2 }
+  | Linear { var; slopes } ->
+      let needed = fit_scaled (linear_fit_targets ~alpha slopes) in
+      let value = Bounds.clamp vars.(var).Variable.bound (needed /. t_sim) in
+      let assignments = [ (var, value) ] in
+      { assignments; eps2 = eval_eps2 ~channels ~alpha ~t_sim comp assignments }
+  | Polar { amp; phase; cos_channels; sin_channels } ->
+      let omega_t, phi = polar_fit ~alpha ~cos_channels ~sin_channels in
+      let omega = Bounds.clamp vars.(amp).Variable.bound (omega_t /. t_sim) in
+      let phi = Bounds.clamp vars.(phase).Variable.bound phi in
+      let assignments = [ (amp, omega); (phase, phi) ] in
+      { assignments; eps2 = eval_eps2 ~channels ~alpha ~t_sim comp assignments }
+  | Generic -> generic_solve_at ~vars ~channels ~alpha ~t_sim comp

@@ -1,0 +1,72 @@
+(** Localized mixed equation systems (paper §4.2–§5.1).
+
+    Each locality component is classified by structure and solved with the
+    cheapest applicable method:
+
+    {ul
+    {- [Linear]: every channel is a linear drive of one shared
+       time-critical variable (detunings; all Heisenberg channels).
+       Closed form.}
+    {- [Polar]: cos/sin channel pairs over one amplitude and one phase
+       variable (Rabi drives).  Closed form.}
+    {- [Fixed]: the component involves runtime-fixed variables (atom
+       positions); deferred to {!Fixed_solver} once [T_sim] is known.}
+    {- [Const]: no variables at all; the channel either matches or it
+       doesn't.}
+    {- [Generic]: anything else — the paper's "Case 3" and any exotic
+       AAIS.  Feasibility is decided by bounded Levenberg–Marquardt and
+       the minimal time found by bisection over [T].}}
+
+    Each classification yields the component's {e shortest feasible
+    evolution time} given the variable bounds; the compiler takes the
+    maximum over components as [T_sim] (the bottleneck instruction then
+    runs at full amplitude, paper §5.1). *)
+
+type classification =
+  | Const_channels
+  | Linear of { var : int; slopes : (int * float) list }
+      (** [(cid, slope)] per channel *)
+  | Polar of {
+      amp : int;
+      phase : int;
+      cos_channels : (int * float) list;  (** [(cid, scale)] *)
+      sin_channels : (int * float) list;
+    }
+  | Fixed_vars
+  | Generic
+
+val classify :
+  vars:Qturbo_aais.Variable.t array ->
+  channels:Qturbo_aais.Instruction.channel array ->
+  Locality.component ->
+  classification
+
+type solution = {
+  assignments : (int * float) list;  (** [(variable id, value)] *)
+  eps2 : float;  (** L1 residual against the component's α targets *)
+}
+
+val min_time :
+  vars:Qturbo_aais.Variable.t array ->
+  channels:Qturbo_aais.Instruction.channel array ->
+  alpha:float array ->
+  Locality.component ->
+  classification ->
+  float
+(** Shortest feasible [T_sim] for this component alone: [0.] when the
+    component imposes no lower bound (all-zero targets, or runtime-fixed
+    components whose feasibility is policed later), [infinity] when
+    infeasible at any time. *)
+
+val solve_at :
+  vars:Qturbo_aais.Variable.t array ->
+  channels:Qturbo_aais.Instruction.channel array ->
+  alpha:float array ->
+  t_sim:float ->
+  Locality.component ->
+  classification ->
+  solution
+(** Solve the component's variables given the global [T_sim].  Values are
+    clamped into their bounds; the clamping error shows up in [eps2].
+    [Fixed_vars] components raise [Invalid_argument] (use
+    {!Fixed_solver}). *)

@@ -1,0 +1,25 @@
+(** Locality decomposition (paper §4.2): connected components of the
+    bipartite graph whose nodes are instruction channels and amplitude
+    variables, with an edge whenever the channel's expression mentions the
+    variable.
+
+    Each component becomes one localized mixed equation system, solvable
+    independently of the others. *)
+
+type component = {
+  id : int;
+  channel_ids : int list;  (** ascending channel cids *)
+  var_ids : int list;  (** ascending variable ids *)
+}
+
+val decompose :
+  channels:Qturbo_aais.Instruction.channel array ->
+  n_vars:int ->
+  component list
+(** Components are ordered by their smallest channel id.  Variables that
+    no channel mentions belong to no component (they keep their initial
+    value).  A channel whose expression is constant forms a singleton
+    component with no variables. *)
+
+val component_of_channel : component list -> int -> component
+(** Raises [Not_found] for unknown channel ids. *)

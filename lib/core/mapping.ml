@@ -1,0 +1,131 @@
+open Qturbo_pauli
+open Qturbo_graph
+
+type t = int array
+
+let identity ~n = Array.init n Fun.id
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then false
+      else begin
+        seen.(x) <- true;
+        true
+      end)
+    a
+
+let of_array a =
+  if not (is_permutation a) then invalid_arg "Mapping.of_array: not a permutation";
+  Array.copy a
+
+let inverse m =
+  let inv = Array.make (Array.length m) 0 in
+  Array.iteri (fun i j -> inv.(j) <- i) m;
+  inv
+
+let coupling_graph ~target ~n =
+  let g = Graph.create n in
+  List.iter
+    (fun (s, _) ->
+      match Pauli_string.support s with
+      | [ i; j ] -> Graph.add_edge g i j
+      | [] | [ _ ] | _ :: _ :: _ -> ())
+    (Pauli_sum.terms target);
+  g
+
+let greedy_chain ~target ~n =
+  let g = coupling_graph ~target ~n in
+  (* start from a minimum-degree vertex: the end of a chain if there is
+     one, an arbitrary vertex of a cycle otherwise *)
+  let start = ref 0 in
+  for v = 1 to n - 1 do
+    if Graph.degree g v < Graph.degree g !start then start := v
+  done;
+  let order = Graph.bfs_order g ~start:!start in
+  let placed = Array.make n false in
+  let map = Array.make n (-1) in
+  let next = ref 0 in
+  let place q =
+    if not placed.(q) then begin
+      placed.(q) <- true;
+      map.(q) <- !next;
+      incr next
+    end
+  in
+  List.iter place order;
+  (* disconnected leftovers in index order *)
+  for q = 0 to n - 1 do
+    place q
+  done;
+  map
+
+let chain_cost ~target m =
+  List.fold_left
+    (fun acc (s, c) ->
+      match Pauli_string.support s with
+      | [ i; j ] ->
+          acc +. (Float.abs c *. float_of_int (abs (m.(i) - m.(j)) - 1))
+      | [] | [ _ ] | _ :: _ :: _ -> acc)
+    0.0
+    (Pauli_sum.terms target)
+
+let anneal ~rng ~target ~n ?iterations ?init () =
+  let iterations =
+    match iterations with Some k -> k | None -> 200 * Int.max 1 n
+  in
+  let m =
+    match init with
+    | Some m0 ->
+        if not (is_permutation m0) then
+          invalid_arg "Mapping.anneal: init is not a permutation";
+        Array.copy m0
+    | None -> greedy_chain ~target ~n
+  in
+  if n < 2 then m
+  else begin
+    let best = Array.copy m in
+    let best_cost = ref (chain_cost ~target m) in
+    let cost = ref !best_cost in
+    (* geometric cooling from the scale of one typical coupling *)
+    let t0 = Float.max 1e-3 (Pauli_sum.norm1 target /. float_of_int n) in
+    let cooling = 0.999 in
+    let temp = ref t0 in
+    for _ = 1 to iterations do
+      let a = Qturbo_util.Rng.int rng ~bound:n in
+      let b = Qturbo_util.Rng.int rng ~bound:n in
+      if a <> b then begin
+        let swap () =
+          let tmp = m.(a) in
+          m.(a) <- m.(b);
+          m.(b) <- tmp
+        in
+        swap ();
+        let c' = chain_cost ~target m in
+        let accept =
+          c' <= !cost
+          || Qturbo_util.Rng.float rng < exp ((!cost -. c') /. !temp)
+        in
+        if accept then begin
+          cost := c';
+          if c' < !best_cost then begin
+            best_cost := c';
+            Array.blit m 0 best 0 n
+          end
+        end
+        else swap ()
+      end;
+      temp := Float.max 1e-9 (!temp *. cooling)
+    done;
+    best
+  end
+
+let apply m h =
+  let relabel s =
+    Pauli_string.of_list
+      (List.map (fun (site, op) -> (m.(site), op)) (Pauli_string.to_list s))
+  in
+  Pauli_sum.of_list
+    (List.map (fun (s, c) -> (relabel s, c)) (Pauli_sum.terms h))

@@ -1,0 +1,49 @@
+(** Target-qubit → simulator-qubit mapping (paper §7.3).
+
+    The benchmark models have regular coupling structure (chains, cycles),
+    so — as the paper does — a lightweight heuristic suffices: order the
+    target qubits by a breadth-first walk of their two-qubit coupling
+    graph and lay them out along the device in that order.  Both QTurbo
+    and the baseline use the same mapping, so the comparison isolates the
+    equation-system work. *)
+
+type t = int array
+(** [map.(target_qubit) = simulator_qubit]; always a permutation. *)
+
+val identity : n:int -> t
+
+val of_array : int array -> t
+(** Validates that the argument is a permutation of [0 .. n-1]
+    ([Invalid_argument] otherwise). *)
+
+val inverse : t -> t
+
+val is_permutation : int array -> bool
+
+val greedy_chain : target:Qturbo_pauli.Pauli_sum.t -> n:int -> t
+(** BFS over the coupling graph (edges = two-site Pauli terms) starting
+    from a minimum-degree qubit; disconnected qubits are appended in index
+    order.  For chain/cycle models this recovers the natural order even
+    when the input labels are shuffled. *)
+
+val apply : t -> Qturbo_pauli.Pauli_sum.t -> Qturbo_pauli.Pauli_sum.t
+(** Relabel every site [q] of the Hamiltonian as [map.(q)]. *)
+
+val chain_cost : target:Qturbo_pauli.Pauli_sum.t -> t -> float
+(** Placement cost on a 1-D chain: [Σ |c| · (|π(i) − π(j)| − 1)] over
+    two-site terms — zero iff every coupling lands on adjacent sites.
+    The objective both heuristics minimise. *)
+
+val anneal :
+  rng:Qturbo_util.Rng.t ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  n:int ->
+  ?iterations:int ->
+  ?init:t ->
+  unit ->
+  t
+(** Simulated-annealing refinement of a chain placement by random
+    transpositions (default 200·n iterations, geometric cooling), started
+    from [init] (default {!greedy_chain}'s output).  Never returns a
+    placement worse than the start; useful when the coupling graph is not
+    a path/cycle and BFS ordering leaves long-range couplings behind. *)

@@ -1,0 +1,98 @@
+open Qturbo_aais
+
+type options = { ramp_time : float; steps_per_ramp : int }
+
+let default_options = { ramp_time = 0.05; steps_per_ramp = 4 }
+
+let omega_area (p : Pulse.rydberg) =
+  let n = Array.length p.Pulse.positions in
+  let area = Array.make n 0.0 in
+  List.iter
+    (fun (s : Pulse.rydberg_segment) ->
+      Array.iteri
+        (fun i w -> area.(i) <- area.(i) +. (w *. s.Pulse.duration))
+        s.Pulse.omega)
+    p.Pulse.segments;
+  area
+
+let ramp_admissible ?(fraction = 0.2) (p : Pulse.rydberg) =
+  let seg_peak s = Array.fold_left Float.max 0.0 s.Pulse.omega in
+  let peak =
+    List.fold_left (fun acc s -> Float.max acc (seg_peak s)) 0.0 p.Pulse.segments
+  in
+  if peak <= 1e-12 then true
+  else
+    match p.Pulse.segments with
+    | [] -> true
+    | first :: _ as segments ->
+        let rec last = function
+          | [] -> first
+          | [ s ] -> s
+          | _ :: tl -> last tl
+        in
+        seg_peak first <= fraction *. peak
+        && seg_peak (last segments) <= fraction *. peak
+
+(* staircase envelope factors for one linear ramp: midpoint heights of
+   [steps] equal sub-intervals, area-equal to the continuous ramp *)
+let ramp_levels steps rising =
+  List.init steps (fun k ->
+      let frac = (float_of_int k +. 0.5) /. float_of_int steps in
+      if rising then frac else 1.0 -. frac)
+
+let ramp_segment ~options ~omega_max ~slew_max (s : Pulse.rydberg_segment) =
+  let t = s.Pulse.duration in
+  let peak = Array.fold_left Float.max 0.0 s.Pulse.omega in
+  if peak <= 1e-12 || t <= 0.0 then [ s ]
+  else begin
+    let r = options.ramp_time in
+    (* hold-amplitude scale preserving the drive area
+       (scale·Ω·(hold + r) = Ω·t), bounded by: keeping the total duration
+       at t (only possible when t > r), the device amplitude maximum, the
+       slew budget scale·peak/r <= slew_max, and hold >= 0 *)
+    let candidates =
+      [
+        (if t > r then t /. (t -. r) else infinity);
+        omega_max /. peak;
+        (if Float.is_finite slew_max then slew_max *. r /. peak else infinity);
+        t /. r;
+      ]
+    in
+    let scale = List.fold_left Float.min infinity candidates in
+    let hold = (t /. scale) -. r in
+    let total = hold +. (2.0 *. r) in
+    (* detuning is rescaled so its integral over the (possibly stretched)
+       segment still matches the original Δ·t *)
+    let delta_scale = t /. total in
+    let sub ~duration ~factor =
+      {
+        Pulse.duration;
+        omega = Array.map (fun w -> factor *. scale *. w) s.Pulse.omega;
+        phi = Array.copy s.Pulse.phi;
+        delta = Array.map (fun d -> delta_scale *. d) s.Pulse.delta;
+      }
+    in
+    let step_t = r /. float_of_int options.steps_per_ramp in
+    let rise =
+      List.map (fun f -> sub ~duration:step_t ~factor:f)
+        (ramp_levels options.steps_per_ramp true)
+    in
+    let fall =
+      List.map (fun f -> sub ~duration:step_t ~factor:f)
+        (ramp_levels options.steps_per_ramp false)
+    in
+    rise @ [ sub ~duration:hold ~factor:1.0 ] @ fall
+  end
+
+let apply ?(options = default_options) (p : Pulse.rydberg) =
+  if options.ramp_time <= 0.0 then invalid_arg "Ramp.apply: ramp_time <= 0";
+  if options.steps_per_ramp < 1 then invalid_arg "Ramp.apply: steps_per_ramp < 1";
+  let omega_max = p.Pulse.spec.Device.omega_max in
+  let slew_max = p.Pulse.spec.Device.omega_slew_max in
+  {
+    p with
+    Pulse.segments =
+      List.concat_map
+        (ramp_segment ~options ~omega_max ~slew_max)
+        p.Pulse.segments;
+  }

@@ -1,0 +1,42 @@
+(** Hardware ramping post-pass.
+
+    Real analog machines cannot switch drive amplitudes discontinuously:
+    Aquila requires the Rabi amplitude to begin and end at zero and bounds
+    its slew rate.  This pass converts each rectangular segment into a
+    rise / hold / fall trapezoid whose {e area} (the integrated drive,
+    which is what the compilation equations constrain) equals the
+    original rectangle's, by holding at a proportionally higher amplitude
+    for a shorter time.  Detunings and phases are held constant through
+    the ramps; the approximation error this introduces is second order in
+    [ramp_time / duration] and is measured by the tests against exact
+    evolution. *)
+
+type options = {
+  ramp_time : float;
+      (** rise/fall duration per edge (µs); Aquila-scale default 0.05 *)
+  steps_per_ramp : int;
+      (** piecewise-constant staircase resolution of each ramp (the pulse
+          representation is piecewise constant); default 4 *)
+}
+
+val default_options : options
+
+val apply : ?options:options -> Qturbo_aais.Pulse.rydberg -> Qturbo_aais.Pulse.rydberg
+(** Ramp every segment of a schedule.  The hold amplitude scales to
+    preserve the drive area, subject to the device's amplitude maximum
+    and slew budget ([hold_amplitude / ramp_time <= omega_slew_max]);
+    whenever those limits bite — QTurbo pulses typically already run at
+    the amplitude maximum — the hold stretches instead, so a segment
+    grows by one [ramp_time] in the common case (and by whatever the slew
+    budget forces when [ramp_time] is too aggressive for the device).
+    Detunings are rescaled so their time integral is preserved exactly. *)
+
+val omega_area : Qturbo_aais.Pulse.rydberg -> float array
+(** Per-atom integrated Rabi drive [∫ Ω dt] — the invariant {!apply}
+    preserves. *)
+
+val ramp_admissible : ?fraction:float -> Qturbo_aais.Pulse.rydberg -> bool
+(** Hardware admissibility: the first and last sub-segments drive at no
+    more than [fraction] (default 0.2) of the schedule's peak amplitude.
+    A raw rectangular pulse fails; {!apply}'s staircase passes (its edge
+    levels are [peak/(2·steps_per_ramp)]). *)

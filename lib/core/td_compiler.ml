@@ -1,0 +1,200 @@
+open Qturbo_aais
+
+type segment_result = {
+  env : float array;
+  duration : float;
+  error_l1 : float;
+  eps1 : float;
+}
+
+type result = {
+  segments : segment_result list;
+  t_sim : float;
+  error_l1 : float;
+  relative_error : float;
+  binding_segment : int;
+  compile_seconds : float;
+  warnings : string list;
+}
+
+let compile ?(options = Compiler.default_options) ~aais ~model ~t_tar ~segments
+    () =
+  if t_tar <= 0.0 then invalid_arg "Td_compiler.compile: t_tar <= 0";
+  if segments < 1 then invalid_arg "Td_compiler.compile: segments < 1";
+  let t0 = Sys.time () in
+  let warnings = ref [] in
+  let channels = Aais.channels aais in
+  let vars = Aais.variables aais in
+  let tau_tar = t_tar /. float_of_int segments in
+  let hams = Qturbo_models.Model.discretize model ~segments in
+  (* per-segment linear systems over the shared channel set *)
+  let systems =
+    List.map
+      (fun h -> Linear_system.build ~channels ~target:h ~t_tar:tau_tar)
+      hams
+  in
+  let solutions = List.map Linear_system.solve systems in
+  let alphas =
+    Array.of_list
+      (List.map (fun s -> s.Qturbo_linalg.Sparse_solve.x) solutions)
+  in
+  let eps1s =
+    Array.of_list
+      (List.map (fun s -> s.Qturbo_linalg.Sparse_solve.residual_l1) solutions)
+  in
+  let comps = Locality.decompose ~channels ~n_vars:(Array.length vars) in
+  let classifications = List.map (Local_solver.classify ~vars ~channels) comps in
+  let fixed_comps, dynamic_pairs =
+    List.partition
+      (fun (_, cls) ->
+        match cls with
+        | Local_solver.Fixed_vars -> true
+        | Local_solver.Const_channels | Local_solver.Linear _
+        | Local_solver.Polar _ | Local_solver.Generic ->
+            false)
+      (List.combine comps classifications)
+  in
+  (* dynamic bottleneck time per segment *)
+  let dyn_time alpha =
+    List.fold_left
+      (fun acc (comp, cls) ->
+        Float.max acc (Local_solver.min_time ~vars ~channels ~alpha comp cls))
+      options.Compiler.time_floor dynamic_pairs
+  in
+  let t_dyn = Array.map dyn_time alphas in
+  let fixed_cids =
+    List.concat_map (fun (c, _) -> c.Locality.channel_ids) fixed_comps
+  in
+  (* binding segment: largest fixed-channel amplitude demand α/T *)
+  let demand s =
+    List.fold_left
+      (fun acc cid -> Float.max acc (Float.abs alphas.(s).(cid) /. t_dyn.(s)))
+      0.0 fixed_cids
+  in
+  let binding_segment = ref 0 in
+  for s = 1 to segments - 1 do
+    if demand s > demand !binding_segment then binding_segment := s
+  done;
+  let sb = !binding_segment in
+  (* solve the layout against the binding segment, growing T on
+     geometric-constraint violations *)
+  let rec solve_fixed t iter =
+    let env = Array.map (fun (v : Variable.t) -> v.Variable.init) vars in
+    List.iter
+      (fun (comp, _) ->
+        let { Fixed_solver.assignments; eps2 = _ } =
+          Fixed_solver.solve ~vars ~channels ~alpha:alphas.(sb) ~t_sim:t comp
+        in
+        List.iter (fun (v, x) -> env.(v) <- x) assignments)
+      fixed_comps;
+    let violations = aais.Aais.check_fixed env in
+    if violations = [] || iter >= options.Compiler.max_constraint_iters then begin
+      if violations <> [] then
+        warnings :=
+          Printf.sprintf "layout constraints unresolved: %s"
+            (String.concat "; " violations)
+          :: !warnings;
+      (t, env)
+    end
+    else solve_fixed (t *. options.Compiler.dt_factor) (iter + 1)
+  in
+  let t_binding, fixed_env = solve_fixed t_dyn.(sb) 0 in
+  let achieved_amp =
+    Array.of_list
+      (List.map
+         (fun cid ->
+           (cid, Expr.eval channels.(cid).Instruction.expr ~env:fixed_env))
+         fixed_cids)
+  in
+  (* per-segment duration: stretched so the shared layout integrates to
+     the segment's required B, never faster than its dynamic bottleneck *)
+  let duration s =
+    let t_fixed =
+      Array.fold_left
+        (fun acc (cid, amp) ->
+          if Float.abs amp > 1e-12 then
+            Float.max acc (alphas.(s).(cid) /. amp)
+          else acc)
+        0.0 achieved_amp
+    in
+    let t = Float.max t_dyn.(s) t_fixed in
+    if s = sb then Float.max t t_binding else t
+  in
+  let fixed_cid_mask = Array.make (Array.length channels) false in
+  List.iter (fun cid -> fixed_cid_mask.(cid) <- true) fixed_cids;
+  let solve_segment s ls =
+    let t_s = duration s in
+    let alpha = alphas.(s) in
+    (* refinement-style residual RHS against the achieved fixed amplitudes *)
+    let adjusted_rows =
+      List.map
+        (fun { Qturbo_linalg.Sparse_solve.cells; rhs } ->
+          let fixed_part =
+            List.fold_left
+              (fun acc (cid, coeff) ->
+                if fixed_cid_mask.(cid) then
+                  acc
+                  +. coeff
+                     *. Expr.eval channels.(cid).Instruction.expr ~env:fixed_env
+                     *. t_s
+                else acc)
+              0.0 cells
+          in
+          {
+            Qturbo_linalg.Sparse_solve.cells =
+              List.filter (fun (cid, _) -> not fixed_cid_mask.(cid)) cells;
+            rhs = rhs -. fixed_part;
+          })
+        (Linear_system.rows ls)
+    in
+    let alpha_dyn =
+      if options.Compiler.refine then
+        (Qturbo_linalg.Sparse_solve.solve ~ncols:(Array.length channels)
+           adjusted_rows)
+          .Qturbo_linalg.Sparse_solve.x
+      else alpha
+    in
+    let env = Array.copy fixed_env in
+    List.iter
+      (fun (comp, cls) ->
+        let { Local_solver.assignments; eps2 = _ } =
+          Local_solver.solve_at ~vars ~channels ~alpha:alpha_dyn ~t_sim:t_s comp
+            cls
+        in
+        List.iter (fun (v, x) -> env.(v) <- x) assignments)
+      dynamic_pairs;
+    let achieved =
+      Array.map
+        (fun (c : Instruction.channel) ->
+          Expr.eval c.Instruction.expr ~env *. t_s)
+        channels
+    in
+    let error_l1 = Linear_system.residual_l1 ls ~alpha:achieved in
+    { env; duration = t_s; error_l1; eps1 = eps1s.(s) }
+  in
+  let segment_results = List.mapi solve_segment systems in
+  let t_sim =
+    List.fold_left (fun acc r -> acc +. r.duration) 0.0 segment_results
+  in
+  let error_l1 =
+    List.fold_left
+      (fun acc (r : segment_result) -> acc +. r.error_l1)
+      0.0 segment_results
+  in
+  let b_norm =
+    List.fold_left
+      (fun acc ls ->
+        Array.fold_left
+          (fun acc b -> acc +. Float.abs b)
+          acc ls.Linear_system.b_tar)
+      0.0 systems
+  in
+  {
+    segments = segment_results;
+    t_sim;
+    error_l1;
+    relative_error = (if b_norm > 0.0 then error_l1 /. b_norm *. 100.0 else 0.0);
+    binding_segment = sb;
+    compile_seconds = Sys.time () -. t0;
+    warnings = List.rev !warnings;
+  }

@@ -1,0 +1,40 @@
+(** Compilation of time-dependent targets (paper §5.3).
+
+    The driven Hamiltonian is discretized into piecewise-constant segments
+    (midpoint rule).  Runtime-dynamic variables may change between
+    segments, but runtime-fixed variables (atom positions) must be shared:
+    the solver picks the segment demanding the largest fixed-channel
+    amplitude as the {e binding segment}, solves the layout against it,
+    and stretches every other segment's evolution time so its (now
+    over-strong) fixed amplitudes integrate to exactly the required
+    [B] — lowering the dynamic amplitudes, which always remains within
+    bounds (paper's argument at the end of §5.3). *)
+
+type segment_result = {
+  env : float array;
+  duration : float;  (** compiled duration of this segment (µs) *)
+  error_l1 : float;
+  eps1 : float;
+}
+
+type result = {
+  segments : segment_result list;
+  t_sim : float;  (** total compiled execution time *)
+  error_l1 : float;  (** summed over segments *)
+  relative_error : float;  (** percent, against the summed [‖B_tar‖₁] *)
+  binding_segment : int;  (** index of the segment that fixed the layout *)
+  compile_seconds : float;
+  warnings : string list;
+}
+
+val compile :
+  ?options:Compiler.options ->
+  aais:Qturbo_aais.Aais.t ->
+  model:Qturbo_models.Model.t ->
+  t_tar:float ->
+  segments:int ->
+  unit ->
+  result
+(** Works for static models too (each segment then sees the same
+    Hamiltonian).  Raises [Invalid_argument] on nonpositive [t_tar] or
+    [segments]. *)

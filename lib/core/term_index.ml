@@ -1,0 +1,40 @@
+open Qturbo_pauli
+open Qturbo_aais
+
+module Term_map = Map.Make (struct
+  type t = Pauli_string.t
+
+  let compare = Pauli_string.compare
+end)
+
+type t = { by_string : int Term_map.t; by_row : Pauli_string.t array }
+
+let build ~channels ~target =
+  let add (map, rev) s =
+    if Pauli_string.is_identity s || Term_map.mem s map then (map, rev)
+    else (Term_map.add s (List.length rev) map, s :: rev)
+  in
+  let acc =
+    List.fold_left add
+      (Term_map.empty, [])
+      (List.map fst (Pauli_sum.terms target))
+  in
+  let map, rev =
+    Array.fold_left
+      (fun acc c ->
+        List.fold_left
+          (fun acc (s, _) -> add acc s)
+          acc
+          (Instruction.effect_terms c))
+      acc channels
+  in
+  { by_string = map; by_row = Array.of_list (List.rev rev) }
+
+let count t = Array.length t.by_row
+let row_of t s = Term_map.find_opt s t.by_string
+
+let string_of t i =
+  if i < 0 || i >= count t then invalid_arg "Term_index.string_of: out of range";
+  t.by_row.(i)
+
+let strings t = Array.copy t.by_row

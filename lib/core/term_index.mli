@@ -1,0 +1,24 @@
+(** Dense row numbering of Hamiltonian terms.
+
+    The equation system has one row per Pauli term that the target demands
+    {e or} that any instruction channel can produce (the latter must be
+    driven to zero when absent from the target — the paper's [Z₃Z₁ = 0]
+    rows).  Identity strings carry only a global phase and are excluded. *)
+
+type t
+
+val build :
+  channels:Qturbo_aais.Instruction.channel array ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  t
+(** Rows are ordered: target terms first (canonical order), then
+    channel-only terms in channel order. *)
+
+val count : t -> int
+
+val row_of : t -> Qturbo_pauli.Pauli_string.t -> int option
+
+val string_of : t -> int -> Qturbo_pauli.Pauli_string.t
+(** Raises [Invalid_argument] on out-of-range rows. *)
+
+val strings : t -> Qturbo_pauli.Pauli_string.t array

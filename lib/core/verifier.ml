@@ -1,0 +1,78 @@
+open Qturbo_pauli
+open Qturbo_aais
+
+type report = {
+  error_l1 : float;
+  relative_error : float;
+  max_term_error : float;
+  executable : bool;
+  violations : string list;
+  consistent_with_compiler : bool;
+}
+
+let compare_hamiltonians ~h_sim ~t_sim ~target ~t_tar =
+  let b_sim = Pauli_sum.scale t_sim (Pauli_sum.drop_identity h_sim) in
+  let b_tar = Pauli_sum.scale t_tar (Pauli_sum.drop_identity target) in
+  let diff = Pauli_sum.sub b_sim b_tar in
+  let error_l1 = Pauli_sum.norm1 diff in
+  let max_term_error =
+    List.fold_left
+      (fun acc (_, c) -> Float.max acc (Float.abs c))
+      0.0 (Pauli_sum.terms diff)
+  in
+  let b_norm = Pauli_sum.norm1 b_tar in
+  let relative_error =
+    if b_norm > 0.0 then error_l1 /. b_norm *. 100.0 else 0.0
+  in
+  (error_l1, relative_error, max_term_error)
+
+let consistency ~recomputed (result : Compiler.result) =
+  Float.abs (recomputed -. result.Compiler.error_l1)
+  <= 1e-6 +. (0.01 *. Float.max recomputed result.Compiler.error_l1)
+
+let verify_rydberg ryd ~target ~t_tar (result : Compiler.result) =
+  let env = result.Compiler.env in
+  let t_sim = result.Compiler.t_sim in
+  let h_sim = Rydberg.hamiltonian ryd ~env in
+  let error_l1, relative_error, max_term_error =
+    compare_hamiltonians ~h_sim ~t_sim ~target ~t_tar
+  in
+  let pulse = Extract.rydberg_pulse ryd ~env ~t_sim in
+  let violations = Pulse.within_limits pulse in
+  {
+    error_l1;
+    relative_error;
+    max_term_error;
+    executable = violations = [];
+    violations;
+    consistent_with_compiler = consistency ~recomputed:error_l1 result;
+  }
+
+let verify_heisenberg heis ~target ~t_tar (result : Compiler.result) =
+  let env = result.Compiler.env in
+  let t_sim = result.Compiler.t_sim in
+  let h_sim = Heisenberg.hamiltonian heis ~env in
+  let error_l1, relative_error, max_term_error =
+    compare_hamiltonians ~h_sim ~t_sim ~target ~t_tar
+  in
+  (* amplitude bounds *)
+  let violations = ref [] in
+  Array.iter
+    (fun (v : Variable.t) ->
+      let x = env.(v.Variable.id) in
+      if not (Qturbo_optim.Bounds.contains v.Variable.bound x) then
+        violations :=
+          Printf.sprintf "%s = %g outside its bound" v.Variable.name x
+          :: !violations)
+    (Aais.variables heis.Heisenberg.aais);
+  if t_sim > heis.Heisenberg.spec.Device.max_time then
+    violations :=
+      Printf.sprintf "T_sim %.3f us exceeds device limit" t_sim :: !violations;
+  {
+    error_l1;
+    relative_error;
+    max_term_error;
+    executable = !violations = [];
+    violations = !violations;
+    consistent_with_compiler = consistency ~recomputed:error_l1 result;
+  }

@@ -1,0 +1,34 @@
+(** Independent verification of compiled results.
+
+    Defence in depth for the compiler pipeline: rather than trusting the
+    linear-system bookkeeping, the verifier rebuilds the {e physical}
+    simulator Hamiltonian from the compiled variable values (through
+    {!Qturbo_aais.Rydberg.hamiltonian} / {!Qturbo_aais.Heisenberg.hamiltonian},
+    which know nothing about channels or synthesized variables), compares
+    [H_sim·T_sim] with [H_tar·T_tar] coefficient by coefficient, and
+    re-checks the extracted pulse against the device limits. *)
+
+type report = {
+  error_l1 : float;  (** independently recomputed [‖B_sim − B_tar‖₁] *)
+  relative_error : float;  (** percent *)
+  max_term_error : float;  (** worst single Pauli-term mismatch *)
+  executable : bool;  (** pulse passes {!Qturbo_aais.Pulse.within_limits} *)
+  violations : string list;
+  consistent_with_compiler : bool;
+      (** recomputed error agrees with the compiler's own metric within
+          [1e-6] absolute + 1 % relative *)
+}
+
+val verify_rydberg :
+  Qturbo_aais.Rydberg.t ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  t_tar:float ->
+  Compiler.result ->
+  report
+
+val verify_heisenberg :
+  Qturbo_aais.Heisenberg.t ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  t_tar:float ->
+  Compiler.result ->
+  report

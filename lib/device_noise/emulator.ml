@@ -1,0 +1,95 @@
+open Qturbo_aais
+open Qturbo_quantum
+
+type outcome = { z_avg : float; zz_avg : float; shots : int; trajectories : int }
+
+let perturbed_pulse ~rng ~(noise : Noise_model.t) (pulse : Pulse.rydberg) =
+  let g ~mu ~sigma =
+    if sigma = 0.0 then mu else Qturbo_util.Rng.gaussian rng ~mu ~sigma
+  in
+  (* global (laser) errors are shared by all atoms and all segments of the
+     shot; site jitter is per atom *)
+  let omega_factor = g ~mu:1.0 ~sigma:noise.Noise_model.omega_relative_sigma in
+  let delta_offset = g ~mu:0.0 ~sigma:noise.Noise_model.delta_sigma in
+  let phi_offset = g ~mu:0.0 ~sigma:noise.Noise_model.phi_sigma in
+  let jitter (x, y) =
+    ( g ~mu:x ~sigma:noise.Noise_model.position_sigma,
+      g ~mu:y ~sigma:noise.Noise_model.position_sigma )
+  in
+  {
+    pulse with
+    Pulse.positions = Array.map jitter pulse.Pulse.positions;
+    segments =
+      List.map
+        (fun (s : Pulse.rydberg_segment) ->
+          {
+            s with
+            Pulse.omega = Array.map (fun w -> Float.max 0.0 (omega_factor *. w)) s.Pulse.omega;
+            delta = Array.map (fun d -> d +. delta_offset) s.Pulse.delta;
+            phi = Array.map (fun p -> p +. phi_offset) s.Pulse.phi;
+          })
+        pulse.Pulse.segments;
+  }
+
+let evolve_pulse pulse =
+  let n = Array.length pulse.Pulse.positions in
+  let segments = Pulse.rydberg_segment_hamiltonians pulse in
+  Evolve.evolve_piecewise ~segments (State.ground ~n)
+
+(* when Markovian rates are on, each segment evolves through the
+   quantum-jump unravelling instead of the unitary integrator *)
+let evolve_pulse_markovian ~rng ~(noise : Noise_model.t) pulse =
+  let n = Array.length pulse.Pulse.positions in
+  let channels =
+    List.concat
+      (List.init n (fun i ->
+           List.filter
+             (fun { Lindblad.rate; _ } -> rate > 0.0)
+             [
+               { Lindblad.jump = Lindblad.Dephasing i;
+                 rate = noise.Noise_model.dephasing_rate };
+               { Lindblad.jump = Lindblad.Decay i;
+                 rate = noise.Noise_model.decay_rate };
+             ]))
+  in
+  List.fold_left
+    (fun psi (h, tau) -> Trajectory.evolve ~rng ~h ~channels ~t:tau psi)
+    (State.ground ~n)
+    (Pulse.rydberg_segment_hamiltonians pulse)
+
+let noiseless_final_state ~pulse = evolve_pulse pulse
+
+let run ~rng ~noise ~shots ?trajectories ?(cycle = true) ~pulse () =
+  if shots <= 0 then invalid_arg "Emulator.run: shots <= 0";
+  let trajectories =
+    match trajectories with
+    | Some t -> Int.max 1 (Int.min t shots)
+    | None -> Int.min shots 32
+  in
+  let base = shots / trajectories and extra = shots mod trajectories in
+  let all_bits = ref [] in
+  for traj = 0 to trajectories - 1 do
+    let traj_shots = base + (if traj < extra then 1 else 0) in
+    if traj_shots > 0 then begin
+      let noisy = perturbed_pulse ~rng ~noise pulse in
+      let markovian =
+        noise.Noise_model.dephasing_rate > 0.0
+        || noise.Noise_model.decay_rate > 0.0
+      in
+      let final =
+        if markovian then evolve_pulse_markovian ~rng ~noise noisy
+        else evolve_pulse noisy
+      in
+      let bits =
+        Measurement.sample_shots ~rng ~readout:noise.Noise_model.readout
+          ~shots:traj_shots final
+      in
+      all_bits := bits @ !all_bits
+    end
+  done;
+  {
+    z_avg = Observable.z_avg_of_bits !all_bits;
+    zz_avg = Observable.zz_avg_of_bits ~cycle !all_bits;
+    shots;
+    trajectories;
+  }

@@ -1,0 +1,41 @@
+(** Shot-based execution of Rydberg pulse schedules under the noise model.
+
+    Shots are grouped into {e trajectories}: within one trajectory the
+    quasi-static noise draw is fixed (that is what quasi-static means),
+    the Schrödinger equation is integrated exactly for the perturbed
+    pulse, and several projective measurements are sampled from the final
+    state.  Averaging trajectories reproduces the device's shot
+    statistics at a fraction of the cost of one evolution per shot. *)
+
+type outcome = {
+  z_avg : float;  (** estimated [1/N Σ⟨Z_i⟩] over all shots *)
+  zz_avg : float;  (** estimated adjacent-pair [⟨Z_iZ_j⟩] average *)
+  shots : int;
+  trajectories : int;
+}
+
+val run :
+  rng:Qturbo_util.Rng.t ->
+  noise:Noise_model.t ->
+  shots:int ->
+  ?trajectories:int ->
+  ?cycle:bool ->
+  pulse:Qturbo_aais.Pulse.rydberg ->
+  unit ->
+  outcome
+(** Execute [pulse] from the all-ground state.  [trajectories] defaults to
+    [min shots 32]; [cycle] (default true) selects the wrap-around pair in
+    [zz_avg].  Raises [Invalid_argument] on nonpositive [shots]. *)
+
+val noiseless_final_state :
+  pulse:Qturbo_aais.Pulse.rydberg -> Qturbo_quantum.State.t
+(** Exact evolution of the unperturbed pulse — the "(TH)" curves of
+    paper Fig. 6. *)
+
+val perturbed_pulse :
+  rng:Qturbo_util.Rng.t ->
+  noise:Noise_model.t ->
+  Qturbo_aais.Pulse.rydberg ->
+  Qturbo_aais.Pulse.rydberg
+(** One quasi-static noise draw applied to a schedule (exposed for tests:
+    the perturbation must vanish under {!Noise_model.ideal}). *)

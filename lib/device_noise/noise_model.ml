@@ -1,0 +1,45 @@
+type t = {
+  omega_relative_sigma : float;
+  delta_sigma : float;
+  phi_sigma : float;
+  position_sigma : float;
+  dephasing_rate : float;
+  decay_rate : float;
+  readout : Qturbo_quantum.Measurement.readout_error;
+}
+
+let ideal =
+  {
+    omega_relative_sigma = 0.0;
+    delta_sigma = 0.0;
+    phi_sigma = 0.0;
+    position_sigma = 0.0;
+    dephasing_rate = 0.0;
+    decay_rate = 0.0;
+    readout = Qturbo_quantum.Measurement.perfect_readout;
+  }
+
+let aquila =
+  {
+    omega_relative_sigma = 0.015;
+    delta_sigma = 0.5;
+    phi_sigma = 0.01;
+    position_sigma = 0.1;
+    dephasing_rate = 0.0;
+    decay_rate = 0.0;
+    readout = { Qturbo_quantum.Measurement.p_0_to_1 = 0.01; p_1_to_0 = 0.08 };
+  }
+
+let aquila_with_markovian =
+  { aquila with dephasing_rate = 0.05; decay_rate = 0.02 }
+
+let scaled factor t =
+  {
+    t with
+    omega_relative_sigma = factor *. t.omega_relative_sigma;
+    delta_sigma = factor *. t.delta_sigma;
+    phi_sigma = factor *. t.phi_sigma;
+    position_sigma = factor *. t.position_sigma;
+    dephasing_rate = factor *. t.dephasing_rate;
+    decay_rate = factor *. t.decay_rate;
+  }

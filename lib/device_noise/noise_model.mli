@@ -1,0 +1,47 @@
+(** Noise model of a Rydberg analog machine (the Aquila substitution).
+
+    The paper's device experiment (§7.4) runs compiled pulses on QuEra's
+    Aquila; we replace the machine with an emulator whose noise channels
+    are the dominant ones reported for neutral-atom analog devices:
+
+    {ul
+    {- {b quasi-static control noise}: shot-to-shot fluctuation of the
+       global Rabi amplitude (relative) and detuning (absolute).  Because
+       the resulting phase error accumulates over the {e device} execution
+       time, shorter pulses are quadratically more robust — exactly the
+       mechanism the paper's experiment demonstrates;}
+    {- {b site jitter}: each atom's trapped position deviates from the
+       programmed one, perturbing the van-der-Waals couplings;}
+    {- {b asymmetric readout error}: missing a Rydberg excitation is far
+       likelier than a false positive.}} *)
+
+type t = {
+  omega_relative_sigma : float;  (** σ of the relative Rabi-amplitude error *)
+  delta_sigma : float;  (** σ of the global detuning offset (device units) *)
+  phi_sigma : float;  (** σ of the global drive-phase offset (rad) *)
+  position_sigma : float;  (** σ of per-atom, per-axis site jitter (µm) *)
+  dephasing_rate : float;
+      (** per-atom Markovian dephasing rate (1/µs), realised by the
+          quantum-jump unravelling; 0 = off *)
+  decay_rate : float;  (** per-atom Rydberg-state decay rate (1/µs) *)
+  readout : Qturbo_quantum.Measurement.readout_error;
+}
+
+val ideal : t
+(** All channels off — the emulator then reproduces the noiseless theory
+    curves ("QTurbo (TH)" / "SimuQ (TH)" in paper Fig. 6). *)
+
+val aquila : t
+(** Magnitudes at the scale of Aquila's published performance:
+    1.5 % Rabi error, 0.5 rad/µs detuning offset, 0.1 µm site jitter,
+    1 % / 8 % readout flips.  Markovian rates are zero here — the
+    quasi-static channels dominate at Aquila's µs pulse scales. *)
+
+val aquila_with_markovian : t
+(** {!aquila} plus per-atom Markovian dephasing (0.05/µs) and Rydberg
+    decay (0.02/µs); emulation then runs the quantum-jump unravelling,
+    a few times slower per trajectory. *)
+
+val scaled : float -> t -> t
+(** Multiply every coherent-noise σ (not the readout) by a factor;
+    for noise-sensitivity ablations. *)

@@ -1,0 +1,74 @@
+module Int_set = Set.Make (Int)
+
+type t = { mutable edges : int; adj : Int_set.t array }
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  { edges = 0; adj = Array.make n Int_set.empty }
+
+let vertex_count t = Array.length t.adj
+let edge_count t = t.edges
+
+let check t v =
+  if v < 0 || v >= vertex_count t then
+    invalid_arg "Graph: vertex out of range"
+
+let has_edge t u v =
+  check t u;
+  check t v;
+  Int_set.mem v t.adj.(u)
+
+let add_edge t u v =
+  check t u;
+  check t v;
+  if u <> v && not (Int_set.mem v t.adj.(u)) then begin
+    t.adj.(u) <- Int_set.add v t.adj.(u);
+    t.adj.(v) <- Int_set.add u t.adj.(v);
+    t.edges <- t.edges + 1
+  end
+
+let neighbors t v =
+  check t v;
+  Int_set.elements t.adj.(v)
+
+let degree t v =
+  check t v;
+  Int_set.cardinal t.adj.(v)
+
+let components t =
+  let n = vertex_count t in
+  let uf = Union_find.create n in
+  for v = 0 to n - 1 do
+    Int_set.iter (fun u -> Union_find.union uf v u) t.adj.(v)
+  done;
+  Union_find.groups uf
+
+let is_connected t =
+  let n = vertex_count t in
+  n <= 1 || Array.length (components t) = 1
+
+let bfs_order t ~start =
+  check t start;
+  let n = vertex_count t in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  let order = ref [] in
+  visited.(start) <- true;
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    Int_set.iter
+      (fun u ->
+        if not visited.(u) then begin
+          visited.(u) <- true;
+          Queue.add u queue
+        end)
+      t.adj.(v)
+  done;
+  List.rev !order
+
+let of_edges ~n edges =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) edges;
+  g

@@ -1,0 +1,39 @@
+(** Simple undirected graphs over integer vertices [0 .. n-1].
+
+    Two compiler uses: the variable-dependency graph whose connected
+    components become the localized mixed systems, and the target-coupling
+    graph driving the qubit-mapping heuristic. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] vertices. *)
+
+val vertex_count : t -> int
+
+val edge_count : t -> int
+(** Undirected edges (each counted once). *)
+
+val add_edge : t -> int -> int -> unit
+(** Idempotent; self-loops are ignored.  Raises [Invalid_argument] on
+    out-of-range vertices. *)
+
+val has_edge : t -> int -> int -> bool
+
+val neighbors : t -> int -> int list
+(** Ascending, no duplicates. *)
+
+val degree : t -> int -> int
+
+val components : t -> int list array
+(** Connected components, each sorted ascending, ordered by smallest
+    member. *)
+
+val is_connected : t -> bool
+(** True for empty and single-vertex graphs. *)
+
+val bfs_order : t -> start:int -> int list
+(** Vertices of [start]'s component in breadth-first order (ties broken by
+    ascending vertex id). *)
+
+val of_edges : n:int -> (int * int) list -> t

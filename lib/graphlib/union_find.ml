@@ -1,0 +1,53 @@
+type t = { parent : int array; rank : int array }
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create: negative size";
+  { parent = Array.init n Fun.id; rank = Array.make n 0 }
+
+let size t = Array.length t.parent
+
+let check t i =
+  if i < 0 || i >= size t then invalid_arg "Union_find: element out of range"
+
+let rec find t i =
+  check t i;
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri <> rj then
+    if t.rank.(ri) < t.rank.(rj) then t.parent.(ri) <- rj
+    else if t.rank.(ri) > t.rank.(rj) then t.parent.(rj) <- ri
+    else begin
+      t.parent.(rj) <- ri;
+      t.rank.(ri) <- t.rank.(ri) + 1
+    end
+
+let same t i j = find t i = find t j
+
+let count_sets t =
+  let n = size t in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if find t i = i then incr count
+  done;
+  !count
+
+let groups t =
+  let n = size t in
+  let by_root = Hashtbl.create 16 in
+  let order = ref [] in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let existing = try Hashtbl.find by_root r with Not_found -> [] in
+    if existing = [] then order := r :: !order;
+    Hashtbl.replace by_root r (i :: existing)
+  done;
+  let roots = List.sort Int.compare !order in
+  Array.of_list (List.map (fun r -> Hashtbl.find by_root r) roots)

@@ -1,0 +1,28 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    The locality decomposition of QTurbo (paper §4.2) reduces to connected
+    components of the bipartite graph between synthesized variables and
+    amplitude variables; union–find keeps that near-linear. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds [n] singleton sets labelled [0 .. n-1]. *)
+
+val size : t -> int
+(** Number of elements (not sets). *)
+
+val find : t -> int -> int
+(** Canonical representative; compresses paths.  Raises [Invalid_argument]
+    on out-of-range elements. *)
+
+val union : t -> int -> int -> unit
+(** Merge the sets of the two elements (no-op if already together). *)
+
+val same : t -> int -> int -> bool
+
+val count_sets : t -> int
+
+val groups : t -> int list array
+(** All sets, each as the list of its members in ascending order, indexed
+    arbitrarily but deterministically (by ascending representative). *)

@@ -1,0 +1,139 @@
+type t = {
+  nrows : int;
+  ncols : int;
+  row_ptr : int array; (* length nrows + 1 *)
+  col_idx : int array;
+  values : float array;
+}
+
+type triplet = { row : int; col : int; value : float }
+
+let of_triplets ~rows ~cols entries =
+  List.iter
+    (fun { row; col; value = _ } ->
+      if row < 0 || row >= rows || col < 0 || col >= cols then
+        invalid_arg "Csr.of_triplets: entry out of range")
+    entries;
+  (* bucket by row, then sort by column and merge duplicates *)
+  let buckets = Array.make rows [] in
+  List.iter
+    (fun { row; col; value } ->
+      if value <> 0.0 then buckets.(row) <- (col, value) :: buckets.(row))
+    entries;
+  let row_ptr = Array.make (rows + 1) 0 in
+  let merged =
+    Array.map
+      (fun entries ->
+        let sorted =
+          List.sort (fun (c1, _) (c2, _) -> Int.compare c1 c2) entries
+        in
+        let rec merge = function
+          | [] -> []
+          | [ e ] -> [ e ]
+          | (c1, v1) :: (c2, v2) :: rest when c1 = c2 ->
+              merge ((c1, v1 +. v2) :: rest)
+          | e :: rest -> e :: merge rest
+        in
+        List.filter (fun (_, v) -> v <> 0.0) (merge sorted))
+      buckets
+  in
+  let nnz = Array.fold_left (fun acc l -> acc + List.length l) 0 merged in
+  let col_idx = Array.make nnz 0 in
+  let values = Array.make nnz 0.0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i entries ->
+      row_ptr.(i) <- !pos;
+      List.iter
+        (fun (c, v) ->
+          col_idx.(!pos) <- c;
+          values.(!pos) <- v;
+          incr pos)
+        entries)
+    merged;
+  row_ptr.(rows) <- !pos;
+  { nrows = rows; ncols = cols; row_ptr; col_idx; values }
+
+let rows t = t.nrows
+let cols t = t.ncols
+let nnz t = Array.length t.values
+
+let get t i j =
+  if i < 0 || i >= t.nrows || j < 0 || j >= t.ncols then
+    invalid_arg "Csr.get: out of bounds";
+  let result = ref 0.0 in
+  (try
+     for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+       if t.col_idx.(k) = j then begin
+         result := t.values.(k);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let row_entries t i =
+  if i < 0 || i >= t.nrows then invalid_arg "Csr.row_entries: out of bounds";
+  let acc = ref [] in
+  for k = t.row_ptr.(i + 1) - 1 downto t.row_ptr.(i) do
+    acc := (t.col_idx.(k), t.values.(k)) :: !acc
+  done;
+  !acc
+
+let mul_vec t x =
+  if Array.length x <> t.ncols then invalid_arg "Csr.mul_vec: dimension mismatch";
+  Array.init t.nrows (fun i ->
+      let s = ref 0.0 in
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        s := !s +. (t.values.(k) *. x.(t.col_idx.(k)))
+      done;
+      !s)
+
+let mul_vec_t t y =
+  if Array.length y <> t.nrows then
+    invalid_arg "Csr.mul_vec_t: dimension mismatch";
+  let r = Array.make t.ncols 0.0 in
+  for i = 0 to t.nrows - 1 do
+    let yi = y.(i) in
+    if yi <> 0.0 then
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        let j = t.col_idx.(k) in
+        r.(j) <- r.(j) +. (t.values.(k) *. yi)
+      done
+  done;
+  r
+
+let to_dense t =
+  let m = Mat.create ~rows:t.nrows ~cols:t.ncols in
+  for i = 0 to t.nrows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      Mat.set m i t.col_idx.(k) t.values.(k)
+    done
+  done;
+  m
+
+let of_dense ?(tol = 0.0) m =
+  let entries = ref [] in
+  for i = 0 to Mat.rows m - 1 do
+    for j = 0 to Mat.cols m - 1 do
+      let v = Mat.get m i j in
+      if Float.abs v > tol then entries := { row = i; col = j; value = v } :: !entries
+    done
+  done;
+  of_triplets ~rows:(Mat.rows m) ~cols:(Mat.cols m) !entries
+
+let norm1 t =
+  let col_sums = Array.make t.ncols 0.0 in
+  Array.iteri
+    (fun k j -> col_sums.(j) <- col_sums.(j) +. Float.abs t.values.(k))
+    t.col_idx;
+  Array.fold_left Float.max 0.0 col_sums
+
+let transpose t =
+  let entries = ref [] in
+  for i = 0 to t.nrows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      entries := { row = t.col_idx.(k); col = i; value = t.values.(k) } :: !entries
+    done
+  done;
+  of_triplets ~rows:t.ncols ~cols:t.nrows !entries

@@ -1,0 +1,41 @@
+(** Compressed sparse row matrices.
+
+    The global linear system of the compiler has O(N²) rows for an N-atom
+    Rydberg device but only a handful of nonzeros per row; CSR keeps its
+    assembly and matrix–vector products linear in the number of nonzeros. *)
+
+type t
+
+type triplet = { row : int; col : int; value : float }
+
+val of_triplets : rows:int -> cols:int -> triplet list -> t
+(** Build from coordinate entries; duplicate [(row, col)] entries are
+    summed.  Entries out of range raise [Invalid_argument]. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val nnz : t -> int
+(** Stored entries (explicit zeros created by cancellation are dropped). *)
+
+val get : t -> int -> int -> float
+(** Zero for non-stored entries; O(row nnz). *)
+
+val row_entries : t -> int -> (int * float) list
+(** Nonzeros of a row as [(col, value)] pairs, ascending columns. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+
+val mul_vec_t : t -> Vec.t -> Vec.t
+
+val to_dense : t -> Mat.t
+
+val of_dense : ?tol:float -> Mat.t -> t
+(** Entries with [|x| <= tol] are dropped (default [0.]: keep all
+    nonzeros). *)
+
+val norm1 : t -> float
+(** Induced L1 norm (max absolute column sum), matching {!Mat.norm1}. *)
+
+val transpose : t -> t

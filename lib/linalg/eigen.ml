@@ -1,0 +1,76 @@
+type t = { eigenvalues : Vec.t; eigenvectors : Mat.t }
+
+let symmetric ?(tol = 1e-12) ?(max_sweeps = 64) a0 =
+  let n = Mat.rows a0 in
+  if Mat.cols a0 <> n then invalid_arg "Eigen.symmetric: matrix not square";
+  (* work on the symmetrised copy *)
+  let a = Mat.init ~rows:n ~cols:n (fun i j -> 0.5 *. (Mat.get a0 i j +. Mat.get a0 j i)) in
+  let v = Mat.identity n in
+  let off_norm () =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let x = Mat.get a i j in
+        s := !s +. (2.0 *. x *. x)
+      done
+    done;
+    sqrt !s
+  in
+  let scale = Float.max 1e-300 (Mat.frobenius a) in
+  let sweeps = ref 0 in
+  while off_norm () > tol *. scale && !sweeps < max_sweeps do
+    incr sweeps;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = Mat.get a p q in
+        if Float.abs apq > 1e-300 then begin
+          let app = Mat.get a p p and aqq = Mat.get a q q in
+          (* Jacobi rotation annihilating a_pq *)
+          let theta = (aqq -. app) /. (2.0 *. apq) in
+          let t =
+            let sign = if theta >= 0.0 then 1.0 else -1.0 in
+            sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+          in
+          let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+          let s = t *. c in
+          (* rows/columns p and q of A *)
+          for k = 0 to n - 1 do
+            let akp = Mat.get a k p and akq = Mat.get a k q in
+            Mat.set a k p ((c *. akp) -. (s *. akq));
+            Mat.set a k q ((s *. akp) +. (c *. akq))
+          done;
+          for k = 0 to n - 1 do
+            let apk = Mat.get a p k and aqk = Mat.get a q k in
+            Mat.set a p k ((c *. apk) -. (s *. aqk));
+            Mat.set a q k ((s *. apk) +. (c *. aqk))
+          done;
+          (* accumulate the rotation into V *)
+          for k = 0 to n - 1 do
+            let vkp = Mat.get v k p and vkq = Mat.get v k q in
+            Mat.set v k p ((c *. vkp) -. (s *. vkq));
+            Mat.set v k q ((s *. vkp) +. (c *. vkq))
+          done
+        end
+      done
+    done
+  done;
+  (* sort ascending by eigenvalue *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun i j -> Float.compare (Mat.get a i i) (Mat.get a j j)) order;
+  let eigenvalues = Array.map (fun i -> Mat.get a i i) order in
+  let eigenvectors =
+    Mat.init ~rows:n ~cols:n (fun i j -> Mat.get v i order.(j))
+  in
+  { eigenvalues; eigenvectors }
+
+let reconstruct { eigenvalues; eigenvectors = v } =
+  let n = Array.length eigenvalues in
+  Mat.init ~rows:n ~cols:n (fun i j ->
+      let s = ref 0.0 in
+      for k = 0 to n - 1 do
+        s := !s +. (Mat.get v i k *. eigenvalues.(k) *. Mat.get v j k)
+      done;
+      !s)
+
+let apply_function { eigenvalues; eigenvectors } f =
+  reconstruct { eigenvalues = Array.map f eigenvalues; eigenvectors }

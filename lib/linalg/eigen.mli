@@ -1,0 +1,25 @@
+(** Symmetric eigendecomposition (cyclic Jacobi).
+
+    Needed by the quantum layer: exact evolution under a Hermitian
+    Hamiltonian diagonalises its real-symmetric embedding, giving an
+    integrator-free reference to validate the RK4 path, and entanglement
+    entropies diagonalise reduced density matrices.  Jacobi is slow but
+    unconditionally robust and accurate to machine precision — the right
+    trade-off for a reference implementation. *)
+
+type t = {
+  eigenvalues : Vec.t;  (** ascending *)
+  eigenvectors : Mat.t;  (** column [j] pairs with [eigenvalues.(j)] *)
+}
+
+val symmetric : ?tol:float -> ?max_sweeps:int -> Mat.t -> t
+(** Eigendecomposition of a symmetric matrix.  The input is symmetrised
+    as [(A + Aᵀ)/2] first; [tol] bounds the off-diagonal Frobenius mass at
+    convergence relative to the matrix norm (default [1e-12]).  Raises
+    [Invalid_argument] on non-square input. *)
+
+val reconstruct : t -> Mat.t
+(** [V diag(λ) Vᵀ] — for tests. *)
+
+val apply_function : t -> (float -> float) -> Mat.t
+(** [f(A) = V diag(f λ) Vᵀ]: matrix functions of symmetric matrices. *)

@@ -1,0 +1,88 @@
+type factor = {
+  lu : Mat.t; (* combined L (unit lower) and U factors *)
+  perm : int array; (* row permutation *)
+  sign : float; (* permutation parity, for det *)
+}
+
+exception Singular of int
+
+let factorize ?(pivot_tol = 1e-13) a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Lu.factorize: matrix not square";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* partial pivot: largest |entry| in column k at or below the diagonal *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !piv k) then piv := i
+    done;
+    if Float.abs (Mat.get lu !piv k) <= pivot_tol then raise (Singular k);
+    if !piv <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !piv j);
+        Mat.set lu !piv j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = Mat.get lu k k in
+    for i = k + 1 to n - 1 do
+      let factor = Mat.get lu i k /. pivot in
+      Mat.set lu i k factor;
+      if factor <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+        done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve_factored { lu; perm; sign = _ } b =
+  let n = Mat.rows lu in
+  if Array.length b <> n then invalid_arg "Lu.solve_factored: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution with unit lower factor *)
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  (* back substitution with upper factor *)
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !s /. Mat.get lu i i
+  done;
+  x
+
+let solve ?pivot_tol a b = solve_factored (factorize ?pivot_tol a) b
+
+let det f =
+  let n = Mat.rows f.lu in
+  let d = ref f.sign in
+  for i = 0 to n - 1 do
+    d := !d *. Mat.get f.lu i i
+  done;
+  !d
+
+let inverse a =
+  let n = Mat.rows a in
+  let f = factorize a in
+  let inv = Mat.create ~rows:n ~cols:n in
+  for j = 0 to n - 1 do
+    let e = Array.init n (fun i -> if i = j then 1.0 else 0.0) in
+    let x = solve_factored f e in
+    for i = 0 to n - 1 do
+      Mat.set inv i j x.(i)
+    done
+  done;
+  inv

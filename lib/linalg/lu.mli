@@ -1,0 +1,29 @@
+(** LU decomposition with partial pivoting, for square linear systems.
+
+    Used by the Levenberg–Marquardt inner solve (normal equations with a
+    damping term) and by small dense subsystems left over after the greedy
+    structural pass of {!Sparse_solve}. *)
+
+type factor
+(** A factored matrix; solving against multiple right-hand sides reuses
+    the factorisation. *)
+
+exception Singular of int
+(** Raised when elimination meets a pivot below tolerance; the payload is
+    the offending column. *)
+
+val factorize : ?pivot_tol:float -> Mat.t -> factor
+(** Factor a square matrix.  Raises [Invalid_argument] if not square and
+    {!Singular} if numerically rank-deficient. *)
+
+val solve_factored : factor -> Vec.t -> Vec.t
+(** Solve [A x = b] given the factorisation of [A]. *)
+
+val solve : ?pivot_tol:float -> Mat.t -> Vec.t -> Vec.t
+(** One-shot factor + solve. *)
+
+val det : factor -> float
+(** Determinant from the factorisation. *)
+
+val inverse : Mat.t -> Mat.t
+(** Dense inverse (column-by-column solve).  Only used in tests. *)

@@ -1,0 +1,60 @@
+(** Dense row-major matrices. *)
+
+type t
+(** A [rows x cols] matrix backed by a single flat float array. *)
+
+val create : rows:int -> cols:int -> t
+(** Zero matrix. *)
+
+val init : rows:int -> cols:int -> (int -> int -> float) -> t
+
+val of_rows : float array array -> t
+(** Build from an array of equal-length rows.  Raises on ragged input or an
+    empty outer array. *)
+
+val identity : int -> t
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+
+val row : t -> int -> Vec.t
+(** Fresh copy of a row. *)
+
+val col : t -> int -> Vec.t
+
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Matrix product.  Raises on inner-dimension mismatch. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec a x] computes [a x]. *)
+
+val mul_vec_t : t -> Vec.t -> Vec.t
+(** [mul_vec_t a y] computes [aᵀ y] without materialising the transpose. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val norm1 : t -> float
+(** Induced L1 norm (maximum absolute column sum) — the [‖M‖₁] of the
+    paper's Theorem 1 error bound. *)
+
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val frobenius : t -> float
+
+val equal : ?rtol:float -> ?atol:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(** Householder QR factorisation and linear least squares.
+
+    This is the dense engine behind the global linear equation system of
+    QTurbo (paper §4.1): the system is usually solved exactly by the greedy
+    structural pass, but any leftover coupled block — overdetermined when
+    instruction channels are shared (global control), underdetermined when
+    the AAIS is redundant — lands here as a minimum-norm least-squares
+    problem. *)
+
+type factor
+
+val factorize : Mat.t -> factor
+(** Householder QR of an [m x n] matrix with [m >= n] not required; rank
+    deficiency is tolerated (detected during the solve). *)
+
+val least_squares : ?rank_tol:float -> Mat.t -> Vec.t -> Vec.t
+(** [least_squares a b] minimises [‖a x − b‖₂].  Columns whose pivot falls
+    below [rank_tol * max_pivot] are treated as free and assigned zero,
+    which yields a (not necessarily minimum-norm) basic solution — exactly
+    the behaviour wanted for redundant AAIS channels: unused channels stay
+    switched off. *)
+
+val solve_factored : ?rank_tol:float -> factor -> Vec.t -> Vec.t
+
+val residual_norm : Mat.t -> Vec.t -> Vec.t -> float
+(** [residual_norm a x b = ‖a x − b‖₂]; convenience for callers reporting
+    the [ε₁] of Theorem 1. *)

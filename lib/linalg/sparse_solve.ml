@@ -1,0 +1,182 @@
+type row = { cells : (int * float) list; rhs : float }
+
+type stats = {
+  greedy_solved : int;
+  dense_solved : int;
+  free_vars : int;
+  dense_rows : int;
+}
+
+type result = { x : Vec.t; residual_l1 : float; stats : stats }
+
+let validate ~ncols rows =
+  List.iter
+    (fun { cells; rhs = _ } ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (c, _) ->
+          if c < 0 || c >= ncols then
+            invalid_arg "Sparse_solve: column out of range";
+          if Hashtbl.mem seen c then
+            invalid_arg "Sparse_solve: duplicate column in row";
+          Hashtbl.add seen c ())
+        cells)
+    rows
+
+let residual_l1 ~ncols rows x =
+  validate ~ncols rows;
+  List.fold_left
+    (fun acc { cells; rhs } ->
+      let lhs =
+        List.fold_left (fun s (c, a) -> s +. (a *. x.(c))) 0.0 cells
+      in
+      acc +. Float.abs (lhs -. rhs))
+    0.0 rows
+
+(* Tiny coefficients cannot be used as pivots in the greedy pass: dividing
+   by them would blow up rounding errors from earlier substitutions. *)
+let pivot_tol = 1e-12
+
+let solve ~ncols rows =
+  validate ~ncols rows;
+  let rows = Array.of_list rows in
+  let nrows = Array.length rows in
+  let x = Array.make ncols 0.0 in
+  let solved = Array.make ncols false in
+  (* live state per row: remaining rhs and count of unsolved unknowns *)
+  let rhs = Array.map (fun r -> r.rhs) rows in
+  let unsolved = Array.map (fun r -> List.length r.cells) rows in
+  let done_row = Array.make nrows false in
+  (* column -> rows containing it *)
+  let col_rows = Array.make ncols [] in
+  Array.iteri
+    (fun i r -> List.iter (fun (c, _) -> col_rows.(c) <- i :: col_rows.(c)) r.cells)
+    rows;
+  let greedy_solved = ref 0 in
+  (* worklist of candidate singleton rows *)
+  let queue = Queue.create () in
+  Array.iteri (fun i n -> if n = 1 then Queue.add i queue) unsolved;
+  let remaining_cell i =
+    (* the unique unsolved (col, coeff) of row i, if any with usable pivot *)
+    let rec find = function
+      | [] -> None
+      | (c, a) :: rest -> if solved.(c) then find rest else Some (c, a)
+    in
+    find rows.(i).cells
+  in
+  let settle_column c value =
+    solved.(c) <- true;
+    x.(c) <- value;
+    List.iter
+      (fun j ->
+        if not done_row.(j) then begin
+          let coeff = List.assoc c rows.(j).cells in
+          rhs.(j) <- rhs.(j) -. (coeff *. value);
+          unsolved.(j) <- unsolved.(j) - 1;
+          if unsolved.(j) = 1 then Queue.add j queue
+          else if unsolved.(j) = 0 then done_row.(j) <- true
+        end)
+      col_rows.(c)
+  in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    if (not done_row.(i)) && unsolved.(i) = 1 then
+      match remaining_cell i with
+      | None -> done_row.(i) <- true
+      | Some (c, a) ->
+          if Float.abs a > pivot_tol then begin
+            done_row.(i) <- true;
+            incr greedy_solved;
+            settle_column c (rhs.(i) /. a)
+          end
+          (* else: leave for the dense fallback *)
+  done;
+  (* dense fallback over leftover rows/columns *)
+  let leftover_rows =
+    List.filter (fun i -> not done_row.(i)) (List.init nrows Fun.id)
+  in
+  let leftover_cols = Hashtbl.create 16 in
+  let col_order = ref [] in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun (c, _) ->
+          if (not solved.(c)) && not (Hashtbl.mem leftover_cols c) then begin
+            Hashtbl.add leftover_cols c (Hashtbl.length leftover_cols);
+            col_order := c :: !col_order
+          end)
+        rows.(i).cells)
+    leftover_rows;
+  let dense_cols = Array.of_list (List.rev !col_order) in
+  let dense_rows_n = List.length leftover_rows in
+  let dense_solved = Array.length dense_cols in
+  if dense_solved > 0 && dense_rows_n > 0 then begin
+    let a = Mat.create ~rows:dense_rows_n ~cols:dense_solved in
+    let b = Array.make dense_rows_n 0.0 in
+    List.iteri
+      (fun ri i ->
+        b.(ri) <- rhs.(i);
+        List.iter
+          (fun (c, coeff) ->
+            if not solved.(c) then
+              Mat.set a ri (Hashtbl.find leftover_cols c) coeff)
+          rows.(i).cells)
+      leftover_rows;
+    let sol = Qr.least_squares a b in
+    Array.iteri (fun k c -> x.(c) <- sol.(k); solved.(c) <- true) dense_cols
+  end;
+  let free_vars = ref 0 in
+  Array.iter (fun s -> if not s then incr free_vars) solved;
+  let res =
+    Array.fold_left
+      (fun acc r ->
+        let lhs =
+          List.fold_left (fun s (c, a) -> s +. (a *. x.(c))) 0.0 r.cells
+        in
+        acc +. Float.abs (lhs -. r.rhs))
+      0.0 rows
+  in
+  {
+    x;
+    residual_l1 = res;
+    stats =
+      {
+        greedy_solved = !greedy_solved;
+        dense_solved;
+        free_vars = !free_vars;
+        dense_rows = dense_rows_n;
+      };
+  }
+
+let dense_only ~ncols rows =
+  validate ~ncols rows;
+  let rows_a = Array.of_list rows in
+  let nrows = Array.length rows_a in
+  if nrows = 0 then
+    {
+      x = Array.make ncols 0.0;
+      residual_l1 = 0.0;
+      stats =
+        { greedy_solved = 0; dense_solved = 0; free_vars = ncols; dense_rows = 0 };
+    }
+  else begin
+    let a = Mat.create ~rows:nrows ~cols:ncols in
+    let b = Array.make nrows 0.0 in
+    Array.iteri
+      (fun i r ->
+        b.(i) <- r.rhs;
+        List.iter (fun (c, coeff) -> Mat.set a i c coeff) r.cells)
+      rows_a;
+    let x = Qr.least_squares a b in
+    {
+      x;
+      residual_l1 = residual_l1 ~ncols rows x;
+      stats =
+        {
+          greedy_solved = 0;
+          dense_solved = ncols;
+          free_vars = 0;
+          dense_rows = nrows;
+        };
+    }
+  end

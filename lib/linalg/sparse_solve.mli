@@ -1,0 +1,44 @@
+(** Sparse linear-system solver for the global linear equation system.
+
+    QTurbo's global system (paper §4.1, Eq. 5) is structurally almost
+    triangular: van-der-Waals rows pin their synthesized variable directly,
+    detuning rows then become singletons, and Rabi rows are singletons from
+    the start.  The solver exploits this with a greedy substitution pass —
+    repeatedly solving any row with exactly one unsolved unknown — and only
+    falls back to a dense least-squares factorisation for whatever coupled
+    block remains (e.g. shared channels under global control).
+
+    The system may be inconsistent (the AAIS cannot realise the target
+    exactly; the van-der-Waals tail is the canonical example) and the
+    returned [residual_l1] is then the [ε₁] of the paper's Theorem 1. *)
+
+type row = { cells : (int * float) list; rhs : float }
+(** One equation [Σ coeff·x_col = rhs]; columns within a row must be
+    distinct. *)
+
+type stats = {
+  greedy_solved : int;  (** unknowns fixed by the substitution pass *)
+  dense_solved : int;  (** unknowns fixed by the dense fallback *)
+  free_vars : int;  (** unknowns in no equation, set to zero *)
+  dense_rows : int;  (** rows given to the dense fallback *)
+}
+
+type result = {
+  x : Vec.t;
+  residual_l1 : float;  (** [‖A x − b‖₁] over all rows *)
+  stats : stats;
+}
+
+val solve : ncols:int -> row list -> result
+(** Solve the system.  Never raises on rank deficiency or inconsistency;
+    the residual reports the quality.  Raises [Invalid_argument] on
+    out-of-range columns or duplicate columns within one row. *)
+
+val residual_l1 : ncols:int -> row list -> Vec.t -> float
+(** Recompute [‖A x − b‖₁] for an arbitrary candidate (used by the
+    refinement stage after the runtime-fixed variables moved). *)
+
+val dense_only : ncols:int -> row list -> result
+(** Reference implementation that skips the greedy pass and solves the
+    whole system densely (QR least squares).  Used by tests and by the
+    [ablation/linear-solver] bench. *)

@@ -1,0 +1,63 @@
+type t = float array
+
+let create n = Array.make n 0.0
+let init = Array.init
+let of_list = Array.of_list
+let copy = Array.copy
+let dim = Array.length
+let fill v x = Array.fill v 0 (Array.length v) x
+
+let check_dim name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (name ^ ": dimension mismatch")
+
+let add a b =
+  check_dim "Vec.add" a b;
+  Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+
+let sub a b =
+  check_dim "Vec.sub" a b;
+  Array.init (Array.length a) (fun i -> a.(i) -. b.(i))
+
+let scale s a = Array.map (fun x -> s *. x) a
+
+let axpy ~alpha ~x ~y =
+  check_dim "Vec.axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (alpha *. x.(i)) +. y.(i)
+  done
+
+let dot a b =
+  check_dim "Vec.dot" a b;
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let norm2 a = sqrt (dot a a)
+let norm1 a = Array.fold_left (fun s x -> s +. Float.abs x) 0.0 a
+let norm_inf a = Array.fold_left (fun s x -> Float.max s (Float.abs x)) 0.0 a
+
+let max_abs_index a =
+  if Array.length a = 0 then invalid_arg "Vec.max_abs_index: empty";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if Float.abs a.(i) > Float.abs a.(!best) then best := i
+  done;
+  !best
+
+let map = Array.map
+
+let map2 f a b =
+  check_dim "Vec.map2" a b;
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let pp ppf v =
+  Format.fprintf ppf "[";
+  Array.iteri
+    (fun i x ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%g" x)
+    v;
+  Format.fprintf ppf "]"

@@ -1,0 +1,49 @@
+(** Dense float vectors.
+
+    Thin, allocation-explicit wrappers around [float array]; all operations
+    check dimensions.  Vectors are the currency between the equation-system
+    builders and the solvers. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector of the given length. *)
+
+val init : int -> (int -> float) -> t
+
+val of_list : float list -> t
+
+val copy : t -> t
+
+val dim : t -> int
+
+val fill : t -> float -> unit
+
+val add : t -> t -> t
+(** Elementwise sum.  Raises [Invalid_argument] on dimension mismatch. *)
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val axpy : alpha:float -> x:t -> y:t -> unit
+(** [axpy ~alpha ~x ~y] performs [y <- alpha * x + y] in place. *)
+
+val dot : t -> t -> float
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm1 : t -> float
+(** L1 norm — the paper's accuracy metric (Eq. 9) is expressed in it. *)
+
+val norm_inf : t -> float
+
+val max_abs_index : t -> int
+(** Index of the entry with largest magnitude.  Raises on empty. *)
+
+val map : (float -> float) -> t -> t
+
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+(** The benchmark Hamiltonians of paper Table 2.
+
+    Coefficients default to the paper's evaluation setting (all parameters
+    1, in the device's frequency unit) but are exposed for the real-device
+    experiments, which use specific [J], [h] values (§7.4). *)
+
+val ising_chain : ?j:float -> ?h:float -> n:int -> unit -> Model.t
+(** [J Σ Z_iZ_{i+1} + h Σ X_i] on an open chain. *)
+
+val ising_cycle : ?j:float -> ?h:float -> n:int -> unit -> Model.t
+(** Same with periodic boundary. *)
+
+val kitaev : ?mu:float -> ?t:float -> ?h:float -> n:int -> unit -> Model.t
+(** [μ/2 Σ Z_iZ_{i+1} − Σ (t X_i + h Z_i)]. *)
+
+val ising_cycle_plus : ?j:float -> ?h:float -> n:int -> unit -> Model.t
+(** Ising cycle plus next-nearest-neighbour couplings [J/2⁶ Σ Z_iZ_{i+2}]
+    — the van-der-Waals-native variant from the paper's reference [11]. *)
+
+val heisenberg_chain : ?j:float -> ?h:float -> n:int -> unit -> Model.t
+(** [J Σ (X_iX_{i+1} + Y_iY_{i+1} + Z_iZ_{i+1}) + h Σ X_i]. *)
+
+val mis_chain :
+  ?u:float -> ?omega:float -> ?alpha:float -> n:int -> unit -> Model.t
+(** Time-dependent maximum-independent-set anneal:
+    [Σ ((1−2s)U n̂_i + (ω/2) X_i) + Σ α n̂_i n̂_{i+1}] with the normalised
+    time [s] sweeping the detuning from [+U] to [−U]. *)
+
+val ising_grid : ?j:float -> ?h:float -> rows:int -> cols:int -> unit -> Model.t
+(** Transverse-field Ising model on a [rows × cols] square lattice
+    (open boundaries), qubit [(r, c)] numbered [r·cols + c].  The paper
+    notes the benchmark suite's coupling structures are "a chain, a
+    lattice, or a cycle"; this is the lattice member, natural for the
+    planar Rydberg geometry.  Note the intrinsic Rydberg limitation:
+    a square lattice's diagonal van-der-Waals tails are only
+    [(√2)⁻⁶ = 1/8] of the bond strength, so compilations carry a
+    ~10–15 % error floor that no solver can remove (per-atom detuning
+    required; global control fares far worse). *)
+
+val pxp : ?j:float -> ?h:float -> n:int -> unit -> Model.t
+(** Blockaded chain [J Σ n̂_i n̂_{i+1} + h Σ X_i]; with [J ≫ h] the
+    dynamics realise the PXP scar model. *)
+
+val all_static :
+  n:int -> Model.t list
+(** The six time-independent benchmarks at default parameters. *)
+
+val by_name : name:string -> n:int -> Model.t
+(** Lookup by the names used in the paper's figures: ["ising-chain"],
+    ["ising-cycle"], ["kitaev"], ["ising-cycle+"], ["heis-chain"],
+    ["mis-chain"], ["pxp"], plus ["ising-grid"] which requires [n] to be
+    a perfect square ([√n × √n] lattice).  Raises [Invalid_argument] on
+    unknown names or non-square grid sizes. *)

@@ -1,0 +1,21 @@
+open Qturbo_pauli
+
+type kind = Static of Pauli_sum.t | Driven of (float -> Pauli_sum.t)
+type t = { name : string; n : int; kind : kind }
+
+let static ~name ~n h =
+  if Pauli_sum.n_qubits h > n then invalid_arg "Model.static: term beyond n";
+  { name; n; kind = Static h }
+
+let driven ~name ~n f = { name; n; kind = Driven f }
+
+let hamiltonian_at t ~s =
+  match t.kind with Static h -> h | Driven f -> f s
+
+let is_driven t = match t.kind with Static _ -> false | Driven _ -> true
+
+let discretize t ~segments =
+  if segments < 1 then invalid_arg "Model.discretize: segments < 1";
+  List.init segments (fun k ->
+      let s = (float_of_int k +. 0.5) /. float_of_int segments in
+      hamiltonian_at t ~s)

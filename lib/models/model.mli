@@ -1,0 +1,25 @@
+(** Target-system models: the benchmark suite of paper Table 2.
+
+    A model is either a static Hamiltonian or a driven (time-dependent)
+    one given as a function of the {e normalised} time [s ∈ [0, 1]] (the
+    fraction of the target evolution elapsed). *)
+
+type kind =
+  | Static of Qturbo_pauli.Pauli_sum.t
+  | Driven of (float -> Qturbo_pauli.Pauli_sum.t)
+
+type t = { name : string; n : int; kind : kind }
+
+val static : name:string -> n:int -> Qturbo_pauli.Pauli_sum.t -> t
+
+val driven : name:string -> n:int -> (float -> Qturbo_pauli.Pauli_sum.t) -> t
+
+val hamiltonian_at : t -> s:float -> Qturbo_pauli.Pauli_sum.t
+(** For static models, the Hamiltonian regardless of [s]. *)
+
+val is_driven : t -> bool
+
+val discretize : t -> segments:int -> Qturbo_pauli.Pauli_sum.t list
+(** Piecewise-constant approximation (paper §5.3): segment [k] carries the
+    Hamiltonian at the segment midpoint [s = (k + 1/2)/segments].  Static
+    models yield [segments] copies. *)

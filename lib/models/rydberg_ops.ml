@@ -1,0 +1,15 @@
+open Qturbo_pauli
+
+let number i =
+  Pauli_sum.of_list
+    [ (Pauli_string.identity, 0.5); (Pauli_string.single i Pauli.Z, -0.5) ]
+
+let number_number i j =
+  if i = j then invalid_arg "Rydberg_ops.number_number: equal sites";
+  Pauli_sum.of_list
+    [
+      (Pauli_string.identity, 0.25);
+      (Pauli_string.single i Pauli.Z, -0.25);
+      (Pauli_string.single j Pauli.Z, -0.25);
+      (Pauli_string.two i Pauli.Z j Pauli.Z, 0.25);
+    ]

@@ -1,0 +1,11 @@
+(** Rydberg number-operator expansions shared by the MIS and PXP models.
+
+    [n̂_i = (I − Z_i)/2] projects onto the Rydberg (excited) state; the
+    models of paper Table 2 written in terms of [n̂] expand into Pauli
+    sums through these helpers. *)
+
+val number : int -> Qturbo_pauli.Pauli_sum.t
+(** [n̂_i] as a Pauli sum (identity term included). *)
+
+val number_number : int -> int -> Qturbo_pauli.Pauli_sum.t
+(** [n̂_i n̂_j = (I − Z_i − Z_j + Z_iZ_j)/4]; requires [i <> j]. *)

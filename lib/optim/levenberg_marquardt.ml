@@ -1,0 +1,145 @@
+open Qturbo_linalg
+
+type options = {
+  max_iterations : int;
+  ftol : float;
+  xtol : float;
+  gtol : float;
+  lambda_init : float;
+  lambda_up : float;
+  lambda_down : float;
+  max_evaluations : int;
+  cost_target : float;
+  accept_residual : (float array -> bool) option;
+}
+
+let default_options =
+  {
+    max_iterations = 200;
+    ftol = 1e-12;
+    xtol = 1e-12;
+    gtol = 1e-10;
+    lambda_init = 1e-3;
+    lambda_up = 8.0;
+    lambda_down = 5.0;
+    max_evaluations = 100_000;
+    cost_target = 0.0;
+    accept_residual = None;
+  }
+
+exception Budget_exhausted
+
+let minimize ?(options = default_options) ?jacobian f x0 =
+  let n = Array.length x0 in
+  let evaluations = ref 0 in
+  let eval x =
+    if !evaluations >= options.max_evaluations then raise Budget_exhausted;
+    incr evaluations;
+    f x
+  in
+  let jac x =
+    match jacobian with
+    | Some j -> j x
+    | None ->
+        (* charge n + 1 evaluations for a forward-difference Jacobian *)
+        if !evaluations + n >= options.max_evaluations then
+          raise Budget_exhausted;
+        evaluations := !evaluations + n;
+        Numeric_jacobian.forward f x
+  in
+  let x = ref (Array.copy x0) in
+  let best_x = ref (Array.copy x0) in
+  let r = ref [||] in
+  let cost = ref infinity in
+  let best_cost = ref infinity in
+  let lambda = ref options.lambda_init in
+  let iterations = ref 0 in
+  let converged = ref false in
+  (try
+     r := eval !x;
+     cost := Objective.cost_of_residual !r;
+     best_cost := !cost;
+     let accepted_early r =
+       match options.accept_residual with
+       | Some f -> f r
+       | None -> false
+     in
+     let continue_loop =
+       ref (!cost > options.cost_target && not (accepted_early !r))
+     in
+     if not !continue_loop then converged := true;
+     while !continue_loop && !iterations < options.max_iterations do
+       incr iterations;
+       let j = jac !x in
+       let g = Mat.mul_vec_t j !r in
+       if Vec.norm_inf g <= options.gtol then begin
+         converged := true;
+         continue_loop := false
+       end
+       else begin
+         (* normal equations with Marquardt scaling on the diagonal *)
+         let jtj = Mat.mul (Mat.transpose j) j in
+         let accepted = ref false in
+         let attempts = ref 0 in
+         while (not !accepted) && !attempts < 25 do
+           incr attempts;
+           let a = Mat.copy jtj in
+           for k = 0 to n - 1 do
+             let d = Mat.get jtj k k in
+             let scaled = if d > 0.0 then d else 1.0 in
+             Mat.set a k k (d +. (!lambda *. scaled))
+           done;
+           let step_ok, delta =
+             match Lu.solve a (Vec.scale (-1.0) g) with
+             | delta -> (Array.for_all Float.is_finite delta, delta)
+             | exception Lu.Singular _ -> (false, [||])
+           in
+           if not step_ok then lambda := !lambda *. options.lambda_up
+           else begin
+             let x_new = Vec.add !x delta in
+             let r_new = eval x_new in
+             let cost_new = Objective.cost_of_residual r_new in
+             if Float.is_finite cost_new && cost_new < !cost then begin
+               accepted := true;
+               let cost_drop = !cost -. cost_new in
+               let step_norm = Vec.norm2 delta in
+               x := x_new;
+               r := r_new;
+               cost := cost_new;
+               if cost_new < !best_cost then begin
+                 best_cost := cost_new;
+                 best_x := Array.copy x_new
+               end;
+               lambda := Float.max 1e-12 (!lambda /. options.lambda_down);
+               if
+                 cost_new <= options.cost_target
+                 || accepted_early r_new
+                 || cost_drop <= options.ftol *. Float.max !cost 1e-300
+                 || step_norm <= options.xtol *. (Vec.norm2 !x +. options.xtol)
+               then begin
+                 converged := true;
+                 continue_loop := false
+               end
+             end
+             else lambda := !lambda *. options.lambda_up
+           end
+         done;
+         if not !accepted then begin
+           (* no downhill step found at any damping: local minimum *)
+           converged := true;
+           continue_loop := false
+         end
+       end
+     done
+   with Budget_exhausted -> ());
+  let residual_norm =
+    if !best_cost = infinity then infinity else sqrt (2.0 *. !best_cost)
+  in
+  {
+    Objective.x = !best_x;
+    cost = !best_cost;
+    residual_norm;
+    iterations = !iterations;
+    evaluations = !evaluations;
+    converged = !converged;
+  }

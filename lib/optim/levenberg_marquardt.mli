@@ -1,0 +1,41 @@
+(** Levenberg–Marquardt nonlinear least squares.
+
+    Minimises [0.5 ‖F(x)‖₂²] for a residual [F : R^n → R^m].  This is the
+    workhorse behind (a) the runtime-fixed-variable solver (atom positions
+    against van-der-Waals targets), (b) the generic localized-mixed-system
+    fallback, and (c) the SimuQ baseline's global mixed solve. *)
+
+type options = {
+  max_iterations : int;  (** outer LM iterations (default 200) *)
+  ftol : float;  (** relative cost-decrease convergence threshold *)
+  xtol : float;  (** relative step-size convergence threshold *)
+  gtol : float;  (** gradient-infinity-norm convergence threshold *)
+  lambda_init : float;  (** initial damping *)
+  lambda_up : float;  (** damping multiplier on rejection *)
+  lambda_down : float;  (** damping divisor on acceptance *)
+  max_evaluations : int;
+      (** hard budget on residual evaluations, Jacobian columns included —
+          the knob the SimuQ baseline uses to model compilation failure *)
+  cost_target : float;
+      (** stop as soon as the cost falls to or below this (0. disables);
+          models a solver that accepts any point within tolerance rather
+          than polishing to the optimum *)
+  accept_residual : (float array -> bool) option;
+      (** like [cost_target] but with a caller-supplied criterion on the
+          raw residual vector (e.g. an L1 tolerance); checked at the start
+          and after every accepted step *)
+}
+
+val default_options : options
+
+val minimize :
+  ?options:options ->
+  ?jacobian:Objective.jacobian_fn ->
+  Objective.residual_fn ->
+  float array ->
+  Objective.report
+(** [minimize f x0] runs LM from [x0].  When [jacobian] is omitted a
+    forward-difference Jacobian is used (its evaluations are charged to the
+    budget).  The report's [converged] is true when any of the three
+    tolerances triggered; exhausting the iteration or evaluation budget
+    leaves it false while still returning the best point seen. *)

@@ -1,0 +1,28 @@
+type 'a run = { report : Objective.report; start_index : int; extra : 'a }
+
+let search ~rng ~starts ~sample ~solve ~accept () =
+  let best = ref None in
+  let used = ref 0 in
+  (try
+     for i = 0 to starts - 1 do
+       incr used;
+       let x0 = sample rng in
+       let report, extra = solve x0 in
+       let better =
+         match !best with
+         | None -> Float.is_finite report.Objective.cost
+         | Some { report = b; _ } -> report.Objective.cost < b.Objective.cost
+       in
+       if better then best := Some { report; start_index = i; extra };
+       if accept report then raise Exit
+     done
+   with Exit -> ());
+  (!best, !used)
+
+let sample_box bounds ~fallback rng =
+  Array.map
+    (fun { Bounds.lo; hi } ->
+      let lo = if Float.is_finite lo then lo else -.fallback in
+      let hi = if Float.is_finite hi then hi else fallback in
+      Qturbo_util.Rng.uniform rng ~lo ~hi)
+    bounds

@@ -1,0 +1,32 @@
+(** Multistart driver: run a solver from several random initial points and
+    keep the best result.
+
+    This mirrors SimuQ's practice of re-running SciPy's [least_squares]
+    from random initial guesses until one lands in the feasible basin; the
+    number of starts times the per-start budget is the baseline's dominant
+    compile-time cost. *)
+
+type 'a run = {
+  report : Objective.report;
+  start_index : int;
+  extra : 'a;  (** solver-specific payload (e.g. indicator assignment) *)
+}
+
+val search :
+  rng:Qturbo_util.Rng.t ->
+  starts:int ->
+  sample:(Qturbo_util.Rng.t -> float array) ->
+  solve:(float array -> Objective.report * 'a) ->
+  accept:(Objective.report -> bool) ->
+  unit ->
+  'a run option * int
+(** [search ~rng ~starts ~sample ~solve ~accept ()] draws up to [starts]
+    initial points, solving from each; stops early at the first accepted
+    report.  Returns the best run seen (by cost) — or [None] when every
+    start diverged to a non-finite cost — together with the number of
+    starts actually consumed. *)
+
+val sample_box :
+  Bounds.bound array -> fallback:float -> Qturbo_util.Rng.t -> float array
+(** Uniform sample inside a box; infinite sides are replaced by
+    [±fallback]. *)

@@ -1,0 +1,144 @@
+type options = {
+  max_iterations : int;
+  ftol : float;
+  xtol : float;
+  initial_step : float;
+}
+
+let default_options =
+  { max_iterations = 2000; ftol = 1e-10; xtol = 1e-8; initial_step = 0.1 }
+
+(* standard coefficients: reflection, expansion, contraction, shrink *)
+let rho = 1.0
+let chi = 2.0
+let gamma = 0.5
+let sigma = 0.5
+
+let rec minimize ?(options = default_options) f x0 =
+  let n = Array.length x0 in
+  if n = 0 then
+    {
+      Objective.x = [||];
+      cost = f [||];
+      residual_norm = 0.0;
+      iterations = 0;
+      evaluations = 1;
+      converged = true;
+    }
+  else minimize_nonempty ~options f x0
+
+and minimize_nonempty ~options f x0 =
+  let n = Array.length x0 in
+  let evaluations = ref 0 in
+  let eval x =
+    incr evaluations;
+    let v = f x in
+    if Float.is_nan v then infinity else v
+  in
+  (* simplex of n+1 vertices *)
+  let vertices =
+    Array.init (n + 1) (fun i ->
+        let v = Array.copy x0 in
+        if i > 0 then begin
+          let j = i - 1 in
+          let h = options.initial_step *. Float.max 1.0 (Float.abs x0.(j)) in
+          v.(j) <- v.(j) +. h
+        end;
+        v)
+  in
+  let values = Array.map eval vertices in
+  let order () =
+    let idx = Array.init (n + 1) Fun.id in
+    Array.sort (fun a b -> Float.compare values.(a) values.(b)) idx;
+    let vs = Array.map (fun i -> vertices.(i)) idx in
+    let fs = Array.map (fun i -> values.(i)) idx in
+    Array.blit vs 0 vertices 0 (n + 1);
+    Array.blit fs 0 values 0 (n + 1)
+  in
+  let centroid () =
+    (* of all vertices but the worst *)
+    let c = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      (* vertex index i over 0..n-1 *)
+      for j = 0 to n - 1 do
+        c.(j) <- c.(j) +. (vertices.(i).(j) /. float_of_int n)
+      done
+    done;
+    c
+  in
+  let combine a b coeff =
+    Array.init n (fun j -> a.(j) +. (coeff *. (b.(j) -. a.(j))))
+  in
+  let iterations = ref 0 in
+  let converged = ref false in
+  order ();
+  while (not !converged) && !iterations < options.max_iterations do
+    incr iterations;
+    let c = centroid () in
+    let worst = vertices.(n) in
+    let xr = combine c worst (-.rho) in
+    let fr = eval xr in
+    if fr < values.(0) then begin
+      (* try expanding further along the reflection direction *)
+      let xe = combine c worst (-.(rho *. chi)) in
+      let fe = eval xe in
+      if fe < fr then begin
+        vertices.(n) <- xe;
+        values.(n) <- fe
+      end
+      else begin
+        vertices.(n) <- xr;
+        values.(n) <- fr
+      end
+    end
+    else if fr < values.(n - 1) then begin
+      vertices.(n) <- xr;
+      values.(n) <- fr
+    end
+    else begin
+      (* contraction: outside if the reflected point improved on the worst *)
+      let xc, fc =
+        if fr < values.(n) then
+          let xc = combine c worst (-.(rho *. gamma)) in
+          (xc, eval xc)
+        else
+          let xc = combine c worst gamma in
+          (xc, eval xc)
+      in
+      if fc < Float.min fr values.(n) then begin
+        vertices.(n) <- xc;
+        values.(n) <- fc
+      end
+      else
+        (* shrink toward the best vertex *)
+        for i = 1 to n do
+          vertices.(i) <- combine vertices.(0) vertices.(i) sigma;
+          values.(i) <- eval vertices.(i)
+        done
+    end;
+    order ();
+    let f_spread = Float.abs (values.(n) -. values.(0)) in
+    let x_spread = ref 0.0 in
+    for i = 1 to n do
+      for j = 0 to n - 1 do
+        x_spread :=
+          Float.max !x_spread (Float.abs (vertices.(i).(j) -. vertices.(0).(j)))
+      done
+    done;
+    (* both criteria must hold (as in SciPy's fatol/xatol): a symmetric
+       simplex straddling the minimum has zero value spread but a wide
+       vertex spread, and must keep contracting *)
+    if
+      f_spread <= options.ftol *. (Float.abs values.(0) +. options.ftol)
+      && !x_spread <= options.xtol
+    then converged := true
+  done;
+  let best_cost = values.(0) in
+  {
+    Objective.x = Array.copy vertices.(0);
+    cost = best_cost;
+    residual_norm = sqrt (2.0 *. Float.max best_cost 0.0);
+    iterations = !iterations;
+    evaluations = !evaluations;
+    converged = !converged;
+  }

@@ -1,0 +1,19 @@
+(** Nelder–Mead downhill simplex minimisation of a scalar objective.
+
+    Derivative-free; used for the "Case 3" localized systems (no
+    time-critical variable, minimise [T_sim] directly, paper §5.1) and as a
+    robustness cross-check against Levenberg–Marquardt in tests. *)
+
+type options = {
+  max_iterations : int;
+  ftol : float;  (** spread of simplex values at convergence *)
+  xtol : float;  (** spread of simplex vertices at convergence *)
+  initial_step : float;  (** simplex edge length relative to [x0] scale *)
+}
+
+val default_options : options
+
+val minimize :
+  ?options:options -> Objective.scalar_fn -> float array -> Objective.report
+(** [minimize f x0] returns the best vertex.  [report.residual_norm] is
+    [sqrt (2 · max cost 0)] for interface uniformity. *)

@@ -1,0 +1,47 @@
+open Qturbo_linalg
+
+let step rel_step xj = rel_step *. Float.max 1.0 (Float.abs xj)
+
+let forward ?(rel_step = 1e-7) f x =
+  let f0 = f x in
+  let m = Array.length f0 and n = Array.length x in
+  let jac = Mat.create ~rows:m ~cols:n in
+  let xt = Array.copy x in
+  for j = 0 to n - 1 do
+    let h = step rel_step x.(j) in
+    xt.(j) <- x.(j) +. h;
+    let fj = f xt in
+    xt.(j) <- x.(j);
+    for i = 0 to m - 1 do
+      Mat.set jac i j ((fj.(i) -. f0.(i)) /. h)
+    done
+  done;
+  jac
+
+let central ?(rel_step = 1e-6) f x =
+  let n = Array.length x in
+  let xt = Array.copy x in
+  let jac = ref None in
+  for j = 0 to n - 1 do
+    let h = step rel_step x.(j) in
+    xt.(j) <- x.(j) +. h;
+    let fp = f xt in
+    xt.(j) <- x.(j) -. h;
+    let fm = f xt in
+    xt.(j) <- x.(j);
+    let m = Array.length fp in
+    let mat =
+      match !jac with
+      | Some mat -> mat
+      | None ->
+          let mat = Mat.create ~rows:m ~cols:n in
+          jac := Some mat;
+          mat
+    in
+    for i = 0 to m - 1 do
+      Mat.set mat i j ((fp.(i) -. fm.(i)) /. (2.0 *. h))
+    done
+  done;
+  match !jac with
+  | Some mat -> mat
+  | None -> Mat.create ~rows:(Array.length (f x)) ~cols:0

@@ -1,0 +1,13 @@
+(** Finite-difference Jacobians, for residual functions without an exact
+    derivative (the SimuQ baseline's global mixed system). *)
+
+val forward :
+  ?rel_step:float -> Objective.residual_fn -> float array -> Qturbo_linalg.Mat.t
+(** Forward differences; one extra residual evaluation per variable.
+    [rel_step] scales the per-variable step [h = rel_step * max 1 |x_j|]
+    (default [1e-7]). *)
+
+val central :
+  ?rel_step:float -> Objective.residual_fn -> float array -> Qturbo_linalg.Mat.t
+(** Central differences; two extra evaluations per variable, second-order
+    accurate.  Default [rel_step = 1e-6]. *)

@@ -1,0 +1,14 @@
+type residual_fn = float array -> float array
+type jacobian_fn = float array -> Qturbo_linalg.Mat.t
+type scalar_fn = float array -> float
+
+type report = {
+  x : float array;
+  cost : float;
+  residual_norm : float;
+  iterations : int;
+  evaluations : int;
+  converged : bool;
+}
+
+let cost_of_residual r = 0.5 *. Qturbo_linalg.Vec.dot r r

@@ -1,0 +1,21 @@
+(** Shared types for the nonlinear solvers. *)
+
+type residual_fn = float array -> float array
+(** A vector residual [F : R^n -> R^m]; solvers minimise [‖F(x)‖₂²]. *)
+
+type jacobian_fn = float array -> Qturbo_linalg.Mat.t
+(** Jacobian [J(x)] with [J_{ij} = ∂F_i/∂x_j]. *)
+
+type scalar_fn = float array -> float
+
+type report = {
+  x : float array;  (** best point found *)
+  cost : float;  (** [0.5 · ‖F(x)‖₂²] (or the scalar value for NM) *)
+  residual_norm : float;  (** [‖F(x)‖₂] *)
+  iterations : int;
+  evaluations : int;  (** residual/scalar function evaluations *)
+  converged : bool;
+}
+
+val cost_of_residual : float array -> float
+(** [0.5 · ‖r‖₂²]. *)

@@ -1,0 +1,68 @@
+let bisect ?(tol = 1e-12) ?(max_iterations = 200) ~f ~lo ~hi () =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else if flo *. fhi > 0.0 then
+    invalid_arg "Scalar.bisect: no sign change on bracket"
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let i = ref 0 in
+    while !hi -. !lo > tol *. Float.max 1.0 (Float.abs !hi) && !i < max_iterations do
+      incr i;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0.0 then begin
+        lo := mid;
+        hi := mid
+      end
+      else if !flo *. fmid < 0.0 then hi := mid
+      else begin
+        lo := mid;
+        flo := fmid
+      end
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let bisect_predicate ?(tol = 1e-9) ?(max_iterations = 200) ~f ~lo ~hi () =
+  if f lo then lo
+  else if not (f hi) then
+    invalid_arg "Scalar.bisect_predicate: predicate false at hi"
+  else begin
+    let lo = ref lo and hi = ref hi in
+    let i = ref 0 in
+    while !hi -. !lo > tol *. Float.max 1.0 (Float.abs !hi) && !i < max_iterations do
+      incr i;
+      let mid = 0.5 *. (!lo +. !hi) in
+      if f mid then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let inv_phi = (sqrt 5.0 -. 1.0) /. 2.0
+
+let golden_min ?(tol = 1e-10) ?(max_iterations = 500) ~f ~lo ~hi () =
+  let a = ref lo and b = ref hi in
+  let c = ref (!b -. (inv_phi *. (!b -. !a))) in
+  let d = ref (!a +. (inv_phi *. (!b -. !a))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  let i = ref 0 in
+  while !b -. !a > tol *. Float.max 1.0 (Float.abs !b) && !i < max_iterations do
+    incr i;
+    if !fc < !fd then begin
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (inv_phi *. (!b -. !a));
+      fc := f !c
+    end
+    else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (inv_phi *. (!b -. !a));
+      fd := f !d
+    end
+  done;
+  let x = 0.5 *. (!a +. !b) in
+  (x, f x)

@@ -1,0 +1,38 @@
+(** One-dimensional root finding and minimisation.
+
+    Used by the evolution-time optimiser: the generic localized system
+    asks "what is the smallest [T] for which the component is feasible?",
+    answered by bisecting the feasibility indicator over [T]. *)
+
+val bisect :
+  ?tol:float ->
+  ?max_iterations:int ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float
+(** Root of [f] on [\[lo, hi\]]; requires a sign change ([Invalid_argument]
+    otherwise).  Returns the midpoint of the final bracket. *)
+
+val bisect_predicate :
+  ?tol:float ->
+  ?max_iterations:int ->
+  f:(float -> bool) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float
+(** Smallest [x] in [\[lo, hi\]] with [f x = true], assuming [f] is
+    monotone (false then true).  Requires [f hi = true]; if [f lo] already
+    holds, returns [lo]. *)
+
+val golden_min :
+  ?tol:float ->
+  ?max_iterations:int ->
+  f:(float -> float) ->
+  lo:float ->
+  hi:float ->
+  unit ->
+  float * float
+(** Golden-section minimisation of a unimodal [f]; returns [(x, f x)]. *)

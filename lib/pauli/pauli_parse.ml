@@ -1,0 +1,146 @@
+(* Hand-rolled tokenizer + recursive-descent parser; the grammar is
+   regular enough that no parser generator is warranted. *)
+
+type token =
+  | Tnum of float
+  | Tpauli of Pauli.op * int
+  | Tid
+  | Tplus
+  | Tminus
+  | Tstar
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize text =
+  let tokens = ref [] in
+  let len = String.length text in
+  let pos = ref 0 in
+  let advance () = incr pos in
+  let read_while pred =
+    let start = !pos in
+    while !pos < len && pred text.[!pos] do
+      advance ()
+    done;
+    String.sub text start (!pos - start)
+  in
+  while !pos < len do
+    match text.[!pos] with
+    | ' ' | '\t' | '\n' | '\r' -> advance ()
+    | '+' ->
+        advance ();
+        tokens := Tplus :: !tokens
+    | '-' ->
+        advance ();
+        tokens := Tminus :: !tokens
+    | '*' ->
+        advance ();
+        tokens := Tstar :: !tokens
+    | ('X' | 'Y' | 'Z' | 'I') as c -> (
+        advance ();
+        let digits = read_while is_digit in
+        match (Pauli.op_of_char c, digits) with
+        | Some Pauli.I, "" -> tokens := Tid :: !tokens
+        | Some Pauli.I, _ -> fail "identity takes no site index"
+        | Some _, "" -> fail "operator %c needs a site index" c
+        | Some op, digits -> tokens := Tpauli (op, int_of_string digits) :: !tokens
+        | None, _ -> fail "unreachable operator %c" c)
+    | c when is_digit c || c = '.' -> (
+        let num =
+          read_while (fun c -> is_digit c || c = '.' || c = 'e' || c = 'E')
+        in
+        (* allow exponent signs: 1e-3 *)
+        let num =
+          if
+            (!pos < len && (text.[!pos] = '+' || text.[!pos] = '-'))
+            && String.length num > 0
+            && (num.[String.length num - 1] = 'e' || num.[String.length num - 1] = 'E')
+          then begin
+            let sign = String.make 1 text.[!pos] in
+            advance ();
+            num ^ sign ^ read_while is_digit
+          end
+          else num
+        in
+        match float_of_string_opt num with
+        | Some f -> tokens := Tnum f :: !tokens
+        | None -> fail "bad number %S" num)
+    | c -> fail "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+let parse_tokens tokens =
+  (* term := [Tnum [Tstar]] Tpauli* ; at least one of coefficient/pauli *)
+  let rec terms acc sign = function
+    | [] -> fail "empty term"
+    | stream ->
+        let coeff_opt, stream =
+          match stream with
+          | Tnum f :: Tstar :: rest -> (Some f, rest)
+          | Tnum f :: rest -> (Some f, rest)
+          | rest -> (None, rest)
+        in
+        let coeff = Option.value coeff_opt ~default:1.0 in
+        let rec paulis acc_sites saw_id = function
+          | Tpauli (op, site) :: rest ->
+              if List.mem_assoc site acc_sites then
+                fail "site %d repeated within a term" site;
+              paulis ((site, op) :: acc_sites) saw_id rest
+          | Tid :: rest -> paulis acc_sites true rest
+          | rest -> (acc_sites, saw_id, rest)
+        in
+        let sites, saw_id, rest = paulis [] false stream in
+        (* a term must contain a coefficient, an identity marker, or at
+           least one Pauli factor *)
+        if sites = [] && (not saw_id) && coeff_opt = None then
+          fail "term without content";
+        let term = (Pauli_string.of_list (List.rev sites), sign *. coeff) in
+        let acc = term :: acc in
+        (match rest with
+        | [] -> List.rev acc
+        | Tplus :: tl -> terms acc 1.0 tl
+        | Tminus :: tl -> terms acc (-1.0) tl
+        | (Tnum _ | Tpauli _ | Tid | Tstar) :: _ ->
+            fail "expected '+' or '-' between terms")
+  in
+  (* leading sign *)
+  match tokens with
+  | [] -> fail "empty input"
+  | Tminus :: tl -> terms [] (-1.0) tl
+  | Tplus :: tl -> terms [] 1.0 tl
+  | tl -> terms [] 1.0 tl
+
+let parse text =
+  match Pauli_sum.of_list (parse_tokens (tokenize text)) with
+  | sum -> Ok sum
+  | exception Error msg -> Result.Error msg
+  | exception Invalid_argument msg -> Result.Error msg
+
+let parse_exn text =
+  match parse text with
+  | Ok sum -> sum
+  | Result.Error msg -> invalid_arg ("Pauli_parse: " ^ msg)
+
+let to_string sum =
+  let term_to_string (s, c) =
+    let ops =
+      List.map
+        (fun (site, op) -> Printf.sprintf "%s%d" (Pauli.op_to_string op) site)
+        (Pauli_string.to_list s)
+    in
+    let coeff = Printf.sprintf "%.17g" (Float.abs c) in
+    let body =
+      if ops = [] then coeff else coeff ^ " * " ^ String.concat " " ops
+    in
+    ((if c < 0.0 then "-" else "+"), body)
+  in
+  match List.map term_to_string (Pauli_sum.terms sum) with
+  | [] -> "0"
+  | (sign, body) :: rest ->
+      let first = if sign = "-" then "-" ^ body else body in
+      List.fold_left
+        (fun acc (sign, body) -> acc ^ " " ^ sign ^ " " ^ body)
+        first rest

@@ -1,0 +1,26 @@
+(** Textual Hamiltonians.
+
+    A small concrete syntax so targets can come from files and the
+    command line rather than only from the built-in benchmark suite (the
+    moral equivalent of SimuQ's Python eDSL):
+
+    {v
+      H := term (('+' | '-') term)*
+      term := [float '*'?] pauli+ | float
+      pauli := ('X'|'Y'|'Z') site-index
+    v}
+
+    Examples: ["Z0 Z1 + Z1 Z2 + X0 + X1 + X2"],
+    ["1.5 * Z0 Z1 - 0.5*X2 + 2.0"] (a bare number is an identity term).
+    Whitespace is free; a site may appear at most once per term. *)
+
+val parse : string -> (Pauli_sum.t, string) result
+(** [Error msg] pinpoints the offending token. *)
+
+val parse_exn : string -> Pauli_sum.t
+(** Raises [Invalid_argument] with the parse error. *)
+
+val to_string : Pauli_sum.t -> string
+(** Canonical spelling accepted by {!parse}; round-trips exactly
+    (coefficients printed as hex floats would be unreadable, so they are
+    printed with ["%.17g"], which round-trips IEEE doubles). *)

@@ -1,0 +1,88 @@
+module Site_map = Map.Make (Int)
+
+type t = Pauli.op Site_map.t
+
+let identity = Site_map.empty
+
+let of_list pairs =
+  List.fold_left
+    (fun acc (site, op) ->
+      if site < 0 then invalid_arg "Pauli_string.of_list: negative site";
+      match op with
+      | Pauli.I -> acc
+      | Pauli.X | Pauli.Y | Pauli.Z ->
+          if Site_map.mem site acc then
+            invalid_arg "Pauli_string.of_list: duplicate site";
+          Site_map.add site op acc)
+    Site_map.empty pairs
+
+let single i op = of_list [ (i, op) ]
+
+let two i a j b =
+  if i = j then invalid_arg "Pauli_string.two: equal sites";
+  of_list [ (i, a); (j, b) ]
+
+let to_list t = Site_map.bindings t
+let op_at t i = match Site_map.find_opt i t with Some op -> op | None -> Pauli.I
+let weight t = Site_map.cardinal t
+let support t = List.map fst (Site_map.bindings t)
+let max_site t = match Site_map.max_binding_opt t with Some (s, _) -> s | None -> -1
+let is_identity t = Site_map.is_empty t
+
+let mul a b =
+  let phase = ref Pauli.P1 in
+  let merged =
+    Site_map.merge
+      (fun _site oa ob ->
+        match (oa, ob) with
+        | None, None -> None
+        | Some o, None | None, Some o -> Some o
+        | Some o1, Some o2 ->
+            let p, o = Pauli.mul o1 o2 in
+            phase := Pauli.phase_mul !phase p;
+            (match o with Pauli.I -> None | Pauli.X | Pauli.Y | Pauli.Z -> Some o))
+      a b
+  in
+  (!phase, merged)
+
+let commutes a b =
+  let anticommuting_sites = ref 0 in
+  Site_map.iter
+    (fun site oa ->
+      let ob = op_at b site in
+      if not (Pauli.commutes oa ob) then incr anticommuting_sites)
+    a;
+  !anticommuting_sites mod 2 = 0
+
+let compare a b =
+  Site_map.compare Pauli.compare_op a b
+
+let equal a b = compare a b = 0
+
+let hash t =
+  Site_map.fold
+    (fun site op acc ->
+      let opi = match op with Pauli.I -> 0 | X -> 1 | Y -> 2 | Z -> 3 in
+      (acc * 1_000_003) + (site * 4) + opi)
+    t 17
+
+let of_string s =
+  let pairs = ref [] in
+  String.iteri
+    (fun i c ->
+      match Pauli.op_of_char c with
+      | Some op -> pairs := (i, op) :: !pairs
+      | None -> invalid_arg "Pauli_string.of_string: invalid character")
+    s;
+  of_list !pairs
+
+let to_string ?n t =
+  let len = match n with Some n -> n | None -> max_site t + 1 in
+  String.init len (fun i -> (Pauli.op_to_string (op_at t i)).[0])
+
+let pp ppf t =
+  if is_identity t then Format.fprintf ppf "I"
+  else
+    Site_map.iter
+      (fun site op -> Format.fprintf ppf "%s%d" (Pauli.op_to_string op) site)
+      t

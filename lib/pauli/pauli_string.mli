@@ -1,0 +1,59 @@
+(** Multi-qubit Pauli strings, stored sparsely (identity sites omitted).
+
+    A Pauli string such as [Z₁Z₂] is the map [{1 ↦ Z, 2 ↦ Z}]; it is the
+    row key of the compiler's equation systems ("Hamiltonian terms" layer
+    of paper Fig. 2). *)
+
+type t
+
+val identity : t
+
+val of_list : (int * Pauli.op) list -> t
+(** Builds from [(site, op)] pairs; [I] entries are dropped; duplicate
+    sites raise [Invalid_argument]; negative sites raise
+    [Invalid_argument]. *)
+
+val single : int -> Pauli.op -> t
+(** [single i op] is the one-site string [op_i]. *)
+
+val two : int -> Pauli.op -> int -> Pauli.op -> t
+(** [two i a j b] is [a_i · b_j]; requires [i <> j]. *)
+
+val to_list : t -> (int * Pauli.op) list
+(** Ascending site order; never contains [I]. *)
+
+val op_at : t -> int -> Pauli.op
+(** [I] for unlisted sites. *)
+
+val weight : t -> int
+(** Number of non-identity sites. *)
+
+val support : t -> int list
+(** Sites carrying a non-identity operator, ascending. *)
+
+val max_site : t -> int
+(** Largest touched site; [-1] for the identity string. *)
+
+val is_identity : t -> bool
+
+val mul : t -> t -> Pauli.phase * t
+(** Operator product with accumulated phase. *)
+
+val commutes : t -> t -> bool
+(** Strings commute iff they anticommute on an even number of sites. *)
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val of_string : string -> t
+(** Parse a dense spelling like ["IZZ"] (site 0 leftmost).  Raises
+    [Invalid_argument] on other characters. *)
+
+val to_string : ?n:int -> t -> string
+(** Dense spelling padded to [n] sites (default: [max_site + 1]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact spelling like ["Z1Z2"] (["I"] for the identity). *)

@@ -1,0 +1,75 @@
+module Term_map = Map.Make (struct
+  type t = Pauli_string.t
+
+  let compare = Pauli_string.compare
+end)
+
+type t = float Term_map.t
+
+let zero = Term_map.empty
+
+let add_term t s c =
+  if c = 0.0 then t
+  else
+    Term_map.update s
+      (fun existing ->
+        let total = match existing with Some x -> x +. c | None -> c in
+        if total = 0.0 then None else Some total)
+      t
+
+let of_list pairs = List.fold_left (fun acc (s, c) -> add_term acc s c) zero pairs
+let term c s = add_term zero s c
+let add a b = Term_map.fold (fun s c acc -> add_term acc s c) b a
+let sub a b = Term_map.fold (fun s c acc -> add_term acc s (-.c)) b a
+
+let scale k t =
+  if k = 0.0 then zero else Term_map.map (fun c -> k *. c) t
+
+let coeff t s = match Term_map.find_opt s t with Some c -> c | None -> 0.0
+let terms t = Term_map.bindings t
+let term_count t = Term_map.cardinal t
+
+let n_qubits t =
+  Term_map.fold (fun s _ acc -> Int.max acc (Pauli_string.max_site s + 1)) t 0
+
+let drop_identity t = Term_map.remove Pauli_string.identity t
+
+let mul a b =
+  let all_real = ref true in
+  let result = ref zero in
+  Term_map.iter
+    (fun sa ca ->
+      Term_map.iter
+        (fun sb cb ->
+          let phase, s = Pauli_string.mul sa sb in
+          let factor =
+            match phase with
+            | Pauli.P1 -> 1.0
+            | Pauli.Pm1 -> -1.0
+            | Pauli.Pi | Pauli.Pmi ->
+                all_real := false;
+                0.0
+          in
+          result := add_term !result s (ca *. cb *. factor))
+        b)
+    a;
+  (!result, !all_real)
+
+let norm1 t = Term_map.fold (fun _ c acc -> acc +. Float.abs c) t 0.0
+
+let equal ?(tol = 0.0) a b =
+  let close x y = Float.abs (x -. y) <= tol in
+  Term_map.for_all (fun s c -> close c (coeff b s)) a
+  && Term_map.for_all (fun s c -> close c (coeff a s)) b
+
+let support t = List.map fst (terms t)
+
+let pp ppf t =
+  let first = ref true in
+  Term_map.iter
+    (fun s c ->
+      if !first then first := false
+      else Format.fprintf ppf (if c >= 0.0 then " + " else " ");
+      Format.fprintf ppf "%g·%a" c Pauli_string.pp s)
+    t;
+  if !first then Format.fprintf ppf "0"

@@ -1,0 +1,104 @@
+open Qturbo_pauli
+
+(* One term: out[i lxor mask_x] += coeff * i^{ny} * (-1)^{parity(i land mask_yz)} * in[i].
+   We fold the fixed i^{ny} factor into a complex coefficient (cre, cim). *)
+type term = { mask_x : int; mask_yz : int; cre : float; cim : float }
+
+(* Diagonal terms (no X/Y content) are folded into one precomputed
+   diagonal: Rydberg Hamiltonians are dominated by Z/ZZ terms, and this
+   turns O(terms · 2ⁿ) per application into O(2ⁿ). *)
+type compiled = { n : int; diag : float array; terms : term array }
+
+let popcount =
+  let rec count acc x = if x = 0 then acc else count (acc + (x land 1)) (x lsr 1) in
+  fun x -> count 0 x
+
+let parity x = popcount x land 1
+
+let term_of ~n coeff pstring =
+  let mask_x = ref 0 and mask_y = ref 0 and mask_z = ref 0 in
+  List.iter
+    (fun (site, op) ->
+      if site >= n then invalid_arg "Apply.compile: site out of range";
+      let bit = 1 lsl site in
+      match op with
+      | Pauli.X -> mask_x := !mask_x lor bit
+      | Pauli.Y ->
+          mask_x := !mask_x lor bit;
+          mask_y := !mask_y lor bit
+      | Pauli.Z -> mask_z := !mask_z lor bit
+      | Pauli.I -> ())
+    (Pauli_string.to_list pstring);
+  let ny = popcount !mask_y in
+  let cre, cim =
+    match ny mod 4 with
+    | 0 -> (coeff, 0.0)
+    | 1 -> (0.0, coeff)
+    | 2 -> (-.coeff, 0.0)
+    | _ -> (0.0, -.coeff)
+  in
+  { mask_x = !mask_x; mask_yz = !mask_y lor !mask_z; cre; cim }
+
+let compile ~n sum =
+  let all = List.map (fun (s, c) -> term_of ~n c s) (Pauli_sum.terms sum) in
+  let diagonal, off_diagonal =
+    List.partition (fun t -> t.mask_x = 0) all
+  in
+  let d = 1 lsl n in
+  let diag = Array.make d 0.0 in
+  List.iter
+    (fun { mask_yz; cre; cim = _; mask_x = _ } ->
+      for i = 0 to d - 1 do
+        let sign = if parity (i land mask_yz) = 0 then 1.0 else -1.0 in
+        diag.(i) <- diag.(i) +. (sign *. cre)
+      done)
+    diagonal;
+  { n; diag; terms = Array.of_list off_diagonal }
+
+let compiled_n c = c.n
+
+let apply_into compiled ~src ~dst =
+  if src.State.n <> compiled.n || dst.State.n <> compiled.n then
+    invalid_arg "Apply.apply_into: qubit-count mismatch";
+  let d = State.dim src in
+  for i = 0 to d - 1 do
+    dst.State.re.(i) <- compiled.diag.(i) *. src.State.re.(i);
+    dst.State.im.(i) <- compiled.diag.(i) *. src.State.im.(i)
+  done;
+  Array.iter
+    (fun { mask_x; mask_yz; cre; cim } ->
+      for i = 0 to d - 1 do
+        let j = i lxor mask_x in
+        let sign = if parity (i land mask_yz) = 0 then 1.0 else -1.0 in
+        let re = sign *. ((cre *. src.State.re.(i)) -. (cim *. src.State.im.(i))) in
+        let im = sign *. ((cre *. src.State.im.(i)) +. (cim *. src.State.re.(i))) in
+        dst.State.re.(j) <- dst.State.re.(j) +. re;
+        dst.State.im.(j) <- dst.State.im.(j) +. im
+      done)
+    compiled.terms
+
+let apply compiled s =
+  let dst = State.create ~n:compiled.n in
+  apply_into compiled ~src:s ~dst;
+  dst
+
+let singleton_compiled ~n pstring =
+  let t = term_of ~n 1.0 pstring in
+  if t.mask_x = 0 then begin
+    let d = 1 lsl n in
+    let diag =
+      Array.init d (fun i ->
+          if parity (i land t.mask_yz) = 0 then t.cre else -.t.cre)
+    in
+    { n; diag; terms = [||] }
+  end
+  else { n; diag = Array.make (1 lsl n) 0.0; terms = [| t |] }
+
+let apply_string ~n pstring s = apply (singleton_compiled ~n pstring) s
+
+let expectation compiled s =
+  let hs = apply compiled s in
+  (State.inner s hs).Complex.re
+
+let expectation_string ~n pstring s =
+  expectation (singleton_compiled ~n pstring) s

@@ -1,0 +1,29 @@
+(** Applying Pauli strings and Pauli sums to state vectors.
+
+    A Pauli string acts on a basis index by an X-mask bit flip and a
+    diagonal ±1/±i phase, so application is O(2ⁿ) per term with no matrix
+    ever materialised. *)
+
+type compiled
+(** A Pauli sum preprocessed into (coefficient, masks, phase) triples. *)
+
+val compile : n:int -> Qturbo_pauli.Pauli_sum.t -> compiled
+(** Raises [Invalid_argument] if the sum touches a site [>= n]. *)
+
+val compiled_n : compiled -> int
+
+val apply_string :
+  n:int -> Qturbo_pauli.Pauli_string.t -> State.t -> State.t
+(** [apply_string ~n p s] returns [p|s>] as a fresh state. *)
+
+val apply : compiled -> State.t -> State.t
+(** [apply h s] returns [H|s>] as a fresh state. *)
+
+val apply_into : compiled -> src:State.t -> dst:State.t -> unit
+(** [apply_into h ~src ~dst] computes [H|src>] into [dst] (overwriting),
+    allocation-free; the hot path of the RK4 integrator. *)
+
+val expectation : compiled -> State.t -> float
+(** [⟨s|H|s⟩] (real part; exact for Hermitian sums). *)
+
+val expectation_string : n:int -> Qturbo_pauli.Pauli_string.t -> State.t -> float

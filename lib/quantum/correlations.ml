@@ -1,0 +1,32 @@
+let connected_zz s i j =
+  Observable.expect_zz s i j -. (Observable.expect_z s i *. Observable.expect_z s j)
+
+let correlation_profile s =
+  let n = s.State.n in
+  if n < 2 then invalid_arg "Correlations.correlation_profile: need two qubits";
+  Array.init (n - 1) (fun r0 ->
+      let r = r0 + 1 in
+      let acc = ref 0.0 and count = ref 0 in
+      for i = 0 to n - 1 - r do
+        acc := !acc +. connected_zz s i (i + r);
+        incr count
+      done;
+      !acc /. float_of_int !count)
+
+let staggered_magnetisation s =
+  let n = s.State.n in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let sign = if i mod 2 = 0 then 1.0 else -1.0 in
+    acc := !acc +. (sign *. Observable.expect_z s i)
+  done;
+  !acc /. float_of_int n
+
+let domain_wall_density s =
+  let n = s.State.n in
+  if n < 2 then invalid_arg "Correlations.domain_wall_density: need two qubits";
+  let acc = ref 0.0 in
+  for i = 0 to n - 2 do
+    acc := !acc +. ((1.0 -. Observable.expect_zz s i (i + 1)) /. 2.0)
+  done;
+  !acc /. float_of_int (n - 1)

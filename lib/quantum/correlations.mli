@@ -1,0 +1,21 @@
+(** Two-point correlation functions and order parameters.
+
+    The condensed-matter diagnostics physicists extract from the
+    benchmark models' dynamics (paper Table 2 draws from Ising / lattice
+    gauge / Heisenberg literature): connected correlators, staggered
+    magnetisation, and domain-wall density. *)
+
+val connected_zz : State.t -> int -> int -> float
+(** [⟨Z_iZ_j⟩ − ⟨Z_i⟩⟨Z_j⟩]. *)
+
+val correlation_profile : State.t -> float array
+(** [C(r) = mean_i (⟨Z_iZ_{i+r}⟩ − ⟨Z_i⟩⟨Z_{i+r}⟩)] for
+    [r = 1 .. n−1] on an open chain (entry [r−1]). *)
+
+val staggered_magnetisation : State.t -> float
+(** [1/N Σ (−1)^i ⟨Z_i⟩] — the Néel/antiferromagnetic order parameter
+    relevant to the MIS anneal's alternating ground state. *)
+
+val domain_wall_density : State.t -> float
+(** [1/(N−1) Σ (1 − ⟨Z_iZ_{i+1}⟩)/2] — the density of broken Ising
+    bonds. *)

@@ -1,0 +1,97 @@
+open Qturbo_linalg
+
+type t = { n : int; re : Mat.t; im : Mat.t }
+
+let of_pauli_sum ~n sum =
+  let d = 1 lsl n in
+  let re = Mat.create ~rows:d ~cols:d in
+  let im = Mat.create ~rows:d ~cols:d in
+  let compiled = Apply.compile ~n sum in
+  (* build column by column: H e_k *)
+  for k = 0 to d - 1 do
+    let col = Apply.apply compiled (State.basis ~n k) in
+    for i = 0 to d - 1 do
+      Mat.set re i k col.State.re.(i);
+      Mat.set im i k col.State.im.(i)
+    done
+  done;
+  { n; re; im }
+
+let apply { n; re; im } s =
+  if s.State.n <> n then invalid_arg "Dense_op.apply: qubit-count mismatch";
+  let d = 1 lsl n in
+  let out = State.create ~n in
+  for i = 0 to d - 1 do
+    let acc_re = ref 0.0 and acc_im = ref 0.0 in
+    for j = 0 to d - 1 do
+      let hre = Mat.get re i j and him = Mat.get im i j in
+      acc_re := !acc_re +. (hre *. s.State.re.(j)) -. (him *. s.State.im.(j));
+      acc_im := !acc_im +. (hre *. s.State.im.(j)) +. (him *. s.State.re.(j))
+    done;
+    out.State.re.(i) <- !acc_re;
+    out.State.im.(i) <- !acc_im
+  done;
+  out
+
+let is_hermitian ?(tol = 1e-9) { re; im; n = _ } =
+  let d = Mat.rows re in
+  let ok = ref true in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      if Float.abs (Mat.get re i j -. Mat.get re j i) > tol then ok := false;
+      if Float.abs (Mat.get im i j +. Mat.get im j i) > tol then ok := false
+    done
+  done;
+  !ok
+
+(* real symmetric embedding [[A, -B], [B, A]] of H = A + iB *)
+let embedding { re; im; n = _ } =
+  let d = Mat.rows re in
+  Mat.init ~rows:(2 * d) ~cols:(2 * d) (fun i j ->
+      match (i < d, j < d) with
+      | true, true -> Mat.get re i j
+      | true, false -> -.Mat.get im i (j - d)
+      | false, true -> Mat.get im (i - d) j
+      | false, false -> Mat.get re (i - d) (j - d))
+
+let hermitian_eigen op =
+  if not (is_hermitian op) then
+    invalid_arg "Dense_op: operator is not Hermitian";
+  Eigen.symmetric (embedding op)
+
+let exact_evolve op ~t psi =
+  if psi.State.n <> op.n then
+    invalid_arg "Dense_op.exact_evolve: qubit-count mismatch";
+  let { Eigen.eigenvalues; eigenvectors = v } = hermitian_eigen op in
+  let d = 1 lsl op.n in
+  let out = State.create ~n:op.n in
+  (* each embedding eigenvector [u; w] encodes the complex H-eigenvector
+     u + i w; the 2d of them form a tight frame with constant 2, so
+     exp(-iHt)|psi> = 1/2 Σ_k exp(-i λ_k t) w_k <w_k|psi> *)
+  for k = 0 to (2 * d) - 1 do
+    let lambda = eigenvalues.(k) in
+    (* overlap <w_k|psi> = Σ_j conj(u_j + i w_j) psi_j *)
+    let ov_re = ref 0.0 and ov_im = ref 0.0 in
+    for j = 0 to d - 1 do
+      let ur = Mat.get v j k and ui = Mat.get v (j + d) k in
+      (* conj(w) * psi *)
+      ov_re := !ov_re +. (ur *. psi.State.re.(j)) +. (ui *. psi.State.im.(j));
+      ov_im := !ov_im +. (ur *. psi.State.im.(j)) -. (ui *. psi.State.re.(j))
+    done;
+    (* phase = exp(-i lambda t) / 2 *)
+    let pr = 0.5 *. cos (lambda *. t) and pi = -0.5 *. sin (lambda *. t) in
+    let cr = (pr *. !ov_re) -. (pi *. !ov_im) in
+    let ci = (pr *. !ov_im) +. (pi *. !ov_re) in
+    for j = 0 to d - 1 do
+      let ur = Mat.get v j k and ui = Mat.get v (j + d) k in
+      out.State.re.(j) <- out.State.re.(j) +. (cr *. ur) -. (ci *. ui);
+      out.State.im.(j) <- out.State.im.(j) +. (cr *. ui) +. (ci *. ur)
+    done
+  done;
+  out
+
+let eigenvalues op =
+  let { Eigen.eigenvalues = all; eigenvectors = _ } = hermitian_eigen op in
+  (* the embedding doubles each eigenvalue: keep every other one *)
+  let d = 1 lsl op.n in
+  Array.init d (fun k -> all.(2 * k))

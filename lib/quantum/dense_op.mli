@@ -1,0 +1,30 @@
+(** Dense complex operators and exact (integrator-free) evolution.
+
+    A reference path, deliberately independent of the fast mask/phase
+    machinery in {!Apply} and the RK4 integrator in {!Evolve}: operators
+    are materialised as dense complex matrices, and evolution under a
+    Hermitian Hamiltonian goes through the eigendecomposition of its real
+    symmetric embedding.  Used by tests to cross-validate the fast path
+    and by the entanglement module.  Practical up to ~8 qubits. *)
+
+type t = {
+  n : int;  (** qubit count; the matrix is [2ⁿ × 2ⁿ] *)
+  re : Qturbo_linalg.Mat.t;
+  im : Qturbo_linalg.Mat.t;
+}
+
+val of_pauli_sum : n:int -> Qturbo_pauli.Pauli_sum.t -> t
+(** Materialise a Pauli sum (identity terms included). *)
+
+val apply : t -> State.t -> State.t
+
+val is_hermitian : ?tol:float -> t -> bool
+
+val exact_evolve : t -> t:float -> State.t -> State.t
+(** [exact_evolve h ~t psi = exp(−i h t) |psi>] for Hermitian [h], via the
+    eigendecomposition of the real embedding [[A, −B], [B, A]].  Raises
+    [Invalid_argument] when [h] is not Hermitian (within [1e-9]). *)
+
+val eigenvalues : t -> Qturbo_linalg.Vec.t
+(** Ascending spectrum of a Hermitian operator (each eigenvalue of the
+    doubled embedding appears twice; duplicates are collapsed). *)

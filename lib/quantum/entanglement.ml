@@ -1,0 +1,66 @@
+open Qturbo_linalg
+
+type density = { k : int; re : Mat.t; im : Mat.t }
+
+let reduced_density psi ~keep =
+  let n = psi.State.n in
+  if keep <= 0 || keep > n then
+    invalid_arg "Entanglement.reduced_density: keep out of range";
+  let da = 1 lsl keep in
+  let db = 1 lsl (n - keep) in
+  let re = Mat.create ~rows:da ~cols:da in
+  let im = Mat.create ~rows:da ~cols:da in
+  (* basis index = b * da + a with a the kept (low) qubits *)
+  for a = 0 to da - 1 do
+    for a' = 0 to da - 1 do
+      let acc_re = ref 0.0 and acc_im = ref 0.0 in
+      for b = 0 to db - 1 do
+        let i = (b * da) + a and j = (b * da) + a' in
+        (* psi_i * conj(psi_j) *)
+        acc_re :=
+          !acc_re
+          +. (psi.State.re.(i) *. psi.State.re.(j))
+          +. (psi.State.im.(i) *. psi.State.im.(j));
+        acc_im :=
+          !acc_im
+          +. (psi.State.im.(i) *. psi.State.re.(j))
+          -. (psi.State.re.(i) *. psi.State.im.(j))
+      done;
+      Mat.set re a a' !acc_re;
+      Mat.set im a a' !acc_im
+    done
+  done;
+  { k = keep; re; im }
+
+let eigen_spectrum { k; re; im } =
+  let d = 1 lsl k in
+  (* real symmetric embedding doubles each eigenvalue *)
+  let m =
+    Mat.init ~rows:(2 * d) ~cols:(2 * d) (fun i j ->
+        match (i < d, j < d) with
+        | true, true -> Mat.get re i j
+        | true, false -> -.Mat.get im i (j - d)
+        | false, true -> Mat.get im (i - d) j
+        | false, false -> Mat.get re (i - d) (j - d))
+  in
+  let { Eigen.eigenvalues; eigenvectors = _ } = Eigen.symmetric m in
+  Array.init d (fun i -> eigenvalues.(2 * i))
+
+let von_neumann_entropy psi ~cut =
+  let rho = reduced_density psi ~keep:cut in
+  Array.fold_left
+    (fun acc p -> if p > 1e-14 then acc -. (p *. log p) else acc)
+    0.0 (eigen_spectrum rho)
+
+let purity psi ~cut =
+  let { k; re; im } = reduced_density psi ~keep:cut in
+  let d = 1 lsl k in
+  let acc = ref 0.0 in
+  (* Tr rho² = Σ_{ij} |rho_ij|² for Hermitian rho *)
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      let r = Mat.get re i j and m = Mat.get im i j in
+      acc := !acc +. (r *. r) +. (m *. m)
+    done
+  done;
+  !acc

@@ -1,0 +1,27 @@
+(** Reduced density matrices and entanglement entropy.
+
+    Used by the PXP example and tests: quantum-scar dynamics (the physics
+    behind the paper's second device experiment) are diagnosed by the
+    anomalously slow growth of the half-chain entanglement entropy. *)
+
+type density = {
+  k : int;  (** retained qubit count; matrices are [2ᵏ × 2ᵏ] *)
+  re : Qturbo_linalg.Mat.t;
+  im : Qturbo_linalg.Mat.t;
+}
+
+val reduced_density : State.t -> keep:int -> density
+(** Reduced density matrix of qubits [0 .. keep-1], tracing out the rest.
+    Raises [Invalid_argument] unless [0 < keep <= n]. *)
+
+val eigen_spectrum : density -> float array
+(** Eigenvalues of the (Hermitian, PSD) density matrix, ascending; they
+    sum to 1 for a normalised input state. *)
+
+val von_neumann_entropy : State.t -> cut:int -> float
+(** Entanglement entropy [−Tr ρ_A ln ρ_A] of the bipartition
+    [A = qubits 0..cut-1].  Zero for product states, [ln 2] per maximally
+    entangled pair. *)
+
+val purity : State.t -> cut:int -> float
+(** [Tr ρ_A²]; 1 for product states. *)

@@ -1,0 +1,107 @@
+open Qturbo_pauli
+
+let steps_for ~norm1 ~t =
+  let suggested = int_of_float (Float.ceil (20.0 *. norm1 *. Float.abs t)) in
+  Int.max 32 suggested
+
+(* y' = f(y) = -i H y; RK4 with preallocated work buffers. *)
+let rk4_compiled ~h ~dt ~steps state =
+  let n = state.State.n in
+  let k = State.create ~n in
+  let hy = State.create ~n in
+  let acc = State.create ~n in
+  let tmp = State.create ~n in
+  let d = State.dim state in
+  let deriv ~src ~dst =
+    (* dst <- -i H src *)
+    Apply.apply_into h ~src ~dst;
+    for i = 0 to d - 1 do
+      let re = dst.State.re.(i) and im = dst.State.im.(i) in
+      (* multiply by -i: (re + i im) * (-i) = im - i re *)
+      dst.State.re.(i) <- im;
+      dst.State.im.(i) <- -.re
+    done
+  in
+  let y = State.copy state in
+  for _step = 1 to steps do
+    (* k1 *)
+    deriv ~src:y ~dst:k;
+    Array.blit k.State.re 0 acc.State.re 0 d;
+    Array.blit k.State.im 0 acc.State.im 0 d;
+    (* k2: y + dt/2 k1 *)
+    Array.blit y.State.re 0 tmp.State.re 0 d;
+    Array.blit y.State.im 0 tmp.State.im 0 d;
+    State.add_scaled tmp { Complex.re = dt /. 2.0; im = 0.0 } k;
+    deriv ~src:tmp ~dst:hy;
+    State.add_scaled acc { Complex.re = 2.0; im = 0.0 } hy;
+    (* k3: y + dt/2 k2 *)
+    Array.blit y.State.re 0 tmp.State.re 0 d;
+    Array.blit y.State.im 0 tmp.State.im 0 d;
+    State.add_scaled tmp { Complex.re = dt /. 2.0; im = 0.0 } hy;
+    deriv ~src:tmp ~dst:k;
+    State.add_scaled acc { Complex.re = 2.0; im = 0.0 } k;
+    (* k4: y + dt k3 *)
+    Array.blit y.State.re 0 tmp.State.re 0 d;
+    Array.blit y.State.im 0 tmp.State.im 0 d;
+    State.add_scaled tmp { Complex.re = dt; im = 0.0 } k;
+    deriv ~src:tmp ~dst:hy;
+    State.add_scaled acc Complex.one hy;
+    (* y += dt/6 * acc *)
+    State.add_scaled y { Complex.re = dt /. 6.0; im = 0.0 } acc;
+    State.normalize y
+  done;
+  y
+
+let evolve_compiled ?steps ~h ~norm1 ~t state =
+  if t = 0.0 then State.copy state
+  else
+    let steps = match steps with Some s -> s | None -> steps_for ~norm1 ~t in
+    rk4_compiled ~h ~dt:(t /. float_of_int steps) ~steps state
+
+let evolve ?steps ~h ~t state =
+  let compiled = Apply.compile ~n:state.State.n h in
+  evolve_compiled ?steps ~h:compiled ~norm1:(Pauli_sum.norm1 h) ~t state
+
+let evolve_piecewise ~segments state =
+  List.fold_left
+    (fun s (h, tau) -> evolve ~h ~t:tau s)
+    (State.copy state) segments
+
+let evolve_time_dependent ~h_of_t ~t ~steps state =
+  if steps <= 0 then invalid_arg "Evolve.evolve_time_dependent: steps <= 0";
+  let n = state.State.n in
+  let dt = t /. float_of_int steps in
+  let y = ref (State.copy state) in
+  let d = State.dim state in
+  let deriv time src =
+    let h = Apply.compile ~n (h_of_t time) in
+    let dst = State.create ~n in
+    Apply.apply_into h ~src ~dst;
+    for i = 0 to d - 1 do
+      let re = dst.State.re.(i) and im = dst.State.im.(i) in
+      dst.State.re.(i) <- im;
+      dst.State.im.(i) <- -.re
+    done;
+    dst
+  in
+  for step = 0 to steps - 1 do
+    let t0 = float_of_int step *. dt in
+    let y0 = !y in
+    let k1 = deriv t0 y0 in
+    let mid a c k =
+      let s = State.copy a in
+      State.add_scaled s { Complex.re = c; im = 0.0 } k;
+      s
+    in
+    let k2 = deriv (t0 +. (dt /. 2.0)) (mid y0 (dt /. 2.0) k1) in
+    let k3 = deriv (t0 +. (dt /. 2.0)) (mid y0 (dt /. 2.0) k2) in
+    let k4 = deriv (t0 +. dt) (mid y0 dt k3) in
+    let out = State.copy y0 in
+    State.add_scaled out { Complex.re = dt /. 6.0; im = 0.0 } k1;
+    State.add_scaled out { Complex.re = dt /. 3.0; im = 0.0 } k2;
+    State.add_scaled out { Complex.re = dt /. 3.0; im = 0.0 } k3;
+    State.add_scaled out { Complex.re = dt /. 6.0; im = 0.0 } k4;
+    State.normalize out;
+    y := out
+  done;
+  !y

@@ -1,0 +1,84 @@
+open Qturbo_linalg
+open Qturbo_pauli
+
+let step_count ~norm1 ~t ~dt_max =
+  let budget =
+    match dt_max with Some d -> d | None -> 4.0 /. Float.max 1e-12 norm1
+  in
+  Int.max 1 (int_of_float (Float.ceil (Float.abs t /. budget)))
+
+(* one Lanczos step: build an orthonormal Krylov basis {v_0..v_{m-1}} and
+   the tridiagonal projection, exponentiate it, and reassemble. *)
+let lanczos_step ~h_compiled ~dim ~dt psi =
+  let n = psi.State.n in
+  let d = State.dim psi in
+  let m = Int.min dim d in
+  let basis = Array.init m (fun _ -> State.create ~n) in
+  let alpha = Array.make m 0.0 in
+  let beta = Array.make m 0.0 in
+  (* v0 = psi (normalised) *)
+  let v0 = State.copy psi in
+  State.normalize v0;
+  basis.(0) <- v0;
+  let actual = ref m in
+  (try
+     for j = 0 to m - 1 do
+       let w = Apply.apply h_compiled basis.(j) in
+       (* full reorthogonalisation against all previous vectors *)
+       for k = 0 to j do
+         let ov = State.inner basis.(k) w in
+         if k = j then alpha.(j) <- ov.Complex.re;
+         State.add_scaled w { Complex.re = -.ov.Complex.re; im = -.ov.Complex.im } basis.(k)
+       done;
+       if j + 1 < m then begin
+         let b = State.norm w in
+         if b < 1e-12 then begin
+           (* invariant subspace found: the Krylov space closed early *)
+           actual := j + 1;
+           raise Exit
+         end;
+         beta.(j + 1) <- b;
+         State.scale { Complex.re = 1.0 /. b; im = 0.0 } w;
+         basis.(j + 1) <- w
+       end
+     done
+   with Exit -> ());
+  let m = !actual in
+  (* tridiagonal projection T, exponentiated through its eigensystem *)
+  let tmat =
+    Mat.init ~rows:m ~cols:m (fun i j ->
+        if i = j then alpha.(i)
+        else if abs (i - j) = 1 then beta.(Int.max i j)
+        else 0.0)
+  in
+  let { Eigen.eigenvalues; eigenvectors } = Eigen.symmetric tmat in
+  (* coefficients c = V exp(-i Λ dt) Vᵀ e_0, scaled by |psi| *)
+  let norm0 = State.norm psi in
+  let out = State.create ~n in
+  for k = 0 to m - 1 do
+    let phase = -.eigenvalues.(k) *. dt in
+    let wk0 = Mat.get eigenvectors 0 k in
+    let cre = wk0 *. cos phase *. norm0 in
+    let cim = wk0 *. sin phase *. norm0 in
+    for j = 0 to m - 1 do
+      let vjk = Mat.get eigenvectors j k in
+      State.add_scaled out { Complex.re = cre *. vjk; im = cim *. vjk } basis.(j)
+    done
+  done;
+  out
+
+let evolve ?(dim = 24) ?dt_max ~h ~t psi =
+  if dim <= 0 then invalid_arg "Krylov.evolve: dim <= 0";
+  if t = 0.0 then State.copy psi
+  else begin
+    let n = psi.State.n in
+    let h_compiled = Apply.compile ~n h in
+    let norm1 = Pauli_sum.norm1 h in
+    let steps = step_count ~norm1 ~t ~dt_max in
+    let dt = t /. float_of_int steps in
+    let state = ref (State.copy psi) in
+    for _ = 1 to steps do
+      state := lanczos_step ~h_compiled ~dim ~dt !state
+    done;
+    !state
+  end

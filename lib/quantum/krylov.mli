@@ -1,0 +1,26 @@
+(** Krylov-subspace (Lanczos) evolution.
+
+    For larger registers and long evolutions the RK4 step count scales as
+    [‖H‖·t]; projecting onto a small Krylov subspace and exponentiating
+    the tridiagonal projection there converges super-exponentially in the
+    subspace dimension for a {e fixed} step, so far fewer Hamiltonian
+    applications are needed.  The implementation uses full
+    reorthogonalisation (registers here are small enough that robustness
+    beats the extra dot products) and the {!Qturbo_linalg.Eigen} solver
+    on the tridiagonal matrix. *)
+
+val evolve :
+  ?dim:int ->
+  ?dt_max:float ->
+  h:Qturbo_pauli.Pauli_sum.t ->
+  t:float ->
+  State.t ->
+  State.t
+(** [evolve ~h ~t psi ≈ exp(−i h t)|psi>].  [dim] is the Krylov dimension
+    per step (default 24, silently capped at the Hilbert-space dimension);
+    [dt_max] splits long evolutions into steps with [‖H‖₁·dt ≤ 4]
+    (overridable).  Raises [Invalid_argument] on nonpositive [dim]. *)
+
+val step_count : norm1:float -> t:float -> dt_max:float option -> int
+(** The number of Krylov steps {!evolve} will take; exposed for tests and
+    benchmarks comparing against RK4's step count. *)

@@ -1,0 +1,182 @@
+open Qturbo_linalg
+open Qturbo_pauli
+
+type jump = Dephasing of int | Decay of int
+type channel = { jump : jump; rate : float }
+type density = { n : int; re : Mat.t; im : Mat.t }
+
+(* ---- complex dense matrix helpers (re/im pairs) ---- *)
+
+type cm = { mre : Mat.t; mim : Mat.t }
+
+let cm_of_density { re; im; n = _ } = { mre = re; mim = im }
+
+
+let cadd a b = { mre = Mat.add a.mre b.mre; mim = Mat.add a.mim b.mim }
+let csub a b = { mre = Mat.sub a.mre b.mre; mim = Mat.sub a.mim b.mim }
+let cscale s a = { mre = Mat.scale s a.mre; mim = Mat.scale s a.mim }
+
+let cmul a b =
+  {
+    mre = Mat.sub (Mat.mul a.mre b.mre) (Mat.mul a.mim b.mim);
+    mim = Mat.add (Mat.mul a.mre b.mim) (Mat.mul a.mim b.mre);
+  }
+
+let cdagger a =
+  { mre = Mat.transpose a.mre; mim = Mat.scale (-1.0) (Mat.transpose a.mim) }
+
+(* multiply by -i: -i(re + i im) = im - i re *)
+let cneg_i a = { mre = a.mim; mim = Mat.scale (-1.0) a.mre }
+
+(* ---- construction ---- *)
+
+let of_state psi =
+  let n = psi.State.n in
+  let d = 1 lsl n in
+  let re = Mat.create ~rows:d ~cols:d in
+  let im = Mat.create ~rows:d ~cols:d in
+  for i = 0 to d - 1 do
+    for j = 0 to d - 1 do
+      (* psi_i conj(psi_j) *)
+      Mat.set re i j
+        ((psi.State.re.(i) *. psi.State.re.(j)) +. (psi.State.im.(i) *. psi.State.im.(j)));
+      Mat.set im i j
+        ((psi.State.im.(i) *. psi.State.re.(j)) -. (psi.State.re.(i) *. psi.State.im.(j)))
+    done
+  done;
+  { n; re; im }
+
+let trace rho =
+  let d = 1 lsl rho.n in
+  let acc = ref 0.0 in
+  for i = 0 to d - 1 do
+    acc := !acc +. Mat.get rho.re i i
+  done;
+  !acc
+
+let dense_of_sum ~n sum =
+  let { Dense_op.re; im; n = _ } = Dense_op.of_pauli_sum ~n sum in
+  { mre = re; mim = im }
+
+let expectation rho obs =
+  let op = dense_of_sum ~n:rho.n obs in
+  let prod = cmul (cm_of_density rho) op in
+  let d = 1 lsl rho.n in
+  let acc = ref 0.0 in
+  for i = 0 to d - 1 do
+    acc := !acc +. Mat.get prod.mre i i
+  done;
+  !acc
+
+let purity rho =
+  let sq = cmul (cm_of_density rho) (cm_of_density rho) in
+  let d = 1 lsl rho.n in
+  let acc = ref 0.0 in
+  for i = 0 to d - 1 do
+    acc := !acc +. Mat.get sq.mre i i
+  done;
+  !acc
+
+let jump_matrix ~n = function
+  | Dephasing i ->
+      if i < 0 || i >= n then invalid_arg "Lindblad: site out of range";
+      dense_of_sum ~n (Pauli_sum.term 1.0 (Pauli_string.single i Pauli.Z))
+  | Decay i ->
+      if i < 0 || i >= n then invalid_arg "Lindblad: site out of range";
+      (* sigma^- |1>_i -> |0>_i : entry (a, b) = 1 when b = a with bit i
+         set and a has it clear *)
+      let d = 1 lsl n in
+      let m = Mat.create ~rows:d ~cols:d in
+      for b = 0 to d - 1 do
+        if (b lsr i) land 1 = 1 then Mat.set m (b lxor (1 lsl i)) b 1.0
+      done;
+      { mre = m; mim = Mat.create ~rows:d ~cols:d }
+
+let evolve ~h ~channels ~t ?steps rho0 =
+  let n = rho0.n in
+  List.iter
+    (fun { rate; _ } ->
+      if rate < 0.0 then invalid_arg "Lindblad.evolve: negative rate")
+    channels;
+  let h_op = dense_of_sum ~n h in
+  let prepared =
+    List.map
+      (fun { jump; rate } ->
+        let l = jump_matrix ~n jump in
+        let ld = cdagger l in
+        (rate, l, ld, cmul ld l))
+      channels
+  in
+  let total_rate =
+    List.fold_left (fun acc { rate; _ } -> acc +. rate) 0.0 channels
+  in
+  let steps =
+    match steps with
+    | Some s when s > 0 -> s
+    | Some _ -> invalid_arg "Lindblad.evolve: steps <= 0"
+    | None ->
+        Int.max 64
+          (int_of_float
+             (Float.ceil (20.0 *. (Pauli_sum.norm1 h +. total_rate) *. Float.abs t)))
+  in
+  let deriv rho =
+    (* -i[H, rho] *)
+    let acc = ref (cneg_i (csub (cmul h_op rho) (cmul rho h_op))) in
+    List.iter
+      (fun (rate, l, ld, ldl) ->
+        let hop = cmul (cmul l rho) ld in
+        let anti = cscale 0.5 (cadd (cmul ldl rho) (cmul rho ldl)) in
+        acc := cadd !acc (cscale rate (csub hop anti)))
+      prepared;
+    !acc
+  in
+  let dt = t /. float_of_int steps in
+  let state = ref (cm_of_density rho0) in
+  for _ = 1 to steps do
+    let y = !state in
+    let k1 = deriv y in
+    let k2 = deriv (cadd y (cscale (dt /. 2.0) k1)) in
+    let k3 = deriv (cadd y (cscale (dt /. 2.0) k2)) in
+    let k4 = deriv (cadd y (cscale dt k3)) in
+    let sum =
+      cadd (cadd k1 (cscale 2.0 k2)) (cadd (cscale 2.0 k3) k4)
+    in
+    let next = cadd y (cscale (dt /. 6.0) sum) in
+    (* renormalise the trace to absorb integrator drift *)
+    let tr =
+      let d = 1 lsl n in
+      let acc = ref 0.0 in
+      for i = 0 to d - 1 do
+        acc := !acc +. Mat.get next.mre i i
+      done;
+      !acc
+    in
+    state := if Float.abs tr > 1e-300 then cscale (1.0 /. tr) next else next
+  done;
+  { n; re = !state.mre; im = !state.mim }
+
+let z_avg rho =
+  let n = rho.n in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc :=
+      !acc +. expectation rho (Pauli_sum.term 1.0 (Pauli_string.single i Pauli.Z))
+  done;
+  !acc /. float_of_int n
+
+let zz_avg ?(cycle = true) rho =
+  let n = rho.n in
+  if n < 2 then invalid_arg "Lindblad.zz_avg: need two qubits";
+  let pairs =
+    if cycle then List.init n (fun i -> (i, (i + 1) mod n))
+    else List.init (n - 1) (fun i -> (i, i + 1))
+  in
+  let acc =
+    List.fold_left
+      (fun acc (i, j) ->
+        acc
+        +. expectation rho
+             (Pauli_sum.term 1.0 (Pauli_string.two i Pauli.Z j Pauli.Z)))
+      0.0 pairs
+  in
+  acc /. float_of_int (List.length pairs)

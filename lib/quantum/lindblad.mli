@@ -1,0 +1,51 @@
+(** Open-system (Lindblad master equation) evolution.
+
+    The device emulator's quasi-static noise model captures Aquila's
+    dominant shot-to-shot errors; this module provides the complementary
+    {e Markovian} channels — continuous dephasing and decay — by
+    integrating the Lindblad equation
+
+    [dρ/dt = −i[H, ρ] + Σ_k γ_k (L_k ρ L_k† − ½{L_k†L_k, ρ})]
+
+    on the dense density matrix.  Practical to ~6 qubits (the Fig.-6b
+    scale); used to cross-check the trajectory picture and to expose
+    decoherence-rate ablations.  RK4 in superoperator form, trace
+    renormalised each step. *)
+
+type jump =
+  | Dephasing of int  (** [L = Z_i] (rate in the Hamiltonian's units) *)
+  | Decay of int  (** [L = σ⁻_i = (X_i + iY_i)/2], Rydberg-state decay *)
+
+type channel = { jump : jump; rate : float }
+
+type density = {
+  n : int;
+  re : Qturbo_linalg.Mat.t;
+  im : Qturbo_linalg.Mat.t;
+}
+
+val of_state : State.t -> density
+(** Pure-state density matrix [|ψ⟩⟨ψ|]. *)
+
+val trace : density -> float
+
+val expectation : density -> Qturbo_pauli.Pauli_sum.t -> float
+(** [Tr(ρ O)] (real part — exact for Hermitian observables). *)
+
+val purity : density -> float
+(** [Tr ρ²]. *)
+
+val evolve :
+  h:Qturbo_pauli.Pauli_sum.t ->
+  channels:channel list ->
+  t:float ->
+  ?steps:int ->
+  density ->
+  density
+(** Integrate for duration [t].  With [channels = []] this reduces to
+    unitary evolution (tested against {!Evolve}).  Raises
+    [Invalid_argument] on negative rates or sites outside the register. *)
+
+val z_avg : density -> float
+
+val zz_avg : ?cycle:bool -> density -> float

@@ -1,0 +1,32 @@
+type readout_error = { p_0_to_1 : float; p_1_to_0 : float }
+
+let perfect_readout = { p_0_to_1 = 0.0; p_1_to_0 = 0.0 }
+
+let sample_index ~rng s =
+  let u = Qturbo_util.Rng.float rng in
+  let d = State.dim s in
+  let acc = ref 0.0 in
+  let result = ref (d - 1) in
+  (try
+     for k = 0 to d - 1 do
+       acc := !acc +. State.probability s k;
+       if u < !acc then begin
+         result := k;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let sample_bits ~rng s =
+  let k = sample_index ~rng s in
+  Array.init s.State.n (fun i -> (k lsr i) land 1)
+
+let flip ~rng readout b =
+  let p = if b = 0 then readout.p_0_to_1 else readout.p_1_to_0 in
+  if p > 0.0 && Qturbo_util.Rng.float rng < p then 1 - b else b
+
+let sample_shots ~rng ?(readout = perfect_readout) ~shots s =
+  List.init shots (fun _ ->
+      let bits = sample_bits ~rng s in
+      Array.map (fun b -> flip ~rng readout b) bits)

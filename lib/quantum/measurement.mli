@@ -1,0 +1,25 @@
+(** Projective measurement sampling with readout error.
+
+    The device emulator measures every shot in the computational basis;
+    asymmetric readout flips model Aquila's imaging errors (missing a
+    Rydberg atom is far likelier than a false positive). *)
+
+type readout_error = {
+  p_0_to_1 : float;  (** P(read 1 | true 0) *)
+  p_1_to_0 : float;  (** P(read 1 flips to 0) *)
+}
+
+val perfect_readout : readout_error
+
+val sample_bits :
+  rng:Qturbo_util.Rng.t -> State.t -> int array
+(** One shot: a length-[n] 0/1 array sampled from [|ψ|²] (bit [i] is qubit
+    [i]). *)
+
+val sample_shots :
+  rng:Qturbo_util.Rng.t ->
+  ?readout:readout_error ->
+  shots:int ->
+  State.t ->
+  int array list
+(** [shots] independent measurements with readout errors applied. *)

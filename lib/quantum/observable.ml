@@ -1,0 +1,65 @@
+open Qturbo_pauli
+
+let z i = Pauli_string.single i Pauli.Z
+let zz i j = Pauli_string.two i Pauli.Z j Pauli.Z
+
+let expect_z s i = Apply.expectation_string ~n:s.State.n (z i) s
+let expect_zz s i j = Apply.expectation_string ~n:s.State.n (zz i j) s
+
+let z_avg s =
+  let n = s.State.n in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. expect_z s i
+  done;
+  !acc /. float_of_int n
+
+let zz_avg ?(cycle = true) s =
+  let n = s.State.n in
+  if n < 2 then invalid_arg "Observable.zz_avg: need at least two qubits";
+  let pairs =
+    if cycle then List.init n (fun i -> (i, (i + 1) mod n))
+    else List.init (n - 1) (fun i -> (i, i + 1))
+  in
+  let acc =
+    List.fold_left (fun acc (i, j) -> acc +. expect_zz s i j) 0.0 pairs
+  in
+  acc /. float_of_int (List.length pairs)
+
+let expect_n s i = (1.0 -. expect_z s i) /. 2.0
+
+let z_of_bit b = 1.0 -. (2.0 *. float_of_int b)
+
+let z_avg_of_bits samples =
+  match samples with
+  | [] -> invalid_arg "Observable.z_avg_of_bits: no samples"
+  | first :: _ ->
+      let n = Array.length first in
+      let acc = ref 0.0 and count = ref 0 in
+      List.iter
+        (fun bits ->
+          incr count;
+          Array.iter (fun b -> acc := !acc +. z_of_bit b) bits)
+        samples;
+      !acc /. float_of_int (n * !count)
+
+let zz_avg_of_bits ?(cycle = true) samples =
+  match samples with
+  | [] -> invalid_arg "Observable.zz_avg_of_bits: no samples"
+  | first :: _ ->
+      let n = Array.length first in
+      if n < 2 then invalid_arg "Observable.zz_avg_of_bits: need two qubits";
+      let pairs =
+        if cycle then List.init n (fun i -> (i, (i + 1) mod n))
+        else List.init (n - 1) (fun i -> (i, i + 1))
+      in
+      let acc = ref 0.0 and count = ref 0 in
+      List.iter
+        (fun bits ->
+          incr count;
+          List.iter
+            (fun (i, j) ->
+              acc := !acc +. (z_of_bit bits.(i) *. z_of_bit bits.(j)))
+            pairs)
+        samples;
+      !acc /. float_of_int (List.length pairs * !count)

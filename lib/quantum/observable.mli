@@ -1,0 +1,28 @@
+(** The observables reported in the paper's device experiments (§7.4). *)
+
+val z : int -> Qturbo_pauli.Pauli_string.t
+(** [Z_i]. *)
+
+val zz : int -> int -> Qturbo_pauli.Pauli_string.t
+(** [Z_i Z_j]. *)
+
+val expect_z : State.t -> int -> float
+
+val expect_zz : State.t -> int -> int -> float
+
+val z_avg : State.t -> float
+(** [1/N Σ ⟨Z_i⟩] over all qubits of the state. *)
+
+val zz_avg : ?cycle:bool -> State.t -> float
+(** [1/N Σ ⟨Z_i Z_{i+1}⟩].  With [cycle] (default true, matching the
+    paper's Ising-cycle experiment) the wrap-around pair [Z_{N-1} Z_0] is
+    included and the normaliser is N; otherwise N−1 adjacent pairs. *)
+
+val expect_n : State.t -> int -> float
+(** Rydberg number operator [⟨n̂_i⟩ = (1 − ⟨Z_i⟩)/2]. *)
+
+val z_avg_of_bits : int array list -> float
+(** Estimate [z_avg] from sampled bitstrings (each array holds per-qubit
+    0/1 outcomes, 1 meaning the Rydberg/excited state so [Z = 1 − 2·bit]). *)
+
+val zz_avg_of_bits : ?cycle:bool -> int array list -> float

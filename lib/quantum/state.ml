@@ -1,0 +1,78 @@
+type t = { n : int; re : float array; im : float array }
+
+let create ~n =
+  if n < 0 || n > 26 then invalid_arg "State.create: unsupported qubit count";
+  let d = 1 lsl n in
+  { n; re = Array.make d 0.0; im = Array.make d 0.0 }
+
+let basis ~n k =
+  let s = create ~n in
+  if k < 0 || k >= 1 lsl n then invalid_arg "State.basis: index out of range";
+  s.re.(k) <- 1.0;
+  s
+
+let ground ~n = basis ~n 0
+let dim s = 1 lsl s.n
+let copy s = { s with re = Array.copy s.re; im = Array.copy s.im }
+
+let norm s =
+  let acc = ref 0.0 in
+  for i = 0 to dim s - 1 do
+    acc := !acc +. (s.re.(i) *. s.re.(i)) +. (s.im.(i) *. s.im.(i))
+  done;
+  sqrt !acc
+
+let normalize s =
+  let n = norm s in
+  if n = 0.0 then invalid_arg "State.normalize: zero vector";
+  let inv = 1.0 /. n in
+  for i = 0 to dim s - 1 do
+    s.re.(i) <- s.re.(i) *. inv;
+    s.im.(i) <- s.im.(i) *. inv
+  done
+
+let inner a b =
+  if a.n <> b.n then invalid_arg "State.inner: qubit-count mismatch";
+  let re = ref 0.0 and im = ref 0.0 in
+  for i = 0 to dim a - 1 do
+    (* conj(a) * b *)
+    re := !re +. (a.re.(i) *. b.re.(i)) +. (a.im.(i) *. b.im.(i));
+    im := !im +. (a.re.(i) *. b.im.(i)) -. (a.im.(i) *. b.re.(i))
+  done;
+  { Complex.re = !re; im = !im }
+
+let fidelity a b = Complex.norm2 (inner a b)
+
+let probability s k =
+  if k < 0 || k >= dim s then invalid_arg "State.probability: out of range";
+  (s.re.(k) *. s.re.(k)) +. (s.im.(k) *. s.im.(k))
+
+let probabilities s = Array.init (dim s) (fun k -> probability s k)
+
+let scale c s =
+  for i = 0 to dim s - 1 do
+    let re = (c.Complex.re *. s.re.(i)) -. (c.Complex.im *. s.im.(i)) in
+    let im = (c.Complex.re *. s.im.(i)) +. (c.Complex.im *. s.re.(i)) in
+    s.re.(i) <- re;
+    s.im.(i) <- im
+  done
+
+let add_scaled dst c src =
+  if dst.n <> src.n then invalid_arg "State.add_scaled: qubit-count mismatch";
+  for i = 0 to dim src - 1 do
+    dst.re.(i) <- dst.re.(i) +. ((c.Complex.re *. src.re.(i)) -. (c.Complex.im *. src.im.(i)));
+    dst.im.(i) <- dst.im.(i) +. ((c.Complex.re *. src.im.(i)) +. (c.Complex.im *. src.re.(i)))
+  done
+
+let equal ?(tol = 1e-9) a b =
+  a.n = b.n
+  && begin
+       let ok = ref true in
+       for i = 0 to dim a - 1 do
+         if
+           Float.abs (a.re.(i) -. b.re.(i)) > tol
+           || Float.abs (a.im.(i) -. b.im.(i)) > tol
+         then ok := false
+       done;
+       !ok
+     end

@@ -1,0 +1,48 @@
+(** Complex state vectors over [n] qubits.
+
+    Amplitudes are stored as parallel [re]/[im] float arrays (no boxed
+    complex records on the hot path).  Basis index bit [k] is the state of
+    qubit [k] (little-endian); [|0...0>] is index 0.  Sizes stay small in
+    this project (≤ 12 qubits for the device experiments), so everything
+    is dense. *)
+
+type t = { n : int; re : float array; im : float array }
+
+val create : n:int -> t
+(** The all-zeros vector (not a valid quantum state until set). *)
+
+val basis : n:int -> int -> t
+(** [basis ~n k] is the computational basis state [|k>].  Raises
+    [Invalid_argument] when [k] is out of range. *)
+
+val ground : n:int -> t
+(** [|0...0>]. *)
+
+val dim : t -> int
+
+val copy : t -> t
+
+val norm : t -> float
+
+val normalize : t -> unit
+(** In place; raises [Invalid_argument] on the zero vector. *)
+
+val inner : t -> t -> Complex.t
+(** [⟨a|b⟩]. *)
+
+val fidelity : t -> t -> float
+(** [|⟨a|b⟩|²]. *)
+
+val probability : t -> int -> float
+(** [|amplitude k|²]. *)
+
+val probabilities : t -> float array
+
+val scale : Complex.t -> t -> unit
+(** In place. *)
+
+val add_scaled : t -> Complex.t -> t -> unit
+(** [add_scaled dst c src] performs [dst += c·src] in place. *)
+
+val equal : ?tol:float -> t -> t -> bool
+(** Amplitude-wise comparison (not up to global phase). *)

@@ -1,0 +1,125 @@
+open Qturbo_pauli
+
+(* per-channel precomputation: the jump operation on a state and the
+   L†L Pauli sum entering both the jump probability and the no-jump
+   damping *)
+type prepared = {
+  rate : float;
+  apply_jump : State.t -> State.t;
+  ldl : Pauli_sum.t;  (** L†L *)
+}
+
+let prepare ~n { Lindblad.jump; rate } =
+  match jump with
+  | Lindblad.Dephasing i ->
+      if i < 0 || i >= n then invalid_arg "Trajectory: site out of range";
+      let z = Pauli_string.single i Pauli.Z in
+      {
+        rate;
+        apply_jump = (fun s -> Apply.apply_string ~n z s);
+        ldl = Pauli_sum.term 1.0 Pauli_string.identity;
+      }
+  | Lindblad.Decay i ->
+      if i < 0 || i >= n then invalid_arg "Trajectory: site out of range";
+      (* sigma^- = (X + iY)/2; apply directly on amplitudes *)
+      let bit = 1 lsl i in
+      let apply_jump s =
+        let out = State.create ~n in
+        for b = 0 to State.dim s - 1 do
+          if b land bit <> 0 then begin
+            out.State.re.(b lxor bit) <- s.State.re.(b);
+            out.State.im.(b lxor bit) <- s.State.im.(b)
+          end
+        done;
+        out
+      in
+      (* L†L = n̂_i = (I - Z_i)/2 *)
+      let ldl =
+        Pauli_sum.of_list
+          [
+            (Pauli_string.identity, 0.5);
+            (Pauli_string.single i Pauli.Z, -0.5);
+          ]
+      in
+      { rate; apply_jump; ldl }
+
+let evolve ~rng ~h ~channels ~t ?steps psi0 =
+  let n = psi0.State.n in
+  List.iter
+    (fun { Lindblad.rate; _ } ->
+      if rate < 0.0 then invalid_arg "Trajectory.evolve: negative rate")
+    channels;
+  let prepared = List.map (prepare ~n) channels in
+  let total_rate =
+    List.fold_left (fun acc p -> acc +. p.rate) 0.0 prepared
+  in
+  let steps =
+    match steps with
+    | Some s when s > 0 -> s
+    | Some _ -> invalid_arg "Trajectory.evolve: steps <= 0"
+    | None ->
+        (* both the Hamiltonian resolution and gamma·dt << 1 matter *)
+        Int.max
+          (Evolve.steps_for ~norm1:(Pauli_sum.norm1 h) ~t)
+          (int_of_float (Float.ceil (50.0 *. total_rate *. Float.abs t)))
+  in
+  let dt = t /. float_of_int steps in
+  let h_compiled = Apply.compile ~n h in
+  let norm1 = Pauli_sum.norm1 h in
+  let ldl_compiled =
+    List.map (fun p -> (p, Apply.compile ~n p.ldl)) prepared
+  in
+  let state = ref (State.copy psi0) in
+  for _ = 1 to steps do
+    let psi = !state in
+    (* jump probabilities for this interval *)
+    let probs =
+      List.map
+        (fun (p, ldl) -> (p, p.rate *. dt *. Apply.expectation ldl psi))
+        ldl_compiled
+    in
+    let p_total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 probs in
+    let r = Qturbo_util.Rng.float rng in
+    if r < p_total then begin
+      (* pick the jump proportionally to its probability *)
+      let rec pick acc = function
+        | [] -> invalid_arg "Trajectory: empty jump list"
+        | [ (p, _) ] -> p
+        | (p, w) :: rest -> if acc +. w >= r then p else pick (acc +. w) rest
+      in
+      let chosen = pick 0.0 probs in
+      let jumped = chosen.apply_jump psi in
+      if State.norm jumped > 1e-12 then begin
+        State.normalize jumped;
+        state := jumped
+      end
+      (* a zero-norm jump (e.g. decay from the ground state) cannot
+         physically fire: its probability was zero, keep the state *)
+    end
+    else begin
+      (* unitary substep *)
+      let evolved =
+        Evolve.evolve_compiled ~steps:1 ~h:h_compiled ~norm1 ~t:dt psi
+      in
+      (* no-jump damping: psi -= dt/2 Σ γ L†L psi *)
+      List.iter
+        (fun (p, ldl) ->
+          let d = Apply.apply ldl evolved in
+          State.add_scaled evolved
+            { Complex.re = -0.5 *. p.rate *. dt; im = 0.0 }
+            d)
+        ldl_compiled;
+      State.normalize evolved;
+      state := evolved
+    end
+  done;
+  !state
+
+let average_observable ~rng ~h ~channels ~t ~trajectories ~observable psi0 =
+  if trajectories <= 0 then
+    invalid_arg "Trajectory.average_observable: trajectories <= 0";
+  let acc = ref 0.0 in
+  for _ = 1 to trajectories do
+    acc := !acc +. observable (evolve ~rng ~h ~channels ~t psi0)
+  done;
+  !acc /. float_of_int trajectories

@@ -1,0 +1,36 @@
+(** Monte-Carlo wavefunction (quantum-jump) unravelling of the Lindblad
+    equation.
+
+    {!Lindblad} integrates the density matrix exactly but is limited to a
+    handful of qubits; the trajectory method evolves pure states of the
+    full register and reproduces the same channel averages, so Markovian
+    dephasing/decay can be added to the 12-qubit device emulation.
+
+    One step: with probability [Σ_k γ_k dt ⟨L_k†L_k⟩] a jump [ψ ← L_kψ]
+    fires (k chosen proportionally); otherwise the state takes a unitary
+    RK4 substep followed by the no-jump damping
+    [ψ ← (I − dt/2 Σ γ_k L_k†L_k) ψ], and is renormalised.  The splitting
+    error is O(dt²) per step. *)
+
+val evolve :
+  rng:Qturbo_util.Rng.t ->
+  h:Qturbo_pauli.Pauli_sum.t ->
+  channels:Lindblad.channel list ->
+  t:float ->
+  ?steps:int ->
+  State.t ->
+  State.t
+(** One stochastic trajectory.  With [channels = []] this is
+    deterministic and equals {!Evolve.evolve}. *)
+
+val average_observable :
+  rng:Qturbo_util.Rng.t ->
+  h:Qturbo_pauli.Pauli_sum.t ->
+  channels:Lindblad.channel list ->
+  t:float ->
+  trajectories:int ->
+  observable:(State.t -> float) ->
+  State.t ->
+  float
+(** Channel average of an observable over independent trajectories
+    (the quantity that converges to the Lindblad expectation). *)

@@ -1,0 +1,66 @@
+open Qturbo_pauli
+
+(* exp(-i θ P)|ψ> = cos θ |ψ> - i sin θ P|ψ>, exact because P² = I *)
+let apply_exp ~n pstring theta psi =
+  if Pauli_string.is_identity pstring then begin
+    let out = State.copy psi in
+    State.scale { Complex.re = cos theta; im = -.sin theta } out;
+    out
+  end
+  else begin
+    let p_psi = Apply.apply_string ~n pstring psi in
+    let out = State.copy psi in
+    State.scale { Complex.re = cos theta; im = 0.0 } out;
+    State.add_scaled out { Complex.re = 0.0; im = -.sin theta } p_psi;
+    out
+  end
+
+let sweep ~n terms ~dt psi =
+  List.fold_left
+    (fun psi (pstring, coeff) -> apply_exp ~n pstring (coeff *. dt) psi)
+    psi terms
+
+let step_first_order ~h ~dt psi =
+  sweep ~n:psi.State.n (Pauli_sum.terms h) ~dt psi
+
+let check_steps steps =
+  if steps <= 0 then invalid_arg "Trotter: steps <= 0"
+
+let evolve_first_order ~h ~t ~steps psi =
+  check_steps steps;
+  let dt = t /. float_of_int steps in
+  let terms = Pauli_sum.terms h in
+  let n = psi.State.n in
+  let state = ref (State.copy psi) in
+  for _ = 1 to steps do
+    state := sweep ~n terms ~dt !state
+  done;
+  !state
+
+let evolve_second_order ~h ~t ~steps psi =
+  check_steps steps;
+  let dt = t /. float_of_int steps in
+  let terms = Pauli_sum.terms h in
+  let terms_rev = List.rev terms in
+  let n = psi.State.n in
+  let state = ref (State.copy psi) in
+  for _ = 1 to steps do
+    state := sweep ~n terms ~dt:(dt /. 2.0) !state;
+    state := sweep ~n terms_rev ~dt:(dt /. 2.0) !state
+  done;
+  !state
+
+let gate_count ~h ~steps ~order =
+  let per_step = Pauli_sum.term_count h in
+  match order with
+  | `First -> per_step * steps
+  | `Second -> 2 * per_step * steps
+
+let error_vs_exact ~h ~t ~steps ~order psi =
+  let exact = Evolve.evolve ~h ~t psi in
+  let approx =
+    match order with
+    | `First -> evolve_first_order ~h ~t ~steps psi
+    | `Second -> evolve_second_order ~h ~t ~steps psi
+  in
+  1.0 -. State.fidelity exact approx

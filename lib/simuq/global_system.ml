@@ -1,0 +1,95 @@
+open Qturbo_aais
+open Qturbo_optim
+open Qturbo_core
+
+type t = {
+  aais : Aais.t;
+  channels : Instruction.channel array;
+  vars : Variable.t array;
+  ls : Linear_system.t;  (** reused for the row structure and B_tar *)
+  instr_of_channel : int array;  (** channel cid -> instruction index *)
+  n_instr : int;
+}
+
+let build ~aais ~target ~t_tar =
+  let channels = Aais.channels aais in
+  let vars = Aais.variables aais in
+  let ls = Linear_system.build ~channels ~target ~t_tar in
+  let instr_of_channel = Array.make (Array.length channels) 0 in
+  List.iteri
+    (fun k (instr : Instruction.t) ->
+      List.iter
+        (fun (c : Instruction.channel) ->
+          instr_of_channel.(c.Instruction.cid) <- k)
+        instr.Instruction.channels)
+    aais.Aais.instructions;
+  {
+    aais;
+    channels;
+    vars;
+    ls;
+    instr_of_channel;
+    n_instr = List.length aais.Aais.instructions;
+  }
+
+let n_continuous t = Array.length t.vars + 1
+let n_instructions t = t.n_instr
+
+let bounds t ~t_max =
+  let var_bounds = Array.map (fun v -> v.Variable.bound) t.vars in
+  Array.append var_bounds [| Bounds.make ~lo:1e-4 ~hi:t_max |]
+
+let split t x =
+  let nv = Array.length t.vars in
+  if Array.length x <> nv + 1 then invalid_arg "Global_system.split: bad vector";
+  (Array.sub x 0 nv, x.(nv))
+
+let alpha_of t ~indicators x =
+  let env, t_sim = split t x in
+  Array.map
+    (fun (c : Instruction.channel) ->
+      if indicators.(t.instr_of_channel.(c.Instruction.cid)) then
+        Expr.eval c.Instruction.expr ~env *. t_sim
+      else 0.0)
+    t.channels
+
+let residual t ~indicators x =
+  let alpha = alpha_of t ~indicators x in
+  let b_sim = Linear_system.b_of_alpha t.ls ~alpha in
+  Array.mapi (fun i b -> b -. t.ls.Linear_system.b_tar.(i)) b_sim
+
+let error_l1 t ~indicators x =
+  let r = residual t ~indicators x in
+  Array.fold_left (fun acc ri -> acc +. Float.abs ri) 0.0 r
+
+let b_norm1 t =
+  Array.fold_left
+    (fun acc b -> acc +. Float.abs b)
+    0.0 t.ls.Linear_system.b_tar
+
+let initial_guess t ~rng ~t_max =
+  let nv = Array.length t.vars in
+  let x = Array.make (nv + 1) 0.0 in
+  Array.iteri
+    (fun i (v : Variable.t) ->
+      let value =
+        match v.Variable.kind with
+        | Variable.Runtime_fixed ->
+            (* jitter the built-in layout by ±1.5 µm; larger jitter scrambles
+               the atom ordering and strands the solver behind 1/r⁶ cliffs *)
+            v.Variable.init +. Qturbo_util.Rng.uniform rng ~lo:(-1.5) ~hi:1.5
+        | Variable.Runtime_dynamic ->
+            (* sample the middle of the box: starting on a bound stalls
+               the solver (zero transform gradient), which SciPy's
+               trust-region-reflective method also dislikes *)
+            let { Bounds.lo; hi } = v.Variable.bound in
+            let lo = if Float.is_finite lo then lo else -10.0 in
+            let hi = if Float.is_finite hi then hi else 10.0 in
+            let w = hi -. lo in
+            Qturbo_util.Rng.uniform rng ~lo:(lo +. (0.25 *. w))
+              ~hi:(hi -. (0.25 *. w))
+      in
+      x.(i) <- Bounds.clamp v.Variable.bound value)
+    t.vars;
+  x.(nv) <- Qturbo_util.Rng.uniform rng ~lo:(0.1 *. t_max) ~hi:t_max;
+  x

@@ -1,0 +1,43 @@
+(** The baseline's global mixed equation system (paper §2.2).
+
+    One residual per Hamiltonian term:
+    [Σ_k s_k · expr_k(vars) · T_sim − B_tar_i], over {e all} amplitude
+    variables, the evolution-time variable and the per-instruction binary
+    indicator variables [s_k] — exactly the monolithic system SimuQ hands
+    to SciPy, with no decomposition, no locality, and no structural
+    solve. *)
+
+type t
+
+val build :
+  aais:Qturbo_aais.Aais.t ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  t_tar:float ->
+  t
+
+val n_continuous : t -> int
+(** Amplitude variables plus one slot for [T_sim] (the last coordinate of
+    the solver vector). *)
+
+val n_instructions : t -> int
+
+val bounds : t -> t_max:float -> Qturbo_optim.Bounds.bound array
+(** Box bounds for the solver vector (variable bounds + [T ∈ [1e-4, t_max]]). *)
+
+val residual : t -> indicators:bool array -> float array -> float array
+(** [residual sys ~indicators x] where [x] is [variables @ [T_sim]];
+    an instruction whose indicator is false contributes nothing. *)
+
+val error_l1 : t -> indicators:bool array -> float array -> float
+
+val b_norm1 : t -> float
+
+val initial_guess :
+  t -> rng:Qturbo_util.Rng.t -> t_max:float -> float array
+(** Random start: runtime-fixed variables jittered around their built-in
+    initial layout (SimuQ's AAIS backends seed positions the same way),
+    runtime-dynamic variables uniform in their boxes, [T_sim] uniform in
+    [[0.1·t_max, t_max]]. *)
+
+val split : t -> float array -> float array * float
+(** Separate a solver vector into (variable environment, [T_sim]). *)

@@ -1,0 +1,15 @@
+let approx ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  if Float.is_nan a || Float.is_nan b then false
+  else
+    let scale = Float.max (Float.abs a) (Float.abs b) in
+    Float.abs (a -. b) <= atol +. (rtol *. scale)
+
+let approx_array ?rtol ?atol a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> approx ?rtol ?atol x y) a b
+
+let clamp ~lo ~hi x =
+  assert (lo <= hi);
+  if x < lo then lo else if x > hi then hi else x
+
+let is_finite x = Float.is_finite x

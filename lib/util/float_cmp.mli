@@ -1,0 +1,17 @@
+(** Tolerant floating-point comparison helpers used throughout the solver
+    stack and the test suites. *)
+
+val approx : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [approx ?rtol ?atol a b] holds when
+    [|a - b| <= atol + rtol * max |a| |b|].  Defaults: [rtol = 1e-9],
+    [atol = 1e-12].  NaN compares unequal to everything. *)
+
+val approx_array : ?rtol:float -> ?atol:float -> float array -> float array -> bool
+(** Pointwise {!approx} over arrays of equal length; [false] when the
+    lengths differ. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] restricts [x] to [\[lo, hi\]].  Requires [lo <= hi]. *)
+
+val is_finite : float -> bool
+(** True for ordinary floats; false for NaN and infinities. *)

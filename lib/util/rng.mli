@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generation.
+
+    The library must be reproducible run-to-run (the SimuQ baseline uses
+    random restarts, the device emulator samples noise shots), so all
+    randomness flows through an explicit generator state seeded by the
+    caller.  The core generator is splitmix64, which has a 64-bit state,
+    passes BigCrush, and is trivially splittable. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a statistically independent child
+    generator, for handing to sub-computations without sharing state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** [float t] is uniform in [\[0, 1)]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** [uniform t ~lo ~hi] is uniform in [\[lo, hi)].  Requires [lo <= hi]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** [gaussian t ~mu ~sigma] samples a normal variate (Box–Muller). *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] is uniform in [\[0, bound)].  Requires [bound > 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

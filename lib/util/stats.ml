@@ -1,0 +1,75 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty array")
+
+let mean a =
+  check_nonempty "Stats.mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else
+    let m = mean a in
+    let acc = Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0.0 a in
+    acc /. float_of_int (n - 1)
+
+let stddev a = sqrt (variance a)
+
+let stderr_mean a =
+  check_nonempty "Stats.stderr_mean" a;
+  stddev a /. sqrt (float_of_int (Array.length a))
+
+let min_max a =
+  check_nonempty "Stats.min_max" a;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0)) a
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort Float.compare b;
+  b
+
+let median a =
+  check_nonempty "Stats.median" a;
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+
+let percentile a ~p =
+  check_nonempty "Stats.percentile" a;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then b.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. b.(lo)) +. (w *. b.(hi))
+
+let geometric_mean a =
+  check_nonempty "Stats.geometric_mean" a;
+  let acc =
+    Array.fold_left
+      (fun s x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: nonpositive element"
+        else s +. log x)
+      0.0 a
+  in
+  exp (acc /. float_of_int (Array.length a))
+
+let linear_fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.linear_fit: length mismatch";
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 in
+  for i = 0 to n - 1 do
+    sxy := !sxy +. ((xs.(i) -. mx) *. (ys.(i) -. my));
+    sxx := !sxx +. ((xs.(i) -. mx) *. (xs.(i) -. mx))
+  done;
+  if !sxx = 0.0 then invalid_arg "Stats.linear_fit: degenerate xs";
+  let slope = !sxy /. !sxx in
+  (slope, my -. (slope *. mx))

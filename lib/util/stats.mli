@@ -1,0 +1,35 @@
+(** Descriptive statistics over float arrays.
+
+    Used by the bench harness (summarising sweep series) and by the device
+    emulator (averaging shot samples). *)
+
+val mean : float array -> float
+(** Arithmetic mean.  Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (denominator [n - 1]); [0.] when [n < 2]. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val stderr_mean : float array -> float
+(** Standard error of the mean: [stddev / sqrt n]. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element.  Raises [Invalid_argument] on empty. *)
+
+val median : float array -> float
+(** Median (average of the two middle elements for even [n]).  Does not
+    mutate its argument.  Raises [Invalid_argument] on empty. *)
+
+val percentile : float array -> p:float -> float
+(** [percentile a ~p] with [p] in [\[0, 100\]], linear interpolation between
+    order statistics.  Raises [Invalid_argument] on empty. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean; requires strictly positive elements.  Used for the
+    "average speedup" numbers quoted in the evaluation. *)
+
+val linear_fit : float array -> float array -> float * float
+(** [linear_fit xs ys] returns [(slope, intercept)] of the least-squares
+    line.  Raises [Invalid_argument] when lengths differ or [n < 2]. *)

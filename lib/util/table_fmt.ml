@@ -1,0 +1,52 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+
+let add_row t row =
+  let ncols = List.length t.header in
+  let len = List.length row in
+  if len > ncols then invalid_arg "Table_fmt.add_row: row wider than header";
+  let padded =
+    if len = ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  t.rows <- t.rows @ [ padded ]
+
+let cell_of_float x =
+  if Float.is_nan x then "-"
+  else if x = 0.0 then "0"
+  else
+    let ax = Float.abs x in
+    if ax >= 1e5 || ax < 1e-3 then Printf.sprintf "%.3e" x
+    else if ax >= 100.0 then Printf.sprintf "%.1f" x
+    else Printf.sprintf "%.4f" x
+
+let add_float_row t ~label xs = add_row t (label :: List.map cell_of_float xs)
+
+let rstrip s =
+  let len = ref (String.length s) in
+  while !len > 0 && s.[!len - 1] = ' ' do
+    decr len
+  done;
+  String.sub s 0 !len
+
+let render t =
+  let all = t.header :: t.rows in
+  let ncols = List.length t.header in
+  let width c =
+    List.fold_left
+      (fun acc row -> Int.max acc (String.length (List.nth row c)))
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pad w s = s ^ String.make (w - String.length s) ' ' in
+  let line_row row = rstrip (String.concat "  " (List.map2 pad widths row)) in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line_row t.header :: sep :: List.map line_row t.rows)
+
+let print ?title t =
+  (match title with
+  | None -> ()
+  | Some s ->
+      print_endline "";
+      print_endline ("== " ^ s ^ " =="));
+  print_endline (render t)

@@ -1,0 +1,31 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The bench binary reports each paper table/figure as an aligned ASCII
+    table so the rows can be compared directly against the paper. *)
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : header:string list -> t
+(** [create ~header] starts a table with the given column names. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows shorter than the header are padded with [""];
+    longer rows raise [Invalid_argument]. *)
+
+val add_float_row : t -> label:string -> float list -> unit
+(** Convenience: a label column followed by floats rendered with
+    {!cell_of_float}. *)
+
+val cell_of_float : float -> string
+(** Compact human-readable rendering: fixed-point for moderate magnitudes,
+    scientific otherwise, ["-"] for NaN (used for missing data points,
+    matching the paper's missing SimuQ results). *)
+
+val render : t -> string
+(** Render with a title-less aligned layout, columns separated by two
+    spaces, header underlined. *)
+
+val print : ?title:string -> t -> unit
+(** [print ?title t] writes the rendered table (preceded by [title] and a
+    separator when given) to stdout. *)

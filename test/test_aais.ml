@@ -1,0 +1,421 @@
+(* Tests for qturbo.aais: variables, symbolic expressions, instruction
+   hints, the Rydberg/Heisenberg instruction sets, device specs, pulses. *)
+
+open Qturbo_aais
+open Qturbo_pauli
+
+let check_close msg tol a b =
+  if Float.abs (a -. b) > tol then Alcotest.failf "%s: %.10g vs %.10g" msg a b
+
+(* ---- Variable ---- *)
+
+let test_variable_pool () =
+  let pool = Variable.create_pool () in
+  let a = Variable.fresh pool ~name:"a" ~kind:Variable.Runtime_dynamic ~lo:0.0 ~hi:2.0 () in
+  let b = Variable.fresh pool ~name:"b" ~kind:Variable.Runtime_fixed ~init:5.0 () in
+  Alcotest.(check int) "ids dense" 0 a.Variable.id;
+  Alcotest.(check int) "ids dense 2" 1 b.Variable.id;
+  Alcotest.(check int) "count" 2 (Variable.count pool);
+  check_close "default init = midpoint" 1e-12 1.0 a.Variable.init;
+  check_close "explicit init" 1e-12 5.0 b.Variable.init;
+  Alcotest.(check bool) "kinds" true
+    (Variable.is_dynamic a && Variable.is_fixed b);
+  let env = Variable.initial_env pool in
+  Alcotest.(check (array (float 1e-12))) "initial env" [| 1.0; 5.0 |] env
+
+let test_variable_init_clamped () =
+  let pool = Variable.create_pool () in
+  let v = Variable.fresh pool ~name:"v" ~kind:Variable.Runtime_dynamic ~lo:0.0 ~hi:1.0 ~init:9.0 () in
+  check_close "clamped" 1e-12 1.0 v.Variable.init
+
+(* ---- Expr ---- *)
+
+let env_of lst =
+  let n = List.fold_left (fun acc (i, _) -> Int.max acc (i + 1)) 0 lst in
+  let env = Array.make n 0.0 in
+  List.iter (fun (i, x) -> env.(i) <- x) lst;
+  env
+
+let test_expr_eval () =
+  let e = Expr.(Add (Mul (Const 2.0, Var 0), Pow_int (Var 1, 3))) in
+  check_close "eval" 1e-12 ((2.0 *. 1.5) +. 8.0) (Expr.eval e ~env:(env_of [ (0, 1.5); (1, 2.0) ]))
+
+let test_expr_eval_trig () =
+  let e = Expr.(Mul (Sin (Var 0), Cos (Var 0))) in
+  check_close "trig" 1e-12 (sin 0.7 *. cos 0.7) (Expr.eval e ~env:(env_of [ (0, 0.7) ]))
+
+let test_expr_negative_power () =
+  let e = Expr.(Pow_int (Var 0, -6)) in
+  check_close "inverse sixth" 1e-12 (1.0 /. 64.0) (Expr.eval e ~env:(env_of [ (0, 2.0) ]))
+
+let test_expr_vars () =
+  let e = Expr.(Div (Const 1.0, Pow_int (Sub (Var 3, Var 1), 6))) in
+  Alcotest.(check (list int)) "vars" [ 1; 3 ] (Expr.vars e);
+  Alcotest.(check bool) "depends" true (Expr.depends_on e 3);
+  Alcotest.(check bool) "independent" false (Expr.depends_on e 0)
+
+let test_expr_simplify () =
+  let open Expr in
+  Alcotest.(check bool) "0*x" true (simplify (Mul (Const 0.0, Var 1)) = Const 0.0);
+  Alcotest.(check bool) "x+0" true (simplify (Add (Var 1, Const 0.0)) = Var 1);
+  Alcotest.(check bool) "x^1" true (simplify (Pow_int (Var 2, 1)) = Var 2);
+  Alcotest.(check bool) "const fold" true
+    (simplify (Add (Const 2.0, Const 3.0)) = Const 5.0);
+  Alcotest.(check bool) "neg neg" true (simplify (Neg (Neg (Var 0))) = Var 0)
+
+let test_expr_deriv_polynomial () =
+  (* d/dx (x - y)^6 = 6 (x - y)^5 *)
+  let e = Expr.(Pow_int (Sub (Var 0, Var 1), 6)) in
+  let d = Expr.deriv e 0 in
+  let env = env_of [ (0, 3.0); (1, 1.0) ] in
+  check_close "deriv" 1e-9 (6.0 *. (2.0 ** 5.0)) (Expr.eval d ~env)
+
+let test_expr_deriv_trig () =
+  let e = Expr.(Mul (Var 0, Cos (Var 1))) in
+  let d0 = Expr.deriv e 0 and d1 = Expr.deriv e 1 in
+  let env = env_of [ (0, 2.0); (1, 0.3) ] in
+  check_close "d/da" 1e-12 (cos 0.3) (Expr.eval d0 ~env);
+  check_close "d/dphi" 1e-12 (-2.0 *. sin 0.3) (Expr.eval d1 ~env)
+
+let test_expr_deriv_quotient () =
+  (* d/dx (c / x^6) = -6 c / x^7 *)
+  let e = Expr.(Div (Const 100.0, Pow_int (Var 0, 6))) in
+  let d = Expr.deriv e 0 in
+  let env = env_of [ (0, 2.0) ] in
+  check_close "quotient rule" 1e-9 (-6.0 *. 100.0 /. (2.0 ** 7.0)) (Expr.eval d ~env)
+
+let test_expr_deriv_matches_numeric () =
+  let rng = Qturbo_util.Rng.create ~seed:8L in
+  let e =
+    Expr.(
+      Add
+        ( Div (Const 3.0, Pow_int (Add (Pow_int (Var 0, 2), Pow_int (Var 1, 2)), 3)),
+          Mul (Var 0, Sin (Var 1)) ))
+  in
+  for _ = 1 to 20 do
+    let x = Qturbo_util.Rng.uniform rng ~lo:1.0 ~hi:3.0 in
+    let y = Qturbo_util.Rng.uniform rng ~lo:1.0 ~hi:3.0 in
+    let env = env_of [ (0, x); (1, y) ] in
+    let h = 1e-6 in
+    let env_h = env_of [ (0, x +. h); (1, y) ] in
+    let numeric = (Expr.eval e ~env:env_h -. Expr.eval e ~env) /. h in
+    let symbolic = Expr.eval (Expr.deriv e 0) ~env in
+    if Float.abs (numeric -. symbolic) > 1e-3 *. Float.max 1.0 (Float.abs symbolic)
+    then Alcotest.failf "deriv mismatch at (%.3f, %.3f)" x y
+  done
+
+let test_expr_is_linear () =
+  Alcotest.(check (option (float 1e-12))) "k*v"
+    (Some 0.5)
+    (Expr.is_linear_in Expr.(Mul (Const 0.5, Var 2)) 2);
+  Alcotest.(check (option (float 1e-12))) "bare var" (Some 1.0)
+    (Expr.is_linear_in (Expr.Var 1) 1);
+  Alcotest.(check (option (float 1e-12))) "wrong var" None
+    (Expr.is_linear_in Expr.(Mul (Const 0.5, Var 2)) 1);
+  Alcotest.(check (option (float 1e-12))) "nonlinear" None
+    (Expr.is_linear_in Expr.(Pow_int (Var 0, 2)) 0)
+
+(* ---- Instruction hints ---- *)
+
+let test_hint_validation_rejects_lies () =
+  Alcotest.(check bool) "lying linear hint rejected" true
+    (match
+       Instruction.channel ~cid:0 ~label:"bad"
+         ~expr:Expr.(Pow_int (Var 0, 2))
+         ~effects:[]
+         ~hint:(Instruction.Hint_linear { var = 0; slope = 1.0 })
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_hint_polar_accepts_rydberg_shape () =
+  let expr = Expr.(Mul (Mul (Const 0.5, Var 0), Cos (Var 1))) in
+  let c =
+    Instruction.channel ~cid:0 ~label:"rabi-cos" ~expr ~effects:[]
+      ~hint:(Instruction.Hint_polar_cos { amp = 0; phase = 1; scale = 0.5 })
+  in
+  Alcotest.(check bool) "valid" true (Instruction.validate_hint c)
+
+let test_instruction_variables_derived () =
+  let c1 =
+    Instruction.channel ~cid:0 ~label:"c1" ~expr:Expr.(Mul (Var 2, Var 0))
+      ~effects:[] ~hint:Instruction.Hint_generic
+  in
+  let i = Instruction.make ~label:"i" ~channels:[ c1 ] in
+  Alcotest.(check (list int)) "vars" [ 0; 2 ] i.Instruction.variables
+
+let test_effect_terms_filter_identity () =
+  let c =
+    Instruction.channel ~cid:0 ~label:"c"
+      ~expr:(Expr.Const 1.0)
+      ~effects:
+        [
+          { Instruction.pstring = Pauli_string.identity; coeff = 1.0 };
+          { Instruction.pstring = Pauli_string.single 0 Pauli.Z; coeff = -1.0 };
+        ]
+      ~hint:Instruction.Hint_generic
+  in
+  Alcotest.(check int) "identity removed" 1 (List.length (Instruction.effect_terms c))
+
+(* ---- Rydberg AAIS ---- *)
+
+let test_rydberg_structure_local () =
+  let ryd = Rydberg.build ~spec:Device.aquila_paper ~n:3 in
+  (* 3 vdW + 3 detuning + 3 rabi instructions *)
+  Alcotest.(check int) "instructions" 9 (List.length ryd.Rydberg.aais.Aais.instructions);
+  (* channels: 3 vdW + 3 detuning + 6 rabi *)
+  Alcotest.(check int) "channels" 12 (Aais.channel_count ryd.Rydberg.aais);
+  (* variables: 3 positions + 3 deltas + 3 omegas + 3 phis *)
+  Alcotest.(check int) "variables" 12 (Variable.count ryd.Rydberg.aais.Aais.pool)
+
+let test_rydberg_structure_global () =
+  let spec = Device.with_control Device.Global Device.aquila_paper in
+  let ryd = Rydberg.build ~spec ~n:4 in
+  (* 6 vdW + 1 detuning + 1 rabi instruction; 4+1+1+1 variables *)
+  Alcotest.(check int) "instructions" 8 (List.length ryd.Rydberg.aais.Aais.instructions);
+  Alcotest.(check int) "variables" 7 (Variable.count ryd.Rydberg.aais.Aais.pool)
+
+let test_rydberg_vdw_amplitude () =
+  let ryd = Rydberg.build ~spec:Device.aquila_paper ~n:2 in
+  let env = Variable.initial_env ryd.Rydberg.aais.Aais.pool in
+  env.(ryd.Rydberg.xs.(0).Variable.id) <- 0.0;
+  env.(ryd.Rydberg.xs.(1).Variable.id) <- 7.4614;
+  let h = Rydberg.hamiltonian ryd ~env in
+  (* C6/(4 d^6) at the paper's worked distance is 1.25 MHz *)
+  check_close "zz coupling" 1e-3 1.25
+    (Pauli_sum.coeff h (Pauli_string.two 0 Pauli.Z 1 Pauli.Z))
+
+let test_rydberg_hamiltonian_drives () =
+  let ryd = Rydberg.build ~spec:Device.aquila_paper ~n:2 in
+  let env = Variable.initial_env ryd.Rydberg.aais.Aais.pool in
+  env.(ryd.Rydberg.omegas.(0).Variable.id) <- 2.0;
+  env.(ryd.Rydberg.phis.(0).Variable.id) <- Float.pi /. 2.0;
+  env.(ryd.Rydberg.deltas.(1).Variable.id) <- 4.0;
+  let h = Rydberg.hamiltonian ryd ~env in
+  check_close "X vanishes at phi=pi/2" 1e-12 0.0
+    (Pauli_sum.coeff h (Pauli_string.single 0 Pauli.X));
+  check_close "Y = -omega/2" 1e-12 (-1.0)
+    (Pauli_sum.coeff h (Pauli_string.single 0 Pauli.Y));
+  (* detuning contributes Δ/2 to Z, vdW adds its own Z part *)
+  let vdw = Pauli_sum.coeff h (Pauli_string.two 0 Pauli.Z 1 Pauli.Z) in
+  check_close "Z" 1e-9 (2.0 -. vdw)
+    (Pauli_sum.coeff h (Pauli_string.single 1 Pauli.Z))
+
+let test_rydberg_distance_2d () =
+  let spec = Device.with_geometry Device.Plane Device.aquila_paper in
+  let ryd = Rydberg.build ~spec ~n:3 in
+  let env = Variable.initial_env ryd.Rydberg.aais.Aais.pool in
+  (match ryd.Rydberg.ys with
+  | None -> Alcotest.fail "planar build lacks y coordinates"
+  | Some ys ->
+      env.(ryd.Rydberg.xs.(0).Variable.id) <- 0.0;
+      env.(ys.(0).Variable.id) <- 0.0;
+      env.(ryd.Rydberg.xs.(1).Variable.id) <- 3.0;
+      env.(ys.(1).Variable.id) <- 4.0);
+  check_close "3-4-5 triangle" 1e-12 5.0 (Rydberg.distance ryd ~env 0 1)
+
+let test_rydberg_gauge_pins () =
+  let ryd = Rydberg.build ~spec:Device.aquila_paper ~n:3 in
+  let x0 = ryd.Rydberg.xs.(0) in
+  Alcotest.(check bool) "atom 0 pinned" true
+    (x0.Variable.bound.Qturbo_optim.Bounds.lo = 0.0
+    && x0.Variable.bound.Qturbo_optim.Bounds.hi = 0.0)
+
+let test_rydberg_check_layout () =
+  let spec = Device.aquila_paper in
+  Alcotest.(check (list string)) "fine layout" []
+    (Rydberg.check_layout ~spec [| (0.0, 0.0); (10.0, 0.0) |]);
+  Alcotest.(check bool) "too close" true
+    (Rydberg.check_layout ~spec [| (0.0, 0.0); (1.0, 0.0) |] <> []);
+  Alcotest.(check bool) "too wide" true
+    (Rydberg.check_layout ~spec [| (0.0, 0.0); (200.0, 0.0) |] <> [])
+
+let test_rydberg_hint_consistency () =
+  (* every generated channel's hint must validate against its expression *)
+  let ryd = Rydberg.build ~spec:Device.aquila ~n:5 in
+  Array.iter
+    (fun c ->
+      if not (Instruction.validate_hint c) then
+        Alcotest.failf "hint of %s does not validate" c.Instruction.label)
+    (Aais.channels ryd.Rydberg.aais)
+
+(* ---- Heisenberg AAIS ---- *)
+
+let test_heisenberg_structure () =
+  let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n:4 in
+  (* 4*3 single + 3*3 pair instructions, all single-channel *)
+  Alcotest.(check int) "instructions" 21 (List.length heis.Heisenberg.aais.Aais.instructions);
+  Alcotest.(check int) "channels" 21 (Aais.channel_count heis.Heisenberg.aais);
+  Alcotest.(check int) "variables" 21 (Variable.count heis.Heisenberg.aais.Aais.pool)
+
+let test_heisenberg_ring () =
+  let spec = { Device.heisenberg_default with Device.ring = true } in
+  let heis = Heisenberg.build ~spec ~n:4 in
+  Alcotest.(check int) "pairs include wraparound" 4 (List.length heis.Heisenberg.pairs)
+
+let test_heisenberg_hamiltonian () =
+  let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n:2 in
+  let env = Variable.initial_env heis.Heisenberg.aais.Aais.pool in
+  env.(heis.Heisenberg.singles.(0).(0).Variable.id) <- 1.5 (* X0 *);
+  (match heis.Heisenberg.pairs with
+  | (0, 1, vars) :: _ -> env.(vars.(2).Variable.id) <- 0.25 (* Z0Z1 *)
+  | _ -> Alcotest.fail "expected pair (0,1)");
+  let h = Heisenberg.hamiltonian heis ~env in
+  check_close "X0" 1e-12 1.5 (Pauli_sum.coeff h (Pauli_string.single 0 Pauli.X));
+  check_close "Z0Z1" 1e-12 0.25
+    (Pauli_sum.coeff h (Pauli_string.two 0 Pauli.Z 1 Pauli.Z));
+  Alcotest.(check int) "only set terms" 2 (Pauli_sum.term_count h)
+
+let test_heisenberg_all_dynamic () =
+  let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n:3 in
+  Alcotest.(check (list int)) "no fixed variables" []
+    (Aais.fixed_variable_ids heis.Heisenberg.aais)
+
+(* ---- Pulse ---- *)
+
+let pulse_for_test () =
+  {
+    Pulse.spec = Device.aquila_paper;
+    positions = [| (0.0, 0.0); (9.0, 0.0) |];
+    segments =
+      [
+        { Pulse.duration = 0.5; omega = [| 1.0; 1.0 |]; phi = [| 0.0; 0.0 |]; delta = [| 0.0; 0.0 |] };
+        { Pulse.duration = 0.3; omega = [| 2.0; 2.0 |]; phi = [| 0.0; 0.0 |]; delta = [| 1.0; 1.0 |] };
+      ];
+  }
+
+let test_pulse_duration () =
+  check_close "total" 1e-12 0.8 (Pulse.rydberg_duration (pulse_for_test ()))
+
+let test_pulse_limits_ok () =
+  Alcotest.(check (list string)) "within limits" [] (Pulse.within_limits (pulse_for_test ()))
+
+let test_pulse_limits_violated () =
+  let p = pulse_for_test () in
+  let bad =
+    {
+      p with
+      Pulse.segments =
+        [ { Pulse.duration = 5.0; omega = [| 99.0; 0.0 |]; phi = [| 0.0; 0.0 |]; delta = [| 0.0; 0.0 |] } ];
+    }
+  in
+  Alcotest.(check bool) "violations reported" true
+    (List.length (Pulse.within_limits bad) >= 2)
+
+let test_pulse_segment_hamiltonians () =
+  let hs = Pulse.rydberg_segment_hamiltonians (pulse_for_test ()) in
+  Alcotest.(check int) "two segments" 2 (List.length hs);
+  (match hs with
+  | (h1, t1) :: (h2, _) :: _ ->
+      check_close "duration" 1e-12 0.5 t1;
+      check_close "segment 1 X" 1e-12 0.5
+        (Pauli_sum.coeff h1 (Pauli_string.single 0 Pauli.X));
+      check_close "segment 2 X" 1e-12 1.0
+        (Pauli_sum.coeff h2 (Pauli_string.single 0 Pauli.X))
+  | _ -> Alcotest.fail "expected two segments")
+
+let test_heisenberg_pulse () =
+  let h = Pauli_sum.term 0.5 (Pauli_string.two 0 Pauli.X 1 Pauli.X) in
+  let p =
+    {
+      Pulse.spec = Device.heisenberg_default;
+      segments = [ { Pulse.duration = 2.0; amplitudes = Pauli_sum.terms h } ];
+    }
+  in
+  check_close "duration" 1e-12 2.0 (Pulse.heisenberg_duration p);
+  match Pulse.heisenberg_segment_hamiltonians p with
+  | [ (h', t) ] ->
+      check_close "t" 1e-12 2.0 t;
+      Alcotest.(check bool) "roundtrip" true (Pauli_sum.equal h h')
+  | _ -> Alcotest.fail "expected one segment"
+
+(* ---- qcheck ---- *)
+
+let prop_rydberg_hamiltonian_hermitian_structure =
+  QCheck.Test.make ~name:"rydberg channel effects only touch X/Y/Z terms" ~count:20
+    QCheck.(int_range 2 8) (fun n ->
+      let ryd = Rydberg.build ~spec:Device.aquila_paper ~n in
+      Array.for_all
+        (fun c ->
+          List.for_all
+            (fun (s, _) -> Pauli_string.weight s >= 1 && Pauli_string.weight s <= 2)
+            (Instruction.effect_terms c))
+        (Aais.channels ryd.Rydberg.aais))
+
+let prop_polygon_inits_satisfy_min_separation =
+  QCheck.Test.make ~name:"planar initial layout respects separation" ~count:15
+    QCheck.(int_range 3 12) (fun n ->
+      let spec = Device.aquila in
+      let ryd = Rydberg.build ~spec ~n in
+      let env = Variable.initial_env ryd.Rydberg.aais.Aais.pool in
+      let violations =
+        List.filter
+          (fun v ->
+            (* only separation violations matter here *)
+            String.length v > 5 && String.sub v 0 5 = "atoms")
+          (Rydberg.check_layout ~spec (Rydberg.positions ryd ~env))
+      in
+      violations = [])
+
+let () =
+  Alcotest.run "aais"
+    [
+      ( "variable",
+        [
+          Alcotest.test_case "pool" `Quick test_variable_pool;
+          Alcotest.test_case "init clamped" `Quick test_variable_init_clamped;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "eval" `Quick test_expr_eval;
+          Alcotest.test_case "trig" `Quick test_expr_eval_trig;
+          Alcotest.test_case "negative power" `Quick test_expr_negative_power;
+          Alcotest.test_case "vars" `Quick test_expr_vars;
+          Alcotest.test_case "simplify" `Quick test_expr_simplify;
+          Alcotest.test_case "deriv polynomial" `Quick test_expr_deriv_polynomial;
+          Alcotest.test_case "deriv trig" `Quick test_expr_deriv_trig;
+          Alcotest.test_case "deriv quotient" `Quick test_expr_deriv_quotient;
+          Alcotest.test_case "deriv vs numeric" `Quick test_expr_deriv_matches_numeric;
+          Alcotest.test_case "linearity detection" `Quick test_expr_is_linear;
+        ] );
+      ( "instruction",
+        [
+          Alcotest.test_case "lying hints rejected" `Quick test_hint_validation_rejects_lies;
+          Alcotest.test_case "polar shape accepted" `Quick test_hint_polar_accepts_rydberg_shape;
+          Alcotest.test_case "variables derived" `Quick test_instruction_variables_derived;
+          Alcotest.test_case "identity effects filtered" `Quick
+            test_effect_terms_filter_identity;
+        ] );
+      ( "rydberg",
+        [
+          Alcotest.test_case "local structure" `Quick test_rydberg_structure_local;
+          Alcotest.test_case "global structure" `Quick test_rydberg_structure_global;
+          Alcotest.test_case "vdW amplitude" `Quick test_rydberg_vdw_amplitude;
+          Alcotest.test_case "drive Hamiltonian" `Quick test_rydberg_hamiltonian_drives;
+          Alcotest.test_case "2-D distance" `Quick test_rydberg_distance_2d;
+          Alcotest.test_case "gauge pins" `Quick test_rydberg_gauge_pins;
+          Alcotest.test_case "layout checks" `Quick test_rydberg_check_layout;
+          Alcotest.test_case "hints validate" `Quick test_rydberg_hint_consistency;
+        ] );
+      ( "heisenberg",
+        [
+          Alcotest.test_case "structure" `Quick test_heisenberg_structure;
+          Alcotest.test_case "ring" `Quick test_heisenberg_ring;
+          Alcotest.test_case "hamiltonian" `Quick test_heisenberg_hamiltonian;
+          Alcotest.test_case "all dynamic" `Quick test_heisenberg_all_dynamic;
+        ] );
+      ( "pulse",
+        [
+          Alcotest.test_case "duration" `Quick test_pulse_duration;
+          Alcotest.test_case "limits ok" `Quick test_pulse_limits_ok;
+          Alcotest.test_case "limits violated" `Quick test_pulse_limits_violated;
+          Alcotest.test_case "segment hamiltonians" `Quick test_pulse_segment_hamiltonians;
+          Alcotest.test_case "heisenberg pulse" `Quick test_heisenberg_pulse;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_rydberg_hamiltonian_hermitian_structure;
+            prop_polygon_inits_satisfy_min_separation;
+          ] );
+    ]

@@ -1,0 +1,241 @@
+(* Tests for the noisy Rydberg device emulator — the substitute for the
+   paper's Aquila hardware runs. *)
+
+open Qturbo_aais
+open Qturbo_device_noise
+
+let check_close msg tol a b =
+  if Float.abs (a -. b) > tol then Alcotest.failf "%s: %.10g vs %.10g" msg a b
+
+(* a small compiled-pulse fixture: 4-atom Ising cycle on the Fig-6a device *)
+let fixture ?(t_tar = 0.4) () =
+  let spec = Device.aquila_fig6a in
+  let n = 4 in
+  let ryd = Rydberg.build ~spec ~n in
+  let target =
+    Qturbo_models.Model.hamiltonian_at
+      (Qturbo_models.Benchmarks.ising_cycle ~n ~j:0.157 ~h:0.785 ()) ~s:0.0
+  in
+  let r = Qturbo_core.Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar () in
+  let pulse =
+    Qturbo_core.Extract.rydberg_pulse ryd ~env:r.Qturbo_core.Compiler.env
+      ~t_sim:r.Qturbo_core.Compiler.t_sim
+  in
+  (target, t_tar, pulse)
+
+let test_ideal_noise_is_identity_perturbation () =
+  let _, _, pulse = fixture () in
+  let rng = Qturbo_util.Rng.create ~seed:1L in
+  let p' = Emulator.perturbed_pulse ~rng ~noise:Noise_model.ideal pulse in
+  Array.iteri
+    (fun i (x, y) ->
+      let x', y' = p'.Pulse.positions.(i) in
+      check_close "x" 1e-12 x x';
+      check_close "y" 1e-12 y y')
+    pulse.Pulse.positions;
+  List.iter2
+    (fun (a : Pulse.rydberg_segment) (b : Pulse.rydberg_segment) ->
+      Array.iteri (fun i w -> check_close "omega" 1e-12 w b.Pulse.omega.(i)) a.Pulse.omega;
+      Array.iteri (fun i d -> check_close "delta" 1e-12 d b.Pulse.delta.(i)) a.Pulse.delta)
+    pulse.Pulse.segments p'.Pulse.segments
+
+let test_noise_perturbs_pulse () =
+  let _, _, pulse = fixture () in
+  let rng = Qturbo_util.Rng.create ~seed:2L in
+  let p' = Emulator.perturbed_pulse ~rng ~noise:Noise_model.aquila pulse in
+  let moved = ref false in
+  Array.iteri
+    (fun i (x, _) ->
+      let x', _ = p'.Pulse.positions.(i) in
+      if Float.abs (x -. x') > 1e-9 then moved := true)
+    pulse.Pulse.positions;
+  Alcotest.(check bool) "positions jittered" true !moved
+
+let test_omega_never_negative () =
+  let _, _, pulse = fixture () in
+  let rng = Qturbo_util.Rng.create ~seed:3L in
+  for _ = 1 to 50 do
+    let p' =
+      Emulator.perturbed_pulse ~rng
+        ~noise:(Noise_model.scaled 50.0 Noise_model.aquila)
+        pulse
+    in
+    List.iter
+      (fun (s : Pulse.rydberg_segment) ->
+        Array.iter
+          (fun w -> if w < 0.0 then Alcotest.fail "negative Rabi amplitude")
+          s.Pulse.omega)
+      p'.Pulse.segments
+  done
+
+let test_noiseless_emulation_matches_target_evolution () =
+  (* the compiled pulse under ideal noise reproduces the target evolution
+     observables (the "QTurbo (TH)" ≈ "TH" overlap of Fig. 6) *)
+  let target, t_tar, pulse = fixture () in
+  let n = 4 in
+  let th =
+    Qturbo_quantum.Evolve.evolve ~h:target ~t:t_tar (Qturbo_quantum.State.ground ~n)
+  in
+  let sim = Emulator.noiseless_final_state ~pulse in
+  check_close "z_avg" 0.02
+    (Qturbo_quantum.Observable.z_avg th)
+    (Qturbo_quantum.Observable.z_avg sim);
+  check_close "zz_avg" 0.02
+    (Qturbo_quantum.Observable.zz_avg th)
+    (Qturbo_quantum.Observable.zz_avg sim)
+
+let test_run_ideal_matches_exact_observables () =
+  let _, _, pulse = fixture () in
+  let rng = Qturbo_util.Rng.create ~seed:5L in
+  let exact = Emulator.noiseless_final_state ~pulse in
+  let o = Emulator.run ~rng ~noise:Noise_model.ideal ~shots:3000 ~pulse () in
+  check_close "z sampling" 0.05 (Qturbo_quantum.Observable.z_avg exact) o.Emulator.z_avg;
+  check_close "zz sampling" 0.05
+    (Qturbo_quantum.Observable.zz_avg exact)
+    o.Emulator.zz_avg;
+  Alcotest.(check int) "shots recorded" 3000 o.Emulator.shots
+
+let test_noise_degrades_accuracy () =
+  let _, _, pulse = fixture () in
+  let exact_z = Qturbo_quantum.Observable.z_avg (Emulator.noiseless_final_state ~pulse) in
+  let err noise seed =
+    let rng = Qturbo_util.Rng.create ~seed in
+    let o = Emulator.run ~rng ~noise ~shots:600 ~trajectories:12 ~pulse () in
+    Float.abs (o.Emulator.z_avg -. exact_z)
+  in
+  (* strong noise must hurt more than weak noise, on average over seeds *)
+  let avg f = (f 1L +. f 2L +. f 3L) /. 3.0 in
+  let weak = avg (err (Noise_model.scaled 0.2 Noise_model.aquila)) in
+  let strong = avg (err (Noise_model.scaled 5.0 Noise_model.aquila)) in
+  Alcotest.(check bool) "monotone in noise" true (strong > weak)
+
+let test_longer_pulse_suffers_more () =
+  (* same unitary, stretched 4x in time with amplitudes reduced 4x: the
+     quasi-static detuning error accumulates longer — the mechanism behind
+     the paper's Fig. 6 *)
+  let _, _, pulse = fixture () in
+  let stretch k (p : Pulse.rydberg) =
+    {
+      p with
+      Pulse.segments =
+        List.map
+          (fun (s : Pulse.rydberg_segment) ->
+            {
+              s with
+              Pulse.duration = s.Pulse.duration *. k;
+              omega = Array.map (fun w -> w /. k) s.Pulse.omega;
+              delta = Array.map (fun d -> d /. k) s.Pulse.delta;
+            })
+          p.Pulse.segments;
+      (* the van-der-Waals part cannot be rescaled by amplitudes; spread
+         the atoms so the couplings shrink by k as well *)
+      positions =
+        Array.map
+          (fun (x, y) ->
+            let f = k ** (1.0 /. 6.0) in
+            (f *. x, f *. y))
+          p.Pulse.positions;
+    }
+  in
+  let long_pulse = stretch 4.0 pulse in
+  (* both still implement (approximately) the same evolution noiselessly *)
+  let z_short =
+    Qturbo_quantum.Observable.z_avg (Emulator.noiseless_final_state ~pulse)
+  in
+  let z_long =
+    Qturbo_quantum.Observable.z_avg (Emulator.noiseless_final_state ~pulse:long_pulse)
+  in
+  check_close "same noiseless physics" 0.02 z_short z_long;
+  (* under detuning noise only (no readout, no jitter), the long pulse
+     drifts further *)
+  let noise =
+    {
+      Noise_model.ideal with
+      Noise_model.delta_sigma = 1.0;
+    }
+  in
+  let err p seed =
+    let rng = Qturbo_util.Rng.create ~seed in
+    let o = Emulator.run ~rng ~noise ~shots:400 ~trajectories:16 ~pulse:p () in
+    Float.abs (o.Emulator.z_avg -. z_short)
+  in
+  let avg p = (err p 11L +. err p 12L +. err p 13L) /. 3.0 in
+  Alcotest.(check bool) "longer pulse less robust" true
+    (avg long_pulse > avg pulse)
+
+let test_markovian_emulation () =
+  (* Markovian decay pulls the excitation fraction down relative to the
+     unitary pulse result, and the emulator path stays well-defined *)
+  let _, _, pulse = fixture () in
+  let exact = Emulator.noiseless_final_state ~pulse in
+  let z_exact = Qturbo_quantum.Observable.z_avg exact in
+  let noise =
+    {
+      Noise_model.ideal with
+      Noise_model.decay_rate = 2.0;
+      dephasing_rate = 0.5;
+    }
+  in
+  let rng = Qturbo_util.Rng.create ~seed:77L in
+  let o = Emulator.run ~rng ~noise ~shots:400 ~trajectories:16 ~pulse () in
+  (* strong decay pushes atoms back toward the ground state: z -> 1 side *)
+  Alcotest.(check bool) "decay biases toward ground" true
+    (o.Emulator.z_avg > z_exact);
+  Alcotest.(check bool) "observable in range" true
+    (o.Emulator.z_avg <= 1.0 && o.Emulator.z_avg >= -1.0)
+
+let test_markovian_preset () =
+  Alcotest.(check bool) "markovian preset has rates" true
+    (Noise_model.aquila_with_markovian.Noise_model.dephasing_rate > 0.0
+    && Noise_model.aquila_with_markovian.Noise_model.decay_rate > 0.0);
+  let s = Noise_model.scaled 2.0 Noise_model.aquila_with_markovian in
+  Alcotest.(check (float 1e-12)) "rates scale"
+    (2.0 *. Noise_model.aquila_with_markovian.Noise_model.decay_rate)
+    s.Noise_model.decay_rate
+
+let test_run_validates_shots () =
+  let _, _, pulse = fixture () in
+  let rng = Qturbo_util.Rng.create ~seed:1L in
+  Alcotest.check_raises "shots" (Invalid_argument "Emulator.run: shots <= 0")
+    (fun () ->
+      ignore (Emulator.run ~rng ~noise:Noise_model.ideal ~shots:0 ~pulse ()))
+
+let test_noise_model_presets () =
+  Alcotest.(check (float 0.0)) "ideal omega" 0.0
+    Noise_model.ideal.Noise_model.omega_relative_sigma;
+  Alcotest.(check bool) "aquila has readout" true
+    (Noise_model.aquila.Noise_model.readout.Qturbo_quantum.Measurement.p_1_to_0 > 0.0);
+  let s = Noise_model.scaled 2.0 Noise_model.aquila in
+  Alcotest.(check (float 1e-12)) "scaled sigma"
+    (2.0 *. Noise_model.aquila.Noise_model.delta_sigma)
+    s.Noise_model.delta_sigma;
+  Alcotest.(check (float 1e-12)) "readout untouched"
+    Noise_model.aquila.Noise_model.readout.Qturbo_quantum.Measurement.p_1_to_0
+    s.Noise_model.readout.Qturbo_quantum.Measurement.p_1_to_0
+
+let () =
+  Alcotest.run "device_noise"
+    [
+      ( "noise_model",
+        [ Alcotest.test_case "presets" `Quick test_noise_model_presets ] );
+      ( "perturbation",
+        [
+          Alcotest.test_case "ideal is identity" `Quick
+            test_ideal_noise_is_identity_perturbation;
+          Alcotest.test_case "noise perturbs" `Quick test_noise_perturbs_pulse;
+          Alcotest.test_case "omega clipped at zero" `Quick test_omega_never_negative;
+        ] );
+      ( "emulation",
+        [
+          Alcotest.test_case "noiseless matches target" `Slow
+            test_noiseless_emulation_matches_target_evolution;
+          Alcotest.test_case "ideal sampling statistics" `Slow
+            test_run_ideal_matches_exact_observables;
+          Alcotest.test_case "noise degrades" `Slow test_noise_degrades_accuracy;
+          Alcotest.test_case "longer pulses suffer more" `Slow
+            test_longer_pulse_suffers_more;
+          Alcotest.test_case "markovian emulation" `Slow test_markovian_emulation;
+          Alcotest.test_case "markovian preset" `Quick test_markovian_preset;
+          Alcotest.test_case "validation" `Quick test_run_validates_shots;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Tests for qturbo.graph: union-find and the undirected graph used by the
+   locality decomposition and the mapping heuristic. *)
+
+open Qturbo_graph
+
+(* ---- Union_find ---- *)
+
+let test_uf_initial_singletons () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "sets" 5 (Union_find.count_sets uf);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 1)
+
+let test_uf_union_find () =
+  let uf = Union_find.create 6 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 2;
+  Union_find.union uf 4 5;
+  Alcotest.(check bool) "0~2" true (Union_find.same uf 0 2);
+  Alcotest.(check bool) "0!~4" false (Union_find.same uf 0 4);
+  Alcotest.(check int) "three sets" 3 (Union_find.count_sets uf)
+
+let test_uf_union_idempotent () =
+  let uf = Union_find.create 3 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 0;
+  Alcotest.(check int) "two sets" 2 (Union_find.count_sets uf)
+
+let test_uf_groups () =
+  let uf = Union_find.create 5 in
+  Union_find.union uf 3 1;
+  Union_find.union uf 0 4;
+  let groups = Union_find.groups uf in
+  let sorted = Array.to_list groups |> List.sort compare in
+  Alcotest.(check (list (list int))) "groups" [ [ 0; 4 ]; [ 1; 3 ]; [ 2 ] ] sorted
+
+let test_uf_range_check () =
+  let uf = Union_find.create 2 in
+  Alcotest.check_raises "range" (Invalid_argument "Union_find: element out of range")
+    (fun () -> ignore (Union_find.find uf 2))
+
+let test_uf_empty () =
+  let uf = Union_find.create 0 in
+  Alcotest.(check int) "no sets" 0 (Union_find.count_sets uf);
+  Alcotest.(check int) "no groups" 0 (Array.length (Union_find.groups uf))
+
+(* ---- Graph ---- *)
+
+let test_graph_add_edge () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 0;
+  (* duplicate ignored *)
+  Alcotest.(check int) "edges" 1 (Graph.edge_count g);
+  Alcotest.(check bool) "has" true (Graph.has_edge g 1 0);
+  Alcotest.(check (list int)) "neighbors" [ 1 ] (Graph.neighbors g 0)
+
+let test_graph_self_loop_ignored () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 0;
+  Alcotest.(check int) "no self loop" 0 (Graph.edge_count g)
+
+let test_graph_components () =
+  let g = Graph.of_edges ~n:6 [ (0, 1); (1, 2); (4, 5) ] in
+  let comps = Graph.components g in
+  Alcotest.(check (list (list int)))
+    "components"
+    [ [ 0; 1; 2 ]; [ 3 ]; [ 4; 5 ] ]
+    (Array.to_list comps)
+
+let test_graph_is_connected () =
+  Alcotest.(check bool) "path connected" true
+    (Graph.is_connected (Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ]));
+  Alcotest.(check bool) "split" false
+    (Graph.is_connected (Graph.of_edges ~n:4 [ (0, 1); (2, 3) ]));
+  Alcotest.(check bool) "empty connected" true (Graph.is_connected (Graph.create 0));
+  Alcotest.(check bool) "singleton connected" true
+    (Graph.is_connected (Graph.create 1))
+
+let test_graph_bfs_order () =
+  (* path 0-1-2-3: BFS from 0 walks it in order *)
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.(check (list int)) "path order" [ 0; 1; 2; 3 ] (Graph.bfs_order g ~start:0);
+  (* from the middle: neighbors in ascending order first *)
+  Alcotest.(check (list int)) "middle" [ 1; 0; 2; 3 ] (Graph.bfs_order g ~start:1)
+
+let test_graph_bfs_component_only () =
+  let g = Graph.of_edges ~n:5 [ (0, 1); (3, 4) ] in
+  Alcotest.(check (list int)) "only own component" [ 0; 1 ] (Graph.bfs_order g ~start:0)
+
+let test_graph_degree () =
+  let g = Graph.of_edges ~n:4 [ (0, 1); (0, 2); (0, 3) ] in
+  Alcotest.(check int) "hub" 3 (Graph.degree g 0);
+  Alcotest.(check int) "leaf" 1 (Graph.degree g 1)
+
+let test_graph_range_check () =
+  let g = Graph.create 2 in
+  Alcotest.check_raises "range" (Invalid_argument "Graph: vertex out of range")
+    (fun () -> Graph.add_edge g 0 5)
+
+(* ---- qcheck properties ---- *)
+
+let edges_gen =
+  QCheck.Gen.(
+    int_range 1 12 >>= fun n ->
+    list_size (int_range 0 20) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    >>= fun edges -> return (n, edges))
+
+let prop_components_partition =
+  QCheck.Test.make ~name:"components partition the vertex set" ~count:300
+    (QCheck.make edges_gen) (fun (n, edges) ->
+      let g = Graph.of_edges ~n edges in
+      let comps = Graph.components g in
+      let all = Array.to_list comps |> List.concat |> List.sort Int.compare in
+      all = List.init n Fun.id)
+
+let prop_edge_endpoints_same_component =
+  QCheck.Test.make ~name:"edge endpoints share a component" ~count:300
+    (QCheck.make edges_gen) (fun (n, edges) ->
+      let g = Graph.of_edges ~n edges in
+      let comps = Graph.components g in
+      let comp_of = Array.make n (-1) in
+      Array.iteri
+        (fun ci members -> List.iter (fun v -> comp_of.(v) <- ci) members)
+        comps;
+      List.for_all (fun (u, v) -> comp_of.(u) = comp_of.(v)) edges)
+
+let prop_uf_transitive =
+  QCheck.Test.make ~name:"union-find equivalence is transitive" ~count:300
+    (QCheck.make edges_gen) (fun (n, edges) ->
+      let uf = Union_find.create n in
+      List.iter (fun (u, v) -> Union_find.union uf u v) edges;
+      (* check transitivity on all triples of a small universe *)
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          for c = 0 to n - 1 do
+            if
+              Union_find.same uf a b && Union_find.same uf b c
+              && not (Union_find.same uf a c)
+            then ok := false
+          done
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "union_find",
+        [
+          Alcotest.test_case "singletons" `Quick test_uf_initial_singletons;
+          Alcotest.test_case "union find" `Quick test_uf_union_find;
+          Alcotest.test_case "idempotent" `Quick test_uf_union_idempotent;
+          Alcotest.test_case "groups" `Quick test_uf_groups;
+          Alcotest.test_case "range check" `Quick test_uf_range_check;
+          Alcotest.test_case "empty" `Quick test_uf_empty;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "add edge" `Quick test_graph_add_edge;
+          Alcotest.test_case "self loop" `Quick test_graph_self_loop_ignored;
+          Alcotest.test_case "components" `Quick test_graph_components;
+          Alcotest.test_case "connectivity" `Quick test_graph_is_connected;
+          Alcotest.test_case "bfs order" `Quick test_graph_bfs_order;
+          Alcotest.test_case "bfs stays in component" `Quick
+            test_graph_bfs_component_only;
+          Alcotest.test_case "degree" `Quick test_graph_degree;
+          Alcotest.test_case "range check" `Quick test_graph_range_check;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_components_partition;
+            prop_edge_endpoints_same_component;
+            prop_uf_transitive;
+          ] );
+    ]

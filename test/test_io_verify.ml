@@ -1,0 +1,214 @@
+(* Tests for pulse serialization (roundtrips, error reporting) and the
+   independent result verifier. *)
+
+open Qturbo_aais
+open Qturbo_core
+
+let sample_pulse () =
+  {
+    Pulse.spec = Device.aquila_fig6a;
+    positions = [| (0.0, 0.0); (9.25, -1.5); (18.5, 0.75) |];
+    segments =
+      [
+        {
+          Pulse.duration = 0.25;
+          omega = [| 6.28; 6.28; 6.28 |];
+          phi = [| 0.0; 0.1; -0.1 |];
+          delta = [| 1.5; -2.5; 0.0 |];
+        };
+        {
+          Pulse.duration = 0.125;
+          omega = [| 3.0; 3.0; 3.0 |];
+          phi = [| 0.0; 0.0; 0.0 |];
+          delta = [| 0.0; 0.0; 0.0 |];
+        };
+      ];
+  }
+
+let pulses_equal (a : Pulse.rydberg) (b : Pulse.rydberg) =
+  a.Pulse.spec = b.Pulse.spec
+  && a.Pulse.positions = b.Pulse.positions
+  && a.Pulse.segments = b.Pulse.segments
+
+let test_roundtrip () =
+  let p = sample_pulse () in
+  match Pulse_io.of_string (Pulse_io.to_string p) with
+  | Ok p' -> Alcotest.(check bool) "identical" true (pulses_equal p p')
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_roundtrip_exact_floats () =
+  (* awkward values must survive the text roundtrip bit-exactly *)
+  let p = sample_pulse () in
+  let p =
+    {
+      p with
+      Pulse.positions = [| (0.1 +. 0.2, 1.0 /. 3.0); (Float.pi, -0.0); (1e-300, 2.5) |];
+    }
+  in
+  match Pulse_io.of_string (Pulse_io.to_string p) with
+  | Ok p' -> Alcotest.(check bool) "bit exact" true (p.Pulse.positions = p'.Pulse.positions)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_save_load () =
+  let path = Filename.temp_file "qturbo" ".pulse" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let p = sample_pulse () in
+      Pulse_io.save ~path p;
+      match Pulse_io.load ~path with
+      | Ok p' -> Alcotest.(check bool) "file roundtrip" true (pulses_equal p p')
+      | Error msg -> Alcotest.failf "load failed: %s" msg)
+
+let expect_error text =
+  match Pulse_io.of_string text with
+  | Ok _ -> Alcotest.fail "bad input accepted"
+  | Error _ -> ()
+
+let test_parse_errors () =
+  expect_error "";
+  expect_error "not-a-pulse";
+  expect_error "rydberg-pulse v1\ndevice d\nbogus";
+  (* truncated after the atoms header *)
+  expect_error "rydberg-pulse v1\ndevice d\nspec 1.0 1.0 1.0 1.0 1.0 1.0 global line\natoms 2\natom 0 0x0p+0 0x0p+0"
+
+let test_parse_rejects_wrong_channel_arity () =
+  let p = sample_pulse () in
+  let text = Pulse_io.to_string p in
+  (* drop one omega value from the first segment line *)
+  let mangled =
+    String.split_on_char '\n' text
+    |> List.map (fun line ->
+           if String.length line > 6 && String.sub line 0 6 = "omega " then
+             String.sub line 0 (String.rindex line ' ')
+           else line)
+    |> String.concat "\n"
+  in
+  expect_error mangled
+
+let test_compiled_pulse_roundtrip () =
+  let ryd = Rydberg.build ~spec:Device.aquila_paper ~n:3 in
+  let target =
+    Qturbo_models.Model.hamiltonian_at (Qturbo_models.Benchmarks.ising_chain ~n:3 ()) ~s:0.0
+  in
+  let r = Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 () in
+  let pulse = Extract.rydberg_pulse ryd ~env:r.Compiler.env ~t_sim:r.Compiler.t_sim in
+  match Pulse_io.of_string (Pulse_io.to_string pulse) with
+  | Ok p' ->
+      Alcotest.(check bool) "compiled pulse roundtrips" true (pulses_equal pulse p');
+      Alcotest.(check (list string)) "still executable" [] (Pulse.within_limits p')
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+(* ---- Verifier ---- *)
+
+let test_verifier_accepts_good_compilation () =
+  let ryd = Rydberg.build ~spec:Device.aquila_paper ~n:3 in
+  let target =
+    Qturbo_models.Model.hamiltonian_at (Qturbo_models.Benchmarks.ising_chain ~n:3 ()) ~s:0.0
+  in
+  let r = Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 () in
+  let v = Verifier.verify_rydberg ryd ~target ~t_tar:1.0 r in
+  Alcotest.(check bool) "executable" true v.Verifier.executable;
+  Alcotest.(check bool) "consistent with compiler metric" true
+    v.Verifier.consistent_with_compiler;
+  Alcotest.(check bool) "small relative error" true (v.Verifier.relative_error < 1.0)
+
+let test_verifier_detects_tampering () =
+  let ryd = Rydberg.build ~spec:Device.aquila_paper ~n:3 in
+  let target =
+    Qturbo_models.Model.hamiltonian_at (Qturbo_models.Benchmarks.ising_chain ~n:3 ()) ~s:0.0
+  in
+  let r = Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 () in
+  (* sabotage a Rabi amplitude *)
+  let env = Array.copy r.Compiler.env in
+  env.(ryd.Rydberg.omegas.(0).Qturbo_aais.Variable.id) <- 0.5;
+  let v =
+    Verifier.verify_rydberg ryd ~target ~t_tar:1.0 { r with Compiler.env }
+  in
+  Alcotest.(check bool) "inconsistency flagged" false v.Verifier.consistent_with_compiler;
+  Alcotest.(check bool) "error grew" true (v.Verifier.error_l1 > r.Compiler.error_l1 +. 0.1)
+
+let test_verifier_detects_limit_violation () =
+  let ryd = Rydberg.build ~spec:Device.aquila_paper ~n:3 in
+  let target =
+    Qturbo_models.Model.hamiltonian_at (Qturbo_models.Benchmarks.ising_chain ~n:3 ()) ~s:0.0
+  in
+  let r = Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 () in
+  (* move two atoms within the forbidden separation *)
+  let env = Array.copy r.Compiler.env in
+  env.(ryd.Rydberg.xs.(1).Qturbo_aais.Variable.id) <- 1.0;
+  let v = Verifier.verify_rydberg ryd ~target ~t_tar:1.0 { r with Compiler.env } in
+  Alcotest.(check bool) "not executable" false v.Verifier.executable;
+  Alcotest.(check bool) "violation listed" true (v.Verifier.violations <> [])
+
+let test_verifier_heisenberg_exact () =
+  let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n:4 in
+  let target =
+    Qturbo_models.Model.hamiltonian_at (Qturbo_models.Benchmarks.kitaev ~n:4 ()) ~s:0.0
+  in
+  let r = Compiler.compile ~aais:heis.Heisenberg.aais ~target ~t_tar:1.0 () in
+  let v = Verifier.verify_heisenberg heis ~target ~t_tar:1.0 r in
+  Alcotest.(check bool) "executable" true v.Verifier.executable;
+  Alcotest.(check (float 1e-9)) "exact" 0.0 v.Verifier.error_l1;
+  Alcotest.(check bool) "consistent" true v.Verifier.consistent_with_compiler
+
+let test_verifier_heisenberg_flags_overtime () =
+  let heis = Heisenberg.build ~spec:{ Device.heisenberg_default with Device.max_time = 0.5 } ~n:3 in
+  let target =
+    Qturbo_models.Model.hamiltonian_at (Qturbo_models.Benchmarks.ising_chain ~n:3 ()) ~s:0.0
+  in
+  (* two-qubit bound 1.0 forces T = 1.0 > max_time 0.5 *)
+  let r = Compiler.compile ~aais:heis.Heisenberg.aais ~target ~t_tar:1.0 () in
+  let v = Verifier.verify_heisenberg heis ~target ~t_tar:1.0 r in
+  Alcotest.(check bool) "overtime flagged" false v.Verifier.executable
+
+(* property: serialization roundtrips arbitrary well-formed pulses *)
+let pulse_gen =
+  QCheck.Gen.(
+    int_range 1 5 >>= fun n ->
+    int_range 1 3 >>= fun n_segs ->
+    let farr lo hi = array_size (return n) (float_range lo hi) in
+    list_repeat n_segs
+      (float_range 0.01 2.0 >>= fun duration ->
+       farr 0.0 6.0 >>= fun omega ->
+       farr (-3.0) 3.0 >>= fun phi ->
+       farr (-10.0) 10.0 >>= fun delta ->
+       return { Pulse.duration; omega; phi; delta })
+    >>= fun segments ->
+    array_size (return n) (pair (float_range (-50.0) 50.0) (float_range (-50.0) 50.0))
+    >>= fun positions ->
+    return { Pulse.spec = Device.aquila; positions; segments })
+
+let prop_io_roundtrip =
+  QCheck.Test.make ~name:"pulse serialization roundtrips" ~count:100
+    (QCheck.make pulse_gen) (fun p ->
+      match Pulse_io.of_string (Pulse_io.to_string p) with
+      | Ok p' -> pulses_equal p p'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "io_verify"
+    [
+      ( "pulse_io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "exact floats" `Quick test_roundtrip_exact_floats;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "channel arity" `Quick test_parse_rejects_wrong_channel_arity;
+          Alcotest.test_case "compiled pulse" `Quick test_compiled_pulse_roundtrip;
+        ] );
+      ( "verifier",
+        [
+          Alcotest.test_case "accepts good compilation" `Quick
+            test_verifier_accepts_good_compilation;
+          Alcotest.test_case "detects tampering" `Quick test_verifier_detects_tampering;
+          Alcotest.test_case "detects limit violations" `Quick
+            test_verifier_detects_limit_violation;
+          Alcotest.test_case "heisenberg exact" `Quick test_verifier_heisenberg_exact;
+          Alcotest.test_case "heisenberg overtime" `Quick
+            test_verifier_heisenberg_flags_overtime;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_io_roundtrip ] );
+    ]

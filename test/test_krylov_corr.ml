@@ -1,0 +1,173 @@
+(* Tests for Krylov evolution and the correlation observables. *)
+
+open Qturbo_pauli
+open Qturbo_quantum
+
+let check_close msg tol a b =
+  if Float.abs (a -. b) > tol then Alcotest.failf "%s: %.10g vs %.10g" msg a b
+
+let chain_h n =
+  Qturbo_models.Model.hamiltonian_at (Qturbo_models.Benchmarks.ising_chain ~n ()) ~s:0.0
+
+(* ---- Krylov ---- *)
+
+let test_krylov_matches_rk4_small () =
+  let h = chain_h 4 in
+  let ground = State.ground ~n:4 in
+  List.iter
+    (fun t ->
+      let k = Krylov.evolve ~h ~t ground in
+      let r = Evolve.evolve ~h ~t ground in
+      if not (State.equal ~tol:1e-5 k r) then Alcotest.failf "mismatch at t=%.2f" t)
+    [ 0.2; 1.0; 3.0 ]
+
+let test_krylov_matches_exact_diagonalisation () =
+  let h =
+    Pauli_sum.of_list
+      [
+        (Pauli_string.two 0 Pauli.Z 1 Pauli.Z, 0.8);
+        (Pauli_string.single 0 Pauli.X, 0.5);
+        (Pauli_string.single 1 Pauli.Y, -0.6);
+      ]
+  in
+  let psi = State.ground ~n:2 in
+  let k = Krylov.evolve ~h ~t:2.5 psi in
+  let exact = Dense_op.exact_evolve (Dense_op.of_pauli_sum ~n:2 h) ~t:2.5 psi in
+  Alcotest.(check bool) "krylov = expm" true (State.equal ~tol:1e-7 k exact)
+
+let test_krylov_unitary () =
+  let h = chain_h 5 in
+  let s = Krylov.evolve ~h ~t:4.0 (State.ground ~n:5) in
+  check_close "norm" 1e-9 1.0 (State.norm s)
+
+let test_krylov_rabi_closed_form () =
+  let omega = 2.2 in
+  let h = Pauli_sum.term (omega /. 2.0) (Pauli_string.single 0 Pauli.X) in
+  let s = Krylov.evolve ~h ~t:1.3 (State.ground ~n:1) in
+  check_close "cos" 1e-8 (cos (omega *. 1.3)) (Observable.expect_z s 0)
+
+let test_krylov_invariant_subspace () =
+  (* eigenstate input closes the Krylov space after one vector *)
+  let h = Pauli_sum.term 1.0 (Pauli_string.single 0 Pauli.Z) in
+  let s = Krylov.evolve ~h ~t:1.0 (State.ground ~n:1) in
+  (* |0> picks up a phase only: probabilities unchanged *)
+  check_close "stays |0>" 1e-10 1.0 (State.probability s 0)
+
+let test_krylov_zero_time () =
+  let h = chain_h 3 in
+  let s = Krylov.evolve ~h ~t:0.0 (State.ground ~n:3) in
+  Alcotest.(check bool) "identity" true (State.equal s (State.ground ~n:3))
+
+let test_krylov_fewer_steps_than_rk4 () =
+  let h = chain_h 6 in
+  let norm1 = Pauli_sum.norm1 h in
+  let t = 2.0 in
+  let krylov_steps = Krylov.step_count ~norm1 ~t ~dt_max:None in
+  let rk4_steps = Evolve.steps_for ~norm1 ~t in
+  Alcotest.(check bool) "krylov needs fewer steps" true (krylov_steps < rk4_steps)
+
+let test_krylov_validates () =
+  Alcotest.check_raises "dim" (Invalid_argument "Krylov.evolve: dim <= 0")
+    (fun () ->
+      ignore (Krylov.evolve ~dim:0 ~h:(chain_h 3) ~t:1.0 (State.ground ~n:3)))
+
+(* ---- Correlations ---- *)
+
+let bell () =
+  let s = State.create ~n:2 in
+  s.State.re.(0) <- 1.0 /. sqrt 2.0;
+  s.State.re.(3) <- 1.0 /. sqrt 2.0;
+  s
+
+let test_connected_zz_product_state () =
+  check_close "uncorrelated" 1e-12 0.0 (Correlations.connected_zz (State.ground ~n:2) 0 1)
+
+let test_connected_zz_bell () =
+  (* <ZZ> = 1, <Z_i> = 0: fully connected correlation *)
+  check_close "bell" 1e-12 1.0 (Correlations.connected_zz (bell ()) 0 1)
+
+let test_correlation_profile_shape () =
+  let h = chain_h 5 in
+  let s = Evolve.evolve ~h ~t:0.6 (State.ground ~n:5) in
+  let c = Correlations.correlation_profile s in
+  Alcotest.(check int) "lengths" 4 (Array.length c);
+  (* nearest-neighbour correlations dominate at early times *)
+  Alcotest.(check bool) "short range strongest" true
+    (Float.abs c.(0) >= Float.abs c.(3))
+
+let test_staggered_magnetisation () =
+  (* |0101>: staggered magnetisation (+1 -(-1) +1 -(-1))/4 = 1 *)
+  let s = State.basis ~n:4 0b1010 in
+  check_close "neel" 1e-12 1.0 (Correlations.staggered_magnetisation s);
+  check_close "uniform state has none" 1e-12 0.0
+    (Correlations.staggered_magnetisation (State.basis ~n:4 0b1111))
+
+let test_domain_wall_density () =
+  check_close "ferromagnet" 1e-12 0.0
+    (Correlations.domain_wall_density (State.ground ~n:4));
+  (* |0011>: a single wall among three bonds *)
+  check_close "one wall" 1e-12 (1.0 /. 3.0)
+    (Correlations.domain_wall_density (State.basis ~n:4 0b1100))
+
+let test_correlations_in_mis_final_state () =
+  (* the MIS anneal's final state is Néel-ordered: positive staggered
+     magnetisation in the n̂ basis means negative in Z ordering from our
+     convention; just assert the order parameter is substantial *)
+  let spec = { Qturbo_aais.Device.aquila_paper with Qturbo_aais.Device.max_extent = 1e6 } in
+  let ryd = Qturbo_aais.Rydberg.build ~spec ~n:5 in
+  let model = Qturbo_models.Benchmarks.mis_chain ~n:5 () in
+  let td =
+    Qturbo_core.Td_compiler.compile ~aais:ryd.Qturbo_aais.Rydberg.aais ~model
+      ~t_tar:4.0 ~segments:6 ()
+  in
+  let pulse =
+    Qturbo_core.Extract.rydberg_pulse_segments ryd
+      ~segments:
+        (List.map
+           (fun (s : Qturbo_core.Td_compiler.segment_result) ->
+             (s.Qturbo_core.Td_compiler.env, s.Qturbo_core.Td_compiler.duration))
+           td.Qturbo_core.Td_compiler.segments)
+  in
+  let final =
+    Evolve.evolve_piecewise
+      ~segments:(Qturbo_aais.Pulse.rydberg_segment_hamiltonians pulse)
+      (State.ground ~n:5)
+  in
+  Alcotest.(check bool) "alternating order develops" true
+    (Float.abs (Correlations.staggered_magnetisation final) > 0.2)
+
+let prop_krylov_norm_preserved =
+  QCheck.Test.make ~name:"krylov evolution preserves the norm" ~count:25
+    QCheck.(pair (float_range 0.1 3.0) (int_range 2 5))
+    (fun (t, n) ->
+      let h = chain_h n in
+      let s = Krylov.evolve ~h ~t (State.ground ~n) in
+      Float.abs (State.norm s -. 1.0) < 1e-8)
+
+let () =
+  Alcotest.run "krylov_corr"
+    [
+      ( "krylov",
+        [
+          Alcotest.test_case "matches RK4" `Quick test_krylov_matches_rk4_small;
+          Alcotest.test_case "matches exact expm" `Quick
+            test_krylov_matches_exact_diagonalisation;
+          Alcotest.test_case "unitary" `Quick test_krylov_unitary;
+          Alcotest.test_case "rabi closed form" `Quick test_krylov_rabi_closed_form;
+          Alcotest.test_case "invariant subspace" `Quick test_krylov_invariant_subspace;
+          Alcotest.test_case "zero time" `Quick test_krylov_zero_time;
+          Alcotest.test_case "fewer steps than RK4" `Quick test_krylov_fewer_steps_than_rk4;
+          Alcotest.test_case "validation" `Quick test_krylov_validates;
+        ] );
+      ( "correlations",
+        [
+          Alcotest.test_case "product state" `Quick test_connected_zz_product_state;
+          Alcotest.test_case "bell state" `Quick test_connected_zz_bell;
+          Alcotest.test_case "profile shape" `Quick test_correlation_profile_shape;
+          Alcotest.test_case "staggered magnetisation" `Quick test_staggered_magnetisation;
+          Alcotest.test_case "domain walls" `Quick test_domain_wall_density;
+          Alcotest.test_case "mis order parameter" `Slow test_correlations_in_mis_final_state;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_krylov_norm_preserved ] );
+    ]

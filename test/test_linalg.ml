@@ -1,0 +1,394 @@
+(* Tests for qturbo.linalg: vectors, matrices, LU, QR least squares, CSR,
+   and the greedy sparse solver that powers the global linear system. *)
+
+open Qturbo_linalg
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close msg tol a b =
+  if Float.abs (a -. b) > tol then Alcotest.failf "%s: %.12g vs %.12g" msg a b
+
+(* ---- Vec ---- *)
+
+let test_vec_ops () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  Alcotest.(check (array (float 1e-12))) "add" [| 5.0; 7.0; 9.0 |] (Vec.add a b);
+  Alcotest.(check (array (float 1e-12))) "sub" [| -3.0; -3.0; -3.0 |] (Vec.sub a b);
+  check_float "dot" 32.0 (Vec.dot a b);
+  check_float "norm2" (sqrt 14.0) (Vec.norm2 a);
+  check_float "norm1" 6.0 (Vec.norm1 a);
+  check_float "norm_inf" 3.0 (Vec.norm_inf a)
+
+let test_vec_axpy () =
+  let y = [| 1.0; 1.0 |] in
+  Vec.axpy ~alpha:2.0 ~x:[| 3.0; 4.0 |] ~y;
+  Alcotest.(check (array (float 1e-12))) "axpy" [| 7.0; 9.0 |] y
+
+let test_vec_dim_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Vec.add: dimension mismatch")
+    (fun () -> ignore (Vec.add [| 1.0 |] [| 1.0; 2.0 |]))
+
+let test_vec_max_abs_index () =
+  Alcotest.(check int) "index" 1 (Vec.max_abs_index [| 1.0; -5.0; 3.0 |])
+
+(* ---- Mat ---- *)
+
+let test_mat_mul () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Mat.of_rows [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Mat.mul a b in
+  check_float "c00" 19.0 (Mat.get c 0 0);
+  check_float "c01" 22.0 (Mat.get c 0 1);
+  check_float "c10" 43.0 (Mat.get c 1 0);
+  check_float "c11" 50.0 (Mat.get c 1 1)
+
+let test_mat_identity_mul () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check bool) "I*a = a" true (Mat.equal (Mat.mul (Mat.identity 2) a) a)
+
+let test_mat_mul_vec () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check (array (float 1e-12))) "Ax" [| 5.0; 11.0 |]
+    (Mat.mul_vec a [| 1.0; 2.0 |])
+
+let test_mat_mul_vec_t () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check (array (float 1e-12))) "A'y" [| 7.0; 10.0 |]
+    (Mat.mul_vec_t a [| 1.0; 2.0 |])
+
+let test_mat_transpose () =
+  let a = Mat.of_rows [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+  let at = Mat.transpose a in
+  Alcotest.(check int) "rows" 3 (Mat.rows at);
+  check_float "entry" 6.0 (Mat.get at 2 1)
+
+let test_mat_norm1 () =
+  let a = Mat.of_rows [| [| 1.0; -7.0 |]; [| -2.0; 3.0 |] |] in
+  check_float "norm1 = max col sum" 10.0 (Mat.norm1 a);
+  check_float "norm_inf = max row sum" 8.0 (Mat.norm_inf a)
+
+let test_mat_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Mat.of_rows: ragged rows")
+    (fun () -> ignore (Mat.of_rows [| [| 1.0 |]; [| 1.0; 2.0 |] |]))
+
+(* ---- Lu ---- *)
+
+let test_lu_solve () =
+  let a = Mat.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Lu.solve a [| 5.0; 10.0 |] in
+  Alcotest.(check (array (float 1e-9))) "solution" [| 1.0; 3.0 |] x
+
+let test_lu_needs_pivoting () =
+  (* zero top-left pivot forces a row swap *)
+  let a = Mat.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Lu.solve a [| 2.0; 3.0 |] in
+  Alcotest.(check (array (float 1e-9))) "swap solution" [| 3.0; 2.0 |] x
+
+let test_lu_singular () =
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  match Lu.solve a [| 1.0; 2.0 |] with
+  | _ -> Alcotest.fail "singular matrix accepted"
+  | exception Lu.Singular _ -> ()
+
+let test_lu_det () =
+  let a = Mat.of_rows [| [| 2.0; 0.0 |]; [| 0.0; 3.0 |] |] in
+  check_float "det" 6.0 (Lu.det (Lu.factorize a))
+
+let test_lu_det_sign () =
+  let a = Mat.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  check_float "det with swap" (-1.0) (Lu.det (Lu.factorize a))
+
+let test_lu_inverse () =
+  let a = Mat.of_rows [| [| 4.0; 7.0 |]; [| 2.0; 6.0 |] |] in
+  let prod = Mat.mul a (Lu.inverse a) in
+  Alcotest.(check bool) "a * inv a = I" true
+    (Mat.equal ~rtol:1e-9 ~atol:1e-9 prod (Mat.identity 2))
+
+(* ---- Qr ---- *)
+
+let test_qr_square_solve () =
+  let a = Mat.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Qr.least_squares a [| 5.0; 10.0 |] in
+  Alcotest.(check (array (float 1e-9))) "square system" [| 1.0; 3.0 |] x
+
+let test_qr_overdetermined () =
+  (* best line through (0,1) (1,3) (2,5): y = 2x + 1, exact fit *)
+  let a = Mat.of_rows [| [| 0.0; 1.0 |]; [| 1.0; 1.0 |]; [| 2.0; 1.0 |] |] in
+  let x = Qr.least_squares a [| 1.0; 3.0; 5.0 |] in
+  Alcotest.(check (array (float 1e-9))) "fit" [| 2.0; 1.0 |] x
+
+let test_qr_inconsistent_least_squares () =
+  (* x = 0 and x = 2: least squares gives x = 1, residual sqrt 2 *)
+  let a = Mat.of_rows [| [| 1.0 |]; [| 1.0 |] |] in
+  let x = Qr.least_squares a [| 0.0; 2.0 |] in
+  check_close "solution" 1e-9 1.0 x.(0);
+  check_close "residual" 1e-9 (sqrt 2.0) (Qr.residual_norm a x [| 0.0; 2.0 |])
+
+let test_qr_rank_deficient () =
+  (* second column is twice the first: free column must be zeroed *)
+  let a = Mat.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  let x = Qr.least_squares a [| 3.0; 6.0 |] in
+  let r = Qr.residual_norm a x [| 3.0; 6.0 |] in
+  check_close "consistent rank-deficient residual" 1e-8 0.0 r
+
+let test_qr_underdetermined () =
+  let a = Mat.of_rows [| [| 1.0; 1.0 |] |] in
+  let x = Qr.least_squares a [| 4.0 |] in
+  check_close "satisfies row" 1e-9 4.0 (x.(0) +. x.(1))
+
+let test_qr_random_consistency () =
+  (* random well-conditioned systems: QR agrees with LU *)
+  let rng = Qturbo_util.Rng.create ~seed:99L in
+  for _trial = 1 to 20 do
+    let n = 1 + Qturbo_util.Rng.int rng ~bound:6 in
+    let a =
+      Mat.init ~rows:n ~cols:n (fun i j ->
+          Qturbo_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0
+          +. if i = j then 3.0 else 0.0)
+    in
+    let b =
+      Array.init n (fun _ -> Qturbo_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+    in
+    let x_lu = Lu.solve a b and x_qr = Qr.least_squares a b in
+    if not (Qturbo_util.Float_cmp.approx_array ~rtol:1e-7 ~atol:1e-8 x_lu x_qr)
+    then Alcotest.fail "LU and QR disagree"
+  done
+
+(* ---- Csr ---- *)
+
+let test_csr_roundtrip () =
+  let m =
+    Mat.of_rows [| [| 1.0; 0.0; 2.0 |]; [| 0.0; 0.0; 0.0 |]; [| 3.0; 4.0; 0.0 |] |]
+  in
+  let s = Csr.of_dense m in
+  Alcotest.(check int) "nnz" 4 (Csr.nnz s);
+  Alcotest.(check bool) "roundtrip" true (Mat.equal (Csr.to_dense s) m)
+
+let test_csr_duplicate_triplets_sum () =
+  let s =
+    Csr.of_triplets ~rows:1 ~cols:1
+      [
+        { Csr.row = 0; col = 0; value = 1.5 };
+        { Csr.row = 0; col = 0; value = 2.5 };
+      ]
+  in
+  check_float "summed" 4.0 (Csr.get s 0 0)
+
+let test_csr_mul_vec () =
+  let s =
+    Csr.of_triplets ~rows:2 ~cols:3
+      [
+        { Csr.row = 0; col = 0; value = 1.0 };
+        { Csr.row = 0; col = 2; value = 2.0 };
+        { Csr.row = 1; col = 1; value = 3.0 };
+      ]
+  in
+  Alcotest.(check (array (float 1e-12))) "Ax" [| 7.0; 6.0 |]
+    (Csr.mul_vec s [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (array (float 1e-12))) "A'y" [| 1.0; 6.0; 2.0 |]
+    (Csr.mul_vec_t s [| 1.0; 2.0 |])
+
+let test_csr_norm1_matches_dense () =
+  let m = Mat.of_rows [| [| 1.0; -7.0 |]; [| -2.0; 3.0 |] |] in
+  check_float "norm1" (Mat.norm1 m) (Csr.norm1 (Csr.of_dense m))
+
+let test_csr_transpose () =
+  let s =
+    Csr.of_triplets ~rows:2 ~cols:3 [ { Csr.row = 0; col = 2; value = 5.0 } ]
+  in
+  let t = Csr.transpose s in
+  Alcotest.(check int) "rows" 3 (Csr.rows t);
+  check_float "moved" 5.0 (Csr.get t 2 0)
+
+let test_csr_out_of_range () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Csr.of_triplets: entry out of range") (fun () ->
+      ignore (Csr.of_triplets ~rows:1 ~cols:1 [ { Csr.row = 1; col = 0; value = 1.0 } ]))
+
+(* ---- Sparse_solve ---- *)
+
+let row cells rhs = { Sparse_solve.cells; rhs }
+
+let test_sparse_triangular_chain () =
+  (* x0 = 2; x0 + x1 = 5; x1 + x2 = 10 — pure greedy substitution *)
+  let rows =
+    [
+      row [ (0, 1.0) ] 2.0;
+      row [ (0, 1.0); (1, 1.0) ] 5.0;
+      row [ (1, 1.0); (2, 1.0) ] 10.0;
+    ]
+  in
+  let r = Sparse_solve.solve ~ncols:3 rows in
+  Alcotest.(check (array (float 1e-9))) "solution" [| 2.0; 3.0; 7.0 |] r.Sparse_solve.x;
+  check_float "residual" 0.0 r.Sparse_solve.residual_l1;
+  Alcotest.(check int) "all greedy" 3 r.Sparse_solve.stats.Sparse_solve.greedy_solved
+
+let test_sparse_dense_fallback () =
+  (* coupled 2x2 block that greedy cannot split *)
+  let rows =
+    [ row [ (0, 1.0); (1, 1.0) ] 3.0; row [ (0, 1.0); (1, -1.0) ] 1.0 ]
+  in
+  let r = Sparse_solve.solve ~ncols:2 rows in
+  Alcotest.(check (array (float 1e-9))) "solution" [| 2.0; 1.0 |] r.Sparse_solve.x;
+  Alcotest.(check int) "dense solved" 2 r.Sparse_solve.stats.Sparse_solve.dense_solved
+
+let test_sparse_inconsistent_residual () =
+  (* no channel produces this term: empty row with nonzero rhs *)
+  let rows = [ row [] 4.0; row [ (0, 2.0) ] 6.0 ] in
+  let r = Sparse_solve.solve ~ncols:1 rows in
+  check_float "x" 3.0 r.Sparse_solve.x.(0);
+  check_float "residual from impossible row" 4.0 r.Sparse_solve.residual_l1
+
+let test_sparse_free_variable () =
+  let rows = [ row [ (0, 1.0) ] 1.0 ] in
+  let r = Sparse_solve.solve ~ncols:3 rows in
+  Alcotest.(check int) "free vars" 2 r.Sparse_solve.stats.Sparse_solve.free_vars;
+  check_float "free at zero" 0.0 r.Sparse_solve.x.(1)
+
+let test_sparse_conflicting_singletons () =
+  (* x0 = 1 and x0 = 3: greedy solves one, the other becomes residual *)
+  let rows = [ row [ (0, 1.0) ] 1.0; row [ (0, 1.0) ] 3.0 ] in
+  let r = Sparse_solve.solve ~ncols:1 rows in
+  check_float "residual" 2.0 r.Sparse_solve.residual_l1
+
+let test_sparse_duplicate_column_rejected () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Sparse_solve: duplicate column in row") (fun () ->
+      ignore (Sparse_solve.solve ~ncols:2 [ row [ (0, 1.0); (0, 2.0) ] 1.0 ]))
+
+let test_sparse_matches_dense_on_consistent () =
+  let rng = Qturbo_util.Rng.create ~seed:123L in
+  for _trial = 1 to 10 do
+    (* random consistent triangular-ish system *)
+    let n = 2 + Qturbo_util.Rng.int rng ~bound:5 in
+    let x_true =
+      Array.init n (fun _ -> Qturbo_util.Rng.uniform rng ~lo:(-2.0) ~hi:2.0)
+    in
+    let rows =
+      List.init n (fun i ->
+          let cells = List.init (i + 1) (fun j -> (j, 1.0 +. float_of_int j)) in
+          let rhs =
+            List.fold_left (fun acc (j, c) -> acc +. (c *. x_true.(j))) 0.0 cells
+          in
+          row cells rhs)
+    in
+    let greedy = Sparse_solve.solve ~ncols:n rows in
+    let dense = Sparse_solve.dense_only ~ncols:n rows in
+    if
+      not
+        (Qturbo_util.Float_cmp.approx_array ~rtol:1e-6 ~atol:1e-7
+           greedy.Sparse_solve.x dense.Sparse_solve.x)
+    then Alcotest.fail "greedy and dense disagree"
+  done
+
+(* ---- qcheck properties ---- *)
+
+let small_mat_gen =
+  QCheck.Gen.(
+    int_range 1 5 >>= fun n ->
+    list_repeat (n * n) (float_range (-5.0) 5.0) >>= fun xs ->
+    return (n, xs))
+
+let prop_lu_solves =
+  QCheck.Test.make ~name:"LU solution satisfies the system" ~count:200
+    (QCheck.make small_mat_gen) (fun (n, xs) ->
+      let a =
+        Mat.init ~rows:n ~cols:n (fun i j ->
+            List.nth xs ((i * n) + j) +. if i = j then 10.0 else 0.0)
+      in
+      let b = Array.init n (fun i -> float_of_int (i + 1)) in
+      let x = Lu.solve a b in
+      Qturbo_util.Float_cmp.approx_array ~rtol:1e-6 ~atol:1e-7 (Mat.mul_vec a x) b)
+
+let prop_qr_residual_orthogonal =
+  QCheck.Test.make ~name:"QR least-squares residual is gradient-null" ~count:100
+    (QCheck.make small_mat_gen) (fun (n, xs) ->
+      let rows = n + 2 in
+      let a =
+        Mat.init ~rows ~cols:n (fun i j ->
+            List.nth xs ((i * n + j) mod (n * n)) +. if i mod n = j then 4.0 else 0.0)
+      in
+      let b = Array.init rows (fun i -> float_of_int i -. 1.5) in
+      let x = Qr.least_squares a b in
+      (* optimality: A' (Ax - b) = 0 *)
+      let r = Vec.sub (Mat.mul_vec a x) b in
+      Vec.norm_inf (Mat.mul_vec_t a r) < 1e-5)
+
+let prop_csr_matvec_matches_dense =
+  QCheck.Test.make ~name:"CSR matvec equals dense matvec" ~count:200
+    (QCheck.make small_mat_gen) (fun (n, xs) ->
+      let m =
+        Mat.init ~rows:n ~cols:n (fun i j ->
+            let v = List.nth xs ((i * n) + j) in
+            if Float.abs v < 2.0 then 0.0 else v)
+      in
+      let x = Array.init n (fun i -> float_of_int (i + 1)) in
+      Qturbo_util.Float_cmp.approx_array ~rtol:1e-9 ~atol:1e-9
+        (Csr.mul_vec (Csr.of_dense m) x)
+        (Mat.mul_vec m x))
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic ops" `Quick test_vec_ops;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "dimension mismatch" `Quick test_vec_dim_mismatch;
+          Alcotest.test_case "max abs index" `Quick test_vec_max_abs_index;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "mul" `Quick test_mat_mul;
+          Alcotest.test_case "identity mul" `Quick test_mat_identity_mul;
+          Alcotest.test_case "mul_vec" `Quick test_mat_mul_vec;
+          Alcotest.test_case "mul_vec_t" `Quick test_mat_mul_vec_t;
+          Alcotest.test_case "transpose" `Quick test_mat_transpose;
+          Alcotest.test_case "norms" `Quick test_mat_norm1;
+          Alcotest.test_case "ragged rejected" `Quick test_mat_ragged_rejected;
+        ] );
+      ( "lu",
+        [
+          Alcotest.test_case "solve" `Quick test_lu_solve;
+          Alcotest.test_case "pivoting" `Quick test_lu_needs_pivoting;
+          Alcotest.test_case "singular detection" `Quick test_lu_singular;
+          Alcotest.test_case "determinant" `Quick test_lu_det;
+          Alcotest.test_case "determinant sign" `Quick test_lu_det_sign;
+          Alcotest.test_case "inverse" `Quick test_lu_inverse;
+        ] );
+      ( "qr",
+        [
+          Alcotest.test_case "square" `Quick test_qr_square_solve;
+          Alcotest.test_case "overdetermined" `Quick test_qr_overdetermined;
+          Alcotest.test_case "inconsistent" `Quick test_qr_inconsistent_least_squares;
+          Alcotest.test_case "rank deficient" `Quick test_qr_rank_deficient;
+          Alcotest.test_case "underdetermined" `Quick test_qr_underdetermined;
+          Alcotest.test_case "random vs LU" `Quick test_qr_random_consistency;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csr_roundtrip;
+          Alcotest.test_case "duplicates sum" `Quick test_csr_duplicate_triplets_sum;
+          Alcotest.test_case "matvec" `Quick test_csr_mul_vec;
+          Alcotest.test_case "norm1" `Quick test_csr_norm1_matches_dense;
+          Alcotest.test_case "transpose" `Quick test_csr_transpose;
+          Alcotest.test_case "range check" `Quick test_csr_out_of_range;
+        ] );
+      ( "sparse_solve",
+        [
+          Alcotest.test_case "triangular chain" `Quick test_sparse_triangular_chain;
+          Alcotest.test_case "dense fallback" `Quick test_sparse_dense_fallback;
+          Alcotest.test_case "inconsistent residual" `Quick
+            test_sparse_inconsistent_residual;
+          Alcotest.test_case "free variables" `Quick test_sparse_free_variable;
+          Alcotest.test_case "conflicting singletons" `Quick
+            test_sparse_conflicting_singletons;
+          Alcotest.test_case "duplicate column rejected" `Quick
+            test_sparse_duplicate_column_rejected;
+          Alcotest.test_case "greedy matches dense" `Quick
+            test_sparse_matches_dense_on_consistent;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_lu_solves; prop_qr_residual_orthogonal; prop_csr_matvec_matches_dense ]
+      );
+    ]

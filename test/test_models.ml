@@ -1,0 +1,176 @@
+(* Tests for qturbo.models: the Table-2 benchmark Hamiltonians and
+   piecewise discretization. *)
+
+open Qturbo_pauli
+open Qturbo_models
+
+let coeff h s = Pauli_sum.coeff h s
+let zz i j = Pauli_string.two i Pauli.Z j Pauli.Z
+let x i = Pauli_string.single i Pauli.X
+let z i = Pauli_string.single i Pauli.Z
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let ham model = Model.hamiltonian_at model ~s:0.0
+
+let test_ising_chain () =
+  let h = ham (Benchmarks.ising_chain ~j:2.0 ~h:3.0 ~n:4 ()) in
+  check_float "nn coupling" 2.0 (coeff h (zz 0 1));
+  check_float "nn coupling end" 2.0 (coeff h (zz 2 3));
+  check_float "no wraparound" 0.0 (coeff h (zz 3 0));
+  check_float "transverse" 3.0 (coeff h (x 2));
+  Alcotest.(check int) "term count" 7 (Pauli_sum.term_count h)
+
+let test_ising_cycle () =
+  let h = ham (Benchmarks.ising_cycle ~n:5 ()) in
+  check_float "wraparound present" 1.0 (coeff h (zz 4 0));
+  Alcotest.(check int) "terms" 10 (Pauli_sum.term_count h)
+
+let test_kitaev () =
+  let h = ham (Benchmarks.kitaev ~mu:2.0 ~t:0.5 ~h:0.25 ~n:3 ()) in
+  check_float "zz" 1.0 (coeff h (zz 0 1));
+  check_float "x sign" (-0.5) (coeff h (x 1));
+  check_float "z sign" (-0.25) (coeff h (z 2))
+
+let test_ising_cycle_plus () =
+  let h = ham (Benchmarks.ising_cycle_plus ~j:64.0 ~n:6 ()) in
+  check_float "nn" 64.0 (coeff h (zz 0 1));
+  check_float "nnn is J/64" 1.0 (coeff h (zz 0 2));
+  check_float "nnn wrap" 1.0 (coeff h (zz 4 0))
+
+let test_heisenberg_chain () =
+  let h = ham (Benchmarks.heisenberg_chain ~j:1.5 ~n:3 ()) in
+  check_float "xx" 1.5 (coeff h (Pauli_string.two 0 Pauli.X 1 Pauli.X));
+  check_float "yy" 1.5 (coeff h (Pauli_string.two 1 Pauli.Y 2 Pauli.Y));
+  check_float "zz" 1.5 (coeff h (zz 0 1));
+  check_float "field" 1.0 (coeff h (x 0))
+
+let test_pxp () =
+  let h = ham (Benchmarks.pxp ~j:8.0 ~h:0.5 ~n:3 ()) in
+  (* n̂ n̂ expansion: ZZ coefficient J/4, Z coefficients -J/4 per adjacency *)
+  check_float "zz" 2.0 (coeff h (zz 0 1));
+  check_float "z edge" (-2.0) (coeff h (z 0));
+  check_float "z middle (two bonds)" (-4.0) (coeff h (z 1));
+  check_float "x field" 0.5 (coeff h (x 1))
+
+let test_mis_chain_time_dependence () =
+  let m = Benchmarks.mis_chain ~u:2.0 ~omega:1.0 ~alpha:4.0 ~n:2 () in
+  Alcotest.(check bool) "driven" true (Model.is_driven m);
+  let h0 = Model.hamiltonian_at m ~s:0.0 in
+  let h1 = Model.hamiltonian_at m ~s:1.0 in
+  let hmid = Model.hamiltonian_at m ~s:0.5 in
+  (* detuning sweeps +U -> -U; n̂ has -1/2 Z content, plus nn coupling
+     contributes -alpha/4 per bond *)
+  check_float "start" ((-0.5 *. 2.0) -. 1.0) (coeff h0 (z 0));
+  check_float "end" ((0.5 *. 2.0) -. 1.0) (coeff h1 (z 0));
+  check_float "middle detuning cancels" (-1.0) (coeff hmid (z 0));
+  (* static pieces don't move *)
+  check_float "coupling stable" (coeff h0 (zz 0 1)) (coeff h1 (zz 0 1));
+  check_float "drive stable" (coeff h0 (x 0)) (coeff h1 (x 0))
+
+let test_discretize_static () =
+  let m = Benchmarks.ising_chain ~n:3 () in
+  let segs = Model.discretize m ~segments:4 in
+  Alcotest.(check int) "count" 4 (List.length segs);
+  List.iter
+    (fun h -> Alcotest.(check bool) "same" true (Pauli_sum.equal h (ham m)))
+    segs
+
+let test_discretize_driven_midpoints () =
+  let m = Benchmarks.mis_chain ~u:1.0 ~n:2 () in
+  let segs = Model.discretize m ~segments:2 in
+  match segs with
+  | [ h1; h2 ] ->
+      (* midpoints s = 0.25 and 0.75: detunings (1-2s)U = ±0.5 *)
+      let z0 = z 0 in
+      check_float "first segment" ((-0.5 *. 0.5) -. 0.25) (coeff h1 z0);
+      check_float "second segment" ((0.5 *. 0.5) -. 0.25) (coeff h2 z0)
+  | _ -> Alcotest.fail "expected two segments"
+
+let test_discretize_rejects_zero () =
+  Alcotest.check_raises "zero segments"
+    (Invalid_argument "Model.discretize: segments < 1") (fun () ->
+      ignore (Model.discretize (Benchmarks.ising_chain ~n:3 ()) ~segments:0))
+
+let test_by_name_roundtrip () =
+  List.iter
+    (fun name ->
+      let m = Benchmarks.by_name ~name ~n:6 in
+      Alcotest.(check string) "name" name m.Model.name)
+    [ "ising-chain"; "ising-cycle"; "kitaev"; "ising-cycle+"; "heis-chain";
+      "mis-chain"; "pxp" ]
+
+let test_by_name_unknown () =
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Benchmarks.by_name: unknown model nope") (fun () ->
+      ignore (Benchmarks.by_name ~name:"nope" ~n:4))
+
+let test_min_size_checks () =
+  Alcotest.check_raises "cycle too small"
+    (Invalid_argument "Benchmarks.ising_cycle: need at least 3 qubits") (fun () ->
+      ignore (Benchmarks.ising_cycle ~n:2 ()))
+
+let test_all_static () =
+  let ms = Benchmarks.all_static ~n:6 in
+  Alcotest.(check int) "six benchmarks" 6 (List.length ms);
+  List.iter
+    (fun m -> Alcotest.(check bool) "static" false (Model.is_driven m))
+    ms
+
+(* the paper's §7.4 parameter sets must produce Hamiltonians whose norm
+   matches the physical scales *)
+let test_fig6_parameters () =
+  let h = ham (Benchmarks.ising_cycle ~j:0.157 ~h:0.785 ~n:12 ()) in
+  check_float "J" 0.157 (coeff h (zz 0 1));
+  check_float "h" 0.785 (coeff h (x 5))
+
+(* qcheck: model structure invariants over sizes *)
+let prop_chain_term_count =
+  QCheck.Test.make ~name:"ising chain has 2n-1 terms" ~count:50
+    QCheck.(int_range 2 40) (fun n ->
+      Pauli_sum.term_count (ham (Benchmarks.ising_chain ~n ())) = (2 * n) - 1)
+
+let prop_cycle_term_count =
+  QCheck.Test.make ~name:"ising cycle has 2n terms" ~count:50
+    QCheck.(int_range 3 40) (fun n ->
+      Pauli_sum.term_count (ham (Benchmarks.ising_cycle ~n ())) = 2 * n)
+
+let prop_models_touch_n_qubits =
+  QCheck.Test.make ~name:"every static benchmark touches all n qubits" ~count:30
+    QCheck.(int_range 5 30) (fun n ->
+      List.for_all
+        (fun m -> Pauli_sum.n_qubits (ham m) = n)
+        (Benchmarks.all_static ~n))
+
+let () =
+  Alcotest.run "models"
+    [
+      ( "hamiltonians",
+        [
+          Alcotest.test_case "ising chain" `Quick test_ising_chain;
+          Alcotest.test_case "ising cycle" `Quick test_ising_cycle;
+          Alcotest.test_case "kitaev" `Quick test_kitaev;
+          Alcotest.test_case "ising cycle+" `Quick test_ising_cycle_plus;
+          Alcotest.test_case "heisenberg chain" `Quick test_heisenberg_chain;
+          Alcotest.test_case "pxp" `Quick test_pxp;
+          Alcotest.test_case "mis time dependence" `Quick test_mis_chain_time_dependence;
+          Alcotest.test_case "fig6 parameters" `Quick test_fig6_parameters;
+        ] );
+      ( "discretization",
+        [
+          Alcotest.test_case "static copies" `Quick test_discretize_static;
+          Alcotest.test_case "driven midpoints" `Quick test_discretize_driven_midpoints;
+          Alcotest.test_case "zero segments rejected" `Quick test_discretize_rejects_zero;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "by_name" `Quick test_by_name_roundtrip;
+          Alcotest.test_case "unknown name" `Quick test_by_name_unknown;
+          Alcotest.test_case "size checks" `Quick test_min_size_checks;
+          Alcotest.test_case "all_static" `Quick test_all_static;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_chain_term_count; prop_cycle_term_count; prop_models_touch_n_qubits ]
+      );
+    ]

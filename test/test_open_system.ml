@@ -1,0 +1,365 @@
+(* Tests for the Lindblad open-system integrator, the Hamiltonian text
+   parser, and the annealing mapper. *)
+
+open Qturbo_pauli
+open Qturbo_quantum
+
+let check_close msg tol a b =
+  if Float.abs (a -. b) > tol then Alcotest.failf "%s: %.10g vs %.10g" msg a b
+
+(* ---- Lindblad ---- *)
+
+let plus_state () =
+  let s = State.create ~n:1 in
+  s.State.re.(0) <- 1.0 /. sqrt 2.0;
+  s.State.re.(1) <- 1.0 /. sqrt 2.0;
+  s
+
+let test_lindblad_density_of_state () =
+  let rho = Lindblad.of_state (plus_state ()) in
+  check_close "trace" 1e-12 1.0 (Lindblad.trace rho);
+  check_close "purity" 1e-12 1.0 (Lindblad.purity rho);
+  check_close "<X>" 1e-12 1.0
+    (Lindblad.expectation rho (Pauli_sum.term 1.0 (Pauli_string.single 0 Pauli.X)))
+
+let test_lindblad_unitary_limit () =
+  (* no channels: must match the state-vector evolution *)
+  let h =
+    Pauli_sum.of_list
+      [ (Pauli_string.single 0 Pauli.X, 0.8); (Pauli_string.single 0 Pauli.Z, 0.5) ]
+  in
+  let t = 1.3 in
+  let rho =
+    Lindblad.evolve ~h ~channels:[] ~t (Lindblad.of_state (State.ground ~n:1))
+  in
+  let psi = Evolve.evolve ~h ~t (State.ground ~n:1) in
+  check_close "<Z> agrees" 1e-5 (Observable.expect_z psi 0) (Lindblad.z_avg rho);
+  check_close "purity stays 1" 1e-6 1.0 (Lindblad.purity rho)
+
+let test_lindblad_pure_dephasing () =
+  (* H = 0, L = Z at rate gamma: d rho01/dt = gamma (Z rho Z - rho)01
+     = -2 gamma rho01, so <X>(t) = exp(-2 gamma t) *)
+  let gamma = 0.3 and t = 0.7 in
+  let rho0 = Lindblad.of_state (plus_state ()) in
+  let rho =
+    Lindblad.evolve ~h:Pauli_sum.zero
+      ~channels:[ { Lindblad.jump = Lindblad.Dephasing 0; rate = gamma } ]
+      ~t rho0
+  in
+  let x =
+    Lindblad.expectation rho (Pauli_sum.term 1.0 (Pauli_string.single 0 Pauli.X))
+  in
+  check_close "coherence decay" 1e-4 (exp (-2.0 *. gamma *. t)) x;
+  check_close "<Z> untouched" 1e-6 0.0 (Lindblad.z_avg rho)
+
+let test_lindblad_decay () =
+  (* start in |1>: <n>(t) = exp(-gamma t) under sigma^- decay *)
+  let gamma = 0.5 and t = 1.1 in
+  let rho0 = Lindblad.of_state (State.basis ~n:1 1) in
+  let rho =
+    Lindblad.evolve ~h:Pauli_sum.zero
+      ~channels:[ { Lindblad.jump = Lindblad.Decay 0; rate = gamma } ]
+      ~t rho0
+  in
+  (* <n> = (1 - <Z>)/2 *)
+  let n_avg = (1.0 -. Lindblad.z_avg rho) /. 2.0 in
+  check_close "population decay" 1e-4 (exp (-.gamma *. t)) n_avg
+
+let test_lindblad_purity_decreases () =
+  let h = Pauli_sum.term 1.0 (Pauli_string.single 0 Pauli.X) in
+  let rho =
+    Lindblad.evolve ~h
+      ~channels:[ { Lindblad.jump = Lindblad.Dephasing 0; rate = 0.4 } ]
+      ~t:1.0
+      (Lindblad.of_state (State.ground ~n:1))
+  in
+  Alcotest.(check bool) "mixed" true (Lindblad.purity rho < 1.0 -. 1e-3);
+  check_close "trace preserved" 1e-9 1.0 (Lindblad.trace rho)
+
+let test_lindblad_two_qubit_observables () =
+  let h =
+    Pauli_sum.of_list
+      [
+        (Pauli_string.two 0 Pauli.Z 1 Pauli.Z, 0.6);
+        (Pauli_string.single 0 Pauli.X, 0.9);
+        (Pauli_string.single 1 Pauli.X, 0.9);
+      ]
+  in
+  let t = 0.8 in
+  let rho =
+    Lindblad.evolve ~h ~channels:[] ~t (Lindblad.of_state (State.ground ~n:2))
+  in
+  let psi = Evolve.evolve ~h ~t (State.ground ~n:2) in
+  check_close "z_avg" 1e-5 (Observable.z_avg psi) (Lindblad.z_avg rho);
+  check_close "zz_avg" 1e-5
+    (Observable.zz_avg ~cycle:false psi)
+    (Lindblad.zz_avg ~cycle:false rho)
+
+let test_lindblad_dephasing_hurts_dynamics () =
+  (* under a driving Hamiltonian, dephasing pulls <Z> toward 0 relative to
+     the unitary trajectory — the physics that penalises long pulses *)
+  let h = Pauli_sum.term 1.0 (Pauli_string.single 0 Pauli.X) in
+  let t = 2.0 in
+  let run rate =
+    let channels =
+      if rate = 0.0 then []
+      else [ { Lindblad.jump = Lindblad.Dephasing 0; rate } ]
+    in
+    Lindblad.z_avg
+      (Lindblad.evolve ~h ~channels ~t (Lindblad.of_state (State.ground ~n:1)))
+  in
+  let clean = run 0.0 and noisy = run 0.5 in
+  Alcotest.(check bool) "contrast shrinks" true (Float.abs noisy < Float.abs clean)
+
+let test_lindblad_validates () =
+  let rho = Lindblad.of_state (State.ground ~n:1) in
+  Alcotest.check_raises "negative rate"
+    (Invalid_argument "Lindblad.evolve: negative rate") (fun () ->
+      ignore
+        (Lindblad.evolve ~h:Pauli_sum.zero
+           ~channels:[ { Lindblad.jump = Lindblad.Dephasing 0; rate = -1.0 } ]
+           ~t:1.0 rho));
+  Alcotest.check_raises "site range" (Invalid_argument "Lindblad: site out of range")
+    (fun () ->
+      ignore
+        (Lindblad.evolve ~h:Pauli_sum.zero
+           ~channels:[ { Lindblad.jump = Lindblad.Decay 5; rate = 1.0 } ]
+           ~t:1.0 rho))
+
+(* ---- Trajectory (Monte-Carlo wavefunction) ---- *)
+
+let test_trajectory_deterministic_without_channels () =
+  let h =
+    Pauli_sum.of_list
+      [ (Pauli_string.single 0 Pauli.X, 0.8); (Pauli_string.single 0 Pauli.Z, 0.3) ]
+  in
+  let rng = Qturbo_util.Rng.create ~seed:1L in
+  let traj = Trajectory.evolve ~rng ~h ~channels:[] ~t:1.2 (State.ground ~n:1) in
+  let exact = Evolve.evolve ~h ~t:1.2 (State.ground ~n:1) in
+  Alcotest.(check bool) "matches unitary evolution" true
+    (State.equal ~tol:1e-4 traj exact)
+
+let test_trajectory_decay_average () =
+  (* <n>(t) averaged over trajectories ≈ exp(-gamma t) *)
+  let gamma = 0.6 and t = 1.0 in
+  let rng = Qturbo_util.Rng.create ~seed:7L in
+  let avg =
+    Trajectory.average_observable ~rng ~h:Pauli_sum.zero
+      ~channels:[ { Lindblad.jump = Lindblad.Decay 0; rate = gamma } ]
+      ~t ~trajectories:600
+      ~observable:(fun s -> Observable.expect_n s 0)
+      (State.basis ~n:1 1)
+  in
+  check_close "population decay" 0.06 (exp (-.gamma *. t)) avg
+
+let test_trajectory_dephasing_average () =
+  let gamma = 0.4 and t = 0.8 in
+  let rng = Qturbo_util.Rng.create ~seed:11L in
+  let avg =
+    Trajectory.average_observable ~rng ~h:Pauli_sum.zero
+      ~channels:[ { Lindblad.jump = Lindblad.Dephasing 0; rate = gamma } ]
+      ~t ~trajectories:600
+      ~observable:(fun s ->
+        Apply.expectation_string ~n:1 (Pauli_string.single 0 Pauli.X) s)
+      (plus_state ())
+  in
+  check_close "coherence decay" 0.08 (exp (-2.0 *. gamma *. t)) avg
+
+let test_trajectory_matches_lindblad_driven () =
+  (* driven qubit with decay: trajectory average vs exact master equation *)
+  let h = Pauli_sum.term 1.0 (Pauli_string.single 0 Pauli.X) in
+  let channels = [ { Lindblad.jump = Lindblad.Decay 0; rate = 0.5 } ] in
+  let t = 1.5 in
+  let exact =
+    Lindblad.z_avg
+      (Lindblad.evolve ~h ~channels ~t (Lindblad.of_state (State.ground ~n:1)))
+  in
+  let rng = Qturbo_util.Rng.create ~seed:13L in
+  let avg =
+    Trajectory.average_observable ~rng ~h ~channels ~t ~trajectories:800
+      ~observable:(fun s -> Observable.expect_z s 0)
+      (State.ground ~n:1)
+  in
+  check_close "unravelling consistent" 0.08 exact avg
+
+let test_trajectory_validates () =
+  let rng = Qturbo_util.Rng.create ~seed:1L in
+  Alcotest.check_raises "negative rate"
+    (Invalid_argument "Trajectory.evolve: negative rate") (fun () ->
+      ignore
+        (Trajectory.evolve ~rng ~h:Pauli_sum.zero
+           ~channels:[ { Lindblad.jump = Lindblad.Dephasing 0; rate = -0.1 } ]
+           ~t:1.0 (State.ground ~n:1)))
+
+(* ---- Pauli_parse ---- *)
+
+let parse_ok text =
+  match Pauli_parse.parse text with
+  | Ok h -> h
+  | Error msg -> Alcotest.failf "parse %S failed: %s" text msg
+
+let test_parse_basic () =
+  let h = parse_ok "Z0 Z1 + Z1 Z2 + X0 + X1 + X2" in
+  Alcotest.(check int) "terms" 5 (Pauli_sum.term_count h);
+  check_close "zz" 1e-12 1.0
+    (Pauli_sum.coeff h (Pauli_string.two 0 Pauli.Z 1 Pauli.Z))
+
+let test_parse_coefficients () =
+  let h = parse_ok "1.5 * Z0 Z1 - 0.5*X2 + 2.0" in
+  check_close "explicit" 1e-12 1.5
+    (Pauli_sum.coeff h (Pauli_string.two 0 Pauli.Z 1 Pauli.Z));
+  check_close "negative" 1e-12 (-0.5)
+    (Pauli_sum.coeff h (Pauli_string.single 2 Pauli.X));
+  check_close "identity" 1e-12 2.0 (Pauli_sum.coeff h Pauli_string.identity)
+
+let test_parse_scientific () =
+  let h = parse_ok "1e-3 * X0 + 2.5e2 * Z1" in
+  check_close "exp" 1e-15 0.001 (Pauli_sum.coeff h (Pauli_string.single 0 Pauli.X));
+  check_close "exp2" 1e-12 250.0 (Pauli_sum.coeff h (Pauli_string.single 1 Pauli.Z))
+
+let test_parse_leading_sign_and_merge () =
+  let h = parse_ok "-X0 + 3 * X0" in
+  check_close "merged" 1e-12 2.0 (Pauli_sum.coeff h (Pauli_string.single 0 Pauli.X))
+
+let test_parse_identity_token () =
+  let h = parse_ok "2 * I + X0" in
+  check_close "identity via I" 1e-12 2.0 (Pauli_sum.coeff h Pauli_string.identity)
+
+let test_parse_errors () =
+  List.iter
+    (fun text ->
+      match Pauli_parse.parse text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    [ ""; "Q0"; "X"; "X0 ++ X1"; "X0 X0"; "1.2.3 * X0"; "X0 *"; "I3" ]
+
+let test_parse_roundtrip_models () =
+  List.iter
+    (fun m ->
+      let h = Qturbo_models.Model.hamiltonian_at m ~s:0.0 in
+      let h' = parse_ok (Pauli_parse.to_string h) in
+      if not (Pauli_sum.equal h h') then
+        Alcotest.failf "%s does not roundtrip" m.Qturbo_models.Model.name)
+    (Qturbo_models.Benchmarks.all_static ~n:6)
+
+let test_parse_compiles () =
+  (* the CLI path: text -> Hamiltonian -> compiled pulse *)
+  let h = parse_ok "Z0 Z1 + Z1 Z2 + X0 + X1 + X2" in
+  let ryd = Qturbo_aais.Rydberg.build ~spec:Qturbo_aais.Device.aquila_paper ~n:3 in
+  let r =
+    Qturbo_core.Compiler.compile ~aais:ryd.Qturbo_aais.Rydberg.aais ~target:h
+      ~t_tar:1.0 ()
+  in
+  check_close "worked example via text" 1e-9 0.8 r.Qturbo_core.Compiler.t_sim
+
+(* ---- Mapping.anneal ---- *)
+
+let test_anneal_recovers_chain () =
+  let n = 8 in
+  let natural =
+    Qturbo_models.Model.hamiltonian_at (Qturbo_models.Benchmarks.ising_chain ~n ()) ~s:0.0
+  in
+  let rng = Qturbo_util.Rng.create ~seed:4L in
+  let perm = Array.init n Fun.id in
+  Qturbo_util.Rng.shuffle rng perm;
+  let shuffled = Qturbo_core.Mapping.apply perm natural in
+  let m = Qturbo_core.Mapping.anneal ~rng ~target:shuffled ~n () in
+  check_close "perfect placement" 1e-12 0.0
+    (Qturbo_core.Mapping.chain_cost ~target:shuffled m)
+
+let test_anneal_never_worse_than_init () =
+  let n = 10 in
+  let rng = Qturbo_util.Rng.create ~seed:9L in
+  (* random coupling graph *)
+  let edges =
+    List.init 14 (fun _ ->
+        (Qturbo_util.Rng.int rng ~bound:n, Qturbo_util.Rng.int rng ~bound:n))
+    |> List.filter (fun (a, b) -> a <> b)
+  in
+  let target =
+    Qturbo_pauli.Pauli_sum.of_list
+      (List.map
+         (fun (a, b) -> (Pauli_string.two a Pauli.Z b Pauli.Z, 1.0))
+         edges)
+  in
+  let init = Qturbo_core.Mapping.greedy_chain ~target ~n in
+  let annealed = Qturbo_core.Mapping.anneal ~rng ~target ~n ~init () in
+  Alcotest.(check bool) "still a permutation" true
+    (Qturbo_core.Mapping.is_permutation annealed);
+  Alcotest.(check bool) "no regression" true
+    (Qturbo_core.Mapping.chain_cost ~target annealed
+    <= Qturbo_core.Mapping.chain_cost ~target init +. 1e-9)
+
+let test_chain_cost_zero_for_natural_order () =
+  let natural =
+    Qturbo_models.Model.hamiltonian_at (Qturbo_models.Benchmarks.ising_chain ~n:6 ()) ~s:0.0
+  in
+  check_close "adjacent couplings cost nothing" 1e-12 0.0
+    (Qturbo_core.Mapping.chain_cost ~target:natural
+       (Qturbo_core.Mapping.identity ~n:6))
+
+(* property: parser roundtrips random Pauli sums *)
+let sum_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 6)
+      (pair
+         (int_range 0 5 >>= fun n ->
+          list_repeat n (oneofl [ Pauli.I; Pauli.X; Pauli.Y; Pauli.Z ])
+          >>= fun ops ->
+          return (Pauli_string.of_list (List.mapi (fun i o -> (i, o)) ops)))
+         (float_range (-5.0) 5.0))
+    >>= fun terms -> return (Pauli_sum.of_list terms))
+
+let prop_parse_roundtrip =
+  QCheck.Test.make ~name:"parser round-trips arbitrary sums" ~count:200
+    (QCheck.make sum_gen) (fun h ->
+      match Pauli_parse.parse (Pauli_parse.to_string h) with
+      | Ok h' -> Pauli_sum.equal ~tol:1e-12 h h'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "open_system"
+    [
+      ( "lindblad",
+        [
+          Alcotest.test_case "density of state" `Quick test_lindblad_density_of_state;
+          Alcotest.test_case "unitary limit" `Quick test_lindblad_unitary_limit;
+          Alcotest.test_case "pure dephasing" `Quick test_lindblad_pure_dephasing;
+          Alcotest.test_case "decay" `Quick test_lindblad_decay;
+          Alcotest.test_case "purity decreases" `Quick test_lindblad_purity_decreases;
+          Alcotest.test_case "two-qubit observables" `Quick
+            test_lindblad_two_qubit_observables;
+          Alcotest.test_case "dephasing hurts dynamics" `Quick
+            test_lindblad_dephasing_hurts_dynamics;
+          Alcotest.test_case "validation" `Quick test_lindblad_validates;
+        ] );
+      ( "trajectory",
+        [
+          Alcotest.test_case "deterministic limit" `Quick
+            test_trajectory_deterministic_without_channels;
+          Alcotest.test_case "decay average" `Slow test_trajectory_decay_average;
+          Alcotest.test_case "dephasing average" `Slow test_trajectory_dephasing_average;
+          Alcotest.test_case "matches lindblad" `Slow test_trajectory_matches_lindblad_driven;
+          Alcotest.test_case "validation" `Quick test_trajectory_validates;
+        ] );
+      ( "pauli_parse",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "coefficients" `Quick test_parse_coefficients;
+          Alcotest.test_case "scientific notation" `Quick test_parse_scientific;
+          Alcotest.test_case "signs and merging" `Quick test_parse_leading_sign_and_merge;
+          Alcotest.test_case "identity token" `Quick test_parse_identity_token;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "benchmark roundtrips" `Quick test_parse_roundtrip_models;
+          Alcotest.test_case "compiles" `Quick test_parse_compiles;
+        ] );
+      ( "mapping_anneal",
+        [
+          Alcotest.test_case "recovers chain" `Quick test_anneal_recovers_chain;
+          Alcotest.test_case "never worse than init" `Quick
+            test_anneal_never_worse_than_init;
+          Alcotest.test_case "chain cost" `Quick test_chain_cost_zero_for_natural_order;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_parse_roundtrip ] );
+    ]

@@ -1,0 +1,192 @@
+(* Cross-module property tests: randomized end-to-end invariants that tie
+   the compiler, the verifier, the pulse tooling and the simulators
+   together.  Counts are modest because each case runs a full pipeline. *)
+
+open Qturbo_pauli
+open Qturbo_aais
+open Qturbo_core
+
+let relaxed = { Device.aquila_paper with Device.max_extent = 1e4 }
+
+let chain_target ~n ~j ~h =
+  Pauli_sum.drop_identity
+    (Qturbo_models.Model.hamiltonian_at
+       (Qturbo_models.Benchmarks.ising_chain ~j ~h ~n ())
+       ~s:0.0)
+
+(* generator: a random Ising-chain compilation problem *)
+let problem_gen =
+  QCheck.Gen.(
+    int_range 3 9 >>= fun n ->
+    float_range 0.3 2.0 >>= fun j ->
+    float_range 0.3 2.0 >>= fun h ->
+    float_range 0.5 2.0 >>= fun t_tar -> return (n, j, h, t_tar))
+
+let arb_problem =
+  QCheck.make
+    ~print:(fun (n, j, h, t) -> Printf.sprintf "n=%d j=%.2f h=%.2f t=%.2f" n j h t)
+    problem_gen
+
+let compile_problem (n, j, h, t_tar) =
+  let ryd = Rydberg.build ~spec:relaxed ~n in
+  let target = chain_target ~n ~j ~h in
+  (ryd, target, Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar ())
+
+let prop_theorem1_bound =
+  QCheck.Test.make ~name:"Theorem-1 bound dominates the measured error" ~count:25
+    arb_problem (fun p ->
+      let _, _, r = compile_problem p in
+      r.Compiler.theorem1_bound >= r.Compiler.error_l1 -. 1e-9)
+
+let prop_verifier_agrees =
+  QCheck.Test.make ~name:"verifier recomputation matches the compiler metric"
+    ~count:25 arb_problem (fun ((n, j, h, t_tar) as p) ->
+      ignore (n, j, h);
+      let ryd, target, r = compile_problem p in
+      let v = Verifier.verify_rydberg ryd ~target ~t_tar r in
+      v.Verifier.consistent_with_compiler)
+
+let prop_bottleneck_at_max_amplitude =
+  QCheck.Test.make
+    ~name:"some dynamic instruction runs at its device maximum (bottleneck)"
+    ~count:25 arb_problem (fun p ->
+      let ryd, _, r = compile_problem p in
+      let env = r.Compiler.env in
+      (* the time optimisation guarantees the bottleneck saturates: either
+         a Rabi amplitude at omega_max or a detuning at delta_max *)
+      (* refinement may nudge the bottleneck amplitude slightly off the
+         exact bound, so allow a few percent of slack *)
+      let near x bound = Float.abs x >= 0.95 *. bound in
+      let omega_saturated =
+        Array.exists
+          (fun (v : Variable.t) ->
+            near env.(v.Variable.id) relaxed.Device.omega_max)
+          ryd.Rydberg.omegas
+      in
+      let delta_saturated =
+        Array.exists
+          (fun (v : Variable.t) ->
+            near env.(v.Variable.id) relaxed.Device.delta_max)
+          ryd.Rydberg.deltas
+      in
+      omega_saturated || delta_saturated)
+
+let prop_pulse_roundtrip_after_ramp =
+  QCheck.Test.make ~name:"ramped pulses serialize and stay in limits" ~count:20
+    arb_problem (fun p ->
+      let ryd, _, r = compile_problem p in
+      let pulse = Extract.rydberg_pulse ryd ~env:r.Compiler.env ~t_sim:r.Compiler.t_sim in
+      let ramped = Ramp.apply pulse in
+      match Pulse_io.of_string (Pulse_io.to_string ramped) with
+      | Error _ -> false
+      | Ok p' ->
+          Pulse.within_limits p' = []
+          && Pulse.slew_violations p' = []
+          && Ramp.ramp_admissible p')
+
+let prop_t_tar_scales_t_sim =
+  QCheck.Test.make ~name:"doubling t_tar doubles the compiled time" ~count:15
+    arb_problem (fun (n, j, h, t_tar) ->
+      let compile t =
+        let ryd = Rydberg.build ~spec:relaxed ~n in
+        (Compiler.compile ~aais:ryd.Rydberg.aais ~target:(chain_target ~n ~j ~h)
+           ~t_tar:t ())
+          .Compiler.t_sim
+      in
+      let t1 = compile t_tar and t2 = compile (2.0 *. t_tar) in
+      Float.abs (t2 -. (2.0 *. t1)) < 1e-6 *. Float.max 1.0 t2)
+
+let prop_compiled_dynamics_track_target =
+  QCheck.Test.make ~name:"compiled pulses reproduce the target state" ~count:10
+    (QCheck.make
+       ~print:(fun (n, j, h, t) ->
+         Printf.sprintf "n=%d j=%.2f h=%.2f t=%.2f" n j h t)
+       QCheck.Gen.(
+         int_range 3 5 >>= fun n ->
+         float_range 0.3 1.2 >>= fun j ->
+         float_range 0.3 1.2 >>= fun h ->
+         float_range 0.4 1.0 >>= fun t_tar -> return (n, j, h, t_tar)))
+    (fun ((n, _, _, t_tar) as p) ->
+      let ryd, target, r = compile_problem p in
+      let pulse = Extract.rydberg_pulse ryd ~env:r.Compiler.env ~t_sim:r.Compiler.t_sim in
+      let ground = Qturbo_quantum.State.ground ~n in
+      let th = Qturbo_quantum.Evolve.evolve ~h:target ~t:t_tar ground in
+      let sim =
+        Qturbo_quantum.Evolve.evolve_piecewise
+          ~segments:(Pulse.rydberg_segment_hamiltonians pulse)
+          ground
+      in
+      Qturbo_quantum.State.fidelity th sim > 0.98)
+
+let prop_mapping_invariant_compilation =
+  QCheck.Test.make ~name:"relabelling + mapping leaves T_sim unchanged" ~count:10
+    (QCheck.make QCheck.Gen.(int_range 4 9 >>= fun n -> int_range 0 1000 >>= fun seed -> return (n, seed)))
+    (fun (n, seed) ->
+      let target = chain_target ~n ~j:1.0 ~h:1.0 in
+      let rng = Qturbo_util.Rng.create ~seed:(Int64.of_int seed) in
+      let perm = Array.init n Fun.id in
+      Qturbo_util.Rng.shuffle rng perm;
+      let shuffled = Mapping.apply perm target in
+      let m = Mapping.greedy_chain ~target:shuffled ~n in
+      let remapped = Mapping.apply m shuffled in
+      let ryd1 = Rydberg.build ~spec:relaxed ~n in
+      let ryd2 = Rydberg.build ~spec:relaxed ~n in
+      let r1 = Compiler.compile ~aais:ryd1.Rydberg.aais ~target ~t_tar:1.0 () in
+      let r2 = Compiler.compile ~aais:ryd2.Rydberg.aais ~target:remapped ~t_tar:1.0 () in
+      Float.abs (r1.Compiler.t_sim -. r2.Compiler.t_sim) < 1e-9)
+
+let prop_heisenberg_always_exact =
+  QCheck.Test.make ~name:"heisenberg backend compiles chain targets exactly"
+    ~count:20
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 2 12 >>= fun n ->
+         float_range 0.1 3.0 >>= fun j -> return (n, j)))
+    (fun (n, j) ->
+      let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n in
+      let target = chain_target ~n ~j ~h:1.0 in
+      let r = Compiler.compile ~aais:heis.Heisenberg.aais ~target ~t_tar:1.0 () in
+      r.Compiler.error_l1 < 1e-9)
+
+let prop_emulator_ideal_unbiased =
+  QCheck.Test.make ~name:"ideal emulator sampling is unbiased" ~count:5
+    (QCheck.make QCheck.Gen.(int_range 0 10_000))
+    (fun seed ->
+      let ryd = Rydberg.build ~spec:Device.aquila_fig6a ~n:4 in
+      let target =
+        Pauli_sum.drop_identity
+          (Qturbo_models.Model.hamiltonian_at
+             (Qturbo_models.Benchmarks.ising_cycle ~n:4 ~j:0.157 ~h:0.785 ())
+             ~s:0.0)
+      in
+      let r = Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:0.5 () in
+      let pulse = Extract.rydberg_pulse ryd ~env:r.Compiler.env ~t_sim:r.Compiler.t_sim in
+      let exact =
+        Qturbo_quantum.Observable.z_avg
+          (Qturbo_device_noise.Emulator.noiseless_final_state ~pulse)
+      in
+      let rng = Qturbo_util.Rng.create ~seed:(Int64.of_int seed) in
+      let o =
+        Qturbo_device_noise.Emulator.run ~rng
+          ~noise:Qturbo_device_noise.Noise_model.ideal ~shots:2000 ~pulse ()
+      in
+      (* 2000 shots over 4 qubits: sigma <= 1/sqrt(8000) ~ 0.011 *)
+      Float.abs (o.Qturbo_device_noise.Emulator.z_avg -. exact) < 0.06)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "pipeline",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_theorem1_bound;
+            prop_verifier_agrees;
+            prop_bottleneck_at_max_amplitude;
+            prop_pulse_roundtrip_after_ramp;
+            prop_t_tar_scales_t_sim;
+            prop_compiled_dynamics_track_target;
+            prop_mapping_invariant_compilation;
+            prop_heisenberg_always_exact;
+            prop_emulator_ideal_unbiased;
+          ] );
+    ]

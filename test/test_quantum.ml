@@ -1,0 +1,354 @@
+(* Tests for qturbo.quantum: state vectors, Pauli application, RK4
+   evolution against closed-form dynamics, observables, measurement. *)
+
+open Qturbo_pauli
+open Qturbo_quantum
+
+let check_close msg tol a b =
+  if Float.abs (a -. b) > tol then Alcotest.failf "%s: %.10g vs %.10g" msg a b
+
+(* ---- State ---- *)
+
+let test_state_basis () =
+  let s = State.basis ~n:2 2 in
+  check_close "amp" 1.0 1e-12 s.State.re.(2);
+  check_close "norm" 1e-12 1.0 (State.norm s);
+  check_close "prob" 1e-12 1.0 (State.probability s 2)
+
+let test_state_inner () =
+  let a = State.basis ~n:1 0 and b = State.basis ~n:1 1 in
+  check_close "orthogonal" 1e-12 0.0 (Complex.norm (State.inner a b));
+  check_close "normalized" 1e-12 1.0 (Complex.norm (State.inner a a))
+
+let test_state_normalize () =
+  let s = State.create ~n:1 in
+  s.State.re.(0) <- 3.0;
+  s.State.im.(1) <- 4.0;
+  State.normalize s;
+  check_close "unit" 1e-12 1.0 (State.norm s)
+
+let test_state_normalize_zero_raises () =
+  Alcotest.check_raises "zero" (Invalid_argument "State.normalize: zero vector")
+    (fun () -> State.normalize (State.create ~n:1))
+
+let test_state_add_scaled () =
+  let a = State.basis ~n:1 0 in
+  let b = State.basis ~n:1 1 in
+  State.add_scaled a { Complex.re = 0.0; im = 2.0 } b;
+  check_close "imag" 1e-12 2.0 a.State.im.(1)
+
+let test_state_fidelity () =
+  let a = State.basis ~n:1 0 in
+  let plus = State.create ~n:1 in
+  plus.State.re.(0) <- 1.0 /. sqrt 2.0;
+  plus.State.re.(1) <- 1.0 /. sqrt 2.0;
+  check_close "half overlap" 1e-12 0.5 (State.fidelity a plus)
+
+(* ---- Apply ---- *)
+
+let test_apply_x_flips () =
+  let s = State.ground ~n:2 in
+  let s' = Apply.apply_string ~n:2 (Pauli_string.single 0 Pauli.X) s in
+  check_close "flipped qubit 0" 1e-12 1.0 s'.State.re.(1)
+
+let test_apply_z_phases () =
+  let s = State.basis ~n:1 1 in
+  let s' = Apply.apply_string ~n:1 (Pauli_string.single 0 Pauli.Z) s in
+  check_close "minus sign" 1e-12 (-1.0) s'.State.re.(1)
+
+let test_apply_y () =
+  (* Y|0> = i|1>, Y|1> = -i|0> *)
+  let s0 = State.basis ~n:1 0 in
+  let y = Pauli_string.single 0 Pauli.Y in
+  let s0' = Apply.apply_string ~n:1 y s0 in
+  check_close "Y|0> imag" 1e-12 1.0 s0'.State.im.(1);
+  let s1 = State.basis ~n:1 1 in
+  let s1' = Apply.apply_string ~n:1 y s1 in
+  check_close "Y|1> imag" 1e-12 (-1.0) s1'.State.im.(0)
+
+let test_apply_sum_linearity () =
+  let h =
+    Pauli_sum.of_list
+      [
+        (Pauli_string.single 0 Pauli.Z, 0.5);
+        (Pauli_string.single 0 Pauli.X, 2.0);
+        (Pauli_string.identity, 1.0);
+      ]
+  in
+  let s = State.basis ~n:1 0 in
+  let hs = Apply.apply (Apply.compile ~n:1 h) s in
+  (* (0.5 Z + 2 X + I)|0> = 1.5|0> + 2|1> *)
+  check_close "|0> part" 1e-12 1.5 hs.State.re.(0);
+  check_close "|1> part" 1e-12 2.0 hs.State.re.(1)
+
+let test_apply_matches_dense_2q () =
+  (* cross-check the mask/phase machinery against explicit 2-qubit dense
+     matrices built from Kronecker products *)
+  let kron a b =
+    (* 2x2 ⊗ 2x2; qubit 0 is the LOW bit, so index = i1*2 + i0 and the
+       matrix is b ⊗ a in the usual convention *)
+    Array.init 16 (fun k ->
+        let row = k / 4 and col = k mod 4 in
+        let r0 = row land 1 and r1 = row lsr 1 in
+        let c0 = col land 1 and c1 = col lsr 1 in
+        Complex.mul a.((r0 * 2) + c0) b.((r1 * 2) + c1))
+  in
+  let rng = Qturbo_util.Rng.create ~seed:77L in
+  let ops = [| Pauli.I; Pauli.X; Pauli.Y; Pauli.Z |] in
+  for _trial = 1 to 20 do
+    let o0 = ops.(Qturbo_util.Rng.int rng ~bound:4) in
+    let o1 = ops.(Qturbo_util.Rng.int rng ~bound:4) in
+    let s =
+      Pauli_string.of_list
+        (List.filter (fun (_, o) -> o <> Pauli.I) [ (0, o0); (1, o1) ])
+    in
+    let dense = kron (Pauli.matrix o0) (Pauli.matrix o1) in
+    (* random state *)
+    let st = State.create ~n:2 in
+    for i = 0 to 3 do
+      st.State.re.(i) <- Qturbo_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0;
+      st.State.im.(i) <- Qturbo_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0
+    done;
+    let fast = Apply.apply_string ~n:2 s st in
+    for row = 0 to 3 do
+      let acc = ref Complex.zero in
+      for col = 0 to 3 do
+        acc :=
+          Complex.add !acc
+            (Complex.mul dense.((row * 4) + col)
+               { Complex.re = st.State.re.(col); im = st.State.im.(col) })
+      done;
+      check_close "re" 1e-10 !acc.Complex.re fast.State.re.(row);
+      check_close "im" 1e-10 !acc.Complex.im fast.State.im.(row)
+    done
+  done
+
+let test_expectation () =
+  let s = State.ground ~n:1 in
+  check_close "<Z> on |0>" 1e-12 1.0
+    (Apply.expectation_string ~n:1 (Pauli_string.single 0 Pauli.Z) s);
+  check_close "<X> on |0>" 1e-12 0.0
+    (Apply.expectation_string ~n:1 (Pauli_string.single 0 Pauli.X) s)
+
+let test_apply_site_out_of_range () =
+  Alcotest.check_raises "range" (Invalid_argument "Apply.compile: site out of range")
+    (fun () ->
+      ignore (Apply.compile ~n:1 (Pauli_sum.term 1.0 (Pauli_string.single 3 Pauli.X))))
+
+(* ---- Evolve ---- *)
+
+let test_rabi_oscillation () =
+  (* H = (Ω/2) X: ⟨Z⟩(t) = cos(Ω t) *)
+  let omega = 3.0 in
+  let h = Pauli_sum.term (omega /. 2.0) (Pauli_string.single 0 Pauli.X) in
+  List.iter
+    (fun t ->
+      let s = Evolve.evolve ~h ~t (State.ground ~n:1) in
+      check_close
+        (Printf.sprintf "cos at t=%.2f" t)
+        1e-5
+        (cos (omega *. t))
+        (Observable.expect_z s 0))
+    [ 0.1; 0.5; 1.0; 2.0 ]
+
+let test_detuning_phase () =
+  (* H = (Δ/2) Z on |+>: ⟨X⟩(t) = cos(Δ t) *)
+  let delta = 2.0 in
+  let h = Pauli_sum.term (delta /. 2.0) (Pauli_string.single 0 Pauli.Z) in
+  let plus = State.create ~n:1 in
+  plus.State.re.(0) <- 1.0 /. sqrt 2.0;
+  plus.State.re.(1) <- 1.0 /. sqrt 2.0;
+  let t = 0.8 in
+  let s = Evolve.evolve ~h ~t plus in
+  check_close "X precession" 1e-6 (cos (delta *. t))
+    (Apply.expectation_string ~n:1 (Pauli_string.single 0 Pauli.X) s)
+
+let test_zz_entangling_phase () =
+  (* H = J Z0 Z1 on |++>: ⟨X0⟩(t) = cos(2 J t) *)
+  let j = 0.7 in
+  let h = Pauli_sum.term j (Pauli_string.two 0 Pauli.Z 1 Pauli.Z) in
+  let s0 = State.create ~n:2 in
+  Array.fill s0.State.re 0 4 0.5;
+  let t = 1.1 in
+  let s = Evolve.evolve ~h ~t s0 in
+  check_close "conditional phase" 1e-6 (cos (2.0 *. j *. t))
+    (Apply.expectation_string ~n:2 (Pauli_string.single 0 Pauli.X) s)
+
+let test_evolve_zero_time () =
+  let h = Pauli_sum.term 1.0 (Pauli_string.single 0 Pauli.X) in
+  let s = Evolve.evolve ~h ~t:0.0 (State.ground ~n:1) in
+  Alcotest.(check bool) "unchanged" true (State.equal s (State.ground ~n:1))
+
+let test_evolve_preserves_norm () =
+  let h =
+    Pauli_sum.of_list
+      [
+        (Pauli_string.two 0 Pauli.Z 1 Pauli.Z, 1.3);
+        (Pauli_string.single 0 Pauli.X, 0.9);
+        (Pauli_string.single 1 Pauli.Y, -0.4);
+      ]
+  in
+  let s = Evolve.evolve ~h ~t:3.0 (State.ground ~n:2) in
+  check_close "unit norm" 1e-9 1.0 (State.norm s)
+
+let test_piecewise_matches_single_segment () =
+  (* same H split into two segments equals one long segment *)
+  let h = Pauli_sum.of_list
+      [ (Pauli_string.single 0 Pauli.X, 1.0); (Pauli_string.single 0 Pauli.Z, 0.5) ]
+  in
+  let one = Evolve.evolve ~h ~t:1.0 (State.ground ~n:1) in
+  let two =
+    Evolve.evolve_piecewise ~segments:[ (h, 0.4); (h, 0.6) ] (State.ground ~n:1)
+  in
+  Alcotest.(check bool) "states agree" true (State.equal ~tol:1e-6 one two)
+
+let test_time_dependent_constant_matches_static () =
+  let h = Pauli_sum.term 1.0 (Pauli_string.single 0 Pauli.X) in
+  let s_static = Evolve.evolve ~h ~t:1.0 (State.ground ~n:1) in
+  let s_td =
+    Evolve.evolve_time_dependent ~h_of_t:(fun _ -> h) ~t:1.0 ~steps:400
+      (State.ground ~n:1)
+  in
+  Alcotest.(check bool) "agree" true (State.equal ~tol:1e-5 s_static s_td)
+
+let test_steps_heuristic () =
+  Alcotest.(check bool) "floor" true (Evolve.steps_for ~norm1:0.0 ~t:1.0 >= 32);
+  Alcotest.(check bool) "scales" true
+    (Evolve.steps_for ~norm1:100.0 ~t:1.0 > Evolve.steps_for ~norm1:1.0 ~t:1.0)
+
+(* ---- Observable ---- *)
+
+let test_z_avg_ground () =
+  let s = State.ground ~n:4 in
+  check_close "all up" 1e-12 1.0 (Observable.z_avg s);
+  check_close "zz" 1e-12 1.0 (Observable.zz_avg s)
+
+let test_z_avg_one_flipped () =
+  (* state |0001>: z_avg = ((-1) + 3) / 4 = 0.5 *)
+  let s = State.basis ~n:4 1 in
+  check_close "mixed" 1e-12 0.5 (Observable.z_avg s)
+
+let test_zz_avg_chain_vs_cycle () =
+  (* |01>: chain pair (0,1): ZZ = -1 *)
+  let s = State.basis ~n:2 1 in
+  check_close "chain" 1e-12 (-1.0) (Observable.zz_avg ~cycle:false s)
+
+let test_expect_n () =
+  let s = State.basis ~n:1 1 in
+  check_close "excited" 1e-12 1.0 (Observable.expect_n s 0)
+
+let test_bits_estimators () =
+  let samples = [ [| 0; 0 |]; [| 1; 1 |] ] in
+  check_close "z from bits" 1e-12 0.0 (Observable.z_avg_of_bits samples);
+  check_close "zz from bits" 1e-12 1.0 (Observable.zz_avg_of_bits ~cycle:false samples)
+
+(* ---- Measurement ---- *)
+
+let test_sample_deterministic_state () =
+  let rng = Qturbo_util.Rng.create ~seed:3L in
+  let s = State.basis ~n:3 5 in
+  for _ = 1 to 20 do
+    Alcotest.(check (array int)) "bits of |101>" [| 1; 0; 1 |]
+      (Measurement.sample_bits ~rng s)
+  done
+
+let test_sample_statistics () =
+  (* |+> measured many times: about half ones *)
+  let rng = Qturbo_util.Rng.create ~seed:41L in
+  let plus = State.create ~n:1 in
+  plus.State.re.(0) <- 1.0 /. sqrt 2.0;
+  plus.State.re.(1) <- 1.0 /. sqrt 2.0;
+  let shots = Measurement.sample_shots ~rng ~shots:4000 plus in
+  let ones = List.fold_left (fun acc b -> acc + b.(0)) 0 shots in
+  let frac = float_of_int ones /. 4000.0 in
+  if Float.abs (frac -. 0.5) > 0.03 then Alcotest.failf "fraction %.3f" frac
+
+let test_readout_error_bias () =
+  let rng = Qturbo_util.Rng.create ~seed:43L in
+  let s = State.ground ~n:1 in
+  let readout = { Measurement.p_0_to_1 = 0.25; p_1_to_0 = 0.0 } in
+  let shots = Measurement.sample_shots ~rng ~readout ~shots:4000 s in
+  let ones = List.fold_left (fun acc b -> acc + b.(0)) 0 shots in
+  let frac = float_of_int ones /. 4000.0 in
+  if Float.abs (frac -. 0.25) > 0.03 then Alcotest.failf "flip rate %.3f" frac
+
+(* ---- qcheck properties ---- *)
+
+let prop_apply_preserves_norm_for_strings =
+  QCheck.Test.make ~name:"Pauli strings are norm-preserving" ~count:100
+    QCheck.(pair (int_range 0 2) (int_range 0 7))
+    (fun (site, amp_idx) ->
+      let s = State.basis ~n:3 amp_idx in
+      let p = Pauli_string.single site Pauli.Y in
+      let s' = Apply.apply_string ~n:3 p s in
+      Float.abs (State.norm s' -. 1.0) < 1e-12)
+
+let prop_expectation_bounded =
+  QCheck.Test.make ~name:"⟨Z⟩ lies in [-1, 1] after evolution" ~count:30
+    QCheck.(pair (float_range 0.1 2.0) (float_range 0.1 2.0))
+    (fun (j, t) ->
+      let h =
+        Pauli_sum.of_list
+          [
+            (Pauli_string.two 0 Pauli.Z 1 Pauli.Z, j);
+            (Pauli_string.single 0 Pauli.X, 1.0);
+            (Pauli_string.single 1 Pauli.X, 1.0);
+          ]
+      in
+      let s = Evolve.evolve ~h ~t (State.ground ~n:2) in
+      let z = Observable.z_avg s in
+      z >= -1.0 -. 1e-9 && z <= 1.0 +. 1e-9)
+
+let () =
+  Alcotest.run "quantum"
+    [
+      ( "state",
+        [
+          Alcotest.test_case "basis" `Quick test_state_basis;
+          Alcotest.test_case "inner" `Quick test_state_inner;
+          Alcotest.test_case "normalize" `Quick test_state_normalize;
+          Alcotest.test_case "normalize zero" `Quick test_state_normalize_zero_raises;
+          Alcotest.test_case "add_scaled" `Quick test_state_add_scaled;
+          Alcotest.test_case "fidelity" `Quick test_state_fidelity;
+        ] );
+      ( "apply",
+        [
+          Alcotest.test_case "X flips" `Quick test_apply_x_flips;
+          Alcotest.test_case "Z phases" `Quick test_apply_z_phases;
+          Alcotest.test_case "Y phases" `Quick test_apply_y;
+          Alcotest.test_case "sum linearity" `Quick test_apply_sum_linearity;
+          Alcotest.test_case "matches dense kron" `Quick test_apply_matches_dense_2q;
+          Alcotest.test_case "expectation" `Quick test_expectation;
+          Alcotest.test_case "site range" `Quick test_apply_site_out_of_range;
+        ] );
+      ( "evolve",
+        [
+          Alcotest.test_case "Rabi oscillation" `Quick test_rabi_oscillation;
+          Alcotest.test_case "detuning phase" `Quick test_detuning_phase;
+          Alcotest.test_case "ZZ phase" `Quick test_zz_entangling_phase;
+          Alcotest.test_case "zero time" `Quick test_evolve_zero_time;
+          Alcotest.test_case "norm preserved" `Quick test_evolve_preserves_norm;
+          Alcotest.test_case "piecewise consistency" `Quick
+            test_piecewise_matches_single_segment;
+          Alcotest.test_case "time-dependent constant" `Quick
+            test_time_dependent_constant_matches_static;
+          Alcotest.test_case "steps heuristic" `Quick test_steps_heuristic;
+        ] );
+      ( "observable",
+        [
+          Alcotest.test_case "ground" `Quick test_z_avg_ground;
+          Alcotest.test_case "one flipped" `Quick test_z_avg_one_flipped;
+          Alcotest.test_case "chain vs cycle" `Quick test_zz_avg_chain_vs_cycle;
+          Alcotest.test_case "number operator" `Quick test_expect_n;
+          Alcotest.test_case "bit estimators" `Quick test_bits_estimators;
+        ] );
+      ( "measurement",
+        [
+          Alcotest.test_case "deterministic state" `Quick test_sample_deterministic_state;
+          Alcotest.test_case "statistics" `Slow test_sample_statistics;
+          Alcotest.test_case "readout bias" `Slow test_readout_error_bias;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_apply_preserves_norm_for_strings; prop_expectation_bounded ] );
+    ]

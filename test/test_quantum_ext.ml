@@ -1,0 +1,281 @@
+(* Tests for the extended quantum layer: the Jacobi eigensolver, dense
+   operators with exact Hermitian evolution (cross-validating RK4), the
+   Suzuki–Trotter digital baseline, and entanglement entropy. *)
+
+open Qturbo_pauli
+open Qturbo_quantum
+open Qturbo_linalg
+
+let check_close msg tol a b =
+  if Float.abs (a -. b) > tol then Alcotest.failf "%s: %.10g vs %.10g" msg a b
+
+(* ---- Eigen ---- *)
+
+let test_eigen_diagonal () =
+  let a = Mat.of_rows [| [| 3.0; 0.0 |]; [| 0.0; -1.0 |] |] in
+  let { Eigen.eigenvalues; _ } = Eigen.symmetric a in
+  Alcotest.(check (array (float 1e-12))) "sorted" [| -1.0; 3.0 |] eigenvalues
+
+let test_eigen_2x2 () =
+  (* [[2,1],[1,2]] has eigenvalues 1 and 3 *)
+  let a = Mat.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |] in
+  let { Eigen.eigenvalues; _ } = Eigen.symmetric a in
+  Alcotest.(check (array (float 1e-9))) "values" [| 1.0; 3.0 |] eigenvalues
+
+let test_eigen_reconstruct () =
+  let rng = Qturbo_util.Rng.create ~seed:71L in
+  for _trial = 1 to 10 do
+    let n = 2 + Qturbo_util.Rng.int rng ~bound:6 in
+    let a =
+      Mat.init ~rows:n ~cols:n (fun _ _ ->
+          Qturbo_util.Rng.uniform rng ~lo:(-2.0) ~hi:2.0)
+    in
+    let sym = Mat.init ~rows:n ~cols:n (fun i j -> 0.5 *. (Mat.get a i j +. Mat.get a j i)) in
+    let e = Eigen.symmetric sym in
+    if not (Mat.equal ~rtol:1e-8 ~atol:1e-8 (Eigen.reconstruct e) sym) then
+      Alcotest.fail "reconstruction failed"
+  done
+
+let test_eigen_orthonormal_vectors () =
+  let a =
+    Mat.of_rows
+      [| [| 4.0; 1.0; 0.5 |]; [| 1.0; 3.0; -1.0 |]; [| 0.5; -1.0; 2.0 |] |]
+  in
+  let { Eigen.eigenvectors = v; _ } = Eigen.symmetric a in
+  let vtv = Mat.mul (Mat.transpose v) v in
+  Alcotest.(check bool) "V'V = I" true
+    (Mat.equal ~rtol:1e-8 ~atol:1e-8 vtv (Mat.identity 3))
+
+let test_eigen_apply_function () =
+  (* square root of a PSD matrix squares back *)
+  let a = Mat.of_rows [| [| 2.0; 1.0 |]; [| 1.0; 2.0 |] |] in
+  let e = Eigen.symmetric a in
+  let root = Eigen.apply_function e sqrt in
+  Alcotest.(check bool) "sqrt² = a" true
+    (Mat.equal ~rtol:1e-9 ~atol:1e-9 (Mat.mul root root) a)
+
+let test_eigen_rejects_rectangular () =
+  Alcotest.check_raises "rect" (Invalid_argument "Eigen.symmetric: matrix not square")
+    (fun () -> ignore (Eigen.symmetric (Mat.create ~rows:2 ~cols:3)))
+
+(* ---- Dense_op ---- *)
+
+let ising2 =
+  Pauli_sum.of_list
+    [
+      (Pauli_string.two 0 Pauli.Z 1 Pauli.Z, 0.9);
+      (Pauli_string.single 0 Pauli.X, 0.6);
+      (Pauli_string.single 1 Pauli.Y, -0.4);
+    ]
+
+let test_dense_matches_fast_apply () =
+  let op = Dense_op.of_pauli_sum ~n:2 ising2 in
+  let compiled = Apply.compile ~n:2 ising2 in
+  let rng = Qturbo_util.Rng.create ~seed:5L in
+  for _ = 1 to 10 do
+    let s = State.create ~n:2 in
+    for i = 0 to 3 do
+      s.State.re.(i) <- Qturbo_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0;
+      s.State.im.(i) <- Qturbo_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0
+    done;
+    let a = Dense_op.apply op s and b = Apply.apply compiled s in
+    if not (State.equal ~tol:1e-10 a b) then Alcotest.fail "dense vs fast"
+  done
+
+let test_dense_hermitian () =
+  Alcotest.(check bool) "hermitian" true
+    (Dense_op.is_hermitian (Dense_op.of_pauli_sum ~n:2 ising2))
+
+let test_dense_eigenvalues_single_qubit () =
+  (* H = 2 X has eigenvalues ±2 *)
+  let op = Dense_op.of_pauli_sum ~n:1 (Pauli_sum.term 2.0 (Pauli_string.single 0 Pauli.X)) in
+  Alcotest.(check (array (float 1e-9))) "±2" [| -2.0; 2.0 |] (Dense_op.eigenvalues op)
+
+let test_dense_eigenvalues_zz () =
+  let op =
+    Dense_op.of_pauli_sum ~n:2 (Pauli_sum.term 1.0 (Pauli_string.two 0 Pauli.Z 1 Pauli.Z))
+  in
+  Alcotest.(check (array (float 1e-9))) "±1 doubly" [| -1.0; -1.0; 1.0; 1.0 |]
+    (Dense_op.eigenvalues op)
+
+let test_exact_evolution_vs_rk4 () =
+  (* independent cross-validation of the integrator *)
+  let op = Dense_op.of_pauli_sum ~n:2 ising2 in
+  let s0 = State.ground ~n:2 in
+  List.iter
+    (fun t ->
+      let exact = Dense_op.exact_evolve op ~t s0 in
+      let rk4 = Evolve.evolve ~h:ising2 ~t s0 in
+      if not (State.equal ~tol:1e-5 exact rk4) then
+        Alcotest.failf "mismatch at t = %.2f" t)
+    [ 0.3; 1.0; 2.7 ]
+
+let test_exact_evolution_unitary () =
+  let op = Dense_op.of_pauli_sum ~n:2 ising2 in
+  let s = Dense_op.exact_evolve op ~t:5.0 (State.ground ~n:2) in
+  check_close "norm" 1e-9 1.0 (State.norm s)
+
+let test_exact_evolution_rabi () =
+  let omega = 1.7 in
+  let op =
+    Dense_op.of_pauli_sum ~n:1
+      (Pauli_sum.term (omega /. 2.0) (Pauli_string.single 0 Pauli.X))
+  in
+  let s = Dense_op.exact_evolve op ~t:0.9 (State.ground ~n:1) in
+  check_close "cos" 1e-9 (cos (omega *. 0.9)) (Observable.expect_z s 0)
+
+(* ---- Trotter ---- *)
+
+let test_trotter_exact_for_commuting () =
+  (* all-Z Hamiltonian: terms commute, one step is exact *)
+  let h =
+    Pauli_sum.of_list
+      [
+        (Pauli_string.single 0 Pauli.Z, 0.7);
+        (Pauli_string.two 0 Pauli.Z 1 Pauli.Z, -0.3);
+      ]
+  in
+  let plus2 = State.create ~n:2 in
+  Array.fill plus2.State.re 0 4 0.5;
+  let exact = Evolve.evolve ~h ~t:1.3 plus2 in
+  let trot = Trotter.evolve_first_order ~h ~t:1.3 ~steps:1 plus2 in
+  Alcotest.(check bool) "one step exact" true (State.equal ~tol:1e-6 exact trot)
+
+let test_trotter_converges () =
+  let h = ising2 in
+  let s0 = State.ground ~n:2 in
+  let e8 = Trotter.error_vs_exact ~h ~t:1.0 ~steps:8 ~order:`First s0 in
+  let e64 = Trotter.error_vs_exact ~h ~t:1.0 ~steps:64 ~order:`First s0 in
+  Alcotest.(check bool) "error decreases with steps" true (e64 < e8)
+
+let test_trotter_second_order_better () =
+  let h = ising2 in
+  let s0 = State.ground ~n:2 in
+  let e1 = Trotter.error_vs_exact ~h ~t:1.0 ~steps:16 ~order:`First s0 in
+  let e2 = Trotter.error_vs_exact ~h ~t:1.0 ~steps:16 ~order:`Second s0 in
+  Alcotest.(check bool) "strang beats lie" true (e2 < e1)
+
+let test_trotter_gate_count () =
+  let h = ising2 in
+  Alcotest.(check int) "first" 30 (Trotter.gate_count ~h ~steps:10 ~order:`First);
+  Alcotest.(check int) "second" 60 (Trotter.gate_count ~h ~steps:10 ~order:`Second)
+
+let test_trotter_preserves_norm () =
+  let s = Trotter.evolve_first_order ~h:ising2 ~t:3.0 ~steps:20 (State.ground ~n:2) in
+  check_close "norm" 1e-12 1.0 (State.norm s)
+
+let test_trotter_rejects_zero_steps () =
+  Alcotest.check_raises "steps" (Invalid_argument "Trotter: steps <= 0") (fun () ->
+      ignore (Trotter.evolve_first_order ~h:ising2 ~t:1.0 ~steps:0 (State.ground ~n:2)))
+
+(* ---- Entanglement ---- *)
+
+let bell () =
+  (* (|00> + |11>)/√2 *)
+  let s = State.create ~n:2 in
+  s.State.re.(0) <- 1.0 /. sqrt 2.0;
+  s.State.re.(3) <- 1.0 /. sqrt 2.0;
+  s
+
+let test_entropy_product_state () =
+  check_close "zero" 1e-9 0.0 (Entanglement.von_neumann_entropy (State.ground ~n:3) ~cut:1)
+
+let test_entropy_bell_pair () =
+  check_close "ln 2" 1e-9 (log 2.0) (Entanglement.von_neumann_entropy (bell ()) ~cut:1)
+
+let test_purity () =
+  check_close "product" 1e-9 1.0 (Entanglement.purity (State.ground ~n:2) ~cut:1);
+  check_close "bell" 1e-9 0.5 (Entanglement.purity (bell ()) ~cut:1)
+
+let test_reduced_density_trace () =
+  let s = Evolve.evolve ~h:ising2 ~t:1.0 (State.ground ~n:2) in
+  let rho = Entanglement.reduced_density s ~keep:1 in
+  let spectrum = Entanglement.eigen_spectrum rho in
+  check_close "trace 1" 1e-9 1.0 (Array.fold_left ( +. ) 0.0 spectrum);
+  Array.iter
+    (fun p -> Alcotest.(check bool) "PSD" true (p >= -1e-9))
+    spectrum
+
+let test_entropy_symmetric_under_cut () =
+  (* S_A = S_B for a pure state *)
+  let h =
+    Qturbo_models.Model.hamiltonian_at (Qturbo_models.Benchmarks.ising_chain ~n:4 ()) ~s:0.0
+  in
+  let s = Evolve.evolve ~h ~t:0.7 (State.ground ~n:4) in
+  check_close "S(1) = S(3)" 1e-6
+    (Entanglement.von_neumann_entropy s ~cut:1)
+    (Entanglement.von_neumann_entropy s ~cut:3)
+
+let test_entropy_bounds () =
+  let h =
+    Qturbo_models.Model.hamiltonian_at (Qturbo_models.Benchmarks.heisenberg_chain ~n:4 ()) ~s:0.0
+  in
+  let s = Evolve.evolve ~h ~t:2.0 (State.ground ~n:4) in
+  let ent = Entanglement.von_neumann_entropy s ~cut:2 in
+  Alcotest.(check bool) "0 <= S <= 2 ln 2" true (ent >= 0.0 && ent <= (2.0 *. log 2.0) +. 1e-9)
+
+(* ---- qcheck ---- *)
+
+let prop_eigen_trace_preserved =
+  QCheck.Test.make ~name:"eigenvalues sum to the trace" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.return 9) (float_range (-3.) 3.))
+    (fun xs ->
+      let a = Mat.init ~rows:3 ~cols:3 (fun i j -> List.nth xs ((3 * i) + j)) in
+      let sym = Mat.init ~rows:3 ~cols:3 (fun i j -> 0.5 *. (Mat.get a i j +. Mat.get a j i)) in
+      let { Eigen.eigenvalues; _ } = Eigen.symmetric sym in
+      let trace = Mat.get sym 0 0 +. Mat.get sym 1 1 +. Mat.get sym 2 2 in
+      Float.abs (Array.fold_left ( +. ) 0.0 eigenvalues -. trace) < 1e-8)
+
+let prop_trotter_error_order =
+  QCheck.Test.make ~name:"trotter error shrinks when steps double" ~count:20
+    QCheck.(float_range 0.3 1.5)
+    (fun t ->
+      let s0 = State.ground ~n:2 in
+      let e1 = Trotter.error_vs_exact ~h:ising2 ~t ~steps:16 ~order:`First s0 in
+      let e2 = Trotter.error_vs_exact ~h:ising2 ~t ~steps:32 ~order:`First s0 in
+      e2 <= e1 +. 1e-12)
+
+let () =
+  Alcotest.run "quantum_ext"
+    [
+      ( "eigen",
+        [
+          Alcotest.test_case "diagonal" `Quick test_eigen_diagonal;
+          Alcotest.test_case "2x2" `Quick test_eigen_2x2;
+          Alcotest.test_case "reconstruct" `Quick test_eigen_reconstruct;
+          Alcotest.test_case "orthonormal" `Quick test_eigen_orthonormal_vectors;
+          Alcotest.test_case "matrix functions" `Quick test_eigen_apply_function;
+          Alcotest.test_case "rectangular rejected" `Quick test_eigen_rejects_rectangular;
+        ] );
+      ( "dense_op",
+        [
+          Alcotest.test_case "matches fast apply" `Quick test_dense_matches_fast_apply;
+          Alcotest.test_case "hermitian" `Quick test_dense_hermitian;
+          Alcotest.test_case "X spectrum" `Quick test_dense_eigenvalues_single_qubit;
+          Alcotest.test_case "ZZ spectrum" `Quick test_dense_eigenvalues_zz;
+          Alcotest.test_case "exact vs RK4" `Quick test_exact_evolution_vs_rk4;
+          Alcotest.test_case "unitary" `Quick test_exact_evolution_unitary;
+          Alcotest.test_case "rabi closed form" `Quick test_exact_evolution_rabi;
+        ] );
+      ( "trotter",
+        [
+          Alcotest.test_case "commuting exact" `Quick test_trotter_exact_for_commuting;
+          Alcotest.test_case "converges" `Quick test_trotter_converges;
+          Alcotest.test_case "second order better" `Quick test_trotter_second_order_better;
+          Alcotest.test_case "gate count" `Quick test_trotter_gate_count;
+          Alcotest.test_case "norm preserved" `Quick test_trotter_preserves_norm;
+          Alcotest.test_case "zero steps rejected" `Quick test_trotter_rejects_zero_steps;
+        ] );
+      ( "entanglement",
+        [
+          Alcotest.test_case "product state" `Quick test_entropy_product_state;
+          Alcotest.test_case "bell pair" `Quick test_entropy_bell_pair;
+          Alcotest.test_case "purity" `Quick test_purity;
+          Alcotest.test_case "density trace" `Quick test_reduced_density_trace;
+          Alcotest.test_case "cut symmetry" `Quick test_entropy_symmetric_under_cut;
+          Alcotest.test_case "entropy bounds" `Quick test_entropy_bounds;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_eigen_trace_preserved; prop_trotter_error_order ] );
+    ]

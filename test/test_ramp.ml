@@ -1,0 +1,200 @@
+(* Tests for the hardware ramping post-pass and the 2-D lattice model. *)
+
+open Qturbo_aais
+open Qturbo_core
+
+let check_close msg tol a b =
+  if Float.abs (a -. b) > tol then Alcotest.failf "%s: %.10g vs %.10g" msg a b
+
+let compiled_pulse ?(n = 3) () =
+  let ryd = Rydberg.build ~spec:Device.aquila_paper ~n in
+  let target =
+    Qturbo_pauli.Pauli_sum.drop_identity
+      (Qturbo_models.Model.hamiltonian_at
+         (Qturbo_models.Benchmarks.ising_chain ~n ())
+         ~s:0.0)
+  in
+  let r = Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 () in
+  ( target,
+    Extract.rydberg_pulse ryd ~env:r.Compiler.env ~t_sim:r.Compiler.t_sim )
+
+let test_ramp_preserves_area () =
+  let _, pulse = compiled_pulse () in
+  let ramped = Ramp.apply pulse in
+  let a = Ramp.omega_area pulse and b = Ramp.omega_area ramped in
+  Array.iteri (fun i x -> check_close "area" 1e-9 x b.(i)) a
+
+let test_ramp_admissibility () =
+  let _, pulse = compiled_pulse () in
+  Alcotest.(check bool) "rectangle inadmissible" false (Ramp.ramp_admissible pulse);
+  Alcotest.(check bool) "ramped admissible" true
+    (Ramp.ramp_admissible (Ramp.apply pulse))
+
+let test_ramp_respects_omega_max () =
+  let _, pulse = compiled_pulse () in
+  let ramped = Ramp.apply pulse in
+  List.iter
+    (fun (s : Pulse.rydberg_segment) ->
+      Array.iter
+        (fun w ->
+          if w > pulse.Pulse.spec.Device.omega_max +. 1e-9 then
+            Alcotest.fail "amplitude limit violated")
+        s.Pulse.omega)
+    ramped.Pulse.segments
+
+let test_ramp_duration_growth_bounded () =
+  (* with a slew-feasible ramp time, clamped segments stretch by at most
+     one ramp_time each *)
+  let _, pulse = compiled_pulse () in
+  let options = { Ramp.default_options with Ramp.ramp_time = 0.06 } in
+  let ramped = Ramp.apply ~options pulse in
+  let t0 = Pulse.rydberg_duration pulse in
+  let t1 = Pulse.rydberg_duration ramped in
+  Alcotest.(check bool) "bounded growth" true
+    (t1 >= t0 -. 1e-9
+    && t1
+       <= t0
+          +. (options.Ramp.ramp_time
+             *. float_of_int (List.length pulse.Pulse.segments))
+          +. 1e-9)
+
+let test_ramp_detuning_integral_preserved () =
+  let _, pulse = compiled_pulse () in
+  let integral (p : Pulse.rydberg) =
+    List.fold_left
+      (fun acc (s : Pulse.rydberg_segment) ->
+        acc +. (s.Pulse.delta.(0) *. s.Pulse.duration))
+      0.0 p.Pulse.segments
+  in
+  check_close "delta integral" 1e-9 (integral pulse) (integral (Ramp.apply pulse))
+
+let test_ramp_dynamics_close () =
+  (* the ramped pulse should implement nearly the same unitary when the
+     ramps are short compared with the hold; lift the slew budget so a
+     10 ns ramp is allowed *)
+  let target, pulse = compiled_pulse () in
+  let pulse =
+    {
+      pulse with
+      Pulse.spec = { pulse.Pulse.spec with Device.omega_slew_max = infinity };
+    }
+  in
+  let options = { Ramp.ramp_time = 0.01; steps_per_ramp = 6 } in
+  let ramped = Ramp.apply ~options pulse in
+  let ground = Qturbo_quantum.State.ground ~n:3 in
+  let reference =
+    Qturbo_quantum.Evolve.evolve
+      ~h:(Qturbo_pauli.Pauli_sum.drop_identity target)
+      ~t:1.0 ground
+  in
+  let f pulse =
+    Qturbo_quantum.State.fidelity reference
+      (Qturbo_quantum.Evolve.evolve_piecewise
+         ~segments:(Pulse.rydberg_segment_hamiltonians pulse)
+         ground)
+  in
+  Alcotest.(check bool) "high fidelity after ramping" true (f ramped > 0.99)
+
+let test_ramp_zero_pulse_untouched () =
+  let spec = Device.aquila_paper in
+  let silent =
+    {
+      Pulse.spec;
+      positions = [| (0.0, 0.0); (9.0, 0.0) |];
+      segments =
+        [ { Pulse.duration = 1.0; omega = [| 0.0; 0.0 |]; phi = [| 0.0; 0.0 |]; delta = [| 1.0; 1.0 |] } ];
+    }
+  in
+  let ramped = Ramp.apply silent in
+  Alcotest.(check int) "single segment kept" 1 (List.length ramped.Pulse.segments);
+  Alcotest.(check bool) "admissible (no drive)" true (Ramp.ramp_admissible silent)
+
+let test_ramp_satisfies_slew_limit () =
+  let _, pulse = compiled_pulse () in
+  (* the ramp slope is peak/ramp_time = 2.5/0.05 = 50, exactly the
+     aquila_paper slew budget *)
+  let ramped = Ramp.apply pulse in
+  Alcotest.(check (list string)) "ramped passes" [] (Pulse.slew_violations ramped)
+
+let test_slew_detects_abrupt_transition () =
+  let spec = Device.aquila_paper in
+  let seg omega duration =
+    { Pulse.duration; omega = [| omega |]; phi = [| 0.0 |]; delta = [| 0.0 |] }
+  in
+  let abrupt =
+    {
+      Pulse.spec;
+      positions = [| (0.0, 0.0) |];
+      (* 2.5-amplitude jump across a 10 ns boundary: slew 250 >> 50 *)
+      segments = [ seg 0.0 0.01; seg 2.5 0.01 ];
+    }
+  in
+  Alcotest.(check bool) "violation reported" true
+    (Pulse.slew_violations abrupt <> [])
+
+let test_ramp_validates_options () =
+  let _, pulse = compiled_pulse () in
+  Alcotest.check_raises "ramp_time" (Invalid_argument "Ramp.apply: ramp_time <= 0")
+    (fun () ->
+      ignore (Ramp.apply ~options:{ Ramp.ramp_time = 0.0; steps_per_ramp = 4 } pulse))
+
+(* ---- 2-D lattice model ---- *)
+
+let test_grid_structure () =
+  let m = Qturbo_models.Benchmarks.ising_grid ~rows:2 ~cols:3 () in
+  let h = Qturbo_models.Model.hamiltonian_at m ~s:0.0 in
+  (* bonds: 2 rows x 2 horizontal + 3 vertical = 7; fields: 6 *)
+  Alcotest.(check int) "terms" 13 (Qturbo_pauli.Pauli_sum.term_count h);
+  let zz i j = Qturbo_pauli.Pauli_string.two i Qturbo_pauli.Pauli.Z j Qturbo_pauli.Pauli.Z in
+  Alcotest.(check (float 1e-12)) "horizontal bond" 1.0 (Qturbo_pauli.Pauli_sum.coeff h (zz 0 1));
+  Alcotest.(check (float 1e-12)) "vertical bond" 1.0 (Qturbo_pauli.Pauli_sum.coeff h (zz 1 4));
+  Alcotest.(check (float 1e-12)) "no diagonal" 0.0 (Qturbo_pauli.Pauli_sum.coeff h (zz 0 4))
+
+let test_grid_by_name () =
+  let m = Qturbo_models.Benchmarks.by_name ~name:"ising-grid" ~n:9 in
+  Alcotest.(check int) "3x3" 9 m.Qturbo_models.Model.n;
+  Alcotest.check_raises "non-square"
+    (Invalid_argument "Benchmarks.by_name: ising-grid needs a square qubit count")
+    (fun () -> ignore (Qturbo_models.Benchmarks.by_name ~name:"ising-grid" ~n:8))
+
+let test_grid_compiles_on_planar_rydberg () =
+  let m = Qturbo_models.Benchmarks.ising_grid ~rows:2 ~cols:2 () in
+  let target =
+    Qturbo_pauli.Pauli_sum.drop_identity (Qturbo_models.Model.hamiltonian_at m ~s:0.0)
+  in
+  let spec =
+    Device.with_geometry Device.Plane
+      { Device.aquila_paper with Device.max_extent = 2000.0 }
+  in
+  let ryd = Rydberg.build ~spec ~n:4 in
+  let r = Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 () in
+  (* a 2x2 grid is a 4-cycle: planar layout realises it well; the
+     diagonal tails are the residual error *)
+  Alcotest.(check bool) "compiles accurately" true (r.Compiler.relative_error < 5.0)
+
+let () =
+  Alcotest.run "ramp_grid"
+    [
+      ( "ramp",
+        [
+          Alcotest.test_case "area preserved" `Quick test_ramp_preserves_area;
+          Alcotest.test_case "admissibility" `Quick test_ramp_admissibility;
+          Alcotest.test_case "amplitude limit" `Quick test_ramp_respects_omega_max;
+          Alcotest.test_case "duration growth bounded" `Quick
+            test_ramp_duration_growth_bounded;
+          Alcotest.test_case "detuning integral" `Quick
+            test_ramp_detuning_integral_preserved;
+          Alcotest.test_case "dynamics close" `Quick test_ramp_dynamics_close;
+          Alcotest.test_case "zero pulse" `Quick test_ramp_zero_pulse_untouched;
+          Alcotest.test_case "slew limit satisfied" `Quick test_ramp_satisfies_slew_limit;
+          Alcotest.test_case "slew detects abrupt jump" `Quick
+            test_slew_detects_abrupt_transition;
+          Alcotest.test_case "option validation" `Quick test_ramp_validates_options;
+        ] );
+      ( "ising_grid",
+        [
+          Alcotest.test_case "structure" `Quick test_grid_structure;
+          Alcotest.test_case "by_name" `Quick test_grid_by_name;
+          Alcotest.test_case "planar compile" `Quick test_grid_compiles_on_planar_rydberg;
+        ] );
+    ]

@@ -1,0 +1,209 @@
+(* Tests for the SimuQ-style baseline: the global mixed system and the
+   multistart compiler, plus the qualitative comparisons the paper makes. *)
+
+open Qturbo_aais
+open Qturbo_simuq
+
+let check_close msg tol a b =
+  if Float.abs (a -. b) > tol then Alcotest.failf "%s: %.10g vs %.10g" msg a b
+
+let ising_chain n =
+  Qturbo_models.Model.hamiltonian_at (Qturbo_models.Benchmarks.ising_chain ~n ()) ~s:0.0
+
+let rydberg n = Rydberg.build ~spec:Device.aquila_paper ~n
+
+(* ---- Global_system ---- *)
+
+let test_global_system_shape () =
+  let ryd = rydberg 3 in
+  let sys = Global_system.build ~aais:ryd.Rydberg.aais ~target:(ising_chain 3) ~t_tar:1.0 in
+  (* 12 variables + T *)
+  Alcotest.(check int) "continuous unknowns" 13 (Global_system.n_continuous sys);
+  Alcotest.(check int) "instructions" 9 (Global_system.n_instructions sys)
+
+let test_global_system_residual_at_known_solution () =
+  (* feed the paper's worked solution: the residual must be tiny *)
+  let ryd = rydberg 3 in
+  let sys = Global_system.build ~aais:ryd.Rydberg.aais ~target:(ising_chain 3) ~t_tar:1.0 in
+  let x = Array.make 13 0.0 in
+  let set (v : Variable.t) value = x.(v.Variable.id) <- value in
+  set ryd.Rydberg.xs.(0) 0.0;
+  set ryd.Rydberg.xs.(1) 7.4614;
+  set ryd.Rydberg.xs.(2) 14.9229;
+  Array.iteri (fun i v -> set v (if i = 1 then 5.0 else 2.5)) ryd.Rydberg.deltas;
+  Array.iter (fun v -> set v 2.5) ryd.Rydberg.omegas;
+  Array.iter (fun v -> set v 0.0) ryd.Rydberg.phis;
+  x.(12) <- 0.8;
+  let indicators = Array.make 9 true in
+  let err = Global_system.error_l1 sys ~indicators x in
+  Alcotest.(check bool) "small residual at paper solution" true (err < 0.1)
+
+let test_global_system_indicators_gate_channels () =
+  let ryd = rydberg 3 in
+  let sys = Global_system.build ~aais:ryd.Rydberg.aais ~target:(ising_chain 3) ~t_tar:1.0 in
+  let x = Array.make 13 1.0 in
+  x.(12) <- 0.5;
+  let all_on = Array.make 9 true in
+  let all_off = Array.make 9 false in
+  let err_off = Global_system.error_l1 sys ~indicators:all_off x in
+  (* with everything off B_sim = 0 and the error equals ||B_tar||₁ *)
+  check_close "all-off error = ||B||" 1e-9 (Global_system.b_norm1 sys) err_off;
+  Alcotest.(check bool) "on differs" true
+    (Global_system.error_l1 sys ~indicators:all_on x <> err_off)
+
+let test_global_system_split () =
+  let ryd = rydberg 3 in
+  let sys = Global_system.build ~aais:ryd.Rydberg.aais ~target:(ising_chain 3) ~t_tar:1.0 in
+  let x = Array.init 13 float_of_int in
+  let env, t = Global_system.split sys x in
+  Alcotest.(check int) "env size" 12 (Array.length env);
+  check_close "t" 1e-12 12.0 t
+
+let test_initial_guess_within_bounds () =
+  let ryd = rydberg 4 in
+  let sys = Global_system.build ~aais:ryd.Rydberg.aais ~target:(ising_chain 4) ~t_tar:1.0 in
+  let rng = Qturbo_util.Rng.create ~seed:1L in
+  let bounds = Global_system.bounds sys ~t_max:10.0 in
+  for _ = 1 to 50 do
+    let x = Global_system.initial_guess sys ~rng ~t_max:10.0 in
+    Array.iteri
+      (fun i b ->
+        if i < Array.length x - 1 then
+          (* positions may be jittered slightly outside, the solver clamps *)
+          ignore b
+        else if x.(i) < 1e-4 || x.(i) > 10.0 then Alcotest.fail "T out of window")
+      bounds
+  done
+
+(* ---- Simuq_compiler ---- *)
+
+let quick_options =
+  {
+    Simuq_compiler.default_options with
+    Simuq_compiler.starts = 6;
+    time_budget_seconds = 30.0;
+  }
+
+let test_baseline_compiles_small_chain () =
+  let ryd = rydberg 3 in
+  let r =
+    Simuq_compiler.compile ~options:quick_options ~aais:ryd.Rydberg.aais
+      ~target:(ising_chain 3) ~t_tar:1.0 ()
+  in
+  Alcotest.(check bool) "success" true r.Simuq_compiler.success;
+  Alcotest.(check bool) "error within tolerance" true
+    (r.Simuq_compiler.relative_error <= 2.0 +. 1e-9);
+  Alcotest.(check bool) "feasible T" true
+    (r.Simuq_compiler.t_sim > 0.0 && r.Simuq_compiler.t_sim <= 10.0)
+
+let test_baseline_t_suboptimal () =
+  (* the baseline lands on a feasible T, essentially never the 0.8 µs
+     bottleneck optimum *)
+  let ryd = rydberg 3 in
+  let r =
+    Simuq_compiler.compile ~options:quick_options ~aais:ryd.Rydberg.aais
+      ~target:(ising_chain 3) ~t_tar:1.0 ()
+  in
+  Alcotest.(check bool) "worse than the optimum" true
+    (r.Simuq_compiler.t_sim > 0.8 +. 0.05)
+
+let test_baseline_deterministic_given_seed () =
+  let ryd = rydberg 3 in
+  let run () =
+    Simuq_compiler.compile ~options:quick_options ~aais:ryd.Rydberg.aais
+      ~target:(ising_chain 3) ~t_tar:1.0 ()
+  in
+  let a = run () and b = run () in
+  check_close "same T" 1e-12 a.Simuq_compiler.t_sim b.Simuq_compiler.t_sim;
+  check_close "same error" 1e-12 a.Simuq_compiler.error_l1 b.Simuq_compiler.error_l1
+
+let test_baseline_seed_changes_result () =
+  let ryd = rydberg 3 in
+  let run seed =
+    Simuq_compiler.compile
+      ~options:{ quick_options with Simuq_compiler.seed }
+      ~aais:ryd.Rydberg.aais ~target:(ising_chain 3) ~t_tar:1.0 ()
+  in
+  let a = run 1L and b = run 2L in
+  (* non-determinism across solver conditions, §3 of the paper *)
+  Alcotest.(check bool) "different T" true
+    (Float.abs (a.Simuq_compiler.t_sim -. b.Simuq_compiler.t_sim) > 1e-6)
+
+let test_baseline_fails_on_impossible_budget () =
+  let ryd = rydberg 3 in
+  let options =
+    {
+      quick_options with
+      Simuq_compiler.accept_relative_error = 1e-9;
+      starts = 2;
+      max_evaluations_per_start = 50;
+    }
+  in
+  let r =
+    Simuq_compiler.compile ~options ~aais:ryd.Rydberg.aais
+      ~target:(ising_chain 3) ~t_tar:1.0 ()
+  in
+  Alcotest.(check bool) "fails" false r.Simuq_compiler.success
+
+let test_baseline_slower_than_qturbo () =
+  (* the headline comparison at a small but nontrivial size *)
+  let spec = { Device.aquila_paper with Device.max_extent = 1e6 } in
+  let ryd = Rydberg.build ~spec ~n:13 in
+  let target = ising_chain 13 in
+  let t0 = Sys.time () in
+  let q = Qturbo_core.Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 () in
+  let t_q = Sys.time () -. t0 in
+  let t0 = Sys.time () in
+  let s =
+    Simuq_compiler.compile ~options:quick_options ~aais:ryd.Rydberg.aais ~target
+      ~t_tar:1.0 ()
+  in
+  let t_s = Sys.time () -. t0 in
+  Alcotest.(check bool) "baseline succeeded" true s.Simuq_compiler.success;
+  Alcotest.(check bool) "qturbo faster" true (t_q < t_s);
+  Alcotest.(check bool) "qturbo shorter pulse" true
+    (q.Qturbo_core.Compiler.t_sim <= s.Simuq_compiler.t_sim);
+  Alcotest.(check bool) "qturbo at least as accurate" true
+    (q.Qturbo_core.Compiler.relative_error
+    <= s.Simuq_compiler.relative_error +. 1e-9)
+
+let test_baseline_heisenberg () =
+  let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n:4 in
+  let target = ising_chain 4 in
+  let r =
+    Simuq_compiler.compile ~options:quick_options ~aais:heis.Heisenberg.aais
+      ~target ~t_tar:1.0 ()
+  in
+  Alcotest.(check bool) "success" true r.Simuq_compiler.success;
+  (* QTurbo is exact here; the baseline is merely within tolerance *)
+  let q = Qturbo_core.Compiler.compile ~aais:heis.Heisenberg.aais ~target ~t_tar:1.0 () in
+  Alcotest.(check bool) "qturbo exact, baseline not" true
+    (q.Qturbo_core.Compiler.error_l1 < 1e-9
+    && r.Simuq_compiler.error_l1 > q.Qturbo_core.Compiler.error_l1)
+
+let () =
+  Alcotest.run "simuq"
+    [
+      ( "global_system",
+        [
+          Alcotest.test_case "shape" `Quick test_global_system_shape;
+          Alcotest.test_case "paper solution residual" `Quick
+            test_global_system_residual_at_known_solution;
+          Alcotest.test_case "indicators gate channels" `Quick
+            test_global_system_indicators_gate_channels;
+          Alcotest.test_case "split" `Quick test_global_system_split;
+          Alcotest.test_case "initial guess" `Quick test_initial_guess_within_bounds;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "compiles small chain" `Quick test_baseline_compiles_small_chain;
+          Alcotest.test_case "suboptimal T" `Quick test_baseline_t_suboptimal;
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_baseline_deterministic_given_seed;
+          Alcotest.test_case "seed sensitivity" `Quick test_baseline_seed_changes_result;
+          Alcotest.test_case "fails on impossible budget" `Quick
+            test_baseline_fails_on_impossible_budget;
+          Alcotest.test_case "headline comparison" `Slow test_baseline_slower_than_qturbo;
+          Alcotest.test_case "heisenberg" `Quick test_baseline_heisenberg;
+        ] );
+    ]
