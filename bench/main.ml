@@ -540,6 +540,70 @@ let ablations () =
     t
 
 (* ------------------------------------------------------------------ *)
+(* Overhead of the pre-solve static analyzer (qturbo.analysis)          *)
+
+(* The analyzer runs as a fail-fast precheck inside every compile, where
+   it reuses the linear system and locality decomposition the pipeline
+   builds anyway; [Compiler.diagnostics_of] is exactly that marginal
+   work.  Measured against the end-to-end compile on the Fig. 3
+   Ising-cycle sweep.  [analyze(s)] is the standalone entry point
+   ([qturbo check]), which also rebuilds the system. *)
+let analysis () =
+  let name = "ising-cycle" in
+  let reps = 5 in
+  let best f =
+    let rec go i acc =
+      if i = 0 then acc
+      else
+        let s, _ = time_run f in
+        go (i - 1) (Float.min acc s)
+    in
+    go reps Float.infinity
+  in
+  let t =
+    Table_fmt.create
+      ~header:[ "n"; "analyze(s)"; "precheck(s)"; "compile(s)"; "overhead%" ]
+  in
+  List.iter
+    (fun n ->
+      let n = Int.max n (min_size name) in
+      progress "analysis overhead: n = %d" n;
+      let ryd = rydberg_for name n in
+      let aais = ryd.Rydberg.aais in
+      let target = static_target name n in
+      let channels = Qturbo_aais.Aais.channels aais in
+      let n_vars = Array.length (Qturbo_aais.Aais.variables aais) in
+      let analyze_s =
+        best (fun () -> Qturbo_core.Compiler.analyze ~aais ~target ~t_tar:1.0 ())
+      in
+      (* what the precheck adds inside compile, which builds ls/comps anyway *)
+      let ls = Qturbo_core.Linear_system.build ~channels ~target ~t_tar:1.0 in
+      let comps = Qturbo_core.Locality.decompose ~channels ~n_vars in
+      let precheck_s =
+        best (fun () ->
+            Qturbo_core.Compiler.diagnostics_of ~aais ~target ~t_tar:1.0 ~ls
+              ~comps ())
+      in
+      let compile_s =
+        best (fun () ->
+            Qturbo_core.Compiler.compile ~aais ~target ~t_tar:1.0 ())
+      in
+      Table_fmt.add_row t
+        [
+          string_of_int n;
+          Table_fmt.cell_of_float analyze_s;
+          Table_fmt.cell_of_float precheck_s;
+          Table_fmt.cell_of_float compile_s;
+          Table_fmt.cell_of_float
+            (100.0 *. precheck_s /. Float.max 1e-9 compile_s);
+        ])
+    (sweep_sizes ());
+  Table_fmt.print
+    ~title:"Static-analysis overhead (Ising cycle, best of 5; overhead% = \
+            precheck passes vs full compile, which shares the system build)"
+    t
+
+(* ------------------------------------------------------------------ *)
 (* Extensions beyond the paper's evaluation                            *)
 
 (* error vs noise magnitude: how fast each compiler's pulse degrades as
@@ -919,6 +983,7 @@ let experiments =
     ("fig6a", fig6a);
     ("fig6b", fig6b);
     ("ablations", ablations);
+    ("analysis", analysis);
     ("ext-noise", ext_noise);
     ("ext-markovian", ext_markovian);
     ("ext-digital", ext_digital);

@@ -7,6 +7,8 @@
      qturbo compile --model heis-chain -n 8 --backend heisenberg
      qturbo compile --model mis-chain -n 5 --segments 4
      qturbo compile --model ising-chain -n 8 --baseline
+     qturbo check --model ising-cycle -n 5 --backend heisenberg
+     qturbo check --hamiltonian '-1.0*Z0 Z1' --json
      qturbo models
      qturbo devices *)
 
@@ -45,6 +47,35 @@ let build_model ~name ~n ~j ~h =
       Qturbo_models.Benchmarks.ising_grid ?j ?h ~rows:side ~cols:side ()
   | other -> invalid_arg ("unknown model: " ^ other)
 
+let resolve_model ~hamiltonian ~model_name ~n ~j ~h =
+  let j = if j = 0.0 then None else Some j in
+  let h = if h = 0.0 then None else Some h in
+  match (hamiltonian, model_name) with
+  | Some text, _ ->
+      (* the register size is exactly what the expression touches *)
+      let sum = Qturbo_pauli.Pauli_parse.parse_exn text in
+      Qturbo_models.Model.static ~name:"custom"
+        ~n:(Qturbo_pauli.Pauli_sum.n_qubits sum)
+        sum
+  | None, Some name -> build_model ~name ~n ~j ~h
+  | None, None -> failwith "provide either --model or --hamiltonian"
+
+let resolve_rydberg_spec ~device_name ~n ~model_name =
+  let spec =
+    match List.assoc_opt device_name device_presets with
+    | Some s -> s
+    | None -> failwith ("unknown device: " ^ device_name)
+  in
+  (* widen the window for scaling studies beyond the physical chip *)
+  let spec =
+    if n > 16 then { spec with Device.max_extent = 2000.0 } else spec
+  in
+  (* cycle and lattice couplings need planar atom layouts *)
+  match model_name with
+  | "ising-cycle" | "ising-cycle+" | "ising-grid" ->
+      Device.with_geometry Device.Plane spec
+  | _ -> spec
+
 let print_compile_result ~(ryd : Rydberg.t option) ~show_pulse ~ramp
     (r : Qturbo_core.Compiler.result) =
   Printf.printf "compiled in %.2f ms\n" (1000.0 *. r.Qturbo_core.Compiler.compile_seconds);
@@ -80,24 +111,13 @@ let user_errors f =
       2
 
 let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
-    baseline no_refine no_time_opt show_pulse ramp verbose =
+    baseline no_refine no_time_opt show_pulse ramp json verbose =
  user_errors @@ fun () ->
   setup_logging verbose;
-  let j = if j = 0.0 then None else Some j in
-  let h = if h = 0.0 then None else Some h in
-  let model =
-    match (hamiltonian, model_name) with
-    | Some text, _ ->
-        (* the register size is exactly what the expression touches *)
-        let sum = Qturbo_pauli.Pauli_parse.parse_exn text in
-        Qturbo_models.Model.static ~name:"custom"
-          ~n:(Qturbo_pauli.Pauli_sum.n_qubits sum)
-          sum
-    | None, Some name -> build_model ~name ~n ~j ~h
-    | None, None ->
-        failwith "provide either --model or --hamiltonian"
-  in
+  let model = resolve_model ~hamiltonian ~model_name ~n ~j ~h in
   let n = model.Qturbo_models.Model.n in
+  if json && (baseline || Qturbo_models.Model.is_driven model) then
+    failwith "--json reports are only available for static qturbo compiles";
   let options =
     {
       Qturbo_core.Compiler.default_options with
@@ -127,27 +147,21 @@ let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
         0
       end
       else begin
-        print_compile_result ~ryd:None ~show_pulse ~ramp
-          (Qturbo_core.Compiler.compile ~options ~aais:heis.Heisenberg.aais
-             ~target ~t_tar ());
+        let r =
+          Qturbo_core.Compiler.compile ~options ~aais:heis.Heisenberg.aais
+            ~target ~t_tar ()
+        in
+        if json then
+          print_endline
+            (Qturbo_core.Verifier.report_to_json
+               (Qturbo_core.Verifier.verify_heisenberg heis ~target ~t_tar r))
+        else print_compile_result ~ryd:None ~show_pulse ~ramp r;
         0
       end
   | "rydberg" ->
       let spec =
-        match List.assoc_opt device_name device_presets with
-        | Some s -> s
-        | None -> failwith ("unknown device: " ^ device_name)
-      in
-      (* widen the window for scaling studies beyond the physical chip *)
-      let spec =
-        if n > 16 then { spec with Device.max_extent = 2000.0 } else spec
-      in
-      (* cycle and lattice couplings need planar atom layouts *)
-      let spec =
-        match model.Qturbo_models.Model.name with
-        | "ising-cycle" | "ising-cycle+" | "ising-grid" ->
-            Device.with_geometry Device.Plane spec
-        | _ -> spec
+        resolve_rydberg_spec ~device_name ~n
+          ~model_name:model.Qturbo_models.Model.name
       in
       let ryd = Rydberg.build ~spec ~n in
       if Qturbo_models.Model.is_driven model then begin
@@ -185,9 +199,15 @@ let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
           0
         end
         else begin
-          print_compile_result ~ryd:(Some ryd) ~show_pulse ~ramp
-            (Qturbo_core.Compiler.compile ~options ~aais:ryd.Rydberg.aais
-               ~target ~t_tar ());
+          let r =
+            Qturbo_core.Compiler.compile ~options ~aais:ryd.Rydberg.aais
+              ~target ~t_tar ()
+          in
+          if json then
+            print_endline
+              (Qturbo_core.Verifier.report_to_json
+                 (Qturbo_core.Verifier.verify_rydberg ryd ~target ~t_tar r))
+          else print_compile_result ~ryd:(Some ryd) ~show_pulse ~ramp r;
           0
         end
       end
@@ -261,14 +281,112 @@ let ramp_flag =
 let verbose_flag =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log the compiler's pipeline stages.")
 
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit a machine-readable JSON report instead of text.")
+
 let compile_term =
   Term.(
     const compile_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg $ device_arg $ t_tar_arg
     $ j_arg $ h_arg $ segments_arg $ baseline_flag $ no_refine_flag
-    $ no_time_opt_flag $ show_pulse_flag $ ramp_flag $ verbose_flag)
+    $ no_time_opt_flag $ show_pulse_flag $ ramp_flag $ json_flag $ verbose_flag)
 
 let compile_info =
   Cmd.info "compile" ~doc:"Compile a benchmark Hamiltonian onto an analog device."
+
+(* ---- check: the pre-solve static analyzer, no compilation ---- *)
+
+(* Test aid: append an effectless channel (with its own fresh variable) to
+   the AAIS, the canonical dangling-synthesized-variable defect.  No
+   built-in backend has one, so [qturbo check --inject dangling-channel]
+   is the only way to see QT005 from the command line. *)
+let inject_dangling (aais : Aais.t) =
+  let v =
+    Variable.fresh aais.Aais.pool ~name:"dangling"
+      ~kind:Variable.Runtime_dynamic ~lo:0.0 ~hi:1.0 ()
+  in
+  let ch =
+    Instruction.channel ~cid:(Aais.channel_count aais) ~label:"dangling"
+      ~expr:(Expr.var v) ~effects:[] ~hint:Instruction.Hint_generic
+  in
+  let instr = Instruction.make ~label:"dangling" ~channels:[ ch ] in
+  Aais.make
+    ~name:(aais.Aais.name ^ "+dangling")
+    ~n_qubits:aais.Aais.n_qubits ~pool:aais.Aais.pool
+    ~instructions:(aais.Aais.instructions @ [ instr ])
+    ~check_fixed:aais.Aais.check_fixed ()
+
+let check_cmd model_name hamiltonian n backend device_name t_tar j h inject
+    json verbose =
+ user_errors @@ fun () ->
+  setup_logging verbose;
+  let module D = Qturbo_analysis.Diagnostic in
+  let model = resolve_model ~hamiltonian ~model_name ~n ~j ~h in
+  let n = model.Qturbo_models.Model.n in
+  let aais, t_max, spec_diags =
+    match backend with
+    | "heisenberg" ->
+        let spec = Device.heisenberg_default in
+        let heis = Heisenberg.build ~spec ~n in
+        ( heis.Heisenberg.aais,
+          spec.Device.max_time,
+          Qturbo_analysis.Device_check.heisenberg_spec spec )
+    | "rydberg" ->
+        let spec =
+          resolve_rydberg_spec ~device_name ~n
+            ~model_name:model.Qturbo_models.Model.name
+        in
+        let ryd = Rydberg.build ~spec ~n in
+        ( ryd.Rydberg.aais,
+          spec.Device.max_time,
+          Qturbo_analysis.Device_check.rydberg_spec spec )
+    | other -> failwith ("unknown backend " ^ other ^ " (rydberg | heisenberg)")
+  in
+  let aais =
+    match inject with
+    | None -> aais
+    | Some "dangling-channel" -> inject_dangling aais
+    | Some other -> failwith ("unknown injection: " ^ other)
+  in
+  let target =
+    Qturbo_pauli.Pauli_sum.drop_identity
+      (Qturbo_models.Model.hamiltonian_at model ~s:0.0)
+  in
+  let diags =
+    spec_diags @ Qturbo_core.Compiler.analyze ~t_max ~aais ~target ~t_tar ()
+  in
+  if json then print_endline (D.list_to_json diags)
+  else begin
+    List.iter (fun d -> print_endline (D.to_string d)) diags;
+    Printf.printf "%d error(s), %d warning(s)\n"
+      (List.length (D.errors diags))
+      (List.length (D.warnings diags))
+  end;
+  if D.has_errors diags then 1 else 0
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"DEFECT"
+        ~doc:
+          "Seed a known defect before analyzing (test aid); currently only \
+           $(b,dangling-channel).")
+
+let check_term =
+  Term.(
+    const check_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg
+    $ device_arg $ t_tar_arg $ j_arg $ h_arg $ inject_arg $ json_flag
+    $ verbose_flag)
+
+let check_info =
+  Cmd.info "check"
+    ~doc:
+      "Statically analyze a Hamiltonian against a device without \
+       compiling.  Exits non-zero when error-severity diagnostics are \
+       found."
 
 (* ---- run: compile + emulate ---- *)
 
@@ -375,6 +493,7 @@ let main () =
          ~doc:"A robust and efficient compiler for analog quantum simulation.")
       [
         Cmd.v compile_info compile_term;
+        Cmd.v check_info check_term;
         Cmd.v run_info run_term;
         Cmd.v (Cmd.info "models" ~doc:"List benchmark models.") Term.(const models_cmd $ const ());
         Cmd.v (Cmd.info "devices" ~doc:"List device presets.") Term.(const devices_cmd $ const ());

@@ -21,6 +21,20 @@ let neg a = Neg a
 let sin_ a = Sin a
 let cos_ a = Cos a
 
+(* binary exponentiation, shared by [eval] and the interval evaluator so
+   interval endpoints reproduce [eval]'s rounding exactly *)
+let int_pow_nonneg x n =
+  let rec go acc base n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (Stdlib.( *. ) acc base) (Stdlib.( *. ) base base) (n asr 1)
+    else go acc (Stdlib.( *. ) base base) (n asr 1)
+  in
+  go 1.0 x n
+
+let int_pow x n =
+  if n >= 0 then int_pow_nonneg x n
+  else Stdlib.( /. ) 1.0 (int_pow_nonneg x (Stdlib.( ~- ) n))
+
 let rec eval e ~env =
   match e with
   | Const x -> x
@@ -30,14 +44,7 @@ let rec eval e ~env =
   | Sub (a, b) -> Stdlib.( -. ) (eval a ~env) (eval b ~env)
   | Mul (a, b) -> Stdlib.( *. ) (eval a ~env) (eval b ~env)
   | Div (a, b) -> Stdlib.( /. ) (eval a ~env) (eval b ~env)
-  | Pow_int (a, n) ->
-      let x = eval a ~env in
-      let rec go acc base n =
-        if n = 0 then acc
-        else if n land 1 = 1 then go (Stdlib.( *. ) acc base) (Stdlib.( *. ) base base) (n asr 1)
-        else go acc (Stdlib.( *. ) base base) (n asr 1)
-      in
-      if n >= 0 then go 1.0 x n else Stdlib.( /. ) 1.0 (go 1.0 x (Stdlib.( ~- ) n))
+  | Pow_int (a, n) -> int_pow (eval a ~env) n
   | Sin a -> Stdlib.sin (eval a ~env)
   | Cos a -> Stdlib.cos (eval a ~env)
 
@@ -127,6 +134,124 @@ let is_linear_in e id =
   | Const _ | Var _ | Neg _ | Add _ | Sub _ | Mul _ | Div _ | Pow_int _ | Sin _
   | Cos _ ->
       None
+
+(* ---- interval evaluation ------------------------------------------- *)
+
+(* A closed interval [lo, hi] with possibly infinite endpoints.  The
+   arithmetic is conservative: results always enclose the image of the
+   true function over the inputs, widening to the whole line whenever a
+   tighter enclosure would require case analysis we cannot justify
+   (division through zero, indeterminate endpoint products). *)
+
+let whole = (neg_infinity, infinity)
+
+(* an endpoint combination that produced NaN (inf - inf, 0 * inf after
+   IEEE, ...) carries no information: widen to the whole line *)
+let norm ((lo, hi) as i) =
+  if Float.is_nan lo || Float.is_nan hi then whole else i
+
+(* endpoint product with the 0 * inf = 0 convention: an infinite endpoint
+   encodes an unbounded direction, and scaling it by exactly zero
+   contributes nothing to the product's range *)
+let mul_ep a b = if a = 0.0 || b = 0.0 then 0.0 else Stdlib.( *. ) a b
+
+let imul (a, b) (c, d) =
+  let p1 = mul_ep a c and p2 = mul_ep a d and p3 = mul_ep b c and p4 = mul_ep b d in
+  norm
+    ( Float.min (Float.min p1 p2) (Float.min p3 p4),
+      Float.max (Float.max p1 p2) (Float.max p3 p4) )
+
+(* reciprocal of an interval.  When the interval straddles zero in its
+   interior the reciprocal is two disconnected rays; we return the whole
+   line (the convex hull), which stays sound. *)
+let iinv (c, d) =
+  if c = 0.0 && d = 0.0 then whole
+  else if c >= 0.0 then
+    (* [0, d] or [c, d] with c > 0: positive ray *)
+    ( (if d = infinity then 0.0 else Stdlib.( /. ) 1.0 d),
+      if c = 0.0 then infinity else Stdlib.( /. ) 1.0 c )
+  else if d <= 0.0 then
+    ( (if d = 0.0 then neg_infinity else Stdlib.( /. ) 1.0 d),
+      if c = neg_infinity then 0.0 else Stdlib.( /. ) 1.0 c )
+  else whole
+
+let idiv u v = imul u (iinv v)
+
+let ipow_nonneg (a, b) n =
+  if n = 0 then (1.0, 1.0)
+  else
+    let pa = int_pow_nonneg a n and pb = int_pow_nonneg b n in
+    if n land 1 = 1 then (pa, pb) (* odd: monotone *)
+    else if a >= 0.0 then (pa, pb)
+    else if b <= 0.0 then (pb, pa)
+    else (0.0, Float.max pa pb)
+
+let ipow i n = if n >= 0 then ipow_nonneg i n else iinv (ipow_nonneg i (-n))
+
+let two_pi = 2.0 *. Float.pi
+
+(* does [lo, hi] contain a point of the form offset + k * period? *)
+let contains_grid_point lo hi ~offset ~period =
+  if Stdlib.( -. ) hi lo >= period then true
+  else
+    let k = Float.ceil (Stdlib.( /. ) (Stdlib.( -. ) lo offset) period) in
+    Stdlib.( +. ) offset (Stdlib.( *. ) k period) <= hi
+
+let icos (a, b) =
+  if (not (Float.is_finite a)) || not (Float.is_finite b) then (-1.0, 1.0)
+  else if Stdlib.( -. ) b a >= two_pi then (-1.0, 1.0)
+  else
+    let ca = Stdlib.cos a and cb = Stdlib.cos b in
+    let lo =
+      if contains_grid_point a b ~offset:Float.pi ~period:two_pi then -1.0
+      else Float.min ca cb
+    in
+    let hi =
+      if contains_grid_point a b ~offset:0.0 ~period:two_pi then 1.0
+      else Float.max ca cb
+    in
+    (lo, hi)
+
+(* sin x = cos (x - pi/2); shifting the interval keeps the enclosure
+   conservative up to the rounding of the shift, which [icos]'s exact
+   extrema (+-1) absorb *)
+let isin (a, b) =
+  if (not (Float.is_finite a)) || not (Float.is_finite b) then (-1.0, 1.0)
+  else if Stdlib.( -. ) b a >= two_pi then (-1.0, 1.0)
+  else
+    let sa = Stdlib.sin a and sb = Stdlib.sin b in
+    let lo =
+      if contains_grid_point a b ~offset:(Stdlib.( /. ) (-.Float.pi) 2.0) ~period:two_pi
+      then -1.0
+      else Float.min sa sb
+    in
+    let hi =
+      if contains_grid_point a b ~offset:(Stdlib.( /. ) Float.pi 2.0) ~period:two_pi
+      then 1.0
+      else Float.max sa sb
+    in
+    (lo, hi)
+
+let rec eval_interval e ~bounds =
+  match e with
+  | Const x -> (x, x)
+  | Var id ->
+      let ((lo, hi) as i) = bounds.(id) in
+      if Float.is_nan lo || Float.is_nan hi || lo > hi then whole else i
+  | Neg a ->
+      let lo, hi = eval_interval a ~bounds in
+      (-.hi, -.lo)
+  | Add (a, b) ->
+      let alo, ahi = eval_interval a ~bounds and blo, bhi = eval_interval b ~bounds in
+      norm (Stdlib.( +. ) alo blo, Stdlib.( +. ) ahi bhi)
+  | Sub (a, b) ->
+      let alo, ahi = eval_interval a ~bounds and blo, bhi = eval_interval b ~bounds in
+      norm (Stdlib.( -. ) alo bhi, Stdlib.( -. ) ahi blo)
+  | Mul (a, b) -> imul (eval_interval a ~bounds) (eval_interval b ~bounds)
+  | Div (a, b) -> idiv (eval_interval a ~bounds) (eval_interval b ~bounds)
+  | Pow_int (a, n) -> ipow (eval_interval a ~bounds) n
+  | Sin a -> isin (eval_interval a ~bounds)
+  | Cos a -> icos (eval_interval a ~bounds)
 
 let rec pp ppf = function
   | Const x -> Format.fprintf ppf "%g" x

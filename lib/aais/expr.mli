@@ -37,6 +37,20 @@ val eval : t -> env:float array -> float
     and 0^negative follow IEEE semantics (yield infinities/NaN) so the
     optimisers can see and reject the region. *)
 
+val eval_interval : t -> bounds:(float * float) array -> float * float
+(** Conservative interval evaluation: [eval_interval e ~bounds] encloses
+    [eval e ~env] for every [env] with [env.(id)] inside the closed
+    interval [bounds.(id)].  Endpoints may be infinite.  Division by an
+    interval containing zero widens to a ray (denominator touching zero
+    at an endpoint) or to the whole line (zero in the interior);
+    [Pow_int] distinguishes even/odd and negative exponents; [Sin]/[Cos]
+    locate their exact extrema when the argument interval is narrower
+    than a period and clamp to [[-1, 1]] otherwise.  Any indeterminate
+    endpoint combination (e.g. [inf - inf]) widens to the whole line, so
+    the result is always a sound — if sometimes loose — enclosure.
+    Drives the pre-solve bounds-feasibility analysis
+    ({!Qturbo_analysis.Feasibility} in [qturbo.analysis]). *)
+
 val deriv : t -> int -> t
 (** Exact symbolic partial derivative with respect to a variable id,
     lightly simplified. *)

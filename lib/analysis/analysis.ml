@@ -1,0 +1,13 @@
+open Qturbo_aais
+
+let static_checks ~aais ~target ~t_tar ?t_max () =
+  let channels = Aais.channels aais in
+  let variables = Aais.variables aais in
+  Device_check.variables variables
+  @ Coverage.check ~channels ~n_qubits:aais.Aais.n_qubits ~target
+  @ Feasibility.check ~channels ~variables ~target ~t_tar ?t_max ()
+
+let check_or_raise diags =
+  match Diagnostic.errors diags with
+  | [] -> ()
+  | errs -> raise (Diagnostic.Rejected errs)

@@ -1,0 +1,30 @@
+(** Pre-solve static analyzer entry points.
+
+    [qturbo.analysis] inspects a target Hamiltonian against an AAIS
+    {e before} any solver runs and emits structured {!Diagnostic.t}
+    findings: unsupported Pauli terms, coefficients provably outside the
+    interval-evaluated channel ranges, degenerate equation-system
+    structure, and device/unit sanity problems.  The compiler front-ends
+    ([Qturbo_core.Compiler] / [Td_compiler]) call {!static_checks} as a
+    fail-fast precheck; [qturbo check] exposes the same passes on the
+    command line.
+
+    Pass 3 (system structure) needs the assembled linear system and its
+    locality decomposition, which live in [qturbo.core]; the core
+    converts its own types into {!Structure.row} / {!Structure.comp} and
+    calls {!Structure.check} directly. *)
+
+val static_checks :
+  aais:Qturbo_aais.Aais.t ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  t_tar:float ->
+  ?t_max:float ->
+  unit ->
+  Diagnostic.t list
+(** Passes 1 (term coverage), 2 (bounds feasibility) and the
+    variable-pool part of pass 4, in stable order.  [t_max] enables the
+    [QT003] magnitude check. *)
+
+val check_or_raise : Diagnostic.t list -> unit
+(** Raises {!Diagnostic.Rejected} with the error-severity subset when
+    any diagnostic is an error; returns unit otherwise. *)

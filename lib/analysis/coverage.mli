@@ -1,0 +1,17 @@
+(** Term-coverage analysis (pass 1).
+
+    Every Pauli term of the target Hamiltonian must be producible by at
+    least one instruction channel on the mapped sites, or the global
+    linear system contains a row with an empty left-hand side and the
+    solve can only fail with an unexplained residual.  This pass reports
+    the exact unsupported terms up front:
+
+    {ul
+    {- [QT001] (error): a target term no channel produces;}
+    {- [QT004] (error): the target touches qubits outside the AAIS.}} *)
+
+val check :
+  channels:Qturbo_aais.Instruction.channel array ->
+  n_qubits:int ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  Diagnostic.t list

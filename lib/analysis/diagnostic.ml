@@ -1,0 +1,115 @@
+type severity = Error | Warning | Info
+
+type subject =
+  | Term of Qturbo_pauli.Pauli_string.t
+  | Channel of { cid : int; label : string }
+  | Variable of { id : int; name : string }
+  | Component of { id : int; channels : int; variables : int }
+  | Device of string
+  | Pulse
+  | System
+
+type t = {
+  code : string;
+  severity : severity;
+  subject : subject;
+  message : string;
+  hint : string option;
+}
+
+let make ~code ~severity ~subject ?hint message =
+  { code; severity; subject; message; hint }
+
+exception Rejected of t list
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let has_errors ds = List.exists is_error ds
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let subject_to_string = function
+  | Term s -> Format.asprintf "term %a" Qturbo_pauli.Pauli_string.pp s
+  | Channel { label; _ } -> Printf.sprintf "channel %s" label
+  | Variable { name; _ } -> Printf.sprintf "variable %s" name
+  | Component { id; channels; variables } ->
+      Printf.sprintf "component #%d (%d channels, %d variables)" id channels
+        variables
+  | Device name -> Printf.sprintf "device %s" name
+  | Pulse -> "pulse"
+  | System -> "system"
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s: %s"
+    (severity_to_string d.severity)
+    d.code
+    (subject_to_string d.subject)
+    d.message;
+  match d.hint with
+  | Some h -> Format.fprintf ppf " (hint: %s)" h
+  | None -> ()
+
+let to_string d = Format.asprintf "%a" pp d
+
+(* ---- JSON ----------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ json_escape s ^ "\""
+
+let subject_to_json = function
+  | Term s ->
+      Printf.sprintf {|{"kind":"term","term":%s}|}
+        (jstr (Format.asprintf "%a" Qturbo_pauli.Pauli_string.pp s))
+  | Channel { cid; label } ->
+      Printf.sprintf {|{"kind":"channel","cid":%d,"label":%s}|} cid (jstr label)
+  | Variable { id; name } ->
+      Printf.sprintf {|{"kind":"variable","id":%d,"name":%s}|} id (jstr name)
+  | Component { id; channels; variables } ->
+      Printf.sprintf
+        {|{"kind":"component","id":%d,"channels":%d,"variables":%d}|} id
+        channels variables
+  | Device name -> Printf.sprintf {|{"kind":"device","name":%s}|} (jstr name)
+  | Pulse -> {|{"kind":"pulse"}|}
+  | System -> {|{"kind":"system"}|}
+
+let to_json d =
+  Printf.sprintf
+    {|{"code":%s,"severity":%s,"subject":%s,"message":%s,"hint":%s}|}
+    (jstr d.code)
+    (jstr (severity_to_string d.severity))
+    (subject_to_json d.subject)
+    (jstr d.message)
+    (match d.hint with Some h -> jstr h | None -> "null")
+
+let list_to_json ds =
+  Printf.sprintf {|{"errors":%d,"warnings":%d,"diagnostics":[%s]}|}
+    (List.length (errors ds))
+    (List.length (warnings ds))
+    (String.concat "," (List.map to_json ds))
+
+let () =
+  Printexc.register_printer (function
+    | Rejected ds ->
+        Some
+          (Printf.sprintf "Qturbo_analysis.Diagnostic.Rejected:\n%s"
+             (String.concat "\n" (List.map to_string ds)))
+    | _ -> None)

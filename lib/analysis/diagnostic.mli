@@ -1,0 +1,65 @@
+(** Structured diagnostics for the pre-solve static analyzer.
+
+    Every finding carries a stable code ([QT001]...), a severity, a
+    located subject (Pauli term, channel, variable, component, device or
+    pulse), a human-readable message and an optional fix hint.  The
+    codes are the public contract: tools and tests match on them, never
+    on message text.  See [docs/DIAGNOSTICS.md] for the full table. *)
+
+type severity = Error | Warning | Info
+
+type subject =
+  | Term of Qturbo_pauli.Pauli_string.t  (** a target Hamiltonian term *)
+  | Channel of { cid : int; label : string }  (** an instruction channel *)
+  | Variable of { id : int; name : string }  (** an amplitude variable *)
+  | Component of { id : int; channels : int; variables : int }
+      (** a locality component of the bipartite channel/variable graph *)
+  | Device of string  (** a device preset, by name *)
+  | Pulse  (** a compiled pulse schedule *)
+  | System  (** the assembled equation system as a whole *)
+
+type t = {
+  code : string;  (** stable, e.g. ["QT001"] *)
+  severity : severity;
+  subject : subject;
+  message : string;
+  hint : string option;
+}
+
+val make :
+  code:string -> severity:severity -> subject:subject -> ?hint:string -> string -> t
+(** [make ~code ~severity ~subject ?hint message]. *)
+
+exception Rejected of t list
+(** Raised by strict pipeline prechecks when error-severity diagnostics
+    are present.  A human-readable printer is registered, so an uncaught
+    [Rejected] shows the diagnostics rather than an opaque constructor. *)
+
+val is_error : t -> bool
+val errors : t list -> t list
+val warnings : t list -> t list
+(** Warning severity only (excludes [Info]). *)
+
+val has_errors : t list -> bool
+
+val severity_to_string : severity -> string
+(** ["error" | "warning" | "info"]. *)
+
+val subject_to_string : subject -> string
+(** Compact locator, e.g. ["term Y0Y1"], ["channel vdw(0,1)"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [error[QT001] term Y0Y1: message (hint: ...)]. *)
+
+val to_string : t -> string
+
+val to_json : t -> string
+(** One JSON object with [code], [severity], [subject] (an object with a
+    [kind] discriminant), [message] and [hint] (null when absent). *)
+
+val list_to_json : t list -> string
+(** [{"errors": n, "warnings": n, "diagnostics": [...]}]. *)
+
+val json_escape : string -> string
+(** JSON string-literal escaping (quotes not included), shared with the
+    other JSON emitters so all output escapes identically. *)

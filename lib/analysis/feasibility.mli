@@ -1,0 +1,31 @@
+(** Bounds-feasibility analysis (pass 2).
+
+    For every target term the compiler must find channel amplitudes whose
+    summed effect integrates to [coeff · t_tar].  This pass bounds the
+    achievable instantaneous rate of each term by interval arithmetic
+    over the symbolic channel expressions ({!Qturbo_aais.Expr.eval_interval})
+    using the declared variable bounds, and reports terms that are
+    provably out of reach before any solver runs:
+
+    {ul
+    {- [QT002] (error): the required sign of the rate is unreachable —
+       e.g. a negative ZZ coefficient on a van-der-Waals interaction
+       whose rate interval is strictly positive;}
+    {- [QT003] (warning): the sign is reachable but, given the device's
+       maximum evolution time [t_max], the achievable integral falls
+       short of [coeff · t_tar].  A warning rather than an error because
+       the interval bound is conservative.}}
+
+    Terms no channel produces at all are skipped here; pass 1 reports
+    them as [QT001]. *)
+
+val check :
+  channels:Qturbo_aais.Instruction.channel array ->
+  variables:Qturbo_aais.Variable.t array ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  t_tar:float ->
+  ?t_max:float ->
+  unit ->
+  Diagnostic.t list
+(** [t_max], when given, must be positive and finite to enable the
+    [QT003] magnitude check. *)

@@ -28,6 +28,11 @@ let default_options =
     generic_local_solver = false;
   }
 
+(* Observability hook for the pipeline stages.  Tests install a recorder
+   to assert ordering properties ("no solver stage ran before rejection")
+   without relying on timing. *)
+let stage_hook : (string -> unit) ref = ref (fun _ -> ())
+
 type component_summary = {
   classification : string;
   channels : int;
@@ -50,6 +55,7 @@ type result = {
   constraint_iterations : int;
   compile_seconds : float;
   warnings : string list;
+  diagnostics : Qturbo_analysis.Diagnostic.t list;
 }
 
 let classification_name = function
@@ -98,7 +104,49 @@ let b_tar_norm1 ~aais ~target ~t_tar =
   let ls = Linear_system.build ~channels ~target ~t_tar in
   Array.fold_left (fun acc b -> acc +. Float.abs b) 0.0 ls.Linear_system.b_tar
 
-let compile ?(options = default_options) ~aais ~target ~t_tar () =
+(* The structure pass of [qturbo.analysis] takes a generic view of the
+   system; convert our [Linear_system] rows and [Locality] components. *)
+let structure_view ~ls ~comps =
+  let rows =
+    List.mapi
+      (fun i { Qturbo_linalg.Sparse_solve.cells; _ } ->
+        {
+          Qturbo_analysis.Structure.term =
+            Term_index.string_of ls.Linear_system.index i;
+          cells;
+        })
+      (Linear_system.rows ls)
+  in
+  let comps =
+    List.map
+      (fun (c : Locality.component) ->
+        {
+          Qturbo_analysis.Structure.id = c.Locality.id;
+          channel_ids = c.Locality.channel_ids;
+          var_ids = c.Locality.var_ids;
+        })
+      comps
+  in
+  (rows, comps)
+
+let diagnostics_of ?t_max ~aais ~target ~t_tar ~ls ~comps () =
+  let channels = Aais.channels aais in
+  let vars = Aais.variables aais in
+  let rows, scomps = structure_view ~ls ~comps in
+  Qturbo_analysis.Analysis.static_checks ~aais ~target ~t_tar ?t_max ()
+  @ Qturbo_analysis.Structure.check ~channels ~variables:vars ~rows
+      ~comps:scomps
+
+let analyze ?t_max ~aais ~target ~t_tar () =
+  let channels = Aais.channels aais in
+  let ls = Linear_system.build ~channels ~target ~t_tar in
+  let comps =
+    Locality.decompose ~channels ~n_vars:(Array.length (Aais.variables aais))
+  in
+  diagnostics_of ?t_max ~aais ~target ~t_tar ~ls ~comps ()
+
+let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
+    ~t_tar () =
   if t_tar <= 0.0 then invalid_arg "Compiler.compile: t_tar <= 0";
   if Pauli_sum.n_qubits target > aais.Aais.n_qubits then
     invalid_arg "Compiler.compile: target touches qubits outside the AAIS";
@@ -106,8 +154,24 @@ let compile ?(options = default_options) ~aais ~target ~t_tar () =
   let warnings = ref [] in
   let channels = Aais.channels aais in
   let vars = Aais.variables aais in
-  (* stage 1: global linear system over synthesized variables *)
+  (* stage 0: build the system and its decomposition, then run the static
+     analyzer as a fail-fast precheck — provably-broken inputs are
+     rejected before any solver runs *)
   let ls = Linear_system.build ~channels ~target ~t_tar in
+  let comps = Locality.decompose ~channels ~n_vars:(Array.length vars) in
+  !stage_hook "precheck";
+  let diagnostics = diagnostics_of ?t_max ~aais ~target ~t_tar ~ls ~comps () in
+  if strict then Qturbo_analysis.Analysis.check_or_raise diagnostics;
+  List.iter
+    (fun d ->
+      if d.Qturbo_analysis.Diagnostic.severity = Qturbo_analysis.Diagnostic.Warning
+      then warnings := Qturbo_analysis.Diagnostic.to_string d :: !warnings)
+    diagnostics;
+  Log.debug (fun m ->
+      m "precheck: %d diagnostics (%d errors)" (List.length diagnostics)
+        (List.length (Qturbo_analysis.Diagnostic.errors diagnostics)));
+  (* stage 1: global linear system over synthesized variables *)
+  !stage_hook "linear-solve";
   let lin =
     if options.dense_linear_solver then Linear_system.solve_dense ls
     else Linear_system.solve ls
@@ -121,10 +185,7 @@ let compile ?(options = default_options) ~aais ~target ~t_tar () =
         (Array.length channels)
         st.Qturbo_linalg.Sparse_solve.greedy_solved
         st.Qturbo_linalg.Sparse_solve.dense_solved eps1);
-  (* stage 2: locality decomposition and classification *)
-  let comps =
-    Locality.decompose ~channels ~n_vars:(Array.length vars)
-  in
+  (* stage 2: classification of the locality components (built in stage 0) *)
   let classifications =
     List.map
       (fun comp ->
@@ -154,6 +215,7 @@ let compile ?(options = default_options) ~aais ~target ~t_tar () =
   let t_start = if options.time_opt then t_base else t_base *. options.no_opt_padding in
   (* stage 4: solve localized systems, iterating T upward while the
      runtime-fixed layout violates device geometry (paper §5.2) *)
+  !stage_hook "local-solve";
   let rec attempt t iter =
     let env, eps2s =
       solve_components ~vars ~channels ~alpha ~t_sim:t comps classifications
@@ -282,4 +344,5 @@ let compile ?(options = default_options) ~aais ~target ~t_tar () =
     constraint_iterations;
     compile_seconds = Sys.time () -. t0;
     warnings = List.rev !warnings;
+    diagnostics;
   }

@@ -55,17 +55,63 @@ type result = {
   constraint_iterations : int;
   compile_seconds : float;  (** CPU time of the compilation *)
   warnings : string list;
+      (** pipeline warnings; includes rendered warning-severity
+          diagnostics from the precheck *)
+  diagnostics : Qturbo_analysis.Diagnostic.t list;
+      (** everything the pre-solve static analyzer found *)
 }
+
+val stage_hook : (string -> unit) ref
+(** Called with a stage name as the pipeline enters it ("precheck",
+    "linear-solve", "local-solve").  Defaults to a no-op; tests install a
+    recorder to assert, without timing, that rejected inputs never reach
+    a solver stage. *)
+
+val analyze :
+  ?t_max:float ->
+  aais:Qturbo_aais.Aais.t ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  t_tar:float ->
+  unit ->
+  Qturbo_analysis.Diagnostic.t list
+(** Run every static-analysis pass (coverage, bounds feasibility,
+    system structure, variable sanity) without compiling.  [t_max]
+    enables the [QT003] magnitude check.  This is what [qturbo check]
+    calls. *)
+
+val diagnostics_of :
+  ?t_max:float ->
+  aais:Qturbo_aais.Aais.t ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  t_tar:float ->
+  ls:Linear_system.t ->
+  comps:Locality.component list ->
+  unit ->
+  Qturbo_analysis.Diagnostic.t list
+(** The passes of {!analyze} against a pre-built linear system and
+    locality decomposition.  This is exactly the marginal work the
+    precheck adds inside {!compile} (which builds [ls] and [comps]
+    anyway); the [analysis] bench experiment measures it. *)
 
 val compile :
   ?options:options ->
+  ?strict:bool ->
+  ?t_max:float ->
   aais:Qturbo_aais.Aais.t ->
   target:Qturbo_pauli.Pauli_sum.t ->
   t_tar:float ->
   unit ->
   result
 (** Raises [Invalid_argument] when [t_tar <= 0] or the target touches
-    qubits outside the AAIS. *)
+    qubits outside the AAIS.
+
+    Runs {!analyze} as a fail-fast precheck before any solver: with
+    [strict] (the default), error-severity diagnostics raise
+    {!Qturbo_analysis.Diagnostic.Rejected}; with [~strict:false] the
+    pipeline proceeds anyway (the historical least-squares behaviour)
+    and the findings are carried on [result.diagnostics].
+    Warning-severity findings are additionally rendered into
+    [result.warnings]. *)
 
 val b_tar_norm1 :
   aais:Qturbo_aais.Aais.t ->

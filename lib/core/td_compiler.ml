@@ -15,10 +15,31 @@ type result = {
   binding_segment : int;
   compile_seconds : float;
   warnings : string list;
+  diagnostics : Qturbo_analysis.Diagnostic.t list;
 }
 
-let compile ?(options = Compiler.default_options) ~aais ~model ~t_tar ~segments
-    () =
+(* Precheck every discretized segment Hamiltonian, deduplicating findings
+   that repeat across segments (the channels and bounds are shared, so a
+   term unsupported in one segment is typically unsupported in all). *)
+let precheck ?t_max ~aais ~tau_tar hams =
+  let seen = Hashtbl.create 32 in
+  List.concat_map
+    (fun h ->
+      List.filter
+        (fun (d : Qturbo_analysis.Diagnostic.t) ->
+          let key =
+            (d.code, Qturbo_analysis.Diagnostic.subject_to_string d.subject)
+          in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        (Compiler.analyze ?t_max ~aais ~target:h ~t_tar:tau_tar ()))
+    hams
+
+let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
+    ~model ~t_tar ~segments () =
   if t_tar <= 0.0 then invalid_arg "Td_compiler.compile: t_tar <= 0";
   if segments < 1 then invalid_arg "Td_compiler.compile: segments < 1";
   let t0 = Sys.time () in
@@ -27,12 +48,21 @@ let compile ?(options = Compiler.default_options) ~aais ~model ~t_tar ~segments
   let vars = Aais.variables aais in
   let tau_tar = t_tar /. float_of_int segments in
   let hams = Qturbo_models.Model.discretize model ~segments in
+  !Compiler.stage_hook "precheck";
+  let diagnostics = precheck ?t_max ~aais ~tau_tar hams in
+  if strict then Qturbo_analysis.Analysis.check_or_raise diagnostics;
+  List.iter
+    (fun (d : Qturbo_analysis.Diagnostic.t) ->
+      if d.severity = Qturbo_analysis.Diagnostic.Warning then
+        warnings := Qturbo_analysis.Diagnostic.to_string d :: !warnings)
+    diagnostics;
   (* per-segment linear systems over the shared channel set *)
   let systems =
     List.map
       (fun h -> Linear_system.build ~channels ~target:h ~t_tar:tau_tar)
       hams
   in
+  !Compiler.stage_hook "linear-solve";
   let solutions = List.map Linear_system.solve systems in
   let alphas =
     Array.of_list
@@ -197,4 +227,5 @@ let compile ?(options = Compiler.default_options) ~aais ~model ~t_tar ~segments
     binding_segment = sb;
     compile_seconds = Sys.time () -. t0;
     warnings = List.rev !warnings;
+    diagnostics;
   }

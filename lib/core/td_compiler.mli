@@ -25,10 +25,15 @@ type result = {
   binding_segment : int;  (** index of the segment that fixed the layout *)
   compile_seconds : float;
   warnings : string list;
+  diagnostics : Qturbo_analysis.Diagnostic.t list;
+      (** static-analyzer findings over all discretized segments,
+          deduplicated by (code, subject) *)
 }
 
 val compile :
   ?options:Compiler.options ->
+  ?strict:bool ->
+  ?t_max:float ->
   aais:Qturbo_aais.Aais.t ->
   model:Qturbo_models.Model.t ->
   t_tar:float ->
@@ -37,4 +42,9 @@ val compile :
   result
 (** Works for static models too (each segment then sees the same
     Hamiltonian).  Raises [Invalid_argument] on nonpositive [t_tar] or
-    [segments]. *)
+    [segments].
+
+    Every discretized segment Hamiltonian runs through the pre-solve
+    static analyzer first; with [strict] (the default) error-severity
+    diagnostics raise {!Qturbo_analysis.Diagnostic.Rejected} before any
+    solver runs. *)

@@ -1,5 +1,6 @@
 open Qturbo_pauli
 open Qturbo_aais
+module Diagnostic = Qturbo_analysis.Diagnostic
 
 type report = {
   error_l1 : float;
@@ -7,6 +8,7 @@ type report = {
   max_term_error : float;
   executable : bool;
   violations : string list;
+  diagnostics : Diagnostic.t list;
   consistent_with_compiler : bool;
 }
 
@@ -39,12 +41,17 @@ let verify_rydberg ryd ~target ~t_tar (result : Compiler.result) =
   in
   let pulse = Extract.rydberg_pulse ryd ~env ~t_sim in
   let violations = Pulse.within_limits pulse in
+  (* QT012 for the hard limit violations above, QT013 for slew findings
+     (informational here: raw compiled pulses are rectangles and only
+     pass the slew check after the ramping post-pass) *)
+  let diagnostics = Qturbo_analysis.Device_check.rydberg_pulse pulse in
   {
     error_l1;
     relative_error;
     max_term_error;
     executable = violations = [];
     violations;
+    diagnostics;
     consistent_with_compiler = consistency ~recomputed:error_l1 result;
   }
 
@@ -57,22 +64,51 @@ let verify_heisenberg heis ~target ~t_tar (result : Compiler.result) =
   in
   (* amplitude bounds *)
   let violations = ref [] in
+  let diagnostics = ref [] in
   Array.iter
     (fun (v : Variable.t) ->
       let x = env.(v.Variable.id) in
-      if not (Qturbo_optim.Bounds.contains v.Variable.bound x) then
+      if not (Qturbo_optim.Bounds.contains v.Variable.bound x) then begin
         violations :=
           Printf.sprintf "%s = %g outside its bound" v.Variable.name x
-          :: !violations)
+          :: !violations;
+        diagnostics :=
+          Diagnostic.make ~code:"QT015" ~severity:Diagnostic.Error
+            ~subject:(Diagnostic.Variable { id = v.id; name = v.name })
+            ~hint:"the local solver left the feasible box; file a bug"
+            (Printf.sprintf "compiled value %g violates bound [%g, %g]" x
+               v.Variable.bound.lo v.Variable.bound.hi)
+          :: !diagnostics
+      end)
     (Aais.variables heis.Heisenberg.aais);
-  if t_sim > heis.Heisenberg.spec.Device.max_time then
+  if t_sim > heis.Heisenberg.spec.Device.max_time then begin
     violations :=
       Printf.sprintf "T_sim %.3f us exceeds device limit" t_sim :: !violations;
+    diagnostics :=
+      Diagnostic.make ~code:"QT014" ~severity:Diagnostic.Error
+        ~subject:Diagnostic.Pulse
+        ~hint:
+          "split the evolution into repeated shorter executions or rescale \
+           the target"
+        (Printf.sprintf "T_sim %.3f us exceeds the device limit %.3f us" t_sim
+           heis.Heisenberg.spec.Device.max_time)
+      :: !diagnostics
+  end;
   {
     error_l1;
     relative_error;
     max_term_error;
     executable = !violations = [];
     violations = !violations;
+    diagnostics = !diagnostics;
     consistent_with_compiler = consistency ~recomputed:error_l1 result;
   }
+
+let report_to_json r =
+  let jstr s = "\"" ^ Diagnostic.json_escape s ^ "\"" in
+  Printf.sprintf
+    {|{"error_l1":%.17g,"relative_error":%.17g,"max_term_error":%.17g,"executable":%b,"consistent_with_compiler":%b,"violations":[%s],"analysis":%s}|}
+    r.error_l1 r.relative_error r.max_term_error r.executable
+    r.consistent_with_compiler
+    (String.concat "," (List.map jstr r.violations))
+    (Diagnostic.list_to_json r.diagnostics)

@@ -14,6 +14,12 @@ type report = {
   max_term_error : float;  (** worst single Pauli-term mismatch *)
   executable : bool;  (** pulse passes {!Qturbo_aais.Pulse.within_limits} *)
   violations : string list;
+      (** human-readable limit violations (kept stable for existing
+          callers; the same findings appear structured in [diagnostics]) *)
+  diagnostics : Qturbo_analysis.Diagnostic.t list;
+      (** structured view of the violations — [QT012]/[QT013] for Rydberg
+          pulse limits and slew, [QT014]/[QT015] for Heisenberg time and
+          bound violations *)
   consistent_with_compiler : bool;
       (** recomputed error agrees with the compiler's own metric within
           [1e-6] absolute + 1 % relative *)
@@ -32,3 +38,7 @@ val verify_heisenberg :
   t_tar:float ->
   Compiler.result ->
   report
+
+val report_to_json : report -> string
+(** One JSON object; the structured diagnostics land under ["analysis"]
+    (see {!Qturbo_analysis.Diagnostic.list_to_json}). *)

@@ -426,15 +426,27 @@ let test_compiler_rejects_bad_input () =
       ignore (Compiler.compile ~aais:ryd.Rydberg.aais ~target:(ising_chain 5) ~t_tar:1.0 ()))
 
 let test_compiler_unreachable_term_warns_in_error () =
-  (* a YY term is outside the Rydberg AAIS span: must show up as error,
-     not crash *)
+  (* a YY term is outside the Rydberg AAIS span: strict compilation
+     rejects it before any solver; non-strict keeps the historical
+     least-squares behaviour and carries the diagnostic on the result *)
   let ryd = rydberg3 () in
   let target =
     Pauli_sum.add (ising_chain 3)
       (Pauli_sum.term 1.0 (Pauli_string.two 0 Pauli.Y 1 Pauli.Y))
   in
-  let r = Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 () in
-  Alcotest.(check bool) "unreachable term penalised" true (r.Compiler.error_l1 >= 1.0)
+  (match Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 () with
+  | exception Qturbo_analysis.Diagnostic.Rejected ds ->
+      Alcotest.(check bool) "QT001 reported" true
+        (List.exists (fun d -> d.Qturbo_analysis.Diagnostic.code = "QT001") ds)
+  | _ -> Alcotest.fail "strict compile should reject the YY term");
+  let r =
+    Compiler.compile ~strict:false ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 ()
+  in
+  Alcotest.(check bool) "unreachable term penalised" true (r.Compiler.error_l1 >= 1.0);
+  Alcotest.(check bool) "diagnostic carried on the result" true
+    (List.exists
+       (fun d -> d.Qturbo_analysis.Diagnostic.code = "QT001")
+       r.Compiler.diagnostics)
 
 let test_compiler_heisenberg_exact () =
   let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n:4 in

@@ -170,7 +170,17 @@ let test_all_heisenberg_benchmarks_exact () =
 let test_heisenberg_cycle_unreachable_edge () =
   let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n:5 in
   let target = static_ham (Qturbo_models.Benchmarks.ising_cycle ~n:5 ()) in
-  let r = Compiler.compile ~aais:heis.Heisenberg.aais ~target ~t_tar:1.0 () in
+  (* strict (default) compilation rejects the missing wrap coupling up
+     front with the coverage diagnostic *)
+  (match Compiler.compile ~aais:heis.Heisenberg.aais ~target ~t_tar:1.0 () with
+  | exception Qturbo_analysis.Diagnostic.Rejected ds ->
+      Alcotest.(check bool) "QT001 on the wrap edge" true
+        (List.exists (fun d -> d.Qturbo_analysis.Diagnostic.code = "QT001") ds)
+  | _ -> Alcotest.fail "strict compile should reject the chain device");
+  let r =
+    Compiler.compile ~strict:false ~aais:heis.Heisenberg.aais ~target
+      ~t_tar:1.0 ()
+  in
   check_close "exactly the wrap coupling missing" 1e-9 1.0 r.Compiler.error_l1;
   (* ... and the ring device fixes it *)
   let ring =
