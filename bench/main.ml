@@ -6,7 +6,8 @@
      dune exec bench/main.exe -- table1 fig3  -- run a subset
      dune exec bench/main.exe -- quick        -- reduced sizes/budgets
 
-   Conventions: times are CPU seconds for compilation and µs for pulses;
+   Conventions: times are wall-clock seconds for compilation and µs for
+   pulses;
    "-" marks a missing data point (the baseline failed inside its budget,
    exactly how SimuQ's missing points arise in the paper). *)
 
@@ -50,9 +51,11 @@ type point = {
 let nan_point = { compile_s = Float.nan; exec_us = Float.nan; rel_err = Float.nan }
 
 let time_run f =
-  let t0 = Sys.time () in
+  (* wall clock: CPU time would sum the pool domains' work and report a
+     parallel run as slower than it is *)
+  let t0 = Clock.now () in
   let r = f () in
-  (Sys.time () -. t0, r)
+  (Clock.now () -. t0, r)
 
 let qturbo_point ?options ~aais ~target ~t_tar () =
   let compile_s, r =
@@ -877,6 +880,150 @@ let ext_segments () =
     ~title:"Extension: piecewise-segment convergence (MIS chain, n = 4)" t
 
 (* ------------------------------------------------------------------ *)
+(* Multicore throughput and compiled-kernel speedup                    *)
+
+(* Whole-sweep throughput, not per-point timing: concurrent compiles
+   perturb each other's clocks, so the honest parallel measurement is
+   the wall time of the complete Fig. 3 Ising-cycle sweep with points
+   distributed over the pool, against the same sweep run sequentially.
+   Also checks the parallel run's outputs bitwise against the
+   sequential ones, and measures compiled-kernel vs interpreted channel
+   evaluation.  Results land in BENCH_parallel.json. *)
+let parallel () =
+  let name = "ising-cycle" in
+  let sizes = if !quick then [ 13; 23 ] else [ 49; 63; 79; 93 ] in
+  let inputs =
+    List.map
+      (fun n ->
+        let ryd = rydberg_for name n in
+        (n, ryd.Rydberg.aais, static_target name n))
+      sizes
+  in
+  let compile_with ~domains (_, aais, target) =
+    let options =
+      { Qturbo_core.Compiler.default_options with Qturbo_core.Compiler.domains }
+    in
+    Qturbo_core.Compiler.compile ~options ~aais ~target ~t_tar:1.0 ()
+  in
+  let run_sweep ~outer ~inner =
+    time_run (fun () ->
+        Qturbo_par.Pool.parallel_map_list ~domains:outer ~chunk:1
+          (compile_with ~domains:inner) inputs)
+  in
+  let domains = Int.max 4 (Qturbo_par.Pool.default_domains ()) in
+  let cores = Domain.recommended_domain_count () in
+  progress "parallel: warmup";
+  ignore (run_sweep ~outer:1 ~inner:1);
+  progress "parallel: sweep with 1 domain";
+  let t_seq, r_seq = run_sweep ~outer:1 ~inner:1 in
+  progress "parallel: sweep with %d domains (%d cores)" domains cores;
+  let t_par, r_par = run_sweep ~outer:domains ~inner:1 in
+  let bits_equal a b =
+    Array.length a = Array.length b
+    && Array.for_all2
+         (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+         a b
+  in
+  let identical =
+    List.for_all2
+      (fun (q : Qturbo_core.Compiler.result) (p : Qturbo_core.Compiler.result) ->
+        bits_equal q.Qturbo_core.Compiler.env p.Qturbo_core.Compiler.env
+        && bits_equal q.Qturbo_core.Compiler.alpha_achieved
+             p.Qturbo_core.Compiler.alpha_achieved
+        && q.Qturbo_core.Compiler.t_sim = p.Qturbo_core.Compiler.t_sim)
+      r_seq r_par
+  in
+  let sweep_speedup = t_seq /. Float.max 1e-9 t_par in
+  (* compiled kernels vs the recursive interpreter, over every channel
+     of the largest sweep point *)
+  let _, aais_k, _ = List.nth inputs (List.length inputs - 1) in
+  let channels = Aais.channels aais_k in
+  let vars = Aais.variables aais_k in
+  let env =
+    Array.map (fun (v : Variable.t) -> v.Variable.init +. 0.37) vars
+  in
+  let reps = if !quick then 200 else 300 in
+  let sink = ref 0.0 in
+  (* one untimed pass each: populates the domain-local eval stack and
+     warms the code paths *)
+  Array.iter
+    (fun (c : Instruction.channel) ->
+      sink := !sink +. Expr.eval c.Instruction.expr ~env;
+      sink := !sink +. Instruction.eval_channel c ~env)
+    channels;
+  let interp_s, () =
+    time_run (fun () ->
+        for _ = 1 to reps do
+          Array.iter
+            (fun (c : Instruction.channel) ->
+              sink := !sink +. Expr.eval c.Instruction.expr ~env)
+            channels
+        done)
+  in
+  let kernel_s, () =
+    time_run (fun () ->
+        for _ = 1 to reps do
+          Array.iter
+            (fun (c : Instruction.channel) ->
+              sink := !sink +. Instruction.eval_channel c ~env)
+            channels
+        done)
+  in
+  let kernel_speedup = interp_s /. Float.max 1e-9 kernel_s in
+  let t =
+    Table_fmt.create ~header:[ "measurement"; "seq(s)"; "par(s)"; "speedup" ]
+  in
+  Table_fmt.add_row t
+    [
+      Printf.sprintf "sweep n=%s (%d domains)"
+        (String.concat "," (List.map string_of_int sizes))
+        domains;
+      Table_fmt.cell_of_float t_seq;
+      Table_fmt.cell_of_float t_par;
+      Table_fmt.cell_of_float sweep_speedup;
+    ];
+  Table_fmt.add_row t
+    [
+      Printf.sprintf "kernel eval (%d channels x %d)" (Array.length channels)
+        reps;
+      Table_fmt.cell_of_float interp_s;
+      Table_fmt.cell_of_float kernel_s;
+      Table_fmt.cell_of_float kernel_speedup;
+    ];
+  Table_fmt.print
+    ~title:
+      (Printf.sprintf
+         "Parallel throughput (Fig. 3 Ising-cycle sweep; %d cores; outputs \
+          bitwise-identical: %b)"
+         cores identical)
+    t;
+  let oc = open_out "BENCH_parallel.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"%s\",\n\
+    \  \"sizes\": [%s],\n\
+    \  \"cores\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"sweep_seconds_sequential\": %.6f,\n\
+    \  \"sweep_seconds_parallel\": %.6f,\n\
+    \  \"sweep_speedup\": %.3f,\n\
+    \  \"outputs_bitwise_identical\": %b,\n\
+    \  \"kernel_eval\": {\n\
+    \    \"channels\": %d,\n\
+    \    \"passes\": %d,\n\
+    \    \"interpreted_seconds\": %.6f,\n\
+    \    \"compiled_seconds\": %.6f,\n\
+    \    \"speedup\": %.3f\n\
+    \  }\n\
+     }\n"
+    name
+    (String.concat ", " (List.map string_of_int sizes))
+    cores domains t_seq t_par sweep_speedup identical (Array.length channels)
+    reps interp_s kernel_s kernel_speedup;
+  close_out oc;
+  progress "parallel: wrote BENCH_parallel.json"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one kernel per table/figure              *)
 
 let micro () =
@@ -984,6 +1131,7 @@ let experiments =
     ("fig6b", fig6b);
     ("ablations", ablations);
     ("analysis", analysis);
+    ("parallel", parallel);
     ("ext-noise", ext_noise);
     ("ext-markovian", ext_markovian);
     ("ext-digital", ext_digital);

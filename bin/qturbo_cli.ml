@@ -111,7 +111,7 @@ let user_errors f =
       2
 
 let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
-    baseline no_refine no_time_opt show_pulse ramp json verbose =
+    domains baseline no_refine no_time_opt show_pulse ramp json verbose =
  user_errors @@ fun () ->
   setup_logging verbose;
   let model = resolve_model ~hamiltonian ~model_name ~n ~j ~h in
@@ -123,6 +123,9 @@ let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
       Qturbo_core.Compiler.default_options with
       Qturbo_core.Compiler.refine = not no_refine;
       time_opt = not no_time_opt;
+      domains =
+        (if domains > 0 then domains
+         else Qturbo_core.Compiler.default_options.Qturbo_core.Compiler.domains);
     }
   in
   match backend with
@@ -260,6 +263,15 @@ let segments_arg =
     value & opt int 4
     & info [ "segments" ] ~docv:"K" ~doc:"Piecewise segments for driven models.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Worker domains for the parallel compile pipeline (0 = the \
+           QTURBO_DOMAINS / core-count default; 1 = fully sequential).  \
+           Output is bitwise-identical for every value.")
+
 let baseline_flag =
   Arg.(value & flag & info [ "baseline" ] ~doc:"Compile with the SimuQ-style baseline instead.")
 
@@ -290,7 +302,7 @@ let json_flag =
 let compile_term =
   Term.(
     const compile_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg $ device_arg $ t_tar_arg
-    $ j_arg $ h_arg $ segments_arg $ baseline_flag $ no_refine_flag
+    $ j_arg $ h_arg $ segments_arg $ domains_arg $ baseline_flag $ no_refine_flag
     $ no_time_opt_flag $ show_pulse_flag $ ramp_flag $ json_flag $ verbose_flag)
 
 let compile_info =

@@ -253,6 +253,300 @@ let rec eval_interval e ~bounds =
   | Sin a -> isin (eval_interval a ~bounds)
   | Cos a -> icos (eval_interval a ~bounds)
 
+(* ---- compiled kernels ----------------------------------------------- *)
+
+(* A flat postfix program packed one instruction per word —
+   [(arg lsl 5) lor op] — plus a const table.  [eval_kernel] is a
+   tight non-allocating loop over a reusable stack; it performs
+   exactly the float operations of [eval] in the same order, so its
+   result is bitwise-identical.
+
+   A peephole pass fuses the patterns the Rydberg channels actually
+   produce (a van-der-Waals tail is [c / ((Δx)² + (Δy)²)³]): pushing
+   two variables straight into a binary op, squaring a just-computed
+   difference, dividing a constant by the whole expression.  Fusion
+   only collapses dispatch — each fused op runs the same float
+   operations on the same values in the same order as the ops it
+   replaces, keeping the bitwise guarantee. *)
+
+type kernel = {
+  k_prog : int array; (* (arg lsl 5) lor op *)
+  k_consts : float array;
+  k_depth : int; (* stack slots needed (upper bound after fusion) *)
+  k_max_var : int; (* largest variable id read; -1 when closed *)
+}
+
+let op_const = 0
+and op_var = 1
+and op_neg = 2
+and op_add = 3
+and op_sub = 4
+and op_mul = 5
+and op_div = 6
+and op_pow = 7
+and op_sin = 8
+and op_cos = 9
+
+(* fused superinstructions, introduced by the peephole pass only *)
+let op_vv_add = 10 (* push env.(a) + env.(b); arg = (a lsl 24) lor b *)
+and op_var_add = 14 (* top <- top + env.(arg) *)
+and op_const_add = 18 (* top <- top + consts.(arg) *)
+and op_sq = 22 (* top <- top², ≡ pow 2 *)
+and op_cube = 23 (* top <- top·(top·top), ≡ pow 3 *)
+and op_dsq = 24 (* push (env.(a) - env.(b))²; arg packed as vv *)
+and op_crdiv = 25 (* top <- consts.(arg) / top *)
+and op_var_sin = 26 (* push sin env.(arg) *)
+and op_var_cos = 27
+
+(* [var a; var b; <binop>] → one op; [var b; <binop>] and
+   [const c; <binop>] likewise; [vv_sub; pow 2] → [dsq]; pow 2 and
+   pow 3 get dedicated ops ([int_pow]'s binary exponentiation performs
+   [1.0·(x·x)] and [(1.0·x)·(x·x)] — multiplying by 1.0 is exact, so
+   [x·x] and [x·(x·x)] are the same floats); [var a; sin] → [var_sin]. *)
+let fuse ops args n =
+  let open Stdlib in
+  let fop = Array.make (Int.max 1 n) 0 and farg = Array.make (Int.max 1 n) 0 in
+  let m = ref 0 in
+  let emitf op arg =
+    fop.(!m) <- op;
+    farg.(!m) <- arg;
+    incr m
+  in
+  let last_is op = !m > 0 && fop.(!m - 1) = op in
+  let last2_are o1 o2 = !m > 1 && fop.(!m - 2) = o1 && fop.(!m - 1) = o2 in
+  let pack_ok a b = a < 1 lsl 24 && b < 1 lsl 24 in
+  for i = 0 to n - 1 do
+    let op = ops.(i) and arg = args.(i) in
+    if op >= op_add && op <= op_div then
+      if last2_are op_var op_var && pack_ok farg.(!m - 2) farg.(!m - 1) then begin
+        let a = farg.(!m - 2) and b = farg.(!m - 1) in
+        m := !m - 2;
+        emitf (op - op_add + op_vv_add) ((a lsl 24) lor b)
+      end
+      else if last_is op_var then begin
+        let b = farg.(!m - 1) in
+        m := !m - 1;
+        emitf (op - op_add + op_var_add) b
+      end
+      else if last_is op_const then begin
+        let c = farg.(!m - 1) in
+        m := !m - 1;
+        emitf (op - op_add + op_const_add) c
+      end
+      else emitf op arg
+    else if op = op_pow && arg = 2 then begin
+      if last_is (op_sub - op_add + op_vv_add) then begin
+        let p = farg.(!m - 1) in
+        m := !m - 1;
+        emitf op_dsq p
+      end
+      else emitf op_sq 0
+    end
+    else if op = op_pow && arg = 3 then emitf op_cube 0
+    else if op = op_sin && last_is op_var then begin
+      let a = farg.(!m - 1) in
+      m := !m - 1;
+      emitf op_var_sin a
+    end
+    else if op = op_cos && last_is op_var then begin
+      let a = farg.(!m - 1) in
+      m := !m - 1;
+      emitf op_var_cos a
+    end
+    else emitf op arg
+  done;
+  Array.init !m (fun i -> (farg.(i) lsl 5) lor (fop.(i) land 31))
+
+let compile e =
+  let open Stdlib in
+  let ops = ref [] and args = ref [] and count = ref 0 in
+  let consts = ref [] and n_consts = ref 0 in
+  let emit op arg =
+    ops := op :: !ops;
+    args := arg :: !args;
+    incr count
+  in
+  let add_const x =
+    consts := x :: !consts;
+    incr n_consts;
+    !n_consts - 1
+  in
+  let max_var = ref (-1) in
+  let depth = ref 0 and cur = ref 0 in
+  let push () =
+    incr cur;
+    if !cur > !depth then depth := !cur
+  in
+  let rec go = function
+    | Const x ->
+        emit op_const (add_const x);
+        push ()
+    | Var id ->
+        emit op_var id;
+        if id > !max_var then max_var := id;
+        push ()
+    | Neg a -> go a; emit op_neg 0
+    | Add (a, b) -> go a; go b; emit op_add 0; decr cur
+    | Sub (a, b) -> go a; go b; emit op_sub 0; decr cur
+    | Mul (a, b) -> go a; go b; emit op_mul 0; decr cur
+    | Div (Const c, b) ->
+        (* [c / expr] in one dispatch; same division, same operand order *)
+        let ci = add_const c in
+        push ();
+        go b;
+        emit op_crdiv ci;
+        decr cur
+    | Div (a, b) -> go a; go b; emit op_div 0; decr cur
+    | Pow_int (a, n) -> go a; emit op_pow n
+    | Sin a -> go a; emit op_sin 0
+    | Cos a -> go a; emit op_cos 0
+  in
+  go e;
+  let n = !count in
+  let op_arr = Array.make (Int.max 1 n) 0 and arg_arr = Array.make (Int.max 1 n) 0 in
+  List.iteri (fun i op -> op_arr.(n - 1 - i) <- op) !ops;
+  List.iteri (fun i a -> arg_arr.(n - 1 - i) <- a) !args;
+  let c_arr = Array.make (Int.max 1 !n_consts) 0.0 in
+  List.iteri (fun i c -> c_arr.(!n_consts - 1 - i) <- c) !consts;
+  {
+    k_prog = fuse op_arr arg_arr n;
+    k_consts = c_arr;
+    k_depth = Int.max 1 !depth;
+    k_max_var = !max_var;
+  }
+
+let kernel_length k = Array.length k.k_prog
+let kernel_max_var k = k.k_max_var
+
+(* per-domain evaluation stack: kernels are shared across pool domains,
+   so the scratch must be domain-local *)
+let stack_key = Domain.DLS.new_key (fun () -> ref (Array.make 16 0.0))
+
+let eval_kernel k ~env =
+  let open Stdlib in
+  let cell = Domain.DLS.get stack_key in
+  if Array.length !cell < k.k_depth then
+    cell := Array.make (Int.max k.k_depth (2 * Array.length !cell)) 0.0;
+  let st = !cell in
+  let prog = k.k_prog and consts = k.k_consts in
+  let sp = ref 0 in
+  for pc = 0 to Array.length prog - 1 do
+    let instr = Array.unsafe_get prog pc in
+    let arg = instr asr 5 in
+    match instr land 31 with
+    | 0 (* const *) ->
+        Array.unsafe_set st !sp (Array.unsafe_get consts arg);
+        incr sp
+    | 1 (* var *) ->
+        Array.unsafe_set st !sp env.(arg);
+        incr sp
+    | 2 (* neg *) ->
+        let i = !sp - 1 in
+        Array.unsafe_set st i (-.Array.unsafe_get st i)
+    | 3 (* add *) ->
+        decr sp;
+        let i = !sp - 1 in
+        Array.unsafe_set st i (Array.unsafe_get st i +. Array.unsafe_get st !sp)
+    | 4 (* sub *) ->
+        decr sp;
+        let i = !sp - 1 in
+        Array.unsafe_set st i (Array.unsafe_get st i -. Array.unsafe_get st !sp)
+    | 5 (* mul *) ->
+        decr sp;
+        let i = !sp - 1 in
+        Array.unsafe_set st i (Array.unsafe_get st i *. Array.unsafe_get st !sp)
+    | 6 (* div *) ->
+        decr sp;
+        let i = !sp - 1 in
+        Array.unsafe_set st i (Array.unsafe_get st i /. Array.unsafe_get st !sp)
+    | 7 (* pow *) ->
+        let i = !sp - 1 in
+        Array.unsafe_set st i (int_pow (Array.unsafe_get st i) arg)
+    | 8 (* sin *) ->
+        let i = !sp - 1 in
+        Array.unsafe_set st i (sin (Array.unsafe_get st i))
+    | 9 (* cos *) ->
+        let i = !sp - 1 in
+        Array.unsafe_set st i (cos (Array.unsafe_get st i))
+    (* fused ops: same float operations, same order, one dispatch.
+       Variable reads stay bounds-checked, and [a] before [b], so a
+       short [env] raises exactly where the unfused program did. *)
+    | 10 (* vv_add *) ->
+        let va = env.(arg lsr 24) in
+        let vb = env.(arg land 0xffffff) in
+        Array.unsafe_set st !sp (va +. vb);
+        incr sp
+    | 11 (* vv_sub *) ->
+        let va = env.(arg lsr 24) in
+        let vb = env.(arg land 0xffffff) in
+        Array.unsafe_set st !sp (va -. vb);
+        incr sp
+    | 12 (* vv_mul *) ->
+        let va = env.(arg lsr 24) in
+        let vb = env.(arg land 0xffffff) in
+        Array.unsafe_set st !sp (va *. vb);
+        incr sp
+    | 13 (* vv_div *) ->
+        let va = env.(arg lsr 24) in
+        let vb = env.(arg land 0xffffff) in
+        Array.unsafe_set st !sp (va /. vb);
+        incr sp
+    | 14 (* var_add *) ->
+        let i = !sp - 1 in
+        Array.unsafe_set st i (Array.unsafe_get st i +. env.(arg))
+    | 15 (* var_sub *) ->
+        let i = !sp - 1 in
+        Array.unsafe_set st i (Array.unsafe_get st i -. env.(arg))
+    | 16 (* var_mul *) ->
+        let i = !sp - 1 in
+        Array.unsafe_set st i (Array.unsafe_get st i *. env.(arg))
+    | 17 (* var_div *) ->
+        let i = !sp - 1 in
+        Array.unsafe_set st i (Array.unsafe_get st i /. env.(arg))
+    | 18 (* const_add *) ->
+        let i = !sp - 1 in
+        Array.unsafe_set st i
+          (Array.unsafe_get st i +. Array.unsafe_get consts arg)
+    | 19 (* const_sub *) ->
+        let i = !sp - 1 in
+        Array.unsafe_set st i
+          (Array.unsafe_get st i -. Array.unsafe_get consts arg)
+    | 20 (* const_mul *) ->
+        let i = !sp - 1 in
+        Array.unsafe_set st i
+          (Array.unsafe_get st i *. Array.unsafe_get consts arg)
+    | 21 (* const_div *) ->
+        let i = !sp - 1 in
+        Array.unsafe_set st i
+          (Array.unsafe_get st i /. Array.unsafe_get consts arg)
+    | 22 (* sq *) ->
+        let i = !sp - 1 in
+        let x = Array.unsafe_get st i in
+        Array.unsafe_set st i (x *. x)
+    | 23 (* cube *) ->
+        let i = !sp - 1 in
+        let x = Array.unsafe_get st i in
+        Array.unsafe_set st i (x *. (x *. x))
+    | 24 (* dsq *) ->
+        let va = env.(arg lsr 24) in
+        let vb = env.(arg land 0xffffff) in
+        let d = va -. vb in
+        Array.unsafe_set st !sp (d *. d);
+        incr sp
+    | 25 (* crdiv *) ->
+        let i = !sp - 1 in
+        Array.unsafe_set st i
+          (Array.unsafe_get consts arg /. Array.unsafe_get st i)
+    | 26 (* var_sin *) ->
+        Array.unsafe_set st !sp (sin env.(arg));
+        incr sp
+    | 27 (* var_cos *) ->
+        Array.unsafe_set st !sp (cos env.(arg));
+        incr sp
+    | _ -> assert false
+  done;
+  st.(0)
+
 let rec pp ppf = function
   | Const x -> Format.fprintf ppf "%g" x
   | Var id -> Format.fprintf ppf "v%d" id

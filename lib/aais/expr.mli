@@ -69,4 +69,35 @@ val is_linear_in : t -> int -> float option
     constant [k] (detected structurally after simplification), i.e. the
     channel is a pure linear drive of a time-critical variable. *)
 
+(** {1 Compiled kernels}
+
+    The recursive {!eval} walks the ADT on every call — fine for a
+    one-off probe, an interpretive tax inside an optimiser loop.
+    {!compile} flattens an expression once into a postfix program
+    (opcode / argument int arrays plus a constant table) that
+    {!eval_kernel} runs with a tight non-allocating loop over a
+    reusable, domain-local stack. *)
+
+type kernel
+
+val compile : t -> kernel
+(** Flatten to a postfix program.  [eval_kernel (compile e) ~env]
+    performs exactly the float operations of [eval e ~env], on the
+    same values, in the same order — the result is bitwise-identical,
+    including IEEE special cases (division by zero, NaN). *)
+
+val eval_kernel : kernel -> env:float array -> float
+(** Evaluate a compiled kernel.  Allocation-free after the first call
+    on a domain (the evaluation stack is domain-local scratch, so
+    kernels may be shared freely across pool domains).  Raises
+    [Invalid_argument] like {!eval} when [env] is shorter than the
+    largest variable id read. *)
+
+val kernel_length : kernel -> int
+(** Number of postfix steps (one per ADT node). *)
+
+val kernel_max_var : kernel -> int
+(** Largest variable id the kernel reads, [-1] for a closed
+    expression. *)
+
 val pp : Format.formatter -> t -> unit

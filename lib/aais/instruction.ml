@@ -13,6 +13,7 @@ type channel = {
   cid : int;
   label : string;
   expr : Expr.t;
+  kernel : Expr.kernel;
   effects : effect list;
   hint : solver_hint;
 }
@@ -53,11 +54,16 @@ let validate_hint c =
          end
   | Hint_fixed | Hint_generic -> true
 
+(* the kernel is compiled eagerly here rather than lazily at first use:
+   channels are shared across pool domains and [Lazy.force] is not safe
+   under concurrent forcing *)
 let channel ~cid ~label ~expr ~effects ~hint =
-  let c = { cid; label; expr; effects; hint } in
+  let c = { cid; label; expr; kernel = Expr.compile expr; effects; hint } in
   if not (validate_hint c) then
     invalid_arg ("Instruction.channel: hint contradicts expression: " ^ label);
   c
+
+let eval_channel c ~env = Expr.eval_kernel c.kernel ~env
 
 module Int_set = Set.Make (Int)
 

@@ -28,6 +28,9 @@ type channel = {
   cid : int;  (** dense channel index within one AAIS *)
   label : string;
   expr : Expr.t;
+  kernel : Expr.kernel;
+      (** [expr] compiled once at construction; hot paths evaluate this
+          instead of re-interpreting the ADT *)
   effects : effect list;
   hint : solver_hint;
 }
@@ -52,6 +55,10 @@ val channel :
     [Hint_linear] must satisfy {!Expr.is_linear_in} and the polar hints
     must depend on exactly their two variables.  Raises
     [Invalid_argument] on a lying hint. *)
+
+val eval_channel : channel -> env:float array -> float
+(** [Expr.eval_kernel] on the cached kernel — bitwise-identical to
+    [Expr.eval c.expr ~env]. *)
 
 val effect_terms : channel -> (Qturbo_pauli.Pauli_string.t * float) list
 (** Non-identity effects. *)

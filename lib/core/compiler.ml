@@ -14,6 +14,7 @@ type options = {
   time_floor : float;
   dense_linear_solver : bool;
   generic_local_solver : bool;
+  domains : int;
 }
 
 let default_options =
@@ -26,6 +27,7 @@ let default_options =
     time_floor = 1e-4;
     dense_linear_solver = false;
     generic_local_solver = false;
+    domains = Qturbo_par.Pool.default_domains ();
   }
 
 (* Observability hook for the pipeline stages.  Tests install a recorder
@@ -65,38 +67,72 @@ let classification_name = function
   | Local_solver.Fixed_vars -> "fixed"
   | Local_solver.Generic -> "generic"
 
+(* A component bundled with its solver-specific prepared state. *)
+type prepared_comp =
+  | Dynamic of Local_solver.prepared
+  | Fixed of Fixed_solver.prepared
+
+let prepare_components ~vars ~channels comps classifications =
+  List.map2
+    (fun comp classification ->
+      match classification with
+      | Local_solver.Fixed_vars -> Fixed (Fixed_solver.prepare ~vars ~channels comp)
+      | Local_solver.Const_channels | Local_solver.Linear _
+      | Local_solver.Polar _ | Local_solver.Generic ->
+          Dynamic (Local_solver.prepare ~vars ~channels comp classification))
+    comps classifications
+
+(* Parallel strategy for a component sweep: when one component holds
+   most of the channels (the single position component of a Rydberg
+   AAIS), spreading components over the pool leaves every domain but
+   one idle — run the sweep sequentially so the big component's inner
+   parallelism (residual rows, Jacobian entries) gets the pool instead.
+   Otherwise parallelize across components, one component per task. *)
+let component_domains ~domains comps =
+  let sizes = List.map (fun c -> List.length c.Locality.channel_ids) comps in
+  let total = List.fold_left ( + ) 0 sizes in
+  let largest = List.fold_left Int.max 0 sizes in
+  if 2 * largest > total then (1, domains) else (domains, 1)
+
+let solve_prepared_comp ~alpha ~t_sim ~fixed_domains = function
+  | Dynamic p ->
+      let { Local_solver.assignments; eps2 } =
+        Local_solver.solve_prepared ~alpha ~t_sim p
+      in
+      (assignments, eps2)
+  | Fixed p ->
+      let { Fixed_solver.assignments; eps2 } =
+        Fixed_solver.solve_prepared ~domains:fixed_domains ~alpha ~t_sim p
+      in
+      (assignments, eps2)
+
 (* Solve every component at the given evolution time, returning the full
-   environment and the per-component residuals. *)
-let solve_components ~vars ~channels ~alpha ~t_sim comps classifications =
+   environment and the per-component residuals.  Solves run on the pool
+   (components write disjoint variable slots); the assignments are then
+   applied sequentially in component order, so the resulting [env] is
+   identical to the sequential sweep. *)
+let solve_components ~vars ~comp_domains ~fixed_domains ~alpha ~t_sim prepared =
   let env = Array.map (fun (v : Variable.t) -> v.Variable.init) vars in
+  let solved =
+    Qturbo_par.Pool.parallel_map_list ~domains:comp_domains ~chunk:1
+      (fun p -> solve_prepared_comp ~alpha ~t_sim ~fixed_domains p)
+      prepared
+  in
   let eps2s =
-    List.map2
-      (fun comp classification ->
-        let assignments, eps2 =
-          match classification with
-          | Local_solver.Fixed_vars ->
-              let { Fixed_solver.assignments; eps2 } =
-                Fixed_solver.solve ~vars ~channels ~alpha ~t_sim comp
-              in
-              (assignments, eps2)
-          | Local_solver.Const_channels | Local_solver.Linear _
-          | Local_solver.Polar _ | Local_solver.Generic ->
-              let { Local_solver.assignments; eps2 } =
-                Local_solver.solve_at ~vars ~channels ~alpha ~t_sim comp
-                  classification
-              in
-              (assignments, eps2)
-        in
+    List.map
+      (fun (assignments, eps2) ->
         List.iter (fun (v, x) -> env.(v) <- x) assignments;
         eps2)
-      comps classifications
+      solved
   in
   (env, eps2s)
 
-let alpha_achieved_of_env ~channels ~env ~t_sim =
-  Array.map
-    (fun (c : Instruction.channel) ->
-      Expr.eval c.Instruction.expr ~env *. t_sim)
+let alpha_achieved_of_env ~domains ~channels ~env ~t_sim =
+  (* a kernel eval is ~10 ns; only very wide channel sets outweigh the
+     pool dispatch (same granularity reasoning as Fixed_solver) *)
+  let domains = if Array.length channels < 32_768 then 1 else domains in
+  Qturbo_par.Pool.parallel_map ~domains
+    (fun (c : Instruction.channel) -> Instruction.eval_channel c ~env *. t_sim)
     channels
 
 let b_tar_norm1 ~aais ~target ~t_tar =
@@ -150,7 +186,8 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
   if t_tar <= 0.0 then invalid_arg "Compiler.compile: t_tar <= 0";
   if Pauli_sum.n_qubits target > aais.Aais.n_qubits then
     invalid_arg "Compiler.compile: target touches qubits outside the AAIS";
-  let t0 = Sys.time () in
+  let t0 = Qturbo_util.Clock.now () in
+  let domains = options.domains in
   let warnings = ref [] in
   let channels = Aais.channels aais in
   let vars = Aais.variables aais in
@@ -196,11 +233,15 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
         | cls -> cls)
       comps
   in
+  let prepared = prepare_components ~vars ~channels comps classifications in
+  let comp_domains, fixed_domains = component_domains ~domains comps in
   (* stage 3: evolution-time optimisation (bottleneck component) *)
   let min_times =
-    List.map2
-      (fun comp cls -> Local_solver.min_time ~vars ~channels ~alpha comp cls)
-      comps classifications
+    Qturbo_par.Pool.parallel_map_list ~domains:comp_domains ~chunk:1
+      (function
+        | Dynamic p -> Local_solver.min_time_prepared ~alpha p
+        | Fixed _ -> 0.0)
+      prepared
   in
   let bottleneck = List.fold_left Float.max 0.0 min_times in
   Log.debug (fun m ->
@@ -218,7 +259,8 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
   !stage_hook "local-solve";
   let rec attempt t iter =
     let env, eps2s =
-      solve_components ~vars ~channels ~alpha ~t_sim:t comps classifications
+      solve_components ~vars ~comp_domains ~fixed_domains ~alpha ~t_sim:t
+        prepared
     in
     let violations = aais.Aais.check_fixed env in
     if violations = [] || iter >= options.max_constraint_iters then begin
@@ -238,7 +280,7 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
         t_sim constraint_iterations);
   (* stage 5: iterative refinement (§6.2) — re-solve the runtime-dynamic
      channels against the residual left by the achieved fixed channels *)
-  let achieved = alpha_achieved_of_env ~channels ~env ~t_sim in
+  let achieved = alpha_achieved_of_env ~domains ~channels ~env ~t_sim in
   let env, eps2s =
     if not options.refine then (env, eps2s)
     else begin
@@ -283,31 +325,38 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
       Array.iteri
         (fun cid is_fixed -> if is_fixed then alpha_refined.(cid) <- alpha.(cid))
         fixed_cid;
-      (* re-solve only the dynamic components at the same T *)
+      (* re-solve only the dynamic components at the same T; solves run
+         on the pool, assignments apply in component order as above *)
       let env = Array.copy env in
-      let eps2s =
-        List.map2
-          (fun comp cls ->
-            match cls with
-            | Local_solver.Fixed_vars ->
+      let resolved =
+        Qturbo_par.Pool.parallel_map_list ~domains:comp_domains ~chunk:1
+          (fun (comp, p) ->
+            match p with
+            | Fixed _ ->
                 (* unchanged: recompute its eps2 against original targets *)
-                List.fold_left
-                  (fun acc cid -> acc +. Float.abs (achieved.(cid) -. alpha.(cid)))
-                  0.0 comp.Locality.channel_ids
-            | Local_solver.Const_channels | Local_solver.Linear _
-            | Local_solver.Polar _ | Local_solver.Generic ->
+                ( [],
+                  List.fold_left
+                    (fun acc cid ->
+                      acc +. Float.abs (achieved.(cid) -. alpha.(cid)))
+                    0.0 comp.Locality.channel_ids )
+            | Dynamic p ->
                 let { Local_solver.assignments; eps2 } =
-                  Local_solver.solve_at ~vars ~channels ~alpha:alpha_refined
-                    ~t_sim comp cls
+                  Local_solver.solve_prepared ~alpha:alpha_refined ~t_sim p
                 in
-                List.iter (fun (v, x) -> env.(v) <- x) assignments;
-                eps2)
-          comps classifications
+                (assignments, eps2))
+          (List.combine comps prepared)
+      in
+      let eps2s =
+        List.map
+          (fun (assignments, eps2) ->
+            List.iter (fun (v, x) -> env.(v) <- x) assignments;
+            eps2)
+          resolved
       in
       (env, eps2s)
     end
   in
-  let alpha_achieved = alpha_achieved_of_env ~channels ~env ~t_sim in
+  let alpha_achieved = alpha_achieved_of_env ~domains ~channels ~env ~t_sim in
   let error_l1 = Linear_system.residual_l1 ls ~alpha:alpha_achieved in
   let b_norm =
     Array.fold_left (fun acc b -> acc +. Float.abs b) 0.0 ls.Linear_system.b_tar
@@ -342,7 +391,7 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
     theorem1_bound = (Linear_system.norm1 ls *. eps2_total) +. eps1;
     components;
     constraint_iterations;
-    compile_seconds = Sys.time () -. t0;
+    compile_seconds = Qturbo_util.Clock.now () -. t0;
     warnings = List.rev !warnings;
     diagnostics;
   }

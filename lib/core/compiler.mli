@@ -29,6 +29,12 @@ type options = {
       (** ignore the analytic linear/polar patterns and solve every
           dynamic component through the generic bisection + LM path
           (local-solver ablation) *)
+  domains : int;
+      (** pool width for the parallel stages (component solves, residual
+          rows, α evaluation).  Defaults to
+          {!Qturbo_par.Pool.default_domains} — i.e. [QTURBO_DOMAINS] when
+          set, else cores − 1.  [1] runs fully sequentially; results are
+          bitwise-identical either way. *)
 }
 
 val default_options : options
@@ -53,7 +59,7 @@ type result = {
   theorem1_bound : float;  (** [‖M‖₁·Σε₂ + ε₁] — must dominate [error_l1] *)
   components : component_summary list;
   constraint_iterations : int;
-  compile_seconds : float;  (** CPU time of the compilation *)
+  compile_seconds : float;  (** wall-clock time of the compilation *)
   warnings : string list;
       (** pipeline warnings; includes rendered warning-severity
           diagnostics from the precheck *)

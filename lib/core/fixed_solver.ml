@@ -6,8 +6,27 @@ type result = { assignments : (int * float) list; eps2 : float }
 
 let is_pinned (b : Bounds.bound) = b.Bounds.lo = b.Bounds.hi
 
-let solve ~vars ~channels ~alpha ~t_sim (comp : Locality.component) =
-  if t_sim <= 0.0 then invalid_arg "Fixed_solver.solve: t_sim <= 0";
+(* Everything independent of (α, T_sim), derived once per component:
+   the free/pinned split, the sparse symbolic Jacobian (structure and
+   compiled derivative kernels) and the channel kernels.  The dominant
+   saving is the Jacobian scan: probing every (row, variable) pair costs
+   O(rows · cols) symbolic derivatives, while scanning each row's own
+   variable set costs O(rows · vars-per-row) — a van-der-Waals channel
+   touches 4 coordinates, not all of them. *)
+type prepared = {
+  comp : Locality.component;
+  vars : Variable.t array;
+  channels : Instruction.channel array;
+  free_ids : int array;
+  cids : int array;
+  env_size : int;
+  x_init : float array;
+  bounds : Bounds.bound array;
+  pinned : (int * float) list;
+  nonzero_derivs : (int * int * Expr.kernel) array; (* (row, free col, d/dv) *)
+}
+
+let prepare ~vars ~channels (comp : Locality.component) =
   let all_ids = Array.of_list comp.Locality.var_ids in
   (* gauge-pinned coordinates (lo = hi) are held fixed; optimising them
      would let LM translate the layout and the clamp would then break it *)
@@ -17,77 +36,110 @@ let solve ~vars ~channels ~alpha ~t_sim (comp : Locality.component) =
          (fun v -> not (is_pinned vars.(v).Variable.bound))
          comp.Locality.var_ids)
   in
-  let nv = Array.length free_ids in
   let cids = Array.of_list comp.Locality.channel_ids in
   let env_size = Array.fold_left (fun acc v -> Int.max acc (v + 1)) 1 all_ids in
-  let scratch = Array.make env_size 0.0 in
-  Array.iter
-    (fun v ->
-      if is_pinned vars.(v).Variable.bound then
-        scratch.(v) <- vars.(v).Variable.bound.Bounds.lo)
-    all_ids;
+  let k_of_var = Array.make env_size (-1) in
+  Array.iteri (fun k v -> k_of_var.(v) <- k) free_ids;
+  (* only the structurally nonzero entries, found by scanning each
+     channel's own variable set rather than the full free-variable list *)
+  let nonzero_derivs =
+    let triples = ref [] in
+    Array.iteri
+      (fun i cid ->
+        let expr = channels.(cid).Instruction.expr in
+        List.iter
+          (fun v ->
+            match if v < env_size then k_of_var.(v) else -1 with
+            | -1 -> ()
+            | k -> (
+                match Expr.deriv expr v with
+                | Expr.Const 0.0 -> ()
+                | d -> triples := (i, k, Expr.compile d) :: !triples))
+          (Expr.vars expr))
+      cids;
+    Array.of_list (List.rev !triples)
+  in
+  {
+    comp;
+    vars;
+    channels;
+    free_ids;
+    cids;
+    env_size;
+    x_init = Array.map (fun v -> vars.(v).Variable.init) free_ids;
+    bounds = Array.map (fun v -> vars.(v).Variable.bound) free_ids;
+    pinned =
+      List.filter_map
+        (fun v ->
+          if is_pinned vars.(v).Variable.bound then
+            Some (v, vars.(v).Variable.bound.Bounds.lo)
+          else None)
+        comp.Locality.var_ids;
+    nonzero_derivs;
+  }
+
+(* Below this many rows/entries the pool dispatch costs more than it
+   saves: submitting a job and waking sleeping workers runs ~0.5 ms,
+   while a compiled-kernel row evaluates in ~10 ns — a residual pass
+   over 4k van-der-Waals rows is ~50 µs of work.  Fine-grained inner
+   parallelism only pays on components far larger than any Fig. 3
+   benchmark; smaller solves stay sequential on every domain count. *)
+let par_threshold = 32_768
+
+let solve_prepared ?(domains = 1) ~alpha ~t_sim p =
+  if t_sim <= 0.0 then invalid_arg "Fixed_solver.solve: t_sim <= 0";
+  let channels = p.channels and cids = p.cids and free_ids = p.free_ids in
+  let n_rows = Array.length cids in
+  let nv = Array.length free_ids in
+  let scratch = Array.make p.env_size 0.0 in
+  List.iter (fun (v, x) -> scratch.(v) <- x) p.pinned;
+  let row_domains = if n_rows < par_threshold then 1 else domains in
   let residual_ext x =
     Array.iteri (fun k v -> scratch.(v) <- x.(k)) free_ids;
-    Array.map
-      (fun cid ->
-        (Expr.eval channels.(cid).Instruction.expr ~env:scratch *. t_sim)
-        -. alpha.(cid))
-      cids
+    let r = Array.make n_rows 0.0 in
+    Qturbo_par.Pool.parallel_for ~domains:row_domains ~total:n_rows (fun i ->
+        let cid = Array.unsafe_get cids i in
+        r.(i) <-
+          (Instruction.eval_channel channels.(cid) ~env:scratch *. t_sim)
+          -. alpha.(cid));
+    r
   in
   let cost x =
     let r = residual_ext x in
     Array.fold_left (fun acc ri -> acc +. (ri *. ri)) 0.0 r
   in
-  let x_init = Array.map (fun v -> vars.(v).Variable.init) free_ids in
   (* magnitude pre-fit: van-der-Waals amplitudes are homogeneous in the
      coordinates, so a single uniform rescale of the initial layout finds
      the right magnitude basin before LM refines the shape *)
-  let scaled s = Array.map (fun x -> s *. x) x_init in
+  let scaled s = Array.map (fun x -> s *. x) p.x_init in
   let log_scale, _ =
     Scalar.golden_min ~f:(fun ls -> cost (scaled (exp ls))) ~lo:(-3.0) ~hi:3.0 ()
   in
   let x0_ext = scaled (exp log_scale) in
-  let bounds = Array.map (fun v -> vars.(v).Variable.bound) free_ids in
   (* exact symbolic Jacobian; LM runs in external coordinates (position
      boxes are wide, so iterates stay interior) and the result is clamped,
-     any clamping error landing in eps2 *)
-  (* only the structurally nonzero entries: a van-der-Waals channel
-     depends on two atoms' coordinates, so the Jacobian has O(rows)
-     nonzeros, not O(rows · cols) *)
-  let nonzero_derivs =
-    let triples = ref [] in
-    Array.iteri
-      (fun i cid ->
-        Array.iteri
-          (fun k v ->
-            match Expr.deriv channels.(cid).Instruction.expr v with
-            | Expr.Const 0.0 -> ()
-            | d -> triples := (i, k, d) :: !triples)
-          free_ids)
-      cids;
-    Array.of_list (List.rev !triples)
-  in
+     any clamping error landing in eps2.  The matrix is reused across LM
+     iterations: zero it, then fill the structurally nonzero cells. *)
+  let jac = Mat.create ~rows:n_rows ~cols:nv in
+  let jac_data = Mat.data jac in
+  let nnz = Array.length p.nonzero_derivs in
+  let jac_domains = if nnz < par_threshold then 1 else domains in
   let jacobian x =
     Array.iteri (fun k v -> scratch.(v) <- x.(k)) free_ids;
-    let jac = Mat.create ~rows:(Array.length cids) ~cols:nv in
-    Array.iter
-      (fun (i, k, d) -> Mat.set jac i k (Expr.eval d ~env:scratch *. t_sim))
-      nonzero_derivs;
+    Array.fill jac_data 0 (Array.length jac_data) 0.0;
+    Qturbo_par.Pool.parallel_for ~domains:jac_domains ~total:nnz (fun t ->
+        let i, k, d = Array.unsafe_get p.nonzero_derivs t in
+        jac_data.((i * nv) + k) <- Expr.eval_kernel d ~env:scratch *. t_sim);
     jac
   in
   let report = Levenberg_marquardt.minimize ~jacobian residual_ext x0_ext in
   let x_ext =
-    Array.mapi (fun k x -> Bounds.clamp bounds.(k) x) report.Objective.x
+    Array.mapi (fun k x -> Bounds.clamp p.bounds.(k) x) report.Objective.x
   in
   let final = residual_ext x_ext in
   let eps2 = Array.fold_left (fun acc r -> acc +. Float.abs r) 0.0 final in
   let free_assignments = List.init nv (fun k -> (free_ids.(k), x_ext.(k))) in
-  let pinned_assignments =
-    List.filter_map
-      (fun v ->
-        if is_pinned vars.(v).Variable.bound then
-          Some (v, vars.(v).Variable.bound.Bounds.lo)
-        else None)
-      comp.Locality.var_ids
-  in
-  { assignments = free_assignments @ pinned_assignments; eps2 }
+  { assignments = free_assignments @ p.pinned; eps2 }
+
+let solve ?domains ~vars ~channels ~alpha ~t_sim comp =
+  solve_prepared ?domains ~alpha ~t_sim (prepare ~vars ~channels comp)

@@ -18,11 +18,40 @@ type result = {
   eps2 : float;  (** L1 residual against the component's α targets *)
 }
 
+type prepared
+(** The (α, T_sim)-independent part of a solve: the free/pinned
+    variable split and the sparse symbolic Jacobian structure with its
+    compiled derivative kernels.  Preparing once and re-solving across
+    the §5.2 constraint iteration avoids re-deriving O(rows · vars)
+    symbolic derivatives on every probe — the single largest cost of
+    the original solver on position components.  Immutable and
+    shareable across pool domains. *)
+
+val prepare :
+  vars:Qturbo_aais.Variable.t array ->
+  channels:Qturbo_aais.Instruction.channel array ->
+  Locality.component ->
+  prepared
+
+val solve_prepared :
+  ?domains:int ->
+  alpha:float array ->
+  t_sim:float ->
+  prepared ->
+  result
+(** Solve at a given [T_sim].  [domains > 1] evaluates the residual
+    rows and Jacobian entries on the pool (disjoint writes collected by
+    index, so the result is bitwise-identical to [domains = 1]; small
+    components stay sequential regardless).  Raises [Invalid_argument]
+    when [t_sim <= 0]. *)
+
 val solve :
+  ?domains:int ->
   vars:Qturbo_aais.Variable.t array ->
   channels:Qturbo_aais.Instruction.channel array ->
   alpha:float array ->
   t_sim:float ->
   Locality.component ->
   result
-(** Raises [Invalid_argument] when [t_sim <= 0]. *)
+(** [prepare] + [solve_prepared] in one step.
+    Raises [Invalid_argument] when [t_sim <= 0]. *)

@@ -105,35 +105,102 @@ let polar_fit ~alpha ~cos_channels ~sin_channels =
   let phi = if omega_t = 0.0 then 0.0 else atan2 b_star a_star in
   (omega_t, phi)
 
+(* ---- prepared components ---------------------------------------- *)
+
+(* Everything derivable from (vars, channels, comp, classification)
+   alone — i.e. independent of α and T_sim — is derived once here and
+   reused across every probe of the T-bisection, every constraint
+   iteration and every refinement pass.  A [prepared] value is
+   immutable, so it may be shared freely across pool domains (the
+   per-call env scratch is allocated per solve). *)
+
+type generic_ctx = {
+  g_var_ids : int array;
+  g_env_size : int;
+  g_transform : Bounds.transform;
+  g_x0 : float array; (* internal coordinates *)
+}
+
+type prep_case =
+  | P_const of (int * float) list (* (cid, expr value) — closed exprs *)
+  | P_closed_form (* Linear / Polar: the classification carries it all *)
+  | P_generic of generic_ctx
+  | P_fixed (* runtime-fixed: use Fixed_solver *)
+
+type prepared = {
+  p_comp : Locality.component;
+  p_cls : classification;
+  p_cids : int array;
+  p_vars : Variable.t array;
+  p_channels : Instruction.channel array;
+  p_case : prep_case;
+}
+
+let classification_of p = p.p_cls
+
+let prepare ~vars ~channels comp classification =
+  let case =
+    match classification with
+    | Fixed_vars -> P_fixed
+    | Const_channels ->
+        P_const
+          (List.map
+             (fun cid ->
+               (cid, Instruction.eval_channel channels.(cid) ~env:[||]))
+             comp.Locality.channel_ids)
+    | Linear _ | Polar _ -> P_closed_form
+    | Generic ->
+        let var_ids = Array.of_list comp.Locality.var_ids in
+        let bounds = Array.map (fun v -> vars.(v).Variable.bound) var_ids in
+        let transform = Bounds.transform bounds in
+        let x0_ext = Array.map (fun v -> vars.(v).Variable.init) var_ids in
+        P_generic
+          {
+            g_var_ids = var_ids;
+            g_env_size =
+              Array.fold_left (fun acc v -> Int.max acc (v + 1)) 1 var_ids;
+            g_transform = transform;
+            g_x0 = Bounds.to_internal transform x0_ext;
+          }
+  in
+  {
+    p_comp = comp;
+    p_cls = classification;
+    p_cids = Array.of_list comp.Locality.channel_ids;
+    p_vars = vars;
+    p_channels = channels;
+    p_case = case;
+  }
+
 (* ---- generic path: bounded LM feasibility + bisection over T ---- *)
 
 let component_residual ~channels ~alpha ~t_sim comp env =
   List.map
     (fun cid ->
-      (Expr.eval channels.(cid).Instruction.expr ~env *. t_sim) -. alpha.(cid))
+      (Instruction.eval_channel channels.(cid) ~env *. t_sim) -. alpha.(cid))
     comp.Locality.channel_ids
   |> Array.of_list
 
-let generic_solve_at ~vars ~channels ~alpha ~t_sim comp =
-  let var_ids = Array.of_list comp.Locality.var_ids in
+let generic_solve_prepared ~alpha ~t_sim p g =
+  let channels = p.p_channels in
+  let cids = p.p_cids in
+  let n_ch = Array.length cids in
+  let var_ids = g.g_var_ids in
   let nv = Array.length var_ids in
-  let bounds = Array.map (fun v -> vars.(v).Variable.bound) var_ids in
-  let transform = Bounds.transform bounds in
-  (* residual in terms of the component's own variable slots *)
-  let env_size =
-    Array.fold_left (fun acc v -> Int.max acc (v + 1)) 1 var_ids
-  in
-  let scratch = Array.make env_size 0.0 in
+  let scratch = Array.make g.g_env_size 0.0 in
   let residual x =
     Array.iteri (fun k v -> scratch.(v) <- x.(k)) var_ids;
-    component_residual ~channels ~alpha ~t_sim comp scratch
+    Array.init n_ch (fun i ->
+        let cid = cids.(i) in
+        (Instruction.eval_channel channels.(cid) ~env:scratch *. t_sim)
+        -. alpha.(cid))
   in
-  let x0_ext = Array.map (fun v -> vars.(v).Variable.init) var_ids in
-  let x0 = Bounds.to_internal transform x0_ext in
   let report =
-    Levenberg_marquardt.minimize (Bounds.wrap_residual transform residual) x0
+    Levenberg_marquardt.minimize
+      (Bounds.wrap_residual g.g_transform residual)
+      g.g_x0
   in
-  let x_ext = Bounds.of_internal transform report.Objective.x in
+  let x_ext = Bounds.of_internal g.g_transform report.Objective.x in
   let assignments = List.init nv (fun k -> (var_ids.(k), x_ext.(k))) in
   let final = residual x_ext in
   let eps2 = Array.fold_left (fun acc r -> acc +. Float.abs r) 0.0 final in
@@ -144,15 +211,14 @@ let component_alpha_scale ~alpha comp =
     (fun acc cid -> Float.max acc (Float.abs alpha.(cid)))
     0.0 comp.Locality.channel_ids
 
-let generic_feasible ~vars ~channels ~alpha ~t_sim comp =
-  let scale = Float.max 1.0 (component_alpha_scale ~alpha comp) in
-  let { eps2; _ } = generic_solve_at ~vars ~channels ~alpha ~t_sim comp in
-  eps2 <= 1e-7 *. scale
-
-let generic_min_time ~vars ~channels ~alpha comp =
-  if component_alpha_scale ~alpha comp = 0.0 then 0.0
+let generic_min_time_prepared ~alpha p g =
+  if component_alpha_scale ~alpha p.p_comp = 0.0 then 0.0
   else begin
-    let feasible t = generic_feasible ~vars ~channels ~alpha ~t_sim:t comp in
+    let feasible t =
+      let scale = Float.max 1.0 (component_alpha_scale ~alpha p.p_comp) in
+      let { eps2; _ } = generic_solve_prepared ~alpha ~t_sim:t p g in
+      eps2 <= 1e-7 *. scale
+    in
     (* find a feasible upper bracket by doubling *)
     let rec grow t tries =
       if tries = 0 then None
@@ -165,28 +231,28 @@ let generic_min_time ~vars ~channels ~alpha comp =
         Scalar.bisect_predicate ~tol:1e-6 ~f:feasible ~lo:(hi /. 2.0) ~hi ()
   end
 
-let min_time ~vars ~channels ~alpha comp classification =
-  match classification with
-  | Fixed_vars -> 0.0
-  | Const_channels ->
+let min_time_prepared ~alpha p =
+  match (p.p_cls, p.p_case) with
+  | Fixed_vars, _ -> 0.0
+  | Const_channels, P_const ks ->
       (* expr·T = α: every channel pins T; take the largest demand (smaller
          demands become approximation error, reported by solve_at) *)
       List.fold_left
-        (fun acc cid ->
-          let k = Expr.eval channels.(cid).Instruction.expr ~env:[||] in
+        (fun acc (cid, k) ->
           let a = alpha.(cid) in
           if a = 0.0 || k = 0.0 then acc else Float.max acc (a /. k))
-        0.0 comp.Locality.channel_ids
-  | Linear { var; slopes } ->
+        0.0 ks
+  | Linear { var; slopes }, _ ->
       let needed = fit_scaled (linear_fit_targets ~alpha slopes) in
-      time_for_bound ~bound:vars.(var).Variable.bound needed
-  | Polar { amp; phase = _; cos_channels; sin_channels } ->
+      time_for_bound ~bound:p.p_vars.(var).Variable.bound needed
+  | Polar { amp; phase = _; cos_channels; sin_channels }, _ ->
       let omega_t, _ = polar_fit ~alpha ~cos_channels ~sin_channels in
       if omega_t = 0.0 then 0.0
       else
-        let hi = vars.(amp).Variable.bound.Bounds.hi in
+        let hi = p.p_vars.(amp).Variable.bound.Bounds.hi in
         if hi > 0.0 then omega_t /. hi else infinity
-  | Generic -> generic_min_time ~vars ~channels ~alpha comp
+  | Generic, P_generic g -> generic_min_time_prepared ~alpha p g
+  | (Const_channels | Generic), _ -> assert false
 
 let eval_eps2 ~channels ~alpha ~t_sim comp assignments =
   let env_size =
@@ -197,29 +263,37 @@ let eval_eps2 ~channels ~alpha ~t_sim comp assignments =
   let r = component_residual ~channels ~alpha ~t_sim comp env in
   Array.fold_left (fun acc x -> acc +. Float.abs x) 0.0 r
 
-let solve_at ~vars ~channels ~alpha ~t_sim comp classification =
+let solve_prepared ~alpha ~t_sim p =
   if t_sim <= 0.0 then invalid_arg "Local_solver.solve_at: t_sim <= 0";
-  match classification with
-  | Fixed_vars ->
+  let vars = p.p_vars and channels = p.p_channels and comp = p.p_comp in
+  match (p.p_cls, p.p_case) with
+  | Fixed_vars, _ ->
       invalid_arg "Local_solver.solve_at: fixed component (use Fixed_solver)"
-  | Const_channels ->
+  | Const_channels, P_const ks ->
       let eps2 =
         List.fold_left
-          (fun acc cid ->
-            let k = Expr.eval channels.(cid).Instruction.expr ~env:[||] in
-            acc +. Float.abs ((k *. t_sim) -. alpha.(cid)))
-          0.0 comp.Locality.channel_ids
+          (fun acc (cid, k) -> acc +. Float.abs ((k *. t_sim) -. alpha.(cid)))
+          0.0 ks
       in
       { assignments = []; eps2 }
-  | Linear { var; slopes } ->
+  | Linear { var; slopes }, _ ->
       let needed = fit_scaled (linear_fit_targets ~alpha slopes) in
       let value = Bounds.clamp vars.(var).Variable.bound (needed /. t_sim) in
       let assignments = [ (var, value) ] in
       { assignments; eps2 = eval_eps2 ~channels ~alpha ~t_sim comp assignments }
-  | Polar { amp; phase; cos_channels; sin_channels } ->
+  | Polar { amp; phase; cos_channels; sin_channels }, _ ->
       let omega_t, phi = polar_fit ~alpha ~cos_channels ~sin_channels in
       let omega = Bounds.clamp vars.(amp).Variable.bound (omega_t /. t_sim) in
       let phi = Bounds.clamp vars.(phase).Variable.bound phi in
       let assignments = [ (amp, omega); (phase, phi) ] in
       { assignments; eps2 = eval_eps2 ~channels ~alpha ~t_sim comp assignments }
-  | Generic -> generic_solve_at ~vars ~channels ~alpha ~t_sim comp
+  | Generic, P_generic g -> generic_solve_prepared ~alpha ~t_sim p g
+  | (Const_channels | Generic), _ -> assert false
+
+(* ---- unprepared entry points (tests, one-off probes) -------------- *)
+
+let min_time ~vars ~channels ~alpha comp classification =
+  min_time_prepared ~alpha (prepare ~vars ~channels comp classification)
+
+let solve_at ~vars ~channels ~alpha ~t_sim comp classification =
+  solve_prepared ~alpha ~t_sim (prepare ~vars ~channels comp classification)

@@ -46,6 +46,28 @@ type solution = {
   eps2 : float;  (** L1 residual against the component's α targets *)
 }
 
+type prepared
+(** A component bundled with everything derivable from its
+    classification alone (closed-expression values, the generic path's
+    bound transform and starting point) — computed once, reused across
+    every [T] probe, constraint iteration and refinement pass.
+    Immutable, so safe to share across pool domains. *)
+
+val prepare :
+  vars:Qturbo_aais.Variable.t array ->
+  channels:Qturbo_aais.Instruction.channel array ->
+  Locality.component ->
+  classification ->
+  prepared
+
+val classification_of : prepared -> classification
+
+val min_time_prepared : alpha:float array -> prepared -> float
+(** {!min_time} against a prepared component. *)
+
+val solve_prepared : alpha:float array -> t_sim:float -> prepared -> solution
+(** {!solve_at} against a prepared component. *)
+
 val min_time :
   vars:Qturbo_aais.Variable.t array ->
   channels:Qturbo_aais.Instruction.channel array ->

@@ -42,7 +42,8 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
     ~model ~t_tar ~segments () =
   if t_tar <= 0.0 then invalid_arg "Td_compiler.compile: t_tar <= 0";
   if segments < 1 then invalid_arg "Td_compiler.compile: segments < 1";
-  let t0 = Sys.time () in
+  let t0 = Qturbo_util.Clock.now () in
+  let domains = options.Compiler.domains in
   let warnings = ref [] in
   let channels = Aais.channels aais in
   let vars = Aais.variables aais in
@@ -56,14 +57,18 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
       if d.severity = Qturbo_analysis.Diagnostic.Warning then
         warnings := Qturbo_analysis.Diagnostic.to_string d :: !warnings)
     diagnostics;
-  (* per-segment linear systems over the shared channel set *)
+  (* per-segment linear systems over the shared channel set; segments are
+     independent, so they build and solve on the pool *)
   let systems =
-    List.map
+    Qturbo_par.Pool.parallel_map_list ~domains ~chunk:1
       (fun h -> Linear_system.build ~channels ~target:h ~t_tar:tau_tar)
       hams
   in
   !Compiler.stage_hook "linear-solve";
-  let solutions = List.map Linear_system.solve systems in
+  let solutions =
+    Qturbo_par.Pool.parallel_map_list ~domains ~chunk:1 Linear_system.solve
+      systems
+  in
   let alphas =
     Array.of_list
       (List.map (fun s -> s.Qturbo_linalg.Sparse_solve.x) solutions)
@@ -84,14 +89,24 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
             false)
       (List.combine comps classifications)
   in
+  (* components are prepared once and re-solved across every segment,
+     constraint iteration and refinement pass *)
+  let dynamic_prepared =
+    List.map
+      (fun (comp, cls) -> Local_solver.prepare ~vars ~channels comp cls)
+      dynamic_pairs
+  in
+  let fixed_prepared =
+    List.map (fun (comp, _) -> Fixed_solver.prepare ~vars ~channels comp)
+      fixed_comps
+  in
   (* dynamic bottleneck time per segment *)
   let dyn_time alpha =
     List.fold_left
-      (fun acc (comp, cls) ->
-        Float.max acc (Local_solver.min_time ~vars ~channels ~alpha comp cls))
-      options.Compiler.time_floor dynamic_pairs
+      (fun acc p -> Float.max acc (Local_solver.min_time_prepared ~alpha p))
+      options.Compiler.time_floor dynamic_prepared
   in
-  let t_dyn = Array.map dyn_time alphas in
+  let t_dyn = Qturbo_par.Pool.parallel_map ~domains ~chunk:1 dyn_time alphas in
   let fixed_cids =
     List.concat_map (fun (c, _) -> c.Locality.channel_ids) fixed_comps
   in
@@ -111,12 +126,12 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
   let rec solve_fixed t iter =
     let env = Array.map (fun (v : Variable.t) -> v.Variable.init) vars in
     List.iter
-      (fun (comp, _) ->
+      (fun fp ->
         let { Fixed_solver.assignments; eps2 = _ } =
-          Fixed_solver.solve ~vars ~channels ~alpha:alphas.(sb) ~t_sim:t comp
+          Fixed_solver.solve_prepared ~domains ~alpha:alphas.(sb) ~t_sim:t fp
         in
         List.iter (fun (v, x) -> env.(v) <- x) assignments)
-      fixed_comps;
+      fixed_prepared;
     let violations = aais.Aais.check_fixed env in
     if violations = [] || iter >= options.Compiler.max_constraint_iters then begin
       if violations <> [] then
@@ -129,12 +144,15 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
     else solve_fixed (t *. options.Compiler.dt_factor) (iter + 1)
   in
   let t_binding, fixed_env = solve_fixed t_dyn.(sb) 0 in
+  (* the shared layout's amplitude per fixed channel, evaluated once —
+     every segment reads the same values *)
+  let fixed_val = Array.make (Array.length channels) 0.0 in
+  List.iter
+    (fun cid ->
+      fixed_val.(cid) <- Instruction.eval_channel channels.(cid) ~env:fixed_env)
+    fixed_cids;
   let achieved_amp =
-    Array.of_list
-      (List.map
-         (fun cid ->
-           (cid, Expr.eval channels.(cid).Instruction.expr ~env:fixed_env))
-         fixed_cids)
+    Array.of_list (List.map (fun cid -> (cid, fixed_val.(cid))) fixed_cids)
   in
   (* per-segment duration: stretched so the shared layout integrates to
      the segment's required B, never faster than its dynamic bottleneck *)
@@ -163,10 +181,7 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
             List.fold_left
               (fun acc (cid, coeff) ->
                 if fixed_cid_mask.(cid) then
-                  acc
-                  +. coeff
-                     *. Expr.eval channels.(cid).Instruction.expr ~env:fixed_env
-                     *. t_s
+                  acc +. (coeff *. fixed_val.(cid) *. t_s)
                 else acc)
               0.0 cells
           in
@@ -186,23 +201,26 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
     in
     let env = Array.copy fixed_env in
     List.iter
-      (fun (comp, cls) ->
+      (fun p ->
         let { Local_solver.assignments; eps2 = _ } =
-          Local_solver.solve_at ~vars ~channels ~alpha:alpha_dyn ~t_sim:t_s comp
-            cls
+          Local_solver.solve_prepared ~alpha:alpha_dyn ~t_sim:t_s p
         in
         List.iter (fun (v, x) -> env.(v) <- x) assignments)
-      dynamic_pairs;
+      dynamic_prepared;
     let achieved =
       Array.map
-        (fun (c : Instruction.channel) ->
-          Expr.eval c.Instruction.expr ~env *. t_s)
+        (fun (c : Instruction.channel) -> Instruction.eval_channel c ~env *. t_s)
         channels
     in
     let error_l1 = Linear_system.residual_l1 ls ~alpha:achieved in
     { env; duration = t_s; error_l1; eps1 = eps1s.(s) }
   in
-  let segment_results = List.mapi solve_segment systems in
+  (* segments only read the shared layout; solve them on the pool *)
+  let segment_results =
+    Qturbo_par.Pool.parallel_map_list ~domains ~chunk:1
+      (fun (s, ls) -> solve_segment s ls)
+      (List.mapi (fun s ls -> (s, ls)) systems)
+  in
   let t_sim =
     List.fold_left (fun acc r -> acc +. r.duration) 0.0 segment_results
   in
@@ -225,7 +243,7 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
     error_l1;
     relative_error = (if b_norm > 0.0 then error_l1 /. b_norm *. 100.0 else 0.0);
     binding_segment = sb;
-    compile_seconds = Sys.time () -. t0;
+    compile_seconds = Qturbo_util.Clock.now () -. t0;
     warnings = List.rev !warnings;
     diagnostics;
   }

@@ -6,61 +6,79 @@ type factor = {
 
 exception Singular of int
 
-let factorize ?(pivot_tol = 1e-13) a =
-  let n = Mat.rows a in
-  if Mat.cols a <> n then invalid_arg "Lu.factorize: matrix not square";
-  let lu = Mat.copy a in
+(* hot loops run on the raw row-major buffer: a bounds check and two
+   index multiplications per element triple the cost of elimination on
+   the ~200-variable systems the LM inner solve produces *)
+let factorize_in_place ?(pivot_tol = 1e-13) lu =
+  let n = Mat.rows lu in
+  if Mat.cols lu <> n then invalid_arg "Lu.factorize: matrix not square";
+  let d = Mat.data lu in
   let perm = Array.init n (fun i -> i) in
   let sign = ref 1.0 in
   for k = 0 to n - 1 do
     (* partial pivot: largest |entry| in column k at or below the diagonal *)
     let piv = ref k in
+    let best = ref (Float.abs (Array.unsafe_get d ((k * n) + k))) in
     for i = k + 1 to n - 1 do
-      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !piv k) then piv := i
+      let x = Float.abs (Array.unsafe_get d ((i * n) + k)) in
+      if x > !best then begin
+        piv := i;
+        best := x
+      end
     done;
-    if Float.abs (Mat.get lu !piv k) <= pivot_tol then raise (Singular k);
+    if !best <= pivot_tol then raise (Singular k);
     if !piv <> k then begin
+      let rk = k * n and rp = !piv * n in
       for j = 0 to n - 1 do
-        let tmp = Mat.get lu k j in
-        Mat.set lu k j (Mat.get lu !piv j);
-        Mat.set lu !piv j tmp
+        let tmp = Array.unsafe_get d (rk + j) in
+        Array.unsafe_set d (rk + j) (Array.unsafe_get d (rp + j));
+        Array.unsafe_set d (rp + j) tmp
       done;
       let tmp = perm.(k) in
       perm.(k) <- perm.(!piv);
       perm.(!piv) <- tmp;
       sign := -. !sign
     end;
-    let pivot = Mat.get lu k k in
+    let rk = k * n in
+    let pivot = Array.unsafe_get d (rk + k) in
     for i = k + 1 to n - 1 do
-      let factor = Mat.get lu i k /. pivot in
-      Mat.set lu i k factor;
+      let ri = i * n in
+      let factor = Array.unsafe_get d (ri + k) /. pivot in
+      Array.unsafe_set d (ri + k) factor;
       if factor <> 0.0 then
         for j = k + 1 to n - 1 do
-          Mat.set lu i j (Mat.get lu i j -. (factor *. Mat.get lu k j))
+          Array.unsafe_set d (ri + j)
+            (Array.unsafe_get d (ri + j)
+            -. (factor *. Array.unsafe_get d (rk + j)))
         done
     done
   done;
   { lu; perm; sign = !sign }
 
+let factorize ?pivot_tol a = factorize_in_place ?pivot_tol (Mat.copy a)
+
 let solve_factored { lu; perm; sign = _ } b =
   let n = Mat.rows lu in
   if Array.length b <> n then invalid_arg "Lu.solve_factored: dimension mismatch";
+  let d = Mat.data lu in
   let x = Array.init n (fun i -> b.(perm.(i))) in
   (* forward substitution with unit lower factor *)
   for i = 1 to n - 1 do
+    let ri = i * n in
     let s = ref x.(i) in
     for j = 0 to i - 1 do
-      s := !s -. (Mat.get lu i j *. x.(j))
+      s := !s -. (Array.unsafe_get d (ri + j) *. Array.unsafe_get x j)
     done;
     x.(i) <- !s
   done;
   (* back substitution with upper factor *)
   for i = n - 1 downto 0 do
+    let ri = i * n in
     let s = ref x.(i) in
     for j = i + 1 to n - 1 do
-      s := !s -. (Mat.get lu i j *. x.(j))
+      s := !s -. (Array.unsafe_get d (ri + j) *. Array.unsafe_get x j)
     done;
-    x.(i) <- !s /. Mat.get lu i i
+    x.(i) <- !s /. Array.unsafe_get d (ri + i)
   done;
   x
 

@@ -16,6 +16,11 @@ val factorize : ?pivot_tol:float -> Mat.t -> factor
 (** Factor a square matrix.  Raises [Invalid_argument] if not square and
     {!Singular} if numerically rank-deficient. *)
 
+val factorize_in_place : ?pivot_tol:float -> Mat.t -> factor
+(** Like {!factorize} but overwrites the argument with the factors
+    instead of copying it — for callers whose matrix is already
+    scratch (the LM damping loop re-fills it every attempt). *)
+
 val solve_factored : factor -> Vec.t -> Vec.t
 (** Solve [A x = b] given the factorisation of [A]. *)
 

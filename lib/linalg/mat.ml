@@ -57,6 +57,47 @@ let mul a b =
   done;
   c
 
+let data m = m.data
+
+(* AᵀA without materialising the transpose.  Jacobians here are
+   row-sparse (a van-der-Waals channel touches 4 coordinates), so each
+   row contributes only nnz² products; entries accumulate over rows in
+   ascending order, making the result independent of call context. *)
+let at_mul_self a =
+  let n = a.cols in
+  let c = create ~rows:n ~cols:n in
+  let cd = c.data and ad = a.data in
+  let idx = Array.make n 0 and v = Array.make n 0.0 in
+  for r = 0 to a.rows - 1 do
+    let base = r * n in
+    let nnz = ref 0 in
+    for j = 0 to n - 1 do
+      let x = Array.unsafe_get ad (base + j) in
+      if x <> 0.0 then begin
+        Array.unsafe_set idx !nnz j;
+        Array.unsafe_set v !nnz x;
+        incr nnz
+      end
+    done;
+    for p = 0 to !nnz - 1 do
+      let jp = Array.unsafe_get idx p and vp = Array.unsafe_get v p in
+      let row = jp * n in
+      for q = p to !nnz - 1 do
+        let jq = Array.unsafe_get idx q in
+        let cell = row + jq in
+        Array.unsafe_set cd cell
+          (Array.unsafe_get cd cell +. (vp *. Array.unsafe_get v q))
+      done
+    done
+  done;
+  (* mirror the strict upper triangle *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      cd.((j * n) + i) <- cd.((i * n) + j)
+    done
+  done;
+  c
+
 let mul_vec a x =
   if a.cols <> Array.length x then invalid_arg "Mat.mul_vec: dimension mismatch";
   Array.init a.rows (fun i ->

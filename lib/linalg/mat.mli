@@ -34,6 +34,18 @@ val transpose : t -> t
 val mul : t -> t -> t
 (** Matrix product.  Raises on inner-dimension mismatch. *)
 
+val at_mul_self : t -> t
+(** [at_mul_self a] is [aᵀ a], computed directly from [a]'s rows with
+    zero entries skipped — O(rows · nnz_per_row²) for row-sparse
+    matrices instead of the O(rows · cols²) dense product, and no
+    transpose copy.  Entries accumulate over rows in ascending order,
+    so the result is a pure function of [a]. *)
+
+val data : t -> float array
+(** The underlying row-major buffer ([rows · cols] floats, entry
+    [(i, j)] at [i·cols + j]).  Shared, not a copy — for in-library
+    hot loops; mutating it mutates the matrix. *)
+
 val mul_vec : t -> Vec.t -> Vec.t
 (** [mul_vec a x] computes [a x]. *)
 

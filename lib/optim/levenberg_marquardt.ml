@@ -48,7 +48,11 @@ let minimize ?(options = default_options) ?jacobian f x0 =
         Numeric_jacobian.forward f x
   in
   let x = ref (Array.copy x0) in
-  let best_x = ref (Array.copy x0) in
+  (* reusable buffers: candidate point (double-buffered against [x]) and
+     the damped normal matrix the LM attempts overwrite *)
+  let x_new = ref (Array.make n 0.0) in
+  let best_x = Array.copy x0 in
+  let damped = Mat.create ~rows:n ~cols:n in
   let r = ref [||] in
   let cost = ref infinity in
   let best_cost = ref infinity in
@@ -78,37 +82,42 @@ let minimize ?(options = default_options) ?jacobian f x0 =
        end
        else begin
          (* normal equations with Marquardt scaling on the diagonal *)
-         let jtj = Mat.mul (Mat.transpose j) j in
+         let jtj = Mat.at_mul_self j in
+         let neg_g = Vec.scale (-1.0) g in
          let accepted = ref false in
          let attempts = ref 0 in
          while (not !accepted) && !attempts < 25 do
            incr attempts;
-           let a = Mat.copy jtj in
+           Array.blit (Mat.data jtj) 0 (Mat.data damped) 0 (n * n);
            for k = 0 to n - 1 do
              let d = Mat.get jtj k k in
              let scaled = if d > 0.0 then d else 1.0 in
-             Mat.set a k k (d +. (!lambda *. scaled))
+             Mat.set damped k k (d +. (!lambda *. scaled))
            done;
            let step_ok, delta =
-             match Lu.solve a (Vec.scale (-1.0) g) with
+             match Lu.solve_factored (Lu.factorize_in_place damped) neg_g with
              | delta -> (Array.for_all Float.is_finite delta, delta)
              | exception Lu.Singular _ -> (false, [||])
            in
            if not step_ok then lambda := !lambda *. options.lambda_up
            else begin
-             let x_new = Vec.add !x delta in
-             let r_new = eval x_new in
+             let xc = !x_new in
+             for k = 0 to n - 1 do
+               xc.(k) <- !x.(k) +. delta.(k)
+             done;
+             let r_new = eval xc in
              let cost_new = Objective.cost_of_residual r_new in
              if Float.is_finite cost_new && cost_new < !cost then begin
                accepted := true;
                let cost_drop = !cost -. cost_new in
                let step_norm = Vec.norm2 delta in
-               x := x_new;
+               x_new := !x;
+               x := xc;
                r := r_new;
                cost := cost_new;
                if cost_new < !best_cost then begin
                  best_cost := cost_new;
-                 best_x := Array.copy x_new
+                 Array.blit xc 0 best_x 0 n
                end;
                lambda := Float.max 1e-12 (!lambda /. options.lambda_down);
                if
@@ -136,7 +145,7 @@ let minimize ?(options = default_options) ?jacobian f x0 =
     if !best_cost = infinity then infinity else sqrt (2.0 *. !best_cost)
   in
   {
-    Objective.x = !best_x;
+    Objective.x = best_x;
     cost = !best_cost;
     residual_norm;
     iterations = !iterations;

@@ -1,23 +1,70 @@
+open Qturbo_util
+
 type 'a run = { report : Objective.report; start_index : int; extra : 'a }
 
-let search ~rng ~starts ~sample ~solve ~accept () =
-  let best = ref None in
-  let used = ref 0 in
-  (try
-     for i = 0 to starts - 1 do
-       incr used;
-       let x0 = sample rng in
-       let report, extra = solve x0 in
-       let better =
-         match !best with
-         | None -> Float.is_finite report.Objective.cost
-         | Some { report = b; _ } -> report.Objective.cost < b.Objective.cost
-       in
-       if better then best := Some { report; start_index = i; extra };
-       if accept report then raise Exit
-     done
-   with Exit -> ());
-  (!best, !used)
+(* the best run under the deterministic (cost, start_index) order:
+   strictly smaller finite cost wins, ties keep the earlier start *)
+let better_than best (report : Objective.report) =
+  match best with
+  | None -> Float.is_finite report.Objective.cost
+  | Some { report = b; _ } -> report.Objective.cost < b.Objective.cost
+
+let search ?domains ~rng ~starts ~sample ~solve ~accept () =
+  let domains =
+    match domains with Some d -> d | None -> Qturbo_par.Pool.default_domains ()
+  in
+  if starts <= 0 then (None, 0)
+  else begin
+    (* per-start streams are split off the caller's rng up front, in
+       start order — every start sees the same initial point whether the
+       search runs sequentially or on the pool *)
+    let x0s = Array.make starts [||] in
+    for i = 0 to starts - 1 do
+      x0s.(i) <- sample (Rng.split rng)
+    done;
+    if domains <= 1 || Qturbo_par.Pool.in_worker () then begin
+      (* sequential: stop at the first accepted run *)
+      let best = ref None in
+      let accepted = ref None in
+      let i = ref 0 in
+      while !accepted = None && !i < starts do
+        let report, extra = solve x0s.(!i) in
+        if accept report then
+          accepted := Some { report; start_index = !i; extra }
+        else if better_than !best report then
+          best := Some { report; start_index = !i; extra };
+        incr i
+      done;
+      match !accepted with
+      | Some run -> (Some run, run.start_index + 1)
+      | None -> (!best, !i)
+    end
+    else begin
+      (* speculative: all starts run, then the same winner is picked —
+         the accepted run at the smallest start index, else the best by
+         (cost, start_index) *)
+      let runs =
+        Qturbo_par.Pool.parallel_map ~domains ~chunk:1
+          (fun x0 -> solve x0)
+          x0s
+      in
+      let accepted = ref None in
+      for i = starts - 1 downto 0 do
+        let report, extra = runs.(i) in
+        if accept report then accepted := Some { report; start_index = i; extra }
+      done;
+      match !accepted with
+      | Some run -> (Some run, run.start_index + 1)
+      | None ->
+          let best = ref None in
+          Array.iteri
+            (fun i (report, extra) ->
+              if better_than !best report then
+                best := Some { report; start_index = i; extra })
+            runs;
+          (!best, starts)
+    end
+  end
 
 let sample_box bounds ~fallback rng =
   Array.map

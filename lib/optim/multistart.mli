@@ -13,6 +13,7 @@ type 'a run = {
 }
 
 val search :
+  ?domains:int ->
   rng:Qturbo_util.Rng.t ->
   starts:int ->
   sample:(Qturbo_util.Rng.t -> float array) ->
@@ -20,11 +21,24 @@ val search :
   accept:(Objective.report -> bool) ->
   unit ->
   'a run option * int
-(** [search ~rng ~starts ~sample ~solve ~accept ()] draws up to [starts]
-    initial points, solving from each; stops early at the first accepted
-    report.  Returns the best run seen (by cost) — or [None] when every
-    start diverged to a non-finite cost — together with the number of
-    starts actually consumed. *)
+(** [search ~rng ~starts ~sample ~solve ~accept ()] solves from up to
+    [starts] random initial points and returns the winning run together
+    with the number of starts consumed.
+
+    Each start samples its initial point from its own [Rng.split]-derived
+    stream (split off [rng] in start order before any solving), so the
+    set of initial points — and therefore the winner — is the same
+    whether the starts run sequentially or on the pool ([domains],
+    defaulting to {!Qturbo_par.Pool.default_domains}).
+
+    The winner is the {e accepted} run with the smallest start index when
+    [accept] fires (the run itself, even if an earlier start had lower
+    cost; [used] is its index + 1), and otherwise the best run by
+    [(cost, start_index)] — strictly smaller finite cost wins, ties keep
+    the earlier start ([used = starts]).  [None] when every start
+    diverged to a non-finite cost.  The sequential path stops solving at
+    the first accepted run; the parallel path runs all starts
+    speculatively and then picks the identical winner. *)
 
 val sample_box :
   Bounds.bound array -> fallback:float -> Qturbo_util.Rng.t -> float array

@@ -47,73 +47,90 @@ and minimize_nonempty ~options f x0 =
         v)
   in
   let values = Array.map eval vertices in
+  (* all per-iteration scratch is hoisted: the sort permutation and its
+     staging copies, the centroid, and two candidate-point buffers that
+     are swapped with the displaced worst vertex on acceptance *)
+  let idx = Array.init (n + 1) Fun.id in
+  let tmp_v = Array.make (n + 1) x0 in
+  let tmp_f = Array.make (n + 1) 0.0 in
   let order () =
-    let idx = Array.init (n + 1) Fun.id in
+    for i = 0 to n do
+      idx.(i) <- i
+    done;
     Array.sort (fun a b -> Float.compare values.(a) values.(b)) idx;
-    let vs = Array.map (fun i -> vertices.(i)) idx in
-    let fs = Array.map (fun i -> values.(i)) idx in
-    Array.blit vs 0 vertices 0 (n + 1);
-    Array.blit fs 0 values 0 (n + 1)
+    for i = 0 to n do
+      tmp_v.(i) <- vertices.(idx.(i));
+      tmp_f.(i) <- values.(idx.(i))
+    done;
+    Array.blit tmp_v 0 vertices 0 (n + 1);
+    Array.blit tmp_f 0 values 0 (n + 1)
   in
+  let c = Array.make n 0.0 in
   let centroid () =
     (* of all vertices but the worst *)
-    let c = Array.make n 0.0 in
+    Array.fill c 0 n 0.0;
     for i = 0 to n - 1 do
       (* vertex index i over 0..n-1 *)
       for j = 0 to n - 1 do
         c.(j) <- c.(j) +. (vertices.(i).(j) /. float_of_int n)
       done
-    done;
-    c
+    done
   in
-  let combine a b coeff =
-    Array.init n (fun j -> a.(j) +. (coeff *. (b.(j) -. a.(j))))
+  let combine_into dst a b coeff =
+    for j = 0 to n - 1 do
+      dst.(j) <- a.(j) +. (coeff *. (b.(j) -. a.(j)))
+    done
+  in
+  let scratch_r = ref (Array.make n 0.0) in
+  let scratch_e = ref (Array.make n 0.0) in
+  (* install a candidate as the new worst vertex, recycling the
+     displaced vertex array as the next scratch buffer *)
+  let install cand fc =
+    let old = vertices.(n) in
+    vertices.(n) <- !cand;
+    values.(n) <- fc;
+    cand := old
   in
   let iterations = ref 0 in
   let converged = ref false in
   order ();
   while (not !converged) && !iterations < options.max_iterations do
     incr iterations;
-    let c = centroid () in
+    centroid ();
     let worst = vertices.(n) in
-    let xr = combine c worst (-.rho) in
+    let xr = !scratch_r in
+    combine_into xr c worst (-.rho);
     let fr = eval xr in
     if fr < values.(0) then begin
       (* try expanding further along the reflection direction *)
-      let xe = combine c worst (-.(rho *. chi)) in
+      let xe = !scratch_e in
+      combine_into xe c worst (-.(rho *. chi));
       let fe = eval xe in
-      if fe < fr then begin
-        vertices.(n) <- xe;
-        values.(n) <- fe
-      end
-      else begin
-        vertices.(n) <- xr;
-        values.(n) <- fr
-      end
+      if fe < fr then install scratch_e fe else install scratch_r fr
     end
-    else if fr < values.(n - 1) then begin
-      vertices.(n) <- xr;
-      values.(n) <- fr
-    end
+    else if fr < values.(n - 1) then install scratch_r fr
     else begin
       (* contraction: outside if the reflected point improved on the worst *)
-      let xc, fc =
-        if fr < values.(n) then
-          let xc = combine c worst (-.(rho *. gamma)) in
-          (xc, eval xc)
-        else
-          let xc = combine c worst gamma in
-          (xc, eval xc)
+      let xc = !scratch_e in
+      let fc =
+        if fr < values.(n) then begin
+          combine_into xc c worst (-.(rho *. gamma));
+          eval xc
+        end
+        else begin
+          combine_into xc c worst gamma;
+          eval xc
+        end
       in
-      if fc < Float.min fr values.(n) then begin
-        vertices.(n) <- xc;
-        values.(n) <- fc
-      end
+      if fc < Float.min fr values.(n) then install scratch_e fc
       else
-        (* shrink toward the best vertex *)
+        (* shrink toward the best vertex (elementwise, so in place) *)
         for i = 1 to n do
-          vertices.(i) <- combine vertices.(0) vertices.(i) sigma;
-          values.(i) <- eval vertices.(i)
+          let vi = vertices.(i) and v0 = vertices.(0) in
+          for j = 0 to n - 1 do
+            vi.(j) <- v0.(j) +. (sigma *. (vi.(j) -. v0.(j)))
+          done;
+          values.(i) <- eval vi
         done
     end;
     order ();

@@ -49,7 +49,7 @@ let alpha_of t ~indicators x =
   Array.map
     (fun (c : Instruction.channel) ->
       if indicators.(t.instr_of_channel.(c.Instruction.cid)) then
-        Expr.eval c.Instruction.expr ~env *. t_sim
+        Instruction.eval_channel c ~env *. t_sim
       else 0.0)
     t.channels
 

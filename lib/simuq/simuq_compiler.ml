@@ -38,7 +38,7 @@ type attempt = {
 
 let compile ?(options = default_options) ~aais ~target ~t_tar () =
   if t_tar <= 0.0 then invalid_arg "Simuq_compiler.compile: t_tar <= 0";
-  let t0 = Sys.time () in
+  let t0 = Qturbo_util.Clock.now () in
   let sys = Global_system.build ~aais ~target ~t_tar in
   let rng = Qturbo_util.Rng.create ~seed:options.seed in
   let bounds = Global_system.bounds sys ~t_max:options.t_max in
@@ -64,7 +64,7 @@ let compile ?(options = default_options) ~aais ~target ~t_tar () =
   let best = ref None in
   let starts_used = ref 0 in
   let out_of_budget () =
-    Sys.time () -. t0 > options.time_budget_seconds
+    Qturbo_util.Clock.now () -. t0 > options.time_budget_seconds
   in
   (try
      for start = 0 to starts - 1 do
@@ -148,7 +148,7 @@ let compile ?(options = default_options) ~aais ~target ~t_tar () =
         relative_error = Float.nan;
         indicators = [||];
         starts_used = !starts_used;
-        compile_seconds = Sys.time () -. t0;
+        compile_seconds = Qturbo_util.Clock.now () -. t0;
       }
   | Some { a_x; a_error; a_indicators } ->
       let env, t_sim = Global_system.split sys a_x in
@@ -161,5 +161,5 @@ let compile ?(options = default_options) ~aais ~target ~t_tar () =
         relative_error;
         indicators = a_indicators;
         starts_used = !starts_used;
-        compile_seconds = Sys.time () -. t0;
+        compile_seconds = Qturbo_util.Clock.now () -. t0;
       }

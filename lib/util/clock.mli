@@ -1,0 +1,4 @@
+val now : unit -> float
+(** Wall-clock seconds (epoch-based).  All compile-time measurements
+    use this rather than [Sys.time]: process CPU time sums over
+    domains, so it over-counts parallel sections. *)

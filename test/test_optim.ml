@@ -240,6 +240,102 @@ let test_sample_box () =
     Alcotest.(check bool) "second in fallback" true (x.(1) >= -5.0 && x.(1) < 5.0)
   done
 
+(* Regression: acceptance must report the run that fired it, not a later
+   start that happens to reach a lower cost — and the sequential early-exit
+   path must agree with the speculative pool path on winner and [used]. *)
+let synthetic_search ~domains ~costs ~accept =
+  let rng = Qturbo_util.Rng.create ~seed:7L in
+  (* x0s are split off [rng] sequentially in start order before any
+     solving, so a counter tags each start with its index *)
+  let counter = ref 0 in
+  let sample _rng =
+    let k = !counter in
+    incr counter;
+    [| float_of_int k |]
+  in
+  let solve x0 =
+    let k = int_of_float x0.(0) in
+    ( {
+        Objective.x = x0;
+        cost = costs.(k);
+        residual_norm = 0.0;
+        iterations = 1;
+        evaluations = 1;
+        converged = true;
+      },
+      k )
+  in
+  Multistart.search ~domains ~rng ~starts:(Array.length costs) ~sample ~solve
+    ~accept ()
+
+let test_multistart_reports_accepted_run () =
+  (* start 2 is accepted first; start 6 is accepted too and cheaper *)
+  let costs = [| 10.0; 9.0; 4.0; 7.0; 6.0; 5.5; 1.0; 3.0 |] in
+  let accept r = r.Objective.cost < 5.0 in
+  List.iter
+    (fun domains ->
+      match synthetic_search ~domains ~costs ~accept with
+      | None, _ -> Alcotest.fail "expected a run"
+      | Some run, used ->
+          let msg s = Printf.sprintf "domains=%d: %s" domains s in
+          Alcotest.(check int) (msg "accepted start") 2 run.Multistart.start_index;
+          Alcotest.(check int) (msg "extra payload") 2 run.Multistart.extra;
+          Alcotest.(check (float 0.0))
+            (msg "accepted cost, not the global best")
+            4.0 run.Multistart.report.Objective.cost;
+          Alcotest.(check int) (msg "used stops at acceptance") 3 used)
+    [ 1; 4 ]
+
+let test_multistart_best_tie_prefers_earlier () =
+  (* nothing accepted: best by (cost, start_index); the cost tie between
+     starts 1 and 3 keeps the earlier one, on both paths *)
+  let costs = [| 3.0; 1.0; 4.0; 1.0; 5.0 |] in
+  let accept _ = false in
+  List.iter
+    (fun domains ->
+      match synthetic_search ~domains ~costs ~accept with
+      | None, _ -> Alcotest.fail "expected a run"
+      | Some run, used ->
+          let msg s = Printf.sprintf "domains=%d: %s" domains s in
+          Alcotest.(check int) (msg "earlier tie wins") 1 run.Multistart.start_index;
+          Alcotest.(check int) (msg "all starts consumed") 5 used)
+    [ 1; 4 ]
+
+let test_multistart_all_diverged () =
+  let costs = [| Float.nan; Float.infinity; Float.nan |] in
+  List.iter
+    (fun domains ->
+      match synthetic_search ~domains ~costs ~accept:(fun _ -> false) with
+      | None, used -> Alcotest.(check int) "used" 3 used
+      | Some _, _ -> Alcotest.fail "non-finite costs must yield None")
+    [ 1; 4 ]
+
+let test_multistart_parallel_matches_sequential () =
+  (* same seed, real LM solves: the pool path must pick the identical
+     winner (same start, bitwise-same point) as the sequential path *)
+  let search domains =
+    let rng = Qturbo_util.Rng.create ~seed:31L in
+    let solve x0 =
+      let f x = [| ((x.(0) -. 4.0) *. (x.(0) +. 3.0)) /. 10.0 |] in
+      (Levenberg_marquardt.minimize f x0, ())
+    in
+    Multistart.search ~domains ~rng ~starts:12
+      ~sample:(fun rng -> [| Qturbo_util.Rng.uniform rng ~lo:(-10.0) ~hi:10.0 |])
+      ~solve
+      ~accept:(fun r -> r.Objective.cost < 1e-12 && r.Objective.x.(0) > 0.0)
+      ()
+  in
+  match (search 1, search 4) with
+  | (Some r1, used1), (Some r4, used4) ->
+      Alcotest.(check int) "same start" r1.Multistart.start_index
+        r4.Multistart.start_index;
+      Alcotest.(check int) "same used" used1 used4;
+      Alcotest.(check bool) "bitwise-same point" true
+        (Int64.equal
+           (Int64.bits_of_float r1.Multistart.report.Objective.x.(0))
+           (Int64.bits_of_float r4.Multistart.report.Objective.x.(0)))
+  | _ -> Alcotest.fail "both paths must find a run"
+
 (* ---- qcheck properties ---- *)
 
 let prop_bounds_roundtrip =
@@ -322,6 +418,14 @@ let () =
       ( "multistart",
         [
           Alcotest.test_case "finds accepted basin" `Quick test_multistart_finds_global;
+          Alcotest.test_case "reports the accepted run" `Quick
+            test_multistart_reports_accepted_run;
+          Alcotest.test_case "cost tie keeps earlier start" `Quick
+            test_multistart_best_tie_prefers_earlier;
+          Alcotest.test_case "all-diverged yields None" `Quick
+            test_multistart_all_diverged;
+          Alcotest.test_case "pool path matches sequential" `Quick
+            test_multistart_parallel_matches_sequential;
           Alcotest.test_case "sample box" `Quick test_sample_box;
         ] );
       ( "properties",

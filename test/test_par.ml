@@ -1,0 +1,287 @@
+(* Tests for qturbo.par and the parallel compile pipeline: pool
+   primitives agree with their sequential loops (values, order,
+   exceptions), compiled Expr kernels are bitwise-identical to the
+   interpreter, and Compiler/Td_compiler output does not depend on the
+   domain count. *)
+
+open Qturbo_par
+
+let bits = Int64.bits_of_float
+
+let check_bits_array msg a b =
+  Alcotest.(check int) (msg ^ ": length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if not (Int64.equal (bits x) (bits b.(i))) then
+        Alcotest.failf "%s: index %d differs: %h vs %h" msg i x b.(i))
+    a
+
+(* ---- Pool primitives ---- *)
+
+let test_map_matches_sequential () =
+  let input = Array.init 1000 (fun i -> float_of_int (i - 500) /. 7.0) in
+  let f x = sin x /. (1.0 +. (x *. x)) in
+  let expected = Array.map f input in
+  List.iter
+    (fun domains ->
+      let got = Pool.parallel_map ~domains f input in
+      check_bits_array (Printf.sprintf "domains=%d" domains) expected got)
+    [ 1; 2; 4; 8 ]
+
+let test_for_disjoint_writes () =
+  let n = 777 in
+  let out = Array.make n 0.0 in
+  Pool.parallel_for ~domains:4 ~chunk:13 ~total:n (fun i ->
+      out.(i) <- sqrt (float_of_int i));
+  Array.iteri
+    (fun i x ->
+      if not (Int64.equal (bits x) (bits (sqrt (float_of_int i)))) then
+        Alcotest.failf "index %d wrong" i)
+    out
+
+let test_exception_smallest_index () =
+  (* every index >= 30 fails; the caller must see index 30's exception,
+     exactly what a sequential loop raises first *)
+  List.iter
+    (fun domains ->
+      match
+        Pool.parallel_for ~domains ~chunk:7 ~total:100 (fun i ->
+            if i >= 30 then failwith (string_of_int i))
+      with
+      | () -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+          Alcotest.(check string)
+            (Printf.sprintf "domains=%d" domains)
+            "30" msg)
+    [ 1; 4 ]
+
+let test_nested_goes_sequential () =
+  (* a task that itself calls the pool must not deadlock; results still
+     match the flat computation *)
+  let expected =
+    Array.init 6 (fun i ->
+        Array.init 50 (fun j -> float_of_int ((i * 50) + j) ** 1.5))
+  in
+  let got =
+    Pool.parallel_map ~domains:4 ~chunk:1
+      (fun i ->
+        Pool.parallel_map ~domains:4
+          (fun j -> float_of_int ((i * 50) + j) ** 1.5)
+          (Array.init 50 Fun.id))
+      (Array.init 6 Fun.id)
+  in
+  Array.iteri (fun i row -> check_bits_array "nested row" expected.(i) row) got
+
+let test_reduce_order () =
+  (* the fold runs sequentially in index order: float rounding must be
+     identical to the plain fold_left *)
+  let input = Array.init 500 (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let map x = x *. 3.0 in
+  let expected = Array.fold_left (fun acc x -> acc +. map x) 0.1 input in
+  List.iter
+    (fun domains ->
+      let got =
+        Pool.parallel_reduce ~domains ~map ~fold:(fun acc x -> acc +. x)
+          ~init:0.1 input
+      in
+      if not (Int64.equal (bits expected) (bits got)) then
+        Alcotest.failf "domains=%d: %.17g vs %.17g" domains expected got)
+    [ 1; 4 ]
+
+let test_default_domains_env () =
+  (* QTURBO_DOMAINS is read per call; the test binary runs under the
+     CI matrix, so only sanity-check the contract *)
+  let d = Pool.default_domains () in
+  Alcotest.(check bool) "at least one domain" true (d >= 1);
+  Alcotest.(check bool) "not in a worker at top level" false (Pool.in_worker ())
+
+(* ---- compiled kernels ---- *)
+
+let expr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun x -> Qturbo_aais.Expr.Const x) (float_range (-3.0) 3.0);
+        map (fun v -> Qturbo_aais.Expr.Var v) (int_range 0 2);
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth <= 0 then leaf
+      else
+        let sub = self (depth - 1) in
+        oneof
+          [
+            leaf;
+            map (fun a -> Qturbo_aais.Expr.Neg a) sub;
+            map2 (fun a b -> Qturbo_aais.Expr.Add (a, b)) sub sub;
+            map2 (fun a b -> Qturbo_aais.Expr.Sub (a, b)) sub sub;
+            map2 (fun a b -> Qturbo_aais.Expr.Mul (a, b)) sub sub;
+            map2 (fun a b -> Qturbo_aais.Expr.Div (a, b)) sub sub;
+            map (fun a -> Qturbo_aais.Expr.Sin a) sub;
+            map (fun a -> Qturbo_aais.Expr.Cos a) sub;
+            map (fun a -> Qturbo_aais.Expr.Pow_int (a, 2)) sub;
+            map (fun a -> Qturbo_aais.Expr.Pow_int (a, 3)) sub;
+            map (fun a -> Qturbo_aais.Expr.Pow_int (a, 6)) sub;
+            map (fun a -> Qturbo_aais.Expr.Pow_int (a, -1)) sub;
+            map (fun a -> Qturbo_aais.Expr.Pow_int (a, -3)) sub;
+          ])
+    4
+
+let arb_expr_env =
+  let open QCheck.Gen in
+  let gen =
+    expr_gen >>= fun e ->
+    list_repeat 3 (float_range (-2.5) 2.5) >>= fun env ->
+    return (e, Array.of_list env)
+  in
+  QCheck.make
+    ~print:(fun (e, _) -> Format.asprintf "%a" Qturbo_aais.Expr.pp e)
+    gen
+
+let prop_kernel_bitwise =
+  QCheck.Test.make ~name:"compiled kernel is bitwise-identical to eval"
+    ~count:2000 arb_expr_env
+    (fun (e, env) ->
+      let v = Qturbo_aais.Expr.eval e ~env in
+      let k = Qturbo_aais.Expr.eval_kernel (Qturbo_aais.Expr.compile e) ~env in
+      Int64.equal (bits v) (bits k))
+
+let test_kernel_short_env_raises () =
+  let e = Qturbo_aais.Expr.Var 5 in
+  let k = Qturbo_aais.Expr.compile e in
+  let env = [| 1.0; 2.0 |] in
+  let raises f =
+    match f () with
+    | (_ : float) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "eval raises" true
+    (raises (fun () -> Qturbo_aais.Expr.eval e ~env));
+  Alcotest.(check bool) "kernel raises" true
+    (raises (fun () -> Qturbo_aais.Expr.eval_kernel k ~env))
+
+let test_kernel_vdw_shape () =
+  (* the van-der-Waals channel shape the peephole pass is built for *)
+  let open Qturbo_aais.Expr in
+  let e =
+    Div
+      ( Const 215672.0,
+        Pow_int
+          ( Add (Pow_int (Sub (Var 0, Var 1), 2), Pow_int (Sub (Var 2, Var 1), 2)),
+            3 ) )
+  in
+  let k = compile e in
+  Alcotest.(check bool) "fusion shrinks the program" true (kernel_length k <= 6);
+  let env = [| 4.5; -1.25; 2.75 |] in
+  Alcotest.(check bool) "value matches" true
+    (Int64.equal (bits (eval e ~env)) (bits (eval_kernel k ~env)))
+
+(* ---- compile determinism across domain counts ---- *)
+
+let relaxed_line =
+  { Qturbo_aais.Device.aquila_paper with Qturbo_aais.Device.max_extent = 2000.0 }
+
+let relaxed_plane =
+  Qturbo_aais.Device.with_geometry Qturbo_aais.Device.Plane relaxed_line
+
+let static_target name n =
+  Qturbo_pauli.Pauli_sum.drop_identity
+    (Qturbo_models.Model.hamiltonian_at
+       (Qturbo_models.Benchmarks.by_name ~name ~n)
+       ~s:0.0)
+
+let compile_with ~domains ~spec ~name ~n =
+  let ryd = Qturbo_aais.Rydberg.build ~spec ~n in
+  let options =
+    { Qturbo_core.Compiler.default_options with Qturbo_core.Compiler.domains }
+  in
+  Qturbo_core.Compiler.compile ~options ~aais:ryd.Qturbo_aais.Rydberg.aais
+    ~target:(static_target name n) ~t_tar:1.0 ()
+
+let test_compile_determinism () =
+  List.iter
+    (fun (name, spec, n) ->
+      let r1 = compile_with ~domains:1 ~spec ~name ~n in
+      let r4 = compile_with ~domains:4 ~spec ~name ~n in
+      let msg field = Printf.sprintf "%s n=%d: %s" name n field in
+      check_bits_array (msg "env") r1.Qturbo_core.Compiler.env
+        r4.Qturbo_core.Compiler.env;
+      check_bits_array (msg "alpha_achieved")
+        r1.Qturbo_core.Compiler.alpha_achieved
+        r4.Qturbo_core.Compiler.alpha_achieved;
+      check_bits_array (msg "t_sim/errors")
+        [|
+          r1.Qturbo_core.Compiler.t_sim;
+          r1.Qturbo_core.Compiler.error_l1;
+          r1.Qturbo_core.Compiler.eps2_total;
+        |]
+        [|
+          r4.Qturbo_core.Compiler.t_sim;
+          r4.Qturbo_core.Compiler.error_l1;
+          r4.Qturbo_core.Compiler.eps2_total;
+        |])
+    [
+      ("ising-chain", relaxed_line, 13);
+      ("ising-cycle", relaxed_plane, 13);
+      ("kitaev", relaxed_line, 12);
+    ]
+
+let test_td_compile_determinism () =
+  let n = 5 in
+  let model = Qturbo_models.Benchmarks.mis_chain ~n () in
+  let run domains =
+    let ryd = Qturbo_aais.Rydberg.build ~spec:relaxed_line ~n in
+    let options =
+      { Qturbo_core.Compiler.default_options with Qturbo_core.Compiler.domains }
+    in
+    Qturbo_core.Td_compiler.compile ~options ~aais:ryd.Qturbo_aais.Rydberg.aais
+      ~model ~t_tar:1.0 ~segments:3 ()
+  in
+  let r1 = run 1 and r4 = run 4 in
+  check_bits_array "t_sim/error"
+    [| r1.Qturbo_core.Td_compiler.t_sim; r1.Qturbo_core.Td_compiler.error_l1 |]
+    [| r4.Qturbo_core.Td_compiler.t_sim; r4.Qturbo_core.Td_compiler.error_l1 |];
+  List.iter2
+    (fun (s1 : Qturbo_core.Td_compiler.segment_result)
+         (s4 : Qturbo_core.Td_compiler.segment_result) ->
+      check_bits_array "segment env" s1.Qturbo_core.Td_compiler.env
+        s4.Qturbo_core.Td_compiler.env;
+      check_bits_array "segment duration"
+        [| s1.Qturbo_core.Td_compiler.duration |]
+        [| s4.Qturbo_core.Td_compiler.duration |])
+    r1.Qturbo_core.Td_compiler.segments r4.Qturbo_core.Td_compiler.segments
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches sequential" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "disjoint writes by index" `Quick
+            test_for_disjoint_writes;
+          Alcotest.test_case "smallest-index exception" `Quick
+            test_exception_smallest_index;
+          Alcotest.test_case "nested calls go sequential" `Quick
+            test_nested_goes_sequential;
+          Alcotest.test_case "reduce keeps fold order" `Quick test_reduce_order;
+          Alcotest.test_case "default domains sanity" `Quick
+            test_default_domains_env;
+        ] );
+      ( "kernels",
+        [
+          QCheck_alcotest.to_alcotest prop_kernel_bitwise;
+          Alcotest.test_case "short env raises" `Quick
+            test_kernel_short_env_raises;
+          Alcotest.test_case "van-der-Waals fusion" `Quick test_kernel_vdw_shape;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "static compile, 1 vs 4 domains" `Quick
+            test_compile_determinism;
+          Alcotest.test_case "td compile, 1 vs 4 domains" `Quick
+            test_td_compile_determinism;
+        ] );
+    ]
