@@ -7,6 +7,7 @@
      qturbo compile --model heis-chain -n 8 --backend heisenberg
      qturbo compile --model mis-chain -n 5 --segments 4
      qturbo compile --model ising-chain -n 8 --baseline
+     qturbo compile --model ising-chain -n 5 --best-effort --deadline 30
      qturbo check --model ising-cycle -n 5 --backend heisenberg
      qturbo check --hamiltonian '-1.0*Z0 Z1' --json
      qturbo models
@@ -86,6 +87,14 @@ let print_compile_result ~(ryd : Rydberg.t option) ~show_pulse ~ramp
     r.Qturbo_core.Compiler.theorem1_bound r.Qturbo_core.Compiler.eps1
     r.Qturbo_core.Compiler.eps2_total;
   List.iter (Printf.printf "warning: %s\n") r.Qturbo_core.Compiler.warnings;
+  List.iter
+    (fun f ->
+      Printf.printf "failure: %s\n" (Qturbo_resilience.Failure.to_string f))
+    r.Qturbo_core.Compiler.failures;
+  if r.Qturbo_core.Compiler.degraded then
+    print_endline
+      "DEGRADED: best-effort result; some component kept a non-converged \
+       solution (see failure records above)";
   match ryd with
   | Some ryd when show_pulse ->
       let pulse =
@@ -109,9 +118,20 @@ let user_errors f =
   | exception (Failure msg | Invalid_argument msg) ->
       Printf.eprintf "qturbo: %s\n" msg;
       2
+  | exception Qturbo_resilience.Failure.Failed fs ->
+      Printf.eprintf
+        "qturbo: compilation failed — %d classified failure record(s); rerun \
+         with --best-effort for a degraded result\n"
+        (List.length fs);
+      List.iter
+        (fun f ->
+          Printf.eprintf "  %s\n" (Qturbo_resilience.Failure.to_string f))
+        fs;
+      3
 
 let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
-    domains baseline no_refine no_time_opt show_pulse ramp json verbose =
+    domains baseline no_refine no_time_opt best_effort deadline show_pulse ramp
+    json verbose =
  user_errors @@ fun () ->
   setup_logging verbose;
   let model = resolve_model ~hamiltonian ~model_name ~n ~j ~h in
@@ -126,6 +146,8 @@ let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
       domains =
         (if domains > 0 then domains
          else Qturbo_core.Compiler.default_options.Qturbo_core.Compiler.domains);
+      best_effort;
+      deadline_seconds = (if deadline > 0.0 then Some deadline else None);
     }
   in
   match backend with
@@ -182,6 +204,15 @@ let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
             Printf.printf "  segment %d: %.4f us (error %.4g)\n" k
               s.Qturbo_core.Td_compiler.duration s.Qturbo_core.Td_compiler.error_l1)
           td.Qturbo_core.Td_compiler.segments;
+        List.iter
+          (fun f ->
+            Printf.printf "failure: %s\n"
+              (Qturbo_resilience.Failure.to_string f))
+          td.Qturbo_core.Td_compiler.failures;
+        if td.Qturbo_core.Td_compiler.degraded then
+          print_endline
+            "DEGRADED: best-effort result; some component kept a \
+             non-converged solution (see failure records above)";
         0
       end
       else begin
@@ -281,6 +312,24 @@ let no_refine_flag =
 let no_time_opt_flag =
   Arg.(value & flag & info [ "no-time-opt" ] ~doc:"Disable §5.1 evolution-time optimisation.")
 
+let best_effort_flag =
+  Arg.(
+    value & flag
+    & info [ "best-effort" ]
+        ~doc:
+          "Return a degraded result (with classified failure records) when a \
+           component solve exhausts the resilience escalation ladder, \
+           instead of failing the compile.")
+
+let deadline_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the compile; stages past the deadline \
+           short-circuit with classified deadline-expired records (0 = no \
+           deadline).")
+
 let show_pulse_flag =
   Arg.(value & flag & info [ "show-pulse" ] ~doc:"Print the compiled pulse schedule.")
 
@@ -303,7 +352,8 @@ let compile_term =
   Term.(
     const compile_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg $ device_arg $ t_tar_arg
     $ j_arg $ h_arg $ segments_arg $ domains_arg $ baseline_flag $ no_refine_flag
-    $ no_time_opt_flag $ show_pulse_flag $ ramp_flag $ json_flag $ verbose_flag)
+    $ no_time_opt_flag $ best_effort_flag $ deadline_arg $ show_pulse_flag
+    $ ramp_flag $ json_flag $ verbose_flag)
 
 let compile_info =
   Cmd.info "compile" ~doc:"Compile a benchmark Hamiltonian onto an analog device."

@@ -5,6 +5,10 @@ let src = Logs.Src.create "qturbo.compiler" ~doc:"QTurbo compilation pipeline"
 
 module Log = (val Logs.src_log src)
 
+module Failure = Qturbo_resilience.Failure
+module Fault = Qturbo_resilience.Fault
+module Supervisor = Qturbo_resilience.Supervisor
+
 type options = {
   refine : bool;
   time_opt : bool;
@@ -15,6 +19,10 @@ type options = {
   dense_linear_solver : bool;
   generic_local_solver : bool;
   domains : int;
+  supervise : bool;
+  best_effort : bool;
+  deadline_seconds : float option;
+  faults : Fault.spec option;
 }
 
 let default_options =
@@ -28,6 +36,10 @@ let default_options =
     dense_linear_solver = false;
     generic_local_solver = false;
     domains = Qturbo_par.Pool.default_domains ();
+    supervise = true;
+    best_effort = false;
+    deadline_seconds = None;
+    faults = None;
   }
 
 (* Observability hook for the pipeline stages.  Tests install a recorder
@@ -58,6 +70,8 @@ type result = {
   compile_seconds : float;
   warnings : string list;
   diagnostics : Qturbo_analysis.Diagnostic.t list;
+  failures : Failure.t list;
+  degraded : bool;
 }
 
 let classification_name = function
@@ -94,38 +108,74 @@ let component_domains ~domains comps =
   let largest = List.fold_left Int.max 0 sizes in
   if 2 * largest > total then (1, domains) else (domains, 1)
 
-let solve_prepared_comp ~alpha ~t_sim ~fixed_domains = function
-  | Dynamic p ->
-      let { Local_solver.assignments; eps2 } =
-        Local_solver.solve_prepared ~alpha ~t_sim p
-      in
-      (assignments, eps2)
-  | Fixed p ->
-      let { Fixed_solver.assignments; eps2 } =
-        Fixed_solver.solve_prepared ~domains:fixed_domains ~alpha ~t_sim p
-      in
-      (assignments, eps2)
+let solve_prepared_comp ?sup ~alpha ~t_sim ~fixed_domains = function
+  | Dynamic p -> (
+      match sup with
+      | None ->
+          let { Local_solver.assignments; eps2 } =
+            Local_solver.solve_prepared ~alpha ~t_sim p
+          in
+          (assignments, eps2, [])
+      | Some sup ->
+          let { Local_solver.assignments; eps2 }, failures =
+            Local_solver.solve_supervised ~sup ~alpha ~t_sim p
+          in
+          (assignments, eps2, failures))
+  | Fixed p -> (
+      match sup with
+      | None ->
+          let { Fixed_solver.assignments; eps2 } =
+            Fixed_solver.solve_prepared ~domains:fixed_domains ~alpha ~t_sim p
+          in
+          (assignments, eps2, [])
+      | Some sup ->
+          let { Fixed_solver.assignments; eps2 }, failures =
+            Fixed_solver.solve_supervised ~domains:fixed_domains ~sup ~alpha
+              ~t_sim p
+          in
+          (assignments, eps2, failures))
 
-(* Solve every component at the given evolution time, returning the full
-   environment and the per-component residuals.  Solves run on the pool
-   (components write disjoint variable slots); the assignments are then
-   applied sequentially in component order, so the resulting [env] is
-   identical to the sequential sweep. *)
-let solve_components ~vars ~comp_domains ~fixed_domains ~alpha ~t_sim prepared =
-  let env = Array.map (fun (v : Variable.t) -> v.Variable.init) vars in
-  let solved =
-    Qturbo_par.Pool.parallel_map_list ~domains:comp_domains ~chunk:1
-      (fun p -> solve_prepared_comp ~alpha ~t_sim ~fixed_domains p)
+(* Run a guarded component sweep.  The supervisor's pool guard raises
+   [Expired] the moment the deadline passes (or an injected deadline fault
+   fires), which abandons the sweep; the fallback rerun is unguarded, and
+   because the deadline has by then expired for every component, each
+   supervised solve short-circuits deterministically with a
+   [Deadline_expired] record — the same degraded result at any domain
+   count. *)
+let guarded_sweep ?sup ~site ~comp_domains f prepared =
+  let run ~guarded =
+    let guard =
+      match sup with
+      | Some s when guarded -> Some (Supervisor.pool_guard s ~site)
+      | _ -> None
+    in
+    Qturbo_par.Pool.parallel_map_list ?guard ~domains:comp_domains ~chunk:1 f
       prepared
   in
+  try run ~guarded:true with Supervisor.Expired -> run ~guarded:false
+
+(* Solve every component at the given evolution time, returning the full
+   environment, the per-component residuals, and the per-component failure
+   records.  Solves run on the pool (components write disjoint variable
+   slots); the assignments are then applied sequentially in component
+   order, so the resulting [env] is identical to the sequential sweep. *)
+let solve_components ?sup ~vars ~comp_domains ~fixed_domains ~alpha ~t_sim
+    prepared =
+  let env = Array.map (fun (v : Variable.t) -> v.Variable.init) vars in
+  let solved =
+    guarded_sweep ?sup ~site:"local-solve" ~comp_domains
+      (fun p -> solve_prepared_comp ?sup ~alpha ~t_sim ~fixed_domains p)
+      prepared
+  in
+  let failures = List.concat_map (fun (_, _, fs) -> fs) solved in
   let eps2s =
     List.map
-      (fun (assignments, eps2) ->
+      (fun (assignments, eps2, _) ->
         List.iter (fun (v, x) -> env.(v) <- x) assignments;
         eps2)
       solved
   in
-  (env, eps2s)
+  (env, eps2s, failures)
 
 let alpha_achieved_of_env ~domains ~channels ~env ~t_sim =
   (* a kernel eval is ~10 ns; only very wide channel sets outweigh the
@@ -189,6 +239,23 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
   let t0 = Qturbo_util.Clock.now () in
   let domains = options.domains in
   let warnings = ref [] in
+  (* supervision context: deadline (absolute from here), fault spec
+     (explicit, else QTURBO_FAULTS), best-effort flag.  [supervise = false]
+     bypasses the ladder entirely — the raw seed solver path, kept for
+     overhead benchmarking. *)
+  let sup =
+    if options.supervise then
+      Some
+        (Supervisor.make ?deadline_seconds:options.deadline_seconds
+           ?faults:options.faults ~best_effort:options.best_effort ())
+    else None
+  in
+  let pipeline_failures = ref [] in
+  let fault_fires site =
+    match sup with
+    | None -> None
+    | Some s -> Fault.fires (Supervisor.faults s) ~site ~component:(-1)
+  in
   let channels = Aais.channels aais in
   let vars = Aais.variables aais in
   (* stage 0: build the system and its decomposition, then run the static
@@ -236,13 +303,19 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
   let prepared = prepare_components ~vars ~channels comps classifications in
   let comp_domains, fixed_domains = component_domains ~domains comps in
   (* stage 3: evolution-time optimisation (bottleneck component) *)
-  let min_times =
-    Qturbo_par.Pool.parallel_map_list ~domains:comp_domains ~chunk:1
+  let min_time_results =
+    guarded_sweep ?sup ~site:"min-time" ~comp_domains
       (function
-        | Dynamic p -> Local_solver.min_time_prepared ~alpha p
-        | Fixed _ -> 0.0)
+        | Dynamic p -> (
+            match sup with
+            | None -> (Local_solver.min_time_prepared ~alpha p, [])
+            | Some sup -> Local_solver.min_time_supervised ~sup ~alpha p)
+        | Fixed _ -> (0.0, []))
       prepared
   in
+  let min_times = List.map fst min_time_results in
+  pipeline_failures :=
+    !pipeline_failures @ List.concat_map snd min_time_results;
   let bottleneck = List.fold_left Float.max 0.0 min_times in
   Log.debug (fun m ->
       m "locality: %d components, bottleneck evolution time %.4g"
@@ -255,34 +328,84 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
   in
   let t_start = if options.time_opt then t_base else t_base *. options.no_opt_padding in
   (* stage 4: solve localized systems, iterating T upward while the
-     runtime-fixed layout violates device geometry (paper §5.2) *)
+     runtime-fixed layout violates device geometry (paper §5.2).  The
+     retry loop is hard-bounded: exhausting [max_constraint_iters]
+     produces a classified [Position_retry_exhausted] failure (and the
+     best layout found), never an unbounded spin. *)
   !stage_hook "local-solve";
+  let retry_fault = fault_fires "constraint-loop" = Some Fault.Retry in
   let rec attempt t iter =
-    let env, eps2s =
-      solve_components ~vars ~comp_domains ~fixed_domains ~alpha ~t_sim:t
+    let env, eps2s, solve_failures =
+      solve_components ?sup ~vars ~comp_domains ~fixed_domains ~alpha ~t_sim:t
         prepared
     in
-    let violations = aais.Aais.check_fixed env in
-    if violations = [] || iter >= options.max_constraint_iters then begin
-      if violations <> [] then
-        warnings :=
-          Printf.sprintf "layout constraints unresolved after %d iterations: %s"
-            iter
-            (String.concat "; " violations)
-          :: !warnings;
-      (t, env, eps2s, iter)
+    let violations =
+      if retry_fault then
+        [ "injected fault: constraint-loop=retry forces a violation" ]
+      else aais.Aais.check_fixed env
+    in
+    let expired =
+      match sup with
+      | None -> false
+      | Some s -> Supervisor.site_expired s ~site:"constraint-loop" ~component:(-1)
+    in
+    if violations = [] || iter >= options.max_constraint_iters || expired
+    then begin
+      if violations <> [] then begin
+        let reason =
+          if iter >= options.max_constraint_iters then
+            Printf.sprintf
+              "layout constraints unresolved after %d iterations: %s" iter
+              (String.concat "; " violations)
+          else
+            Printf.sprintf
+              "deadline expired with layout constraints unresolved after %d \
+               iterations: %s"
+              iter
+              (String.concat "; " violations)
+        in
+        warnings := reason :: !warnings;
+        pipeline_failures :=
+          !pipeline_failures
+          @ [
+              Failure.make ~component:(-1) ~site:"constraint-loop" ~stage:""
+                ~fatal:false
+                ~class_:
+                  (if iter >= options.max_constraint_iters then
+                     Failure.Position_retry_exhausted
+                   else Failure.Deadline_expired)
+                reason;
+            ]
+      end;
+      (t, env, eps2s, solve_failures, iter)
     end
     else attempt (t *. options.dt_factor) (iter + 1)
   in
-  let t_sim, env, eps2s, constraint_iterations = attempt t_start 0 in
+  let t_sim, env, eps2s, solve_failures, constraint_iterations =
+    attempt t_start 0
+  in
   Log.debug (fun m ->
       m "localized systems solved at T = %.4g after %d constraint iterations"
         t_sim constraint_iterations);
   (* stage 5: iterative refinement (§6.2) — re-solve the runtime-dynamic
      channels against the residual left by the achieved fixed channels *)
   let achieved = alpha_achieved_of_env ~domains ~channels ~env ~t_sim in
+  let refine_expired =
+    match sup with
+    | None -> false
+    | Some s -> Supervisor.site_expired s ~site:"refine" ~component:(-1)
+  in
+  if options.refine && refine_expired then
+    pipeline_failures :=
+      !pipeline_failures
+      @ [
+          Failure.make ~component:(-1) ~site:"refine" ~stage:"" ~fatal:false
+            ~class_:Failure.Deadline_expired
+            "deadline expired before refinement; returning unrefined result";
+        ];
+  let refine_failures = ref [] in
   let env, eps2s =
-    if not options.refine then (env, eps2s)
+    if (not options.refine) || refine_expired then (env, eps2s)
     else begin
       let fixed_cid = Array.make (Array.length channels) false in
       List.iter2
@@ -329,7 +452,7 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
          on the pool, assignments apply in component order as above *)
       let env = Array.copy env in
       let resolved =
-        Qturbo_par.Pool.parallel_map_list ~domains:comp_domains ~chunk:1
+        guarded_sweep ?sup ~site:"refine" ~comp_domains
           (fun (comp, p) ->
             match p with
             | Fixed _ ->
@@ -338,17 +461,27 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
                   List.fold_left
                     (fun acc cid ->
                       acc +. Float.abs (achieved.(cid) -. alpha.(cid)))
-                    0.0 comp.Locality.channel_ids )
-            | Dynamic p ->
-                let { Local_solver.assignments; eps2 } =
-                  Local_solver.solve_prepared ~alpha:alpha_refined ~t_sim p
-                in
-                (assignments, eps2))
+                    0.0 comp.Locality.channel_ids,
+                  [] )
+            | Dynamic p -> (
+                match sup with
+                | None ->
+                    let { Local_solver.assignments; eps2 } =
+                      Local_solver.solve_prepared ~alpha:alpha_refined ~t_sim p
+                    in
+                    (assignments, eps2, [])
+                | Some sup ->
+                    let { Local_solver.assignments; eps2 }, failures =
+                      Local_solver.solve_supervised ~sup ~alpha:alpha_refined
+                        ~t_sim p
+                    in
+                    (assignments, eps2, failures)))
           (List.combine comps prepared)
       in
+      refine_failures := List.concat_map (fun (_, _, fs) -> fs) resolved;
       let eps2s =
         List.map
-          (fun (assignments, eps2) ->
+          (fun (assignments, eps2, _) ->
             List.iter (fun (v, x) -> env.(v) <- x) assignments;
             eps2)
           resolved
@@ -378,6 +511,16 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
          classifications
          (List.combine min_times eps2s))
   in
+  (* failures, in pipeline order: evolution-time search and
+     pipeline-level records (constraint loop, refinement expiry), then
+     the final constraint-iteration solve sweep (component order — the
+     pool collects by index), then refinement re-solves *)
+  let failures = !pipeline_failures @ solve_failures @ !refine_failures in
+  let degraded = List.exists (fun f -> f.Failure.fatal) failures in
+  let best_effort =
+    match sup with Some s -> Supervisor.best_effort s | None -> false
+  in
+  if degraded && not best_effort then raise (Failure.Failed failures);
   {
     env;
     t_sim;
@@ -394,4 +537,6 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
     compile_seconds = Qturbo_util.Clock.now () -. t0;
     warnings = List.rev !warnings;
     diagnostics;
+    failures;
+    degraded;
   }

@@ -35,6 +35,26 @@ type options = {
           {!Qturbo_par.Pool.default_domains} — i.e. [QTURBO_DOMAINS] when
           set, else cores − 1.  [1] runs fully sequentially; results are
           bitwise-identical either way. *)
+  supervise : bool;
+      (** run every component solve under the
+          {!Qturbo_resilience.Supervisor} escalation ladder (default
+          true).  On a clean compile the supervised path issues exactly
+          the same solver calls as the unsupervised one, so results are
+          bitwise-identical; it only changes behaviour on hard solver
+          failure, injected faults, or an expired deadline. *)
+  best_effort : bool;
+      (** when a component fails every ladder stage, carry the failure on
+          [result.failures] (with [degraded = true]) instead of raising
+          {!Qturbo_resilience.Failure.Failed} (default false) *)
+  deadline_seconds : float option;
+      (** wall-clock budget for the whole compile, measured from the
+          moment {!compile} builds its supervisor.  Stages started after
+          expiry short-circuit with [Deadline_expired]; already-running
+          pool sweeps are cancelled and re-run in short-circuit mode so
+          the degraded result is identical at any [domains]. *)
+  faults : Qturbo_resilience.Fault.spec option;
+      (** deterministic fault injection for the supervised sites; [None]
+          (the default) reads [QTURBO_FAULTS] from the environment *)
 }
 
 val default_options : options
@@ -65,6 +85,13 @@ type result = {
           diagnostics from the precheck *)
   diagnostics : Qturbo_analysis.Diagnostic.t list;
       (** everything the pre-solve static analyzer found *)
+  failures : Qturbo_resilience.Failure.t list;
+      (** classified solver failures and recoveries collected by the
+          resilience supervisor, in pipeline order *)
+  degraded : bool;
+      (** true iff some failure is fatal — a component kept a
+          non-converged solution (best-effort compiles only; strict
+          compiles raise instead) *)
 }
 
 val stage_hook : (string -> unit) ref
@@ -117,7 +144,13 @@ val compile :
     pipeline proceeds anyway (the historical least-squares behaviour)
     and the findings are carried on [result.diagnostics].
     Warning-severity findings are additionally rendered into
-    [result.warnings]. *)
+    [result.warnings].
+
+    With [options.supervise] (the default), component solves run under
+    the resilience escalation ladder; if a component exhausts every
+    stage the compile raises {!Qturbo_resilience.Failure.Failed} unless
+    [options.best_effort] is set, in which case the degraded result is
+    returned with the classified records on [result.failures]. *)
 
 val b_tar_norm1 :
   aais:Qturbo_aais.Aais.t ->

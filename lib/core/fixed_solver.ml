@@ -86,8 +86,11 @@ let prepare ~vars ~channels (comp : Locality.component) =
    benchmark; smaller solves stay sequential on every domain count. *)
 let par_threshold = 32_768
 
-let solve_prepared ?(domains = 1) ~alpha ~t_sim p =
-  if t_sim <= 0.0 then invalid_arg "Fixed_solver.solve: t_sim <= 0";
+let solve_impl ?(domains = 1) ?sup ~alpha ~t_sim p =
+  if t_sim <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Fixed_solver.solve: t_sim <= 0 (component %d)"
+         p.comp.Locality.id);
   let channels = p.channels and cids = p.cids and free_ids = p.free_ids in
   let n_rows = Array.length cids in
   let nv = Array.length free_ids in
@@ -112,10 +115,22 @@ let solve_prepared ?(domains = 1) ~alpha ~t_sim p =
      coordinates, so a single uniform rescale of the initial layout finds
      the right magnitude basin before LM refines the shape *)
   let scaled s = Array.map (fun x -> s *. x) p.x_init in
-  let log_scale, _ =
+  let prefit =
     Scalar.golden_min ~f:(fun ls -> cost (scaled (exp ls))) ~lo:(-3.0) ~hi:3.0 ()
   in
-  let x0_ext = scaled (exp log_scale) in
+  let prefit_failures =
+    if prefit.Scalar.converged then []
+    else
+      [
+        Qturbo_resilience.Failure.make ~component:p.comp.Locality.id
+          ~site:"fixed-solve" ~stage:"prefit" ~fatal:false
+          ~class_:Qturbo_resilience.Failure.Non_convergence
+          (Printf.sprintf
+             "magnitude pre-fit stopped after %d iterations above tolerance"
+             prefit.Scalar.iterations);
+      ]
+  in
+  let x0_ext = scaled (exp prefit.Scalar.argmin) in
   (* exact symbolic Jacobian; LM runs in external coordinates (position
      boxes are wide, so iterates stay interior) and the result is clamped,
      any clamping error landing in eps2.  The matrix is reused across LM
@@ -132,14 +147,32 @@ let solve_prepared ?(domains = 1) ~alpha ~t_sim p =
         jac_data.((i * nv) + k) <- Expr.eval_kernel d ~env:scratch *. t_sim);
     jac
   in
-  let report = Levenberg_marquardt.minimize ~jacobian residual_ext x0_ext in
+  let report, solve_failures =
+    match sup with
+    | None -> (Levenberg_marquardt.minimize ~jacobian residual_ext x0_ext, [])
+    | Some sup ->
+        let outcome =
+          Qturbo_resilience.Supervisor.solve sup ~site:"fixed-solve"
+            ~component:p.comp.Locality.id ~jacobian ~bounds:p.bounds
+            residual_ext x0_ext
+        in
+        ( outcome.Qturbo_resilience.Supervisor.report,
+          outcome.Qturbo_resilience.Supervisor.failures )
+  in
   let x_ext =
     Array.mapi (fun k x -> Bounds.clamp p.bounds.(k) x) report.Objective.x
   in
   let final = residual_ext x_ext in
   let eps2 = Array.fold_left (fun acc r -> acc +. Float.abs r) 0.0 final in
   let free_assignments = List.init nv (fun k -> (free_ids.(k), x_ext.(k))) in
-  { assignments = free_assignments @ p.pinned; eps2 }
+  ( { assignments = free_assignments @ p.pinned; eps2 },
+    prefit_failures @ solve_failures )
+
+let solve_prepared ?domains ~alpha ~t_sim p =
+  fst (solve_impl ?domains ~alpha ~t_sim p)
+
+let solve_supervised ?domains ~sup ~alpha ~t_sim p =
+  solve_impl ?domains ~sup ~alpha ~t_sim p
 
 let solve ?domains ~vars ~channels ~alpha ~t_sim comp =
   solve_prepared ?domains ~alpha ~t_sim (prepare ~vars ~channels comp)

@@ -45,6 +45,22 @@ val solve_prepared :
     components stay sequential regardless).  Raises [Invalid_argument]
     when [t_sim <= 0]. *)
 
+val solve_supervised :
+  ?domains:int ->
+  sup:Qturbo_resilience.Supervisor.t ->
+  alpha:float array ->
+  t_sim:float ->
+  prepared ->
+  result * Qturbo_resilience.Failure.t list
+(** {!solve_prepared} with the LM position solve run under the
+    resilience escalation ladder (site ["fixed-solve"], the component's
+    locality id; the position boxes seed the multistart stage).  Also
+    reports a non-fatal [Non_convergence] record when the golden-section
+    magnitude pre-fit stops above tolerance.  Under [Supervisor.none]
+    the result is bitwise-identical to {!solve_prepared}; on a hard
+    solver failure the returned layout is the (clamped) pre-fit initial
+    layout and the failure list says why. *)
+
 val solve :
   ?domains:int ->
   vars:Qturbo_aais.Variable.t array ->

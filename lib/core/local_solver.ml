@@ -181,38 +181,57 @@ let component_residual ~channels ~alpha ~t_sim comp env =
     comp.Locality.channel_ids
   |> Array.of_list
 
-let generic_solve_prepared ~alpha ~t_sim p g =
+let generic_residual ~alpha ~t_sim p g =
   let channels = p.p_channels in
   let cids = p.p_cids in
   let n_ch = Array.length cids in
   let var_ids = g.g_var_ids in
-  let nv = Array.length var_ids in
   let scratch = Array.make g.g_env_size 0.0 in
-  let residual x =
+  fun x ->
     Array.iteri (fun k v -> scratch.(v) <- x.(k)) var_ids;
     Array.init n_ch (fun i ->
         let cid = cids.(i) in
         (Instruction.eval_channel channels.(cid) ~env:scratch *. t_sim)
         -. alpha.(cid))
+
+let generic_solution_of_report ~alpha ~t_sim p g (report : Objective.report) =
+  let var_ids = g.g_var_ids in
+  let nv = Array.length var_ids in
+  let x_ext = Bounds.of_internal g.g_transform report.Objective.x in
+  let assignments = List.init nv (fun k -> (var_ids.(k), x_ext.(k))) in
+  let residual = generic_residual ~alpha ~t_sim p g in
+  let final = residual x_ext in
+  let eps2 = Array.fold_left (fun acc r -> acc +. Float.abs r) 0.0 final in
+  { assignments; eps2 }
+
+let generic_solve_supervised ~sup ~alpha ~t_sim p g =
+  let residual = generic_residual ~alpha ~t_sim p g in
+  let outcome =
+    Qturbo_resilience.Supervisor.solve sup ~site:"local-solve"
+      ~component:p.p_comp.Locality.id
+      (Bounds.wrap_residual g.g_transform residual)
+      g.g_x0
   in
+  ( generic_solution_of_report ~alpha ~t_sim p g
+      outcome.Qturbo_resilience.Supervisor.report,
+    outcome.Qturbo_resilience.Supervisor.failures )
+
+let generic_solve_prepared ~alpha ~t_sim p g =
+  let residual = generic_residual ~alpha ~t_sim p g in
   let report =
     Levenberg_marquardt.minimize
       (Bounds.wrap_residual g.g_transform residual)
       g.g_x0
   in
-  let x_ext = Bounds.of_internal g.g_transform report.Objective.x in
-  let assignments = List.init nv (fun k -> (var_ids.(k), x_ext.(k))) in
-  let final = residual x_ext in
-  let eps2 = Array.fold_left (fun acc r -> acc +. Float.abs r) 0.0 final in
-  { assignments; eps2 }
+  generic_solution_of_report ~alpha ~t_sim p g report
 
 let component_alpha_scale ~alpha comp =
   List.fold_left
     (fun acc cid -> Float.max acc (Float.abs alpha.(cid)))
     0.0 comp.Locality.channel_ids
 
-let generic_min_time_prepared ~alpha p g =
-  if component_alpha_scale ~alpha p.p_comp = 0.0 then 0.0
+let generic_min_time_impl ~alpha p g =
+  if component_alpha_scale ~alpha p.p_comp = 0.0 then (0.0, [])
   else begin
     let feasible t =
       let scale = Float.max 1.0 (component_alpha_scale ~alpha p.p_comp) in
@@ -226,10 +245,34 @@ let generic_min_time_prepared ~alpha p g =
       else grow (2.0 *. t) (tries - 1)
     in
     match grow 1e-3 50 with
-    | None -> infinity
+    | None ->
+        ( infinity,
+          [
+            Qturbo_resilience.Failure.make ~component:p.p_comp.Locality.id
+              ~site:"min-time" ~stage:"" ~fatal:false
+              ~class_:Qturbo_resilience.Failure.Non_convergence
+              "no feasible evolution time found by bracket doubling";
+          ] )
     | Some hi ->
-        Scalar.bisect_predicate ~tol:1e-6 ~f:feasible ~lo:(hi /. 2.0) ~hi ()
+        let r =
+          Scalar.bisect_predicate ~tol:1e-6 ~f:feasible ~lo:(hi /. 2.0) ~hi ()
+        in
+        let failures =
+          if r.Scalar.converged then []
+          else
+            [
+              Qturbo_resilience.Failure.make ~component:p.p_comp.Locality.id
+                ~site:"min-time" ~stage:"" ~fatal:false
+                ~class_:Qturbo_resilience.Failure.Non_convergence
+                (Printf.sprintf
+                   "T bisection stopped after %d iterations above tolerance"
+                   r.Scalar.iterations);
+            ]
+        in
+        (r.Scalar.root, failures)
   end
+
+let generic_min_time_prepared ~alpha p g = fst (generic_min_time_impl ~alpha p g)
 
 let min_time_prepared ~alpha p =
   match (p.p_cls, p.p_case) with
@@ -264,11 +307,18 @@ let eval_eps2 ~channels ~alpha ~t_sim comp assignments =
   Array.fold_left (fun acc x -> acc +. Float.abs x) 0.0 r
 
 let solve_prepared ~alpha ~t_sim p =
-  if t_sim <= 0.0 then invalid_arg "Local_solver.solve_at: t_sim <= 0";
+  if t_sim <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "Local_solver.solve_at: t_sim <= 0 (component %d)"
+         p.p_comp.Locality.id);
   let vars = p.p_vars and channels = p.p_channels and comp = p.p_comp in
   match (p.p_cls, p.p_case) with
   | Fixed_vars, _ ->
-      invalid_arg "Local_solver.solve_at: fixed component (use Fixed_solver)"
+      invalid_arg
+        (Printf.sprintf
+           "Local_solver.solve_at: component %d is runtime-fixed (use \
+            Fixed_solver)"
+           p.p_comp.Locality.id)
   | Const_channels, P_const ks ->
       let eps2 =
         List.fold_left
@@ -289,6 +339,35 @@ let solve_prepared ~alpha ~t_sim p =
       { assignments; eps2 = eval_eps2 ~channels ~alpha ~t_sim comp assignments }
   | Generic, P_generic g -> generic_solve_prepared ~alpha ~t_sim p g
   | (Const_channels | Generic), _ -> assert false
+
+(* ---- supervised entry points -------------------------------------- *)
+
+(* Closed-form cases (const/linear/polar) are direct arithmetic that
+   cannot diverge, so only the generic LM path runs under the ladder.
+   With [Supervisor.none] the supervised path is bitwise-identical to
+   [solve_prepared]. *)
+
+let solve_supervised ~sup ~alpha ~t_sim p =
+  match (p.p_cls, p.p_case) with
+  | Generic, P_generic g -> generic_solve_supervised ~sup ~alpha ~t_sim p g
+  | _ -> (solve_prepared ~alpha ~t_sim p, [])
+
+let min_time_supervised ~sup ~alpha p =
+  match (p.p_cls, p.p_case) with
+  | Generic, P_generic g ->
+      if
+        Qturbo_resilience.Supervisor.site_expired sup ~site:"min-time"
+          ~component:p.p_comp.Locality.id
+      then
+        ( infinity,
+          [
+            Qturbo_resilience.Failure.make ~component:p.p_comp.Locality.id
+              ~site:"min-time" ~stage:"" ~fatal:false
+              ~class_:Qturbo_resilience.Failure.Deadline_expired
+              "expired before evolution-time search";
+          ] )
+      else generic_min_time_impl ~alpha p g
+  | _ -> (min_time_prepared ~alpha p, [])
 
 (* ---- unprepared entry points (tests, one-off probes) -------------- *)
 

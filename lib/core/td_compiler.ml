@@ -1,4 +1,7 @@
 open Qturbo_aais
+module Failure = Qturbo_resilience.Failure
+module Fault = Qturbo_resilience.Fault
+module Supervisor = Qturbo_resilience.Supervisor
 
 type segment_result = {
   env : float array;
@@ -16,6 +19,8 @@ type result = {
   compile_seconds : float;
   warnings : string list;
   diagnostics : Qturbo_analysis.Diagnostic.t list;
+  failures : Failure.t list;
+  degraded : bool;
 }
 
 (* Precheck every discretized segment Hamiltonian, deduplicating findings
@@ -45,6 +50,30 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
   let t0 = Qturbo_util.Clock.now () in
   let domains = options.Compiler.domains in
   let warnings = ref [] in
+  (* supervision context — same semantics as the static pipeline: the
+     deadline is absolute from here, the fault spec comes from the options
+     (else [QTURBO_FAULTS]), and [supervise = false] is the raw seed path *)
+  let sup =
+    if options.Compiler.supervise then
+      Some
+        (Supervisor.make ?deadline_seconds:options.Compiler.deadline_seconds
+           ?faults:options.Compiler.faults
+           ~best_effort:options.Compiler.best_effort ())
+    else None
+  in
+  let pipeline_failures = ref [] in
+  let guard_for ~site ~guarded =
+    match sup with
+    | Some s when guarded -> Some (Supervisor.pool_guard s ~site)
+    | _ -> None
+  in
+  (* guarded sweep with the unguarded-rerun fallback: once the guard has
+     fired the deadline has expired for every element, so the rerun's
+     supervised solves short-circuit deterministically — the same degraded
+     result at any domain count (see Compiler.guarded_sweep) *)
+  let with_rerun run =
+    try run ~guarded:true with Supervisor.Expired -> run ~guarded:false
+  in
   let channels = Aais.channels aais in
   let vars = Aais.variables aais in
   let tau_tar = t_tar /. float_of_int segments in
@@ -100,13 +129,29 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
     List.map (fun (comp, _) -> Fixed_solver.prepare ~vars ~channels comp)
       fixed_comps
   in
-  (* dynamic bottleneck time per segment *)
+  (* dynamic bottleneck time per segment; failures are returned (not
+     accumulated into a shared ref) because the sweep runs on the pool *)
   let dyn_time alpha =
     List.fold_left
-      (fun acc p -> Float.max acc (Local_solver.min_time_prepared ~alpha p))
-      options.Compiler.time_floor dynamic_prepared
+      (fun (acc, fs) p ->
+        match sup with
+        | None -> (Float.max acc (Local_solver.min_time_prepared ~alpha p), fs)
+        | Some sup ->
+            let t, f = Local_solver.min_time_supervised ~sup ~alpha p in
+            (Float.max acc t, fs @ f))
+      (options.Compiler.time_floor, [])
+      dynamic_prepared
   in
-  let t_dyn = Qturbo_par.Pool.parallel_map ~domains ~chunk:1 dyn_time alphas in
+  let t_dyn_pairs =
+    with_rerun (fun ~guarded ->
+        Qturbo_par.Pool.parallel_map
+          ?guard:(guard_for ~site:"min-time" ~guarded)
+          ~domains ~chunk:1 dyn_time alphas)
+  in
+  let t_dyn = Array.map fst t_dyn_pairs in
+  Array.iter
+    (fun (_, fs) -> pipeline_failures := !pipeline_failures @ fs)
+    t_dyn_pairs;
   let fixed_cids =
     List.concat_map (fun (c, _) -> c.Locality.channel_ids) fixed_comps
   in
@@ -122,28 +167,88 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
   done;
   let sb = !binding_segment in
   (* solve the layout against the binding segment, growing T on
-     geometric-constraint violations *)
+     geometric-constraint violations.  The retry loop is hard-bounded:
+     exhausting [max_constraint_iters] (or the deadline) produces a
+     classified failure and the best layout found, never an unbounded
+     spin.  Only the final iteration's solver failures are kept — earlier
+     iterations' layouts are discarded along with their records. *)
+  let retry_fault =
+    (match sup with
+    | None -> None
+    | Some s ->
+        Fault.fires (Supervisor.faults s) ~site:"constraint-loop"
+          ~component:(-1))
+    = Some Fault.Retry
+  in
   let rec solve_fixed t iter =
     let env = Array.map (fun (v : Variable.t) -> v.Variable.init) vars in
+    let layout_failures = ref [] in
     List.iter
       (fun fp ->
-        let { Fixed_solver.assignments; eps2 = _ } =
-          Fixed_solver.solve_prepared ~domains ~alpha:alphas.(sb) ~t_sim:t fp
+        let assignments =
+          match sup with
+          | None ->
+              (Fixed_solver.solve_prepared ~domains ~alpha:alphas.(sb)
+                 ~t_sim:t fp)
+                .Fixed_solver.assignments
+          | Some sup ->
+              let r, fs =
+                Fixed_solver.solve_supervised ~domains ~sup ~alpha:alphas.(sb)
+                  ~t_sim:t fp
+              in
+              layout_failures := !layout_failures @ fs;
+              r.Fixed_solver.assignments
         in
         List.iter (fun (v, x) -> env.(v) <- x) assignments)
       fixed_prepared;
-    let violations = aais.Aais.check_fixed env in
-    if violations = [] || iter >= options.Compiler.max_constraint_iters then begin
-      if violations <> [] then
-        warnings :=
-          Printf.sprintf "layout constraints unresolved: %s"
-            (String.concat "; " violations)
-          :: !warnings;
-      (t, env)
+    let violations =
+      if retry_fault then
+        [ "injected fault: constraint-loop=retry forces a violation" ]
+      else aais.Aais.check_fixed env
+    in
+    let expired =
+      match sup with
+      | None -> false
+      | Some s ->
+          Supervisor.site_expired s ~site:"constraint-loop" ~component:(-1)
+    in
+    if
+      violations = []
+      || iter >= options.Compiler.max_constraint_iters
+      || expired
+    then begin
+      if violations <> [] then begin
+        let reason =
+          if iter >= options.Compiler.max_constraint_iters then
+            Printf.sprintf
+              "layout constraints unresolved after %d iterations: %s" iter
+              (String.concat "; " violations)
+          else
+            Printf.sprintf
+              "deadline expired with layout constraints unresolved after %d \
+               iterations: %s"
+              iter
+              (String.concat "; " violations)
+        in
+        warnings := reason :: !warnings;
+        layout_failures :=
+          !layout_failures
+          @ [
+              Failure.make ~component:(-1) ~site:"constraint-loop" ~stage:""
+                ~fatal:false
+                ~class_:
+                  (if iter >= options.Compiler.max_constraint_iters then
+                     Failure.Position_retry_exhausted
+                   else Failure.Deadline_expired)
+                reason;
+            ]
+      end;
+      (t, env, !layout_failures)
     end
     else solve_fixed (t *. options.Compiler.dt_factor) (iter + 1)
   in
-  let t_binding, fixed_env = solve_fixed t_dyn.(sb) 0 in
+  let t_binding, fixed_env, layout_failures = solve_fixed t_dyn.(sb) 0 in
+  pipeline_failures := !pipeline_failures @ layout_failures;
   (* the shared layout's amplitude per fixed channel, evaluated once —
      every segment reads the same values *)
   let fixed_val = Array.make (Array.length channels) 0.0 in
@@ -200,10 +305,21 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
       else alpha
     in
     let env = Array.copy fixed_env in
+    let seg_failures = ref [] in
     List.iter
       (fun p ->
-        let { Local_solver.assignments; eps2 = _ } =
-          Local_solver.solve_prepared ~alpha:alpha_dyn ~t_sim:t_s p
+        let assignments =
+          match sup with
+          | None ->
+              (Local_solver.solve_prepared ~alpha:alpha_dyn ~t_sim:t_s p)
+                .Local_solver.assignments
+          | Some sup ->
+              let sol, fs =
+                Local_solver.solve_supervised ~sup ~alpha:alpha_dyn ~t_sim:t_s
+                  p
+              in
+              seg_failures := !seg_failures @ fs;
+              sol.Local_solver.assignments
         in
         List.iter (fun (v, x) -> env.(v) <- x) assignments)
       dynamic_prepared;
@@ -213,14 +329,33 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
         channels
     in
     let error_l1 = Linear_system.residual_l1 ls ~alpha:achieved in
-    { env; duration = t_s; error_l1; eps1 = eps1s.(s) }
+    ({ env; duration = t_s; error_l1; eps1 = eps1s.(s) }, !seg_failures)
   in
+  (* an injected [segment-loop] deadline (or a truly expired wall clock)
+     gets one classified pipeline record; the per-component records from
+     the short-circuiting supervised solves carry the detail *)
+  (match sup with
+  | Some s when Supervisor.site_expired s ~site:"segment-loop" ~component:(-1)
+    ->
+      pipeline_failures :=
+        !pipeline_failures
+        @ [
+            Failure.make ~component:(-1) ~site:"segment-loop" ~stage:""
+              ~fatal:false ~class_:Failure.Deadline_expired
+              "deadline expired entering the segment sweep";
+          ]
+  | _ -> ());
   (* segments only read the shared layout; solve them on the pool *)
-  let segment_results =
-    Qturbo_par.Pool.parallel_map_list ~domains ~chunk:1
-      (fun (s, ls) -> solve_segment s ls)
-      (List.mapi (fun s ls -> (s, ls)) systems)
+  let segment_pairs =
+    with_rerun (fun ~guarded ->
+        Qturbo_par.Pool.parallel_map_list
+          ?guard:(guard_for ~site:"segment-loop" ~guarded)
+          ~domains ~chunk:1
+          (fun (s, ls) -> solve_segment s ls)
+          (List.mapi (fun s ls -> (s, ls)) systems))
   in
+  let segment_results = List.map fst segment_pairs in
+  let segment_failures = List.concat_map snd segment_pairs in
   let t_sim =
     List.fold_left (fun acc r -> acc +. r.duration) 0.0 segment_results
   in
@@ -237,6 +372,15 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
           acc ls.Linear_system.b_tar)
       0.0 systems
   in
+  (* failures, in pipeline order: evolution-time search, the binding
+     layout's constraint loop, then the segment sweep (segment order —
+     the pool collects by index) *)
+  let failures = !pipeline_failures @ segment_failures in
+  let degraded = List.exists (fun f -> f.Failure.fatal) failures in
+  let best_effort =
+    match sup with Some s -> Supervisor.best_effort s | None -> false
+  in
+  if degraded && not best_effort then raise (Failure.Failed failures);
   {
     segments = segment_results;
     t_sim;
@@ -246,4 +390,6 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
     compile_seconds = Qturbo_util.Clock.now () -. t0;
     warnings = List.rev !warnings;
     diagnostics;
+    failures;
+    degraded;
   }

@@ -28,6 +28,12 @@ type result = {
   diagnostics : Qturbo_analysis.Diagnostic.t list;
       (** static-analyzer findings over all discretized segments,
           deduplicated by (code, subject) *)
+  failures : Qturbo_resilience.Failure.t list;
+      (** classified solver failures and recoveries collected by the
+          resilience supervisor, in pipeline order *)
+  degraded : bool;
+      (** true iff some failure is fatal (best-effort compiles only;
+          strict compiles raise instead) *)
 }
 
 val compile :
@@ -47,4 +53,11 @@ val compile :
     Every discretized segment Hamiltonian runs through the pre-solve
     static analyzer first; with [strict] (the default) error-severity
     diagnostics raise {!Qturbo_analysis.Diagnostic.Rejected} before any
-    solver runs. *)
+    solver runs.
+
+    With [options.supervise] (the default), the binding-layout and
+    per-segment solves run under the resilience escalation ladder; if a
+    component exhausts every stage the compile raises
+    {!Qturbo_resilience.Failure.Failed} unless [options.best_effort] is
+    set, in which case the degraded result is returned with the
+    classified records on [result.failures]. *)

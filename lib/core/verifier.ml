@@ -10,6 +10,8 @@ type report = {
   violations : string list;
   diagnostics : Diagnostic.t list;
   consistent_with_compiler : bool;
+  failures : Qturbo_resilience.Failure.t list;
+  degraded : bool;
 }
 
 let compare_hamiltonians ~h_sim ~t_sim ~target ~t_tar =
@@ -53,6 +55,8 @@ let verify_rydberg ryd ~target ~t_tar (result : Compiler.result) =
     violations;
     diagnostics;
     consistent_with_compiler = consistency ~recomputed:error_l1 result;
+    failures = result.Compiler.failures;
+    degraded = result.Compiler.degraded;
   }
 
 let verify_heisenberg heis ~target ~t_tar (result : Compiler.result) =
@@ -102,13 +106,16 @@ let verify_heisenberg heis ~target ~t_tar (result : Compiler.result) =
     violations = !violations;
     diagnostics = !diagnostics;
     consistent_with_compiler = consistency ~recomputed:error_l1 result;
+    failures = result.Compiler.failures;
+    degraded = result.Compiler.degraded;
   }
 
 let report_to_json r =
   let jstr s = "\"" ^ Diagnostic.json_escape s ^ "\"" in
   Printf.sprintf
-    {|{"error_l1":%.17g,"relative_error":%.17g,"max_term_error":%.17g,"executable":%b,"consistent_with_compiler":%b,"violations":[%s],"analysis":%s}|}
+    {|{"error_l1":%.17g,"relative_error":%.17g,"max_term_error":%.17g,"executable":%b,"consistent_with_compiler":%b,"degraded":%b,"violations":[%s],"analysis":%s,"failures":%s}|}
     r.error_l1 r.relative_error r.max_term_error r.executable
-    r.consistent_with_compiler
+    r.consistent_with_compiler r.degraded
     (String.concat "," (List.map jstr r.violations))
     (Diagnostic.list_to_json r.diagnostics)
+    (Qturbo_resilience.Failure.list_to_json r.failures)

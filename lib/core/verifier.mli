@@ -23,6 +23,10 @@ type report = {
   consistent_with_compiler : bool;
       (** recomputed error agrees with the compiler's own metric within
           [1e-6] absolute + 1 % relative *)
+  failures : Qturbo_resilience.Failure.t list;
+      (** the compile's classified solver-failure records, carried
+          through so one report tells the whole degradation story *)
+  degraded : bool;  (** the compile kept a non-converged component *)
 }
 
 val verify_rydberg :

@@ -11,6 +11,7 @@ type options = {
   max_evaluations : int;
   cost_target : float;
   accept_residual : (float array -> bool) option;
+  deadline : float option;
 }
 
 let default_options =
@@ -25,23 +26,36 @@ let default_options =
     max_evaluations = 100_000;
     cost_target = 0.0;
     accept_residual = None;
+    deadline = None;
   }
 
+(* Internal control-flow exceptions.  Both are caught inside [minimize] and
+   turned into a stop reason on the report; neither can escape to callers. *)
 exception Budget_exhausted
+exception Deadline_hit
 
 let minimize ?(options = default_options) ?jacobian f x0 =
   let n = Array.length x0 in
   let evaluations = ref 0 in
+  let check_deadline () =
+    match options.deadline with
+    | Some t when Qturbo_util.Clock.now () >= t -> raise Deadline_hit
+    | _ -> ()
+  in
   let eval x =
+    check_deadline ();
     if !evaluations >= options.max_evaluations then raise Budget_exhausted;
     incr evaluations;
     f x
   in
   let jac x =
     match jacobian with
-    | Some j -> j x
+    | Some j ->
+        check_deadline ();
+        j x
     | None ->
         (* charge n + 1 evaluations for a forward-difference Jacobian *)
+        check_deadline ();
         if !evaluations + n >= options.max_evaluations then
           raise Budget_exhausted;
         evaluations := !evaluations + n;
@@ -59,6 +73,7 @@ let minimize ?(options = default_options) ?jacobian f x0 =
   let lambda = ref options.lambda_init in
   let iterations = ref 0 in
   let converged = ref false in
+  let stop = ref Objective.Stop_max_iterations in
   (try
      r := eval !x;
      cost := Objective.cost_of_residual !r;
@@ -68,79 +83,97 @@ let minimize ?(options = default_options) ?jacobian f x0 =
        | Some f -> f r
        | None -> false
      in
-     let continue_loop =
-       ref (!cost > options.cost_target && not (accepted_early !r))
-     in
-     if not !continue_loop then converged := true;
-     while !continue_loop && !iterations < options.max_iterations do
-       incr iterations;
-       let j = jac !x in
-       let g = Mat.mul_vec_t j !r in
-       if Vec.norm_inf g <= options.gtol then begin
+     if not (Float.is_finite !cost) then
+       (* NaN/Inf at the initial point: nothing to optimize from.  Report it
+          as invalid rather than pretending we converged to a NaN cost. *)
+       stop := Objective.Stop_invalid
+     else begin
+       let continue_loop =
+         ref (!cost > options.cost_target && not (accepted_early !r))
+       in
+       if not !continue_loop then begin
          converged := true;
-         continue_loop := false
-       end
-       else begin
-         (* normal equations with Marquardt scaling on the diagonal *)
-         let jtj = Mat.at_mul_self j in
-         let neg_g = Vec.scale (-1.0) g in
-         let accepted = ref false in
-         let attempts = ref 0 in
-         while (not !accepted) && !attempts < 25 do
-           incr attempts;
-           Array.blit (Mat.data jtj) 0 (Mat.data damped) 0 (n * n);
-           for k = 0 to n - 1 do
-             let d = Mat.get jtj k k in
-             let scaled = if d > 0.0 then d else 1.0 in
-             Mat.set damped k k (d +. (!lambda *. scaled))
-           done;
-           let step_ok, delta =
-             match Lu.solve_factored (Lu.factorize_in_place damped) neg_g with
-             | delta -> (Array.for_all Float.is_finite delta, delta)
-             | exception Lu.Singular _ -> (false, [||])
-           in
-           if not step_ok then lambda := !lambda *. options.lambda_up
-           else begin
-             let xc = !x_new in
-             for k = 0 to n - 1 do
-               xc.(k) <- !x.(k) +. delta.(k)
-             done;
-             let r_new = eval xc in
-             let cost_new = Objective.cost_of_residual r_new in
-             if Float.is_finite cost_new && cost_new < !cost then begin
-               accepted := true;
-               let cost_drop = !cost -. cost_new in
-               let step_norm = Vec.norm2 delta in
-               x_new := !x;
-               x := xc;
-               r := r_new;
-               cost := cost_new;
-               if cost_new < !best_cost then begin
-                 best_cost := cost_new;
-                 Array.blit xc 0 best_x 0 n
-               end;
-               lambda := Float.max 1e-12 (!lambda /. options.lambda_down);
-               if
-                 cost_new <= options.cost_target
-                 || accepted_early r_new
-                 || cost_drop <= options.ftol *. Float.max !cost 1e-300
-                 || step_norm <= options.xtol *. (Vec.norm2 !x +. options.xtol)
-               then begin
-                 converged := true;
-                 continue_loop := false
-               end
-             end
-             else lambda := !lambda *. options.lambda_up
-           end
-         done;
-         if not !accepted then begin
-           (* no downhill step found at any damping: local minimum *)
+         stop := Objective.Stop_converged
+       end;
+       while !continue_loop && !iterations < options.max_iterations do
+         incr iterations;
+         let j = jac !x in
+         let g = Mat.mul_vec_t j !r in
+         if Vec.norm_inf g <= options.gtol then begin
            converged := true;
+           stop := Objective.Stop_converged;
            continue_loop := false
          end
-       end
-     done
-   with Budget_exhausted -> ());
+         else begin
+           (* normal equations with Marquardt scaling on the diagonal *)
+           let jtj = Mat.at_mul_self j in
+           let neg_g = Vec.scale (-1.0) g in
+           let accepted = ref false in
+           let attempts = ref 0 in
+           while (not !accepted) && !attempts < 25 do
+             incr attempts;
+             Array.blit (Mat.data jtj) 0 (Mat.data damped) 0 (n * n);
+             for k = 0 to n - 1 do
+               let d = Mat.get jtj k k in
+               let scaled = if d > 0.0 then d else 1.0 in
+               Mat.set damped k k (d +. (!lambda *. scaled))
+             done;
+             let step_ok, delta =
+               match Lu.solve_factored (Lu.factorize_in_place damped) neg_g with
+               | delta -> (Array.for_all Float.is_finite delta, delta)
+               | exception Lu.Singular _ -> (false, [||])
+             in
+             if not step_ok then lambda := !lambda *. options.lambda_up
+             else begin
+               let xc = !x_new in
+               for k = 0 to n - 1 do
+                 xc.(k) <- !x.(k) +. delta.(k)
+               done;
+               let r_new = eval xc in
+               let cost_new = Objective.cost_of_residual r_new in
+               if Float.is_finite cost_new && cost_new < !cost then begin
+                 accepted := true;
+                 let cost_drop = !cost -. cost_new in
+                 let step_norm = Vec.norm2 delta in
+                 x_new := !x;
+                 x := xc;
+                 r := r_new;
+                 cost := cost_new;
+                 if cost_new < !best_cost then begin
+                   best_cost := cost_new;
+                   Array.blit xc 0 best_x 0 n
+                 end;
+                 lambda := Float.max 1e-12 (!lambda /. options.lambda_down);
+                 if
+                   cost_new <= options.cost_target
+                   || accepted_early r_new
+                   || cost_drop <= options.ftol *. Float.max !cost 1e-300
+                   || step_norm <= options.xtol *. (Vec.norm2 !x +. options.xtol)
+                 then begin
+                   converged := true;
+                   stop := Objective.Stop_converged;
+                   continue_loop := false
+                 end
+               end
+               else lambda := !lambda *. options.lambda_up
+             end
+           done;
+           if not !accepted then begin
+             (* no downhill step found at any damping: local minimum *)
+             converged := true;
+             stop := Objective.Stop_no_progress;
+             continue_loop := false
+           end
+         end
+       done
+     end
+   with
+  | Budget_exhausted ->
+      converged := false;
+      stop := Objective.Stop_max_evaluations
+  | Deadline_hit ->
+      converged := false;
+      stop := Objective.Stop_deadline);
   let residual_norm =
     if !best_cost = infinity then infinity else sqrt (2.0 *. !best_cost)
   in
@@ -151,4 +184,5 @@ let minimize ?(options = default_options) ?jacobian f x0 =
     iterations = !iterations;
     evaluations = !evaluations;
     converged = !converged;
+    stop = !stop;
   }

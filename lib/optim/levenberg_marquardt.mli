@@ -24,6 +24,10 @@ type options = {
       (** like [cost_target] but with a caller-supplied criterion on the
           raw residual vector (e.g. an L1 tolerance); checked at the start
           and after every accepted step *)
+  deadline : float option;
+      (** absolute wall-clock deadline ([Clock.now]-based).  Checked before
+          every residual/Jacobian evaluation; on expiry the solve stops and
+          reports the best point seen with [stop = Stop_deadline] *)
 }
 
 val default_options : options
@@ -38,4 +42,9 @@ val minimize :
     forward-difference Jacobian is used (its evaluations are charged to the
     budget).  The report's [converged] is true when any of the three
     tolerances triggered; exhausting the iteration or evaluation budget
-    leaves it false while still returning the best point seen. *)
+    leaves it false while still returning the best point seen, with
+    [report.stop] naming the cause ([Stop_max_evaluations],
+    [Stop_deadline], [Stop_invalid] for a non-finite initial cost, …).
+    No exception ever escapes [minimize] itself: the internal budget and
+    deadline signals are caught here and surfaced only through the
+    report. *)

@@ -22,17 +22,27 @@ let search ?domains ~rng ~starts ~sample ~solve ~accept () =
     for i = 0 to starts - 1 do
       x0s.(i) <- sample (Rng.split rng)
     done;
+    (* a start whose solver raises is contained: it simply stops being a
+       candidate, so the winner stays deterministic by (cost, start_index)
+       over the surviving starts, and all-starts-raising yields (None, _)
+       for the caller to classify rather than an escaped exception *)
+    let safe_solve x0 = match solve x0 with
+      | run -> Some run
+      | exception _ -> None
+    in
     if domains <= 1 || Qturbo_par.Pool.in_worker () then begin
       (* sequential: stop at the first accepted run *)
       let best = ref None in
       let accepted = ref None in
       let i = ref 0 in
       while !accepted = None && !i < starts do
-        let report, extra = solve x0s.(!i) in
-        if accept report then
-          accepted := Some { report; start_index = !i; extra }
-        else if better_than !best report then
-          best := Some { report; start_index = !i; extra };
+        (match safe_solve x0s.(!i) with
+        | Some (report, extra) ->
+            if accept report then
+              accepted := Some { report; start_index = !i; extra }
+            else if better_than !best report then
+              best := Some { report; start_index = !i; extra }
+        | None -> ());
         incr i
       done;
       match !accepted with
@@ -44,23 +54,27 @@ let search ?domains ~rng ~starts ~sample ~solve ~accept () =
          the accepted run at the smallest start index, else the best by
          (cost, start_index) *)
       let runs =
-        Qturbo_par.Pool.parallel_map ~domains ~chunk:1
-          (fun x0 -> solve x0)
-          x0s
+        Qturbo_par.Pool.parallel_map ~domains ~chunk:1 safe_solve x0s
       in
       let accepted = ref None in
       for i = starts - 1 downto 0 do
-        let report, extra = runs.(i) in
-        if accept report then accepted := Some { report; start_index = i; extra }
+        match runs.(i) with
+        | Some (report, extra) ->
+            if accept report then
+              accepted := Some { report; start_index = i; extra }
+        | None -> ()
       done;
       match !accepted with
       | Some run -> (Some run, run.start_index + 1)
       | None ->
           let best = ref None in
           Array.iteri
-            (fun i (report, extra) ->
-              if better_than !best report then
-                best := Some { report; start_index = i; extra })
+            (fun i run ->
+              match run with
+              | Some (report, extra) ->
+                  if better_than !best report then
+                    best := Some { report; start_index = i; extra }
+              | None -> ())
             runs;
           (!best, starts)
     end

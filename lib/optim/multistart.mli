@@ -38,7 +38,13 @@ val search :
     the earlier start ([used = starts]).  [None] when every start
     diverged to a non-finite cost.  The sequential path stops solving at
     the first accepted run; the parallel path runs all starts
-    speculatively and then picks the identical winner. *)
+    speculatively and then picks the identical winner.
+
+    A start whose [solve] raises is contained per-start: it drops out of
+    the candidate set (as if it had returned an infinite cost) and the
+    remaining starts still determine the same winner.  When every start
+    raises or diverges the result is [(None, starts)] — never an escaped
+    exception — so callers classify the failure instead of crashing. *)
 
 val sample_box :
   Bounds.bound array -> fallback:float -> Qturbo_util.Rng.t -> float array

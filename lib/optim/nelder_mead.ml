@@ -3,10 +3,17 @@ type options = {
   ftol : float;
   xtol : float;
   initial_step : float;
+  deadline : float option;
 }
 
 let default_options =
-  { max_iterations = 2000; ftol = 1e-10; xtol = 1e-8; initial_step = 0.1 }
+  {
+    max_iterations = 2000;
+    ftol = 1e-10;
+    xtol = 1e-8;
+    initial_step = 0.1;
+    deadline = None;
+  }
 
 (* standard coefficients: reflection, expansion, contraction, shrink *)
 let rho = 1.0
@@ -24,6 +31,7 @@ let rec minimize ?(options = default_options) f x0 =
       iterations = 0;
       evaluations = 1;
       converged = true;
+      stop = Objective.Stop_converged;
     }
   else minimize_nonempty ~options f x0
 
@@ -93,8 +101,18 @@ and minimize_nonempty ~options f x0 =
   in
   let iterations = ref 0 in
   let converged = ref false in
+  let deadline_hit = ref false in
+  let expired () =
+    match options.deadline with
+    | Some t -> Qturbo_util.Clock.now () >= t
+    | None -> false
+  in
   order ();
-  while (not !converged) && !iterations < options.max_iterations do
+  (* the deadline is checked only between iterations, where the simplex is
+     in a consistent (ordered, fully evaluated) state *)
+  while (not !converged) && (not !deadline_hit) && !iterations < options.max_iterations do
+    if expired () then deadline_hit := true
+    else begin
     incr iterations;
     centroid ();
     let worst = vertices.(n) in
@@ -149,8 +167,14 @@ and minimize_nonempty ~options f x0 =
       f_spread <= options.ftol *. (Float.abs values.(0) +. options.ftol)
       && !x_spread <= options.xtol
     then converged := true
+    end
   done;
   let best_cost = values.(0) in
+  let stop =
+    if !converged then Objective.Stop_converged
+    else if !deadline_hit then Objective.Stop_deadline
+    else Objective.Stop_max_iterations
+  in
   {
     Objective.x = Array.copy vertices.(0);
     cost = best_cost;
@@ -158,4 +182,5 @@ and minimize_nonempty ~options f x0 =
     iterations = !iterations;
     evaluations = !evaluations;
     converged = !converged;
+    stop;
   }

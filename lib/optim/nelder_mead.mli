@@ -9,6 +9,10 @@ type options = {
   ftol : float;  (** spread of simplex values at convergence *)
   xtol : float;  (** spread of simplex vertices at convergence *)
   initial_step : float;  (** simplex edge length relative to [x0] scale *)
+  deadline : float option;
+      (** absolute wall-clock deadline, checked between iterations (where
+          the simplex is consistent); expiry returns the best vertex with
+          [stop = Stop_deadline] *)
 }
 
 val default_options : options

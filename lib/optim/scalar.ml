@@ -1,13 +1,25 @@
+type root_result = { root : float; converged : bool; iterations : int }
+
+type min_result = {
+  argmin : float;
+  minimum : float;
+  converged : bool;
+  iterations : int;
+}
+
 let bisect ?(tol = 1e-12) ?(max_iterations = 200) ~f ~lo ~hi () =
   let flo = f lo and fhi = f hi in
-  if flo = 0.0 then lo
-  else if fhi = 0.0 then hi
+  if flo = 0.0 then { root = lo; converged = true; iterations = 0 }
+  else if fhi = 0.0 then { root = hi; converged = true; iterations = 0 }
   else if flo *. fhi > 0.0 then
     invalid_arg "Scalar.bisect: no sign change on bracket"
   else begin
     let lo = ref lo and hi = ref hi and flo = ref flo in
     let i = ref 0 in
-    while !hi -. !lo > tol *. Float.max 1.0 (Float.abs !hi) && !i < max_iterations do
+    let within_tol () =
+      !hi -. !lo <= tol *. Float.max 1.0 (Float.abs !hi)
+    in
+    while (not (within_tol ())) && !i < max_iterations do
       incr i;
       let mid = 0.5 *. (!lo +. !hi) in
       let fmid = f mid in
@@ -21,22 +33,25 @@ let bisect ?(tol = 1e-12) ?(max_iterations = 200) ~f ~lo ~hi () =
         flo := fmid
       end
     done;
-    0.5 *. (!lo +. !hi)
+    { root = 0.5 *. (!lo +. !hi); converged = within_tol (); iterations = !i }
   end
 
 let bisect_predicate ?(tol = 1e-9) ?(max_iterations = 200) ~f ~lo ~hi () =
-  if f lo then lo
+  if f lo then { root = lo; converged = true; iterations = 0 }
   else if not (f hi) then
     invalid_arg "Scalar.bisect_predicate: predicate false at hi"
   else begin
     let lo = ref lo and hi = ref hi in
     let i = ref 0 in
-    while !hi -. !lo > tol *. Float.max 1.0 (Float.abs !hi) && !i < max_iterations do
+    let within_tol () =
+      !hi -. !lo <= tol *. Float.max 1.0 (Float.abs !hi)
+    in
+    while (not (within_tol ())) && !i < max_iterations do
       incr i;
       let mid = 0.5 *. (!lo +. !hi) in
       if f mid then hi := mid else lo := mid
     done;
-    !hi
+    { root = !hi; converged = within_tol (); iterations = !i }
   end
 
 let inv_phi = (sqrt 5.0 -. 1.0) /. 2.0
@@ -47,7 +62,8 @@ let golden_min ?(tol = 1e-10) ?(max_iterations = 500) ~f ~lo ~hi () =
   let d = ref (!a +. (inv_phi *. (!b -. !a))) in
   let fc = ref (f !c) and fd = ref (f !d) in
   let i = ref 0 in
-  while !b -. !a > tol *. Float.max 1.0 (Float.abs !b) && !i < max_iterations do
+  let within_tol () = !b -. !a <= tol *. Float.max 1.0 (Float.abs !b) in
+  while (not (within_tol ())) && !i < max_iterations do
     incr i;
     if !fc < !fd then begin
       b := !d;
@@ -65,4 +81,4 @@ let golden_min ?(tol = 1e-10) ?(max_iterations = 500) ~f ~lo ~hi () =
     end
   done;
   let x = 0.5 *. (!a +. !b) in
-  (x, f x)
+  { argmin = x; minimum = f x; converged = within_tol (); iterations = !i }

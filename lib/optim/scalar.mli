@@ -2,7 +2,24 @@
 
     Used by the evolution-time optimiser: the generic localized system
     asks "what is the smallest [T] for which the component is feasible?",
-    answered by bisecting the feasibility indicator over [T]. *)
+    answered by bisecting the feasibility indicator over [T].
+
+    Every routine reports whether it actually reached its tolerance:
+    hitting [max_iterations] leaves [converged = false] so callers can no
+    longer mistake the last iterate for an answer. *)
+
+type root_result = {
+  root : float;
+  converged : bool;  (** final bracket width within [tol] *)
+  iterations : int;
+}
+
+type min_result = {
+  argmin : float;
+  minimum : float;  (** [f argmin] *)
+  converged : bool;  (** final bracket width within [tol] *)
+  iterations : int;
+}
 
 val bisect :
   ?tol:float ->
@@ -11,9 +28,9 @@ val bisect :
   lo:float ->
   hi:float ->
   unit ->
-  float
+  root_result
 (** Root of [f] on [\[lo, hi\]]; requires a sign change ([Invalid_argument]
-    otherwise).  Returns the midpoint of the final bracket. *)
+    otherwise).  [root] is the midpoint of the final bracket. *)
 
 val bisect_predicate :
   ?tol:float ->
@@ -22,10 +39,11 @@ val bisect_predicate :
   lo:float ->
   hi:float ->
   unit ->
-  float
+  root_result
 (** Smallest [x] in [\[lo, hi\]] with [f x = true], assuming [f] is
     monotone (false then true).  Requires [f hi = true]; if [f lo] already
-    holds, returns [lo]. *)
+    holds, returns [lo] with [converged = true].  [root] is the smallest
+    bracket endpoint known to satisfy [f]. *)
 
 val golden_min :
   ?tol:float ->
@@ -34,5 +52,5 @@ val golden_min :
   lo:float ->
   hi:float ->
   unit ->
-  float * float
-(** Golden-section minimisation of a unimodal [f]; returns [(x, f x)]. *)
+  min_result
+(** Golden-section minimisation of a unimodal [f]. *)

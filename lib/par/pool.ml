@@ -117,8 +117,13 @@ let ensure_workers n =
     Mutex.unlock m
   done
 
-let parallel_for ?domains ?chunk ~total f =
+let parallel_for ?domains ?chunk ?guard ~total f =
   let domains = match domains with Some d -> d | None -> default_domains () in
+  (* the guard runs before each index on whichever domain claimed it; a
+     raising guard (deadline expiry, cancellation) is reported through
+     the ordinary smallest-failing-index mechanism, so guarded parallel
+     runs fail with the same exception a guarded sequential loop would *)
+  let f = match guard with None -> f | Some g -> fun i -> g (); f i in
   if total <= 0 then ()
   else if domains <= 1 || total = 1 || in_worker () || !shutdown then
     for i = 0 to total - 1 do
@@ -155,27 +160,28 @@ let parallel_for ?domains ?chunk ~total f =
     match job.failed with None -> () | Some (_, e) -> raise e
   end
 
-let parallel_map ?domains ?chunk f arr =
+let parallel_map ?domains ?chunk ?guard f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
-    parallel_for ?domains ?chunk ~total:n (fun i -> out.(i) <- Some (f arr.(i)));
+    parallel_for ?domains ?chunk ?guard ~total:n (fun i ->
+        out.(i) <- Some (f arr.(i)));
     Array.map (function Some v -> v | None -> assert false) out
   end
 
-let parallel_mapi ?domains ?chunk f arr =
+let parallel_mapi ?domains ?chunk ?guard f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
-    parallel_for ?domains ?chunk ~total:n (fun i ->
+    parallel_for ?domains ?chunk ?guard ~total:n (fun i ->
         out.(i) <- Some (f i arr.(i)));
     Array.map (function Some v -> v | None -> assert false) out
   end
 
-let parallel_map_list ?domains ?chunk f l =
-  Array.to_list (parallel_map ?domains ?chunk f (Array.of_list l))
+let parallel_map_list ?domains ?chunk ?guard f l =
+  Array.to_list (parallel_map ?domains ?chunk ?guard f (Array.of_list l))
 
-let parallel_reduce ?domains ?chunk ~map ~fold ~init arr =
-  Array.fold_left fold init (parallel_map ?domains ?chunk map arr)
+let parallel_reduce ?domains ?chunk ?guard ~map ~fold ~init arr =
+  Array.fold_left fold init (parallel_map ?domains ?chunk ?guard map arr)

@@ -23,20 +23,39 @@ val in_worker : unit -> bool
 (** True while executing inside a pool task.  Nested parallel calls
     detect this and run sequentially instead of deadlocking. *)
 
-val parallel_for : ?domains:int -> ?chunk:int -> total:int -> (int -> unit) -> unit
+val parallel_for :
+  ?domains:int ->
+  ?chunk:int ->
+  ?guard:(unit -> unit) ->
+  total:int ->
+  (int -> unit) ->
+  unit
 (** [parallel_for ~total f] runs [f i] for every [i] in [0, total).
     [f] must write to disjoint per-index locations (or be pure).
     [chunk] is the number of consecutive indices claimed at a time
     (default [total / (4·domains)], floored at 1); pass [~chunk:1]
-    when task costs are very uneven. *)
+    when task costs are very uneven.
 
-val parallel_map : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
-val parallel_mapi : ?domains:int -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
-val parallel_map_list : ?domains:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+    [guard] runs before each index on the claiming domain; it is the
+    deadline/cancellation hook.  A raising guard stops the job from
+    claiming further ranges and its exception propagates to the caller
+    under the usual smallest-failing-index rule, so a guarded parallel
+    run fails exactly like the guarded sequential loop. *)
+
+val parallel_map :
+  ?domains:int -> ?chunk:int -> ?guard:(unit -> unit) ->
+  ('a -> 'b) -> 'a array -> 'b array
+val parallel_mapi :
+  ?domains:int -> ?chunk:int -> ?guard:(unit -> unit) ->
+  (int -> 'a -> 'b) -> 'a array -> 'b array
+val parallel_map_list :
+  ?domains:int -> ?chunk:int -> ?guard:(unit -> unit) ->
+  ('a -> 'b) -> 'a list -> 'b list
 
 val parallel_reduce :
   ?domains:int ->
   ?chunk:int ->
+  ?guard:(unit -> unit) ->
   map:('a -> 'b) ->
   fold:('acc -> 'b -> 'acc) ->
   init:'acc ->

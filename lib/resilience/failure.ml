@@ -1,0 +1,69 @@
+type class_ =
+  | Non_convergence
+  | Budget_exhausted
+  | Singular_jacobian
+  | Numeric_invalid
+  | Deadline_expired
+  | Position_retry_exhausted
+
+let class_name = function
+  | Non_convergence -> "non-convergence"
+  | Budget_exhausted -> "budget-exhausted"
+  | Singular_jacobian -> "singular-jacobian"
+  | Numeric_invalid -> "numeric-invalid"
+  | Deadline_expired -> "deadline-expired"
+  | Position_retry_exhausted -> "position-retry-exhausted"
+
+type t = {
+  component : int;
+  site : string;
+  stage : string;
+  class_ : class_;
+  fatal : bool;
+  detail : string;
+}
+
+let make ~component ~site ~stage ~class_ ~fatal detail =
+  { component; site; stage; class_; fatal; detail }
+
+exception Failed of t list
+
+let to_string f =
+  Printf.sprintf "%s at %s%s (component %d%s)%s%s" (class_name f.class_)
+    f.site
+    (if f.stage = "" then "" else "/" ^ f.stage)
+    f.component
+    (if f.fatal then ", fatal" else ", recovered")
+    (if f.detail = "" then "" else ": ")
+    f.detail
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    "{\"class\":\"%s\",\"component\":%d,\"site\":\"%s\",\"stage\":\"%s\",\"fatal\":%b,\"detail\":\"%s\"}"
+    (class_name f.class_) f.component (json_escape f.site)
+    (json_escape f.stage) f.fatal (json_escape f.detail)
+
+let list_to_json fs = "[" ^ String.concat "," (List.map to_json fs) ^ "]"
+
+let () =
+  Printexc.register_printer (function
+    | Failed fs ->
+        Some
+          (Printf.sprintf "Qturbo_resilience.Failure.Failed [%s]"
+             (String.concat "; " (List.map to_string fs)))
+    | _ -> None)

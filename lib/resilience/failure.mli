@@ -1,0 +1,53 @@
+(** Typed failure taxonomy for the solve supervisor.
+
+    Every way a per-component solve (or the pipeline around it) can go
+    wrong maps to exactly one class, so callers — the compiler, the
+    verifier report, the CLI, CI — reason about failures structurally
+    instead of parsing exception messages. *)
+
+type class_ =
+  | Non_convergence  (** solver stopped without meeting its tolerance *)
+  | Budget_exhausted  (** evaluation budget ran out *)
+  | Singular_jacobian  (** LU factorization of the normal equations failed *)
+  | Numeric_invalid  (** NaN/Inf cost or residual *)
+  | Deadline_expired  (** wall-clock deadline passed *)
+  | Position_retry_exhausted
+      (** §5.2 position-constraint retry loop hit its hard bound *)
+
+val class_name : class_ -> string
+(** Stable kebab-case name, used in text reports, JSON, and the
+    [QTURBO_FAULTS] grammar documentation. *)
+
+type t = {
+  component : int;
+      (** locality component id / segment index; [-1] for pipeline-level
+          failures not attributable to one component *)
+  site : string;  (** call site: ["local-solve"], ["constraint-loop"], … *)
+  stage : string;
+      (** escalation-ladder stage (["lm"], ["lm-retry"], ["nelder-mead"],
+          ["multistart"]) or [""] outside the ladder *)
+  class_ : class_;
+  fatal : bool;
+      (** [false] when a later stage recovered (or the failure is
+          advisory); [true] when the cascade gave up *)
+  detail : string;
+}
+
+val make :
+  component:int ->
+  site:string ->
+  stage:string ->
+  class_:class_ ->
+  fatal:bool ->
+  string ->
+  t
+
+exception Failed of t list
+(** Raised by strict (non-best-effort) compiles when at least one
+    component failure is fatal.  Carries the full ordered failure list;
+    a printer is registered so uncaught instances still read well. *)
+
+val to_string : t -> string
+val to_json : t -> string
+val list_to_json : t list -> string
+val json_escape : string -> string

@@ -342,7 +342,10 @@ let test_fixed_solver_rejects_bad_time () =
   let channels, vars, comps, _ = classified ryd in
   match comps with
   | comp :: _ ->
-      Alcotest.check_raises "t<=0" (Invalid_argument "Fixed_solver.solve: t_sim <= 0")
+      Alcotest.check_raises "t<=0"
+        (Invalid_argument
+           (Printf.sprintf "Fixed_solver.solve: t_sim <= 0 (component %d)"
+              comp.Locality.id))
         (fun () ->
           ignore
             (Fixed_solver.solve ~vars ~channels

@@ -79,8 +79,8 @@ let test_multistart_exhausts_starts () =
   Alcotest.(check bool) "best kept anyway" true (best <> None)
 
 let test_golden_respects_bracket () =
-  let x, _ = Scalar.golden_min ~f:(fun x -> -.x) ~lo:0.0 ~hi:2.0 () in
-  Alcotest.(check bool) "argmin at upper end" true (x > 1.99)
+  let r = Scalar.golden_min ~f:(fun x -> -.x) ~lo:0.0 ~hi:2.0 () in
+  Alcotest.(check bool) "argmin at upper end" true (r.Scalar.argmin > 1.99)
 
 let test_nm_respects_iteration_cap () =
   let options = { Nelder_mead.default_options with Nelder_mead.max_iterations = 3 } in

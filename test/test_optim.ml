@@ -187,8 +187,9 @@ let test_bounded_lm () =
 (* ---- Scalar ---- *)
 
 let test_bisect_root () =
-  let root = Scalar.bisect ~f:(fun x -> (x *. x) -. 2.0) ~lo:0.0 ~hi:2.0 () in
-  check_close "sqrt 2" 1e-9 (sqrt 2.0) root
+  let r = Scalar.bisect ~f:(fun x -> (x *. x) -. 2.0) ~lo:0.0 ~hi:2.0 () in
+  check_close "sqrt 2" 1e-9 (sqrt 2.0) r.Scalar.root;
+  Alcotest.(check bool) "converged" true r.Scalar.converged
 
 let test_bisect_rejects_no_sign_change () =
   Alcotest.check_raises "no bracket"
@@ -197,17 +198,19 @@ let test_bisect_rejects_no_sign_change () =
 
 let test_bisect_predicate () =
   let threshold = 0.7318 in
-  let t = Scalar.bisect_predicate ~f:(fun x -> x >= threshold) ~lo:0.0 ~hi:1.0 () in
-  check_close "threshold" 1e-6 threshold t
+  let r = Scalar.bisect_predicate ~f:(fun x -> x >= threshold) ~lo:0.0 ~hi:1.0 () in
+  check_close "threshold" 1e-6 threshold r.Scalar.root;
+  Alcotest.(check bool) "converged" true r.Scalar.converged
 
 let test_bisect_predicate_true_at_lo () =
   check_close "lo" 1e-12 0.3
-    (Scalar.bisect_predicate ~f:(fun _ -> true) ~lo:0.3 ~hi:1.0 ())
+    (Scalar.bisect_predicate ~f:(fun _ -> true) ~lo:0.3 ~hi:1.0 ()).Scalar.root
 
 let test_golden_min () =
-  let x, fx = Scalar.golden_min ~f:(fun x -> (x -. 1.3) ** 2.0) ~lo:(-5.0) ~hi:5.0 () in
-  check_close "argmin" 1e-6 1.3 x;
-  check_close "min" 1e-9 0.0 fx
+  let r = Scalar.golden_min ~f:(fun x -> (x -. 1.3) ** 2.0) ~lo:(-5.0) ~hi:5.0 () in
+  check_close "argmin" 1e-6 1.3 r.Scalar.argmin;
+  check_close "min" 1e-9 0.0 r.Scalar.minimum;
+  Alcotest.(check bool) "converged" true r.Scalar.converged
 
 (* ---- Multistart ---- *)
 
@@ -262,6 +265,7 @@ let synthetic_search ~domains ~costs ~accept =
         iterations = 1;
         evaluations = 1;
         converged = true;
+        stop = Objective.Stop_converged;
       },
       k )
   in
