@@ -1269,6 +1269,112 @@ let micro () =
   Table_fmt.print ~title:"Bechamel micro-benchmarks (per-run OLS estimate)" t
 
 (* ------------------------------------------------------------------ *)
+(* Staged-pipeline economics: how much of a compile is the reusable    *)
+(* coefficient-free front end, and what the structural plan cache buys *)
+(* on repeated solves over one shape.  Results land in BENCH_plan.json *)
+
+let plan () =
+  let module C = Qturbo_core.Compiler in
+  let module CP = Qturbo_core.Compile_plan in
+  (* front-end share: one cold compile per size, splitting the wall
+     clock into plan build vs numeric solve *)
+  let share_sizes = if !quick then [ 5; 13 ] else [ 20; 60; 93 ] in
+  let share =
+    List.map
+      (fun n ->
+        let ryd = rydberg_for "ising-chain" n in
+        let target = static_target "ising-chain" n in
+        CP.clear_caches ();
+        let total_s, r =
+          time_run (fun () ->
+              C.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 ())
+        in
+        let b = r.C.plan.C.build_seconds and s = r.C.plan.C.solve_seconds in
+        let pct = 100.0 *. b /. Float.max 1e-12 (b +. s) in
+        progress "plan: n=%d front-end %.1f%% (build %.3f ms, solve %.3f ms)" n
+          pct (1e3 *. b) (1e3 *. s);
+        (n, b, s, total_s, pct))
+      share_sizes
+  in
+  (* warm vs cold: K coefficient sets per size on the Fig. 3
+     ising-cycle series; cold rebuilds the plan for every instance,
+     warm reuses the cached one *)
+  let k = if !quick then 8 else 20 in
+  let coeffs i =
+    (0.2 +. (0.11 *. float_of_int i), 0.45 +. (0.07 *. float_of_int i))
+  in
+  let series =
+    List.map
+      (fun n ->
+        let ryd = rydberg_for "ising-cycle" n in
+        let targets =
+          List.init k (fun i ->
+              let j, h = coeffs i in
+              Qturbo_pauli.Pauli_sum.drop_identity
+                (Qturbo_models.Model.hamiltonian_at
+                   (Qturbo_models.Benchmarks.ising_cycle ~n ~j ~h ())
+                   ~s:0.0))
+        in
+        let run options =
+          CP.clear_caches ();
+          time_run (fun () ->
+              List.map
+                (fun target ->
+                  C.compile ~options ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0
+                    ())
+                targets)
+        in
+        let cold_s, _ = run { C.default_options with C.plan_cache = false } in
+        let warm_s, warm = run C.default_options in
+        let hits = (List.nth warm (k - 1)).C.plan.C.cache_hits in
+        let speedup = cold_s /. Float.max 1e-12 warm_s in
+        progress
+          "plan: ising-cycle n=%d cold %.3f s warm %.3f s speedup %.2fx (%d \
+           hits)"
+          n cold_s warm_s speedup hits;
+        (n, cold_s, warm_s, speedup, hits))
+      (sweep_sizes ())
+  in
+  let mean_speedup =
+    List.fold_left (fun acc (_, _, _, s, _) -> acc +. s) 0.0 series
+    /. float_of_int (List.length series)
+  in
+  let oc = open_out "BENCH_plan.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"front_end_share\": [\n%s\n\
+    \  ],\n\
+    \  \"warm_vs_cold\": {\n\
+    \    \"benchmark\": \"ising-cycle\",\n\
+    \    \"instances_per_size\": %d,\n\
+    \    \"mean_speedup\": %.4f,\n\
+    \    \"target_speedup\": 1.25,\n\
+    \    \"series\": [\n%s\n\
+    \    ]\n\
+    \  }\n\
+     }\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (n, b, s, total, pct) ->
+            Printf.sprintf
+              "    {\"benchmark\": \"ising-chain\", \"n\": %d, \
+               \"build_seconds\": %.6f, \"solve_seconds\": %.6f, \
+               \"total_seconds\": %.6f, \"front_end_percent\": %.2f}"
+              n b s total pct)
+          share))
+    k mean_speedup
+    (String.concat ",\n"
+       (List.map
+          (fun (n, cold_s, warm_s, speedup, hits) ->
+            Printf.sprintf
+              "      {\"n\": %d, \"cold_seconds\": %.6f, \"warm_seconds\": \
+               %.6f, \"speedup\": %.4f, \"warm_cache_hits\": %d}"
+              n cold_s warm_s speedup hits)
+          series));
+  close_out oc;
+  progress "plan: wrote BENCH_plan.json (mean warm speedup %.2fx)" mean_speedup
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1282,6 +1388,7 @@ let experiments =
     ("ablations", ablations);
     ("analysis", analysis);
     ("parallel", parallel);
+    ("plan", plan);
     ("robustness", robustness);
     ("ext-noise", ext_noise);
     ("ext-markovian", ext_markovian);

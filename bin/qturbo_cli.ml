@@ -95,6 +95,18 @@ let print_compile_result ~(ryd : Rydberg.t option) ~show_pulse ~ramp
     print_endline
       "DEGRADED: best-effort result; some component kept a non-converged \
        solution (see failure records above)";
+  let p = r.Qturbo_core.Compiler.plan in
+  if p.Qturbo_core.Compiler.cache_enabled then
+    Printf.printf
+      "plan: %s (cache %d hit(s) / %d miss(es); build %.2f ms, solve %.2f ms)\n"
+      (if p.Qturbo_core.Compiler.cache_hit then "cached" else "built")
+      p.Qturbo_core.Compiler.cache_hits p.Qturbo_core.Compiler.cache_misses
+      (1000.0 *. p.Qturbo_core.Compiler.build_seconds)
+      (1000.0 *. p.Qturbo_core.Compiler.solve_seconds)
+  else
+    Printf.printf "plan: built, cache disabled (build %.2f ms, solve %.2f ms)\n"
+      (1000.0 *. p.Qturbo_core.Compiler.build_seconds)
+      (1000.0 *. p.Qturbo_core.Compiler.solve_seconds);
   match ryd with
   | Some ryd when show_pulse ->
       let pulse =
@@ -118,6 +130,13 @@ let user_errors f =
   | exception (Failure msg | Invalid_argument msg) ->
       Printf.eprintf "qturbo: %s\n" msg;
       2
+  | exception Qturbo_analysis.Diagnostic.Rejected ds ->
+      Printf.eprintf "qturbo: input rejected by the pre-solve analyzer\n";
+      List.iter
+        (fun d ->
+          Printf.eprintf "  %s\n" (Qturbo_analysis.Diagnostic.to_string d))
+        ds;
+      1
   | exception Qturbo_resilience.Failure.Failed fs ->
       Printf.eprintf
         "qturbo: compilation failed — %d classified failure record(s); rerun \
@@ -130,14 +149,22 @@ let user_errors f =
       3
 
 let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
-    domains baseline no_refine no_time_opt best_effort deadline show_pulse ramp
-    json verbose =
+    domains baseline no_refine no_time_opt no_plan_cache repeat best_effort
+    deadline show_pulse ramp json verbose =
  user_errors @@ fun () ->
   setup_logging verbose;
   let model = resolve_model ~hamiltonian ~model_name ~n ~j ~h in
   let n = model.Qturbo_models.Model.n in
   if json && (baseline || Qturbo_models.Model.is_driven model) then
     failwith "--json reports are only available for static qturbo compiles";
+  if repeat < 1 then failwith "--repeat must be >= 1";
+  (* run the compile [repeat] times in-process and report the last run —
+     the cache counters are per-process, so this is how the CI smoke
+     observes warm-plan hits from a single invocation *)
+  let repeated f =
+    for _ = 2 to repeat do ignore (f ()) done;
+    f ()
+  in
   let options =
     {
       Qturbo_core.Compiler.default_options with
@@ -148,6 +175,7 @@ let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
          else Qturbo_core.Compiler.default_options.Qturbo_core.Compiler.domains);
       best_effort;
       deadline_seconds = (if deadline > 0.0 then Some deadline else None);
+      plan_cache = not no_plan_cache;
     }
   in
   match backend with
@@ -173,8 +201,9 @@ let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
       end
       else begin
         let r =
-          Qturbo_core.Compiler.compile ~options ~aais:heis.Heisenberg.aais
-            ~target ~t_tar ()
+          repeated (fun () ->
+              Qturbo_core.Compiler.compile ~options ~aais:heis.Heisenberg.aais
+                ~target ~t_tar ())
         in
         if json then
           print_endline
@@ -191,8 +220,9 @@ let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
       let ryd = Rydberg.build ~spec ~n in
       if Qturbo_models.Model.is_driven model then begin
         let td =
-          Qturbo_core.Td_compiler.compile ~options ~aais:ryd.Rydberg.aais ~model
-            ~t_tar ~segments ()
+          repeated (fun () ->
+              Qturbo_core.Td_compiler.compile ~options ~aais:ryd.Rydberg.aais
+                ~model ~t_tar ~segments ())
         in
         Printf.printf "compiled %d segments in %.2f ms\n" segments
           (1000.0 *. td.Qturbo_core.Td_compiler.compile_seconds);
@@ -234,8 +264,9 @@ let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
         end
         else begin
           let r =
-            Qturbo_core.Compiler.compile ~options ~aais:ryd.Rydberg.aais
-              ~target ~t_tar ()
+            repeated (fun () ->
+                Qturbo_core.Compiler.compile ~options ~aais:ryd.Rydberg.aais
+                  ~target ~t_tar ())
           in
           if json then
             print_endline
@@ -312,6 +343,25 @@ let no_refine_flag =
 let no_time_opt_flag =
   Arg.(value & flag & info [ "no-time-opt" ] ~doc:"Disable §5.1 evolution-time optimisation.")
 
+let no_plan_cache_flag =
+  Arg.(
+    value & flag
+    & info [ "no-plan-cache" ]
+        ~doc:
+          "Rebuild the structural compile plan (term index, linear-system \
+           skeleton, locality decomposition, prepared solver contexts) on \
+           every compile instead of reusing the process-wide plan cache.  \
+           Results are bitwise-identical either way.")
+
+let repeat_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat" ] ~docv:"R"
+        ~doc:
+          "Compile R times in one process and report the last run; with the \
+           plan cache enabled, runs after the first hit the cached plan \
+           (the JSON report's plan_cache counters show it).")
+
 let best_effort_flag =
   Arg.(
     value & flag
@@ -352,8 +402,8 @@ let compile_term =
   Term.(
     const compile_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg $ device_arg $ t_tar_arg
     $ j_arg $ h_arg $ segments_arg $ domains_arg $ baseline_flag $ no_refine_flag
-    $ no_time_opt_flag $ best_effort_flag $ deadline_arg $ show_pulse_flag
-    $ ramp_flag $ json_flag $ verbose_flag)
+    $ no_time_opt_flag $ no_plan_cache_flag $ repeat_arg $ best_effort_flag
+    $ deadline_arg $ show_pulse_flag $ ramp_flag $ json_flag $ verbose_flag)
 
 let compile_info =
   Cmd.info "compile" ~doc:"Compile a benchmark Hamiltonian onto an analog device."

@@ -4,6 +4,7 @@ type t = {
   pool : Variable.pool;
   instructions : Instruction.t list;
   check_fixed : float array -> string list;
+  fingerprint : string;
 }
 
 let channels t =
@@ -23,8 +24,9 @@ let channels t =
     (function Some c -> c | None -> invalid_arg "Aais: missing channel id")
     arr
 
-let make ~name ~n_qubits ~pool ~instructions ?(check_fixed = fun _ -> []) () =
-  let t = { name; n_qubits; pool; instructions; check_fixed } in
+let make ~name ~n_qubits ~pool ~instructions ?(check_fixed = fun _ -> [])
+    ?(fingerprint = "") () =
+  let t = { name; n_qubits; pool; instructions; check_fixed; fingerprint } in
   ignore (channels t);
   t
 

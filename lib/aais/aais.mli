@@ -14,6 +14,14 @@ type t = {
       (** [check_fixed env] returns human-readable violations of the
           runtime-fixed-variable constraints (empty = feasible).  Drives
           the evolution-time iteration of paper §5.2. *)
+  fingerprint : string;
+      (** Builder-supplied rendering of every device parameter that is
+          {e not} visible through the variables and channels — the
+          parameters captured only inside the [check_fixed] closure
+          (e.g. the minimum atom separation).  Part of the structural
+          cache key computed by {!Shape}; two AAIS values whose
+          variables, channels and fingerprint all agree are
+          interchangeable for compilation. *)
 }
 
 val make :
@@ -22,10 +30,13 @@ val make :
   pool:Variable.pool ->
   instructions:Instruction.t list ->
   ?check_fixed:(float array -> string list) ->
+  ?fingerprint:string ->
   unit ->
   t
 (** Validates that channel [cid]s are dense [0 .. count-1] (raises
-    [Invalid_argument] otherwise). *)
+    [Invalid_argument] otherwise).  [fingerprint] defaults to [""] —
+    correct only when [check_fixed] captures nothing beyond what the
+    variables and channels already expose. *)
 
 val channels : t -> Instruction.channel array
 (** All channels indexed by [cid]. *)

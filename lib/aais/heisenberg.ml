@@ -69,6 +69,9 @@ let build ~spec ~n =
       ~name:(Printf.sprintf "heisenberg[%s,n=%d]" spec.Device.name n)
       ~n_qubits:n ~pool
       ~instructions:(List.rev !instructions)
+      ~fingerprint:
+        (Printf.sprintf "heisenberg single=%h two=%h ring=%b"
+           spec.Device.single_max spec.Device.two_max spec.Device.ring)
       ()
   in
   { aais; spec; n; singles; pairs }

@@ -241,8 +241,22 @@ let build ~spec ~n =
   in
   let check_fixed env = check_layout_positions ~spec (positions_of_env env) in
   let aais =
+    (* the fingerprint renders every spec parameter the check_fixed
+       closure captures, so structurally-keyed plan caches distinguish
+       devices that differ only in their geometric constraints *)
+    let fingerprint =
+      Printf.sprintf "rydberg c6=%h omega=%h delta=%h sep=%h extent=%h %s %s"
+        spec.Device.c6 spec.Device.omega_max spec.Device.delta_max
+        spec.Device.min_separation spec.Device.max_extent
+        (match spec.Device.control with
+        | Device.Global -> "global"
+        | Device.Local -> "local")
+        (match spec.Device.geometry with
+        | Device.Line -> "line"
+        | Device.Plane -> "plane")
+    in
     Aais.make ~name:(Printf.sprintf "rydberg[%s,n=%d]" spec.Device.name n)
-      ~n_qubits:n ~pool ~instructions ~check_fixed ()
+      ~n_qubits:n ~pool ~instructions ~check_fixed ~fingerprint ()
   in
   { aais; spec; n; xs; ys; deltas; omegas; phis }
 

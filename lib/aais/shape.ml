@@ -1,0 +1,108 @@
+open Qturbo_pauli
+
+let add_float buf f = Buffer.add_string buf (Printf.sprintf "%h" f)
+
+(* Exact structural rendering of an amplitude expression.  Constants are
+   printed as hex floats so two expressions that differ only in a
+   constant's low bits never collide; the constructors are tagged so
+   [Add (a, b)] and [Mul (a, b)] render differently. *)
+let rec add_expr buf (e : Expr.t) =
+  match e with
+  | Expr.Const c ->
+      Buffer.add_char buf 'c';
+      add_float buf c
+  | Expr.Var v ->
+      Buffer.add_char buf 'v';
+      Buffer.add_string buf (string_of_int v)
+  | Expr.Neg a ->
+      Buffer.add_string buf "n(";
+      add_expr buf a;
+      Buffer.add_char buf ')'
+  | Expr.Add (a, b) -> add_binop buf "+" a b
+  | Expr.Sub (a, b) -> add_binop buf "-" a b
+  | Expr.Mul (a, b) -> add_binop buf "*" a b
+  | Expr.Div (a, b) -> add_binop buf "/" a b
+  | Expr.Pow_int (a, k) ->
+      Buffer.add_string buf (Printf.sprintf "p%d(" k);
+      add_expr buf a;
+      Buffer.add_char buf ')'
+  | Expr.Sin a ->
+      Buffer.add_string buf "s(";
+      add_expr buf a;
+      Buffer.add_char buf ')'
+  | Expr.Cos a ->
+      Buffer.add_string buf "k(";
+      add_expr buf a;
+      Buffer.add_char buf ')'
+
+and add_binop buf op a b =
+  Buffer.add_char buf '(';
+  add_expr buf a;
+  Buffer.add_string buf op;
+  add_expr buf b;
+  Buffer.add_char buf ')'
+
+let add_hint buf (h : Instruction.solver_hint) =
+  match h with
+  | Instruction.Hint_linear { var; slope } ->
+      Buffer.add_string buf (Printf.sprintf "L%d:" var);
+      add_float buf slope
+  | Instruction.Hint_polar_cos { amp; phase; scale } ->
+      Buffer.add_string buf (Printf.sprintf "C%d,%d:" amp phase);
+      add_float buf scale
+  | Instruction.Hint_polar_sin { amp; phase; scale } ->
+      Buffer.add_string buf (Printf.sprintf "S%d,%d:" amp phase);
+      add_float buf scale
+  | Instruction.Hint_fixed -> Buffer.add_char buf 'F'
+  | Instruction.Hint_generic -> Buffer.add_char buf 'G'
+
+let add_variable buf (v : Variable.t) =
+  Buffer.add_string buf
+    (Printf.sprintf "|%d %c " v.Variable.id
+       (match v.Variable.kind with
+       | Variable.Runtime_fixed -> 'f'
+       | Variable.Runtime_dynamic -> 'd'));
+  add_float buf v.Variable.bound.Qturbo_optim.Bounds.lo;
+  Buffer.add_char buf ' ';
+  add_float buf v.Variable.bound.Qturbo_optim.Bounds.hi;
+  Buffer.add_char buf ' ';
+  add_float buf v.Variable.init
+
+let add_channel buf (c : Instruction.channel) =
+  Buffer.add_string buf (Printf.sprintf "|%d " c.Instruction.cid);
+  add_expr buf c.Instruction.expr;
+  Buffer.add_char buf ' ';
+  add_hint buf c.Instruction.hint;
+  List.iter
+    (fun { Instruction.pstring; coeff } ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf (Pauli_string.to_string pstring);
+      Buffer.add_char buf ':';
+      add_float buf coeff)
+    c.Instruction.effects
+
+let of_aais (aais : Aais.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf aais.Aais.name;
+  Buffer.add_string buf (Printf.sprintf "#%d#" aais.Aais.n_qubits);
+  Buffer.add_string buf aais.Aais.fingerprint;
+  Array.iter (add_variable buf) (Aais.variables aais);
+  Buffer.add_string buf "##";
+  Array.iter (add_channel buf) (Aais.channels aais);
+  Buffer.contents buf
+
+let support_of_target target =
+  List.filter
+    (fun s -> not (Pauli_string.is_identity s))
+    (Pauli_sum.support target)
+
+let of_support support =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Pauli_string.to_string s);
+      Buffer.add_char buf ',')
+    support;
+  Buffer.contents buf
+
+let key ~aais ~support = of_aais aais ^ "@@" ^ of_support support

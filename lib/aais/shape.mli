@@ -1,0 +1,34 @@
+(** Structural fingerprints of a compile's {e shape}.
+
+    The front-end artifacts of a compile — term index, linear-system
+    skeleton, locality components, classifications, prepared solver
+    contexts — depend only on the AAIS and the set of Pauli strings the
+    target Hamiltonian touches, never on the coefficients or the target
+    evolution time.  This module renders that dependency set into a
+    canonical string, the key of [Qturbo_core.Compile_plan]'s
+    structural plan cache.  The SimuQ baseline shares the same helper
+    (its global system is keyed identically), so both compilers agree
+    on when two compiles have the same shape.
+
+    Keys are exact, not hashed: every float is rendered as a hex
+    literal ([%h]), so two devices differing in one ulp of a bound get
+    different keys and a cached plan is never reused across genuinely
+    different structures. *)
+
+val of_aais : Aais.t -> string
+(** Canonical rendering of the device structure: name, qubit count,
+    the builder {!Aais.t.fingerprint}, every variable (id, kind, box
+    bounds, initial guess) and every channel (cid, expression tree,
+    solver hint, effect terms with coefficients). *)
+
+val support_of_target : Qturbo_pauli.Pauli_sum.t -> Qturbo_pauli.Pauli_string.t list
+(** The target's shape: its support in canonical (sorted) order with
+    the identity string removed — exactly the term set the compiler's
+    row index is built from. *)
+
+val of_support : Qturbo_pauli.Pauli_string.t list -> string
+(** Canonical rendering of a target shape. *)
+
+val key : aais:Aais.t -> support:Qturbo_pauli.Pauli_string.t list -> string
+(** [of_aais aais] and [of_support support] joined — the full
+    structural key of one (device, target-shape) pair. *)

@@ -1,0 +1,712 @@
+open Qturbo_aais
+open Qturbo_pauli
+
+let src = Logs.Src.create "qturbo.compiler" ~doc:"QTurbo compilation pipeline"
+
+module Log = (val Logs.src_log src)
+
+module Failure = Qturbo_resilience.Failure
+module Fault = Qturbo_resilience.Fault
+module Supervisor = Qturbo_resilience.Supervisor
+module Diagnostic = Qturbo_analysis.Diagnostic
+
+type options = {
+  refine : bool;
+  time_opt : bool;
+  no_opt_padding : float;
+  dt_factor : float;
+  max_constraint_iters : int;
+  time_floor : float;
+  dense_linear_solver : bool;
+  generic_local_solver : bool;
+  domains : int;
+  supervise : bool;
+  best_effort : bool;
+  deadline_seconds : float option;
+  faults : Fault.spec option;
+  plan_cache : bool;
+}
+
+let default_options =
+  {
+    refine = true;
+    time_opt = true;
+    no_opt_padding = 3.0;
+    dt_factor = 1.25;
+    max_constraint_iters = 24;
+    time_floor = 1e-4;
+    dense_linear_solver = false;
+    generic_local_solver = false;
+    domains = Qturbo_par.Pool.default_domains ();
+    supervise = true;
+    best_effort = false;
+    deadline_seconds = None;
+    faults = None;
+    plan_cache = true;
+  }
+
+(* Observability hook for the pipeline stages.  Tests install a recorder
+   to assert ordering properties ("no solver stage ran before rejection",
+   "a cached compile skips plan-build") without relying on timing. *)
+let stage_hook : (string -> unit) ref = ref (fun _ -> ())
+
+type component_summary = {
+  classification : string;
+  channels : int;
+  variables : int;
+  min_time : float;
+  eps2 : float;
+}
+
+type plan_stats = {
+  cache_enabled : bool;
+  cache_hit : bool;
+  cache_hits : int;
+  cache_misses : int;
+  build_seconds : float;
+  solve_seconds : float;
+}
+
+type result = {
+  env : float array;
+  t_sim : float;
+  alpha_target : float array;
+  alpha_achieved : float array;
+  error_l1 : float;
+  relative_error : float;
+  eps1 : float;
+  eps2_total : float;
+  theorem1_bound : float;
+  components : component_summary list;
+  constraint_iterations : int;
+  compile_seconds : float;
+  warnings : string list;
+  diagnostics : Diagnostic.t list;
+  failures : Failure.t list;
+  degraded : bool;
+  plan : plan_stats;
+}
+
+let classification_name = function
+  | Local_solver.Const_channels -> "const"
+  | Local_solver.Linear _ -> "linear"
+  | Local_solver.Polar _ -> "polar"
+  | Local_solver.Fixed_vars -> "fixed"
+  | Local_solver.Generic -> "generic"
+
+(* A component bundled with its solver-specific prepared state. *)
+type prepared_comp =
+  | Dynamic of Local_solver.prepared
+  | Fixed of Fixed_solver.prepared
+
+let prepare_components ~vars ~channels comps classifications =
+  List.map2
+    (fun comp classification ->
+      match classification with
+      | Local_solver.Fixed_vars -> Fixed (Fixed_solver.prepare ~vars ~channels comp)
+      | Local_solver.Const_channels | Local_solver.Linear _
+      | Local_solver.Polar _ | Local_solver.Generic ->
+          Dynamic (Local_solver.prepare ~vars ~channels comp classification))
+    comps classifications
+
+(* ------------------------------------------------------------------ *)
+(* Plan artifacts                                                      *)
+
+type device = {
+  aais : Aais.t;
+  channels : Instruction.channel array;
+  vars : Variable.t array;
+  generic_local_solver : bool;
+  comps : Locality.component list;
+  classifications : Local_solver.classification list;
+  prepared : prepared_comp list;
+  device_key : string;
+}
+
+type t = {
+  device : device;
+  support : Pauli_string.t list;
+  skeleton : Linear_system.skeleton;
+  structure_diags : Diagnostic.t list;
+  key : string;
+  build_seconds : float;
+}
+
+let support_of_target = Shape.support_of_target
+
+let device_key ~(options : options) ~aais =
+  Printf.sprintf "g=%b|%s" options.generic_local_solver (Shape.of_aais aais)
+
+let plan_key_of_support ~(options : options) ~aais ~support =
+  Printf.sprintf "g=%b|%s" options.generic_local_solver
+    (Shape.key ~aais ~support)
+
+let plan_key ~options ~aais ~target =
+  plan_key_of_support ~options ~aais ~support:(support_of_target target)
+
+let build_device ?(options = default_options) ~aais () =
+  let channels = Aais.channels aais in
+  let vars = Aais.variables aais in
+  let comps = Locality.decompose ~channels ~n_vars:(Array.length vars) in
+  let classifications =
+    List.map
+      (fun comp ->
+        match Local_solver.classify ~vars ~channels comp with
+        | (Local_solver.Linear _ | Local_solver.Polar _)
+          when options.generic_local_solver ->
+            Local_solver.Generic
+        | cls -> cls)
+      comps
+  in
+  let prepared = prepare_components ~vars ~channels comps classifications in
+  {
+    aais;
+    channels;
+    vars;
+    generic_local_solver = options.generic_local_solver;
+    comps;
+    classifications;
+    prepared;
+    device_key = device_key ~options ~aais;
+  }
+
+(* The structure pass of [qturbo.analysis] takes a generic view of the
+   system; convert the skeleton rows and [Locality] components. *)
+let structure_rows ~index ~cells =
+  Array.to_list
+    (Array.mapi
+       (fun i c ->
+         { Qturbo_analysis.Structure.term = Term_index.string_of index i;
+           cells = c })
+       cells)
+
+let structure_comps comps =
+  List.map
+    (fun (c : Locality.component) ->
+      {
+        Qturbo_analysis.Structure.id = c.Locality.id;
+        channel_ids = c.Locality.channel_ids;
+        var_ids = c.Locality.var_ids;
+      })
+    comps
+
+(* ------------------------------------------------------------------ *)
+(* Caches                                                              *)
+
+let plan_cache : t Plan_cache.t = Plan_cache.create ~capacity:32
+let device_cache : device Plan_cache.t = Plan_cache.create ~capacity:8
+
+let cache_stats () = Plan_cache.stats plan_cache
+let device_cache_stats () = Plan_cache.stats device_cache
+
+let clear_caches () =
+  Plan_cache.clear plan_cache;
+  Plan_cache.clear device_cache
+
+let obtain_device ~options ~aais =
+  if not options.plan_cache then build_device ~options ~aais ()
+  else
+    let key = device_key ~options ~aais in
+    match Plan_cache.find device_cache key with
+    | Some d -> d
+    | None ->
+        let d = build_device ~options ~aais () in
+        Plan_cache.add device_cache key d;
+        d
+
+let build ?(options = default_options) ?device ~aais ~target_shape () =
+  !stage_hook "plan-build";
+  let t0 = Qturbo_util.Clock.now () in
+  let device =
+    match device with Some d -> d | None -> obtain_device ~options ~aais
+  in
+  let skeleton =
+    Linear_system.skeleton ~channels:device.channels ~support:target_shape
+  in
+  let structure_diags =
+    Qturbo_analysis.Structure.check ~channels:device.channels
+      ~variables:device.vars
+      ~rows:
+        (structure_rows
+           ~index:(Linear_system.skeleton_index skeleton)
+           ~cells:(Linear_system.skeleton_cells skeleton))
+      ~comps:(structure_comps device.comps)
+  in
+  {
+    device;
+    support = target_shape;
+    skeleton;
+    structure_diags;
+    key = plan_key_of_support ~options ~aais ~support:target_shape;
+    build_seconds = Qturbo_util.Clock.now () -. t0;
+  }
+
+(* Fetch-or-build a plan for [target]'s shape.  Returns the plan and
+   whether it came out of the cache. *)
+let obtain ~options ~aais ~target =
+  let support = support_of_target target in
+  if not options.plan_cache then
+    (build ~options ~aais ~target_shape:support (), false)
+  else
+    let key = plan_key_of_support ~options ~aais ~support in
+    match Plan_cache.find plan_cache key with
+    | Some p ->
+        !stage_hook "plan-cache-hit";
+        (p, true)
+    | None ->
+        let p = build ~options ~aais ~target_shape:support () in
+        Plan_cache.add plan_cache key p;
+        (p, false)
+
+(* ------------------------------------------------------------------ *)
+(* Input validation (shared with Td_compiler)                          *)
+
+let validate_t_tar ~who t_tar =
+  if not (Float.is_finite t_tar) then
+    raise
+      (Diagnostic.Rejected
+         [
+           Diagnostic.make ~code:"QT016" ~severity:Diagnostic.Error
+             ~subject:Diagnostic.System
+             ~hint:"pass a finite positive evolution time"
+             (Printf.sprintf "%s: t_tar must be finite, got %h" who t_tar);
+         ]);
+  if t_tar <= 0.0 then invalid_arg (who ^ ": t_tar <= 0")
+
+(* ------------------------------------------------------------------ *)
+(* The numeric back-end                                                *)
+
+(* Parallel strategy for a component sweep: when one component holds
+   most of the channels (the single position component of a Rydberg
+   AAIS), spreading components over the pool leaves every domain but
+   one idle — run the sweep sequentially so the big component's inner
+   parallelism (residual rows, Jacobian entries) gets the pool instead.
+   Otherwise parallelize across components, one component per task. *)
+let component_domains ~domains comps =
+  let sizes = List.map (fun c -> List.length c.Locality.channel_ids) comps in
+  let total = List.fold_left ( + ) 0 sizes in
+  let largest = List.fold_left Int.max 0 sizes in
+  if 2 * largest > total then (1, domains) else (domains, 1)
+
+let solve_prepared_comp ?sup ~alpha ~t_sim ~fixed_domains = function
+  | Dynamic p -> (
+      match sup with
+      | None ->
+          let { Local_solver.assignments; eps2 } =
+            Local_solver.solve_prepared ~alpha ~t_sim p
+          in
+          (assignments, eps2, [])
+      | Some sup ->
+          let { Local_solver.assignments; eps2 }, failures =
+            Local_solver.solve_supervised ~sup ~alpha ~t_sim p
+          in
+          (assignments, eps2, failures))
+  | Fixed p -> (
+      match sup with
+      | None ->
+          let { Fixed_solver.assignments; eps2 } =
+            Fixed_solver.solve_prepared ~domains:fixed_domains ~alpha ~t_sim p
+          in
+          (assignments, eps2, [])
+      | Some sup ->
+          let { Fixed_solver.assignments; eps2 }, failures =
+            Fixed_solver.solve_supervised ~domains:fixed_domains ~sup ~alpha
+              ~t_sim p
+          in
+          (assignments, eps2, failures))
+
+(* Run a guarded component sweep.  The supervisor's pool guard raises
+   [Expired] the moment the deadline passes (or an injected deadline fault
+   fires), which abandons the sweep; the fallback rerun is unguarded, and
+   because the deadline has by then expired for every component, each
+   supervised solve short-circuits deterministically with a
+   [Deadline_expired] record — the same degraded result at any domain
+   count. *)
+let guarded_sweep ?sup ~site ~comp_domains f prepared =
+  let run ~guarded =
+    let guard =
+      match sup with
+      | Some s when guarded -> Some (Supervisor.pool_guard s ~site)
+      | _ -> None
+    in
+    Qturbo_par.Pool.parallel_map_list ?guard ~domains:comp_domains ~chunk:1 f
+      prepared
+  in
+  try run ~guarded:true with Supervisor.Expired -> run ~guarded:false
+
+(* Solve every component at the given evolution time, returning the full
+   environment, the per-component residuals, and the per-component failure
+   records.  Solves run on the pool (components write disjoint variable
+   slots); the assignments are then applied sequentially in component
+   order, so the resulting [env] is identical to the sequential sweep. *)
+let solve_components ?sup ~vars ~comp_domains ~fixed_domains ~alpha ~t_sim
+    prepared =
+  let env = Array.map (fun (v : Variable.t) -> v.Variable.init) vars in
+  let solved =
+    guarded_sweep ?sup ~site:"local-solve" ~comp_domains
+      (fun p -> solve_prepared_comp ?sup ~alpha ~t_sim ~fixed_domains p)
+      prepared
+  in
+  let failures = List.concat_map (fun (_, _, fs) -> fs) solved in
+  let eps2s =
+    List.map
+      (fun (assignments, eps2, _) ->
+        List.iter (fun (v, x) -> env.(v) <- x) assignments;
+        eps2)
+      solved
+  in
+  (env, eps2s, failures)
+
+let alpha_achieved_of_env ~domains ~channels ~env ~t_sim =
+  (* a kernel eval is ~10 ns; only very wide channel sets outweigh the
+     pool dispatch (same granularity reasoning as Fixed_solver) *)
+  let domains = if Array.length channels < 32_768 then 1 else domains in
+  Qturbo_par.Pool.parallel_map ~domains
+    (fun (c : Instruction.channel) -> Instruction.eval_channel c ~env *. t_sim)
+    channels
+
+(* The full numeric back-end: instantiate the right-hand side, run the
+   precheck against the instance, the global linear solve, evolution-time
+   optimisation, the §5.2 constraint iteration and §6.2 refinement.
+   Ported verbatim from the pre-plan [Compiler.compile] body — the float
+   operations and their order are unchanged, so results are
+   bitwise-identical to the monolithic pipeline. *)
+let solve_from ~t0 ~cache_hit ~options ~strict ?t_max ~plan ~target ~t_tar () =
+  validate_t_tar ~who:"Compiler.compile" t_tar;
+  let aais = plan.device.aais in
+  if Pauli_sum.n_qubits target > aais.Aais.n_qubits then
+    invalid_arg "Compiler.compile: target touches qubits outside the AAIS";
+  let plan_index = Linear_system.skeleton_index plan.skeleton in
+  List.iter
+    (fun (s, _) ->
+      if
+        (not (Pauli_string.is_identity s))
+        && Term_index.row_of plan_index s = None
+      then
+        invalid_arg "Compile_plan.solve: target term outside the plan's shape")
+    (Pauli_sum.terms target);
+  let solve_t0 = Qturbo_util.Clock.now () in
+  let domains = options.domains in
+  let warnings = ref [] in
+  (* supervision context: deadline (absolute from here), fault spec
+     (explicit, else QTURBO_FAULTS), best-effort flag.  [supervise = false]
+     bypasses the ladder entirely — the raw seed solver path, kept for
+     overhead benchmarking. *)
+  let sup =
+    if options.supervise then
+      Some
+        (Supervisor.make ?deadline_seconds:options.deadline_seconds
+           ?faults:options.faults ~best_effort:options.best_effort ())
+    else None
+  in
+  let pipeline_failures = ref [] in
+  let fault_fires site =
+    match sup with
+    | None -> None
+    | Some s -> Fault.fires (Supervisor.faults s) ~site ~component:(-1)
+  in
+  let channels = plan.device.channels in
+  let vars = plan.device.vars in
+  let comps = plan.device.comps in
+  (* stage 0: attach the instance to the plan's skeleton, then run the
+     static analyzer as a fail-fast precheck — provably-broken inputs
+     are rejected before any solver runs.  The structure pass was
+     computed once at plan build; only the coefficient-dependent passes
+     run per instance. *)
+  let ls = Linear_system.instantiate plan.skeleton ~target ~t_tar in
+  !stage_hook "precheck";
+  let diagnostics =
+    Qturbo_analysis.Analysis.static_checks ~aais ~target ~t_tar ?t_max ()
+    @ plan.structure_diags
+  in
+  if strict then Qturbo_analysis.Analysis.check_or_raise diagnostics;
+  List.iter
+    (fun d ->
+      if d.Diagnostic.severity = Diagnostic.Warning then
+        warnings := Diagnostic.to_string d :: !warnings)
+    diagnostics;
+  Log.debug (fun m ->
+      m "precheck: %d diagnostics (%d errors)" (List.length diagnostics)
+        (List.length (Diagnostic.errors diagnostics)));
+  (* stage 1: global linear system over synthesized variables *)
+  !stage_hook "linear-solve";
+  let lin =
+    if options.dense_linear_solver then Linear_system.solve_dense ls
+    else Linear_system.solve ls
+  in
+  let alpha = lin.Qturbo_linalg.Sparse_solve.x in
+  let eps1 = lin.Qturbo_linalg.Sparse_solve.residual_l1 in
+  Log.debug (fun m ->
+      let st = lin.Qturbo_linalg.Sparse_solve.stats in
+      m "linear system: %d rows, %d channels, greedy %d / dense %d, eps1 %.3g"
+        (Term_index.count ls.Linear_system.index)
+        (Array.length channels)
+        st.Qturbo_linalg.Sparse_solve.greedy_solved
+        st.Qturbo_linalg.Sparse_solve.dense_solved eps1);
+  (* stage 2: classification and prepared contexts come off the plan *)
+  let classifications = plan.device.classifications in
+  let prepared = plan.device.prepared in
+  let comp_domains, fixed_domains = component_domains ~domains comps in
+  (* stage 3: evolution-time optimisation (bottleneck component) *)
+  let min_time_results =
+    guarded_sweep ?sup ~site:"min-time" ~comp_domains
+      (function
+        | Dynamic p -> (
+            match sup with
+            | None -> (Local_solver.min_time_prepared ~alpha p, [])
+            | Some sup -> Local_solver.min_time_supervised ~sup ~alpha p)
+        | Fixed _ -> (0.0, []))
+      prepared
+  in
+  let min_times = List.map fst min_time_results in
+  pipeline_failures :=
+    !pipeline_failures @ List.concat_map snd min_time_results;
+  let bottleneck = List.fold_left Float.max 0.0 min_times in
+  Log.debug (fun m ->
+      m "locality: %d components, bottleneck evolution time %.4g"
+        (List.length comps) bottleneck);
+  if bottleneck = infinity then
+    warnings := "some component is infeasible at any evolution time" :: !warnings;
+  let t_base =
+    if bottleneck = infinity || bottleneck = 0.0 then options.time_floor
+    else Float.max options.time_floor bottleneck
+  in
+  let t_start = if options.time_opt then t_base else t_base *. options.no_opt_padding in
+  (* stage 4: solve localized systems, iterating T upward while the
+     runtime-fixed layout violates device geometry (paper §5.2).  The
+     retry loop is hard-bounded: exhausting [max_constraint_iters]
+     produces a classified [Position_retry_exhausted] failure (and the
+     best layout found), never an unbounded spin. *)
+  !stage_hook "local-solve";
+  let retry_fault = fault_fires "constraint-loop" = Some Fault.Retry in
+  let rec attempt t iter =
+    let env, eps2s, solve_failures =
+      solve_components ?sup ~vars ~comp_domains ~fixed_domains ~alpha ~t_sim:t
+        prepared
+    in
+    let violations =
+      if retry_fault then
+        [ "injected fault: constraint-loop=retry forces a violation" ]
+      else aais.Aais.check_fixed env
+    in
+    let expired =
+      match sup with
+      | None -> false
+      | Some s -> Supervisor.site_expired s ~site:"constraint-loop" ~component:(-1)
+    in
+    if violations = [] || iter >= options.max_constraint_iters || expired
+    then begin
+      if violations <> [] then begin
+        let reason =
+          if iter >= options.max_constraint_iters then
+            Printf.sprintf
+              "layout constraints unresolved after %d iterations: %s" iter
+              (String.concat "; " violations)
+          else
+            Printf.sprintf
+              "deadline expired with layout constraints unresolved after %d \
+               iterations: %s"
+              iter
+              (String.concat "; " violations)
+        in
+        warnings := reason :: !warnings;
+        pipeline_failures :=
+          !pipeline_failures
+          @ [
+              Failure.make ~component:(-1) ~site:"constraint-loop" ~stage:""
+                ~fatal:false
+                ~class_:
+                  (if iter >= options.max_constraint_iters then
+                     Failure.Position_retry_exhausted
+                   else Failure.Deadline_expired)
+                reason;
+            ]
+      end;
+      (t, env, eps2s, solve_failures, iter)
+    end
+    else attempt (t *. options.dt_factor) (iter + 1)
+  in
+  let t_sim, env, eps2s, solve_failures, constraint_iterations =
+    attempt t_start 0
+  in
+  Log.debug (fun m ->
+      m "localized systems solved at T = %.4g after %d constraint iterations"
+        t_sim constraint_iterations);
+  (* stage 5: iterative refinement (§6.2) — re-solve the runtime-dynamic
+     channels against the residual left by the achieved fixed channels *)
+  let achieved = alpha_achieved_of_env ~domains ~channels ~env ~t_sim in
+  let refine_expired =
+    match sup with
+    | None -> false
+    | Some s -> Supervisor.site_expired s ~site:"refine" ~component:(-1)
+  in
+  if options.refine && refine_expired then
+    pipeline_failures :=
+      !pipeline_failures
+      @ [
+          Failure.make ~component:(-1) ~site:"refine" ~stage:"" ~fatal:false
+            ~class_:Failure.Deadline_expired
+            "deadline expired before refinement; returning unrefined result";
+        ];
+  let refine_failures = ref [] in
+  let env, eps2s =
+    if (not options.refine) || refine_expired then (env, eps2s)
+    else begin
+      let fixed_cid = Array.make (Array.length channels) false in
+      List.iter2
+        (fun comp cls ->
+          match cls with
+          | Local_solver.Fixed_vars ->
+              List.iter
+                (fun cid -> fixed_cid.(cid) <- true)
+                comp.Locality.channel_ids
+          | Local_solver.Const_channels | Local_solver.Linear _
+          | Local_solver.Polar _ | Local_solver.Generic ->
+              ())
+        comps classifications;
+      (* residual RHS: move the achieved fixed-channel contributions over *)
+      let rows = Array.of_list (Linear_system.rows ls) in
+      let adjusted_rows =
+        Array.to_list
+          (Array.map
+             (fun { Qturbo_linalg.Sparse_solve.cells; rhs } ->
+               let fixed_part =
+                 List.fold_left
+                   (fun acc (cid, coeff) ->
+                     if fixed_cid.(cid) then acc +. (coeff *. achieved.(cid))
+                     else acc)
+                   0.0 cells
+               in
+               {
+                 Qturbo_linalg.Sparse_solve.cells =
+                   List.filter (fun (cid, _) -> not fixed_cid.(cid)) cells;
+                 rhs = rhs -. fixed_part;
+               })
+             rows)
+      in
+      let refined =
+        Qturbo_linalg.Sparse_solve.solve ~ncols:(Array.length channels)
+          adjusted_rows
+      in
+      let alpha_refined = refined.Qturbo_linalg.Sparse_solve.x in
+      (* keep the fixed channels' original targets for eps accounting *)
+      Array.iteri
+        (fun cid is_fixed -> if is_fixed then alpha_refined.(cid) <- alpha.(cid))
+        fixed_cid;
+      (* re-solve only the dynamic components at the same T; solves run
+         on the pool, assignments apply in component order as above *)
+      let env = Array.copy env in
+      let resolved =
+        guarded_sweep ?sup ~site:"refine" ~comp_domains
+          (fun (comp, p) ->
+            match p with
+            | Fixed _ ->
+                (* unchanged: recompute its eps2 against original targets *)
+                ( [],
+                  List.fold_left
+                    (fun acc cid ->
+                      acc +. Float.abs (achieved.(cid) -. alpha.(cid)))
+                    0.0 comp.Locality.channel_ids,
+                  [] )
+            | Dynamic p -> (
+                match sup with
+                | None ->
+                    let { Local_solver.assignments; eps2 } =
+                      Local_solver.solve_prepared ~alpha:alpha_refined ~t_sim p
+                    in
+                    (assignments, eps2, [])
+                | Some sup ->
+                    let { Local_solver.assignments; eps2 }, failures =
+                      Local_solver.solve_supervised ~sup ~alpha:alpha_refined
+                        ~t_sim p
+                    in
+                    (assignments, eps2, failures)))
+          (List.combine comps prepared)
+      in
+      refine_failures := List.concat_map (fun (_, _, fs) -> fs) resolved;
+      let eps2s =
+        List.map
+          (fun (assignments, eps2, _) ->
+            List.iter (fun (v, x) -> env.(v) <- x) assignments;
+            eps2)
+          resolved
+      in
+      (env, eps2s)
+    end
+  in
+  let alpha_achieved = alpha_achieved_of_env ~domains ~channels ~env ~t_sim in
+  let error_l1 = Linear_system.residual_l1 ls ~alpha:alpha_achieved in
+  let b_norm =
+    Array.fold_left (fun acc b -> acc +. Float.abs b) 0.0 ls.Linear_system.b_tar
+  in
+  let eps2_total = List.fold_left ( +. ) 0.0 eps2s in
+  let components =
+    List.map2
+      (fun (comp : Locality.component) (cls, (tmin, eps2)) ->
+        {
+          classification = classification_name cls;
+          channels = List.length comp.Locality.channel_ids;
+          variables = List.length comp.Locality.var_ids;
+          min_time = tmin;
+          eps2;
+        })
+      comps
+      (List.map2
+         (fun cls pair -> (cls, pair))
+         classifications
+         (List.combine min_times eps2s))
+  in
+  (* failures, in pipeline order: evolution-time search and
+     pipeline-level records (constraint loop, refinement expiry), then
+     the final constraint-iteration solve sweep (component order — the
+     pool collects by index), then refinement re-solves *)
+  let failures = !pipeline_failures @ solve_failures @ !refine_failures in
+  let degraded = List.exists (fun f -> f.Failure.fatal) failures in
+  let best_effort =
+    match sup with Some s -> Supervisor.best_effort s | None -> false
+  in
+  if degraded && not best_effort then raise (Failure.Failed failures);
+  let now = Qturbo_util.Clock.now () in
+  let cache = Plan_cache.stats plan_cache in
+  {
+    env;
+    t_sim;
+    alpha_target = alpha;
+    alpha_achieved;
+    error_l1;
+    relative_error =
+      (if b_norm > 0.0 then error_l1 /. b_norm *. 100.0 else 0.0);
+    eps1;
+    eps2_total;
+    theorem1_bound = (Linear_system.norm1 ls *. eps2_total) +. eps1;
+    components;
+    constraint_iterations;
+    compile_seconds = now -. t0;
+    warnings = List.rev !warnings;
+    diagnostics;
+    failures;
+    degraded;
+    plan =
+      {
+        cache_enabled = options.plan_cache;
+        cache_hit;
+        cache_hits = cache.Plan_cache.hits;
+        cache_misses = cache.Plan_cache.misses;
+        build_seconds = (if cache_hit then 0.0 else plan.build_seconds);
+        solve_seconds = now -. solve_t0;
+      };
+  }
+
+let solve ?(options = default_options) ?(strict = true) ?t_max ?(cache_hit = false)
+    ~plan ~coeffs ~t_tar () =
+  solve_from ~t0:(Qturbo_util.Clock.now ()) ~cache_hit ~options ~strict ?t_max
+    ~plan ~target:coeffs ~t_tar ()
+
+let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
+    ~t_tar () =
+  validate_t_tar ~who:"Compiler.compile" t_tar;
+  if Pauli_sum.n_qubits target > aais.Aais.n_qubits then
+    invalid_arg "Compiler.compile: target touches qubits outside the AAIS";
+  let t0 = Qturbo_util.Clock.now () in
+  let plan, cache_hit = obtain ~options ~aais ~target in
+  solve_from ~t0 ~cache_hit ~options ~strict ?t_max ~plan ~target ~t_tar ()

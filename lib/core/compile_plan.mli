@@ -1,0 +1,196 @@
+(** Staged compile pipeline: reusable plan artifacts + a structural cache.
+
+    The compiler's work splits cleanly into a {e structural front-end}
+    that depends only on the AAIS and the target's shape (which Pauli
+    terms it touches) — term indexing, linear-system skeleton, locality
+    decomposition, per-component classification, compiled expression
+    kernels, prepared solver contexts — and a {e numeric back-end} that
+    additionally consumes the target coefficients and the evolution time.
+    {!build} produces the former as an immutable, coefficient-free
+    {!t}; {!solve} runs the latter against a plan.  Parameter sweeps,
+    batch compiles and the segments of a time-dependent compile all
+    reuse one plan, paying the front-end once.
+
+    Plans are cached process-wide in a bounded LRU ({!Plan_cache})
+    keyed by an exact structural string ({!plan_key}): the AAIS
+    fingerprint (name, variables, channel expressions/hints/effects and
+    the device builder's constraint fingerprint) plus the target's
+    support and the classification-affecting options.  Exact keys mean
+    no hash collisions; equal keys produce interchangeable plans, so a
+    cache hit is bitwise-identical to a cold build by construction.
+
+    [Compiler] re-exports the [options]/[result] types from here and
+    delegates [Compiler.compile]; existing call sites are unaffected. *)
+
+open Qturbo_aais
+open Qturbo_pauli
+
+module Failure = Qturbo_resilience.Failure
+module Fault = Qturbo_resilience.Fault
+module Supervisor = Qturbo_resilience.Supervisor
+module Diagnostic = Qturbo_analysis.Diagnostic
+
+type options = {
+  refine : bool;  (** iterative refinement pass (paper §6.2) *)
+  time_opt : bool;  (** evolution-time optimisation (§5.1) *)
+  no_opt_padding : float;  (** T multiplier when [time_opt] is off *)
+  dt_factor : float;  (** T growth per constraint iteration (§5.2) *)
+  max_constraint_iters : int;
+  time_floor : float;  (** smallest admissible evolution time *)
+  dense_linear_solver : bool;  (** ablation: skip the greedy pass *)
+  generic_local_solver : bool;  (** ablation: force Nelder–Mead *)
+  domains : int;  (** worker domains for parallel sections *)
+  supervise : bool;  (** run solves under the fallback supervisor *)
+  best_effort : bool;  (** degrade instead of raising on fatal failure *)
+  deadline_seconds : float option;
+  faults : Fault.spec option;  (** fault injection (tests/CI) *)
+  plan_cache : bool;
+      (** reuse structurally-identical plans from the process-wide
+          cache; off = rebuild the front-end on every compile *)
+}
+
+val default_options : options
+
+val stage_hook : (string -> unit) ref
+(** Observability hook; receives ["plan-build"], ["plan-cache-hit"],
+    ["precheck"], ["linear-solve"], ["local-solve"] in pipeline order.
+    Shared with [Compiler.stage_hook] (same ref). *)
+
+type component_summary = {
+  classification : string;
+  channels : int;
+  variables : int;
+  min_time : float;
+  eps2 : float;
+}
+
+type plan_stats = {
+  cache_enabled : bool;
+  cache_hit : bool;  (** this compile's plan came from the cache *)
+  cache_hits : int;  (** process-wide counter, sampled at completion *)
+  cache_misses : int;
+  build_seconds : float;  (** front-end cost (0 on a cache hit) *)
+  solve_seconds : float;  (** numeric back-end cost *)
+}
+
+type result = {
+  env : float array;
+  t_sim : float;
+  alpha_target : float array;
+  alpha_achieved : float array;
+  error_l1 : float;
+  relative_error : float;
+  eps1 : float;
+  eps2_total : float;
+  theorem1_bound : float;
+  components : component_summary list;
+  constraint_iterations : int;
+  compile_seconds : float;
+  warnings : string list;
+  diagnostics : Diagnostic.t list;
+  failures : Failure.t list;
+  degraded : bool;
+  plan : plan_stats;
+}
+
+(** {1 Plan artifacts} *)
+
+type prepared_comp =
+  | Dynamic of Local_solver.prepared
+  | Fixed of Fixed_solver.prepared
+
+type device = {
+  aais : Aais.t;
+  channels : Instruction.channel array;
+  vars : Variable.t array;
+  generic_local_solver : bool;
+  comps : Locality.component list;
+  classifications : Local_solver.classification list;
+  prepared : prepared_comp list;
+  device_key : string;
+}
+(** The target-independent part of a plan: locality decomposition,
+    classifications (with the [generic_local_solver] override applied)
+    and prepared solver contexts.  Depends only on the AAIS, so it is
+    shared across every target shape on the same device. *)
+
+type t = {
+  device : device;
+  support : Pauli_string.t list;
+  skeleton : Linear_system.skeleton;
+  structure_diags : Diagnostic.t list;
+      (** the shape-only analyzer pass, computed once per plan *)
+  key : string;
+  build_seconds : float;
+}
+
+val support_of_target : Pauli_sum.t -> Pauli_string.t list
+(** Non-identity support, in term order (= {!Shape.support_of_target}). *)
+
+val plan_key : options:options -> aais:Aais.t -> target:Pauli_sum.t -> string
+(** The structural cache key this target would compile under.  Equal
+    keys ⇒ interchangeable plans; coefficients do not contribute. *)
+
+val build_device : ?options:options -> aais:Aais.t -> unit -> device
+val obtain_device : options:options -> aais:Aais.t -> device
+(** Cache-aware variant ([options.plan_cache = false] builds fresh). *)
+
+val build :
+  ?options:options ->
+  ?device:device ->
+  aais:Aais.t ->
+  target_shape:Pauli_string.t list ->
+  unit ->
+  t
+(** Build a plan for a target shape (fires the ["plan-build"] hook).
+    [?device] reuses an already-built device part. *)
+
+val obtain : options:options -> aais:Aais.t -> target:Pauli_sum.t -> t * bool
+(** Fetch-or-build the plan for [target]'s shape; the flag is [true] on
+    a cache hit. *)
+
+(** {1 Solving} *)
+
+val validate_t_tar : who:string -> float -> unit
+(** Shared input validation: non-finite [t_tar] raises
+    {!Diagnostic.Rejected} with a [QT016] diagnostic; [t_tar <= 0.0]
+    raises [Invalid_argument "<who>: t_tar <= 0"]. *)
+
+val solve :
+  ?options:options ->
+  ?strict:bool ->
+  ?t_max:float ->
+  ?cache_hit:bool ->
+  plan:t ->
+  coeffs:Pauli_sum.t ->
+  t_tar:float ->
+  unit ->
+  result
+(** Run the numeric back-end: instantiate the right-hand side from
+    [coeffs], precheck, global linear solve, evolution-time search,
+    constraint iteration, refinement.  Bitwise-identical to the
+    monolithic pre-plan pipeline.  [coeffs] must lie inside the plan's
+    shape (terms outside it raise [Invalid_argument]); extra shape rows
+    simply get a zero target.  [?cache_hit] only annotates
+    [result.plan]. *)
+
+val compile :
+  ?options:options ->
+  ?strict:bool ->
+  ?t_max:float ->
+  aais:Aais.t ->
+  target:Pauli_sum.t ->
+  t_tar:float ->
+  unit ->
+  result
+(** [obtain] + [solve] — the staged equivalent of the historical
+    [Compiler.compile]. *)
+
+(** {1 Cache control} *)
+
+val cache_stats : unit -> Plan_cache.stats
+val device_cache_stats : unit -> Plan_cache.stats
+
+val clear_caches : unit -> unit
+(** Drop all cached plans/devices and zero the counters (tests,
+    benchmarks and cold-path measurement). *)

@@ -1,15 +1,15 @@
 open Qturbo_aais
 open Qturbo_pauli
 
-let src = Logs.Src.create "qturbo.compiler" ~doc:"QTurbo compilation pipeline"
-
-module Log = (val Logs.src_log src)
-
 module Failure = Qturbo_resilience.Failure
 module Fault = Qturbo_resilience.Fault
-module Supervisor = Qturbo_resilience.Supervisor
 
-type options = {
+(* The pipeline itself lives in [Compile_plan]; this module re-exports
+   the historical surface (the types with equations, so field access
+   through [Compiler] keeps working everywhere) and adds the batch
+   entry point. *)
+
+type options = Compile_plan.options = {
   refine : bool;
   time_opt : bool;
   no_opt_padding : float;
@@ -23,31 +23,12 @@ type options = {
   best_effort : bool;
   deadline_seconds : float option;
   faults : Fault.spec option;
+  plan_cache : bool;
 }
 
-let default_options =
-  {
-    refine = true;
-    time_opt = true;
-    no_opt_padding = 3.0;
-    dt_factor = 1.25;
-    max_constraint_iters = 24;
-    time_floor = 1e-4;
-    dense_linear_solver = false;
-    generic_local_solver = false;
-    domains = Qturbo_par.Pool.default_domains ();
-    supervise = true;
-    best_effort = false;
-    deadline_seconds = None;
-    faults = None;
-  }
+let default_options = Compile_plan.default_options
 
-(* Observability hook for the pipeline stages.  Tests install a recorder
-   to assert ordering properties ("no solver stage ran before rejection")
-   without relying on timing. *)
-let stage_hook : (string -> unit) ref = ref (fun _ -> ())
-
-type component_summary = {
+type component_summary = Compile_plan.component_summary = {
   classification : string;
   channels : int;
   variables : int;
@@ -55,7 +36,16 @@ type component_summary = {
   eps2 : float;
 }
 
-type result = {
+type plan_stats = Compile_plan.plan_stats = {
+  cache_enabled : bool;
+  cache_hit : bool;
+  cache_hits : int;
+  cache_misses : int;
+  build_seconds : float;
+  solve_seconds : float;
+}
+
+type result = Compile_plan.result = {
   env : float array;
   t_sim : float;
   alpha_target : float array;
@@ -72,118 +62,10 @@ type result = {
   diagnostics : Qturbo_analysis.Diagnostic.t list;
   failures : Failure.t list;
   degraded : bool;
+  plan : plan_stats;
 }
 
-let classification_name = function
-  | Local_solver.Const_channels -> "const"
-  | Local_solver.Linear _ -> "linear"
-  | Local_solver.Polar _ -> "polar"
-  | Local_solver.Fixed_vars -> "fixed"
-  | Local_solver.Generic -> "generic"
-
-(* A component bundled with its solver-specific prepared state. *)
-type prepared_comp =
-  | Dynamic of Local_solver.prepared
-  | Fixed of Fixed_solver.prepared
-
-let prepare_components ~vars ~channels comps classifications =
-  List.map2
-    (fun comp classification ->
-      match classification with
-      | Local_solver.Fixed_vars -> Fixed (Fixed_solver.prepare ~vars ~channels comp)
-      | Local_solver.Const_channels | Local_solver.Linear _
-      | Local_solver.Polar _ | Local_solver.Generic ->
-          Dynamic (Local_solver.prepare ~vars ~channels comp classification))
-    comps classifications
-
-(* Parallel strategy for a component sweep: when one component holds
-   most of the channels (the single position component of a Rydberg
-   AAIS), spreading components over the pool leaves every domain but
-   one idle — run the sweep sequentially so the big component's inner
-   parallelism (residual rows, Jacobian entries) gets the pool instead.
-   Otherwise parallelize across components, one component per task. *)
-let component_domains ~domains comps =
-  let sizes = List.map (fun c -> List.length c.Locality.channel_ids) comps in
-  let total = List.fold_left ( + ) 0 sizes in
-  let largest = List.fold_left Int.max 0 sizes in
-  if 2 * largest > total then (1, domains) else (domains, 1)
-
-let solve_prepared_comp ?sup ~alpha ~t_sim ~fixed_domains = function
-  | Dynamic p -> (
-      match sup with
-      | None ->
-          let { Local_solver.assignments; eps2 } =
-            Local_solver.solve_prepared ~alpha ~t_sim p
-          in
-          (assignments, eps2, [])
-      | Some sup ->
-          let { Local_solver.assignments; eps2 }, failures =
-            Local_solver.solve_supervised ~sup ~alpha ~t_sim p
-          in
-          (assignments, eps2, failures))
-  | Fixed p -> (
-      match sup with
-      | None ->
-          let { Fixed_solver.assignments; eps2 } =
-            Fixed_solver.solve_prepared ~domains:fixed_domains ~alpha ~t_sim p
-          in
-          (assignments, eps2, [])
-      | Some sup ->
-          let { Fixed_solver.assignments; eps2 }, failures =
-            Fixed_solver.solve_supervised ~domains:fixed_domains ~sup ~alpha
-              ~t_sim p
-          in
-          (assignments, eps2, failures))
-
-(* Run a guarded component sweep.  The supervisor's pool guard raises
-   [Expired] the moment the deadline passes (or an injected deadline fault
-   fires), which abandons the sweep; the fallback rerun is unguarded, and
-   because the deadline has by then expired for every component, each
-   supervised solve short-circuits deterministically with a
-   [Deadline_expired] record — the same degraded result at any domain
-   count. *)
-let guarded_sweep ?sup ~site ~comp_domains f prepared =
-  let run ~guarded =
-    let guard =
-      match sup with
-      | Some s when guarded -> Some (Supervisor.pool_guard s ~site)
-      | _ -> None
-    in
-    Qturbo_par.Pool.parallel_map_list ?guard ~domains:comp_domains ~chunk:1 f
-      prepared
-  in
-  try run ~guarded:true with Supervisor.Expired -> run ~guarded:false
-
-(* Solve every component at the given evolution time, returning the full
-   environment, the per-component residuals, and the per-component failure
-   records.  Solves run on the pool (components write disjoint variable
-   slots); the assignments are then applied sequentially in component
-   order, so the resulting [env] is identical to the sequential sweep. *)
-let solve_components ?sup ~vars ~comp_domains ~fixed_domains ~alpha ~t_sim
-    prepared =
-  let env = Array.map (fun (v : Variable.t) -> v.Variable.init) vars in
-  let solved =
-    guarded_sweep ?sup ~site:"local-solve" ~comp_domains
-      (fun p -> solve_prepared_comp ?sup ~alpha ~t_sim ~fixed_domains p)
-      prepared
-  in
-  let failures = List.concat_map (fun (_, _, fs) -> fs) solved in
-  let eps2s =
-    List.map
-      (fun (assignments, eps2, _) ->
-        List.iter (fun (v, x) -> env.(v) <- x) assignments;
-        eps2)
-      solved
-  in
-  (env, eps2s, failures)
-
-let alpha_achieved_of_env ~domains ~channels ~env ~t_sim =
-  (* a kernel eval is ~10 ns; only very wide channel sets outweigh the
-     pool dispatch (same granularity reasoning as Fixed_solver) *)
-  let domains = if Array.length channels < 32_768 then 1 else domains in
-  Qturbo_par.Pool.parallel_map ~domains
-    (fun (c : Instruction.channel) -> Instruction.eval_channel c ~env *. t_sim)
-    channels
+let stage_hook = Compile_plan.stage_hook
 
 let b_tar_norm1 ~aais ~target ~t_tar =
   let channels = Aais.channels aais in
@@ -231,312 +113,38 @@ let analyze ?t_max ~aais ~target ~t_tar () =
   in
   diagnostics_of ?t_max ~aais ~target ~t_tar ~ls ~comps ()
 
-let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
-    ~t_tar () =
-  if t_tar <= 0.0 then invalid_arg "Compiler.compile: t_tar <= 0";
-  if Pauli_sum.n_qubits target > aais.Aais.n_qubits then
-    invalid_arg "Compiler.compile: target touches qubits outside the AAIS";
-  let t0 = Qturbo_util.Clock.now () in
-  let domains = options.domains in
-  let warnings = ref [] in
-  (* supervision context: deadline (absolute from here), fault spec
-     (explicit, else QTURBO_FAULTS), best-effort flag.  [supervise = false]
-     bypasses the ladder entirely — the raw seed solver path, kept for
-     overhead benchmarking. *)
-  let sup =
-    if options.supervise then
-      Some
-        (Supervisor.make ?deadline_seconds:options.deadline_seconds
-           ?faults:options.faults ~best_effort:options.best_effort ())
-    else None
-  in
-  let pipeline_failures = ref [] in
-  let fault_fires site =
-    match sup with
-    | None -> None
-    | Some s -> Fault.fires (Supervisor.faults s) ~site ~component:(-1)
-  in
-  let channels = Aais.channels aais in
-  let vars = Aais.variables aais in
-  (* stage 0: build the system and its decomposition, then run the static
-     analyzer as a fail-fast precheck — provably-broken inputs are
-     rejected before any solver runs *)
-  let ls = Linear_system.build ~channels ~target ~t_tar in
-  let comps = Locality.decompose ~channels ~n_vars:(Array.length vars) in
-  !stage_hook "precheck";
-  let diagnostics = diagnostics_of ?t_max ~aais ~target ~t_tar ~ls ~comps () in
-  if strict then Qturbo_analysis.Analysis.check_or_raise diagnostics;
-  List.iter
-    (fun d ->
-      if d.Qturbo_analysis.Diagnostic.severity = Qturbo_analysis.Diagnostic.Warning
-      then warnings := Qturbo_analysis.Diagnostic.to_string d :: !warnings)
-    diagnostics;
-  Log.debug (fun m ->
-      m "precheck: %d diagnostics (%d errors)" (List.length diagnostics)
-        (List.length (Qturbo_analysis.Diagnostic.errors diagnostics)));
-  (* stage 1: global linear system over synthesized variables *)
-  !stage_hook "linear-solve";
-  let lin =
-    if options.dense_linear_solver then Linear_system.solve_dense ls
-    else Linear_system.solve ls
-  in
-  let alpha = lin.Qturbo_linalg.Sparse_solve.x in
-  let eps1 = lin.Qturbo_linalg.Sparse_solve.residual_l1 in
-  Log.debug (fun m ->
-      let st = lin.Qturbo_linalg.Sparse_solve.stats in
-      m "linear system: %d rows, %d channels, greedy %d / dense %d, eps1 %.3g"
-        (Term_index.count ls.Linear_system.index)
-        (Array.length channels)
-        st.Qturbo_linalg.Sparse_solve.greedy_solved
-        st.Qturbo_linalg.Sparse_solve.dense_solved eps1);
-  (* stage 2: classification of the locality components (built in stage 0) *)
-  let classifications =
-    List.map
-      (fun comp ->
-        match Local_solver.classify ~vars ~channels comp with
-        | (Local_solver.Linear _ | Local_solver.Polar _)
-          when options.generic_local_solver ->
-            Local_solver.Generic
-        | cls -> cls)
-      comps
-  in
-  let prepared = prepare_components ~vars ~channels comps classifications in
-  let comp_domains, fixed_domains = component_domains ~domains comps in
-  (* stage 3: evolution-time optimisation (bottleneck component) *)
-  let min_time_results =
-    guarded_sweep ?sup ~site:"min-time" ~comp_domains
-      (function
-        | Dynamic p -> (
-            match sup with
-            | None -> (Local_solver.min_time_prepared ~alpha p, [])
-            | Some sup -> Local_solver.min_time_supervised ~sup ~alpha p)
-        | Fixed _ -> (0.0, []))
-      prepared
-  in
-  let min_times = List.map fst min_time_results in
-  pipeline_failures :=
-    !pipeline_failures @ List.concat_map snd min_time_results;
-  let bottleneck = List.fold_left Float.max 0.0 min_times in
-  Log.debug (fun m ->
-      m "locality: %d components, bottleneck evolution time %.4g"
-        (List.length comps) bottleneck);
-  if bottleneck = infinity then
-    warnings := "some component is infeasible at any evolution time" :: !warnings;
-  let t_base =
-    if bottleneck = infinity || bottleneck = 0.0 then options.time_floor
-    else Float.max options.time_floor bottleneck
-  in
-  let t_start = if options.time_opt then t_base else t_base *. options.no_opt_padding in
-  (* stage 4: solve localized systems, iterating T upward while the
-     runtime-fixed layout violates device geometry (paper §5.2).  The
-     retry loop is hard-bounded: exhausting [max_constraint_iters]
-     produces a classified [Position_retry_exhausted] failure (and the
-     best layout found), never an unbounded spin. *)
-  !stage_hook "local-solve";
-  let retry_fault = fault_fires "constraint-loop" = Some Fault.Retry in
-  let rec attempt t iter =
-    let env, eps2s, solve_failures =
-      solve_components ?sup ~vars ~comp_domains ~fixed_domains ~alpha ~t_sim:t
-        prepared
-    in
-    let violations =
-      if retry_fault then
-        [ "injected fault: constraint-loop=retry forces a violation" ]
-      else aais.Aais.check_fixed env
-    in
-    let expired =
-      match sup with
-      | None -> false
-      | Some s -> Supervisor.site_expired s ~site:"constraint-loop" ~component:(-1)
-    in
-    if violations = [] || iter >= options.max_constraint_iters || expired
-    then begin
-      if violations <> [] then begin
-        let reason =
-          if iter >= options.max_constraint_iters then
-            Printf.sprintf
-              "layout constraints unresolved after %d iterations: %s" iter
-              (String.concat "; " violations)
-          else
-            Printf.sprintf
-              "deadline expired with layout constraints unresolved after %d \
-               iterations: %s"
-              iter
-              (String.concat "; " violations)
-        in
-        warnings := reason :: !warnings;
-        pipeline_failures :=
-          !pipeline_failures
-          @ [
-              Failure.make ~component:(-1) ~site:"constraint-loop" ~stage:""
-                ~fatal:false
-                ~class_:
-                  (if iter >= options.max_constraint_iters then
-                     Failure.Position_retry_exhausted
-                   else Failure.Deadline_expired)
-                reason;
-            ]
-      end;
-      (t, env, eps2s, solve_failures, iter)
-    end
-    else attempt (t *. options.dt_factor) (iter + 1)
-  in
-  let t_sim, env, eps2s, solve_failures, constraint_iterations =
-    attempt t_start 0
-  in
-  Log.debug (fun m ->
-      m "localized systems solved at T = %.4g after %d constraint iterations"
-        t_sim constraint_iterations);
-  (* stage 5: iterative refinement (§6.2) — re-solve the runtime-dynamic
-     channels against the residual left by the achieved fixed channels *)
-  let achieved = alpha_achieved_of_env ~domains ~channels ~env ~t_sim in
-  let refine_expired =
-    match sup with
-    | None -> false
-    | Some s -> Supervisor.site_expired s ~site:"refine" ~component:(-1)
-  in
-  if options.refine && refine_expired then
-    pipeline_failures :=
-      !pipeline_failures
-      @ [
-          Failure.make ~component:(-1) ~site:"refine" ~stage:"" ~fatal:false
-            ~class_:Failure.Deadline_expired
-            "deadline expired before refinement; returning unrefined result";
-        ];
-  let refine_failures = ref [] in
-  let env, eps2s =
-    if (not options.refine) || refine_expired then (env, eps2s)
-    else begin
-      let fixed_cid = Array.make (Array.length channels) false in
-      List.iter2
-        (fun comp cls ->
-          match cls with
-          | Local_solver.Fixed_vars ->
-              List.iter
-                (fun cid -> fixed_cid.(cid) <- true)
-                comp.Locality.channel_ids
-          | Local_solver.Const_channels | Local_solver.Linear _
-          | Local_solver.Polar _ | Local_solver.Generic ->
-              ())
-        comps classifications;
-      (* residual RHS: move the achieved fixed-channel contributions over *)
-      let rows = Array.of_list (Linear_system.rows ls) in
-      let adjusted_rows =
-        Array.to_list
-          (Array.map
-             (fun { Qturbo_linalg.Sparse_solve.cells; rhs } ->
-               let fixed_part =
-                 List.fold_left
-                   (fun acc (cid, coeff) ->
-                     if fixed_cid.(cid) then acc +. (coeff *. achieved.(cid))
-                     else acc)
-                   0.0 cells
-               in
-               {
-                 Qturbo_linalg.Sparse_solve.cells =
-                   List.filter (fun (cid, _) -> not fixed_cid.(cid)) cells;
-                 rhs = rhs -. fixed_part;
-               })
-             rows)
+let compile = Compile_plan.compile
+
+let compile_batch ?(options = default_options) ?(strict = true) ?t_max ~aais
+    jobs =
+  (* the device part is shared across every job; plans are memoized per
+     target shape — through the process-wide cache when it is enabled,
+     through a batch-local table otherwise (a disabled cache must still
+     not rebuild the front-end for jobs of equal shape, that is the
+     whole point of batching) *)
+  let device = lazy (Compile_plan.obtain_device ~options ~aais) in
+  let local : (string, Compile_plan.t) Hashtbl.t = Hashtbl.create 8 in
+  List.map
+    (fun (target, t_tar) ->
+      Compile_plan.validate_t_tar ~who:"Compiler.compile" t_tar;
+      if Pauli_sum.n_qubits target > aais.Aais.n_qubits then
+        invalid_arg "Compiler.compile: target touches qubits outside the AAIS";
+      let plan, cache_hit =
+        if options.plan_cache then Compile_plan.obtain ~options ~aais ~target
+        else begin
+          let support = Compile_plan.support_of_target target in
+          let key = Shape.of_support support in
+          match Hashtbl.find_opt local key with
+          | Some p -> (p, true)
+          | None ->
+              let p =
+                Compile_plan.build ~options ~device:(Lazy.force device) ~aais
+                  ~target_shape:support ()
+              in
+              Hashtbl.add local key p;
+              (p, false)
+        end
       in
-      let refined =
-        Qturbo_linalg.Sparse_solve.solve ~ncols:(Array.length channels)
-          adjusted_rows
-      in
-      let alpha_refined = refined.Qturbo_linalg.Sparse_solve.x in
-      (* keep the fixed channels' original targets for eps accounting *)
-      Array.iteri
-        (fun cid is_fixed -> if is_fixed then alpha_refined.(cid) <- alpha.(cid))
-        fixed_cid;
-      (* re-solve only the dynamic components at the same T; solves run
-         on the pool, assignments apply in component order as above *)
-      let env = Array.copy env in
-      let resolved =
-        guarded_sweep ?sup ~site:"refine" ~comp_domains
-          (fun (comp, p) ->
-            match p with
-            | Fixed _ ->
-                (* unchanged: recompute its eps2 against original targets *)
-                ( [],
-                  List.fold_left
-                    (fun acc cid ->
-                      acc +. Float.abs (achieved.(cid) -. alpha.(cid)))
-                    0.0 comp.Locality.channel_ids,
-                  [] )
-            | Dynamic p -> (
-                match sup with
-                | None ->
-                    let { Local_solver.assignments; eps2 } =
-                      Local_solver.solve_prepared ~alpha:alpha_refined ~t_sim p
-                    in
-                    (assignments, eps2, [])
-                | Some sup ->
-                    let { Local_solver.assignments; eps2 }, failures =
-                      Local_solver.solve_supervised ~sup ~alpha:alpha_refined
-                        ~t_sim p
-                    in
-                    (assignments, eps2, failures)))
-          (List.combine comps prepared)
-      in
-      refine_failures := List.concat_map (fun (_, _, fs) -> fs) resolved;
-      let eps2s =
-        List.map
-          (fun (assignments, eps2, _) ->
-            List.iter (fun (v, x) -> env.(v) <- x) assignments;
-            eps2)
-          resolved
-      in
-      (env, eps2s)
-    end
-  in
-  let alpha_achieved = alpha_achieved_of_env ~domains ~channels ~env ~t_sim in
-  let error_l1 = Linear_system.residual_l1 ls ~alpha:alpha_achieved in
-  let b_norm =
-    Array.fold_left (fun acc b -> acc +. Float.abs b) 0.0 ls.Linear_system.b_tar
-  in
-  let eps2_total = List.fold_left ( +. ) 0.0 eps2s in
-  let components =
-    List.map2
-      (fun (comp : Locality.component) (cls, (tmin, eps2)) ->
-        {
-          classification = classification_name cls;
-          channels = List.length comp.Locality.channel_ids;
-          variables = List.length comp.Locality.var_ids;
-          min_time = tmin;
-          eps2;
-        })
-      comps
-      (List.map2
-         (fun cls pair -> (cls, pair))
-         classifications
-         (List.combine min_times eps2s))
-  in
-  (* failures, in pipeline order: evolution-time search and
-     pipeline-level records (constraint loop, refinement expiry), then
-     the final constraint-iteration solve sweep (component order — the
-     pool collects by index), then refinement re-solves *)
-  let failures = !pipeline_failures @ solve_failures @ !refine_failures in
-  let degraded = List.exists (fun f -> f.Failure.fatal) failures in
-  let best_effort =
-    match sup with Some s -> Supervisor.best_effort s | None -> false
-  in
-  if degraded && not best_effort then raise (Failure.Failed failures);
-  {
-    env;
-    t_sim;
-    alpha_target = alpha;
-    alpha_achieved;
-    error_l1;
-    relative_error =
-      (if b_norm > 0.0 then error_l1 /. b_norm *. 100.0 else 0.0);
-    eps1;
-    eps2_total;
-    theorem1_bound = (Linear_system.norm1 ls *. eps2_total) +. eps1;
-    components;
-    constraint_iterations;
-    compile_seconds = Qturbo_util.Clock.now () -. t0;
-    warnings = List.rev !warnings;
-    diagnostics;
-    failures;
-    degraded;
-  }
+      Compile_plan.solve ~options ~strict ?t_max ~cache_hit ~plan
+        ~coeffs:target ~t_tar ())
+    jobs

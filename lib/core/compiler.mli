@@ -10,9 +10,15 @@
     least squares for the runtime-fixed (position) components; iterate
     [T_sim] upward if the layout violates device geometry; finally apply
     the §6.2 refinement, re-solving the runtime-dynamic channels against
-    the residual left by the achieved runtime-fixed amplitudes. *)
+    the residual left by the achieved runtime-fixed amplitudes.
 
-type options = {
+    The stages are implemented by {!Compile_plan}, split into a
+    structural front-end (reusable, coefficient-free plans, cached by
+    structural key) and a numeric back-end; this module re-exports the
+    historical surface with type equations, so existing call sites are
+    unaffected, and {!compile} delegates to the staged pipeline. *)
+
+type options = Compile_plan.options = {
   refine : bool;  (** §6.2 iterative refinement (default true) *)
   time_opt : bool;
       (** §5.1 evolution-time optimisation; when false, [T_sim] is padded
@@ -55,11 +61,16 @@ type options = {
   faults : Qturbo_resilience.Fault.spec option;
       (** deterministic fault injection for the supervised sites; [None]
           (the default) reads [QTURBO_FAULTS] from the environment *)
+  plan_cache : bool;
+      (** reuse structurally-identical {!Compile_plan} artifacts from
+          the process-wide LRU cache (default true); a cache hit skips
+          the whole structural front-end and is bitwise-identical to a
+          cold build by construction *)
 }
 
 val default_options : options
 
-type component_summary = {
+type component_summary = Compile_plan.component_summary = {
   classification : string;  (** ["linear"|"polar"|"fixed"|"const"|"generic"] *)
   channels : int;
   variables : int;
@@ -67,7 +78,16 @@ type component_summary = {
   eps2 : float;
 }
 
-type result = {
+type plan_stats = Compile_plan.plan_stats = {
+  cache_enabled : bool;
+  cache_hit : bool;  (** this compile's plan came from the cache *)
+  cache_hits : int;  (** process-wide counter, sampled at completion *)
+  cache_misses : int;
+  build_seconds : float;  (** structural front-end cost (0 on a hit) *)
+  solve_seconds : float;  (** numeric back-end cost *)
+}
+
+type result = Compile_plan.result = {
   env : float array;  (** value of every AAIS variable *)
   t_sim : float;  (** compiled evolution time (µs) *)
   alpha_target : float array;  (** linear-system solution per channel *)
@@ -92,13 +112,16 @@ type result = {
       (** true iff some failure is fatal — a component kept a
           non-converged solution (best-effort compiles only; strict
           compiles raise instead) *)
+  plan : plan_stats;  (** plan provenance and cache counters *)
 }
 
 val stage_hook : (string -> unit) ref
-(** Called with a stage name as the pipeline enters it ("precheck",
-    "linear-solve", "local-solve").  Defaults to a no-op; tests install a
-    recorder to assert, without timing, that rejected inputs never reach
-    a solver stage. *)
+(** Called with a stage name as the pipeline enters it ("plan-build",
+    "plan-cache-hit", "precheck", "linear-solve", "local-solve").
+    Defaults to a no-op; tests install a recorder to assert, without
+    timing, that rejected inputs never reach a solver stage and that
+    cached compiles skip the plan build.  The same ref as
+    {!Compile_plan.stage_hook}. *)
 
 val analyze :
   ?t_max:float ->
@@ -136,7 +159,8 @@ val compile :
   unit ->
   result
 (** Raises [Invalid_argument] when [t_tar <= 0] or the target touches
-    qubits outside the AAIS.
+    qubits outside the AAIS; a non-finite [t_tar] raises
+    {!Qturbo_analysis.Diagnostic.Rejected} with a [QT016] diagnostic.
 
     Runs {!analyze} as a fail-fast precheck before any solver: with
     [strict] (the default), error-severity diagnostics raise
@@ -151,6 +175,21 @@ val compile :
     stage the compile raises {!Qturbo_resilience.Failure.Failed} unless
     [options.best_effort] is set, in which case the degraded result is
     returned with the classified records on [result.failures]. *)
+
+val compile_batch :
+  ?options:options ->
+  ?strict:bool ->
+  ?t_max:float ->
+  aais:Qturbo_aais.Aais.t ->
+  (Qturbo_pauli.Pauli_sum.t * float) list ->
+  result list
+(** Compile a list of [(target, t_tar)] jobs against one AAIS, building
+    the structural front-end once per distinct target shape.  With
+    [options.plan_cache] (the default) plans go through the process-wide
+    cache; with it disabled a batch-local memo still shares plans inside
+    the batch.  Each job's result is exactly what {!compile} would have
+    produced for it.  Jobs run in order; a rejection or failure raises
+    at that job. *)
 
 val b_tar_norm1 :
   aais:Qturbo_aais.Aais.t ->

@@ -9,8 +9,14 @@ type t = {
   n_channels : int;
 }
 
-let build ~channels ~target ~t_tar =
-  let index = Term_index.build ~channels ~target in
+type skeleton = {
+  sk_index : Term_index.t;
+  sk_cells : (int * float) list array;
+  sk_n_channels : int;
+}
+
+let skeleton ~channels ~support =
+  let index = Term_index.build_of_support ~channels ~support in
   let n_rows = Term_index.count index in
   let cells = Array.make n_rows [] in
   Array.iter
@@ -24,11 +30,26 @@ let build ~channels ~target ~t_tar =
     channels;
   (* restore channel order within each row *)
   Array.iteri (fun i row -> cells.(i) <- List.rev row) cells;
+  { sk_index = index; sk_cells = cells; sk_n_channels = Array.length channels }
+
+let instantiate sk ~target ~t_tar =
   let b_tar =
-    Array.init n_rows (fun i ->
-        Pauli_sum.coeff target (Term_index.string_of index i) *. t_tar)
+    Array.init (Term_index.count sk.sk_index) (fun i ->
+        Pauli_sum.coeff target (Term_index.string_of sk.sk_index i) *. t_tar)
   in
-  { index; cells; b_tar; n_channels = Array.length channels }
+  {
+    index = sk.sk_index;
+    cells = sk.sk_cells;
+    b_tar;
+    n_channels = sk.sk_n_channels;
+  }
+
+let skeleton_index sk = sk.sk_index
+let skeleton_cells sk = sk.sk_cells
+
+let build ~channels ~target ~t_tar =
+  let support = List.map fst (Pauli_sum.terms target) in
+  instantiate (skeleton ~channels ~support) ~target ~t_tar
 
 let rows t =
   Array.to_list

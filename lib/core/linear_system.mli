@@ -14,11 +14,43 @@ type t = {
   n_channels : int;
 }
 
+type skeleton
+(** The coefficient-free part of the system: the term index and the
+    matrix cells.  Both depend only on the channels and the target's
+    {e shape} (which Pauli terms it touches), so a skeleton is built
+    once per shape and shared — across a parameter sweep, across the
+    segments of a time-dependent compile — while [b_tar] is
+    re-instantiated per coefficient instance. *)
+
+val skeleton :
+  channels:Qturbo_aais.Instruction.channel array ->
+  support:Qturbo_pauli.Pauli_string.t list ->
+  skeleton
+(** Build the index and cells from a target shape
+    ({!Qturbo_aais.Shape.support_of_target}). *)
+
+val instantiate :
+  skeleton -> target:Qturbo_pauli.Pauli_sum.t -> t_tar:float -> t
+(** Attach the instance-specific right-hand side
+    [b_tar_i = coeff_i · t_tar].  The index and cells are shared with
+    the skeleton (they are never mutated); only [b_tar] is fresh.
+    [target] must have the shape the skeleton was built from — terms
+    outside the skeleton's row set are silently ignored, which is why
+    [Compile_plan] keys plans by shape. *)
+
+val skeleton_index : skeleton -> Term_index.t
+(** The shared term index (row numbering) of a skeleton. *)
+
+val skeleton_cells : skeleton -> (int * float) list array
+(** The shared matrix cells of a skeleton — do not mutate. *)
+
 val build :
   channels:Qturbo_aais.Instruction.channel array ->
   target:Qturbo_pauli.Pauli_sum.t ->
   t_tar:float ->
   t
+(** [instantiate (skeleton ...) ...] in one step — bitwise-identical
+    cells and [b_tar] to the historical one-shot builder. *)
 
 val solve : t -> Qturbo_linalg.Sparse_solve.result
 (** Greedy structural pass + dense fallback (see {!Qturbo_linalg.Sparse_solve}). *)

@@ -1,0 +1,37 @@
+(** Bounded, mutex-guarded LRU cache keyed by structural strings.
+
+    Backs the {!Compile_plan} plan and device caches.  Entries must be
+    immutable (plans are), because a cached value may be shared by
+    concurrent compiles running on different pool domains.  All
+    operations are thread-safe; the critical sections are tiny (a
+    hash-table probe), so contention is negligible next to a solve.
+
+    Hit/miss/eviction counters are process-global per cache and are
+    surfaced in [qturbo compile --json]; {!clear} resets them (tests
+    and benchmarks start from a cold, zero-counter state). *)
+
+type stats = {
+  hits : int;
+  misses : int;  (** {!find} calls that returned [None] *)
+  evictions : int;
+  size : int;  (** resident entries *)
+  capacity : int;
+}
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit (and refreshes the entry's age) or a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert, evicting the least-recently-used entry at capacity.  If the
+    key is already resident the resident value is kept — values for
+    equal structural keys are interchangeable by construction. *)
+
+val clear : 'a t -> unit
+(** Drop every entry and zero the counters. *)
+
+val stats : 'a t -> stats

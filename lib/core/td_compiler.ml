@@ -2,6 +2,7 @@ open Qturbo_aais
 module Failure = Qturbo_resilience.Failure
 module Fault = Qturbo_resilience.Fault
 module Supervisor = Qturbo_resilience.Supervisor
+module Diagnostic = Qturbo_analysis.Diagnostic
 
 type segment_result = {
   env : float array;
@@ -18,36 +19,100 @@ type result = {
   binding_segment : int;
   compile_seconds : float;
   warnings : string list;
-  diagnostics : Qturbo_analysis.Diagnostic.t list;
+  diagnostics : Diagnostic.t list;
   failures : Failure.t list;
   degraded : bool;
 }
 
 (* Precheck every discretized segment Hamiltonian, deduplicating findings
    that repeat across segments (the channels and bounds are shared, so a
-   term unsupported in one segment is typically unsupported in all). *)
-let precheck ?t_max ~aais ~tau_tar hams =
+   term unsupported in one segment is typically unsupported in all).  The
+   structure pass comes off each segment's plan — computed once per
+   distinct shape — so only the coefficient-dependent passes run per
+   segment. *)
+let precheck ?t_max ~aais ~tau_tar pairs =
   let seen = Hashtbl.create 32 in
   List.concat_map
-    (fun h ->
+    (fun (h, (plan : Compile_plan.t)) ->
       List.filter
-        (fun (d : Qturbo_analysis.Diagnostic.t) ->
-          let key =
-            (d.code, Qturbo_analysis.Diagnostic.subject_to_string d.subject)
-          in
+        (fun (d : Diagnostic.t) ->
+          let key = (d.code, Diagnostic.subject_to_string d.subject) in
           if Hashtbl.mem seen key then false
           else begin
             Hashtbl.add seen key ();
             true
           end)
-        (Compiler.analyze ?t_max ~aais ~target:h ~t_tar:tau_tar ()))
-    hams
+        (Qturbo_analysis.Analysis.static_checks ~aais ~target:h
+           ~t_tar:tau_tar ?t_max ()
+        @ plan.Compile_plan.structure_diags))
+    pairs
+
+let validate ~t_tar ~segments =
+  if not (Float.is_finite t_tar) then
+    raise
+      (Diagnostic.Rejected
+         [
+           Diagnostic.make ~code:"QT016" ~severity:Diagnostic.Error
+             ~subject:Diagnostic.System
+             ~hint:"pass a finite positive evolution time"
+             (Printf.sprintf "Td_compiler.compile: t_tar must be finite, got %h"
+                t_tar);
+         ]);
+  if t_tar <= 0.0 then invalid_arg "Td_compiler.compile: t_tar <= 0";
+  if segments <= 0 then
+    raise
+      (Diagnostic.Rejected
+         [
+           Diagnostic.make ~code:"QT016" ~severity:Diagnostic.Error
+             ~subject:Diagnostic.System
+             ~hint:"discretize into at least one segment"
+             (Printf.sprintf "Td_compiler.compile: segments must be >= 1, got %d"
+                segments);
+         ])
+
+(* A single segment degenerates to a time-independent compile: one
+   Hamiltonian, no binding-segment arbitration, no duration stretching.
+   Delegate to the staged static pipeline so the two entry points are
+   the same code path — bitwise-identical results by construction (the
+   golden equivalence test pins this). *)
+let compile_single ?options ?strict ?t_max ~aais ~model ~t_tar ~t0 () =
+  let h =
+    match Qturbo_models.Model.discretize model ~segments:1 with
+    | [ h ] -> h
+    | hams ->
+        invalid_arg
+          (Printf.sprintf "Td_compiler.compile: discretize returned %d segments"
+             (List.length hams))
+  in
+  let r = Compile_plan.compile ?options ?strict ?t_max ~aais ~target:h ~t_tar () in
+  {
+    segments =
+      [
+        {
+          env = r.Compile_plan.env;
+          duration = r.Compile_plan.t_sim;
+          error_l1 = r.Compile_plan.error_l1;
+          eps1 = r.Compile_plan.eps1;
+        };
+      ];
+    t_sim = r.Compile_plan.t_sim;
+    error_l1 = r.Compile_plan.error_l1;
+    relative_error = r.Compile_plan.relative_error;
+    binding_segment = 0;
+    compile_seconds = Qturbo_util.Clock.now () -. t0;
+    warnings = r.Compile_plan.warnings;
+    diagnostics = r.Compile_plan.diagnostics;
+    failures = r.Compile_plan.failures;
+    degraded = r.Compile_plan.degraded;
+  }
 
 let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
     ~model ~t_tar ~segments () =
-  if t_tar <= 0.0 then invalid_arg "Td_compiler.compile: t_tar <= 0";
-  if segments < 1 then invalid_arg "Td_compiler.compile: segments < 1";
+  validate ~t_tar ~segments;
   let t0 = Qturbo_util.Clock.now () in
+  if segments = 1 then
+    compile_single ~options ~strict ?t_max ~aais ~model ~t_tar ~t0 ()
+  else begin
   let domains = options.Compiler.domains in
   let warnings = ref [] in
   (* supervision context — same semantics as the static pipeline: the
@@ -70,28 +135,56 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
   (* guarded sweep with the unguarded-rerun fallback: once the guard has
      fired the deadline has expired for every element, so the rerun's
      supervised solves short-circuit deterministically — the same degraded
-     result at any domain count (see Compiler.guarded_sweep) *)
+     result at any domain count (see Compile_plan.guarded_sweep) *)
   let with_rerun run =
     try run ~guarded:true with Supervisor.Expired -> run ~guarded:false
   in
-  let channels = Aais.channels aais in
-  let vars = Aais.variables aais in
+  (* the target-independent device artifacts — locality decomposition,
+     classification, prepared solver contexts — are shared with the
+     static pipeline's plan cache; segments of equal shape additionally
+     share a full plan (skeleton + structure diagnostics) *)
+  let device =
+    if options.Compiler.plan_cache then Compile_plan.obtain_device ~options ~aais
+    else Compile_plan.build_device ~options ~aais ()
+  in
+  let channels = device.Compile_plan.channels in
+  let vars = device.Compile_plan.vars in
   let tau_tar = t_tar /. float_of_int segments in
   let hams = Qturbo_models.Model.discretize model ~segments in
+  let local_plans = Hashtbl.create 4 in
+  let plan_for h =
+    let support = Compile_plan.support_of_target h in
+    let skey = Shape.of_support support in
+    match Hashtbl.find_opt local_plans skey with
+    | Some p -> p
+    | None ->
+        let p =
+          if options.Compiler.plan_cache then
+            fst (Compile_plan.obtain ~options ~aais ~target:h)
+          else Compile_plan.build ~options ~device ~aais ~target_shape:support ()
+        in
+        Hashtbl.add local_plans skey p;
+        p
+  in
+  let plans = List.map plan_for hams in
   !Compiler.stage_hook "precheck";
-  let diagnostics = precheck ?t_max ~aais ~tau_tar hams in
+  let diagnostics =
+    precheck ?t_max ~aais ~tau_tar (List.combine hams plans)
+  in
   if strict then Qturbo_analysis.Analysis.check_or_raise diagnostics;
   List.iter
-    (fun (d : Qturbo_analysis.Diagnostic.t) ->
-      if d.severity = Qturbo_analysis.Diagnostic.Warning then
-        warnings := Qturbo_analysis.Diagnostic.to_string d :: !warnings)
+    (fun (d : Diagnostic.t) ->
+      if d.severity = Diagnostic.Warning then
+        warnings := Diagnostic.to_string d :: !warnings)
     diagnostics;
-  (* per-segment linear systems over the shared channel set; segments are
-     independent, so they build and solve on the pool *)
+  (* per-segment right-hand sides against the shared (per-shape) skeleton;
+     instantiation is a single array init, so no pool dispatch *)
   let systems =
-    Qturbo_par.Pool.parallel_map_list ~domains ~chunk:1
-      (fun h -> Linear_system.build ~channels ~target:h ~t_tar:tau_tar)
-      hams
+    List.map2
+      (fun h (plan : Compile_plan.t) ->
+        Linear_system.instantiate plan.Compile_plan.skeleton ~target:h
+          ~t_tar:tau_tar)
+      hams plans
   in
   !Compiler.stage_hook "linear-solve";
   let solutions =
@@ -106,27 +199,28 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
     Array.of_list
       (List.map (fun s -> s.Qturbo_linalg.Sparse_solve.residual_l1) solutions)
   in
-  let comps = Locality.decompose ~channels ~n_vars:(Array.length vars) in
-  let classifications = List.map (Local_solver.classify ~vars ~channels) comps in
+  (* fixed/dynamic split of the device's prepared components; the
+     partition preserves component order on both sides *)
+  let combined =
+    List.combine device.Compile_plan.comps device.Compile_plan.prepared
+  in
   let fixed_comps, dynamic_pairs =
     List.partition
-      (fun (_, cls) ->
-        match cls with
-        | Local_solver.Fixed_vars -> true
-        | Local_solver.Const_channels | Local_solver.Linear _
-        | Local_solver.Polar _ | Local_solver.Generic ->
-            false)
-      (List.combine comps classifications)
+      (fun (_, p) ->
+        match p with
+        | Compile_plan.Fixed _ -> true
+        | Compile_plan.Dynamic _ -> false)
+      combined
   in
-  (* components are prepared once and re-solved across every segment,
-     constraint iteration and refinement pass *)
   let dynamic_prepared =
-    List.map
-      (fun (comp, cls) -> Local_solver.prepare ~vars ~channels comp cls)
+    List.filter_map
+      (fun (_, p) ->
+        match p with Compile_plan.Dynamic d -> Some d | _ -> None)
       dynamic_pairs
   in
   let fixed_prepared =
-    List.map (fun (comp, _) -> Fixed_solver.prepare ~vars ~channels comp)
+    List.filter_map
+      (fun (_, p) -> match p with Compile_plan.Fixed f -> Some f | _ -> None)
       fixed_comps
   in
   (* dynamic bottleneck time per segment; failures are returned (not
@@ -393,3 +487,4 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
     failures;
     degraded;
   }
+  end

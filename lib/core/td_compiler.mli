@@ -47,8 +47,19 @@ val compile :
   unit ->
   result
 (** Works for static models too (each segment then sees the same
-    Hamiltonian).  Raises [Invalid_argument] on nonpositive [t_tar] or
-    [segments].
+    Hamiltonian).  Raises [Invalid_argument] on finite nonpositive
+    [t_tar]; a non-finite [t_tar] or [segments <= 0] raises
+    {!Qturbo_analysis.Diagnostic.Rejected} with a structured [QT016]
+    diagnostic instead of an unclassified exception.
+
+    [~segments:1] delegates to the staged time-independent pipeline
+    ({!Compile_plan.compile}) — a single-segment compile is
+    bitwise-identical to {!Compiler.compile} of the discretized
+    Hamiltonian.  With more segments, the target-independent plan
+    artifacts (locality decomposition, classifications — including the
+    [generic_local_solver] override — and prepared solver contexts) are
+    shared across all segments, and segments of equal shape share one
+    linear-system skeleton.
 
     Every discretized segment Hamiltonian runs through the pre-solve
     static analyzer first; with [strict] (the default) error-severity

@@ -9,16 +9,12 @@ end)
 
 type t = { by_string : int Term_map.t; by_row : Pauli_string.t array }
 
-let build ~channels ~target =
+let build_of_support ~channels ~support =
   let add (map, rev) s =
     if Pauli_string.is_identity s || Term_map.mem s map then (map, rev)
     else (Term_map.add s (List.length rev) map, s :: rev)
   in
-  let acc =
-    List.fold_left add
-      (Term_map.empty, [])
-      (List.map fst (Pauli_sum.terms target))
-  in
+  let acc = List.fold_left add (Term_map.empty, []) support in
   let map, rev =
     Array.fold_left
       (fun acc c ->
@@ -29,6 +25,9 @@ let build ~channels ~target =
       acc channels
   in
   { by_string = map; by_row = Array.of_list (List.rev rev) }
+
+let build ~channels ~target =
+  build_of_support ~channels ~support:(List.map fst (Pauli_sum.terms target))
 
 let count t = Array.length t.by_row
 let row_of t s = Term_map.find_opt s t.by_string

@@ -14,6 +14,16 @@ val build :
 (** Rows are ordered: target terms first (canonical order), then
     channel-only terms in channel order. *)
 
+val build_of_support :
+  channels:Qturbo_aais.Instruction.channel array ->
+  support:Qturbo_pauli.Pauli_string.t list ->
+  t
+(** {!build} from the target's shape alone — its support in canonical
+    order ({!Qturbo_aais.Shape.support_of_target}).  [build ~channels
+    ~target] is exactly [build_of_support] on [target]'s support: the
+    index depends on which terms the target touches, never on its
+    coefficients. *)
+
 val count : t -> int
 
 val row_of : t -> Qturbo_pauli.Pauli_string.t -> int option

@@ -12,6 +12,7 @@ type report = {
   consistent_with_compiler : bool;
   failures : Qturbo_resilience.Failure.t list;
   degraded : bool;
+  plan : Compiler.plan_stats;
 }
 
 let compare_hamiltonians ~h_sim ~t_sim ~target ~t_tar =
@@ -57,6 +58,7 @@ let verify_rydberg ryd ~target ~t_tar (result : Compiler.result) =
     consistent_with_compiler = consistency ~recomputed:error_l1 result;
     failures = result.Compiler.failures;
     degraded = result.Compiler.degraded;
+    plan = result.Compiler.plan;
   }
 
 let verify_heisenberg heis ~target ~t_tar (result : Compiler.result) =
@@ -108,14 +110,22 @@ let verify_heisenberg heis ~target ~t_tar (result : Compiler.result) =
     consistent_with_compiler = consistency ~recomputed:error_l1 result;
     failures = result.Compiler.failures;
     degraded = result.Compiler.degraded;
+    plan = result.Compiler.plan;
   }
+
+let plan_to_json (p : Compiler.plan_stats) =
+  Printf.sprintf
+    {|{"enabled":%b,"hit":%b,"hits":%d,"misses":%d,"build_seconds":%.17g,"solve_seconds":%.17g}|}
+    p.Compiler.cache_enabled p.Compiler.cache_hit p.Compiler.cache_hits
+    p.Compiler.cache_misses p.Compiler.build_seconds p.Compiler.solve_seconds
 
 let report_to_json r =
   let jstr s = "\"" ^ Diagnostic.json_escape s ^ "\"" in
   Printf.sprintf
-    {|{"error_l1":%.17g,"relative_error":%.17g,"max_term_error":%.17g,"executable":%b,"consistent_with_compiler":%b,"degraded":%b,"violations":[%s],"analysis":%s,"failures":%s}|}
+    {|{"error_l1":%.17g,"relative_error":%.17g,"max_term_error":%.17g,"executable":%b,"consistent_with_compiler":%b,"degraded":%b,"violations":[%s],"analysis":%s,"failures":%s,"plan_cache":%s}|}
     r.error_l1 r.relative_error r.max_term_error r.executable
     r.consistent_with_compiler r.degraded
     (String.concat "," (List.map jstr r.violations))
     (Diagnostic.list_to_json r.diagnostics)
     (Qturbo_resilience.Failure.list_to_json r.failures)
+    (plan_to_json r.plan)

@@ -27,6 +27,9 @@ type report = {
       (** the compile's classified solver-failure records, carried
           through so one report tells the whole degradation story *)
   degraded : bool;  (** the compile kept a non-converged component *)
+  plan : Compiler.plan_stats;
+      (** the compile's plan provenance and cache counters, carried
+          through to the JSON report (["plan_cache"] object) *)
 }
 
 val verify_rydberg :

@@ -581,9 +581,27 @@ let test_td_mis_chain () =
 let test_td_rejects_bad_args () =
   let ryd = rydberg3 () in
   let model = Qturbo_models.Benchmarks.ising_chain ~n:3 () in
-  Alcotest.check_raises "segments" (Invalid_argument "Td_compiler.compile: segments < 1")
+  let expect_qt016 name f =
+    match f () with
+    | exception Qturbo_analysis.Diagnostic.Rejected [ d ] ->
+        Alcotest.(check string) (name ^ " code") "QT016" d.Qturbo_analysis.Diagnostic.code
+    | exception e ->
+        Alcotest.failf "%s: expected Rejected [QT016], got %s" name
+          (Printexc.to_string e)
+    | _ -> Alcotest.failf "%s: expected Rejected [QT016], got a result" name
+  in
+  expect_qt016 "segments = 0" (fun () ->
+      Td_compiler.compile ~aais:ryd.Rydberg.aais ~model ~t_tar:1.0 ~segments:0 ());
+  expect_qt016 "segments < 0" (fun () ->
+      Td_compiler.compile ~aais:ryd.Rydberg.aais ~model ~t_tar:1.0 ~segments:(-3) ());
+  expect_qt016 "nan t_tar" (fun () ->
+      Td_compiler.compile ~aais:ryd.Rydberg.aais ~model ~t_tar:Float.nan ~segments:2 ());
+  expect_qt016 "infinite t_tar" (fun () ->
+      Td_compiler.compile ~aais:ryd.Rydberg.aais ~model ~t_tar:Float.infinity ~segments:2 ());
+  (* the finite-nonpositive message is unchanged — callers pin it *)
+  Alcotest.check_raises "t_tar" (Invalid_argument "Td_compiler.compile: t_tar <= 0")
     (fun () ->
-      ignore (Td_compiler.compile ~aais:ryd.Rydberg.aais ~model ~t_tar:1.0 ~segments:0 ()))
+      ignore (Td_compiler.compile ~aais:ryd.Rydberg.aais ~model ~t_tar:0.0 ~segments:2 ()))
 
 (* ---- Extract ---- *)
 

@@ -1,0 +1,369 @@
+(* Tests for the staged compile pipeline: Compile_plan artifacts, the
+   structural plan cache, golden equivalence between the plan-based
+   entry points, and the QT016 input validation. *)
+
+open Qturbo_pauli
+open Qturbo_aais
+open Qturbo_core
+
+let relaxed_line = { Device.aquila_paper with Device.max_extent = 2000.0 }
+let relaxed_plane = Device.with_geometry Device.Plane relaxed_line
+
+let rydberg_for name n =
+  let spec =
+    match name with "ising-cycle" | "ising-cycle+" -> relaxed_plane | _ -> relaxed_line
+  in
+  Rydberg.build ~spec ~n
+
+let static_target name n =
+  Pauli_sum.drop_identity
+    (Qturbo_models.Model.hamiltonian_at
+       (Qturbo_models.Benchmarks.by_name ~name ~n)
+       ~s:0.0)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+let check_bits_arr msg a b =
+  if not (bits_equal a b) then Alcotest.failf "%s: arrays differ bitwise" msg
+
+let check_bits msg a b =
+  if not (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)) then
+    Alcotest.failf "%s: %h vs %h" msg a b
+
+(* ---- golden equivalence: td(1 segment) == static compile ---- *)
+
+(* The single-segment time-dependent compile delegates to the staged
+   static pipeline, so the two entry points must agree bitwise — on the
+   §5 worked example and on Fig. 3 benchmarks. *)
+let test_td_single_segment_golden () =
+  List.iter
+    (fun (name, n) ->
+      let ryd = rydberg_for name n in
+      let model = Qturbo_models.Benchmarks.by_name ~name ~n in
+      let target = static_target name n in
+      let r =
+        Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 ()
+      in
+      let td =
+        Td_compiler.compile ~aais:ryd.Rydberg.aais ~model ~t_tar:1.0
+          ~segments:1 ()
+      in
+      (match td.Td_compiler.segments with
+      | [ s ] ->
+          check_bits_arr (name ^ " env") r.Compiler.env s.Td_compiler.env;
+          check_bits (name ^ " duration") r.Compiler.t_sim s.Td_compiler.duration;
+          check_bits (name ^ " seg error") r.Compiler.error_l1
+            s.Td_compiler.error_l1;
+          check_bits (name ^ " eps1") r.Compiler.eps1 s.Td_compiler.eps1
+      | other -> Alcotest.failf "%s: %d segments" name (List.length other));
+      check_bits (name ^ " t_sim") r.Compiler.t_sim td.Td_compiler.t_sim;
+      check_bits (name ^ " error_l1") r.Compiler.error_l1
+        td.Td_compiler.error_l1;
+      check_bits (name ^ " relative") r.Compiler.relative_error
+        td.Td_compiler.relative_error;
+      Alcotest.(check int) (name ^ " binding") 0 td.Td_compiler.binding_segment)
+    [ ("ising-chain", 3); ("ising-cycle", 5); ("kitaev", 5) ]
+
+(* ---- QT016 validation ---- *)
+
+let test_compiler_rejects_nonfinite_t_tar () =
+  let ryd = rydberg_for "ising-chain" 3 in
+  let target = static_target "ising-chain" 3 in
+  List.iter
+    (fun t_tar ->
+      match
+        Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar ()
+      with
+      | exception Qturbo_analysis.Diagnostic.Rejected [ d ] ->
+          Alcotest.(check string) "code" "QT016" d.Qturbo_analysis.Diagnostic.code
+      | exception e ->
+          Alcotest.failf "expected Rejected [QT016], got %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "expected Rejected [QT016], got a result")
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+(* ---- structural keys ---- *)
+
+let test_plan_key_ignores_coefficients () =
+  let ryd = rydberg_for "ising-chain" 5 in
+  let options = Compiler.default_options in
+  let base =
+    Compile_plan.plan_key ~options ~aais:ryd.Rydberg.aais
+      ~target:(static_target "ising-chain" 5)
+  in
+  (* a different support on the same device must key differently *)
+  let smaller =
+    Compile_plan.plan_key ~options ~aais:ryd.Rydberg.aais
+      ~target:(static_target "ising-chain" 3)
+  in
+  Alcotest.(check bool) "support contributes" true (base <> smaller);
+  (* classification-affecting options contribute too *)
+  let generic =
+    Compile_plan.plan_key
+      ~options:{ options with Compiler.generic_local_solver = true }
+      ~aais:ryd.Rydberg.aais
+      ~target:(static_target "ising-chain" 5)
+  in
+  Alcotest.(check bool) "options contribute" true (base <> generic);
+  (* a different device fingerprint (same channels structurally scaled)
+     must key differently *)
+  let tighter =
+    Rydberg.build
+      ~spec:{ relaxed_line with Device.min_separation = 7.7 }
+      ~n:5
+  in
+  let other =
+    Compile_plan.plan_key ~options ~aais:tighter.Rydberg.aais
+      ~target:(static_target "ising-chain" 5)
+  in
+  Alcotest.(check bool) "device fingerprint contributes" true (base <> other)
+
+let prop_plan_key_coefficient_invariant =
+  QCheck.Test.make ~name:"plan key is coefficient-invariant" ~count:25
+    QCheck.(pair (float_range 0.05 3.0) (float_range 0.05 3.0))
+    (fun (j, h) ->
+      let ryd = rydberg_for "ising-chain" 4 in
+      let target ~j ~h =
+        Pauli_sum.drop_identity
+          (Qturbo_models.Model.hamiltonian_at
+             (Qturbo_models.Benchmarks.ising_chain ~j ~h ~n:4 ())
+             ~s:0.0)
+      in
+      let options = Compiler.default_options in
+      let key = Compile_plan.plan_key ~options ~aais:ryd.Rydberg.aais in
+      String.equal
+        (key ~target:(target ~j ~h))
+        (key ~target:(target ~j:1.0 ~h:1.0)))
+
+(* ---- cached vs cold solves are bitwise-identical ---- *)
+
+let cold_vs_warm ~domains (j, h) =
+  let ryd = rydberg_for "ising-chain" 4 in
+  let target =
+    Pauli_sum.drop_identity
+      (Qturbo_models.Model.hamiltonian_at
+         (Qturbo_models.Benchmarks.ising_chain ~j ~h ~n:4 ())
+         ~s:0.0)
+  in
+  let options = { Compiler.default_options with Compiler.domains } in
+  Compile_plan.clear_caches ();
+  let cold =
+    Compiler.compile
+      ~options:{ options with Compiler.plan_cache = false }
+      ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 ()
+  in
+  (* prime the cache, then solve against the cached plan *)
+  ignore (Compiler.compile ~options ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 ());
+  let warm =
+    Compiler.compile ~options ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 ()
+  in
+  if not warm.Compiler.plan.Compiler.cache_hit then
+    Alcotest.fail "warm compile missed the cache";
+  bits_equal cold.Compiler.env warm.Compiler.env
+  && bits_equal cold.Compiler.alpha_achieved warm.Compiler.alpha_achieved
+  && Int64.equal
+       (Int64.bits_of_float cold.Compiler.t_sim)
+       (Int64.bits_of_float warm.Compiler.t_sim)
+  && Int64.equal
+       (Int64.bits_of_float cold.Compiler.error_l1)
+       (Int64.bits_of_float warm.Compiler.error_l1)
+
+let prop_cached_solve_bitwise_domains_1 =
+  QCheck.Test.make ~name:"cached vs cold solve, 1 domain" ~count:8
+    QCheck.(pair (float_range 0.05 3.0) (float_range 0.05 3.0))
+    (cold_vs_warm ~domains:1)
+
+let prop_cached_solve_bitwise_domains_4 =
+  QCheck.Test.make ~name:"cached vs cold solve, 4 domains" ~count:8
+    QCheck.(pair (float_range 0.05 3.0) (float_range 0.05 3.0))
+    (cold_vs_warm ~domains:4)
+
+(* ---- the LRU cache ---- *)
+
+let test_plan_cache_lru () =
+  Alcotest.check_raises "capacity" (Invalid_argument "Plan_cache.create: capacity < 1")
+    (fun () -> ignore (Plan_cache.create ~capacity:0));
+  let c = Plan_cache.create ~capacity:2 in
+  Alcotest.(check (option int)) "miss" None (Plan_cache.find c "a");
+  Plan_cache.add c "a" 1;
+  Plan_cache.add c "b" 2;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Plan_cache.find c "a");
+  (* b is now least recently used; inserting c evicts it *)
+  Plan_cache.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Plan_cache.find c "b");
+  Alcotest.(check (option int)) "a resident" (Some 1) (Plan_cache.find c "a");
+  Alcotest.(check (option int)) "c resident" (Some 3) (Plan_cache.find c "c");
+  (* re-adding a resident key keeps the resident value *)
+  Plan_cache.add c "a" 99;
+  Alcotest.(check (option int)) "resident kept" (Some 1) (Plan_cache.find c "a");
+  let s = Plan_cache.stats c in
+  Alcotest.(check int) "evictions" 1 s.Plan_cache.evictions;
+  Alcotest.(check int) "size" 2 s.Plan_cache.size;
+  Alcotest.(check int) "hits" 4 s.Plan_cache.hits;
+  Alcotest.(check int) "misses" 2 s.Plan_cache.misses;
+  Plan_cache.clear c;
+  let s = Plan_cache.stats c in
+  Alcotest.(check int) "cleared size" 0 s.Plan_cache.size;
+  Alcotest.(check int) "cleared hits" 0 s.Plan_cache.hits;
+  Alcotest.(check int) "cleared misses" 0 s.Plan_cache.misses
+
+(* ---- stage hooks and cache plumbing ---- *)
+
+let with_stages f =
+  let stages = ref [] in
+  Compiler.stage_hook := (fun s -> stages := s :: !stages);
+  Fun.protect
+    ~finally:(fun () -> Compiler.stage_hook := fun _ -> ())
+    (fun () ->
+      f ();
+      List.rev !stages)
+
+let test_stage_hook_plan_build () =
+  let ryd = rydberg_for "ising-chain" 3 in
+  let target = static_target "ising-chain" 3 in
+  let compile () =
+    ignore (Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 ())
+  in
+  Compile_plan.clear_caches ();
+  let cold = with_stages compile in
+  Alcotest.(check bool) "cold builds a plan" true (List.mem "plan-build" cold);
+  Alcotest.(check bool) "cold misses" false (List.mem "plan-cache-hit" cold);
+  (* build precedes the solver stages *)
+  let rec before a b = function
+    | [] -> false
+    | s :: rest -> if s = a then List.mem b rest else before a b rest
+  in
+  Alcotest.(check bool) "build before precheck" true
+    (before "plan-build" "precheck" cold);
+  let warm = with_stages compile in
+  Alcotest.(check bool) "warm hits" true (List.mem "plan-cache-hit" warm);
+  Alcotest.(check bool) "warm skips the build" false (List.mem "plan-build" warm)
+
+let test_cache_stats_counters () =
+  let ryd = rydberg_for "ising-chain" 3 in
+  let target = static_target "ising-chain" 3 in
+  Compile_plan.clear_caches ();
+  let r1 = Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 () in
+  Alcotest.(check bool) "first is a miss" false r1.Compiler.plan.Compiler.cache_hit;
+  Alcotest.(check bool) "first records a build" true
+    (r1.Compiler.plan.Compiler.build_seconds > 0.0);
+  let r2 = Compiler.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:2.0 () in
+  Alcotest.(check bool) "same shape hits" true r2.Compiler.plan.Compiler.cache_hit;
+  check_bits "hit build cost is zero" 0.0 r2.Compiler.plan.Compiler.build_seconds;
+  Alcotest.(check int) "hit counter" 1 r2.Compiler.plan.Compiler.cache_hits;
+  Alcotest.(check int) "miss counter" 1 r2.Compiler.plan.Compiler.cache_misses;
+  let s = Compile_plan.cache_stats () in
+  Alcotest.(check int) "plan cache size" 1 s.Plan_cache.size;
+  let d = Compile_plan.device_cache_stats () in
+  Alcotest.(check bool) "device cached" true (d.Plan_cache.size >= 1);
+  (* disabling the cache leaves the counters untouched *)
+  let r3 =
+    Compiler.compile
+      ~options:{ Compiler.default_options with Compiler.plan_cache = false }
+      ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 ()
+  in
+  Alcotest.(check bool) "disabled: no hit" false r3.Compiler.plan.Compiler.cache_hit;
+  Alcotest.(check bool) "disabled flag carried" false
+    r3.Compiler.plan.Compiler.cache_enabled;
+  let s' = Compile_plan.cache_stats () in
+  Alcotest.(check int) "no extra miss" s.Plan_cache.misses s'.Plan_cache.misses
+
+let test_device_plan_shared_across_shapes () =
+  let ryd = rydberg_for "ising-chain" 5 in
+  let options = Compiler.default_options in
+  Compile_plan.clear_caches ();
+  let p3, _ =
+    Compile_plan.obtain ~options ~aais:ryd.Rydberg.aais
+      ~target:(static_target "ising-chain" 3)
+  in
+  let p5, _ =
+    Compile_plan.obtain ~options ~aais:ryd.Rydberg.aais
+      ~target:(static_target "ising-chain" 5)
+  in
+  Alcotest.(check bool) "distinct plans" true (p3 != p5);
+  Alcotest.(check bool) "shared device part" true
+    (p3.Compile_plan.device == p5.Compile_plan.device)
+
+(* ---- compile_batch ---- *)
+
+let test_compile_batch_matches_individual () =
+  let ryd = rydberg_for "ising-chain" 4 in
+  let target ~j =
+    Pauli_sum.drop_identity
+      (Qturbo_models.Model.hamiltonian_at
+         (Qturbo_models.Benchmarks.ising_chain ~j ~n:4 ())
+         ~s:0.0)
+  in
+  let jobs = [ (target ~j:0.5, 1.0); (target ~j:1.5, 0.7); (target ~j:2.5, 1.3) ] in
+  List.iter
+    (fun plan_cache ->
+      let options = { Compiler.default_options with Compiler.plan_cache } in
+      Compile_plan.clear_caches ();
+      let batch = Compiler.compile_batch ~options ~aais:ryd.Rydberg.aais jobs in
+      List.iter2
+        (fun (target, t_tar) (b : Compiler.result) ->
+          let r =
+            Compiler.compile ~options ~aais:ryd.Rydberg.aais ~target ~t_tar ()
+          in
+          check_bits_arr "batch env" r.Compiler.env b.Compiler.env;
+          check_bits "batch t_sim" r.Compiler.t_sim b.Compiler.t_sim;
+          check_bits "batch error" r.Compiler.error_l1 b.Compiler.error_l1)
+        jobs batch)
+    [ true; false ]
+
+(* ---- td shares one device part across segments ---- *)
+
+let test_td_multi_segment_unchanged () =
+  (* the plan-based td path must reproduce the historical pipeline; the
+     ramped MIS chain exercises distinct coefficient sets per segment *)
+  let ryd = rydberg_for "mis-chain" 5 in
+  let model = Qturbo_models.Benchmarks.mis_chain ~n:5 () in
+  Compile_plan.clear_caches ();
+  let a =
+    Td_compiler.compile ~aais:ryd.Rydberg.aais ~model ~t_tar:1.0 ~segments:4 ()
+  in
+  (* warm: every segment shape is now cached *)
+  let b =
+    Td_compiler.compile ~aais:ryd.Rydberg.aais ~model ~t_tar:1.0 ~segments:4 ()
+  in
+  List.iter2
+    (fun (x : Td_compiler.segment_result) (y : Td_compiler.segment_result) ->
+      check_bits_arr "segment env" x.Td_compiler.env y.Td_compiler.env;
+      check_bits "segment duration" x.Td_compiler.duration y.Td_compiler.duration)
+    a.Td_compiler.segments b.Td_compiler.segments;
+  check_bits "t_sim" a.Td_compiler.t_sim b.Td_compiler.t_sim;
+  check_bits "error" a.Td_compiler.error_l1 b.Td_compiler.error_l1
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "plan"
+    [
+      ( "golden",
+        [
+          quick "td single segment == static compile" test_td_single_segment_golden;
+          quick "td multi segment, cold == warm" test_td_multi_segment_unchanged;
+        ] );
+      ( "validation",
+        [ quick "non-finite t_tar rejected (QT016)" test_compiler_rejects_nonfinite_t_tar ] );
+      ( "keys",
+        [
+          quick "structural key sensitivity" test_plan_key_ignores_coefficients;
+          QCheck_alcotest.to_alcotest prop_plan_key_coefficient_invariant;
+        ] );
+      ( "cache",
+        [
+          quick "bounded LRU semantics" test_plan_cache_lru;
+          quick "hit/miss counters and disable" test_cache_stats_counters;
+          quick "device part shared across shapes" test_device_plan_shared_across_shapes;
+          QCheck_alcotest.to_alcotest prop_cached_solve_bitwise_domains_1;
+          QCheck_alcotest.to_alcotest prop_cached_solve_bitwise_domains_4;
+        ] );
+      ( "staging",
+        [
+          quick "plan-build and cache-hit hooks" test_stage_hook_plan_build;
+          quick "compile_batch == individual compiles" test_compile_batch_matches_individual;
+        ] );
+    ]
