@@ -1375,6 +1375,111 @@ let plan () =
   progress "plan: wrote BENCH_plan.json (mean warm speedup %.2fx)" mean_speedup
 
 (* ------------------------------------------------------------------ *)
+(* batch sweeps: Compiler.compile_batch over the Fig. 3 ising-cycle    *)
+(* coefficient series versus the same jobs compiled one at a time.     *)
+(* Results land in BENCH_sweep.json. *)
+
+let sweep () =
+  let module C = Qturbo_core.Compiler in
+  let module CP = Qturbo_core.Compile_plan in
+  let domains = Qturbo_par.Pool.default_domains () in
+  let k = if !quick then 8 else 16 in
+  let jobs_for n =
+    List.init k (fun i ->
+        let j = 0.2 +. (0.11 *. float_of_int i)
+        and h = 0.45 +. (0.07 *. float_of_int i) in
+        let target =
+          Qturbo_pauli.Pauli_sum.drop_identity
+            (Qturbo_models.Model.hamiltonian_at
+               (Qturbo_models.Benchmarks.ising_cycle ~n ~j ~h ())
+               ~s:0.0)
+        in
+        (target, 0.5 +. (0.1 *. float_of_int i)))
+  in
+  let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
+  let sizes = if !quick then [ 3; 13 ] else [ 3; 13; 23; 43 ] in
+  let series =
+    List.map
+      (fun n ->
+        let ryd = rydberg_for "ising-cycle" n in
+        let jobs = jobs_for n in
+        (* cold sequential: each job compiled on its own with the plan
+           cache off — the pre-batch workflow, one front-end build per
+           job *)
+        let cold_s, _ =
+          time_run (fun () ->
+              List.map
+                (fun (target, t_tar) ->
+                  C.compile
+                    ~options:{ C.default_options with C.plan_cache = false }
+                    ~aais:ryd.Rydberg.aais ~target ~t_tar ())
+                jobs)
+        in
+        (* warm sequential: the shared cache builds the plan once, but
+           the solves still run one after another *)
+        CP.clear_caches ();
+        let warm_s, warm =
+          time_run (fun () ->
+              List.map
+                (fun (target, t_tar) ->
+                  C.compile ~aais:ryd.Rydberg.aais ~target ~t_tar ())
+                jobs)
+        in
+        (* batch: one plan build, solves fanned out over the pool *)
+        CP.clear_caches ();
+        let batch_s, batch =
+          time_run (fun () ->
+              C.compile_batch ~batch_domains:domains ~aais:ryd.Rydberg.aais
+                jobs)
+        in
+        let identical =
+          List.for_all2
+            (fun (a : C.result) (b : C.result) ->
+              bits_eq a.C.t_sim b.C.t_sim
+              && bits_eq a.C.relative_error b.C.relative_error)
+            warm batch
+        in
+        let hits = (List.nth batch (k - 1)).C.plan.C.cache_hits in
+        let speedup = cold_s /. Float.max 1e-12 batch_s in
+        let warm_speedup = warm_s /. Float.max 1e-12 batch_s in
+        progress
+          "sweep: ising-cycle n=%d jobs=%d cold %.3f s warm %.3f s batch \
+           %.3f s speedup %.2fx (%d hits, identical %b)"
+          n k cold_s warm_s batch_s speedup hits identical;
+        (n, cold_s, warm_s, batch_s, speedup, warm_speedup, hits, identical))
+      sizes
+  in
+  let mean_speedup =
+    List.fold_left (fun acc (_, _, _, _, s, _, _, _) -> acc +. s) 0.0 series
+    /. float_of_int (List.length series)
+  in
+  let oc = open_out "BENCH_sweep.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"benchmark\": \"ising-cycle\",\n\
+    \  \"jobs_per_size\": %d,\n\
+    \  \"batch_domains\": %d,\n\
+    \  \"target_speedup\": 1.5,\n\
+    \  \"mean_speedup\": %.4f,\n\
+    \  \"series\": [\n%s\n\
+    \  ]\n\
+     }\n"
+    k domains mean_speedup
+    (String.concat ",\n"
+       (List.map
+          (fun (n, cold_s, warm_s, batch_s, speedup, warm_speedup, hits,
+                identical) ->
+            Printf.sprintf
+              "    {\"n\": %d, \"sequential_seconds\": %.6f, \
+               \"warm_sequential_seconds\": %.6f, \"batch_seconds\": %.6f, \
+               \"speedup\": %.4f, \"warm_speedup\": %.4f, \"cache_hits\": \
+               %d, \"bitwise_identical\": %b}"
+              n cold_s warm_s batch_s speedup warm_speedup hits identical)
+          series));
+  close_out oc;
+  progress "sweep: wrote BENCH_sweep.json (mean speedup %.2fx)" mean_speedup
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1389,6 +1494,7 @@ let experiments =
     ("analysis", analysis);
     ("parallel", parallel);
     ("plan", plan);
+    ("sweep", sweep);
     ("robustness", robustness);
     ("ext-noise", ext_noise);
     ("ext-markovian", ext_markovian);

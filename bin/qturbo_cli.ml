@@ -98,9 +98,15 @@ let print_compile_result ~(ryd : Rydberg.t option) ~show_pulse ~ramp
   let p = r.Qturbo_core.Compiler.plan in
   if p.Qturbo_core.Compiler.cache_enabled then
     Printf.printf
-      "plan: %s (cache %d hit(s) / %d miss(es); build %.2f ms, solve %.2f ms)\n"
+      "plan: %s (cache %d hit(s) / %d miss(es)%s; this key %d/%d; build %.2f \
+       ms, solve %.2f ms)\n"
       (if p.Qturbo_core.Compiler.cache_hit then "cached" else "built")
       p.Qturbo_core.Compiler.cache_hits p.Qturbo_core.Compiler.cache_misses
+      (if p.Qturbo_core.Compiler.cache_discarded > 0 then
+         Printf.sprintf " / %d discarded"
+           p.Qturbo_core.Compiler.cache_discarded
+       else "")
+      p.Qturbo_core.Compiler.key_hits p.Qturbo_core.Compiler.key_misses
       (1000.0 *. p.Qturbo_core.Compiler.build_seconds)
       (1000.0 *. p.Qturbo_core.Compiler.solve_seconds)
   else
@@ -243,6 +249,9 @@ let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
           print_endline
             "DEGRADED: best-effort result; some component kept a \
              non-converged solution (see failure records above)";
+        Printf.printf "plan: %d shape(s), %d front-end build(s)\n"
+          td.Qturbo_core.Td_compiler.plan_shapes
+          td.Qturbo_core.Td_compiler.plan_builds;
         0
       end
       else begin
@@ -428,7 +437,8 @@ let inject_dangling (aais : Aais.t) =
     ~name:(aais.Aais.name ^ "+dangling")
     ~n_qubits:aais.Aais.n_qubits ~pool:aais.Aais.pool
     ~instructions:(aais.Aais.instructions @ [ instr ])
-    ~check_fixed:aais.Aais.check_fixed ()
+    ~check_fixed:aais.Aais.check_fixed ~fingerprint:aais.Aais.fingerprint
+    ~sites:aais.Aais.sites ()
 
 let check_cmd model_name hamiltonian n backend device_name t_tar j h inject
     json verbose =
@@ -499,6 +509,339 @@ let check_info =
       "Statically analyze a Hamiltonian against a device without \
        compiling.  Exits non-zero when error-severity diagnostics are \
        found."
+
+(* ---- sweep: many (coefficients, t_tar) jobs through one shared plan ---- *)
+
+let parse_range ~what text =
+  let fail () =
+    failwith
+      (Printf.sprintf "%s: expected VALUE or LO:HI:COUNT, got %s" what text)
+  in
+  let num s =
+    match float_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None -> fail ()
+  in
+  match String.split_on_char ':' text with
+  | [ v ] -> [ num v ]
+  | [ lo; hi; count ] ->
+      let lo = num lo and hi = num hi in
+      let count =
+        match int_of_string_opt (String.trim count) with
+        | Some k when k >= 1 -> k
+        | _ -> fail ()
+      in
+      if count = 1 then [ lo ]
+      else
+        List.init count (fun i ->
+            lo +. (float_of_int i *. (hi -. lo) /. float_of_int (count - 1)))
+  | _ -> fail ()
+
+let parse_int_list ~what text =
+  List.filter_map
+    (fun s ->
+      let s = String.trim s in
+      if s = "" then None
+      else
+        match int_of_string_opt s with
+        | Some k when k >= 1 -> Some k
+        | _ -> failwith (what ^ ": expected comma-separated counts >= 1"))
+    (String.split_on_char ',' text)
+
+(* One job per non-empty, non-comment line: "J H T_TAR" (0 = model
+   default, same convention as the compile flags). *)
+let parse_jobs_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let jobs = ref [] in
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       let line = String.trim line in
+       if line <> "" && line.[0] <> '#' then
+         match Scanf.sscanf line " %f %f %f" (fun j h t -> (j, h, t)) with
+         | job -> jobs := job :: !jobs
+         | exception _ ->
+             failwith
+               (Printf.sprintf "%s:%d: expected 'J H T_TAR', got %S" path
+                  !line_no line)
+     done
+   with End_of_file -> ());
+  List.rev !jobs
+
+(* Plan-cache keys are exact structural strings (kilobytes for large
+   devices); display layers show a stable digest prefix instead. *)
+let digest_key key = String.sub (Digest.to_hex (Digest.string key)) 0 12
+
+let plan_cache_json () =
+  let s = Qturbo_core.Compile_plan.cache_stats () in
+  let per_key = Qturbo_core.Compile_plan.cache_per_key () in
+  Printf.sprintf
+    {|{"hits":%d,"misses":%d,"evictions":%d,"discarded":%d,"size":%d,"capacity":%d,"per_key":[%s]}|}
+    s.Qturbo_core.Plan_cache.hits s.Qturbo_core.Plan_cache.misses
+    s.Qturbo_core.Plan_cache.evictions s.Qturbo_core.Plan_cache.discarded
+    s.Qturbo_core.Plan_cache.size s.Qturbo_core.Plan_cache.capacity
+    (String.concat ","
+       (List.map
+          (fun (key, (k : Qturbo_core.Plan_cache.key_stats)) ->
+            Printf.sprintf
+              {|{"key":"%s","hits":%d,"misses":%d,"evictions":%d,"discarded":%d}|}
+              (digest_key key) k.Qturbo_core.Plan_cache.key_hits
+              k.Qturbo_core.Plan_cache.key_misses
+              k.Qturbo_core.Plan_cache.key_evictions
+              k.Qturbo_core.Plan_cache.key_discarded)
+          per_key))
+
+let print_plan_summary ~plan_cache =
+  if not plan_cache then print_endline "plan: cache disabled"
+  else begin
+    let s = Qturbo_core.Compile_plan.cache_stats () in
+    Printf.printf
+      "plan: %d hit(s) / %d miss(es) / %d eviction(s) / %d discarded; %d \
+       cached plan(s)\n"
+      s.Qturbo_core.Plan_cache.hits s.Qturbo_core.Plan_cache.misses
+      s.Qturbo_core.Plan_cache.evictions s.Qturbo_core.Plan_cache.discarded
+      s.Qturbo_core.Plan_cache.size;
+    List.iter
+      (fun (key, (k : Qturbo_core.Plan_cache.key_stats)) ->
+        Printf.printf "  key %s: %d hit(s) / %d miss(es)\n" (digest_key key)
+          k.Qturbo_core.Plan_cache.key_hits
+          k.Qturbo_core.Plan_cache.key_misses)
+      (Qturbo_core.Compile_plan.cache_per_key ())
+  end
+
+let sweep_cmd model_name hamiltonian n backend device_name jobs_file sweep_j
+    sweep_h sweep_t sweep_segments domains batch_domains no_plan_cache
+    best_effort json verbose =
+ user_errors @@ fun () ->
+  setup_logging verbose;
+  let jf = Qturbo_util.Json.float_lit in
+  let options =
+    {
+      Qturbo_core.Compiler.default_options with
+      Qturbo_core.Compiler.domains =
+        (if domains > 0 then domains
+         else Qturbo_core.Compiler.default_options.Qturbo_core.Compiler.domains);
+      best_effort;
+      plan_cache = not no_plan_cache;
+    }
+  in
+  let batch_domains =
+    if batch_domains > 0 then batch_domains
+    else options.Qturbo_core.Compiler.domains
+  in
+  let ts = parse_range ~what:"--sweep-t" sweep_t in
+  let jobs =
+    match jobs_file with
+    | Some path -> parse_jobs_file path
+    | None ->
+        let js = parse_range ~what:"--sweep-j" sweep_j in
+        let hs = parse_range ~what:"--sweep-h" sweep_h in
+        List.concat_map
+          (fun j ->
+            List.concat_map (fun h -> List.map (fun t -> (j, h, t)) ts) hs)
+          js
+  in
+  if jobs = [] then failwith "sweep: no jobs (empty --jobs file?)";
+  let model_of ~j ~h = resolve_model ~hamiltonian ~model_name ~n ~j ~h in
+  let probe = model_of ~j:0.0 ~h:0.0 in
+  let n = probe.Qturbo_models.Model.n in
+  let sweep_header ~mode ~job_count =
+    Printf.sprintf
+      {|"sweep":{"model":%s,"backend":%s,"n":%d,"mode":"%s","jobs":%d,"batch_domains":%d}|}
+      (Qturbo_util.Json.quote probe.Qturbo_models.Model.name)
+      (Qturbo_util.Json.quote backend)
+      n mode job_count batch_domains
+  in
+  if Qturbo_models.Model.is_driven probe then begin
+    (* time-dependent sweep: re-discretize the model at each segment
+       count; all segments of every job share one plan when their
+       shapes agree, so the whole sweep pays one front-end build *)
+    if backend <> "rydberg" then
+      failwith "time-dependent sweeps are only supported on the rydberg backend";
+    let seg_list = parse_int_list ~what:"--sweep-segments" sweep_segments in
+    if seg_list = [] then
+      failwith "time-dependent sweeps need --sweep-segments, e.g. 2,4,8";
+    let spec =
+      resolve_rydberg_spec ~device_name ~n
+        ~model_name:probe.Qturbo_models.Model.name
+    in
+    let ryd = Rydberg.build ~spec ~n in
+    let td_jobs =
+      List.concat_map (fun segments -> List.map (fun t -> (segments, t)) ts)
+        seg_list
+    in
+    let results =
+      List.map
+        (fun (segments, t_tar) ->
+          ( segments,
+            t_tar,
+            Qturbo_core.Td_compiler.compile ~options ~aais:ryd.Rydberg.aais
+              ~model:probe ~t_tar ~segments () ))
+        td_jobs
+    in
+    if json then begin
+      let job_json (segments, t_tar, (td : Qturbo_core.Td_compiler.result)) =
+        Printf.sprintf
+          {|{"segments":%d,"t_tar":%s,"t_sim":%s,"relative_error":%s,"plan_shapes":%d,"plan_builds":%d,"degraded":%b}|}
+          segments (jf t_tar)
+          (jf td.Qturbo_core.Td_compiler.t_sim)
+          (jf td.Qturbo_core.Td_compiler.relative_error)
+          td.Qturbo_core.Td_compiler.plan_shapes
+          td.Qturbo_core.Td_compiler.plan_builds
+          td.Qturbo_core.Td_compiler.degraded
+      in
+      Printf.printf {|{%s,"jobs":[%s],"plan_cache":%s}|}
+        (sweep_header ~mode:"td" ~job_count:(List.length td_jobs))
+        (String.concat "," (List.map job_json results))
+        (plan_cache_json ());
+      print_newline ()
+    end
+    else begin
+      List.iteri
+        (fun i (segments, t_tar, (td : Qturbo_core.Td_compiler.result)) ->
+          Printf.printf
+            "job %d: segments=%d t=%g -> T_sim=%.4f us, error %.4f%%, %d \
+             shape(s), %d build(s)%s\n"
+            i segments t_tar td.Qturbo_core.Td_compiler.t_sim
+            td.Qturbo_core.Td_compiler.relative_error
+            td.Qturbo_core.Td_compiler.plan_shapes
+            td.Qturbo_core.Td_compiler.plan_builds
+            (if td.Qturbo_core.Td_compiler.degraded then " DEGRADED" else ""))
+        results;
+      print_plan_summary ~plan_cache:options.Qturbo_core.Compiler.plan_cache
+    end;
+    0
+  end
+  else begin
+    let target_of ~j ~h =
+      Qturbo_pauli.Pauli_sum.drop_identity
+        (Qturbo_models.Model.hamiltonian_at (model_of ~j ~h) ~s:0.0)
+    in
+    let batch = List.map (fun (j, h, t) -> (target_of ~j ~h, t)) jobs in
+    let results, reports =
+      match backend with
+      | "rydberg" ->
+          let spec =
+            resolve_rydberg_spec ~device_name ~n
+              ~model_name:probe.Qturbo_models.Model.name
+          in
+          let ryd = Rydberg.build ~spec ~n in
+          let results =
+            Qturbo_core.Compiler.compile_batch ~options ~batch_domains
+              ~aais:ryd.Rydberg.aais batch
+          in
+          ( results,
+            lazy
+              (List.map2
+                 (fun (target, t_tar) r ->
+                   Qturbo_core.Verifier.verify_rydberg ryd ~target ~t_tar r)
+                 batch results) )
+      | "heisenberg" ->
+          let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n in
+          let results =
+            Qturbo_core.Compiler.compile_batch ~options ~batch_domains
+              ~aais:heis.Heisenberg.aais batch
+          in
+          ( results,
+            lazy
+              (List.map2
+                 (fun (target, t_tar) r ->
+                   Qturbo_core.Verifier.verify_heisenberg heis ~target ~t_tar r)
+                 batch results) )
+      | other ->
+          failwith ("unknown backend " ^ other ^ " (rydberg | heisenberg)")
+    in
+    if json then begin
+      let job_json (j, h, t) report =
+        Printf.sprintf {|{"j":%s,"h":%s,"t_tar":%s,"report":%s}|} (jf j)
+          (jf h) (jf t)
+          (Qturbo_core.Verifier.report_to_json report)
+      in
+      Printf.printf {|{%s,"jobs":[%s],"plan_cache":%s}|}
+        (sweep_header ~mode:"static" ~job_count:(List.length jobs))
+        (String.concat "," (List.map2 job_json jobs (Lazy.force reports)))
+        (plan_cache_json ());
+      print_newline ()
+    end
+    else begin
+      List.iteri
+        (fun i ((j, h, t), (r : Qturbo_core.Compiler.result)) ->
+          Printf.printf
+            "job %d: j=%g h=%g t=%g -> T_sim=%.4f us, error %.4f%%%s\n" i j h
+            t r.Qturbo_core.Compiler.t_sim
+            r.Qturbo_core.Compiler.relative_error
+            (if r.Qturbo_core.Compiler.degraded then " DEGRADED" else ""))
+        (List.combine jobs results);
+      print_plan_summary ~plan_cache:options.Qturbo_core.Compiler.plan_cache
+    end;
+    0
+  end
+
+let jobs_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jobs" ] ~docv:"FILE"
+        ~doc:
+          "Job list file: one 'J H T_TAR' triple per line ('#' comments; 0 \
+           = model default).  Overrides the --sweep-* ranges.")
+
+let sweep_j_arg =
+  Arg.(
+    value & opt string "0"
+    & info [ "sweep-j" ] ~docv:"RANGE"
+        ~doc:
+          "Coupling values: a single value or LO:HI:COUNT (0 = model \
+           default).")
+
+let sweep_h_arg =
+  Arg.(
+    value & opt string "0"
+    & info [ "sweep-h" ] ~docv:"RANGE"
+        ~doc:
+          "Transverse-field values: a single value or LO:HI:COUNT (0 = \
+           model default).")
+
+let sweep_t_arg =
+  Arg.(
+    value & opt string "1.0"
+    & info [ "sweep-t" ] ~docv:"RANGE"
+        ~doc:"Target evolution times (µs): a single value or LO:HI:COUNT.")
+
+let sweep_segments_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "sweep-segments" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated segment counts for driven models (e.g. 2,4,8); \
+           each count re-discretizes the model, sharing plans across the \
+           sweep.")
+
+let batch_domains_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "batch-domains" ] ~docv:"D"
+        ~doc:
+          "Worker domains for the batch job sweep (0 = the QTURBO_DOMAINS / \
+           core-count default; 1 = fully sequential).  Batch output is \
+           bitwise-identical for every value.")
+
+let sweep_term =
+  Term.(
+    const sweep_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg
+    $ device_arg $ jobs_file_arg $ sweep_j_arg $ sweep_h_arg $ sweep_t_arg
+    $ sweep_segments_arg $ domains_arg $ batch_domains_arg
+    $ no_plan_cache_flag $ best_effort_flag $ json_flag $ verbose_flag)
+
+let sweep_info =
+  Cmd.info "sweep"
+    ~doc:
+      "Compile a grid or list of (coefficients, evolution-time) jobs in one \
+       process.  Structurally-identical jobs share one compile plan; the \
+       numeric back-ends run in parallel with --batch-domains workers."
 
 (* ---- run: compile + emulate ---- *)
 
@@ -606,6 +949,7 @@ let main () =
       [
         Cmd.v compile_info compile_term;
         Cmd.v check_info check_term;
+        Cmd.v sweep_info sweep_term;
         Cmd.v run_info run_term;
         Cmd.v (Cmd.info "models" ~doc:"List benchmark models.") Term.(const models_cmd $ const ());
         Cmd.v (Cmd.info "devices" ~doc:"List device presets.") Term.(const devices_cmd $ const ());

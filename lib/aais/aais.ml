@@ -5,6 +5,7 @@ type t = {
   instructions : Instruction.t list;
   check_fixed : float array -> string list;
   fingerprint : string;
+  sites : (int * int option) array;
 }
 
 let channels t =
@@ -25,8 +26,10 @@ let channels t =
     arr
 
 let make ~name ~n_qubits ~pool ~instructions ?(check_fixed = fun _ -> [])
-    ?(fingerprint = "") () =
-  let t = { name; n_qubits; pool; instructions; check_fixed; fingerprint } in
+    ?(fingerprint = "") ?(sites = [||]) () =
+  let t =
+    { name; n_qubits; pool; instructions; check_fixed; fingerprint; sites }
+  in
   ignore (channels t);
   t
 

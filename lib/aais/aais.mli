@@ -22,6 +22,13 @@ type t = {
           cache key computed by {!Shape}; two AAIS values whose
           variables, channels and fingerprint all agree are
           interchangeable for compilation. *)
+  sites : (int * int option) array;
+      (** Per lattice site, the variable ids of its coordinates:
+          [(x_id, Some y_id)] on a plane, [(x_id, None)] on a line.
+          Empty when the device has no spatial layout (e.g.
+          Heisenberg).  {!Shape} uses this to anchor the first site at
+          the origin when rendering the structural cache key, so
+          rigidly-translated devices share one plan. *)
 }
 
 val make :
@@ -31,12 +38,14 @@ val make :
   instructions:Instruction.t list ->
   ?check_fixed:(float array -> string list) ->
   ?fingerprint:string ->
+  ?sites:(int * int option) array ->
   unit ->
   t
 (** Validates that channel [cid]s are dense [0 .. count-1] (raises
     [Invalid_argument] otherwise).  [fingerprint] defaults to [""] —
     correct only when [check_fixed] captures nothing beyond what the
-    variables and channels already expose. *)
+    variables and channels already expose.  [sites] defaults to [[||]]
+    (no spatial layout, no key canonicalization). *)
 
 val channels : t -> Instruction.channel array
 (** All channels indexed by [cid]. *)

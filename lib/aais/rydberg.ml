@@ -64,24 +64,36 @@ let check_layout_positions ~spec positions =
       :: !violations;
   List.rev !violations
 
-let build ~spec ~n =
+let build_at ~origin ~spec ~n =
   if n < 1 then invalid_arg "Rydberg.build: need at least one atom";
+  let ox, oy = origin in
   let pool = Variable.create_pool () in
   let inits =
-    match spec.Device.geometry with
-    | Device.Line -> chain_inits n
-    | Device.Plane -> polygon_inits n
+    let base =
+      match spec.Device.geometry with
+      | Device.Line -> chain_inits n
+      | Device.Plane -> polygon_inits n
+    in
+    Array.map (fun (x, y) -> (x +. ox, y +. oy)) base
   in
   let extent = spec.Device.max_extent in
-  let coord ~name ~pinned ~init =
-    if pinned then Variable.fresh pool ~name ~kind:Variable.Runtime_fixed ~lo:0.0 ~hi:0.0 ~init:0.0 ()
+  (* the feasible box is centered on the origin coordinate, so a rigid
+     translation shifts bounds, pins and inits together and the
+     Shape-anchored cache key comes out identical for every origin *)
+  let coord ~name ~pinned ~center ~init =
+    if pinned then
+      Variable.fresh pool ~name ~kind:Variable.Runtime_fixed ~lo:center
+        ~hi:center ~init:center ()
     else
-      Variable.fresh pool ~name ~kind:Variable.Runtime_fixed ~lo:(-2.0 *. extent)
-        ~hi:(2.0 *. extent) ~init ()
+      Variable.fresh pool ~name ~kind:Variable.Runtime_fixed
+        ~lo:(center -. (2.0 *. extent))
+        ~hi:(center +. (2.0 *. extent))
+        ~init ()
   in
   let xs =
     Array.init n (fun i ->
-        coord ~name:(Printf.sprintf "x%d" i) ~pinned:(i = 0) ~init:(fst inits.(i)))
+        coord ~name:(Printf.sprintf "x%d" i) ~pinned:(i = 0) ~center:ox
+          ~init:(fst inits.(i)))
   in
   let ys =
     match spec.Device.geometry with
@@ -92,6 +104,7 @@ let build ~spec ~n =
                coord
                  ~name:(Printf.sprintf "y%d" i)
                  ~pinned:(i = 0 || i = 1)
+                 ~center:oy
                  ~init:(snd inits.(i))))
   in
   let n_controls =
@@ -255,10 +268,19 @@ let build ~spec ~n =
         | Device.Line -> "line"
         | Device.Plane -> "plane")
     in
+    let sites =
+      Array.init n (fun i ->
+          ( xs.(i).Variable.id,
+            match ys with
+            | None -> None
+            | Some ys -> Some ys.(i).Variable.id ))
+    in
     Aais.make ~name:(Printf.sprintf "rydberg[%s,n=%d]" spec.Device.name n)
-      ~n_qubits:n ~pool ~instructions ~check_fixed ~fingerprint ()
+      ~n_qubits:n ~pool ~instructions ~check_fixed ~fingerprint ~sites ()
   in
   { aais; spec; n; xs; ys; deltas; omegas; phis }
+
+let build ~spec ~n = build_at ~origin:(0.0, 0.0) ~spec ~n
 
 let positions t ~env =
   Array.init t.n (fun i ->

@@ -27,7 +27,16 @@ val build : spec:Device.rydberg -> n:int -> t
 (** Build the AAIS for [n] atoms.  Atom 0 is pinned at the origin (and
     atom 1 at [y = 0] in planar geometry) to fix the translation/rotation
     gauge of the position solve.  Initial positions are an evenly spaced
-    chain (1-D) or regular polygon (2-D). *)
+    chain (1-D) or regular polygon (2-D).  Equivalent to
+    [build_at ~origin:(0.0, 0.0)]. *)
+
+val build_at : origin:float * float -> spec:Device.rydberg -> n:int -> t
+(** Like {!build} with atom 0 pinned at [origin] (and atom 1 at
+    [y = origin_y] in planar geometry): the whole initial layout is
+    rigidly translated by [origin] and the position bounds are centered
+    on it.  Devices differing only in [origin] are physically
+    interchangeable and share one structural cache key (the {!Shape}
+    key anchors the first site at the origin). *)
 
 val positions : t -> env:float array -> (float * float) array
 (** Atom coordinates under an environment ([y = 0] in 1-D). *)

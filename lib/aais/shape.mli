@@ -19,7 +19,16 @@ val of_aais : Aais.t -> string
 (** Canonical rendering of the device structure: name, qubit count,
     the builder {!Aais.t.fingerprint}, every variable (id, kind, box
     bounds, initial guess) and every channel (cid, expression tree,
-    solver hint, effect terms with coefficients). *)
+    solver hint, effect terms with coefficients).
+
+    When {!Aais.t.sites} is non-empty, site-coordinate variables are
+    rendered with the first site's initial coordinates subtracted from
+    their bounds and initial guess, anchoring the layout at the origin:
+    rigidly-translated devices (same geometry, different placement in
+    the field of view) share one key and therefore one cached plan.
+    This is sound because the compiler consumes only coordinate
+    differences (van der Waals amplitudes, pairwise feasibility
+    checks).  Rotation is not canonicalized. *)
 
 val support_of_target : Qturbo_pauli.Pauli_sum.t -> Qturbo_pauli.Pauli_string.t list
 (** The target's shape: its support in canonical (sorted) order with

@@ -57,21 +57,10 @@ let to_string d = Format.asprintf "%a" pp d
 
 (* ---- JSON ----------------------------------------------------------- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* shared with every hand-rolled emitter; this module prints no raw
+   floats (codes, names, counts only), so [Json.float_lit] is not needed
+   here *)
+let json_escape = Qturbo_util.Json.escape
 
 let jstr s = "\"" ^ json_escape s ^ "\""
 

@@ -63,6 +63,10 @@ type plan_stats = {
   cache_hit : bool;
   cache_hits : int;
   cache_misses : int;
+  cache_discarded : int;
+  key_hits : int;
+  key_misses : int;
+  key_evictions : int;
   build_seconds : float;
   solve_seconds : float;
 }
@@ -197,6 +201,7 @@ let plan_cache : t Plan_cache.t = Plan_cache.create ~capacity:32
 let device_cache : device Plan_cache.t = Plan_cache.create ~capacity:8
 
 let cache_stats () = Plan_cache.stats plan_cache
+let cache_per_key () = Plan_cache.per_key plan_cache
 let device_cache_stats () = Plan_cache.stats device_cache
 
 let clear_caches () =
@@ -668,6 +673,10 @@ let solve_from ~t0 ~cache_hit ~options ~strict ?t_max ~plan ~target ~t_tar () =
   if degraded && not best_effort then raise (Failure.Failed failures);
   let now = Qturbo_util.Clock.now () in
   let cache = Plan_cache.stats plan_cache in
+  let kstats =
+    if options.plan_cache then Plan_cache.key_stats plan_cache plan.key
+    else Plan_cache.zero_key_stats
+  in
   {
     env;
     t_sim;
@@ -692,6 +701,10 @@ let solve_from ~t0 ~cache_hit ~options ~strict ?t_max ~plan ~target ~t_tar () =
         cache_hit;
         cache_hits = cache.Plan_cache.hits;
         cache_misses = cache.Plan_cache.misses;
+        cache_discarded = cache.Plan_cache.discarded;
+        key_hits = kstats.Plan_cache.key_hits;
+        key_misses = kstats.Plan_cache.key_misses;
+        key_evictions = kstats.Plan_cache.key_evictions;
         build_seconds = (if cache_hit then 0.0 else plan.build_seconds);
         solve_seconds = now -. solve_t0;
       };

@@ -69,6 +69,12 @@ type plan_stats = {
   cache_hit : bool;  (** this compile's plan came from the cache *)
   cache_hits : int;  (** process-wide counter, sampled at completion *)
   cache_misses : int;
+  cache_discarded : int;
+      (** process-wide: fresh builds dropped because the key was
+          already resident (concurrent double-builds) *)
+  key_hits : int;  (** counters for {e this} compile's plan key *)
+  key_misses : int;
+  key_evictions : int;
   build_seconds : float;  (** front-end cost (0 on a cache hit) *)
   solve_seconds : float;  (** numeric back-end cost *)
 }
@@ -189,6 +195,11 @@ val compile :
 (** {1 Cache control} *)
 
 val cache_stats : unit -> Plan_cache.stats
+
+val cache_per_key : unit -> (string * Plan_cache.key_stats) list
+(** Per-key counters of the plan cache (keys are the exact structural
+    strings; display layers typically digest them), sorted by key. *)
+
 val device_cache_stats : unit -> Plan_cache.stats
 
 val clear_caches : unit -> unit

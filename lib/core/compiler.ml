@@ -41,6 +41,10 @@ type plan_stats = Compile_plan.plan_stats = {
   cache_hit : bool;
   cache_hits : int;
   cache_misses : int;
+  cache_discarded : int;
+  key_hits : int;
+  key_misses : int;
+  key_evictions : int;
   build_seconds : float;
   solve_seconds : float;
 }
@@ -115,8 +119,8 @@ let analyze ?t_max ~aais ~target ~t_tar () =
 
 let compile = Compile_plan.compile
 
-let compile_batch ?(options = default_options) ?(strict = true) ?t_max ~aais
-    jobs =
+let compile_batch ?(options = default_options) ?(strict = true) ?t_max
+    ?(batch_domains = 1) ~aais jobs =
   (* the device part is shared across every job; plans are memoized per
      target shape — through the process-wide cache when it is enabled,
      through a batch-local table otherwise (a disabled cache must still
@@ -124,27 +128,45 @@ let compile_batch ?(options = default_options) ?(strict = true) ?t_max ~aais
      whole point of batching) *)
   let device = lazy (Compile_plan.obtain_device ~options ~aais) in
   let local : (string, Compile_plan.t) Hashtbl.t = Hashtbl.create 8 in
-  List.map
-    (fun (target, t_tar) ->
-      Compile_plan.validate_t_tar ~who:"Compiler.compile" t_tar;
-      if Pauli_sum.n_qubits target > aais.Aais.n_qubits then
-        invalid_arg "Compiler.compile: target touches qubits outside the AAIS";
-      let plan, cache_hit =
-        if options.plan_cache then Compile_plan.obtain ~options ~aais ~target
-        else begin
-          let support = Compile_plan.support_of_target target in
-          let key = Shape.of_support support in
-          match Hashtbl.find_opt local key with
-          | Some p -> (p, true)
-          | None ->
-              let p =
-                Compile_plan.build ~options ~device:(Lazy.force device) ~aais
-                  ~target_shape:support ()
-              in
-              Hashtbl.add local key p;
-              (p, false)
-        end
-      in
+  (* Phase 1 — validate and acquire plans sequentially in job order.
+     All cache mutation (and therefore all hit/miss/discard accounting)
+     happens here, so the counters each job samples are independent of
+     the phase-2 schedule and a batch never double-builds a shape
+     concurrently with itself. *)
+  let prepared =
+    List.map
+      (fun (target, t_tar) ->
+        Compile_plan.validate_t_tar ~who:"Compiler.compile" t_tar;
+        if Pauli_sum.n_qubits target > aais.Aais.n_qubits then
+          invalid_arg
+            "Compiler.compile: target touches qubits outside the AAIS";
+        let plan, cache_hit =
+          if options.plan_cache then Compile_plan.obtain ~options ~aais ~target
+          else begin
+            let support = Compile_plan.support_of_target target in
+            let key = Shape.of_support support in
+            match Hashtbl.find_opt local key with
+            | Some p -> (p, true)
+            | None ->
+                let p =
+                  Compile_plan.build ~options ~device:(Lazy.force device) ~aais
+                    ~target_shape:support ()
+                in
+                Hashtbl.add local key p;
+                (p, false)
+          end
+        in
+        (target, t_tar, plan, cache_hit))
+      jobs
+  in
+  (* Phase 2 — numeric back-ends over the shared plans on the work
+     pool.  Results are collected by index and a failing job surfaces
+     the smallest-index exception, so batch output is bitwise-identical
+     to the sequential loop at any [batch_domains] (each job's inner
+     parallel sections detect the worker context and run
+     sequentially). *)
+  Qturbo_par.Pool.parallel_map_list ~domains:batch_domains ~chunk:1
+    (fun (target, t_tar, plan, cache_hit) ->
       Compile_plan.solve ~options ~strict ?t_max ~cache_hit ~plan
         ~coeffs:target ~t_tar ())
-    jobs
+    prepared

@@ -83,6 +83,12 @@ type plan_stats = Compile_plan.plan_stats = {
   cache_hit : bool;  (** this compile's plan came from the cache *)
   cache_hits : int;  (** process-wide counter, sampled at completion *)
   cache_misses : int;
+  cache_discarded : int;
+      (** process-wide: fresh builds dropped because the key was
+          already resident (concurrent double-builds) *)
+  key_hits : int;  (** counters for {e this} compile's plan key *)
+  key_misses : int;
+  key_evictions : int;
   build_seconds : float;  (** structural front-end cost (0 on a hit) *)
   solve_seconds : float;  (** numeric back-end cost *)
 }
@@ -180,6 +186,7 @@ val compile_batch :
   ?options:options ->
   ?strict:bool ->
   ?t_max:float ->
+  ?batch_domains:int ->
   aais:Qturbo_aais.Aais.t ->
   (Qturbo_pauli.Pauli_sum.t * float) list ->
   result list
@@ -188,8 +195,15 @@ val compile_batch :
     [options.plan_cache] (the default) plans go through the process-wide
     cache; with it disabled a batch-local memo still shares plans inside
     the batch.  Each job's result is exactly what {!compile} would have
-    produced for it.  Jobs run in order; a rejection or failure raises
-    at that job. *)
+    produced for it.
+
+    Runs in two phases: plans are validated and acquired sequentially
+    in job order (deterministic cache accounting), then the numeric
+    back-ends run on the work pool with [batch_domains] workers
+    (default [1] — fully sequential).  Results are collected by index,
+    so the output list is bitwise-identical at any [batch_domains],
+    including under injected faults; a rejection or failure raises the
+    smallest-index job's exception, exactly like the sequential loop. *)
 
 val b_tar_norm1 :
   aais:Qturbo_aais.Aais.t ->

@@ -6,17 +6,34 @@
     operations are thread-safe; the critical sections are tiny (a
     hash-table probe), so contention is negligible next to a solve.
 
-    Hit/miss/eviction counters are process-global per cache and are
-    surfaced in [qturbo compile --json]; {!clear} resets them (tests
-    and benchmarks start from a cold, zero-counter state). *)
+    Counters come at two granularities: process-global per cache
+    ({!stats}) and per key ({!key_stats}/{!per_key}), both surfaced in
+    [qturbo compile --json] and the sweep reports — per-key hit rates
+    are what makes the LRU capacities an observable sizing decision
+    rather than a guess.  Per-key counters survive eviction of the
+    entry (they describe the key's whole history) and are only dropped
+    by {!clear}, which resets everything (tests and benchmarks start
+    from a cold, zero-counter state). *)
 
 type stats = {
   hits : int;
   misses : int;  (** {!find} calls that returned [None] *)
   evictions : int;
+  discarded : int;
+      (** {!add} calls that found the key already resident and dropped
+          the freshly built value (concurrent double-builds) *)
   size : int;  (** resident entries *)
   capacity : int;
 }
+
+type key_stats = {
+  key_hits : int;
+  key_misses : int;
+  key_evictions : int;
+  key_discarded : int;
+}
+
+val zero_key_stats : key_stats
 
 type 'a t
 
@@ -29,9 +46,17 @@ val find : 'a t -> string -> 'a option
 val add : 'a t -> string -> 'a -> unit
 (** Insert, evicting the least-recently-used entry at capacity.  If the
     key is already resident the resident value is kept — values for
-    equal structural keys are interchangeable by construction. *)
+    equal structural keys are interchangeable by construction — and the
+    drop is counted as [discarded]. *)
 
 val clear : 'a t -> unit
-(** Drop every entry and zero the counters. *)
+(** Drop every entry, every per-key cell, and zero the counters. *)
 
 val stats : 'a t -> stats
+
+val key_stats : 'a t -> string -> key_stats
+(** Counters for one key; {!zero_key_stats} for a never-seen key. *)
+
+val per_key : 'a t -> (string * key_stats) list
+(** Every key ever touched (hit, missed, evicted or discarded), with
+    its counters, sorted by key for deterministic output. *)

@@ -22,6 +22,8 @@ type result = {
   diagnostics : Diagnostic.t list;
   failures : Failure.t list;
   degraded : bool;
+  plan_shapes : int;
+  plan_builds : int;
 }
 
 (* Precheck every discretized segment Hamiltonian, deduplicating findings
@@ -104,6 +106,8 @@ let compile_single ?options ?strict ?t_max ~aais ~model ~t_tar ~t0 () =
     diagnostics = r.Compile_plan.diagnostics;
     failures = r.Compile_plan.failures;
     degraded = r.Compile_plan.degraded;
+    plan_shapes = 1;
+    plan_builds = (if r.Compile_plan.plan.cache_hit then 0 else 1);
   }
 
 let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
@@ -152,6 +156,7 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
   let tau_tar = t_tar /. float_of_int segments in
   let hams = Qturbo_models.Model.discretize model ~segments in
   let local_plans = Hashtbl.create 4 in
+  let plan_builds = ref 0 in
   let plan_for h =
     let support = Compile_plan.support_of_target h in
     let skey = Shape.of_support support in
@@ -159,9 +164,15 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
     | Some p -> p
     | None ->
         let p =
-          if options.Compiler.plan_cache then
-            fst (Compile_plan.obtain ~options ~aais ~target:h)
-          else Compile_plan.build ~options ~device ~aais ~target_shape:support ()
+          if options.Compiler.plan_cache then begin
+            let p, hit = Compile_plan.obtain ~options ~aais ~target:h in
+            if not hit then incr plan_builds;
+            p
+          end
+          else begin
+            incr plan_builds;
+            Compile_plan.build ~options ~device ~aais ~target_shape:support ()
+          end
         in
         Hashtbl.add local_plans skey p;
         p
@@ -486,5 +497,7 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
     diagnostics;
     failures;
     degraded;
+    plan_shapes = Hashtbl.length local_plans;
+    plan_builds = !plan_builds;
   }
   end

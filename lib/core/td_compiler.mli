@@ -34,6 +34,14 @@ type result = {
   degraded : bool;
       (** true iff some failure is fatal (best-effort compiles only;
           strict compiles raise instead) *)
+  plan_shapes : int;
+      (** distinct structural shapes among the discretized segments
+          (1 when every segment shares one plan) *)
+  plan_builds : int;
+      (** structural front-ends actually built by this compile; [0]
+          when every shape was already resident in the process-wide
+          plan cache — a sweep over re-discretized models pays the
+          front-end once for the whole sweep *)
 }
 
 val compile :

@@ -113,17 +113,26 @@ let verify_heisenberg heis ~target ~t_tar (result : Compiler.result) =
     plan = result.Compiler.plan;
   }
 
+(* All float emission goes through [Json.float_lit]: degraded
+   best-effort results can carry nan/inf error metrics, and "%.17g"
+   would render them as invalid JSON — the helper maps non-finite
+   values to null. *)
+let jf = Qturbo_util.Json.float_lit
+
 let plan_to_json (p : Compiler.plan_stats) =
   Printf.sprintf
-    {|{"enabled":%b,"hit":%b,"hits":%d,"misses":%d,"build_seconds":%.17g,"solve_seconds":%.17g}|}
+    {|{"enabled":%b,"hit":%b,"hits":%d,"misses":%d,"discarded":%d,"key_hits":%d,"key_misses":%d,"key_evictions":%d,"build_seconds":%s,"solve_seconds":%s}|}
     p.Compiler.cache_enabled p.Compiler.cache_hit p.Compiler.cache_hits
-    p.Compiler.cache_misses p.Compiler.build_seconds p.Compiler.solve_seconds
+    p.Compiler.cache_misses p.Compiler.cache_discarded p.Compiler.key_hits
+    p.Compiler.key_misses p.Compiler.key_evictions
+    (jf p.Compiler.build_seconds)
+    (jf p.Compiler.solve_seconds)
 
 let report_to_json r =
   let jstr s = "\"" ^ Diagnostic.json_escape s ^ "\"" in
   Printf.sprintf
-    {|{"error_l1":%.17g,"relative_error":%.17g,"max_term_error":%.17g,"executable":%b,"consistent_with_compiler":%b,"degraded":%b,"violations":[%s],"analysis":%s,"failures":%s,"plan_cache":%s}|}
-    r.error_l1 r.relative_error r.max_term_error r.executable
+    {|{"error_l1":%s,"relative_error":%s,"max_term_error":%s,"executable":%b,"consistent_with_compiler":%b,"degraded":%b,"violations":[%s],"analysis":%s,"failures":%s,"plan_cache":%s}|}
+    (jf r.error_l1) (jf r.relative_error) (jf r.max_term_error) r.executable
     r.consistent_with_compiler r.degraded
     (String.concat "," (List.map jstr r.violations))
     (Diagnostic.list_to_json r.diagnostics)

@@ -37,20 +37,9 @@ let to_string f =
     (if f.detail = "" then "" else ": ")
     f.detail
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* shared with every hand-rolled emitter; failure records carry no raw
+   floats, so [Json.float_lit] is not needed here *)
+let json_escape = Qturbo_util.Json.escape
 
 let to_json f =
   Printf.sprintf

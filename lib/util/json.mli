@@ -1,0 +1,47 @@
+(** Minimal JSON support shared by every hand-rolled emitter.
+
+    The code base prints its machine-readable reports with [Printf]
+    rather than a JSON library; that is fine until a [nan] or [inf]
+    reaches a number position ([%.17g] renders them as ["nan"], which no
+    strict parser accepts).  {!float_lit} is the single float-emission
+    helper: finite values render with full [%.17g] round-trip precision,
+    non-finite values render as [null].  {!escape}/{!quote} are the
+    matching string helpers.
+
+    {!parse} is a strict RFC 8259 recursive-descent parser — no [NaN] /
+    [Infinity] literals, no trailing commas, no garbage after the
+    top-level value.  Tests use it to pin that every [--json] output
+    path (including degraded and fault-injected compiles) stays valid
+    JSON. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of value list
+  | Object of (string * value) list
+
+val escape : string -> string
+(** Backslash-escape a string body per RFC 8259 (quotes, backslash,
+    control characters). *)
+
+val quote : string -> string
+(** [escape] wrapped in double quotes — a complete JSON string token. *)
+
+val float_lit : float -> string
+(** A JSON number token with [%.17g] precision, or [null] when the
+    value is [nan] or [±inf]. *)
+
+exception Parse_error of string
+
+val parse : string -> (value, string) result
+
+val parse_exn : string -> value
+(** Raises {!Parse_error} with an offset-annotated message. *)
+
+val member : string -> value -> value option
+(** Field lookup on an [Object]; [None] on other constructors. *)
+
+val member_exn : string -> value -> value
+(** Raises {!Parse_error} when the field is absent. *)

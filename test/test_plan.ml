@@ -196,7 +196,8 @@ let test_plan_cache_lru () =
   Alcotest.(check (option int)) "b evicted" None (Plan_cache.find c "b");
   Alcotest.(check (option int)) "a resident" (Some 1) (Plan_cache.find c "a");
   Alcotest.(check (option int)) "c resident" (Some 3) (Plan_cache.find c "c");
-  (* re-adding a resident key keeps the resident value *)
+  (* re-adding a resident key keeps the resident value — and counts the
+     dropped fresh build instead of silently discarding it *)
   Plan_cache.add c "a" 99;
   Alcotest.(check (option int)) "resident kept" (Some 1) (Plan_cache.find c "a");
   let s = Plan_cache.stats c in
@@ -204,11 +205,25 @@ let test_plan_cache_lru () =
   Alcotest.(check int) "size" 2 s.Plan_cache.size;
   Alcotest.(check int) "hits" 4 s.Plan_cache.hits;
   Alcotest.(check int) "misses" 2 s.Plan_cache.misses;
+  Alcotest.(check int) "discarded" 1 s.Plan_cache.discarded;
+  (* per-key telemetry: "a" saw 1 miss, 3 hits, 1 discarded build;
+     "b" was evicted once; an unseen key reads all-zero *)
+  let ka = Plan_cache.key_stats c "a" in
+  Alcotest.(check int) "a key hits" 3 ka.Plan_cache.key_hits;
+  Alcotest.(check int) "a key misses" 1 ka.Plan_cache.key_misses;
+  Alcotest.(check int) "a key discarded" 1 ka.Plan_cache.key_discarded;
+  let kb = Plan_cache.key_stats c "b" in
+  Alcotest.(check int) "b key evictions" 1 kb.Plan_cache.key_evictions;
+  Alcotest.(check bool) "unseen key zero" true
+    (Plan_cache.key_stats c "nope" = Plan_cache.zero_key_stats);
+  Alcotest.(check int) "per_key size" 3 (List.length (Plan_cache.per_key c));
   Plan_cache.clear c;
   let s = Plan_cache.stats c in
   Alcotest.(check int) "cleared size" 0 s.Plan_cache.size;
   Alcotest.(check int) "cleared hits" 0 s.Plan_cache.hits;
-  Alcotest.(check int) "cleared misses" 0 s.Plan_cache.misses
+  Alcotest.(check int) "cleared misses" 0 s.Plan_cache.misses;
+  Alcotest.(check int) "cleared discarded" 0 s.Plan_cache.discarded;
+  Alcotest.(check int) "cleared per_key" 0 (List.length (Plan_cache.per_key c))
 
 (* ---- stage hooks and cache plumbing ---- *)
 
