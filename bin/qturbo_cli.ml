@@ -510,6 +510,217 @@ let check_info =
        compiling.  Exits non-zero when error-severity diagnostics are \
        found."
 
+(* ---- lint: kernel IR verifier + plan-invariant linter ---- *)
+
+(* Seeded-defect fixtures for the kernel verifier: hand-assembled IR
+   views that trigger exactly one diagnostic each (the codes are the
+   public contract the CI smoke asserts).  [Expr.kernel_of_view]
+   deliberately skips validation, so these are constructible. *)
+let lint_kernel_fixture variant =
+  let open Expr in
+  match variant with
+  | "kernel-underflow" ->
+      (* pops two values from an empty stack *)
+      Some
+        ( "QT017",
+          kernel_of_view [| K_binop B_add |] ~consts:[||] ~depth:1 ~max_var:(-1)
+        )
+  | "kernel-arity" ->
+      (* terminates with two values on the stack *)
+      Some
+        ("QT018", kernel_of_view [| K_var 0; K_var 0 |] ~consts:[||] ~depth:2 ~max_var:0)
+  | "kernel-env" ->
+      (* reads a variable no environment of this device has *)
+      Some
+        ("QT019", kernel_of_view [| K_var 9999 |] ~consts:[||] ~depth:1 ~max_var:9999)
+  | "kernel-depth" ->
+      (* needs two stack slots but declares one *)
+      Some
+        ( "QT020",
+          kernel_of_view
+            [| K_var 0; K_var 0; K_binop B_add |]
+            ~consts:[||] ~depth:1 ~max_var:0 )
+  | "kernel-opcode" ->
+      (* an unassigned opcode word *)
+      Some
+        ( "QT022",
+          kernel_of_view
+            [| K_unknown { op = 30; arg = 7 }; K_var 0 |]
+            ~consts:[||] ~depth:1 ~max_var:0 )
+  | _ -> None
+
+(* Seeded-defect copies of a (valid) plan: each corrupts one cross-stage
+   invariant.  Plans are immutable records, so the corruption is a copy —
+   the original stays sound. *)
+let lint_corrupt_plan variant (plan : Qturbo_core.Compile_plan.t) =
+  let module CP = Qturbo_core.Compile_plan in
+  let d = plan.CP.device in
+  let drop_last l = List.filteri (fun i _ -> i < List.length l - 1) l in
+  match variant with
+  | "plan-support" ->
+      (* the index no longer leads with the (shortened) support's terms *)
+      Some
+        ( "QT023",
+          { plan with CP.support = (match plan.CP.support with [] -> [] | _ :: tl -> tl) } )
+  | "plan-channels" ->
+      (* skeleton cells now reference a channel the device lost *)
+      Some
+        ( "QT024",
+          {
+            plan with
+            CP.device =
+              {
+                d with
+                CP.channels = Array.sub d.CP.channels 0 (Array.length d.CP.channels - 1);
+              };
+          } )
+  | "plan-dup-channel" ->
+      (* one channel listed twice inside a locality component *)
+      let comps =
+        match d.CP.comps with
+        | (c : Qturbo_core.Locality.component) :: rest ->
+            {
+              c with
+              Qturbo_core.Locality.channel_ids =
+                (match c.Qturbo_core.Locality.channel_ids with
+                | cid :: _ as ids -> cid :: ids
+                | [] -> []);
+            }
+            :: rest
+        | [] -> []
+      in
+      Some ("QT025", { plan with CP.device = { d with CP.comps = comps } })
+  | "plan-class-count" ->
+      (* one classification fewer than components *)
+      Some
+        ( "QT026",
+          {
+            plan with
+            CP.device =
+              { d with CP.classifications = drop_last d.CP.classifications };
+          } )
+  | "plan-key" ->
+      (* stored key no longer matches the plan's own structure *)
+      Some ("QT027", { plan with CP.key = plan.CP.key ^ "#stale" })
+  | "plan-prepared" ->
+      (* one prepared solver context fewer than components *)
+      Some
+        ( "QT028",
+          { plan with CP.device = { d with CP.prepared = drop_last d.CP.prepared } }
+        )
+  | _ -> None
+
+let lint_cmd model_name hamiltonian n backend device_name j h inject json
+    verbose =
+ user_errors @@ fun () ->
+  setup_logging verbose;
+  let module D = Qturbo_analysis.Diagnostic in
+  let module KC = Qturbo_analysis.Kernel_check in
+  let module CP = Qturbo_core.Compile_plan in
+  (* every kernel compiled from here on is verified at birth *)
+  KC.install_compile_hook ();
+  let model = resolve_model ~hamiltonian ~model_name ~n ~j ~h in
+  let n = model.Qturbo_models.Model.n in
+  let aais =
+    match backend with
+    | "heisenberg" ->
+        (Heisenberg.build ~spec:Device.heisenberg_default ~n).Heisenberg.aais
+    | "rydberg" ->
+        let spec =
+          resolve_rydberg_spec ~device_name ~n
+            ~model_name:model.Qturbo_models.Model.name
+        in
+        (Rydberg.build ~spec ~n).Rydberg.aais
+    | other -> failwith ("unknown backend " ^ other ^ " (rydberg | heisenberg)")
+  in
+  let target =
+    Qturbo_pauli.Pauli_sum.drop_identity
+      (Qturbo_models.Model.hamiltonian_at model ~s:0.0)
+  in
+  let support = CP.support_of_target target in
+  let plan = CP.build ~aais ~target_shape:support () in
+  let channels = Aais.channels aais in
+  let subject0 =
+    if Array.length channels > 0 then
+      D.Channel
+        {
+          cid = channels.(0).Instruction.cid;
+          label = channels.(0).Instruction.label;
+        }
+    else D.System
+  in
+  let kernel_diags = KC.check_aais aais in
+  let injected =
+    match inject with
+    | None -> []
+    | Some variant -> (
+        let n_env = Array.length (Aais.variables aais) in
+        match lint_kernel_fixture variant with
+        | Some (_code, k) -> KC.check ~subject:subject0 ~n_env k
+        | None -> (
+            match variant with
+            | "kernel-range" ->
+                (* a kernel provably computing a different function than
+                   the expression it claims to implement *)
+                KC.check ~subject:subject0 ~source:(Expr.Const 2.0) ~n_env
+                  (Expr.compile_unfused (Expr.Const 3.0))
+            | _ -> (
+                match lint_corrupt_plan variant plan with
+                | Some (_code, bad) -> CP.lint bad
+                | None -> failwith ("unknown injection: " ^ variant))))
+  in
+  let plan_diags = CP.lint plan in
+  let diags = kernel_diags @ plan_diags @ injected in
+  let n_rows =
+    Qturbo_core.Term_index.count
+      (Qturbo_core.Linear_system.skeleton_index plan.CP.skeleton)
+  in
+  if json then
+    Printf.printf "{\"model\":%s,\"backend\":%s,\"channels\":%d,\"rows\":%d,%s}\n"
+      (Qturbo_util.Json.quote model.Qturbo_models.Model.name)
+      (Qturbo_util.Json.quote backend)
+      (Array.length channels) n_rows
+      (let report = D.list_to_json diags in
+       (* embed the report object's fields *)
+       String.sub report 1 (String.length report - 2))
+  else begin
+    List.iter (fun d -> print_endline (D.to_string d)) diags;
+    Printf.printf
+      "linted %d kernel(s) and 1 plan (%d rows): %d error(s), %d warning(s)\n"
+      (Array.length channels) n_rows
+      (List.length (D.errors diags))
+      (List.length (D.warnings diags))
+  end;
+  if D.has_errors diags then 1 else 0
+
+let lint_inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"DEFECT"
+        ~doc:
+          "Seed a known defect before linting (test aid).  Kernel defects: \
+           $(b,kernel-underflow) (QT017), $(b,kernel-arity) (QT018), \
+           $(b,kernel-env) (QT019), $(b,kernel-depth) (QT020), \
+           $(b,kernel-range) (QT021), $(b,kernel-opcode) (QT022).  Plan \
+           defects: $(b,plan-support) (QT023), $(b,plan-channels) (QT024), \
+           $(b,plan-dup-channel) (QT025), $(b,plan-class-count) (QT026), \
+           $(b,plan-key) (QT027), $(b,plan-prepared) (QT028).")
+
+let lint_term =
+  Term.(
+    const lint_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg
+    $ device_arg $ j_arg $ h_arg $ lint_inject_arg $ json_flag $ verbose_flag)
+
+let lint_info =
+  Cmd.info "lint"
+    ~doc:
+      "Statically verify the compiled artifacts for a model/device pair \
+       without solving: every channel's postfix kernel (stack safety, \
+       environment references, range soundness — QT017-QT022) and the \
+       compile plan's cross-stage invariants (QT023-QT028).  Exits non-zero \
+       when error-severity diagnostics are found."
+
 (* ---- sweep: many (coefficients, t_tar) jobs through one shared plan ---- *)
 
 let parse_range ~what text =
@@ -949,6 +1160,7 @@ let main () =
       [
         Cmd.v compile_info compile_term;
         Cmd.v check_info check_term;
+        Cmd.v lint_info lint_term;
         Cmd.v sweep_info sweep_term;
         Cmd.v run_info run_term;
         Cmd.v (Cmd.info "models" ~doc:"List benchmark models.") Term.(const models_cmd $ const ());

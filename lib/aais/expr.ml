@@ -232,6 +232,35 @@ let isin (a, b) =
     in
     (lo, hi)
 
+(* The primitives above, packaged for reuse by the kernel verifier
+   ([Qturbo_analysis.Kernel_check]): its abstract interpreter must run
+   the {e same} interval arithmetic as [eval_interval], otherwise the
+   enclosure comparison would report rounding discrepancies as range
+   violations. *)
+module Interval = struct
+  type it = float * float
+
+  let whole = whole
+  let of_const x = (x, x)
+
+  let of_bound ((lo, hi) as i) =
+    if Float.is_nan lo || Float.is_nan hi || lo > hi then whole else i
+
+  let neg (lo, hi) = (-.hi, -.lo)
+
+  let add (alo, ahi) (blo, bhi) =
+    norm (Stdlib.( +. ) alo blo, Stdlib.( +. ) ahi bhi)
+
+  let sub (alo, ahi) (blo, bhi) =
+    norm (Stdlib.( -. ) alo bhi, Stdlib.( -. ) ahi blo)
+
+  let mul = imul
+  let div = idiv
+  let pow = ipow
+  let sin_ = isin
+  let cos_ = icos
+end
+
 let rec eval_interval e ~bounds =
   match e with
   | Const x -> (x, x)
@@ -357,7 +386,7 @@ let fuse ops args n =
   done;
   Array.init !m (fun i -> (farg.(i) lsl 5) lor (fop.(i) land 31))
 
-let compile e =
+let compile_raw ~fused e =
   let open Stdlib in
   let ops = ref [] and args = ref [] and count = ref 0 in
   let consts = ref [] and n_consts = ref 0 in
@@ -409,14 +438,120 @@ let compile e =
   let c_arr = Array.make (Int.max 1 !n_consts) 0.0 in
   List.iteri (fun i c -> c_arr.(!n_consts - 1 - i) <- c) !consts;
   {
-    k_prog = fuse op_arr arg_arr n;
+    k_prog =
+      (if fused then fuse op_arr arg_arr n
+       else Array.init n (fun i -> (arg_arr.(i) lsl 5) lor (op_arr.(i) land 31)));
     k_consts = c_arr;
     k_depth = Int.max 1 !depth;
     k_max_var = !max_var;
   }
 
+(* Test-mode verification point: [Qturbo_analysis.Kernel_check] installs
+   a verifier here so every kernel the pipeline compiles is checked at
+   birth.  Default is a no-op — production builds pay nothing. *)
+let compile_hook : (t -> kernel -> unit) ref = ref (fun _ _ -> ())
+
+let compile e =
+  let k = compile_raw ~fused:true e in
+  !compile_hook e k;
+  k
+
+let compile_unfused e =
+  let k = compile_raw ~fused:false e in
+  !compile_hook e k;
+  k
+
 let kernel_length k = Array.length k.k_prog
 let kernel_max_var k = k.k_max_var
+
+(* ---- typed IR view --------------------------------------------------- *)
+
+type binop = B_add | B_sub | B_mul | B_div
+
+type vm_instr =
+  | K_const of int
+  | K_var of int
+  | K_neg
+  | K_binop of binop
+  | K_pow of int
+  | K_sin
+  | K_cos
+  | K_vv of binop * int * int
+  | K_var_op of binop * int
+  | K_const_op of binop * int
+  | K_sq
+  | K_cube
+  | K_dsq of int * int
+  | K_crdiv of int
+  | K_var_sin of int
+  | K_var_cos of int
+  | K_unknown of { op : int; arg : int }
+
+let binop_of_offset = function
+  | 0 -> B_add
+  | 1 -> B_sub
+  | 2 -> B_mul
+  | _ -> B_div
+
+let offset_of_binop = function B_add -> 0 | B_sub -> 1 | B_mul -> 2 | B_div -> 3
+
+let decode_instr instr =
+  let open Stdlib in
+  let arg = instr asr 5 and op = instr land 31 in
+  if op = op_const then K_const arg
+  else if op = op_var then K_var arg
+  else if op = op_neg then K_neg
+  else if op >= op_add && op <= op_div then K_binop (binop_of_offset (op - op_add))
+  else if op = op_pow then K_pow arg
+  else if op = op_sin then K_sin
+  else if op = op_cos then K_cos
+  else if op >= op_vv_add && op < op_var_add then
+    K_vv (binop_of_offset (op - op_vv_add), arg lsr 24, arg land 0xffffff)
+  else if op >= op_var_add && op < op_const_add then
+    K_var_op (binop_of_offset (op - op_var_add), arg)
+  else if op >= op_const_add && op < op_sq then
+    K_const_op (binop_of_offset (op - op_const_add), arg)
+  else if op = op_sq then K_sq
+  else if op = op_cube then K_cube
+  else if op = op_dsq then K_dsq (arg lsr 24, arg land 0xffffff)
+  else if op = op_crdiv then K_crdiv arg
+  else if op = op_var_sin then K_var_sin arg
+  else if op = op_var_cos then K_var_cos arg
+  else K_unknown { op; arg }
+
+let encode_instr i =
+  let open Stdlib in
+  let pack op arg = (arg lsl 5) lor (op land 31) in
+  match i with
+  | K_const ci -> pack op_const ci
+  | K_var v -> pack op_var v
+  | K_neg -> pack op_neg 0
+  | K_binop b -> pack (op_add + offset_of_binop b) 0
+  | K_pow n -> pack op_pow n
+  | K_sin -> pack op_sin 0
+  | K_cos -> pack op_cos 0
+  | K_vv (b, x, y) -> pack (op_vv_add + offset_of_binop b) ((x lsl 24) lor y)
+  | K_var_op (b, v) -> pack (op_var_add + offset_of_binop b) v
+  | K_const_op (b, ci) -> pack (op_const_add + offset_of_binop b) ci
+  | K_sq -> pack op_sq 0
+  | K_cube -> pack op_cube 0
+  | K_dsq (x, y) -> pack op_dsq ((x lsl 24) lor y)
+  | K_crdiv ci -> pack op_crdiv ci
+  | K_var_sin v -> pack op_var_sin v
+  | K_var_cos v -> pack op_var_cos v
+  | K_unknown { op; arg } -> pack op arg
+
+let kernel_view k = Array.map decode_instr k.k_prog
+let kernel_consts k = Array.copy k.k_consts
+let kernel_depth k = k.k_depth
+
+let kernel_of_view prog ~consts ~depth ~max_var =
+  {
+    k_prog = Array.map encode_instr prog;
+    k_consts = Array.copy consts;
+    k_depth = depth;
+    k_max_var = max_var;
+  }
 
 (* per-domain evaluation stack: kernels are shared across pool domains,
    so the scratch must be domain-local *)

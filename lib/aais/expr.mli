@@ -69,6 +69,33 @@ val is_linear_in : t -> int -> float option
     constant [k] (detected structurally after simplification), i.e. the
     channel is a pure linear drive of a time-critical variable. *)
 
+(** The interval-arithmetic primitives behind {!eval_interval}, exposed
+    so the kernel verifier ([Qturbo_analysis.Kernel_check]) can run its
+    abstract interpreter with {e exactly} the arithmetic of the source
+    evaluator — any reimplementation would turn rounding differences
+    into spurious range-soundness findings.  All operations are
+    conservative enclosures; indeterminate endpoint combinations widen
+    to the whole line. *)
+module Interval : sig
+  type it = float * float
+
+  val whole : it
+  val of_const : float -> it
+
+  val of_bound : it -> it
+  (** Sanitize a variable bound the way {!eval_interval} does: NaN
+      endpoints or an inverted interval widen to the whole line. *)
+
+  val neg : it -> it
+  val add : it -> it -> it
+  val sub : it -> it -> it
+  val mul : it -> it -> it
+  val div : it -> it -> it
+  val pow : it -> int -> it
+  val sin_ : it -> it
+  val cos_ : it -> it
+end
+
 (** {1 Compiled kernels}
 
     The recursive {!eval} walks the ADT on every call — fine for a
@@ -99,5 +126,63 @@ val kernel_length : kernel -> int
 val kernel_max_var : kernel -> int
 (** Largest variable id the kernel reads, [-1] for a closed
     expression. *)
+
+val compile_unfused : t -> kernel
+(** {!compile} with the peephole fusion pass disabled: one postfix step
+    per ADT node, base opcodes only.  Evaluates bitwise-identically to
+    the fused kernel (fusion only collapses dispatch) — the reference
+    point for the peephole-equivalence property tests. *)
+
+val compile_hook : (t -> kernel -> unit) ref
+(** Called by {!compile} / {!compile_unfused} on every kernel, with the
+    source expression it was compiled from.  Default is a no-op.
+    [Qturbo_analysis.Kernel_check.install_compile_hook] points this at
+    the kernel verifier so test-mode runs check every kernel at birth;
+    the hook may raise to reject a bad kernel. *)
+
+(** {1 Typed IR view}
+
+    The packed [int array] program, decoded instruction by instruction
+    for static analysis.  {!kernel_view} is total: words whose opcode is
+    outside the defined range decode to {!vm_instr.K_unknown} instead of
+    raising, so a verifier can report malformed programs as findings.
+    {!kernel_of_view} re-encodes a view — [kernel_of_view (kernel_view k)
+    ~consts:(kernel_consts k) ~depth:(kernel_depth k)
+    ~max_var:(kernel_max_var k)] rebuilds [k] exactly, and deliberately
+    performs no validation so tests can craft corrupted kernels. *)
+
+type binop = B_add | B_sub | B_mul | B_div
+
+type vm_instr =
+  | K_const of int  (** push [consts.(i)] *)
+  | K_var of int  (** push [env.(v)] *)
+  | K_neg
+  | K_binop of binop  (** pop b, pop a, push [a op b] *)
+  | K_pow of int
+  | K_sin
+  | K_cos
+  | K_vv of binop * int * int  (** fused: push [env.(a) op env.(b)] *)
+  | K_var_op of binop * int  (** fused: top ← [top op env.(v)] *)
+  | K_const_op of binop * int  (** fused: top ← [top op consts.(i)] *)
+  | K_sq  (** fused: top ← top² *)
+  | K_cube
+  | K_dsq of int * int  (** fused: push [(env.(a) − env.(b))²] *)
+  | K_crdiv of int  (** fused: top ← [consts.(i) / top] *)
+  | K_var_sin of int
+  | K_var_cos of int
+  | K_unknown of { op : int; arg : int }  (** undecodable word *)
+
+val kernel_view : kernel -> vm_instr array
+
+val kernel_consts : kernel -> float array
+(** A copy of the constant table. *)
+
+val kernel_depth : kernel -> int
+(** The declared stack-slot requirement ([eval_kernel] sizes its scratch
+    from this, so a kernel that actually needs more writes out of
+    bounds — exactly what the verifier checks). *)
+
+val kernel_of_view :
+  vm_instr array -> consts:float array -> depth:int -> max_var:int -> kernel
 
 val pp : Format.formatter -> t -> unit

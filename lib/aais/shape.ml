@@ -1,6 +1,25 @@
 open Qturbo_pauli
 
-let add_float buf f = Buffer.add_string buf (Printf.sprintf "%h" f)
+(* Exact float rendering: the raw IEEE bits in hex.  Injective on bit
+   patterns (so distinct NaN payloads and -0.0/0.0 stay distinct, which
+   [%h] would conflate) and an order of magnitude cheaper than a
+   [Printf.sprintf] round-trip — this runs for every constant of every
+   channel on each plan-key derivation. *)
+let hex_digits = "0123456789abcdef"
+
+let add_float buf f =
+  let bits = Int64.bits_of_float f in
+  if Int64.equal bits 0L then Buffer.add_char buf '0'
+  else begin
+    let started = ref false in
+    for i = 15 downto 0 do
+      let nib =
+        Int64.to_int (Int64.logand (Int64.shift_right_logical bits (i * 4)) 0xFL)
+      in
+      if nib <> 0 then started := true;
+      if !started then Buffer.add_char buf hex_digits.[nib]
+    done
+  end
 
 (* Exact structural rendering of an amplitude expression.  Constants are
    printed as hex floats so two expressions that differ only in a
@@ -23,7 +42,9 @@ let rec add_expr buf (e : Expr.t) =
   | Expr.Mul (a, b) -> add_binop buf "*" a b
   | Expr.Div (a, b) -> add_binop buf "/" a b
   | Expr.Pow_int (a, k) ->
-      Buffer.add_string buf (Printf.sprintf "p%d(" k);
+      Buffer.add_char buf 'p';
+      Buffer.add_string buf (string_of_int k);
+      Buffer.add_char buf '(';
       add_expr buf a;
       Buffer.add_char buf ')'
   | Expr.Sin a ->
@@ -45,13 +66,23 @@ and add_binop buf op a b =
 let add_hint buf (h : Instruction.solver_hint) =
   match h with
   | Instruction.Hint_linear { var; slope } ->
-      Buffer.add_string buf (Printf.sprintf "L%d:" var);
+      Buffer.add_char buf 'L';
+      Buffer.add_string buf (string_of_int var);
+      Buffer.add_char buf ':';
       add_float buf slope
   | Instruction.Hint_polar_cos { amp; phase; scale } ->
-      Buffer.add_string buf (Printf.sprintf "C%d,%d:" amp phase);
+      Buffer.add_char buf 'C';
+      Buffer.add_string buf (string_of_int amp);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int phase);
+      Buffer.add_char buf ':';
       add_float buf scale
   | Instruction.Hint_polar_sin { amp; phase; scale } ->
-      Buffer.add_string buf (Printf.sprintf "S%d,%d:" amp phase);
+      Buffer.add_char buf 'S';
+      Buffer.add_string buf (string_of_int amp);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int phase);
+      Buffer.add_char buf ':';
       add_float buf scale
   | Instruction.Hint_fixed -> Buffer.add_char buf 'F'
   | Instruction.Hint_generic -> Buffer.add_char buf 'G'
@@ -66,11 +97,14 @@ let quantize x = Float.round (x *. 1e6) /. 1e6
 
 let add_variable buf ~site ~offset (v : Variable.t) =
   let canon x = if site then quantize (x -. offset) else x in
-  Buffer.add_string buf
-    (Printf.sprintf "|%d %c " v.Variable.id
-       (match v.Variable.kind with
-       | Variable.Runtime_fixed -> 'f'
-       | Variable.Runtime_dynamic -> 'd'));
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (string_of_int v.Variable.id);
+  Buffer.add_char buf ' ';
+  Buffer.add_char buf
+    (match v.Variable.kind with
+    | Variable.Runtime_fixed -> 'f'
+    | Variable.Runtime_dynamic -> 'd');
+  Buffer.add_char buf ' ';
   add_float buf (canon v.Variable.bound.Qturbo_optim.Bounds.lo);
   Buffer.add_char buf ' ';
   add_float buf (canon v.Variable.bound.Qturbo_optim.Bounds.hi);
@@ -105,14 +139,28 @@ let coordinate_offsets (aais : Aais.t) =
   offsets
 
 let add_channel buf (c : Instruction.channel) =
-  Buffer.add_string buf (Printf.sprintf "|%d " c.Instruction.cid);
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (string_of_int c.Instruction.cid);
+  Buffer.add_char buf ' ';
   add_expr buf c.Instruction.expr;
   Buffer.add_char buf ' ';
   add_hint buf c.Instruction.hint;
   List.iter
     (fun { Instruction.pstring; coeff } ->
       Buffer.add_char buf ';';
-      Buffer.add_string buf (Pauli_string.to_string pstring);
+      (* sparse site:op rendering — effect terms are low-weight, so this
+         is far shorter (and cheaper) than the dense spelling, and the
+         ascending (site, op) list is just as injective *)
+      List.iter
+        (fun (site, op) ->
+          Buffer.add_string buf (string_of_int site);
+          Buffer.add_char buf
+            (match op with
+            | Pauli.I -> 'I'
+            | Pauli.X -> 'X'
+            | Pauli.Y -> 'Y'
+            | Pauli.Z -> 'Z'))
+        (Pauli_string.to_list pstring);
       Buffer.add_char buf ':';
       add_float buf coeff)
     c.Instruction.effects

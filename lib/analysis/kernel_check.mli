@@ -1,0 +1,71 @@
+(** Kernel IR verifier (static analyzer stage two, pass A).
+
+    {!Qturbo_aais.Expr.compile} flattens every channel expression into a
+    packed postfix program whose evaluator runs with unchecked stack
+    accesses on the hot residual path.  This module is an abstract
+    interpreter over the typed IR view ({!Qturbo_aais.Expr.kernel_view})
+    that proves, per kernel:
+
+    {ul
+    {- [QT017] (error): {e stack underflow} — an instruction pops more
+       values than the program has pushed at that point;}
+    {- [QT018] (error): {e wrong result arity} — the program terminates
+       with a stack depth other than 1 (or is empty), so [eval_kernel]
+       would return a stale or uninitialized slot;}
+    {- [QT019] (error): {e environment violation} — a variable read
+       outside the declared environment ([id ≥ n_env]) or beyond the
+       kernel's own declared [kernel_max_var] (a lying closedness
+       witness);}
+    {- [QT020] (error): {e under-declared stack depth} — the program's
+       true high-water mark exceeds [kernel_depth], so the evaluator's
+       scratch array can be written out of bounds;}
+    {- [QT021] (error): {e range unsoundness} — interval-interpreting
+       the kernel over the variable bounds yields an interval that fails
+       to enclose [Expr.eval_interval] of the source ADT, i.e. the
+       compiled program provably computes a different function;}
+    {- [QT022] (error): {e malformed instruction} — an undecodable
+       opcode word, or a constant-table index outside the kernel's
+       constant pool.}}
+
+    Every check is solver-free and runs in one pass over the program
+    (plus one interval evaluation of the source for [QT021]), so
+    verifying a whole device costs microseconds — cheap enough for the
+    compile-time hook and the [qturbo lint] command to run it on every
+    kernel. *)
+
+open Qturbo_aais
+
+val check :
+  ?subject:Diagnostic.subject ->
+  ?source:Expr.t ->
+  ?bounds:(float * float) array ->
+  n_env:int ->
+  Expr.kernel ->
+  Diagnostic.t list
+(** Verify one kernel against an environment of [n_env] variable slots.
+    [?source] enables the [QT021] range-soundness comparison ([bounds]
+    defaults to the whole line per variable); [?subject] locates the
+    findings (defaults to {!Diagnostic.System}).  Returns [[]] for a
+    provably safe kernel. *)
+
+val check_channel :
+  n_vars:int -> bounds:(float * float) array -> Instruction.channel ->
+  Diagnostic.t list
+(** {!check} on a channel's cached kernel, with the channel as subject
+    and its source expression enabling the range comparison. *)
+
+val check_aais : Aais.t -> Diagnostic.t list
+(** Verify every channel kernel of a device, with bounds taken from the
+    device's variable declarations.  The kernel-level half of
+    [qturbo lint]. *)
+
+val verify_compiled : Expr.t -> Expr.kernel -> unit
+(** Compile-time verification hook body: checks a freshly compiled
+    kernel against its source (environment sized by the source's
+    variable set, unbounded intervals) and raises
+    {!Diagnostic.Rejected} on any finding. *)
+
+val install_compile_hook : unit -> unit
+(** Point {!Qturbo_aais.Expr.compile_hook} at {!verify_compiled}, so
+    every kernel compiled from then on is verified at birth (test mode,
+    [qturbo lint], and [QTURBO_VERIFY_KERNELS=1] runs). *)

@@ -1,0 +1,327 @@
+module Ps = Qturbo_pauli.Pauli_string
+
+type classification_view = {
+  name : string;
+  class_vars : int list;
+  class_channels : int list;
+}
+
+type view = {
+  key : string;
+  rederived_key : string;
+  support : Ps.t list;
+  key_support : Ps.t list option;
+  rows : Ps.t array;
+  cells : (int * float) list array;
+  n_channels : int;
+  n_vars : int;
+  channel_terms : Ps.t list;
+  comps : Structure.comp list;
+  classifications : classification_view list;
+  prepared_names : string list;
+}
+
+let error ~subject ~code ?hint msg =
+  Diagnostic.make ~code ~severity:Diagnostic.Error ~subject ?hint msg
+
+let term_subject t = Diagnostic.Term t
+let comp_subject (c : Structure.comp) =
+  Diagnostic.Component
+    {
+      id = c.id;
+      channels = List.length c.channel_ids;
+      variables = List.length c.var_ids;
+    }
+
+module Ps_set = Set.Make (Ps)
+module Ps_tbl = Hashtbl.Make (Ps)
+
+(* ---- QT023: term index exactly covers the canonical support -------- *)
+
+let check_term_index v =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let n_support = List.length v.support in
+  let n_rows = Array.length v.rows in
+  (* support terms must lead the index, in canonical order *)
+  List.iteri
+    (fun i t ->
+      if i >= n_rows then
+        add
+          (error ~subject:(term_subject t) ~code:"QT023"
+             ~hint:"the term index is shorter than the support"
+             (Printf.sprintf "support term %s has no row" (Ps.to_string t)))
+      else if not (Ps.equal v.rows.(i) t) then
+        add
+          (error ~subject:(term_subject t) ~code:"QT023"
+             ~hint:"rows must lead with the support in canonical order"
+             (Printf.sprintf "row %d is %s, expected support term %s" i
+                (Ps.to_string v.rows.(i))
+                (Ps.to_string t))))
+    v.support;
+  (* no duplicate rows.  Size the tables for their full load up front:
+     on dense devices both hold O(n²) entries, and growing from a small
+     seed rehashes every resident several times over. *)
+  let seen = Ps_tbl.create (2 * n_rows) in
+  Array.iteri
+    (fun i t ->
+      match Ps_tbl.find_opt seen t with
+      | Some j ->
+          add
+            (error ~subject:(term_subject t) ~code:"QT023"
+               ~hint:"each Pauli term owns exactly one system row"
+               (Printf.sprintf "rows %d and %d both index term %s" j i
+                  (Ps.to_string t)))
+      | None -> Ps_tbl.add seen t i)
+    v.rows;
+  (* trailing rows must be channel-producible, and every channel term rowed *)
+  let support_set = Ps_set.of_list v.support in
+  let channel_set = Ps_tbl.create (2 * List.length v.channel_terms) in
+  List.iter
+    (fun t -> if not (Ps_tbl.mem channel_set t) then Ps_tbl.add channel_set t ())
+    v.channel_terms;
+  Array.iteri
+    (fun i t ->
+      if i >= n_support && not (Ps_tbl.mem channel_set t) then
+        add
+          (error ~subject:(term_subject t) ~code:"QT023"
+             ~hint:"rows beyond the support must be channel-producible terms"
+             (Printf.sprintf "row %d indexes term %s, which no channel produces"
+                i (Ps.to_string t))))
+    v.rows;
+  Ps_tbl.iter
+    (fun t () ->
+      if (not (Ps_tbl.mem seen t)) && not (Ps_set.mem t support_set) then
+        add
+          (error ~subject:(term_subject t) ~code:"QT023"
+             ~hint:
+               "channel-producible terms need a (zero-target) row to be \
+                driven to zero"
+             (Printf.sprintf "channel term %s has no row" (Ps.to_string t))))
+    channel_set;
+  List.rev !diags
+
+(* ---- QT024: skeleton dimensions -------------------------------------- *)
+
+let check_skeleton v =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let n_rows = Array.length v.rows in
+  if Array.length v.cells <> n_rows then
+    add
+      (error ~subject:Diagnostic.System ~code:"QT024"
+         ~hint:"the skeleton must carry one cell list per indexed term"
+         (Printf.sprintf "skeleton has %d cell rows for %d index rows"
+            (Array.length v.cells) n_rows));
+  Array.iteri
+    (fun i cells ->
+      List.iter
+        (fun (cid, _) ->
+          if cid < 0 || cid >= v.n_channels then
+            add
+              (error ~subject:Diagnostic.System ~code:"QT024"
+                 ~hint:
+                   (Printf.sprintf "the device has %d channels" v.n_channels)
+                 (Printf.sprintf
+                    "skeleton row %d references channel %d outside [0, %d)" i
+                    cid v.n_channels)))
+        cells)
+    v.cells;
+  List.rev !diags
+
+(* ---- QT025: locality components partition the channel set ----------- *)
+
+let check_partition v =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* owner maps as plain arrays over the known id ranges: this pass
+     walks every channel id of every component (O(n²) entries on dense
+     devices), so hashing here dominated the whole linter *)
+  let chan_owner = Array.make (Int.max v.n_channels 1) (-1) in
+  let var_owner = Array.make (Int.max v.n_vars 1) (-1) in
+  let comp_ids = Hashtbl.create 8 in
+  List.iter
+    (fun (c : Structure.comp) ->
+      (if Hashtbl.mem comp_ids c.id then
+         add
+           (error ~subject:(comp_subject c) ~code:"QT025"
+              (Printf.sprintf "duplicate locality component id %d" c.id)));
+      Hashtbl.replace comp_ids c.id ();
+      List.iter
+        (fun cid ->
+          if cid < 0 || cid >= v.n_channels then
+            add
+              (error ~subject:(comp_subject c) ~code:"QT025"
+                 (Printf.sprintf
+                    "component %d lists channel %d outside [0, %d)" c.id cid
+                    v.n_channels))
+          else if chan_owner.(cid) >= 0 then
+            add
+              (error ~subject:(comp_subject c) ~code:"QT025"
+                 ~hint:"components must be disjoint"
+                 (Printf.sprintf "channel %d appears in components %d and %d"
+                    cid chan_owner.(cid) c.id))
+          else chan_owner.(cid) <- c.id)
+        c.channel_ids;
+      List.iter
+        (fun vid ->
+          if vid < 0 || vid >= v.n_vars then
+            add
+              (error ~subject:(comp_subject c) ~code:"QT025"
+                 (Printf.sprintf
+                    "component %d lists variable %d outside [0, %d)" c.id vid
+                    v.n_vars))
+          else if var_owner.(vid) >= 0 then
+            add
+              (error ~subject:(comp_subject c) ~code:"QT025"
+                 ~hint:"a variable belongs to at most one component"
+                 (Printf.sprintf "variable %d appears in components %d and %d"
+                    vid var_owner.(vid) c.id))
+          else var_owner.(vid) <- c.id)
+        c.var_ids)
+    v.comps;
+  for cid = 0 to v.n_channels - 1 do
+    if chan_owner.(cid) < 0 then
+      add
+        (error ~subject:Diagnostic.System ~code:"QT025"
+           ~hint:"every channel must land in exactly one locality component"
+           (Printf.sprintf "channel %d belongs to no locality component" cid))
+  done;
+  List.rev !diags
+
+(* ---- QT026: classifications consistent with component arity --------- *)
+
+let check_classifications v =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let n_comps = List.length v.comps in
+  let n_class = List.length v.classifications in
+  if n_class <> n_comps then
+    add
+      (error ~subject:Diagnostic.System ~code:"QT026"
+         ~hint:"classification is per locality component"
+         (Printf.sprintf "%d classifications for %d components" n_class n_comps));
+  let rec go comps classes =
+    match (comps, classes) with
+    | (c : Structure.comp) :: cr, (cl : classification_view) :: clr ->
+        let subset what ids universe =
+          List.iter
+            (fun id ->
+              if not (List.mem id universe) then
+                add
+                  (error ~subject:(comp_subject c) ~code:"QT026"
+                     ~hint:
+                       "a classification may only name its own component's \
+                        channels and variables"
+                     (Printf.sprintf
+                        "%s classification of component %d names %s %d, which \
+                         the component does not contain"
+                        cl.name c.id what id)))
+            ids
+        in
+        subset "variable" cl.class_vars c.var_ids;
+        subset "channel" cl.class_channels c.channel_ids;
+        (match cl.name with
+        | "const" ->
+            if c.var_ids <> [] then
+              add
+                (error ~subject:(comp_subject c) ~code:"QT026"
+                   ~hint:"const components carry no free variables"
+                   (Printf.sprintf
+                      "component %d is classified const but has %d variable%s"
+                      c.id
+                      (List.length c.var_ids)
+                      (if List.length c.var_ids = 1 then "" else "s")))
+        | "linear" ->
+            if List.length cl.class_vars <> 1 then
+              add
+                (error ~subject:(comp_subject c) ~code:"QT026"
+                   (Printf.sprintf
+                      "linear classification of component %d names %d driver \
+                       variables (expected 1)"
+                      c.id
+                      (List.length cl.class_vars)))
+        | "polar" ->
+            if List.length cl.class_vars <> 2 then
+              add
+                (error ~subject:(comp_subject c) ~code:"QT026"
+                   (Printf.sprintf
+                      "polar classification of component %d names %d variables \
+                       (expected amplitude and phase)"
+                      c.id
+                      (List.length cl.class_vars)))
+        | _ -> ());
+        go cr clr
+    | _, _ -> ()
+  in
+  go v.comps v.classifications;
+  List.rev !diags
+
+(* ---- QT027: structural key round-trip -------------------------------- *)
+
+let check_key v =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if not (String.equal v.key v.rederived_key) then
+    add
+      (error ~subject:Diagnostic.System ~code:"QT027"
+         ~hint:
+           "a stale key makes the cache serve this plan for the wrong \
+            structure"
+         "stored plan key differs from the key re-derived from the plan's own \
+          device and support");
+  (match v.key_support with
+  | None ->
+      add
+        (error ~subject:Diagnostic.System ~code:"QT027"
+           ~hint:"the support section of the key must parse back"
+           "support section of the stored plan key does not parse")
+  | Some terms ->
+      if
+        List.length terms <> List.length v.support
+        || not (List.for_all2 Ps.equal terms v.support)
+      then
+        add
+          (error ~subject:Diagnostic.System ~code:"QT027"
+             ~hint:"the key's support section must round-trip exactly"
+             "support parsed back from the stored plan key differs from the \
+              plan's support"));
+  List.rev !diags
+
+(* ---- QT028: prepared solver contexts agree --------------------------- *)
+
+let check_prepared v =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let n_comps = List.length v.comps in
+  if List.length v.prepared_names <> n_comps then
+    add
+      (error ~subject:Diagnostic.System ~code:"QT028"
+         ~hint:"each component owns exactly one prepared solver context"
+         (Printf.sprintf "%d prepared solver contexts for %d components"
+            (List.length v.prepared_names)
+            n_comps));
+  let rec go comps classes prepared =
+    match (comps, classes, prepared) with
+    | ( (c : Structure.comp) :: cr,
+        (cl : classification_view) :: clr,
+        pname :: pr ) ->
+        if not (String.equal cl.name pname) then
+          add
+            (error ~subject:(comp_subject c) ~code:"QT028"
+               ~hint:
+                 "the prepared context must be built from the plan's own \
+                  classification"
+               (Printf.sprintf
+                  "component %d is classified %s but its prepared solver \
+                   context reports %s"
+                  c.id cl.name pname));
+        go cr clr pr
+    | _, _, _ -> ()
+  in
+  go v.comps v.classifications v.prepared_names;
+  List.rev !diags
+
+let check v =
+  check_term_index v @ check_skeleton v @ check_partition v
+  @ check_classifications v @ check_key v @ check_prepared v

@@ -141,9 +141,13 @@ let support_of_target = Shape.support_of_target
 let device_key ~(options : options) ~aais =
   Printf.sprintf "g=%b|%s" options.generic_local_solver (Shape.of_aais aais)
 
+(* Single point of truth for the plan-key format; [Plan_lint]'s
+   round-trip check re-derives keys through here. *)
+let plan_key_raw ~generic ~aais ~support =
+  Printf.sprintf "g=%b|%s" generic (Shape.key ~aais ~support)
+
 let plan_key_of_support ~(options : options) ~aais ~support =
-  Printf.sprintf "g=%b|%s" options.generic_local_solver
-    (Shape.key ~aais ~support)
+  plan_key_raw ~generic:options.generic_local_solver ~aais ~support
 
 let plan_key ~options ~aais ~target =
   plan_key_of_support ~options ~aais ~support:(support_of_target target)
@@ -195,6 +199,109 @@ let structure_comps comps =
     comps
 
 (* ------------------------------------------------------------------ *)
+(* Plan linting                                                        *)
+
+(* [Plan_lint] (like [Structure]) takes a generic view so the analysis
+   library stays independent of this one; convert our types and call
+   in. *)
+
+let classification_view (cl : Local_solver.classification) =
+  let open Qturbo_analysis.Plan_lint in
+  match cl with
+  | Local_solver.Const_channels ->
+      { name = "const"; class_vars = []; class_channels = [] }
+  | Local_solver.Linear { var; slopes } ->
+      { name = "linear"; class_vars = [ var ]; class_channels = List.map fst slopes }
+  | Local_solver.Polar { amp; phase; cos_channels; sin_channels } ->
+      {
+        name = "polar";
+        class_vars = [ amp; phase ];
+        class_channels = List.map fst cos_channels @ List.map fst sin_channels;
+      }
+  | Local_solver.Fixed_vars ->
+      { name = "fixed"; class_vars = []; class_channels = [] }
+  | Local_solver.Generic ->
+      { name = "generic"; class_vars = []; class_channels = [] }
+
+let prepared_name = function
+  | Dynamic p -> classification_name (Local_solver.classification_of p)
+  | Fixed _ -> "fixed"
+
+(* last occurrence of "@@" in a key: [Shape.key] joins the device and
+   support sections with it, and only the final separator is ours to
+   trust (labels inside the device section are free-form text) *)
+let last_separator key =
+  let rec go found i =
+    if i + 1 >= String.length key then found
+    else if key.[i] = '@' && key.[i + 1] = '@' then go (Some i) (i + 1)
+    else go found (i + 1)
+  in
+  go None 0
+
+let key_support_of key =
+  match last_separator key with
+  | None -> None
+  | Some i -> (
+      let body = String.sub key (i + 2) (String.length key - i - 2) in
+      match
+        String.split_on_char ',' body
+        |> List.filter (fun s -> not (String.equal s ""))
+        |> List.map Pauli_string.of_string
+      with
+      | terms -> Some terms
+      | exception _ -> None)
+
+let lint (plan : t) =
+  let d = plan.device in
+  let index = Linear_system.skeleton_index plan.skeleton in
+  let channel_terms =
+    (* hash-based dedup: devices carry O(n²) channels whose effect terms
+       overlap heavily, and the comparison-sort over the raw concat
+       dominates lint time on large devices *)
+    let module Tbl = Hashtbl.Make (Pauli_string) in
+    let seen = Tbl.create (4 * Array.length d.channels) in
+    Array.iter
+      (fun ch ->
+        List.iter
+          (fun (t, _) -> if not (Tbl.mem seen t) then Tbl.add seen t ())
+          (Instruction.effect_terms ch))
+      d.channels;
+    Tbl.fold (fun t () acc -> t :: acc) seen []
+  in
+  Qturbo_analysis.Plan_lint.check
+    {
+      Qturbo_analysis.Plan_lint.key = plan.key;
+      (* the device section is [d.device_key], rendered from the same
+         aais when the device part was built (both the stored key and
+         this one descend from it, so corruption of either side still
+         mismatches); only the cheap support section is re-rendered *)
+      rederived_key = d.device_key ^ "@@" ^ Shape.of_support plan.support;
+      support = plan.support;
+      key_support = key_support_of plan.key;
+      rows = Term_index.strings index;
+      cells = Linear_system.skeleton_cells plan.skeleton;
+      n_channels = Array.length d.channels;
+      n_vars = Array.length d.vars;
+      channel_terms;
+      comps = structure_comps d.comps;
+      classifications = List.map classification_view d.classifications;
+      prepared_names = List.map prepared_name d.prepared;
+    }
+
+(* Strict-mode gate: fresh builds are linted before anyone can use (or
+   cache) them.  [lint_plans := false] is the escape hatch for overhead
+   measurement ([bench analysis]) and emergencies. *)
+let lint_plans = ref true
+
+(* Re-lint on every cache hit — a debug flag (QTURBO_LINT_CACHE=1),
+   since hits are the hot path and plans are immutable. *)
+let lint_on_hit =
+  ref
+    (match Sys.getenv_opt "QTURBO_LINT_CACHE" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
 (* Caches                                                              *)
 
 let plan_cache : t Plan_cache.t = Plan_cache.create ~capacity:32
@@ -207,6 +314,14 @@ let device_cache_stats () = Plan_cache.stats device_cache
 let clear_caches () =
   Plan_cache.clear plan_cache;
   Plan_cache.clear device_cache
+
+(* test-only: plant a plan without the [admit] lint gate, so the
+   hit-path re-lint can be exercised against a corrupted resident *)
+let cache_insert_unchecked (plan : t) =
+  (* replace, not add: [Plan_cache.add] keeps an existing resident on a
+     key collision, which would silently discard the planted plan *)
+  Plan_cache.remove plan_cache plan.key;
+  Plan_cache.add plan_cache plan.key plan
 
 let obtain_device ~options ~aais =
   if not options.plan_cache then build_device ~options ~aais ()
@@ -237,14 +352,38 @@ let build ?(options = default_options) ?device ~aais ~target_shape () =
            ~cells:(Linear_system.skeleton_cells skeleton))
       ~comps:(structure_comps device.comps)
   in
-  {
-    device;
-    support = target_shape;
-    skeleton;
-    structure_diags;
-    key = plan_key_of_support ~options ~aais ~support:target_shape;
-    build_seconds = Qturbo_util.Clock.now () -. t0;
-  }
+  let plan =
+    {
+      device;
+      support = target_shape;
+      skeleton;
+      structure_diags;
+      key = plan_key_of_support ~options ~aais ~support:target_shape;
+      build_seconds = Qturbo_util.Clock.now () -. t0;
+    }
+  in
+  (if !lint_plans then
+     match Diagnostic.errors (lint plan) with
+     | [] -> ()
+     | errs ->
+         Log.err (fun m ->
+             m "plan lint rejected a fresh build (%d errors)" (List.length errs));
+         raise (Diagnostic.Rejected errs));
+  plan
+
+(* Lint-gated cache admission: a plan failing [Plan_lint] is never
+   admitted, and the refusal is counted ([Plan_cache.reject]).  Returns
+   the lint errors (empty = admitted). *)
+let admit (plan : t) =
+  match Diagnostic.errors (lint plan) with
+  | [] ->
+      Plan_cache.add plan_cache plan.key plan;
+      []
+  | errs ->
+      Plan_cache.reject plan_cache plan.key;
+      Log.warn (fun m ->
+          m "plan lint refused cache admission (%d errors)" (List.length errs));
+      errs
 
 (* Fetch-or-build a plan for [target]'s shape.  Returns the plan and
    whether it came out of the cache. *)
@@ -254,14 +393,30 @@ let obtain ~options ~aais ~target =
     (build ~options ~aais ~target_shape:support (), false)
   else
     let key = plan_key_of_support ~options ~aais ~support in
+    let rebuild () =
+      let p = build ~options ~aais ~target_shape:support () in
+      (* no [admit] here: when the strict gate is on, [build] just
+         linted this plan (and raised on errors), so re-linting at
+         admission would double the gate cost on every fresh build;
+         when the gate is off, the caller asked for no linting at all *)
+      Plan_cache.add plan_cache p.key p;
+      (p, false)
+    in
     match Plan_cache.find plan_cache key with
     | Some p ->
-        !stage_hook "plan-cache-hit";
-        (p, true)
-    | None ->
-        let p = build ~options ~aais ~target_shape:support () in
-        Plan_cache.add plan_cache key p;
-        (p, false)
+        if !lint_on_hit && Diagnostic.has_errors (lint p) then begin
+          (* a resident plan that no longer lints is never served: pull
+             it, count the rejection, and rebuild from scratch *)
+          Plan_cache.reject plan_cache key;
+          Plan_cache.remove plan_cache key;
+          Log.warn (fun m -> m "plan lint pulled a resident cache entry");
+          rebuild ()
+        end
+        else begin
+          !stage_hook "plan-cache-hit";
+          (p, true)
+        end
+    | None -> rebuild ()
 
 (* ------------------------------------------------------------------ *)
 (* Input validation (shared with Td_compiler)                          *)

@@ -153,7 +153,40 @@ val build :
 
 val obtain : options:options -> aais:Aais.t -> target:Pauli_sum.t -> t * bool
 (** Fetch-or-build the plan for [target]'s shape; the flag is [true] on
-    a cache hit. *)
+    a cache hit.  Fresh builds pass through the {!lint} gate (see
+    {!build}); with {!lint_on_hit} set, resident plans are re-linted on
+    every hit and a failing plan is pulled, counted as a rejection and
+    rebuilt rather than served. *)
+
+(** {1 Plan linting}
+
+    The cross-stage invariant pass ([Qturbo_analysis.Plan_lint], codes
+    [QT023]–[QT028]) over a plan's artifacts: term-index coverage of the
+    canonical support, skeleton dimensions, locality-component
+    partition, classification arity, structural-key round-trip, and
+    prepared-context agreement.  {!build} runs it on every fresh plan
+    and raises {!Diagnostic.Rejected} on errors (disable via
+    {!lint_plans}); cached plans re-lint on hit behind {!lint_on_hit}
+    ([QTURBO_LINT_CACHE=1]). *)
+
+val lint : t -> Diagnostic.t list
+(** Run the invariant pass on a plan; [[]] when sound. *)
+
+val admit : t -> Diagnostic.t list
+(** Lint-gated cache admission: admit the plan under its key when the
+    lint is clean (returning [[]]), otherwise refuse, count the
+    rejection in the cache telemetry ({!Plan_cache.stats.rejected}) and
+    return the errors.  A plan failing {!lint} is never admitted. *)
+
+val lint_plans : bool ref
+(** Lint every fresh {!build} (default [true]).  Turned off only for
+    overhead measurement ([bench analysis]). *)
+
+val lint_on_hit : bool ref
+(** Re-lint resident plans on every cache hit (default: set when
+    [QTURBO_LINT_CACHE] is [1]/[true]/[yes]).  Debug flag — hits are
+    the hot path and plans are immutable, so this buys nothing unless
+    memory corruption or a deserialized plan store is in play. *)
 
 (** {1 Solving} *)
 
@@ -205,3 +238,8 @@ val device_cache_stats : unit -> Plan_cache.stats
 val clear_caches : unit -> unit
 (** Drop all cached plans/devices and zero the counters (tests,
     benchmarks and cold-path measurement). *)
+
+val cache_insert_unchecked : t -> unit
+(** Insert a plan under its key {e without} the {!admit} lint gate,
+    replacing any resident under that key.  Test-only: plants corrupted
+    residents so the {!lint_on_hit} path can be exercised. *)

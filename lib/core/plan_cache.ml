@@ -3,6 +3,7 @@ type stats = {
   misses : int;
   evictions : int;
   discarded : int;
+  rejected : int;
   size : int;
   capacity : int;
 }
@@ -12,10 +13,17 @@ type key_stats = {
   key_misses : int;
   key_evictions : int;
   key_discarded : int;
+  key_rejected : int;
 }
 
 let zero_key_stats =
-  { key_hits = 0; key_misses = 0; key_evictions = 0; key_discarded = 0 }
+  {
+    key_hits = 0;
+    key_misses = 0;
+    key_evictions = 0;
+    key_discarded = 0;
+    key_rejected = 0;
+  }
 
 type 'a entry = { value : 'a; mutable last_used : int }
 
@@ -28,6 +36,7 @@ type kcell = {
   mutable k_misses : int;
   mutable k_evictions : int;
   mutable k_discarded : int;
+  mutable k_rejected : int;
 }
 
 type 'a t = {
@@ -40,6 +49,7 @@ type 'a t = {
   mutable misses : int;
   mutable evictions : int;
   mutable discarded : int;
+  mutable rejected : int;
 }
 
 let create ~capacity =
@@ -54,6 +64,7 @@ let create ~capacity =
     misses = 0;
     evictions = 0;
     discarded = 0;
+    rejected = 0;
   }
 
 let locked t f =
@@ -65,7 +76,15 @@ let kcell t key =
   match Hashtbl.find_opt t.keys key with
   | Some c -> c
   | None ->
-      let c = { k_hits = 0; k_misses = 0; k_evictions = 0; k_discarded = 0 } in
+      let c =
+        {
+          k_hits = 0;
+          k_misses = 0;
+          k_evictions = 0;
+          k_discarded = 0;
+          k_rejected = 0;
+        }
+      in
       Hashtbl.add t.keys key c;
       c
 
@@ -122,6 +141,17 @@ let add t key value =
           if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
           Hashtbl.add t.tbl key { value; last_used = t.tick })
 
+(* A lint rejection: the value was refused admission (or pulled after a
+   failed re-lint on hit).  Counted separately from evictions — an
+   eviction is capacity pressure, a rejection is an integrity failure. *)
+let reject t key =
+  locked t (fun () ->
+      t.rejected <- t.rejected + 1;
+      let c = kcell t key in
+      c.k_rejected <- c.k_rejected + 1)
+
+let remove t key = locked t (fun () -> Hashtbl.remove t.tbl key)
+
 let clear t =
   locked t (fun () ->
       Hashtbl.reset t.tbl;
@@ -130,7 +160,8 @@ let clear t =
       t.hits <- 0;
       t.misses <- 0;
       t.evictions <- 0;
-      t.discarded <- 0)
+      t.discarded <- 0;
+      t.rejected <- 0)
 
 let stats t =
   locked t (fun () ->
@@ -139,6 +170,7 @@ let stats t =
         misses = t.misses;
         evictions = t.evictions;
         discarded = t.discarded;
+        rejected = t.rejected;
         size = Hashtbl.length t.tbl;
         capacity = t.capacity;
       })
@@ -149,6 +181,7 @@ let key_stats_of_cell (c : kcell) =
     key_misses = c.k_misses;
     key_evictions = c.k_evictions;
     key_discarded = c.k_discarded;
+    key_rejected = c.k_rejected;
   }
 
 let key_stats t key =

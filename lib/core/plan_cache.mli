@@ -22,6 +22,9 @@ type stats = {
   discarded : int;
       (** {!add} calls that found the key already resident and dropped
           the freshly built value (concurrent double-builds) *)
+  rejected : int;
+      (** {!reject} calls: values refused admission (or pulled on a
+          failed re-lint) by [Compile_plan]'s plan linter *)
   size : int;  (** resident entries *)
   capacity : int;
 }
@@ -31,6 +34,7 @@ type key_stats = {
   key_misses : int;
   key_evictions : int;
   key_discarded : int;
+  key_rejected : int;
 }
 
 val zero_key_stats : key_stats
@@ -48,6 +52,17 @@ val add : 'a t -> string -> 'a -> unit
     key is already resident the resident value is kept — values for
     equal structural keys are interchangeable by construction — and the
     drop is counted as [discarded]. *)
+
+val reject : 'a t -> string -> unit
+(** Count an integrity rejection for [key]: a value that failed
+    [Plan_lint] and was refused admission (or removed after a failed
+    re-lint on a cache hit).  Telemetry only — does not touch resident
+    entries; pair with {!remove} to pull a resident value. *)
+
+val remove : 'a t -> string -> unit
+(** Drop the resident entry for [key], if any.  Not counted as an
+    eviction (evictions are capacity pressure); callers removing a
+    lint-rejected value count it via {!reject}. *)
 
 val clear : 'a t -> unit
 (** Drop every entry, every per-key cell, and zero the counters. *)

@@ -33,6 +33,43 @@ let quote s = "\"" ^ escape s ^ "\""
 let float_lit f =
   if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
 
+(* Non-finite numbers have no JSON representation; [emit] maps them to
+   [null] (same policy as [float_lit]), so [parse (emit v)] returns [v]
+   with every non-finite [Number] replaced by [Null]. *)
+let emit v =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Number f -> Buffer.add_string b (float_lit f)
+    | String s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | Array items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char b ',';
+            go item)
+          items;
+        Buffer.add_char b ']'
+    | Object fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\":";
+            go item)
+          fields;
+        Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
 (* ---- strict recursive-descent parser -------------------------------- *)
 
 exception Parse_error of string

@@ -33,6 +33,12 @@ val float_lit : float -> string
 (** A JSON number token with [%.17g] precision, or [null] when the
     value is [nan] or [±inf]. *)
 
+val emit : value -> string
+(** Serialize a {!value} to a compact RFC 8259 text.  Inverse of
+    {!parse} up to the non-finite-number policy: [parse (emit v)]
+    returns [v] with every [nan]/[±inf] [Number] mapped to [Null]
+    (JSON has no token for them; see {!float_lit}). *)
+
 exception Parse_error of string
 
 val parse : string -> (value, string) result

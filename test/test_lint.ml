@@ -1,0 +1,442 @@
+(* Tests for static analyzer stage two: the kernel IR verifier
+   (Kernel_check, QT017-QT022), the plan-invariant linter (Plan_lint via
+   Compile_plan.lint, QT023-QT028), the lint-gated plan-cache admission,
+   and the fused/unfused peephole-equivalence property. *)
+
+open Qturbo_pauli
+open Qturbo_aais
+open Qturbo_core
+module D = Qturbo_analysis.Diagnostic
+module KC = Qturbo_analysis.Kernel_check
+
+let codes diags = List.sort_uniq compare (List.map (fun d -> d.D.code) diags)
+
+let check_codes msg expected diags =
+  Alcotest.(check (list string)) msg expected (codes diags)
+
+(* ---- device / plan fixtures (same presets as test_plan.ml) ---- *)
+
+let relaxed_line = { Device.aquila_paper with Device.max_extent = 2000.0 }
+let relaxed_plane = Device.with_geometry Device.Plane relaxed_line
+
+let rydberg_for name n =
+  let spec =
+    match name with
+    | "ising-cycle" | "ising-cycle+" -> relaxed_plane
+    | _ -> relaxed_line
+  in
+  Rydberg.build ~spec ~n
+
+let static_target name n =
+  Pauli_sum.drop_identity
+    (Qturbo_models.Model.hamiltonian_at
+       (Qturbo_models.Benchmarks.by_name ~name ~n)
+       ~s:0.0)
+
+let plan_for name n =
+  let ryd = rydberg_for name n in
+  let target = static_target name n in
+  Compile_plan.build ~aais:ryd.Rydberg.aais
+    ~target_shape:(Compile_plan.support_of_target target)
+    ()
+
+(* ---- kernel verifier: every real kernel is provably safe ---- *)
+
+(* Fig. 3 benchmark models plus the §5 worked example: every channel
+   kernel of every device must verify clean, on both backends. *)
+let test_kernels_clean_rydberg () =
+  List.iter
+    (fun (name, n) ->
+      let ryd = rydberg_for name n in
+      match KC.check_aais ryd.Rydberg.aais with
+      | [] -> ()
+      | diags ->
+          Alcotest.failf "%s/%d: %s" name n
+            (String.concat "; " (List.map D.to_string diags)))
+    [
+      ("ising-chain", 3);
+      ("ising-chain", 7);
+      ("ising-cycle", 5);
+      ("kitaev", 5);
+      ("ising-cycle+", 5);
+      ("mis-chain", 5);
+      ("pxp", 5);
+    ]
+
+let test_kernels_clean_heisenberg () =
+  List.iter
+    (fun n ->
+      let h = Heisenberg.build ~spec:Device.heisenberg_default ~n in
+      match KC.check_aais h.Heisenberg.aais with
+      | [] -> ()
+      | diags ->
+          Alcotest.failf "heisenberg/%d: %s" n
+            (String.concat "; " (List.map D.to_string diags)))
+    [ 3; 6 ]
+
+(* ---- kernel verifier: each code fires on a seeded defect ---- *)
+
+let kv prog ~consts ~depth ~max_var =
+  Expr.kernel_of_view (Array.of_list prog) ~consts ~depth ~max_var
+
+let test_qt017_underflow () =
+  check_codes "underflow" [ "QT017" ]
+    (KC.check ~n_env:4 (kv [ Expr.K_binop Expr.B_add ] ~consts:[||] ~depth:1 ~max_var:(-1)));
+  (* underflow mid-program, after a legitimate push *)
+  check_codes "late underflow" [ "QT017" ]
+    (KC.check ~n_env:4
+       (kv [ Expr.K_var 0; Expr.K_binop Expr.B_mul ] ~consts:[||] ~depth:2 ~max_var:0))
+
+let test_qt018_arity () =
+  check_codes "two results" [ "QT018" ]
+    (KC.check ~n_env:4
+       (kv [ Expr.K_var 0; Expr.K_var 1 ] ~consts:[||] ~depth:2 ~max_var:1));
+  check_codes "empty program" [ "QT018" ]
+    (KC.check ~n_env:4 (kv [] ~consts:[||] ~depth:1 ~max_var:(-1)))
+
+let test_qt019_env () =
+  check_codes "beyond environment" [ "QT019" ]
+    (KC.check ~n_env:4 (kv [ Expr.K_var 9 ] ~consts:[||] ~depth:1 ~max_var:9));
+  (* within the environment but beyond the kernel's own declared
+     max_var: a lying closedness witness *)
+  check_codes "beyond declared max_var" [ "QT019" ]
+    (KC.check ~n_env:4 (kv [ Expr.K_var 2 ] ~consts:[||] ~depth:1 ~max_var:1))
+
+let test_qt020_depth () =
+  check_codes "under-declared depth" [ "QT020" ]
+    (KC.check ~n_env:4
+       (kv
+          [ Expr.K_var 0; Expr.K_var 1; Expr.K_binop Expr.B_add ]
+          ~consts:[||] ~depth:1 ~max_var:1))
+
+let test_qt021_range () =
+  (* a kernel computing 3 for a source expression equal to 2: the
+     kernel's interval [3,3] cannot enclose the source's [2,2] *)
+  check_codes "wrong function" [ "QT021" ]
+    (KC.check ~source:(Expr.Const 2.0) ~n_env:0
+       (Expr.compile_unfused (Expr.Const 3.0)));
+  (* and the honest kernel passes the same comparison *)
+  check_codes "honest kernel" []
+    (KC.check ~source:(Expr.Const 2.0) ~n_env:0
+       (Expr.compile_unfused (Expr.Const 2.0)))
+
+let test_qt022_malformed () =
+  check_codes "unassigned opcode" [ "QT022" ]
+    (KC.check ~n_env:4
+       (kv [ Expr.K_unknown { op = 30; arg = 7 }; Expr.K_var 0 ] ~consts:[||]
+          ~depth:1 ~max_var:0));
+  check_codes "constant index out of pool" [ "QT022" ]
+    (KC.check ~n_env:4 (kv [ Expr.K_const 3 ] ~consts:[| 1.5 |] ~depth:1 ~max_var:(-1)))
+
+(* ---- compile-time verification hook ---- *)
+
+let test_compile_hook_accepts_valid () =
+  KC.install_compile_hook ();
+  Fun.protect
+    ~finally:(fun () -> Expr.compile_hook := fun _ _ -> ())
+    (fun () ->
+      (* hook runs on every compile; a valid expression passes *)
+      let e = Expr.(Div (Const 5.2, Pow_int (Sub (Var 0, Var 1), 6))) in
+      let k = Expr.compile e in
+      let v = Expr.eval_kernel k ~env:[| 3.0; 1.0 |] in
+      Alcotest.(check (float 1e-12)) "still evaluates" (5.2 /. 64.0) v)
+
+let test_verify_compiled_rejects () =
+  let bad =
+    kv [ Expr.K_var 0; Expr.K_var 0 ] ~consts:[||] ~depth:2 ~max_var:0
+  in
+  match KC.verify_compiled (Expr.Var 0) bad with
+  | () -> Alcotest.fail "expected Rejected"
+  | exception D.Rejected diags -> check_codes "QT018 surfaced" [ "QT018" ] diags
+
+(* ---- peephole equivalence: fused == unfused, never more steps ---- *)
+
+let expr_gen =
+  let open QCheck.Gen in
+  fix
+    (fun self depth ->
+      let leaf =
+        oneof
+          [
+            map (fun f -> Expr.Const f) (float_range (-10.0) 10.0);
+            map (fun v -> Expr.Var v) (int_range 0 3);
+          ]
+      in
+      if depth = 0 then leaf
+      else
+        let sub = self (depth - 1) in
+        frequency
+          [
+            (2, leaf);
+            (2, map2 (fun a b -> Expr.Add (a, b)) sub sub);
+            (2, map2 (fun a b -> Expr.Sub (a, b)) sub sub);
+            (2, map2 (fun a b -> Expr.Mul (a, b)) sub sub);
+            (1, map2 (fun a b -> Expr.Div (a, b)) sub sub);
+            (1, map (fun a -> Expr.Neg a) sub);
+            ( 1,
+              map2 (fun a p -> Expr.Pow_int (a, p)) sub (int_range (-3) 6) );
+            (1, map (fun a -> Expr.Sin a) sub);
+            (1, map (fun a -> Expr.Cos a) sub);
+          ])
+    5
+
+let env_gen =
+  QCheck.Gen.(array_size (return 4) (float_range (-5.0) 5.0))
+
+let bits = Int64.bits_of_float
+
+let prop_fused_bitwise_identical =
+  QCheck.Test.make ~name:"fused kernel is bitwise-identical to unfused"
+    ~count:800
+    (QCheck.make QCheck.Gen.(pair expr_gen env_gen))
+    (fun (e, env) ->
+      let fused = Expr.eval_kernel (Expr.compile e) ~env in
+      let plain = Expr.eval_kernel (Expr.compile_unfused e) ~env in
+      let direct = Expr.eval e ~env in
+      Int64.equal (bits fused) (bits plain)
+      && Int64.equal (bits fused) (bits direct))
+
+let prop_fused_never_longer =
+  QCheck.Test.make ~name:"fusion never increases the step count" ~count:800
+    (QCheck.make expr_gen)
+    (fun e ->
+      Array.length (Expr.kernel_view (Expr.compile e))
+      <= Array.length (Expr.kernel_view (Expr.compile_unfused e)))
+
+let prop_compiled_kernels_verify =
+  QCheck.Test.make ~name:"every compiled kernel verifies clean" ~count:500
+    (QCheck.make expr_gen)
+    (fun e ->
+      let n_env = 4 in
+      KC.check ~source:e ~n_env (Expr.compile e) = []
+      && KC.check ~source:e ~n_env (Expr.compile_unfused e) = [])
+
+(* ---- plan linter: sound plans lint clean ---- *)
+
+let test_plans_lint_clean () =
+  List.iter
+    (fun (name, n) ->
+      match Compile_plan.lint (plan_for name n) with
+      | [] -> ()
+      | diags ->
+          Alcotest.failf "%s/%d: %s" name n
+            (String.concat "; " (List.map D.to_string diags)))
+    [ ("ising-chain", 3); ("ising-chain", 7); ("ising-cycle", 5); ("kitaev", 5) ]
+
+(* ---- plan linter: each code fires on a corrupted plan ---- *)
+
+let base_plan = lazy (plan_for "ising-chain" 5)
+
+let has_code code diags = List.mem code (codes diags)
+
+let check_has msg code diags =
+  if not (has_code code diags) then
+    Alcotest.failf "%s: expected %s among [%s]" msg code
+      (String.concat "; " (codes diags))
+
+let drop_last l = List.filteri (fun i _ -> i < List.length l - 1) l
+
+let test_qt023_support_coverage () =
+  let plan = Lazy.force base_plan in
+  let bad =
+    { plan with Compile_plan.support = List.tl plan.Compile_plan.support }
+  in
+  check_has "shorter support" "QT023" (Compile_plan.lint bad)
+
+let test_qt024_skeleton_dims () =
+  let plan = Lazy.force base_plan in
+  let d = plan.Compile_plan.device in
+  let bad =
+    {
+      plan with
+      Compile_plan.device =
+        {
+          d with
+          Compile_plan.channels =
+            Array.sub d.Compile_plan.channels 0
+              (Array.length d.Compile_plan.channels - 1);
+        };
+    }
+  in
+  check_has "missing channel" "QT024" (Compile_plan.lint bad)
+
+let test_qt025_partition () =
+  let plan = Lazy.force base_plan in
+  let d = plan.Compile_plan.device in
+  let comps =
+    match d.Compile_plan.comps with
+    | (c : Locality.component) :: rest ->
+        {
+          c with
+          Locality.channel_ids =
+            (match c.Locality.channel_ids with
+            | cid :: _ as ids -> cid :: ids
+            | [] -> []);
+        }
+        :: rest
+    | [] -> []
+  in
+  let bad =
+    { plan with Compile_plan.device = { d with Compile_plan.comps = comps } }
+  in
+  check_codes "duplicated channel" [ "QT025" ] (Compile_plan.lint bad)
+
+let test_qt026_classification () =
+  let plan = Lazy.force base_plan in
+  let d = plan.Compile_plan.device in
+  let bad =
+    {
+      plan with
+      Compile_plan.device =
+        {
+          d with
+          Compile_plan.classifications = drop_last d.Compile_plan.classifications;
+        };
+    }
+  in
+  check_has "count mismatch" "QT026" (Compile_plan.lint bad)
+
+let test_qt027_key_roundtrip () =
+  let plan = Lazy.force base_plan in
+  let bad = { plan with Compile_plan.key = plan.Compile_plan.key ^ "#stale" } in
+  check_codes "stale key" [ "QT027" ] (Compile_plan.lint bad)
+
+let test_qt028_prepared () =
+  let plan = Lazy.force base_plan in
+  let d = plan.Compile_plan.device in
+  let bad =
+    {
+      plan with
+      Compile_plan.device =
+        { d with Compile_plan.prepared = drop_last d.Compile_plan.prepared };
+    }
+  in
+  check_codes "prepared count" [ "QT028" ] (Compile_plan.lint bad)
+
+(* ---- lint-gated cache admission ---- *)
+
+let test_admit_rejects_corrupted () =
+  Compile_plan.clear_caches ();
+  let plan = plan_for "ising-chain" 5 in
+  let before = (Compile_plan.cache_stats ()).Plan_cache.rejected in
+  (* a sound plan is admitted silently *)
+  Alcotest.(check (list string)) "sound plan admitted" []
+    (codes (Compile_plan.admit plan));
+  let bad = { plan with Compile_plan.key = plan.Compile_plan.key ^ "#stale" } in
+  let errs = Compile_plan.admit bad in
+  check_codes "refused with QT027" [ "QT027" ] errs;
+  let after = Compile_plan.cache_stats () in
+  Alcotest.(check int) "rejection counted" (before + 1)
+    after.Plan_cache.rejected;
+  (* the corrupted plan is not resident under its (corrupted) key *)
+  let per_key = Compile_plan.cache_per_key () in
+  Alcotest.(check bool) "corrupted key absent" false
+    (List.exists
+       (fun (k, (ks : Plan_cache.key_stats)) ->
+         String.equal k bad.Compile_plan.key && ks.Plan_cache.key_rejected = 0)
+       per_key)
+
+let test_build_raises_on_broken_invariant () =
+  (* with linting disabled, build hands back whatever it assembled; the
+     flag is the bench's overhead-measurement escape hatch, and flipping
+     it must not leak past the test *)
+  Alcotest.(check bool) "lint_plans defaults on" true !Compile_plan.lint_plans;
+  Compile_plan.lint_plans := false;
+  Fun.protect
+    ~finally:(fun () -> Compile_plan.lint_plans := true)
+    (fun () ->
+      let plan = plan_for "ising-chain" 3 in
+      Alcotest.(check (list string)) "still sound" [] (codes (Compile_plan.lint plan)))
+
+let test_cache_hit_relint_pulls_corrupted () =
+  Compile_plan.clear_caches ();
+  let ryd = rydberg_for "ising-chain" 5 in
+  let target = static_target "ising-chain" 5 in
+  let options = Compile_plan.default_options in
+  (* plant a corrupted resident under the true structural key: same key,
+     broken prepared-context invariant *)
+  let plan, hit = Compile_plan.obtain ~options ~aais:ryd.Rydberg.aais ~target in
+  Alcotest.(check bool) "first obtain is a miss" false hit;
+  let d = plan.Compile_plan.device in
+  let corrupted =
+    {
+      plan with
+      Compile_plan.device =
+        { d with Compile_plan.prepared = drop_last d.Compile_plan.prepared };
+    }
+  in
+  Compile_plan.cache_insert_unchecked corrupted;
+  (* without on-hit re-linting the corrupted resident would be served *)
+  Compile_plan.lint_on_hit := true;
+  Fun.protect
+    ~finally:(fun () -> Compile_plan.lint_on_hit := false)
+    (fun () ->
+      let before = (Compile_plan.cache_stats ()).Plan_cache.rejected in
+      let served, hit =
+        Compile_plan.obtain ~options ~aais:ryd.Rydberg.aais ~target
+      in
+      Alcotest.(check bool) "re-lint turns the hit into a rebuild" false hit;
+      Alcotest.(check (list string)) "served plan is sound" []
+        (codes (Compile_plan.lint served));
+      let after = (Compile_plan.cache_stats ()).Plan_cache.rejected in
+      Alcotest.(check int) "pull counted as rejection" (before + 1) after;
+      (* the rebuilt plan was re-admitted: a second obtain hits clean *)
+      let again, hit2 =
+        Compile_plan.obtain ~options ~aais:ryd.Rydberg.aais ~target
+      in
+      Alcotest.(check bool) "resident is sound again" true hit2;
+      Alcotest.(check (list string)) "clean" [] (codes (Compile_plan.lint again)));
+  Compile_plan.clear_caches ()
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "kernel-verifier",
+        [
+          Alcotest.test_case "fig3 rydberg kernels clean" `Quick
+            test_kernels_clean_rydberg;
+          Alcotest.test_case "heisenberg kernels clean" `Quick
+            test_kernels_clean_heisenberg;
+          Alcotest.test_case "QT017 stack underflow" `Quick test_qt017_underflow;
+          Alcotest.test_case "QT018 wrong result arity" `Quick test_qt018_arity;
+          Alcotest.test_case "QT019 environment violation" `Quick test_qt019_env;
+          Alcotest.test_case "QT020 under-declared depth" `Quick test_qt020_depth;
+          Alcotest.test_case "QT021 range unsoundness" `Quick test_qt021_range;
+          Alcotest.test_case "QT022 malformed instruction" `Quick
+            test_qt022_malformed;
+          Alcotest.test_case "compile hook accepts valid" `Quick
+            test_compile_hook_accepts_valid;
+          Alcotest.test_case "verify_compiled rejects" `Quick
+            test_verify_compiled_rejects;
+        ] );
+      ( "peephole",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_fused_bitwise_identical;
+            prop_fused_never_longer;
+            prop_compiled_kernels_verify;
+          ] );
+      ( "plan-linter",
+        [
+          Alcotest.test_case "sound plans lint clean" `Quick
+            test_plans_lint_clean;
+          Alcotest.test_case "QT023 support coverage" `Quick
+            test_qt023_support_coverage;
+          Alcotest.test_case "QT024 skeleton dims" `Quick test_qt024_skeleton_dims;
+          Alcotest.test_case "QT025 partition" `Quick test_qt025_partition;
+          Alcotest.test_case "QT026 classification" `Quick
+            test_qt026_classification;
+          Alcotest.test_case "QT027 key round-trip" `Quick
+            test_qt027_key_roundtrip;
+          Alcotest.test_case "QT028 prepared contexts" `Quick test_qt028_prepared;
+        ] );
+      ( "cache-admission",
+        [
+          Alcotest.test_case "admit refuses corrupted plans" `Quick
+            test_admit_rejects_corrupted;
+          Alcotest.test_case "lint_plans escape hatch" `Quick
+            test_build_raises_on_broken_invariant;
+          Alcotest.test_case "on-hit re-lint pulls corrupted residents" `Quick
+            test_cache_hit_relint_pulls_corrupted;
+        ] );
+    ]

@@ -168,6 +168,153 @@ let test_cell_of_float () =
   Alcotest.(check string) "zero" "0" (Table_fmt.cell_of_float 0.0);
   Alcotest.(check string) "plain" "1.5000" (Table_fmt.cell_of_float 1.5)
 
+(* ---- Json: emit/parse round-trip ---- *)
+
+(* Sized generator over the full value ADT: deep nesting, exotic keys
+   and strings (escapes, control characters), non-finite floats. *)
+let json_gen =
+  let open QCheck.Gen in
+  let str =
+    string_size ~gen:(oneof [ printable; char ]) (int_range 0 12)
+  in
+  let num =
+    frequency
+      [
+        (8, float);
+        (2, oneofl [ Float.nan; Float.infinity; Float.neg_infinity; -0.0; 0.0 ]);
+      ]
+  in
+  fix
+    (fun self depth ->
+      let leaf =
+        frequency
+          [
+            (1, return Json.Null);
+            (2, map (fun b -> Json.Bool b) bool);
+            (4, map (fun f -> Json.Number f) num);
+            (4, map (fun s -> Json.String s) str);
+          ]
+      in
+      if depth = 0 then leaf
+      else
+        frequency
+          [
+            (4, leaf);
+            ( 2,
+              map
+                (fun l -> Json.Array l)
+                (list_size (int_range 0 4) (self (depth - 1))) );
+            ( 2,
+              map
+                (fun l -> Json.Object l)
+                (list_size (int_range 0 4)
+                   (pair str (self (depth - 1)))) );
+          ])
+    4
+
+(* [emit] maps non-finite numbers to [null] (JSON has no token for
+   them); the round-trip is exact modulo that normalization. *)
+let rec json_normalize = function
+  | Json.Number f when not (Float.is_finite f) -> Json.Null
+  | Json.Array l -> Json.Array (List.map json_normalize l)
+  | Json.Object l ->
+      Json.Object (List.map (fun (k, v) -> (k, json_normalize v)) l)
+  | v -> v
+
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Number x, Json.Number y ->
+      (* distinguish -0.0 from 0.0: emit prints "-0", which must parse
+         back to the negative zero *)
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Json.String x, Json.String y -> String.equal x y
+  | Json.Array x, Json.Array y ->
+      List.length x = List.length y && List.for_all2 json_equal x y
+  | Json.Object x, Json.Object y ->
+      List.length x = List.length y
+      && List.for_all2
+           (fun (ka, va) (kb, vb) -> String.equal ka kb && json_equal va vb)
+           x y
+  | _, _ -> false
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"parse (emit v) = v (mod non-finite -> null)"
+    ~count:1000
+    (QCheck.make json_gen)
+    (fun v ->
+      match Json.parse (Json.emit v) with
+      | Ok back -> json_equal back (json_normalize v)
+      | Error msg -> QCheck.Test.fail_reportf "emit produced invalid JSON: %s" msg)
+
+let prop_json_emit_stable =
+  QCheck.Test.make ~name:"emit (parse (emit v)) = emit v" ~count:500
+    (QCheck.make json_gen)
+    (fun v ->
+      let once = Json.emit v in
+      String.equal once (Json.emit (Json.parse_exn once)))
+
+let test_json_rejects_malformed () =
+  let bad =
+    [
+      "";
+      "   ";
+      "nul";
+      "tru";
+      "truex";
+      "nan";
+      "NaN";
+      "Infinity";
+      "-Infinity";
+      "+1";
+      "01";
+      "1.";
+      ".5";
+      "1e";
+      "1e+";
+      "--1";
+      "\"unterminated";
+      "\"bad \\q escape\"";
+      "\"ctrl \x01 char\"";
+      "\"\\u12\"";
+      "\"\\u12zz\"";
+      "[1,]";
+      "[1 2]";
+      "[";
+      "]";
+      "{";
+      "{\"a\"}";
+      "{\"a\":}";
+      "{\"a\":1,}";
+      "{\"a\" 1}";
+      "{a:1}";
+      "1 2";
+      "{} []";
+      "null garbage";
+    ]
+  in
+  List.iter
+    (fun text ->
+      match Json.parse text with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" text
+      | Error _ -> ())
+    bad
+
+let test_json_emit_examples () =
+  Alcotest.(check string) "escapes" "{\"a\\\"b\":\"x\\ny\"}"
+    (Json.emit (Json.Object [ ("a\"b", Json.String "x\ny") ]));
+  Alcotest.(check string) "non-finite to null" "[null,null,null]"
+    (Json.emit
+       (Json.Array
+          [
+            Json.Number Float.nan;
+            Json.Number Float.infinity;
+            Json.Number Float.neg_infinity;
+          ]));
+  Alcotest.(check string) "empty containers" "{\"a\":[],\"b\":{}}"
+    (Json.emit (Json.Object [ ("a", Json.Array []); ("b", Json.Object []) ]))
+
 (* ---- qcheck properties ---- *)
 
 let prop_clamp_inside =
@@ -242,6 +389,12 @@ let () =
           Alcotest.test_case "wide rows rejected" `Quick test_table_rejects_wide_rows;
           Alcotest.test_case "float cells" `Quick test_cell_of_float;
         ] );
+      ( "json",
+        Alcotest.test_case "malformed inputs rejected" `Quick
+          test_json_rejects_malformed
+        :: Alcotest.test_case "emit examples" `Quick test_json_emit_examples
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_json_roundtrip; prop_json_emit_stable ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_clamp_inside; prop_percentile_monotone; prop_mean_between_min_max ]
