@@ -36,6 +36,18 @@ let rydberg_for name n =
   let spec = if needs_plane name then relaxed_plane else relaxed_line in
   Rydberg.build ~spec ~n
 
+(* large-N scaling devices: an ising-cycle spans ~3n um at the default
+   spacing, so the window must keep growing past n ≈ 600; the builder's
+   auto cutoff truncates the van-der-Waals pair channels above 96 atoms *)
+let large_cycle_ryd n =
+  let spec =
+    {
+      relaxed_plane with
+      Device.max_extent = Float.max 2000.0 (3.5 *. float_of_int n);
+    }
+  in
+  Rydberg.build ~spec ~n
+
 let static_target name n =
   Qturbo_pauli.Pauli_sum.drop_identity
     (Qturbo_models.Model.hamiltonian_at
@@ -1440,6 +1452,107 @@ let plan () =
     List.fold_left (fun acc (_, _, _, s, _) -> acc +. s) 0.0 series
     /. float_of_int (List.length series)
   in
+  (* large-N scaling: cold compiles on the auto-cutoff ising-cycle from
+     n = 100 to n = 1000, with per-plan memory from Gc deltas and a
+     fitted log-log exponent.  The SimuQ baseline grows alongside until
+     it first fails inside a fixed budget — that size is recorded. *)
+  let large_sizes = if !quick then [ 100; 300 ] else [ 100; 200; 400; 700; 1000 ] in
+  let simuq_budget = if !quick then 10.0 else 60.0 in
+  let large_ryd = large_cycle_ryd in
+  let simuq_alive = ref true in
+  let large_series =
+    List.map
+      (fun n ->
+        let ryd = large_ryd n in
+        let target = static_target "ising-cycle" n in
+        CP.clear_caches ();
+        Gc.full_major ();
+        let live0 = (Gc.stat ()).Gc.live_words in
+        let alloc0 = Gc.allocated_bytes () in
+        let total_s, r =
+          time_run (fun () ->
+              C.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 ())
+        in
+        let allocated_mb = (Gc.allocated_bytes () -. alloc0) /. 1e6 in
+        Gc.full_major ();
+        let live1 = (Gc.stat ()).Gc.live_words in
+        (* live delta after a full major = the resident plan (cache still
+           holds it) plus the AAIS kept alive by this stack frame *)
+        let plan_live_mb =
+          8.0 *. float_of_int (Int.max 0 (live1 - live0)) /. 1e6
+        in
+        let kept, dropped =
+          match ryd.Rydberg.aais.Aais.truncation with
+          | Some tr -> (tr.Aais.kept_pairs, tr.Aais.dropped_pairs)
+          | None -> (n * (n - 1) / 2, 0)
+        in
+        let simuq =
+          if not !simuq_alive then None
+          else begin
+            let s =
+              simuq_point ~budget:simuq_budget ~name:"plan-large"
+                ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 ~n ()
+            in
+            if not (Float.is_finite s.rel_err) then simuq_alive := false;
+            Some s
+          end
+        in
+        progress
+          "plan: large-N n=%d cold %.3f s (build %.3f ms, solve %.3f ms) \
+           alloc %.1f MB live %.1f MB pairs %d/%d%s"
+          n total_s
+          (1e3 *. r.C.plan.C.build_seconds)
+          (1e3 *. r.C.plan.C.solve_seconds)
+          allocated_mb plan_live_mb kept (kept + dropped)
+          (match simuq with
+          | Some s when Float.is_finite s.rel_err ->
+              Printf.sprintf " simuq %.1f s" s.compile_s
+          | Some s -> Printf.sprintf " simuq FAILED after %.1f s" s.compile_s
+          | None -> "");
+        ( n,
+          total_s,
+          r.C.plan.C.build_seconds,
+          r.C.plan.C.solve_seconds,
+          allocated_mb,
+          plan_live_mb,
+          (kept, dropped),
+          simuq ))
+      large_sizes
+  in
+  let large_exponent =
+    let xs =
+      Array.of_list
+        (List.map (fun (n, _, _, _, _, _, _, _) -> log (float_of_int n))
+           large_series)
+    in
+    let ys =
+      Array.of_list
+        (List.map (fun (_, t, _, _, _, _, _, _) -> log t) large_series)
+    in
+    if Array.length xs < 2 then Float.nan else fst (Stats.linear_fit xs ys)
+  in
+  let simuq_max_n =
+    List.fold_left
+      (fun acc (n, _, _, _, _, _, _, simuq) ->
+        match simuq with
+        | Some s when Float.is_finite s.rel_err -> n
+        | _ -> acc)
+      0 large_series
+  in
+  let simuq_timeout_n =
+    List.fold_left
+      (fun acc (n, _, _, _, _, _, _, simuq) ->
+        match (acc, simuq) with
+        | 0, Some s when not (Float.is_finite s.rel_err) -> n
+        | _ -> acc)
+      0 large_series
+  in
+  progress
+    "plan: large-N fitted exponent %.2f (target <= 1.3); simuq max n=%d%s"
+    large_exponent simuq_max_n
+    (if simuq_timeout_n > 0 then
+       Printf.sprintf ", first timeout at n=%d" simuq_timeout_n
+     else "");
   let oc = open_out "BENCH_plan.json" in
   Printf.fprintf oc
     "{\n\
@@ -1450,6 +1563,17 @@ let plan () =
     \    \"instances_per_size\": %d,\n\
     \    \"mean_speedup\": %.4f,\n\
     \    \"target_speedup\": 1.25,\n\
+    \    \"series\": [\n%s\n\
+    \    ]\n\
+    \  },\n\
+    \  \"large_n\": {\n\
+    \    \"benchmark\": \"ising-cycle\",\n\
+    \    \"cutoff\": \"auto\",\n\
+    \    \"fitted_exponent\": %.4f,\n\
+    \    \"target_exponent\": 1.3,\n\
+    \    \"simuq_budget_seconds\": %.1f,\n\
+    \    \"simuq_max_n\": %d,\n\
+    \    \"simuq_first_timeout_n\": %d,\n\
     \    \"series\": [\n%s\n\
     \    ]\n\
     \  }\n\
@@ -1471,7 +1595,24 @@ let plan () =
               "      {\"n\": %d, \"cold_seconds\": %.6f, \"warm_seconds\": \
                %.6f, \"speedup\": %.4f, \"warm_cache_hits\": %d}"
               n cold_s warm_s speedup hits)
-          series));
+          series))
+    large_exponent simuq_budget simuq_max_n simuq_timeout_n
+    (String.concat ",\n"
+       (List.map
+          (fun (n, total, b, s, alloc_mb, live_mb, (kept, dropped), simuq) ->
+            Printf.sprintf
+              "      {\"n\": %d, \"total_seconds\": %.6f, \"build_seconds\": \
+               %.6f, \"solve_seconds\": %.6f, \"allocated_mb\": %.2f, \
+               \"plan_live_mb\": %.2f, \"kept_pairs\": %d, \"dropped_pairs\": \
+               %d, \"simuq_seconds\": %s, \"simuq_success\": %s}"
+              n total b s alloc_mb live_mb kept dropped
+              (match simuq with
+              | Some sq -> Printf.sprintf "%.3f" sq.compile_s
+              | None -> "null")
+              (match simuq with
+              | Some sq -> string_of_bool (Float.is_finite sq.rel_err)
+              | None -> "null"))
+          large_series));
   close_out oc;
   progress "plan: wrote BENCH_plan.json (mean warm speedup %.2fx)" mean_speedup
 
@@ -1485,7 +1626,7 @@ let sweep () =
   let module CP = Qturbo_core.Compile_plan in
   let domains = Qturbo_par.Pool.default_domains () in
   let k = if !quick then 8 else 16 in
-  let jobs_for n =
+  let jobs_for ?(k = k) n =
     List.init k (fun i ->
         let j = 0.2 +. (0.11 *. float_of_int i)
         and h = 0.45 +. (0.07 *. float_of_int i) in
@@ -1554,6 +1695,55 @@ let sweep () =
     List.fold_left (fun acc (_, _, _, _, s, _, _, _) -> acc +. s) 0.0 series
     /. float_of_int (List.length series)
   in
+  (* large-N sweeps on the auto-cutoff device: fewer jobs per size (the
+     point is the scaling of the shared-plan batch, not the fan-out) *)
+  let large_k = 4 in
+  let large_sizes = if !quick then [ 100 ] else [ 100; 400; 1000 ] in
+  let large_series =
+    List.map
+      (fun n ->
+        let ryd = large_cycle_ryd n in
+        let jobs = jobs_for ~k:large_k n in
+        CP.clear_caches ();
+        let warm_s, warm =
+          time_run (fun () ->
+              List.map
+                (fun (target, t_tar) ->
+                  C.compile ~aais:ryd.Rydberg.aais ~target ~t_tar ())
+                jobs)
+        in
+        CP.clear_caches ();
+        let batch_s, batch =
+          time_run (fun () ->
+              C.compile_batch ~batch_domains:domains ~aais:ryd.Rydberg.aais
+                jobs)
+        in
+        let identical =
+          List.for_all2
+            (fun (a : C.result) (b : C.result) ->
+              bits_eq a.C.t_sim b.C.t_sim
+              && bits_eq a.C.relative_error b.C.relative_error)
+            warm batch
+        in
+        progress
+          "sweep: large-N ising-cycle n=%d jobs=%d warm %.3f s batch %.3f s \
+           (identical %b)"
+          n large_k warm_s batch_s identical;
+        (n, warm_s, batch_s, identical))
+      large_sizes
+  in
+  let large_exponent =
+    if List.length large_series < 2 then Float.nan
+    else
+      let xs =
+        Array.of_list
+          (List.map (fun (n, _, _, _) -> log (float_of_int n)) large_series)
+      in
+      let ys =
+        Array.of_list (List.map (fun (_, _, b, _) -> log b) large_series)
+      in
+      fst (Stats.linear_fit xs ys)
+  in
   let oc = open_out "BENCH_sweep.json" in
   Printf.fprintf oc
     "{\n\
@@ -1563,7 +1753,14 @@ let sweep () =
     \  \"target_speedup\": 1.5,\n\
     \  \"mean_speedup\": %.4f,\n\
     \  \"series\": [\n%s\n\
-    \  ]\n\
+    \  ],\n\
+    \  \"large_n\": {\n\
+    \    \"cutoff\": \"auto\",\n\
+    \    \"jobs_per_size\": %d,\n\
+    \    \"batch_fitted_exponent\": %s,\n\
+    \    \"series\": [\n%s\n\
+    \    ]\n\
+    \  }\n\
      }\n"
     k domains mean_speedup
     (String.concat ",\n"
@@ -1576,7 +1773,18 @@ let sweep () =
                \"speedup\": %.4f, \"warm_speedup\": %.4f, \"cache_hits\": \
                %d, \"bitwise_identical\": %b}"
               n cold_s warm_s batch_s speedup warm_speedup hits identical)
-          series));
+          series))
+    large_k
+    (if Float.is_nan large_exponent then "null"
+     else Printf.sprintf "%.4f" large_exponent)
+    (String.concat ",\n"
+       (List.map
+          (fun (n, warm_s, batch_s, identical) ->
+            Printf.sprintf
+              "      {\"n\": %d, \"warm_sequential_seconds\": %.6f, \
+               \"batch_seconds\": %.6f, \"bitwise_identical\": %b}"
+              n warm_s batch_s identical)
+          large_series));
   close_out oc;
   progress "sweep: wrote BENCH_sweep.json (mean speedup %.2fx)" mean_speedup
 

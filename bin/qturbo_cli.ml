@@ -67,15 +67,34 @@ let resolve_rydberg_spec ~device_name ~n ~model_name =
     | Some s -> s
     | None -> failwith ("unknown device: " ^ device_name)
   in
-  (* widen the window for scaling studies beyond the physical chip *)
+  (* widen the window for scaling studies beyond the physical chip: a
+     cycle of n atoms at the default ~9 um spacing spans ~3n um, so the
+     window has to keep growing past n ≈ 600 or the constraint loop
+     spends its whole budget fighting the box *)
   let spec =
-    if n > 16 then { spec with Device.max_extent = 2000.0 } else spec
+    if n > 16 then
+      let extent = Float.max 2000.0 (3.5 *. float_of_int n) in
+      { spec with Device.max_extent = extent }
+    else spec
   in
   (* cycle and lattice couplings need planar atom layouts *)
   match model_name with
   | "ising-cycle" | "ising-cycle+" | "ising-grid" ->
       Device.with_geometry Device.Plane spec
   | _ -> spec
+
+(* --cutoff: "auto" (size-gated default), "all-pairs", or a radius in um *)
+let parse_cutoff s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Rydberg.Auto
+  | "all-pairs" | "all" | "exact" -> Rydberg.All_pairs
+  | other -> (
+      match float_of_string_opt other with
+      | Some r when Float.is_finite r && r > 0.0 -> Rydberg.Radius r
+      | _ ->
+          failwith
+            ("invalid --cutoff " ^ s
+           ^ " (expected auto, all-pairs, or a positive radius in um)"))
 
 let print_compile_result ~(ryd : Rydberg.t option) ~show_pulse ~ramp
     (r : Qturbo_core.Compiler.result) =
@@ -154,7 +173,8 @@ let user_errors f =
         fs;
       3
 
-let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
+let compile_cmd model_name hamiltonian n backend device_name cutoff t_tar j h
+    segments
     domains baseline no_refine no_time_opt no_plan_cache repeat best_effort
     deadline show_pulse ramp json verbose =
  user_errors @@ fun () ->
@@ -223,7 +243,7 @@ let compile_cmd model_name hamiltonian n backend device_name t_tar j h segments
         resolve_rydberg_spec ~device_name ~n
           ~model_name:model.Qturbo_models.Model.name
       in
-      let ryd = Rydberg.build ~spec ~n in
+      let ryd = Rydberg.build_cutoff ~cutoff:(parse_cutoff cutoff) ~spec ~n in
       if Qturbo_models.Model.is_driven model then begin
         let td =
           repeated (fun () ->
@@ -314,6 +334,17 @@ let device_arg =
   Arg.(
     value & opt string "aquila-paper"
     & info [ "device"; "d" ] ~docv:"DEVICE" ~doc:"Rydberg device preset (see `qturbo devices`).")
+
+let cutoff_arg =
+  Arg.(
+    value & opt string "auto"
+    & info [ "cutoff" ] ~docv:"CUTOFF"
+        ~doc:
+          "Van-der-Waals interaction cutoff for the rydberg backend: \
+           $(b,auto) (exact all-pairs channels up to 96 atoms, then a \
+           22.5 um neighbor-list cutoff), $(b,all-pairs) (exact at any \
+           size), or a positive radius in um.  When pairs are dropped the \
+           analyzer reports the truncation-error bound as QT029.")
 
 let t_tar_arg =
   Arg.(
@@ -409,7 +440,7 @@ let json_flag =
 
 let compile_term =
   Term.(
-    const compile_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg $ device_arg $ t_tar_arg
+    const compile_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg $ device_arg $ cutoff_arg $ t_tar_arg
     $ j_arg $ h_arg $ segments_arg $ domains_arg $ baseline_flag $ no_refine_flag
     $ no_time_opt_flag $ no_plan_cache_flag $ repeat_arg $ best_effort_flag
     $ deadline_arg $ show_pulse_flag $ ramp_flag $ json_flag $ verbose_flag)
@@ -440,7 +471,8 @@ let inject_dangling (aais : Aais.t) =
     ~check_fixed:aais.Aais.check_fixed ~fingerprint:aais.Aais.fingerprint
     ~sites:aais.Aais.sites ()
 
-let check_cmd model_name hamiltonian n backend device_name t_tar j h inject
+let check_cmd model_name hamiltonian n backend device_name cutoff t_tar j h
+    inject
     json verbose =
  user_errors @@ fun () ->
   setup_logging verbose;
@@ -460,7 +492,7 @@ let check_cmd model_name hamiltonian n backend device_name t_tar j h inject
           resolve_rydberg_spec ~device_name ~n
             ~model_name:model.Qturbo_models.Model.name
         in
-        let ryd = Rydberg.build ~spec ~n in
+        let ryd = Rydberg.build_cutoff ~cutoff:(parse_cutoff cutoff) ~spec ~n in
         ( ryd.Rydberg.aais,
           spec.Device.max_time,
           Qturbo_analysis.Device_check.rydberg_spec spec )
@@ -500,8 +532,8 @@ let inject_arg =
 let check_term =
   Term.(
     const check_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg
-    $ device_arg $ t_tar_arg $ j_arg $ h_arg $ inject_arg $ json_flag
-    $ verbose_flag)
+    $ device_arg $ cutoff_arg $ t_tar_arg $ j_arg $ h_arg $ inject_arg
+    $ json_flag $ verbose_flag)
 
 let check_info =
   Cmd.info "check"
@@ -610,7 +642,8 @@ let lint_corrupt_plan variant (plan : Qturbo_core.Compile_plan.t) =
         )
   | _ -> None
 
-let lint_cmd model_name hamiltonian n backend device_name j h inject json
+let lint_cmd model_name hamiltonian n backend device_name cutoff j h inject
+    json
     verbose =
  user_errors @@ fun () ->
   setup_logging verbose;
@@ -630,7 +663,8 @@ let lint_cmd model_name hamiltonian n backend device_name j h inject json
           resolve_rydberg_spec ~device_name ~n
             ~model_name:model.Qturbo_models.Model.name
         in
-        (Rydberg.build ~spec ~n).Rydberg.aais
+        (Rydberg.build_cutoff ~cutoff:(parse_cutoff cutoff) ~spec ~n)
+          .Rydberg.aais
     | other -> failwith ("unknown backend " ^ other ^ " (rydberg | heisenberg)")
   in
   let target =
@@ -710,7 +744,8 @@ let lint_inject_arg =
 let lint_term =
   Term.(
     const lint_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg
-    $ device_arg $ j_arg $ h_arg $ lint_inject_arg $ json_flag $ verbose_flag)
+    $ device_arg $ cutoff_arg $ j_arg $ h_arg $ lint_inject_arg $ json_flag
+    $ verbose_flag)
 
 let lint_info =
   Cmd.info "lint"

@@ -1,3 +1,11 @@
+type truncation = {
+  radius : float;
+  kept_pairs : int;
+  dropped_pairs : int;
+  dropped_l1 : float;
+  max_dropped : float;
+}
+
 type t = {
   name : string;
   n_qubits : int;
@@ -6,6 +14,7 @@ type t = {
   check_fixed : float array -> string list;
   fingerprint : string;
   sites : (int * int option) array;
+  truncation : truncation option;
 }
 
 let channels t =
@@ -26,9 +35,18 @@ let channels t =
     arr
 
 let make ~name ~n_qubits ~pool ~instructions ?(check_fixed = fun _ -> [])
-    ?(fingerprint = "") ?(sites = [||]) () =
+    ?(fingerprint = "") ?(sites = [||]) ?truncation () =
   let t =
-    { name; n_qubits; pool; instructions; check_fixed; fingerprint; sites }
+    {
+      name;
+      n_qubits;
+      pool;
+      instructions;
+      check_fixed;
+      fingerprint;
+      sites;
+      truncation;
+    }
   in
   ignore (channels t);
   t

@@ -5,6 +5,23 @@
     layouts).  Built by {!Rydberg.build} / {!Heisenberg.build}; the
     compiler core consumes only this interface. *)
 
+type truncation = {
+  radius : float;  (** interaction-cutoff radius (µm) the builder applied *)
+  kept_pairs : int;  (** pair channels emitted *)
+  dropped_pairs : int;  (** pair channels omitted (beyond [radius]) *)
+  dropped_l1 : float;
+      (** L1 weight of every omitted effect, in the channel amplitude's
+          units (MHz for Rydberg): an upper bound on the per-unit-time
+          operator-norm error of the truncated device Hamiltonian.
+          Multiplied by the evolution time it adds to the Theorem-1
+          bound; the analyzer reports it as [QT029]. *)
+  max_dropped : float;  (** largest single omitted pair amplitude *)
+}
+(** Summary of an interaction cutoff a builder applied while emitting
+    pair channels (e.g. {!Rydberg.build} with a neighbor-list cutoff).
+    Only present when pairs were actually dropped — an AAIS whose cutoff
+    covered the full layout is byte-identical to the exact one. *)
+
 type t = {
   name : string;
   n_qubits : int;
@@ -29,6 +46,11 @@ type t = {
           Heisenberg).  {!Shape} uses this to anchor the first site at
           the origin when rendering the structural cache key, so
           rigidly-translated devices share one plan. *)
+  truncation : truncation option;
+      (** Interaction-cutoff summary when the builder dropped pair
+          channels; [None] for exact devices.  Not part of the
+          structural cache key — the emitted channels already determine
+          it. *)
 }
 
 val make :
@@ -39,6 +61,7 @@ val make :
   ?check_fixed:(float array -> string list) ->
   ?fingerprint:string ->
   ?sites:(int * int option) array ->
+  ?truncation:truncation ->
   unit ->
   t
 (** Validates that channel [cid]s are dense [0 .. count-1] (raises

@@ -682,6 +682,211 @@ let eval_kernel k ~env =
   done;
   st.(0)
 
+(* ---- batched SoA evaluation ------------------------------------------ *)
+
+(* Many kernels packed into one flat program so a residual sweep over a
+   component's channels runs as a single tight loop writing into a
+   reusable Bigarray buffer — no per-row closure dispatch, no boxed
+   intermediate arrays.  Each row replays exactly the float operations
+   [eval_kernel] would run on its kernel, in the same order, so every
+   output is bitwise-identical to the per-kernel evaluator. *)
+module Batch = struct
+  open Stdlib
+
+  type buffer =
+    (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type t = {
+    b_prog : int array;  (* concatenated programs, const args rebased *)
+    b_row_ptr : int array;  (* row r occupies [b_row_ptr.(r), b_row_ptr.(r+1)) *)
+    b_consts : float array;  (* concatenated constant tables *)
+    b_depth : int;  (* max stack depth over all rows *)
+    b_max_var : int;
+  }
+
+  let length b = Array.length b.b_row_ptr - 1
+  let max_var b = b.b_max_var
+
+  let create_buffer n =
+    Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (Stdlib.max 1 n)
+
+  (* opcodes whose argument indexes the constant table — the only words
+     that need rebasing when tables are concatenated (the vv/dsq pairs
+     pack variable ids, everything else is a variable id or a literal) *)
+  let reads_consts op =
+    op = op_const || (op >= op_const_add && op <= op_const_add + 3)
+    || op = op_crdiv
+
+  let pack kernels =
+    let rows = Array.length kernels in
+    let row_ptr = Array.make (rows + 1) 0 in
+    let total_prog = ref 0 and total_consts = ref 0 in
+    Array.iter
+      (fun k ->
+        total_prog := !total_prog + Array.length k.k_prog;
+        total_consts := !total_consts + Array.length k.k_consts)
+      kernels;
+    let prog = Array.make (Stdlib.max 1 !total_prog) 0 in
+    let consts = Array.make (Stdlib.max 1 !total_consts) 0.0 in
+    let depth = ref 1 and max_var = ref (-1) in
+    let pp = ref 0 and cp = ref 0 in
+    Array.iteri
+      (fun r k ->
+        row_ptr.(r) <- !pp;
+        let off = !cp in
+        Array.iter
+          (fun word ->
+            let op = word land 31 and arg = word asr 5 in
+            prog.(!pp) <-
+              (if reads_consts op then ((arg + off) lsl 5) lor op else word);
+            incr pp)
+          k.k_prog;
+        Array.blit k.k_consts 0 consts off (Array.length k.k_consts);
+        cp := off + Array.length k.k_consts;
+        if k.k_depth > !depth then depth := k.k_depth;
+        if k.k_max_var > !max_var then max_var := k.k_max_var)
+      kernels;
+    row_ptr.(rows) <- !pp;
+    {
+      b_prog = prog;
+      b_row_ptr = row_ptr;
+      b_consts = consts;
+      b_depth = !depth;
+      b_max_var = !max_var;
+    }
+
+  let eval b ~env ~out =
+    let open Stdlib in
+    let rows = length b in
+    if Bigarray.Array1.dim out < rows then
+      invalid_arg "Expr.Batch.eval: output buffer shorter than the batch";
+    let cell = Domain.DLS.get stack_key in
+    if Array.length !cell < b.b_depth then
+      cell := Array.make (Int.max b.b_depth (2 * Array.length !cell)) 0.0;
+    let st = !cell in
+    let prog = b.b_prog and consts = b.b_consts and row_ptr = b.b_row_ptr in
+    for r = 0 to rows - 1 do
+      let sp = ref 0 in
+      for pc = row_ptr.(r) to row_ptr.(r + 1) - 1 do
+        let instr = Array.unsafe_get prog pc in
+        let arg = instr asr 5 in
+        match instr land 31 with
+        | 0 (* const *) ->
+            Array.unsafe_set st !sp (Array.unsafe_get consts arg);
+            incr sp
+        | 1 (* var *) ->
+            Array.unsafe_set st !sp env.(arg);
+            incr sp
+        | 2 (* neg *) ->
+            let i = !sp - 1 in
+            Array.unsafe_set st i (-.Array.unsafe_get st i)
+        | 3 (* add *) ->
+            decr sp;
+            let i = !sp - 1 in
+            Array.unsafe_set st i
+              (Array.unsafe_get st i +. Array.unsafe_get st !sp)
+        | 4 (* sub *) ->
+            decr sp;
+            let i = !sp - 1 in
+            Array.unsafe_set st i
+              (Array.unsafe_get st i -. Array.unsafe_get st !sp)
+        | 5 (* mul *) ->
+            decr sp;
+            let i = !sp - 1 in
+            Array.unsafe_set st i
+              (Array.unsafe_get st i *. Array.unsafe_get st !sp)
+        | 6 (* div *) ->
+            decr sp;
+            let i = !sp - 1 in
+            Array.unsafe_set st i
+              (Array.unsafe_get st i /. Array.unsafe_get st !sp)
+        | 7 (* pow *) ->
+            let i = !sp - 1 in
+            Array.unsafe_set st i (int_pow (Array.unsafe_get st i) arg)
+        | 8 (* sin *) ->
+            let i = !sp - 1 in
+            Array.unsafe_set st i (sin (Array.unsafe_get st i))
+        | 9 (* cos *) ->
+            let i = !sp - 1 in
+            Array.unsafe_set st i (cos (Array.unsafe_get st i))
+        | 10 (* vv_add *) ->
+            let va = env.(arg lsr 24) in
+            let vb = env.(arg land 0xffffff) in
+            Array.unsafe_set st !sp (va +. vb);
+            incr sp
+        | 11 (* vv_sub *) ->
+            let va = env.(arg lsr 24) in
+            let vb = env.(arg land 0xffffff) in
+            Array.unsafe_set st !sp (va -. vb);
+            incr sp
+        | 12 (* vv_mul *) ->
+            let va = env.(arg lsr 24) in
+            let vb = env.(arg land 0xffffff) in
+            Array.unsafe_set st !sp (va *. vb);
+            incr sp
+        | 13 (* vv_div *) ->
+            let va = env.(arg lsr 24) in
+            let vb = env.(arg land 0xffffff) in
+            Array.unsafe_set st !sp (va /. vb);
+            incr sp
+        | 14 (* var_add *) ->
+            let i = !sp - 1 in
+            Array.unsafe_set st i (Array.unsafe_get st i +. env.(arg))
+        | 15 (* var_sub *) ->
+            let i = !sp - 1 in
+            Array.unsafe_set st i (Array.unsafe_get st i -. env.(arg))
+        | 16 (* var_mul *) ->
+            let i = !sp - 1 in
+            Array.unsafe_set st i (Array.unsafe_get st i *. env.(arg))
+        | 17 (* var_div *) ->
+            let i = !sp - 1 in
+            Array.unsafe_set st i (Array.unsafe_get st i /. env.(arg))
+        | 18 (* const_add *) ->
+            let i = !sp - 1 in
+            Array.unsafe_set st i
+              (Array.unsafe_get st i +. Array.unsafe_get consts arg)
+        | 19 (* const_sub *) ->
+            let i = !sp - 1 in
+            Array.unsafe_set st i
+              (Array.unsafe_get st i -. Array.unsafe_get consts arg)
+        | 20 (* const_mul *) ->
+            let i = !sp - 1 in
+            Array.unsafe_set st i
+              (Array.unsafe_get st i *. Array.unsafe_get consts arg)
+        | 21 (* const_div *) ->
+            let i = !sp - 1 in
+            Array.unsafe_set st i
+              (Array.unsafe_get st i /. Array.unsafe_get consts arg)
+        | 22 (* sq *) ->
+            let i = !sp - 1 in
+            let x = Array.unsafe_get st i in
+            Array.unsafe_set st i (x *. x)
+        | 23 (* cube *) ->
+            let i = !sp - 1 in
+            let x = Array.unsafe_get st i in
+            Array.unsafe_set st i (x *. (x *. x))
+        | 24 (* dsq *) ->
+            let va = env.(arg lsr 24) in
+            let vb = env.(arg land 0xffffff) in
+            let d = va -. vb in
+            Array.unsafe_set st !sp (d *. d);
+            incr sp
+        | 25 (* crdiv *) ->
+            let i = !sp - 1 in
+            Array.unsafe_set st i
+              (Array.unsafe_get consts arg /. Array.unsafe_get st i)
+        | 26 (* var_sin *) ->
+            Array.unsafe_set st !sp (sin env.(arg));
+            incr sp
+        | 27 (* var_cos *) ->
+            Array.unsafe_set st !sp (cos env.(arg));
+            incr sp
+        | _ -> assert false
+      done;
+      Bigarray.Array1.unsafe_set out r st.(0)
+    done
+end
+
 let rec pp ppf = function
   | Const x -> Format.fprintf ppf "%g" x
   | Var id -> Format.fprintf ppf "v%d" id

@@ -140,6 +140,44 @@ val compile_hook : (t -> kernel -> unit) ref
     the kernel verifier so test-mode runs check every kernel at birth;
     the hook may raise to reject a bad kernel. *)
 
+(** {1 Batched evaluation}
+
+    A residual sweep evaluates every channel kernel of a component
+    against the same environment, once per optimiser iteration.
+    {!Batch.pack} concatenates the kernels into one flat program so
+    {!Batch.eval} runs the whole sweep as a single tight loop writing
+    into a reusable [Bigarray] buffer — no per-kernel dispatch, no boxed
+    intermediate arrays, and (after the first call on a domain) no
+    allocation at all. *)
+module Batch : sig
+  type buffer =
+    (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type t
+
+  val pack : kernel array -> t
+  (** Concatenate kernels into one program.  [eval] on the result
+      performs exactly the float operations each [eval_kernel] would,
+      in the same order, so every output is bitwise-identical to the
+      per-kernel evaluator. *)
+
+  val eval : t -> env:float array -> out:buffer -> unit
+  (** [eval b ~env ~out] writes kernel [r]'s value to [out.{r}] for
+      every row.  Raises [Invalid_argument] when [out] is shorter than
+      the batch.  Domain-safe: the evaluation stack is the same
+      domain-local scratch {!eval_kernel} uses. *)
+
+  val length : t -> int
+  (** Number of packed kernels (rows). *)
+
+  val max_var : t -> int
+  (** Largest variable id any packed kernel reads, [-1] if none. *)
+
+  val create_buffer : int -> buffer
+  (** A fresh float64 buffer of at least the given length (at least 1,
+      so a zero-row batch still gets a valid buffer). *)
+end
+
 (** {1 Typed IR view}
 
     The packed [int array] program, decoded instruction by instruction

@@ -20,7 +20,7 @@ let rydberg_segment_hamiltonians p =
   List.map
     (fun s ->
       ( Rydberg.hamiltonian_of_pulse ~spec:p.spec ~positions:p.positions
-          ~omega:s.omega ~phi:s.phi ~delta:s.delta,
+          ~omega:s.omega ~phi:s.phi ~delta:s.delta (),
         s.duration ))
     p.segments
 

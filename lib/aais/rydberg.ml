@@ -36,20 +36,94 @@ let polygon_inits n =
     Array.map (fun (x, y) -> ((c *. x) +. (s *. y), (c *. y) -. (s *. x))) shifted
   end
 
+type cutoff = All_pairs | Radius of float | Auto
+
+(* Above this atom count [Auto] switches from exact all-pairs channels
+   to the neighbor-list cutoff; every bench/test size up to n = 93 stays
+   on the untouched exact path. *)
+let auto_threshold = 96
+
+(* 2.5 lattice spacings keeps first and second neighbors on both the
+   chain and the polygon layouts; the nearest dropped pair sits at
+   >= 3 spacings, where the van-der-Waals amplitude has fallen to
+   (1/3)^6 ~ 0.14% of the nearest-neighbor coupling. *)
+let auto_radius_factor = 2.5
+
+let resolve_cutoff ~cutoff ~n =
+  match cutoff with
+  | All_pairs -> None
+  | Radius r ->
+      if not (Float.is_finite r && r > 0.0) then
+        invalid_arg "Rydberg.build: cutoff radius must be positive and finite";
+      Some r
+  | Auto ->
+      if n <= auto_threshold then None
+      else Some (auto_radius_factor *. default_spacing)
+
+(* Neighbor-list pair enumeration: all (i, j), i < j, with
+   |p_i - p_j| <= radius, in the exact (i ascending, j ascending) order
+   of the quadratic double loop.  A uniform cell grid at the cutoff
+   length makes this O(n) for bounded-density layouts: any qualifying
+   pair lands in the same or an adjacent cell. *)
+let pairs_within ~radius positions =
+  let n = Array.length positions in
+  let cell = Float.max radius 1e-9 in
+  let key (x, y) =
+    (int_of_float (floor (x /. cell)), int_of_float (floor (y /. cell)))
+  in
+  let bins = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i p ->
+      let k = key p in
+      Hashtbl.replace bins k
+        (i :: Option.value ~default:[] (Hashtbl.find_opt bins k)))
+    positions;
+  let r2 = radius *. radius in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    let cx, cy = key positions.(i) in
+    let cands = ref [] in
+    for dx = -1 to 1 do
+      for dy = -1 to 1 do
+        match Hashtbl.find_opt bins (cx + dx, cy + dy) with
+        | None -> ()
+        | Some l -> List.iter (fun j -> if j > i then cands := j :: !cands) l
+      done
+    done;
+    List.iter
+      (fun j ->
+        let xi, yi = positions.(i) and xj, yj = positions.(j) in
+        let dx = xi -. xj and dy = yi -. yj in
+        if (dx *. dx) +. (dy *. dy) <= r2 then out := (i, j) :: !out)
+      (List.sort_uniq Int.compare !cands)
+  done;
+  List.rev !out
+
 let check_layout_positions ~spec positions =
   let n = Array.length positions in
   let violations = ref [] in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let xi, yi = positions.(i) and xj, yj = positions.(j) in
-      let d = sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0)) in
-      if d < spec.Device.min_separation then
-        violations :=
-          Printf.sprintf "atoms %d,%d separated by %.2f um < %.2f um" i j d
-            spec.Device.min_separation
-          :: !violations
+  let check_pair i j =
+    let xi, yi = positions.(i) and xj, yj = positions.(j) in
+    let d = sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0)) in
+    if d < spec.Device.min_separation then
+      violations :=
+        Printf.sprintf "atoms %d,%d separated by %.2f um < %.2f um" i j d
+          spec.Device.min_separation
+        :: !violations
+  in
+  if n <= auto_threshold then
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        check_pair i j
+      done
     done
-  done;
+  else
+    (* grid at the minimum separation: any violating pair is within one
+       cell, and the candidates come back in (i, j) order, so the
+       violation list matches the quadratic loop's exactly *)
+    List.iter
+      (fun (i, j) -> check_pair i j)
+      (pairs_within ~radius:spec.Device.min_separation positions);
   let xs = Array.map fst positions and ys = Array.map snd positions in
   let extent coords =
     let lo = Array.fold_left Float.min infinity coords in
@@ -64,7 +138,7 @@ let check_layout_positions ~spec positions =
       :: !violations;
   List.rev !violations
 
-let build_at ~origin ~spec ~n =
+let build_cutoff_at ~cutoff ~origin ~spec ~n =
   if n < 1 then invalid_arg "Rydberg.build: need at least one atom";
   let ox, oy = origin in
   let pool = Variable.create_pool () in
@@ -142,36 +216,82 @@ let build_at ~origin ~spec ~n =
     | None -> Expr.pow dx 6
     | Some ys -> Expr.(pow (pow dx 2 + pow (var ys.(i) - var ys.(j)) 2) 3)
   in
+  (* pair selection: exact all-pairs, or the neighbor list of the
+     initial layout under the cutoff radius.  The kept pairs are
+     enumerated in the same (i ascending, j ascending) order either way,
+     so when nothing is dropped the channels — ids, labels, expressions —
+     are byte-identical to the exact build and the structural cache key
+     comes out the same. *)
+  let cutoff_radius = resolve_cutoff ~cutoff ~n in
+  let vdw_pairs =
+    match cutoff_radius with
+    | None ->
+        List.concat
+          (List.init n (fun i ->
+               List.filter_map
+                 (fun j -> if j <= i then None else Some (i, j))
+                 (List.init n Fun.id)))
+    | Some radius -> pairs_within ~radius inits
+  in
+  let truncation =
+    match cutoff_radius with
+    | None -> None
+    | Some radius ->
+        let kept = List.length vdw_pairs in
+        let dropped = (n * (n - 1) / 2) - kept in
+        if dropped = 0 then None
+        else begin
+          (* exact complement sums over the initial layout — simple float
+             ops, no allocation; this is diagnostic bookkeeping, not a
+             compile hot path *)
+          let r2 = radius *. radius in
+          let sum = ref 0.0 and maxd = ref 0.0 in
+          for i = 0 to n - 1 do
+            for j = i + 1 to n - 1 do
+              let xi, yi = inits.(i) and xj, yj = inits.(j) in
+              let dx = xi -. xj and dy = yi -. yj in
+              let d2 = (dx *. dx) +. (dy *. dy) in
+              if d2 > r2 then begin
+                let a = Float.abs (spec.Device.c6 /. (4.0 *. (d2 ** 3.0))) in
+                (* three effects per pair channel: Z_iZ_j, Z_i, Z_j *)
+                sum := !sum +. (3.0 *. a);
+                if a > !maxd then maxd := a
+              end
+            done
+          done;
+          Some
+            {
+              Aais.radius;
+              kept_pairs = kept;
+              dropped_pairs = dropped;
+              dropped_l1 = !sum;
+              max_dropped = !maxd;
+            }
+        end
+  in
   let vdw_instructions =
-    List.concat
-      (List.init n (fun i ->
-           List.filter_map
-             (fun j ->
-               if j <= i then None
-               else
-                 let expr =
-                   Expr.(const (spec.Device.c6 /. 4.0) / dist6_expr i j)
-                 in
-                 let effects =
-                   [
-                     {
-                       Instruction.pstring = Pauli_string.two i Pauli.Z j Pauli.Z;
-                       coeff = 1.0;
-                     };
-                     { Instruction.pstring = Pauli_string.single i Pauli.Z; coeff = -1.0 };
-                     { Instruction.pstring = Pauli_string.single j Pauli.Z; coeff = -1.0 };
-                   ]
-                 in
-                 let channel =
-                   Instruction.channel ~cid:(fresh_cid ())
-                     ~label:(Printf.sprintf "vdw(%d,%d)" i j)
-                     ~expr ~effects ~hint:Instruction.Hint_fixed
-                 in
-                 Some
-                   (Instruction.make
-                      ~label:(Printf.sprintf "vdw(%d,%d)" i j)
-                      ~channels:[ channel ]))
-             (List.init n Fun.id)))
+    List.map
+      (fun (i, j) ->
+        let expr = Expr.(const (spec.Device.c6 /. 4.0) / dist6_expr i j) in
+        let effects =
+          [
+            {
+              Instruction.pstring = Pauli_string.two i Pauli.Z j Pauli.Z;
+              coeff = 1.0;
+            };
+            { Instruction.pstring = Pauli_string.single i Pauli.Z; coeff = -1.0 };
+            { Instruction.pstring = Pauli_string.single j Pauli.Z; coeff = -1.0 };
+          ]
+        in
+        let channel =
+          Instruction.channel ~cid:(fresh_cid ())
+            ~label:(Printf.sprintf "vdw(%d,%d)" i j)
+            ~expr ~effects ~hint:Instruction.Hint_fixed
+        in
+        Instruction.make
+          ~label:(Printf.sprintf "vdw(%d,%d)" i j)
+          ~channels:[ channel ])
+      vdw_pairs
   in
   let control_index i =
     match spec.Device.control with Device.Global -> 0 | Device.Local -> i
@@ -276,11 +396,16 @@ let build_at ~origin ~spec ~n =
             | Some ys -> Some ys.(i).Variable.id ))
     in
     Aais.make ~name:(Printf.sprintf "rydberg[%s,n=%d]" spec.Device.name n)
-      ~n_qubits:n ~pool ~instructions ~check_fixed ~fingerprint ~sites ()
+      ~n_qubits:n ~pool ~instructions ~check_fixed ~fingerprint ~sites
+      ?truncation ()
   in
   { aais; spec; n; xs; ys; deltas; omegas; phis }
 
+let build_at ~origin ~spec ~n = build_cutoff_at ~cutoff:Auto ~origin ~spec ~n
 let build ~spec ~n = build_at ~origin:(0.0, 0.0) ~spec ~n
+
+let build_cutoff ~cutoff ~spec ~n =
+  build_cutoff_at ~cutoff ~origin:(0.0, 0.0) ~spec ~n
 
 let positions t ~env =
   Array.init t.n (fun i ->
@@ -295,20 +420,30 @@ let distance t ~env i j =
   let xi, yi = ps.(i) and xj, yj = ps.(j) in
   sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0))
 
-let hamiltonian_of_pulse ~spec ~positions ~omega ~phi ~delta =
+let hamiltonian_of_pulse ?cutoff_radius ~spec ~positions ~omega ~phi ~delta () =
   let n = Array.length positions in
   if Array.length omega <> n || Array.length phi <> n || Array.length delta <> n
   then invalid_arg "Rydberg.hamiltonian_of_pulse: per-atom array lengths";
+  let keep =
+    (* [cutoff_radius] reconstructs what a truncated AAIS compiles
+       against; the default is the exact physics — a real device's
+       van-der-Waals tails do not truncate *)
+    match cutoff_radius with
+    | None -> fun _ -> true
+    | Some r -> fun d2 -> d2 <= r *. r
+  in
   let h = ref Pauli_sum.zero in
   let add c s = h := Pauli_sum.add_term !h s c in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
       let xi, yi = positions.(i) and xj, yj = positions.(j) in
       let d2 = ((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0) in
-      let a = spec.Device.c6 /. (4.0 *. (d2 ** 3.0)) in
-      add a (Pauli_string.two i Pauli.Z j Pauli.Z);
-      add (-.a) (Pauli_string.single i Pauli.Z);
-      add (-.a) (Pauli_string.single j Pauli.Z)
+      if keep d2 then begin
+        let a = spec.Device.c6 /. (4.0 *. (d2 ** 3.0)) in
+        add a (Pauli_string.two i Pauli.Z j Pauli.Z);
+        add (-.a) (Pauli_string.single i Pauli.Z);
+        add (-.a) (Pauli_string.single j Pauli.Z)
+      end
     done;
     add (delta.(i) /. 2.0) (Pauli_string.single i Pauli.Z);
     add (omega.(i) /. 2.0 *. cos phi.(i)) (Pauli_string.single i Pauli.X);
@@ -323,5 +458,6 @@ let hamiltonian t ~env =
   let per_atom vars = Array.init t.n (fun i -> env.(vars.(k i).Variable.id)) in
   hamiltonian_of_pulse ~spec:t.spec ~positions:(positions t ~env)
     ~omega:(per_atom t.omegas) ~phi:(per_atom t.phis) ~delta:(per_atom t.deltas)
+    ()
 
 let check_layout ~spec positions = check_layout_positions ~spec positions

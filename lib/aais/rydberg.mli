@@ -23,12 +23,58 @@ type t = {
   phis : Variable.t array;
 }
 
+type cutoff =
+  | All_pairs  (** exact: every (i, j) pair channel, O(n²) of them *)
+  | Radius of float
+      (** neighbor list of the initial layout: only pairs within this
+          distance (µm) get a channel.  O(n) channels for geometrically
+          local layouts.  When the radius covers the full layout
+          diameter the build is byte-identical to {!All_pairs}. *)
+  | Auto
+      (** {!All_pairs} up to {!auto_threshold} atoms, then
+          [Radius (auto_radius_factor · default spacing)] — large
+          builds scale near-linearly while every small device stays
+          exact. *)
+
+val auto_threshold : int
+(** Atom count above which [Auto] starts truncating (96). *)
+
+val auto_radius_factor : float
+(** [Auto]'s cutoff radius in units of the default lattice spacing
+    (2.5 — keeps first and second neighbors on chain and polygon
+    layouts; the nearest dropped coupling is ~0.14% of the
+    nearest-neighbor amplitude). *)
+
+val default_spacing : float
+(** Initial inter-atom spacing of the generated layouts (µm). *)
+
+val pairs_within :
+  radius:float -> (float * float) array -> (int * int) list
+(** Neighbor-list enumeration: all pairs [(i, j)], [i < j], with
+    [|p_i − p_j| <= radius], in the (i ascending, j ascending) order of
+    the exact double loop.  Cell-grid backed — O(n) for bounded-density
+    layouts. *)
+
 val build : spec:Device.rydberg -> n:int -> t
-(** Build the AAIS for [n] atoms.  Atom 0 is pinned at the origin (and
-    atom 1 at [y = 0] in planar geometry) to fix the translation/rotation
-    gauge of the position solve.  Initial positions are an evenly spaced
-    chain (1-D) or regular polygon (2-D).  Equivalent to
+(** Build the AAIS for [n] atoms under the {!Auto} cutoff policy: exact
+    all-pairs channels up to {!auto_threshold} atoms, the neighbor-list
+    cutoff beyond.  Atom 0 is pinned at the origin (and atom 1 at
+    [y = 0] in planar geometry) to fix the translation/rotation gauge of
+    the position solve.  Initial positions are an evenly spaced chain
+    (1-D) or regular polygon (2-D).  When pairs are dropped the AAIS
+    carries an {!Aais.truncation} summary and the analyzer reports the
+    truncation bound as [QT029].  Equivalent to
     [build_at ~origin:(0.0, 0.0)]. *)
+
+val build_cutoff : cutoff:cutoff -> spec:Device.rydberg -> n:int -> t
+(** {!build} with an explicit cutoff policy ([All_pairs] forces the
+    exact O(n²) channels at any size; [Radius r] truncates at [r] µm
+    regardless of size). *)
+
+val build_cutoff_at :
+  cutoff:cutoff -> origin:float * float -> spec:Device.rydberg -> n:int -> t
+(** {!build_cutoff} anchored at [origin] — the general entry point
+    behind every other builder. *)
 
 val build_at : origin:float * float -> spec:Device.rydberg -> n:int -> t
 (** Like {!build} with atom 0 pinned at [origin] (and atom 1 at
@@ -49,14 +95,19 @@ val hamiltonian : t -> env:float array -> Qturbo_pauli.Pauli_sum.t
     for theory curves and by the device emulator. *)
 
 val hamiltonian_of_pulse :
+  ?cutoff_radius:float ->
   spec:Device.rydberg ->
   positions:(float * float) array ->
   omega:float array ->
   phi:float array ->
   delta:float array ->
+  unit ->
   Qturbo_pauli.Pauli_sum.t
 (** Same physics from explicit pulse parameters (per-atom arrays), without
-    an AAIS instance — the emulator's entry point. *)
+    an AAIS instance — the emulator's entry point.  [cutoff_radius]
+    drops van-der-Waals pairs beyond that distance, reconstructing what
+    a cutoff-truncated AAIS compiles against; the default is the exact
+    physics (a real device's tails do not truncate). *)
 
 val check_layout : spec:Device.rydberg -> (float * float) array -> string list
 (** Geometric constraint violations: pairwise separation below

@@ -6,6 +6,7 @@ let static_checks ~aais ~target ~t_tar ?t_max () =
   Device_check.variables variables
   @ Coverage.check ~channels ~n_qubits:aais.Aais.n_qubits ~target
   @ Feasibility.check ~channels ~variables ~target ~t_tar ?t_max ()
+  @ Truncation.check ~aais ~t_tar
 
 let check_or_raise diags =
   match Diagnostic.errors diags with

@@ -21,9 +21,10 @@ val static_checks :
   ?t_max:float ->
   unit ->
   Diagnostic.t list
-(** Passes 1 (term coverage), 2 (bounds feasibility) and the
-    variable-pool part of pass 4, in stable order.  [t_max] enables the
-    [QT003] magnitude check. *)
+(** Passes 1 (term coverage), 2 (bounds feasibility), the variable-pool
+    part of pass 4, and the interaction-cutoff accounting ({!Truncation},
+    [QT029]), in stable order.  [t_max] enables the [QT003] magnitude
+    check. *)
 
 val check_or_raise : Diagnostic.t list -> unit
 (** Raises {!Diagnostic.Rejected} with the error-severity subset when

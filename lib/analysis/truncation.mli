@@ -1,0 +1,13 @@
+(** Interaction-cutoff accounting (analyzer code [QT029]).
+
+    When a builder truncated the device's pair interactions (e.g.
+    {!Qturbo_aais.Rydberg.build} beyond its auto threshold), the AAIS
+    carries an {!Qturbo_aais.Aais.truncation} summary.  This pass turns
+    it into an [Info] diagnostic quantifying the honest addition to the
+    Theorem-1 error bound: the L1 weight of every omitted effect is an
+    upper bound on the per-unit-time operator-norm error of the
+    truncated device Hamiltonian, so multiplied by the target evolution
+    time it bounds the extra synthesis error.  Exact devices (no
+    truncation record) produce no diagnostics. *)
+
+val check : aais:Qturbo_aais.Aais.t -> t_tar:float -> Diagnostic.t list

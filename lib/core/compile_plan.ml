@@ -385,10 +385,9 @@ let admit (plan : t) =
           m "plan lint refused cache admission (%d errors)" (List.length errs));
       errs
 
-(* Fetch-or-build a plan for [target]'s shape.  Returns the plan and
+(* Fetch-or-build a plan for an explicit support.  Returns the plan and
    whether it came out of the cache. *)
-let obtain ~options ~aais ~target =
-  let support = support_of_target target in
+let obtain_for_support ~options ~aais ~support =
   if not options.plan_cache then
     (build ~options ~aais ~target_shape:support (), false)
   else
@@ -417,6 +416,9 @@ let obtain ~options ~aais ~target =
           (p, true)
         end
     | None -> rebuild ()
+
+let obtain ~options ~aais ~target =
+  obtain_for_support ~options ~aais ~support:(support_of_target target)
 
 (* ------------------------------------------------------------------ *)
 (* Input validation (shared with Td_compiler)                          *)

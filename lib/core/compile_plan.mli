@@ -158,6 +158,17 @@ val obtain : options:options -> aais:Aais.t -> target:Pauli_sum.t -> t * bool
     every hit and a failing plan is pulled, counted as a rejection and
     rebuilt rather than served. *)
 
+val obtain_for_support :
+  options:options ->
+  aais:Aais.t ->
+  support:Pauli_string.t list ->
+  t * bool
+(** {!obtain} for an explicit (canonically sorted, identity-free)
+    support instead of a target's own shape.  [Td_compiler] uses this to
+    compile every segment of a sweep against the {e union} support of
+    all segments, so coefficient cancellations in individual segments
+    cannot fork a second plan shape. *)
+
 (** {1 Plan linting}
 
     The cross-stage invariant pass ([Qturbo_analysis.Plan_lint], codes

@@ -24,6 +24,15 @@ type prepared = {
   bounds : Bounds.bound array;
   pinned : (int * float) list;
   nonzero_derivs : (int * int * Expr.kernel) array; (* (row, free col, d/dv) *)
+  res_batch : Expr.Batch.t;
+      (* the component's channel kernels packed for SoA evaluation —
+         one flat program per residual sweep instead of per-row
+         dispatch *)
+  jac_row_slots : (int * float) list array;
+      (* per row, the free columns with structurally nonzero derivative,
+         in [nonzero_derivs] order — the CSR template of the sparse
+         Jacobian.  [Csr.of_row_lists] on this packs slot [t] of the
+         value array at exactly triple [t]. *)
 }
 
 let prepare ~vars ~channels (comp : Locality.component) =
@@ -59,6 +68,12 @@ let prepare ~vars ~channels (comp : Locality.component) =
       cids;
     Array.of_list (List.rev !triples)
   in
+  let jac_row_slots =
+    let rows = Array.make (Array.length cids) [] in
+    Array.iter (fun (i, k, _) -> rows.(i) <- (k, 0.0) :: rows.(i))
+      nonzero_derivs;
+    Array.map List.rev rows
+  in
   {
     comp;
     vars;
@@ -76,6 +91,10 @@ let prepare ~vars ~channels (comp : Locality.component) =
           else None)
         comp.Locality.var_ids;
     nonzero_derivs;
+    res_batch =
+      Expr.Batch.pack
+        (Array.map (fun cid -> channels.(cid).Instruction.kernel) cids);
+    jac_row_slots;
   }
 
 (* Below this many rows/entries the pool dispatch costs more than it
@@ -85,6 +104,14 @@ let prepare ~vars ~channels (comp : Locality.component) =
    parallelism only pays on components far larger than any Fig. 3
    benchmark; smaller solves stay sequential on every domain count. *)
 let par_threshold = 32_768
+
+(* Free-variable count at which the LM position solve switches from the
+   dense normal-equation factorization (O(nv³) per damping attempt) to
+   the conjugate-gradient sparse path.  Every Fig. 3-scale device
+   (n ≤ 100 atoms, nv ≤ ~200) stays on the historical dense path — and
+   therefore stays bitwise-identical — while n ≳ 130 planar layouts get
+   the near-linear solve. *)
+let sparse_threshold = 256
 
 let solve_impl ?(domains = 1) ?sup ~alpha ~t_sim p =
   if t_sim <= 0.0 then
@@ -97,19 +124,49 @@ let solve_impl ?(domains = 1) ?sup ~alpha ~t_sim p =
   let scratch = Array.make p.env_size 0.0 in
   List.iter (fun (v, x) -> scratch.(v) <- x) p.pinned;
   let row_domains = if n_rows < par_threshold then 1 else domains in
+  (* sequential residual sweeps run on the packed SoA batch: one flat
+     program over a reusable float64 buffer, bitwise-identical to the
+     per-row kernel dispatch it replaces *)
+  let out = Expr.Batch.create_buffer n_rows in
+  let load x = Array.iteri (fun k v -> scratch.(v) <- x.(k)) free_ids in
   let residual_ext x =
-    Array.iteri (fun k v -> scratch.(v) <- x.(k)) free_ids;
-    let r = Array.make n_rows 0.0 in
-    Qturbo_par.Pool.parallel_for ~domains:row_domains ~total:n_rows (fun i ->
-        let cid = Array.unsafe_get cids i in
-        r.(i) <-
-          (Instruction.eval_channel channels.(cid) ~env:scratch *. t_sim)
-          -. alpha.(cid));
-    r
+    load x;
+    if row_domains = 1 then begin
+      Expr.Batch.eval p.res_batch ~env:scratch ~out;
+      Array.init n_rows (fun i ->
+          (Bigarray.Array1.unsafe_get out i *. t_sim)
+          -. alpha.(Array.unsafe_get cids i))
+    end
+    else begin
+      let r = Array.make n_rows 0.0 in
+      Qturbo_par.Pool.parallel_for ~domains:row_domains ~total:n_rows (fun i ->
+          let cid = Array.unsafe_get cids i in
+          r.(i) <-
+            (Instruction.eval_channel channels.(cid) ~env:scratch *. t_sim)
+            -. alpha.(cid));
+      r
+    end
   in
   let cost x =
-    let r = residual_ext x in
-    Array.fold_left (fun acc ri -> acc +. (ri *. ri)) 0.0 r
+    if row_domains = 1 then begin
+      (* allocation-free: square the rows straight out of the batch
+         buffer, accumulating in row order like the array fold did *)
+      load x;
+      Expr.Batch.eval p.res_batch ~env:scratch ~out;
+      let acc = ref 0.0 in
+      for i = 0 to n_rows - 1 do
+        let ri =
+          (Bigarray.Array1.unsafe_get out i *. t_sim)
+          -. alpha.(Array.unsafe_get cids i)
+        in
+        acc := !acc +. (ri *. ri)
+      done;
+      !acc
+    end
+    else begin
+      let r = residual_ext x in
+      Array.fold_left (fun acc ri -> acc +. (ri *. ri)) 0.0 r
+    end
   in
   (* magnitude pre-fit: van-der-Waals amplitudes are homogeneous in the
      coordinates, so a single uniform rescale of the initial layout finds
@@ -131,33 +188,99 @@ let solve_impl ?(domains = 1) ?sup ~alpha ~t_sim p =
       ]
   in
   let x0_ext = scaled (exp prefit.Scalar.argmin) in
-  (* exact symbolic Jacobian; LM runs in external coordinates (position
-     boxes are wide, so iterates stay interior) and the result is clamped,
-     any clamping error landing in eps2.  The matrix is reused across LM
-     iterations: zero it, then fill the structurally nonzero cells. *)
-  let jac = Mat.create ~rows:n_rows ~cols:nv in
-  let jac_data = Mat.data jac in
   let nnz = Array.length p.nonzero_derivs in
   let jac_domains = if nnz < par_threshold then 1 else domains in
-  let jacobian x =
-    Array.iteri (fun k v -> scratch.(v) <- x.(k)) free_ids;
-    Array.fill jac_data 0 (Array.length jac_data) 0.0;
-    Qturbo_par.Pool.parallel_for ~domains:jac_domains ~total:nnz (fun t ->
-        let i, k, d = Array.unsafe_get p.nonzero_derivs t in
-        jac_data.((i * nv) + k) <- Expr.eval_kernel d ~env:scratch *. t_sim);
-    jac
+  let use_sparse = nv >= sparse_threshold in
+  (* exact symbolic Jacobian; LM runs in external coordinates (position
+     boxes are wide, so iterates stay interior) and the result is clamped,
+     any clamping error landing in eps2.  Below [sparse_threshold] the
+     dense matrix is reused across LM iterations: zero it, then fill the
+     structurally nonzero cells.  Above it no dense matrix is ever
+     allocated — the CSR structure comes from the prepared template and
+     only its value array is refilled (slot [t] is triple [t]). *)
+  let jacobian_dense =
+    lazy
+      (let jac = Mat.create ~rows:n_rows ~cols:nv in
+       let jac_data = Mat.data jac in
+       fun x ->
+         load x;
+         Array.fill jac_data 0 (Array.length jac_data) 0.0;
+         Qturbo_par.Pool.parallel_for ~domains:jac_domains ~total:nnz (fun t ->
+             let i, k, d = Array.unsafe_get p.nonzero_derivs t in
+             jac_data.((i * nv) + k) <- Expr.eval_kernel d ~env:scratch *. t_sim);
+         jac)
+  in
+  let jacobian_sparse =
+    lazy
+      (let csr = Csr.of_row_lists ~cols:nv p.jac_row_slots in
+       let values = Csr.values csr in
+       fun x ->
+         load x;
+         Qturbo_par.Pool.parallel_for ~domains:jac_domains ~total:nnz (fun t ->
+             let _, _, d = Array.unsafe_get p.nonzero_derivs t in
+             values.(t) <- Expr.eval_kernel d ~env:scratch *. t_sim);
+         csr)
   in
   let report, solve_failures =
-    match sup with
-    | None -> (Levenberg_marquardt.minimize ~jacobian residual_ext x0_ext, [])
-    | Some sup ->
+    match (sup, use_sparse) with
+    | None, false ->
+        ( Levenberg_marquardt.minimize ~jacobian:(Lazy.force jacobian_dense)
+            residual_ext x0_ext,
+          [] )
+    | None, true ->
+        ( Levenberg_marquardt.minimize_sparse
+            ~jacobian:(Lazy.force jacobian_sparse) residual_ext x0_ext,
+          [] )
+    | Some sup, false ->
         let outcome =
           Qturbo_resilience.Supervisor.solve sup ~site:"fixed-solve"
-            ~component:p.comp.Locality.id ~jacobian ~bounds:p.bounds
-            residual_ext x0_ext
+            ~component:p.comp.Locality.id ~jacobian:(Lazy.force jacobian_dense)
+            ~bounds:p.bounds residual_ext x0_ext
         in
         ( outcome.Qturbo_resilience.Supervisor.report,
           outcome.Qturbo_resilience.Supervisor.failures )
+    | Some sup, true ->
+        (* Large components bypass the escalation ladder: Nelder–Mead is
+           skipped above ~40 dimensions anyway and a multistart over
+           thousands of coordinates would dwarf the compile.  The
+           supervisor still contributes its wall-clock deadline; a hard
+           failure is surfaced as a non-fatal record (the clamped pre-fit
+           layout is returned, its error landing in eps2).  Injected
+           faults do not reach this path — fault-injection drills run at
+           Fig. 3 scale, below [sparse_threshold]. *)
+        let options =
+          {
+            Levenberg_marquardt.default_options with
+            deadline = Qturbo_resilience.Supervisor.deadline sup;
+          }
+        in
+        let report =
+          Levenberg_marquardt.minimize_sparse ~options
+            ~jacobian:(Lazy.force jacobian_sparse) residual_ext x0_ext
+        in
+        let failures =
+          if Float.is_finite report.Objective.cost then []
+          else
+            let class_ =
+              match report.Objective.stop with
+              | Objective.Stop_deadline ->
+                  Qturbo_resilience.Failure.Deadline_expired
+              | Objective.Stop_max_evaluations ->
+                  Qturbo_resilience.Failure.Budget_exhausted
+              | Objective.Stop_invalid ->
+                  Qturbo_resilience.Failure.Numeric_invalid
+              | _ -> Qturbo_resilience.Failure.Non_convergence
+            in
+            [
+              Qturbo_resilience.Failure.make ~component:p.comp.Locality.id
+                ~site:"fixed-solve" ~stage:"lm-sparse" ~fatal:false ~class_
+                (Printf.sprintf
+                   "sparse LM position solve failed with non-finite cost \
+                    after %d iterations"
+                   report.Objective.iterations);
+            ]
+        in
+        (report, failures)
   in
   let x_ext =
     Array.mapi (fun k x -> Bounds.clamp p.bounds.(k) x) report.Objective.x

@@ -27,6 +27,17 @@ type prepared
     the original solver on position components.  Immutable and
     shareable across pool domains. *)
 
+val sparse_threshold : int
+(** Free-variable count at which the LM position solve switches from
+    the dense normal-equation factorization (O(nv³) per damping
+    attempt) to the conjugate-gradient sparse path
+    ({!Qturbo_optim.Levenberg_marquardt.minimize_sparse}).  Components
+    below it — every Fig. 3-scale device — run the historical dense
+    path and stay bitwise-identical to prior releases.  On the sparse
+    path under a supervisor, the escalation ladder is bypassed (the
+    deadline still applies; hard failures surface as non-fatal records)
+    and injected faults are not applied. *)
+
 val prepare :
   vars:Qturbo_aais.Variable.t array ->
   channels:Qturbo_aais.Instruction.channel array ->

@@ -7,12 +7,14 @@ type t = {
   cells : (int * float) list array;
   b_tar : float array;
   n_channels : int;
+  csr : Csr.t;
 }
 
 type skeleton = {
   sk_index : Term_index.t;
   sk_cells : (int * float) list array;
   sk_n_channels : int;
+  sk_csr : Csr.t;
 }
 
 let skeleton ~channels ~support =
@@ -30,7 +32,12 @@ let skeleton ~channels ~support =
     channels;
   (* restore channel order within each row *)
   Array.iteri (fun i row -> cells.(i) <- List.rev row) cells;
-  { sk_index = index; sk_cells = cells; sk_n_channels = Array.length channels }
+  {
+    sk_index = index;
+    sk_cells = cells;
+    sk_n_channels = Array.length channels;
+    sk_csr = Csr.of_row_lists ~cols:(Array.length channels) cells;
+  }
 
 let instantiate sk ~target ~t_tar =
   let b_tar =
@@ -42,10 +49,13 @@ let instantiate sk ~target ~t_tar =
     cells = sk.sk_cells;
     b_tar;
     n_channels = sk.sk_n_channels;
+    csr = sk.sk_csr;
   }
 
 let skeleton_index sk = sk.sk_index
 let skeleton_cells sk = sk.sk_cells
+let skeleton_csr sk = sk.sk_csr
+let csr t = t.csr
 
 let build ~channels ~target ~t_tar =
   let support = List.map fst (Pauli_sum.terms target) in
@@ -60,13 +70,24 @@ let rows t =
 let solve t = Sparse_solve.solve ~ncols:t.n_channels (rows t)
 let solve_dense t = Sparse_solve.dense_only ~ncols:t.n_channels (rows t)
 
+(* The numeric kernels below run once per sweep instance (not once per
+   skeleton), so they iterate the CSR's flat arrays instead of chasing
+   the per-row cons lists.  Stored entry order is identical to the list
+   order ([Csr.of_row_lists] packs verbatim), so every float accumulates
+   in the same sequence and the results are bitwise-unchanged. *)
+
 let b_of_alpha t ~alpha =
   if Array.length alpha <> t.n_channels then
     invalid_arg "Linear_system.b_of_alpha: dimension mismatch";
-  Array.map
-    (fun cells ->
-      List.fold_left (fun acc (c, coeff) -> acc +. (coeff *. alpha.(c))) 0.0 cells)
-    t.cells
+  let row_ptr = Csr.row_ptr t.csr
+  and col_idx = Csr.col_idx t.csr
+  and values = Csr.values t.csr in
+  Array.init (Array.length t.cells) (fun i ->
+      let acc = ref 0.0 in
+      for k = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+        acc := !acc +. (values.(k) *. alpha.(col_idx.(k)))
+      done;
+      !acc)
 
 let residual_l1 t ~alpha =
   let b = b_of_alpha t ~alpha in
@@ -74,12 +95,4 @@ let residual_l1 t ~alpha =
   Array.iteri (fun i bi -> acc := !acc +. Float.abs (bi -. t.b_tar.(i))) b;
   !acc
 
-let norm1 t =
-  let col_sums = Array.make t.n_channels 0.0 in
-  Array.iter
-    (fun cells ->
-      List.iter
-        (fun (c, coeff) -> col_sums.(c) <- col_sums.(c) +. Float.abs coeff)
-        cells)
-    t.cells;
-  Array.fold_left Float.max 0.0 col_sums
+let norm1 t = Csr.norm1 t.csr

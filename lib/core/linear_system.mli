@@ -12,6 +12,12 @@ type t = {
   cells : (int * float) list array;  (** per-row [(channel, coeff)] *)
   b_tar : float array;
   n_channels : int;
+  csr : Qturbo_linalg.Csr.t;
+      (** The same matrix in compressed sparse row form — stored entry
+          order matches [cells] exactly ({!Qturbo_linalg.Csr.of_row_lists}
+          packs verbatim), so iterating either representation
+          accumulates floats in the same sequence.  Shared with the
+          skeleton; do not mutate. *)
 }
 
 type skeleton
@@ -43,6 +49,13 @@ val skeleton_index : skeleton -> Term_index.t
 
 val skeleton_cells : skeleton -> (int * float) list array
 (** The shared matrix cells of a skeleton — do not mutate. *)
+
+val skeleton_csr : skeleton -> Qturbo_linalg.Csr.t
+(** The CSR form of the skeleton matrix (see {!t.csr}) — do not
+    mutate. *)
+
+val csr : t -> Qturbo_linalg.Csr.t
+(** The CSR form of the system matrix (the [csr] field). *)
 
 val build :
   channels:Qturbo_aais.Instruction.channel array ->

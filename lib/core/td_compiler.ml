@@ -155,29 +155,34 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
   let vars = device.Compile_plan.vars in
   let tau_tar = t_tar /. float_of_int segments in
   let hams = Qturbo_models.Model.discretize model ~segments in
-  let local_plans = Hashtbl.create 4 in
+  (* one plan for the whole sweep, keyed by the canonical union support
+     of every discretized segment.  Keying each segment by its own shape
+     forked a second plan whenever a coefficient happened to cancel in
+     one segment (the mis-chain quirk: K ≡ 2 mod 4 discretizations hit
+     s = 0.75, which zeroes the end-atom Z terms) — the union shape pays
+     one front-end build regardless, and segments missing a term simply
+     instantiate that row with b_tar = 0.  When no segment drops a term
+     the union equals every segment's own support, so the key, plan and
+     pulses are bitwise-unchanged. *)
   let plan_builds = ref 0 in
-  let plan_for h =
-    let support = Compile_plan.support_of_target h in
-    let skey = Shape.of_support support in
-    match Hashtbl.find_opt local_plans skey with
-    | Some p -> p
-    | None ->
-        let p =
-          if options.Compiler.plan_cache then begin
-            let p, hit = Compile_plan.obtain ~options ~aais ~target:h in
-            if not hit then incr plan_builds;
-            p
-          end
-          else begin
-            incr plan_builds;
-            Compile_plan.build ~options ~device ~aais ~target_shape:support ()
-          end
-        in
-        Hashtbl.add local_plans skey p;
-        p
+  let union_support =
+    List.sort_uniq Qturbo_pauli.Pauli_string.compare
+      (List.concat_map Compile_plan.support_of_target hams)
   in
-  let plans = List.map plan_for hams in
+  let shared_plan =
+    if options.Compiler.plan_cache then begin
+      let p, hit =
+        Compile_plan.obtain_for_support ~options ~aais ~support:union_support
+      in
+      if not hit then incr plan_builds;
+      p
+    end
+    else begin
+      incr plan_builds;
+      Compile_plan.build ~options ~device ~aais ~target_shape:union_support ()
+    end
+  in
+  let plans = List.map (fun _ -> shared_plan) hams in
   !Compiler.stage_hook "precheck";
   let diagnostics =
     precheck ?t_max ~aais ~tau_tar (List.combine hams plans)
@@ -497,7 +502,7 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
     diagnostics;
     failures;
     degraded;
-    plan_shapes = Hashtbl.length local_plans;
+    plan_shapes = 1;
     plan_builds = !plan_builds;
   }
   end

@@ -35,8 +35,11 @@ type result = {
       (** true iff some failure is fatal (best-effort compiles only;
           strict compiles raise instead) *)
   plan_shapes : int;
-      (** distinct structural shapes among the discretized segments
-          (1 when every segment shares one plan) *)
+      (** distinct structural shapes among the discretized segments —
+          always 1: every segment compiles against the union support of
+          the whole discretization, so per-segment coefficient
+          cancellations (the mis-chain K ≡ 2 mod 4 quirk) can no longer
+          fork a second shape *)
   plan_builds : int;
       (** structural front-ends actually built by this compile; [0]
           when every shape was already resident in the process-wide

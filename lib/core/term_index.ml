@@ -10,12 +10,14 @@ end)
 type t = { by_string : int Term_map.t; by_row : Pauli_string.t array }
 
 let build_of_support ~channels ~support =
-  let add (map, rev) s =
-    if Pauli_string.is_identity s || Term_map.mem s map then (map, rev)
-    else (Term_map.add s (List.length rev) map, s :: rev)
+  (* the row counter rides in the accumulator — [List.length rev] per
+     insertion made assembly quadratic in the row count *)
+  let add ((map, rev, count) as acc) s =
+    if Pauli_string.is_identity s || Term_map.mem s map then acc
+    else (Term_map.add s count map, s :: rev, count + 1)
   in
-  let acc = List.fold_left add (Term_map.empty, []) support in
-  let map, rev =
+  let acc = List.fold_left add (Term_map.empty, [], 0) support in
+  let map, rev, _ =
     Array.fold_left
       (fun acc c ->
         List.fold_left

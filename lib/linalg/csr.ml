@@ -54,9 +54,48 @@ let of_triplets ~rows ~cols entries =
   row_ptr.(rows) <- !pos;
   { nrows = rows; ncols = cols; row_ptr; col_idx; values }
 
+let of_row_lists ~cols row_lists =
+  let nrows = Array.length row_lists in
+  let row_ptr = Array.make (nrows + 1) 0 in
+  let nnz = ref 0 in
+  Array.iteri
+    (fun i cells ->
+      row_ptr.(i) <- !nnz;
+      List.iter
+        (fun (c, _) ->
+          if c < 0 || c >= cols then
+            invalid_arg "Csr.of_row_lists: column out of range";
+          incr nnz)
+        cells)
+    row_lists;
+  row_ptr.(nrows) <- !nnz;
+  let col_idx = Array.make !nnz 0 in
+  let values = Array.make !nnz 0.0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun cells ->
+      List.iter
+        (fun (c, v) ->
+          col_idx.(!pos) <- c;
+          values.(!pos) <- v;
+          incr pos)
+        cells)
+    row_lists;
+  { nrows; ncols = cols; row_ptr; col_idx; values }
+
 let rows t = t.nrows
 let cols t = t.ncols
 let nnz t = Array.length t.values
+let row_ptr t = t.row_ptr
+let col_idx t = t.col_idx
+let values t = t.values
+
+let col_sq_sums t =
+  let sums = Array.make t.ncols 0.0 in
+  Array.iteri
+    (fun k j -> sums.(j) <- sums.(j) +. (t.values.(k) *. t.values.(k)))
+    t.col_idx;
+  sums
 
 let get t i j =
   if i < 0 || i >= t.nrows || j < 0 || j >= t.ncols then

@@ -12,12 +12,35 @@ val of_triplets : rows:int -> cols:int -> triplet list -> t
 (** Build from coordinate entries; duplicate [(row, col)] entries are
     summed.  Entries out of range raise [Invalid_argument]. *)
 
+val of_row_lists : cols:int -> (int * float) list array -> t
+(** Pack per-row [(col, value)] lists {e verbatim}: entry order within a
+    row is preserved, duplicates are kept, explicit zeros are stored.
+    [row_entries] on the result returns exactly the input lists — the
+    lossless bridge from the historical list-of-cells representation.
+    Out-of-range columns raise [Invalid_argument]. *)
+
 val rows : t -> int
 
 val cols : t -> int
 
 val nnz : t -> int
 (** Stored entries (explicit zeros created by cancellation are dropped). *)
+
+val row_ptr : t -> int array
+(** The live row-pointer array (length [rows + 1]); do not mutate. *)
+
+val col_idx : t -> int array
+(** The live column-index array (length [nnz]); do not mutate. *)
+
+val values : t -> float array
+(** The {e live} value array (length [nnz], parallel to [col_idx]).
+    Callers owning the matrix may refill it in place — the sparse
+    Jacobian slots of [Fixed_solver] rewrite it every iteration without
+    reallocating the structure. *)
+
+val col_sq_sums : t -> float array
+(** Per-column sum of squared stored values — the diagonal of [AᵀA],
+    computed in row-major stored order (deterministic summation). *)
 
 val get : t -> int -> int -> float
 (** Zero for non-stored entries; O(row nnz). *)
