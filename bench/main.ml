@@ -54,6 +54,10 @@ let static_target name n =
        (Qturbo_models.Benchmarks.by_name ~name ~n)
        ~s:0.0)
 
+(* the trap family benches on the open chain: the cycle's wrap-around
+   bond exceeds the distance-falloff coupling bound at large n *)
+let iontrap_for n = Iontrap.build ~spec:Device.iontrap_chain ~n
+
 type point = {
   compile_s : float;
   exec_us : float;
@@ -683,6 +687,36 @@ let analysis () =
           %d-instance cached sweep, the production path)"
          sweep_k)
     t;
+  (* lint-gate re-check on the ion-trap family: the backend refactor must
+     keep the cached-sweep gate under the same <1% budget on the largest
+     sweep size *)
+  let trap_n = List.fold_left Int.max 0 (sweep_sizes ()) in
+  let trap = iontrap_for trap_n in
+  let trap_aais = trap.Iontrap.aais in
+  let trap_target = static_target "ising-chain" trap_n in
+  let trap_plan =
+    Qturbo_core.Compile_plan.build ~aais:trap_aais
+      ~target_shape:(Qturbo_core.Compile_plan.support_of_target trap_target)
+      ()
+  in
+  let trap_lint_s =
+    best (fun () -> ignore (Qturbo_core.Compile_plan.lint trap_plan))
+  in
+  Qturbo_core.Compile_plan.clear_caches ();
+  let trap_sweep_s, _ =
+    time_run (fun () ->
+        for i = 1 to sweep_k do
+          ignore
+            (Qturbo_core.Compiler.compile ~aais:trap_aais ~target:trap_target
+               ~t_tar:(1.0 +. (0.05 *. float_of_int i))
+               ())
+        done)
+  in
+  let trap_gate_pct = 100.0 *. trap_lint_s /. Float.max 1e-9 trap_sweep_s in
+  progress
+    "analysis: iontrap ising-chain n=%d lint %.6f s sweep %.3f s gate %.4f%% \
+     (budget 1%%)"
+    trap_n trap_lint_s trap_sweep_s trap_gate_pct;
   let oc = open_out "BENCH_analysis.json" in
   Printf.fprintf oc
     "{\n\
@@ -690,10 +724,13 @@ let analysis () =
     \  \"reps\": %d,\n\
     \  \"sweep_instances\": %d,\n\
     \  \"target_gate_overhead_percent\": 1.0,\n\
+    \  \"iontrap\": {\"benchmark\": \"ising-chain\", \"n\": %d, \
+     \"plan_lint_seconds\": %.6f, \"sweep_seconds\": %.6f, \
+     \"gate_overhead_percent\": %.4f},\n\
     \  \"series\": [\n%s\n\
     \  ]\n\
      }\n"
-    name reps sweep_k
+    name reps sweep_k trap_n trap_lint_s trap_sweep_s trap_gate_pct
     (String.concat ",\n"
        (List.map
           (fun
@@ -1416,25 +1453,15 @@ let plan () =
   let coeffs i =
     (0.2 +. (0.11 *. float_of_int i), 0.45 +. (0.07 *. float_of_int i))
   in
-  let series =
+  let warm_cold_series ~label ~make =
     List.map
       (fun n ->
-        let ryd = rydberg_for "ising-cycle" n in
-        let targets =
-          List.init k (fun i ->
-              let j, h = coeffs i in
-              Qturbo_pauli.Pauli_sum.drop_identity
-                (Qturbo_models.Model.hamiltonian_at
-                   (Qturbo_models.Benchmarks.ising_cycle ~n ~j ~h ())
-                   ~s:0.0))
-        in
+        let aais, targets = make n in
         let run options =
           CP.clear_caches ();
           time_run (fun () ->
               List.map
-                (fun target ->
-                  C.compile ~options ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0
-                    ())
+                (fun target -> C.compile ~options ~aais ~target ~t_tar:1.0 ())
                 targets)
         in
         let cold_s, _ = run { C.default_options with C.plan_cache = false } in
@@ -1442,16 +1469,39 @@ let plan () =
         let hits = (List.nth warm (k - 1)).C.plan.C.cache_hits in
         let speedup = cold_s /. Float.max 1e-12 warm_s in
         progress
-          "plan: ising-cycle n=%d cold %.3f s warm %.3f s speedup %.2fx (%d \
-           hits)"
-          n cold_s warm_s speedup hits;
+          "plan: %s n=%d cold %.3f s warm %.3f s speedup %.2fx (%d hits)"
+          label n cold_s warm_s speedup hits;
         (n, cold_s, warm_s, speedup, hits))
       (sweep_sizes ())
   in
-  let mean_speedup =
+  let targets_for model n =
+    List.init k (fun i ->
+        let j, h = coeffs i in
+        Qturbo_pauli.Pauli_sum.drop_identity
+          (Qturbo_models.Model.hamiltonian_at (model ~n ~j ~h) ~s:0.0))
+  in
+  let series =
+    warm_cold_series ~label:"ising-cycle" ~make:(fun n ->
+        let ryd = rydberg_for "ising-cycle" n in
+        ( ryd.Rydberg.aais,
+          targets_for
+            (fun ~n ~j ~h -> Qturbo_models.Benchmarks.ising_cycle ~n ~j ~h ())
+            n ))
+  in
+  let iontrap_series =
+    warm_cold_series ~label:"iontrap ising-chain" ~make:(fun n ->
+        let trap = iontrap_for n in
+        ( trap.Iontrap.aais,
+          targets_for
+            (fun ~n ~j ~h -> Qturbo_models.Benchmarks.ising_chain ~n ~j ~h ())
+            n ))
+  in
+  let mean_of series =
     List.fold_left (fun acc (_, _, _, s, _) -> acc +. s) 0.0 series
     /. float_of_int (List.length series)
   in
+  let mean_speedup = mean_of series in
+  let iontrap_mean_speedup = mean_of iontrap_series in
   (* large-N scaling: cold compiles on the auto-cutoff ising-cycle from
      n = 100 to n = 1000, with per-plan memory from Gc deltas and a
      fitted log-log exponent.  The SimuQ baseline grows alongside until
@@ -1566,6 +1616,14 @@ let plan () =
     \    \"series\": [\n%s\n\
     \    ]\n\
     \  },\n\
+    \  \"iontrap_warm_vs_cold\": {\n\
+    \    \"benchmark\": \"ising-chain\",\n\
+    \    \"instances_per_size\": %d,\n\
+    \    \"mean_speedup\": %.4f,\n\
+    \    \"target_speedup\": 1.25,\n\
+    \    \"series\": [\n%s\n\
+    \    ]\n\
+    \  },\n\
     \  \"large_n\": {\n\
     \    \"benchmark\": \"ising-cycle\",\n\
     \    \"cutoff\": \"auto\",\n\
@@ -1596,6 +1654,15 @@ let plan () =
                %.6f, \"speedup\": %.4f, \"warm_cache_hits\": %d}"
               n cold_s warm_s speedup hits)
           series))
+    k iontrap_mean_speedup
+    (String.concat ",\n"
+       (List.map
+          (fun (n, cold_s, warm_s, speedup, hits) ->
+            Printf.sprintf
+              "      {\"n\": %d, \"cold_seconds\": %.6f, \"warm_seconds\": \
+               %.6f, \"speedup\": %.4f, \"warm_cache_hits\": %d}"
+              n cold_s warm_s speedup hits)
+          iontrap_series))
     large_exponent simuq_budget simuq_max_n simuq_timeout_n
     (String.concat ",\n"
        (List.map
@@ -1614,7 +1681,9 @@ let plan () =
               | None -> "null"))
           large_series));
   close_out oc;
-  progress "plan: wrote BENCH_plan.json (mean warm speedup %.2fx)" mean_speedup
+  progress
+    "plan: wrote BENCH_plan.json (mean warm speedup %.2fx, iontrap %.2fx)"
+    mean_speedup iontrap_mean_speedup
 
 (* ------------------------------------------------------------------ *)
 (* batch sweeps: Compiler.compile_batch over the Fig. 3 ising-cycle    *)
@@ -1640,11 +1709,10 @@ let sweep () =
   in
   let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b) in
   let sizes = if !quick then [ 3; 13 ] else [ 3; 13; 23; 43 ] in
-  let series =
+  let batch_series ~label ~make =
     List.map
       (fun n ->
-        let ryd = rydberg_for "ising-cycle" n in
-        let jobs = jobs_for n in
+        let aais, jobs = make n in
         (* cold sequential: each job compiled on its own with the plan
            cache off — the pre-batch workflow, one front-end build per
            job *)
@@ -1654,7 +1722,7 @@ let sweep () =
                 (fun (target, t_tar) ->
                   C.compile
                     ~options:{ C.default_options with C.plan_cache = false }
-                    ~aais:ryd.Rydberg.aais ~target ~t_tar ())
+                    ~aais ~target ~t_tar ())
                 jobs)
         in
         (* warm sequential: the shared cache builds the plan once, but
@@ -1663,16 +1731,13 @@ let sweep () =
         let warm_s, warm =
           time_run (fun () ->
               List.map
-                (fun (target, t_tar) ->
-                  C.compile ~aais:ryd.Rydberg.aais ~target ~t_tar ())
+                (fun (target, t_tar) -> C.compile ~aais ~target ~t_tar ())
                 jobs)
         in
         (* batch: one plan build, solves fanned out over the pool *)
         CP.clear_caches ();
         let batch_s, batch =
-          time_run (fun () ->
-              C.compile_batch ~batch_domains:domains ~aais:ryd.Rydberg.aais
-                jobs)
+          time_run (fun () -> C.compile_batch ~batch_domains:domains ~aais jobs)
         in
         let identical =
           List.for_all2
@@ -1685,16 +1750,40 @@ let sweep () =
         let speedup = cold_s /. Float.max 1e-12 batch_s in
         let warm_speedup = warm_s /. Float.max 1e-12 batch_s in
         progress
-          "sweep: ising-cycle n=%d jobs=%d cold %.3f s warm %.3f s batch \
-           %.3f s speedup %.2fx (%d hits, identical %b)"
-          n k cold_s warm_s batch_s speedup hits identical;
+          "sweep: %s n=%d jobs=%d cold %.3f s warm %.3f s batch %.3f s \
+           speedup %.2fx (%d hits, identical %b)"
+          label n k cold_s warm_s batch_s speedup hits identical;
         (n, cold_s, warm_s, batch_s, speedup, warm_speedup, hits, identical))
       sizes
   in
-  let mean_speedup =
+  let series =
+    batch_series ~label:"ising-cycle" ~make:(fun n ->
+        let ryd = rydberg_for "ising-cycle" n in
+        (ryd.Rydberg.aais, jobs_for n))
+  in
+  let iontrap_jobs_for n =
+    List.init k (fun i ->
+        let j = 0.2 +. (0.11 *. float_of_int i)
+        and h = 0.45 +. (0.07 *. float_of_int i) in
+        let target =
+          Qturbo_pauli.Pauli_sum.drop_identity
+            (Qturbo_models.Model.hamiltonian_at
+               (Qturbo_models.Benchmarks.ising_chain ~n ~j ~h ())
+               ~s:0.0)
+        in
+        (target, 0.5 +. (0.1 *. float_of_int i)))
+  in
+  let iontrap_series =
+    batch_series ~label:"iontrap ising-chain" ~make:(fun n ->
+        let trap = iontrap_for n in
+        (trap.Iontrap.aais, iontrap_jobs_for n))
+  in
+  let mean_of series =
     List.fold_left (fun acc (_, _, _, _, s, _, _, _) -> acc +. s) 0.0 series
     /. float_of_int (List.length series)
   in
+  let mean_speedup = mean_of series in
+  let iontrap_mean_speedup = mean_of iontrap_series in
   (* large-N sweeps on the auto-cutoff device: fewer jobs per size (the
      point is the scaling of the shared-plan batch, not the fan-out) *)
   let large_k = 4 in
@@ -1754,6 +1843,13 @@ let sweep () =
     \  \"mean_speedup\": %.4f,\n\
     \  \"series\": [\n%s\n\
     \  ],\n\
+    \  \"iontrap\": {\n\
+    \    \"benchmark\": \"ising-chain\",\n\
+    \    \"jobs_per_size\": %d,\n\
+    \    \"mean_speedup\": %.4f,\n\
+    \    \"series\": [\n%s\n\
+    \    ]\n\
+    \  },\n\
     \  \"large_n\": {\n\
     \    \"cutoff\": \"auto\",\n\
     \    \"jobs_per_size\": %d,\n\
@@ -1774,6 +1870,18 @@ let sweep () =
                %d, \"bitwise_identical\": %b}"
               n cold_s warm_s batch_s speedup warm_speedup hits identical)
           series))
+    k iontrap_mean_speedup
+    (String.concat ",\n"
+       (List.map
+          (fun (n, cold_s, warm_s, batch_s, speedup, warm_speedup, hits,
+                identical) ->
+            Printf.sprintf
+              "      {\"n\": %d, \"sequential_seconds\": %.6f, \
+               \"warm_sequential_seconds\": %.6f, \"batch_seconds\": %.6f, \
+               \"speedup\": %.4f, \"warm_speedup\": %.4f, \"cache_hits\": \
+               %d, \"bitwise_identical\": %b}"
+              n cold_s warm_s batch_s speedup warm_speedup hits identical)
+          iontrap_series))
     large_k
     (if Float.is_nan large_exponent then "null"
      else Printf.sprintf "%.4f" large_exponent)
@@ -1786,7 +1894,9 @@ let sweep () =
               n warm_s batch_s identical)
           large_series));
   close_out oc;
-  progress "sweep: wrote BENCH_sweep.json (mean speedup %.2fx)" mean_speedup
+  progress
+    "sweep: wrote BENCH_sweep.json (mean speedup %.2fx, iontrap %.2fx)"
+    mean_speedup iontrap_mean_speedup
 
 (* ------------------------------------------------------------------ *)
 

@@ -15,8 +15,13 @@
 
 open Cmdliner
 open Qturbo_aais
+module Backend = Qturbo_backend.Backend
 
-let device_presets =
+(* [run] compiles against the raw preset (no scaling-study window
+   widening, no model-driven geometry switch) — it keeps its own preset
+   table; every other command resolves devices through the backend
+   registry. *)
+let run_device_presets =
   [
     ("aquila-paper", Device.aquila_paper);
     ("aquila", Device.aquila);
@@ -27,7 +32,7 @@ let device_presets =
 let model_names =
   [
     "ising-chain"; "ising-cycle"; "kitaev"; "ising-cycle+"; "heis-chain";
-    "mis-chain"; "pxp"; "ising-grid";
+    "mis-chain"; "qaoa-chain"; "pxp"; "ising-grid";
   ]
 
 (* ---- compile ---- *)
@@ -40,6 +45,7 @@ let build_model ~name ~n ~j ~h =
   | "ising-cycle+" -> Qturbo_models.Benchmarks.ising_cycle_plus ?j ?h ~n ()
   | "heis-chain" -> Qturbo_models.Benchmarks.heisenberg_chain ?j ?h ~n ()
   | "mis-chain" -> Qturbo_models.Benchmarks.mis_chain ~n ()
+  | "qaoa-chain" -> Qturbo_models.Benchmarks.qaoa_chain ?gamma:j ?beta:h ~n ()
   | "pxp" -> Qturbo_models.Benchmarks.pxp ?j ?h ~n ()
   | "ising-grid" ->
       let side = int_of_float (Float.round (sqrt (float_of_int n))) in
@@ -61,42 +67,15 @@ let resolve_model ~hamiltonian ~model_name ~n ~j ~h =
   | None, Some name -> build_model ~name ~n ~j ~h
   | None, None -> failwith "provide either --model or --hamiltonian"
 
-let resolve_rydberg_spec ~device_name ~n ~model_name =
-  let spec =
-    match List.assoc_opt device_name device_presets with
-    | Some s -> s
-    | None -> failwith ("unknown device: " ^ device_name)
-  in
-  (* widen the window for scaling studies beyond the physical chip: a
-     cycle of n atoms at the default ~9 um spacing spans ~3n um, so the
-     window has to keep growing past n ≈ 600 or the constraint loop
-     spends its whole budget fighting the box *)
-  let spec =
-    if n > 16 then
-      let extent = Float.max 2000.0 (3.5 *. float_of_int n) in
-      { spec with Device.max_extent = extent }
-    else spec
-  in
-  (* cycle and lattice couplings need planar atom layouts *)
-  match model_name with
-  | "ising-cycle" | "ising-cycle+" | "ising-grid" ->
-      Device.with_geometry Device.Plane spec
-  | _ -> spec
+(* Resolve --backend/--device/--cutoff through the registry, rejecting
+   explicitly-passed flags the chosen backend does not declare (the old
+   dispatch silently ignored --cutoff and --device under heisenberg). *)
+let resolve_backend ~backend ~device ~cutoff ~ramp ~model_name ~n =
+  let b = Backend.find_exn backend in
+  Backend.reject_unsupported b ~device ~cutoff ~ramp;
+  b.Backend.instantiate ?device ?cutoff ~model_name ~n ()
 
-(* --cutoff: "auto" (size-gated default), "all-pairs", or a radius in um *)
-let parse_cutoff s =
-  match String.lowercase_ascii (String.trim s) with
-  | "auto" -> Rydberg.Auto
-  | "all-pairs" | "all" | "exact" -> Rydberg.All_pairs
-  | other -> (
-      match float_of_string_opt other with
-      | Some r when Float.is_finite r && r > 0.0 -> Rydberg.Radius r
-      | _ ->
-          failwith
-            ("invalid --cutoff " ^ s
-           ^ " (expected auto, all-pairs, or a positive radius in um)"))
-
-let print_compile_result ~(ryd : Rydberg.t option) ~show_pulse ~ramp
+let print_compile_result ~(instance : Backend.instance) ~show_pulse ~ramp
     (r : Qturbo_core.Compiler.result) =
   Printf.printf "compiled in %.2f ms\n" (1000.0 *. r.Qturbo_core.Compiler.compile_seconds);
   Printf.printf "evolution time: %.6f us\n" r.Qturbo_core.Compiler.t_sim;
@@ -132,18 +111,17 @@ let print_compile_result ~(ryd : Rydberg.t option) ~show_pulse ~ramp
     Printf.printf "plan: built, cache disabled (build %.2f ms, solve %.2f ms)\n"
       (1000.0 *. p.Qturbo_core.Compiler.build_seconds)
       (1000.0 *. p.Qturbo_core.Compiler.solve_seconds);
-  match ryd with
-  | Some ryd when show_pulse ->
-      let pulse =
-        Qturbo_core.Extract.rydberg_pulse ryd ~env:r.Qturbo_core.Compiler.env
-          ~t_sim:r.Qturbo_core.Compiler.t_sim
-      in
-      let pulse = if ramp then Qturbo_core.Ramp.apply pulse else pulse in
-      Format.printf "%a" Pulse.pp_rydberg pulse;
-      (match Pulse.within_limits pulse @ Pulse.slew_violations pulse with
-      | [] -> print_endline "pulse is executable on this device"
-      | vs -> List.iter (Printf.printf "limit violation: %s\n") vs)
-  | Some _ | None -> ()
+  if show_pulse then begin
+    let pulse =
+      instance.Backend.extract ~env:r.Qturbo_core.Compiler.env
+        ~t_sim:r.Qturbo_core.Compiler.t_sim
+    in
+    let pulse = if ramp then instance.Backend.ramp pulse else pulse in
+    print_string (Backend.pulse_text pulse);
+    match Backend.pulse_violations pulse with
+    | [] -> print_endline "pulse is executable on this device"
+    | vs -> List.iter (Printf.printf "limit violation: %s\n") vs
+  end
 
 let setup_logging verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -204,110 +182,87 @@ let compile_cmd model_name hamiltonian n backend device_name cutoff t_tar j h
       plan_cache = not no_plan_cache;
     }
   in
-  match backend with
-  | "heisenberg" ->
-      if Qturbo_models.Model.is_driven model then
-        failwith
-          "time-dependent models are only supported on the rydberg backend";
-      let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n in
-      let target =
-        Qturbo_pauli.Pauli_sum.drop_identity
-          (Qturbo_models.Model.hamiltonian_at model ~s:0.0)
+  let inst =
+    resolve_backend ~backend ~device:device_name ~cutoff ~ramp
+      ~model_name:model.Qturbo_models.Model.name ~n
+  in
+  if Qturbo_models.Model.is_driven model then begin
+    let td =
+      repeated (fun () ->
+          Qturbo_core.Td_compiler.compile ~options ~aais:inst.Backend.aais
+            ~model ~t_tar ~segments ())
+    in
+    Printf.printf "compiled %d segments in %.2f ms\n" segments
+      (1000.0 *. td.Qturbo_core.Td_compiler.compile_seconds);
+    Printf.printf "total evolution time: %.6f us\n" td.Qturbo_core.Td_compiler.t_sim;
+    Printf.printf "relative error: %.4f %%\n"
+      td.Qturbo_core.Td_compiler.relative_error;
+    List.iteri
+      (fun k (s : Qturbo_core.Td_compiler.segment_result) ->
+        Printf.printf "  segment %d: %.4f us (error %.4g)\n" k
+          s.Qturbo_core.Td_compiler.duration s.Qturbo_core.Td_compiler.error_l1)
+      td.Qturbo_core.Td_compiler.segments;
+    List.iter
+      (fun f ->
+        Printf.printf "failure: %s\n"
+          (Qturbo_resilience.Failure.to_string f))
+      td.Qturbo_core.Td_compiler.failures;
+    if td.Qturbo_core.Td_compiler.degraded then
+      print_endline
+        "DEGRADED: best-effort result; some component kept a \
+         non-converged solution (see failure records above)";
+    Printf.printf "plan: %d shape(s), %d front-end build(s)\n"
+      td.Qturbo_core.Td_compiler.plan_shapes
+      td.Qturbo_core.Td_compiler.plan_builds;
+    0
+  end
+  else begin
+    let target =
+      Qturbo_pauli.Pauli_sum.drop_identity
+        (Qturbo_models.Model.hamiltonian_at model ~s:0.0)
+    in
+    if baseline then begin
+      let r =
+        Qturbo_simuq.Simuq_compiler.compile ~aais:inst.Backend.aais ~target
+          ~t_tar ()
       in
-      if baseline then begin
-        let r =
-          Qturbo_simuq.Simuq_compiler.compile ~aais:heis.Heisenberg.aais ~target
-            ~t_tar ()
-        in
-        Printf.printf "baseline: success=%b T=%.4f us error=%.4f%% (%.2f s)\n"
-          r.Qturbo_simuq.Simuq_compiler.success r.Qturbo_simuq.Simuq_compiler.t_sim
-          r.Qturbo_simuq.Simuq_compiler.relative_error
-          r.Qturbo_simuq.Simuq_compiler.compile_seconds;
-        0
-      end
-      else begin
-        let r =
-          repeated (fun () ->
-              Qturbo_core.Compiler.compile ~options ~aais:heis.Heisenberg.aais
-                ~target ~t_tar ())
-        in
-        if json then
-          print_endline
-            (Qturbo_core.Verifier.report_to_json
-               (Qturbo_core.Verifier.verify_heisenberg heis ~target ~t_tar r))
-        else print_compile_result ~ryd:None ~show_pulse ~ramp r;
-        0
-      end
-  | "rydberg" ->
-      let spec =
-        resolve_rydberg_spec ~device_name ~n
-          ~model_name:model.Qturbo_models.Model.name
+      Printf.printf "baseline: success=%b T=%.4f us error=%.4f%% (%.2f s)\n"
+        r.Qturbo_simuq.Simuq_compiler.success
+        r.Qturbo_simuq.Simuq_compiler.t_sim
+        r.Qturbo_simuq.Simuq_compiler.relative_error
+        r.Qturbo_simuq.Simuq_compiler.compile_seconds;
+      0
+    end
+    else begin
+      let r =
+        repeated (fun () ->
+            Qturbo_core.Compiler.compile ~options ~aais:inst.Backend.aais
+              ~target ~t_tar ())
       in
-      let ryd = Rydberg.build_cutoff ~cutoff:(parse_cutoff cutoff) ~spec ~n in
-      if Qturbo_models.Model.is_driven model then begin
-        let td =
-          repeated (fun () ->
-              Qturbo_core.Td_compiler.compile ~options ~aais:ryd.Rydberg.aais
-                ~model ~t_tar ~segments ())
+      if json then begin
+        let report =
+          Qturbo_core.Verifier.report_to_json (inst.Backend.verify ~target ~t_tar r)
         in
-        Printf.printf "compiled %d segments in %.2f ms\n" segments
-          (1000.0 *. td.Qturbo_core.Td_compiler.compile_seconds);
-        Printf.printf "total evolution time: %.6f us\n" td.Qturbo_core.Td_compiler.t_sim;
-        Printf.printf "relative error: %.4f %%\n"
-          td.Qturbo_core.Td_compiler.relative_error;
-        List.iteri
-          (fun k (s : Qturbo_core.Td_compiler.segment_result) ->
-            Printf.printf "  segment %d: %.4f us (error %.4g)\n" k
-              s.Qturbo_core.Td_compiler.duration s.Qturbo_core.Td_compiler.error_l1)
-          td.Qturbo_core.Td_compiler.segments;
-        List.iter
-          (fun f ->
-            Printf.printf "failure: %s\n"
-              (Qturbo_resilience.Failure.to_string f))
-          td.Qturbo_core.Td_compiler.failures;
-        if td.Qturbo_core.Td_compiler.degraded then
-          print_endline
-            "DEGRADED: best-effort result; some component kept a \
-             non-converged solution (see failure records above)";
-        Printf.printf "plan: %d shape(s), %d front-end build(s)\n"
-          td.Qturbo_core.Td_compiler.plan_shapes
-          td.Qturbo_core.Td_compiler.plan_builds;
-        0
-      end
-      else begin
-        let target =
-          Qturbo_pauli.Pauli_sum.drop_identity
-            (Qturbo_models.Model.hamiltonian_at model ~s:0.0)
+        (* --show-pulse under --json: splice a "pulse" field into the
+           report object (previously the flag was silently ignored) *)
+        let report =
+          if show_pulse then begin
+            let pulse =
+              inst.Backend.extract ~env:r.Qturbo_core.Compiler.env
+                ~t_sim:r.Qturbo_core.Compiler.t_sim
+            in
+            let pulse = if ramp then inst.Backend.ramp pulse else pulse in
+            String.sub report 0 (String.length report - 1)
+            ^ ",\"pulse\":" ^ Backend.pulse_json pulse ^ "}"
+          end
+          else report
         in
-        if baseline then begin
-          let r =
-            Qturbo_simuq.Simuq_compiler.compile ~aais:ryd.Rydberg.aais ~target
-              ~t_tar ()
-          in
-          Printf.printf "baseline: success=%b T=%.4f us error=%.4f%% (%.2f s)\n"
-            r.Qturbo_simuq.Simuq_compiler.success
-            r.Qturbo_simuq.Simuq_compiler.t_sim
-            r.Qturbo_simuq.Simuq_compiler.relative_error
-            r.Qturbo_simuq.Simuq_compiler.compile_seconds;
-          0
-        end
-        else begin
-          let r =
-            repeated (fun () ->
-                Qturbo_core.Compiler.compile ~options ~aais:ryd.Rydberg.aais
-                  ~target ~t_tar ())
-          in
-          if json then
-            print_endline
-              (Qturbo_core.Verifier.report_to_json
-                 (Qturbo_core.Verifier.verify_rydberg ryd ~target ~t_tar r))
-          else print_compile_result ~ryd:(Some ryd) ~show_pulse ~ramp r;
-          0
-        end
+        print_endline report
       end
-  | other ->
-      Printf.eprintf "unknown backend %s (rydberg | heisenberg)\n" other;
-      2
+      else print_compile_result ~instance:inst ~show_pulse ~ramp r;
+      0
+    end
+  end
 
 let model_arg =
   Arg.(
@@ -328,16 +283,22 @@ let n_arg =
 let backend_arg =
   Arg.(
     value & opt string "rydberg"
-    & info [ "backend"; "b" ] ~docv:"BACKEND" ~doc:"rydberg or heisenberg.")
+    & info [ "backend"; "b" ] ~docv:"BACKEND"
+        ~doc:"rydberg, heisenberg, or iontrap.")
 
 let device_arg =
   Arg.(
-    value & opt string "aquila-paper"
-    & info [ "device"; "d" ] ~docv:"DEVICE" ~doc:"Rydberg device preset (see `qturbo devices`).")
+    value
+    & opt (some string) None
+    & info [ "device"; "d" ] ~docv:"DEVICE"
+        ~doc:
+          "Device preset for backends that declare presets (see `qturbo \
+           devices`); rejected on backends without them.")
 
 let cutoff_arg =
   Arg.(
-    value & opt string "auto"
+    value
+    & opt (some string) None
     & info [ "cutoff" ] ~docv:"CUTOFF"
         ~doc:
           "Van-der-Waals interaction cutoff for the rydberg backend: \
@@ -479,25 +440,13 @@ let check_cmd model_name hamiltonian n backend device_name cutoff t_tar j h
   let module D = Qturbo_analysis.Diagnostic in
   let model = resolve_model ~hamiltonian ~model_name ~n ~j ~h in
   let n = model.Qturbo_models.Model.n in
-  let aais, t_max, spec_diags =
-    match backend with
-    | "heisenberg" ->
-        let spec = Device.heisenberg_default in
-        let heis = Heisenberg.build ~spec ~n in
-        ( heis.Heisenberg.aais,
-          spec.Device.max_time,
-          Qturbo_analysis.Device_check.heisenberg_spec spec )
-    | "rydberg" ->
-        let spec =
-          resolve_rydberg_spec ~device_name ~n
-            ~model_name:model.Qturbo_models.Model.name
-        in
-        let ryd = Rydberg.build_cutoff ~cutoff:(parse_cutoff cutoff) ~spec ~n in
-        ( ryd.Rydberg.aais,
-          spec.Device.max_time,
-          Qturbo_analysis.Device_check.rydberg_spec spec )
-    | other -> failwith ("unknown backend " ^ other ^ " (rydberg | heisenberg)")
+  let inst =
+    resolve_backend ~backend ~device:device_name ~cutoff ~ramp:false
+      ~model_name:model.Qturbo_models.Model.name ~n
   in
+  let aais = inst.Backend.aais in
+  let t_max = inst.Backend.max_time in
+  let spec_diags = inst.Backend.spec_diagnostics in
   let aais =
     match inject with
     | None -> aais
@@ -655,17 +604,9 @@ let lint_cmd model_name hamiltonian n backend device_name cutoff j h inject
   let model = resolve_model ~hamiltonian ~model_name ~n ~j ~h in
   let n = model.Qturbo_models.Model.n in
   let aais =
-    match backend with
-    | "heisenberg" ->
-        (Heisenberg.build ~spec:Device.heisenberg_default ~n).Heisenberg.aais
-    | "rydberg" ->
-        let spec =
-          resolve_rydberg_spec ~device_name ~n
-            ~model_name:model.Qturbo_models.Model.name
-        in
-        (Rydberg.build_cutoff ~cutoff:(parse_cutoff cutoff) ~spec ~n)
-          .Rydberg.aais
-    | other -> failwith ("unknown backend " ^ other ^ " (rydberg | heisenberg)")
+    (resolve_backend ~backend ~device:device_name ~cutoff ~ramp:false
+       ~model_name:model.Qturbo_models.Model.name ~n)
+      .Backend.aais
   in
   let target =
     Qturbo_pauli.Pauli_sum.drop_identity
@@ -901,20 +842,17 @@ let sweep_cmd model_name hamiltonian n backend device_name jobs_file sweep_j
       (Qturbo_util.Json.quote backend)
       n mode job_count batch_domains
   in
+  let inst =
+    resolve_backend ~backend ~device:device_name ~cutoff:None ~ramp:false
+      ~model_name:probe.Qturbo_models.Model.name ~n
+  in
   if Qturbo_models.Model.is_driven probe then begin
     (* time-dependent sweep: re-discretize the model at each segment
        count; all segments of every job share one plan when their
        shapes agree, so the whole sweep pays one front-end build *)
-    if backend <> "rydberg" then
-      failwith "time-dependent sweeps are only supported on the rydberg backend";
     let seg_list = parse_int_list ~what:"--sweep-segments" sweep_segments in
     if seg_list = [] then
       failwith "time-dependent sweeps need --sweep-segments, e.g. 2,4,8";
-    let spec =
-      resolve_rydberg_spec ~device_name ~n
-        ~model_name:probe.Qturbo_models.Model.name
-    in
-    let ryd = Rydberg.build ~spec ~n in
     let td_jobs =
       List.concat_map (fun segments -> List.map (fun t -> (segments, t)) ts)
         seg_list
@@ -924,7 +862,7 @@ let sweep_cmd model_name hamiltonian n backend device_name jobs_file sweep_j
         (fun (segments, t_tar) ->
           ( segments,
             t_tar,
-            Qturbo_core.Td_compiler.compile ~options ~aais:ryd.Rydberg.aais
+            Qturbo_core.Td_compiler.compile ~options ~aais:inst.Backend.aais
               ~model:probe ~t_tar ~segments () ))
         td_jobs
     in
@@ -967,38 +905,15 @@ let sweep_cmd model_name hamiltonian n backend device_name jobs_file sweep_j
         (Qturbo_models.Model.hamiltonian_at (model_of ~j ~h) ~s:0.0)
     in
     let batch = List.map (fun (j, h, t) -> (target_of ~j ~h, t)) jobs in
-    let results, reports =
-      match backend with
-      | "rydberg" ->
-          let spec =
-            resolve_rydberg_spec ~device_name ~n
-              ~model_name:probe.Qturbo_models.Model.name
-          in
-          let ryd = Rydberg.build ~spec ~n in
-          let results =
-            Qturbo_core.Compiler.compile_batch ~options ~batch_domains
-              ~aais:ryd.Rydberg.aais batch
-          in
-          ( results,
-            lazy
-              (List.map2
-                 (fun (target, t_tar) r ->
-                   Qturbo_core.Verifier.verify_rydberg ryd ~target ~t_tar r)
-                 batch results) )
-      | "heisenberg" ->
-          let heis = Heisenberg.build ~spec:Device.heisenberg_default ~n in
-          let results =
-            Qturbo_core.Compiler.compile_batch ~options ~batch_domains
-              ~aais:heis.Heisenberg.aais batch
-          in
-          ( results,
-            lazy
-              (List.map2
-                 (fun (target, t_tar) r ->
-                   Qturbo_core.Verifier.verify_heisenberg heis ~target ~t_tar r)
-                 batch results) )
-      | other ->
-          failwith ("unknown backend " ^ other ^ " (rydberg | heisenberg)")
+    let results =
+      Qturbo_core.Compiler.compile_batch ~options ~batch_domains
+        ~aais:inst.Backend.aais batch
+    in
+    let reports =
+      lazy
+        (List.map2
+           (fun (target, t_tar) r -> inst.Backend.verify ~target ~t_tar r)
+           batch results)
     in
     if json then begin
       let job_json (j, h, t) report =
@@ -1100,7 +1015,7 @@ let run_cmd model_name n device_name t_tar j h shots noise_scale seed verbose =
   if Qturbo_models.Model.is_driven model then
     failwith "run supports static models only (compile driven ones instead)";
   let spec =
-    match List.assoc_opt device_name device_presets with
+    match List.assoc_opt device_name run_device_presets with
     | Some sp -> sp
     | None -> failwith ("unknown device: " ^ device_name)
   in
@@ -1172,18 +1087,11 @@ let models_cmd () =
 
 let devices_cmd () =
   List.iter
-    (fun (name, (s : Device.rydberg)) ->
-      Printf.printf
-        "%-14s C6=%.4g  Omega<=%.3g  |Delta|<=%.3g  sep>=%g um  window %g um  \
-         %s control, %s\n"
-        name s.Device.c6 s.Device.omega_max s.Device.delta_max
-        s.Device.min_separation s.Device.max_extent
-        (match s.Device.control with Device.Global -> "global" | Device.Local -> "local")
-        (match s.Device.geometry with Device.Line -> "1-D" | Device.Plane -> "2-D"))
-    device_presets;
-  let h = Device.heisenberg_default in
-  Printf.printf "%-14s single<=%g  two<=%g  (chain)\n" h.Device.name
-    h.Device.single_max h.Device.two_max;
+    (fun (b : Backend.t) ->
+      List.iter
+        (fun (name, summary) -> Printf.printf "%-14s %s\n" name summary)
+        b.Backend.devices)
+    (Backend.all ());
   0
 
 let main () =

@@ -69,3 +69,44 @@ let heisenberg_default =
     max_time = 100.0;
     ring = false;
   }
+
+type iontrap = {
+  name : string;
+  omega_max : float;
+  mu_max : float;
+  j_max : float;
+  falloff : float;
+  coupling_range : int;
+  max_ions : int;
+  max_time : float;
+}
+
+(* Linear-chain trap with all-to-all Mølmer–Sørensen couplings whose
+   usable strength falls off as a power law in the ion-index distance —
+   the collective-motional-mode picture of trapped-ion analog
+   simulators (SimuQ's IonTrap backend).  Amplitudes in rad/µs. *)
+let iontrap_chain =
+  {
+    name = "iontrap-chain";
+    omega_max = 12.0;
+    mu_max = 25.0;
+    j_max = 1.5;
+    falloff = 1.2;
+    coupling_range = max_int;
+    max_ions = 128;
+    max_time = 100.0;
+  }
+
+(* Nearest-neighbour-only trap: segmented/shuttling architectures where
+   only adjacent ions share a gate zone.  Stronger couplings, no tail. *)
+let iontrap_nn =
+  {
+    name = "iontrap-nn";
+    omega_max = 12.0;
+    mu_max = 25.0;
+    j_max = 2.5;
+    falloff = 0.0;
+    coupling_range = 1;
+    max_ions = 128;
+    max_time = 100.0;
+  }

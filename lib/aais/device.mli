@@ -58,3 +58,32 @@ type heisenberg = {
 val heisenberg_default : heisenberg
 (** Superconducting-scale bounds (single-qubit drives are fast, two-qubit
     couplings ~50× weaker), chain connectivity. *)
+
+type iontrap = {
+  name : string;
+  omega_max : float;  (** per-ion Rabi-drive amplitude bound, [Ω ∈ [0, omega_max]] *)
+  mu_max : float;  (** per-ion light-shift (Z) amplitude bound, [|μ| <= mu_max] *)
+  j_max : float;
+      (** Mølmer–Sørensen pair-coupling bound at ion-index distance 1;
+          the usable bound at distance [d] is [j_max / d^falloff] *)
+  falloff : float;
+      (** power-law exponent of the coupling-strength falloff with
+          ion-index distance (0 = distance-independent) *)
+  coupling_range : int;
+      (** largest ion-index distance with a pair channel at all
+          ([max_int] = all-to-all) *)
+  max_ions : int;  (** chain-length limit of the trap *)
+  max_time : float;  (** µs, longest executable schedule *)
+}
+(** Trapped-ion chain specification (the SimuQ-style IonTrap backend):
+    per-ion polar Rabi drives (X/Y), per-ion light shifts (Z) and
+    same-Pauli Mølmer–Sørensen pair couplings (XX/YY/ZZ) whose bound
+    decays as a power law in the ion-index distance. *)
+
+val iontrap_chain : iontrap
+(** All-to-all chain trap with a [1/d^1.2] coupling falloff — the
+    collective-motional-mode regime.  The default ion-trap preset. *)
+
+val iontrap_nn : iontrap
+(** Nearest-neighbour-only trap (segmented/shuttling architecture):
+    [coupling_range = 1], distance-independent bound. *)

@@ -104,6 +104,28 @@ let heisenberg_duration p =
 let heisenberg_segment_hamiltonians p =
   List.map (fun s -> (Pauli_sum.of_list s.amplitudes, s.duration)) p.segments
 
+let heisenberg_within_limits p =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  List.iteri
+    (fun k s ->
+      List.iter
+        (fun (pstring, a) ->
+          let bound =
+            if Pauli_string.weight pstring <= 1 then p.spec.Device.single_max
+            else p.spec.Device.two_max
+          in
+          if Float.abs a > bound +. 1e-9 then
+            add "segment %d: |a^%s|=%.3f > %.3f" k
+              (Format.asprintf "%a" Pauli_string.pp pstring)
+              (Float.abs a) bound)
+        s.amplitudes)
+    p.segments;
+  if heisenberg_duration p > p.spec.Device.max_time +. 1e-9 then
+    add "total duration %.3f us > device limit %.3f us" (heisenberg_duration p)
+      p.spec.Device.max_time;
+  List.rev !violations
+
 let pp_heisenberg ppf p =
   Format.fprintf ppf "heisenberg pulse (%d segments, %.4f us)@."
     (List.length p.segments) (heisenberg_duration p);
@@ -111,4 +133,79 @@ let pp_heisenberg ppf p =
     (fun k s ->
       Format.fprintf ppf "  segment %d: %.4f us, %d active terms@." k s.duration
         (List.length s.amplitudes))
+    p.segments
+
+type iontrap_segment = {
+  duration : float;
+  omega : float array;
+  phi : float array;
+  mu : float array;
+  couplings : (int * int * Pauli.op * float) list;
+}
+
+type iontrap = { spec : Device.iontrap; segments : iontrap_segment list }
+
+let iontrap_duration p =
+  List.fold_left (fun acc s -> acc +. s.duration) 0.0 p.segments
+
+let iontrap_segment_hamiltonians p =
+  List.map
+    (fun s ->
+      ( Iontrap.hamiltonian_of_pulse ~omega:s.omega ~phi:s.phi ~mu:s.mu
+          ~couplings:s.couplings (),
+        s.duration ))
+    p.segments
+
+let iontrap_within_limits p =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  List.iteri
+    (fun k s ->
+      Array.iteri
+        (fun i w ->
+          if w < -1e-9 || w > p.spec.Device.omega_max +. 1e-9 then
+            add "segment %d: omega(%d)=%.3f outside [0, %.3f]" k i w
+              p.spec.Device.omega_max)
+        s.omega;
+      Array.iteri
+        (fun i m ->
+          if Float.abs m > p.spec.Device.mu_max +. 1e-9 then
+            add "segment %d: |mu(%d)|=%.3f > %.3f" k i (Float.abs m)
+              p.spec.Device.mu_max)
+        s.mu;
+      List.iter
+        (fun (i, j, op, a) ->
+          if abs (j - i) > p.spec.Device.coupling_range then
+            add "segment %d: coupling %s(%d,%d) beyond range %d" k
+              (Pauli.op_to_string op) i j p.spec.Device.coupling_range
+          else begin
+            let bound = Iontrap.pair_bound ~spec:p.spec ~i ~j in
+            if Float.abs a > bound +. 1e-9 then
+              add "segment %d: |J^%s(%d,%d)|=%.3f > %.3f" k
+                (Pauli.op_to_string op) i j (Float.abs a) bound
+          end)
+        s.couplings)
+    p.segments;
+  if iontrap_duration p > p.spec.Device.max_time +. 1e-9 then
+    add "total duration %.3f us > device limit %.3f us" (iontrap_duration p)
+      p.spec.Device.max_time;
+  List.rev !violations
+
+let pp_iontrap ppf p =
+  let n =
+    match p.segments with [] -> 0 | s :: _ -> Array.length s.omega
+  in
+  Format.fprintf ppf "iontrap pulse (%d ions, %d segments, %.4f us)@." n
+    (List.length p.segments) (iontrap_duration p);
+  List.iteri
+    (fun k s ->
+      Format.fprintf ppf
+        "  segment %d: %.4f us omega=%s mu=%s, %d active couplings@." k
+        s.duration
+        (String.concat ","
+           (Array.to_list (Array.map (Printf.sprintf "%.3f") s.omega)))
+        (String.concat ","
+           (Array.to_list (Array.map (Printf.sprintf "%.3f") s.mu)))
+        (List.length
+           (List.filter (fun (_, _, _, a) -> a <> 0.0) s.couplings)))
     p.segments

@@ -55,4 +55,32 @@ val heisenberg_duration : heisenberg -> float
 val heisenberg_segment_hamiltonians :
   heisenberg -> (Qturbo_pauli.Pauli_sum.t * float) list
 
+val heisenberg_within_limits : heisenberg -> string list
+(** Amplitude-bound (weight-1 terms against [single_max], weight-2 terms
+    against [two_max]) and total-time violations; empty = executable. *)
+
 val pp_heisenberg : Format.formatter -> heisenberg -> unit
+
+type iontrap_segment = {
+  duration : float;  (** µs *)
+  omega : float array;  (** per-ion Rabi amplitude *)
+  phi : float array;  (** per-ion drive phase *)
+  mu : float array;  (** per-ion light shift *)
+  couplings : (int * int * Qturbo_pauli.Pauli.op * float) list;
+      (** Mølmer–Sørensen pair amplitudes as [(i, j, basis, J)] *)
+}
+
+type iontrap = { spec : Device.iontrap; segments : iontrap_segment list }
+
+val iontrap_duration : iontrap -> float
+
+val iontrap_segment_hamiltonians :
+  iontrap -> (Qturbo_pauli.Pauli_sum.t * float) list
+
+val iontrap_within_limits : iontrap -> string list
+(** Per-ion drive/shift bounds, distance-dependent coupling bounds
+    ({!Iontrap.pair_bound}) and the total-time limit.  Ion traps have no
+    slew-rate analogue here — there is no separate slew check and the
+    ramping post-pass is an identity for this family. *)
+
+val pp_iontrap : Format.formatter -> iontrap -> unit

@@ -28,6 +28,104 @@ let to_string (p : Pulse.rydberg) =
   addf "end";
   Buffer.contents b
 
+(* ---- strict-JSON emission (Qturbo_util.Json.value, so non-finite
+   floats map to null and the output always parses) ---- *)
+
+module Json = Qturbo_util.Json
+
+let jfloats xs = Json.Array (Array.to_list (Array.map (fun x -> Json.Number x) xs))
+
+let rydberg_json (p : Pulse.rydberg) =
+  Json.Object
+    [
+      ("family", Json.String "rydberg");
+      ("device", Json.String p.Pulse.spec.Device.name);
+      ("duration", Json.Number (Pulse.rydberg_duration p));
+      ( "positions",
+        Json.Array
+          (Array.to_list
+             (Array.map
+                (fun (x, y) -> Json.Array [ Json.Number x; Json.Number y ])
+                p.Pulse.positions)) );
+      ( "segments",
+        Json.Array
+          (List.map
+             (fun (s : Pulse.rydberg_segment) ->
+               Json.Object
+                 [
+                   ("duration", Json.Number s.Pulse.duration);
+                   ("omega", jfloats s.Pulse.omega);
+                   ("phi", jfloats s.Pulse.phi);
+                   ("delta", jfloats s.Pulse.delta);
+                 ])
+             p.Pulse.segments) );
+    ]
+
+let rydberg_to_json p = Json.emit (rydberg_json p)
+
+let heisenberg_json (p : Pulse.heisenberg) =
+  Json.Object
+    [
+      ("family", Json.String "heisenberg");
+      ("device", Json.String p.Pulse.spec.Device.name);
+      ("duration", Json.Number (Pulse.heisenberg_duration p));
+      ( "segments",
+        Json.Array
+          (List.map
+             (fun (s : Pulse.heisenberg_segment) ->
+               Json.Object
+                 [
+                   ("duration", Json.Number s.Pulse.duration);
+                   ( "amplitudes",
+                     Json.Object
+                       (List.map
+                          (fun (pstring, a) ->
+                            ( Format.asprintf "%a" Qturbo_pauli.Pauli_string.pp
+                                pstring,
+                              Json.Number a ))
+                          s.Pulse.amplitudes) );
+                 ])
+             p.Pulse.segments) );
+    ]
+
+let heisenberg_to_json p = Json.emit (heisenberg_json p)
+
+let iontrap_json (p : Pulse.iontrap) =
+  Json.Object
+    [
+      ("family", Json.String "iontrap");
+      ("device", Json.String p.Pulse.spec.Device.name);
+      ("duration", Json.Number (Pulse.iontrap_duration p));
+      ( "segments",
+        Json.Array
+          (List.map
+             (fun (s : Pulse.iontrap_segment) ->
+               Json.Object
+                 [
+                   ("duration", Json.Number s.Pulse.duration);
+                   ("omega", jfloats s.Pulse.omega);
+                   ("phi", jfloats s.Pulse.phi);
+                   ("mu", jfloats s.Pulse.mu);
+                   ( "couplings",
+                     Json.Array
+                       (List.map
+                          (fun (i, j, op, a) ->
+                            Json.Object
+                              [
+                                ("i", Json.Number (float_of_int i));
+                                ("j", Json.Number (float_of_int j));
+                                ( "basis",
+                                  Json.String (Qturbo_pauli.Pauli.op_to_string op)
+                                );
+                                ("amplitude", Json.Number a);
+                              ])
+                          s.Pulse.couplings) );
+                 ])
+             p.Pulse.segments) );
+    ]
+
+let iontrap_to_json p = Json.emit (iontrap_json p)
+
 exception Parse_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt

@@ -13,3 +13,16 @@ val of_string : string -> (Pulse.rydberg, string) result
 val save : path:string -> Pulse.rydberg -> unit
 
 val load : path:string -> (Pulse.rydberg, string) result
+
+(** {1 Strict-JSON emission}
+
+    One emitter per pulse family, built on {!Qturbo_util.Json} so every
+    output is strict RFC 8259 (non-finite floats become [null]).  The
+    objects share a common envelope — [family], [device], [duration],
+    [segments] — with per-family segment payloads. *)
+
+val rydberg_to_json : Pulse.rydberg -> string
+
+val heisenberg_to_json : Pulse.heisenberg -> string
+
+val iontrap_to_json : Pulse.iontrap -> string

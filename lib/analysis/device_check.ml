@@ -91,6 +91,27 @@ let heisenberg_spec (d : Device.heisenberg) =
     diags := err "max_time" d.max_time "positive" :: !diags;
   List.rev !diags
 
+let iontrap_spec (d : Device.iontrap) =
+  let diags = ref [] in
+  let err field value want = bad_limit ~device:d.name ~field ~value ~want in
+  if Float.is_nan d.omega_max || d.omega_max < 0.0 then
+    diags := err "omega_max" d.omega_max "non-negative" :: !diags;
+  if Float.is_nan d.mu_max || d.mu_max < 0.0 then
+    diags := err "mu_max" d.mu_max "non-negative" :: !diags;
+  if Float.is_nan d.j_max || d.j_max < 0.0 then
+    diags := err "j_max" d.j_max "non-negative" :: !diags;
+  if Float.is_nan d.falloff || d.falloff < 0.0 then
+    diags := err "falloff" d.falloff "finite and non-negative" :: !diags;
+  if d.coupling_range < 1 then
+    diags :=
+      err "coupling_range" (float_of_int d.coupling_range) "at least 1"
+      :: !diags;
+  if d.max_ions < 1 then
+    diags := err "max_ions" (float_of_int d.max_ions) "at least 1" :: !diags;
+  if not (finite_pos d.max_time) then
+    diags := err "max_time" d.max_time "positive" :: !diags;
+  List.rev !diags
+
 let variables vars =
   let diags = ref [] in
   Array.iter
@@ -135,3 +156,27 @@ let rydberg_pulse (p : Pulse.rydberg) =
       (Pulse.slew_violations p)
   in
   limit_diags @ slew_diags
+
+let heisenberg_pulse (p : Pulse.heisenberg) =
+  List.map
+    (fun msg ->
+      Diagnostic.make ~code:"QT012" ~severity:Diagnostic.Error
+        ~subject:Diagnostic.Pulse
+        ~hint:
+          "the schedule is not executable on this device; recompile \
+           against the device's actual limits"
+        msg)
+    (Pulse.heisenberg_within_limits p)
+
+(* No QT013 analogue: ion traps carry no slew limit in the spec, so the
+   ramping post-pass is an identity for this family. *)
+let iontrap_pulse (p : Pulse.iontrap) =
+  List.map
+    (fun msg ->
+      Diagnostic.make ~code:"QT012" ~severity:Diagnostic.Error
+        ~subject:Diagnostic.Pulse
+        ~hint:
+          "the schedule is not executable on this device; recompile \
+           against the device's actual limits"
+        msg)
+    (Pulse.iontrap_within_limits p)

@@ -26,8 +26,20 @@ val rydberg_spec : Qturbo_aais.Device.rydberg -> Diagnostic.t list
 val heisenberg_spec : Qturbo_aais.Device.heisenberg -> Diagnostic.t list
 (** [QT011]. *)
 
+val iontrap_spec : Qturbo_aais.Device.iontrap -> Diagnostic.t list
+(** [QT011]: [omega_max], [mu_max], [j_max], [falloff] non-negative
+    (and [falloff] finite), [coupling_range] and [max_ions] at least 1,
+    [max_time] positive. *)
+
 val variables : Qturbo_aais.Variable.t array -> Diagnostic.t list
 (** [QT009]. *)
 
 val rydberg_pulse : Qturbo_aais.Pulse.rydberg -> Diagnostic.t list
 (** [QT012] and [QT013]. *)
+
+val heisenberg_pulse : Qturbo_aais.Pulse.heisenberg -> Diagnostic.t list
+(** [QT012] (unified with {!Qturbo_aais.Pulse.heisenberg_within_limits}). *)
+
+val iontrap_pulse : Qturbo_aais.Pulse.iontrap -> Diagnostic.t list
+(** [QT012] (unified with {!Qturbo_aais.Pulse.iontrap_within_limits});
+    no [QT013] — ion traps have no slew limit. *)

@@ -1,0 +1,277 @@
+open Qturbo_aais
+module Diagnostic = Qturbo_analysis.Diagnostic
+
+type flag = Device_preset | Cutoff | Ramp
+
+let flag_name = function
+  | Device_preset -> "--device"
+  | Cutoff -> "--cutoff"
+  | Ramp -> "--ramp"
+
+type pulse =
+  | Rydberg_pulse of Pulse.rydberg
+  | Heisenberg_pulse of Pulse.heisenberg
+  | Iontrap_pulse of Pulse.iontrap
+
+let pulse_text = function
+  | Rydberg_pulse p -> Format.asprintf "%a" Pulse.pp_rydberg p
+  | Heisenberg_pulse p -> Format.asprintf "%a" Pulse.pp_heisenberg p
+  | Iontrap_pulse p -> Format.asprintf "%a" Pulse.pp_iontrap p
+
+let pulse_json = function
+  | Rydberg_pulse p -> Pulse_io.rydberg_to_json p
+  | Heisenberg_pulse p -> Pulse_io.heisenberg_to_json p
+  | Iontrap_pulse p -> Pulse_io.iontrap_to_json p
+
+let pulse_violations = function
+  | Rydberg_pulse p -> Pulse.within_limits p @ Pulse.slew_violations p
+  | Heisenberg_pulse p -> Pulse.heisenberg_within_limits p
+  | Iontrap_pulse p -> Pulse.iontrap_within_limits p
+
+type instance = {
+  backend_name : string;
+  device_name : string;
+  aais : Aais.t;
+  max_time : float;
+  spec_diagnostics : Diagnostic.t list;
+  verify :
+    target:Qturbo_pauli.Pauli_sum.t ->
+    t_tar:float ->
+    Qturbo_core.Compiler.result ->
+    Qturbo_core.Verifier.report;
+  extract : env:float array -> t_sim:float -> pulse;
+  ramp : pulse -> pulse;
+}
+
+type t = {
+  name : string;
+  doc : string;
+  flags : flag list;
+  devices : (string * string) list;
+  default_device : string option;
+  instantiate :
+    ?device:string -> ?cutoff:string -> model_name:string -> n:int -> unit ->
+    instance;
+}
+
+let supports backend flag = List.mem flag backend.flags
+
+let reject_unsupported backend ~device ~cutoff ~ramp =
+  let reject flag =
+    failwith
+      (Printf.sprintf "%s does not apply to the %s backend" (flag_name flag)
+         backend.name)
+  in
+  if device <> None && not (supports backend Device_preset) then
+    reject Device_preset;
+  if cutoff <> None && not (supports backend Cutoff) then reject Cutoff;
+  if ramp && not (supports backend Ramp) then reject Ramp
+
+(* ---- registry ---- *)
+
+let registry : (string * t) list ref = ref []
+
+let register backend =
+  if List.mem_assoc backend.name !registry then
+    invalid_arg ("Backend.register: duplicate backend " ^ backend.name);
+  registry := !registry @ [ (backend.name, backend) ]
+
+let find name = List.assoc_opt name !registry
+
+let names () = List.map fst !registry
+
+let all () = List.map snd !registry
+
+let find_exn name =
+  match find name with
+  | Some b -> b
+  | None ->
+      failwith
+        (Printf.sprintf "unknown backend %s (%s)" name
+           (String.concat " | " (names ())))
+
+(* ---- rydberg ---- *)
+
+let rydberg_presets =
+  [
+    ("aquila-paper", Device.aquila_paper);
+    ("aquila", Device.aquila);
+    ("aquila-fig6a", Device.aquila_fig6a);
+    ("aquila-fig6b", Device.aquila_fig6b);
+  ]
+
+let describe_rydberg (s : Device.rydberg) =
+  Printf.sprintf
+    "C6=%.4g  Omega<=%.3g  |Delta|<=%.3g  sep>=%g um  window %g um  %s \
+     control, %s"
+    s.Device.c6 s.Device.omega_max s.Device.delta_max s.Device.min_separation
+    s.Device.max_extent
+    (match s.Device.control with
+    | Device.Global -> "global"
+    | Device.Local -> "local")
+    (match s.Device.geometry with Device.Line -> "1-D" | Device.Plane -> "2-D")
+
+(* [resolve_rydberg_spec] of the pre-refactor CLI, verbatim: the preset
+   lookup, the n>16 window widening for scaling studies, and the planar
+   layout for cycle/lattice couplings all have to stay bitwise-identical
+   (the golden tests pin this). *)
+let resolve_rydberg_spec ~device_name ~n ~model_name =
+  let spec =
+    match List.assoc_opt device_name rydberg_presets with
+    | Some s -> s
+    | None -> failwith ("unknown device: " ^ device_name)
+  in
+  let spec =
+    if n > 16 then
+      let extent = Float.max 2000.0 (3.5 *. float_of_int n) in
+      { spec with Device.max_extent = extent }
+    else spec
+  in
+  match model_name with
+  | "ising-cycle" | "ising-cycle+" | "ising-grid" ->
+      Device.with_geometry Device.Plane spec
+  | _ -> spec
+
+let parse_cutoff s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Rydberg.Auto
+  | "all-pairs" | "all" | "exact" -> Rydberg.All_pairs
+  | other -> (
+      match float_of_string_opt other with
+      | Some r when Float.is_finite r && r > 0.0 -> Rydberg.Radius r
+      | _ ->
+          failwith
+            ("invalid --cutoff " ^ s
+           ^ " (expected auto, all-pairs, or a positive radius in um)"))
+
+let rydberg =
+  let instantiate ?device ?cutoff ~model_name ~n () =
+    let device_name = Option.value device ~default:"aquila-paper" in
+    let spec = resolve_rydberg_spec ~device_name ~n ~model_name in
+    let cutoff = parse_cutoff (Option.value cutoff ~default:"auto") in
+    let ryd = Rydberg.build_cutoff ~cutoff ~spec ~n in
+    {
+      backend_name = "rydberg";
+      device_name;
+      aais = ryd.Rydberg.aais;
+      max_time = spec.Device.max_time;
+      spec_diagnostics = Qturbo_analysis.Device_check.rydberg_spec spec;
+      verify =
+        (fun ~target ~t_tar r ->
+          Qturbo_core.Verifier.verify_rydberg ryd ~target ~t_tar r);
+      extract =
+        (fun ~env ~t_sim ->
+          Rydberg_pulse (Qturbo_core.Extract.rydberg_pulse ryd ~env ~t_sim));
+      ramp =
+        (function
+        | Rydberg_pulse p -> Rydberg_pulse (Qturbo_core.Ramp.apply p)
+        | other -> other);
+    }
+  in
+  {
+    name = "rydberg";
+    doc = "neutral-atom arrays: vdW pair interactions, detunings, Rabi drives";
+    flags = [ Device_preset; Cutoff; Ramp ];
+    devices =
+      List.map (fun (name, s) -> (name, describe_rydberg s)) rydberg_presets;
+    default_device = Some "aquila-paper";
+    instantiate;
+  }
+
+(* ---- heisenberg ---- *)
+
+let heisenberg =
+  let instantiate ?device ?cutoff ~model_name ~n () =
+    ignore device;
+    ignore cutoff;
+    ignore model_name;
+    let spec = Device.heisenberg_default in
+    let heis = Heisenberg.build ~spec ~n in
+    {
+      backend_name = "heisenberg";
+      device_name = spec.Device.name;
+      aais = heis.Heisenberg.aais;
+      max_time = spec.Device.max_time;
+      spec_diagnostics = Qturbo_analysis.Device_check.heisenberg_spec spec;
+      verify =
+        (fun ~target ~t_tar r ->
+          Qturbo_core.Verifier.verify_heisenberg heis ~target ~t_tar r);
+      extract =
+        (fun ~env ~t_sim ->
+          Heisenberg_pulse
+            (Qturbo_core.Extract.heisenberg_pulse heis ~env ~t_sim));
+      ramp = Fun.id;
+    }
+  in
+  let h = Device.heisenberg_default in
+  {
+    name = "heisenberg";
+    doc = "generic spin chain: per-site Pauli drives, same-Pauli couplings";
+    flags = [];
+    devices =
+      [
+        ( h.Device.name,
+          Printf.sprintf "single<=%g  two<=%g  (chain)" h.Device.single_max
+            h.Device.two_max );
+      ];
+    default_device = None;
+    instantiate;
+  }
+
+(* ---- iontrap ---- *)
+
+let iontrap_presets =
+  [
+    ("iontrap-chain", Device.iontrap_chain); ("iontrap-nn", Device.iontrap_nn);
+  ]
+
+let describe_iontrap (s : Device.iontrap) =
+  Printf.sprintf
+    "Omega<=%.3g  |mu|<=%.3g  J<=%.3g/d^%g  range %s  <=%d ions"
+    s.Device.omega_max s.Device.mu_max s.Device.j_max s.Device.falloff
+    (if s.Device.coupling_range = max_int then "all"
+     else string_of_int s.Device.coupling_range)
+    s.Device.max_ions
+
+let iontrap =
+  let instantiate ?device ?cutoff ~model_name ~n () =
+    ignore cutoff;
+    ignore model_name;
+    let device_name = Option.value device ~default:"iontrap-chain" in
+    let spec =
+      match List.assoc_opt device_name iontrap_presets with
+      | Some s -> s
+      | None -> failwith ("unknown device: " ^ device_name)
+    in
+    let trap = Iontrap.build ~spec ~n in
+    {
+      backend_name = "iontrap";
+      device_name;
+      aais = trap.Iontrap.aais;
+      max_time = spec.Device.max_time;
+      spec_diagnostics = Qturbo_analysis.Device_check.iontrap_spec spec;
+      verify =
+        (fun ~target ~t_tar r ->
+          Qturbo_core.Verifier.verify_iontrap trap ~target ~t_tar r);
+      extract =
+        (fun ~env ~t_sim ->
+          Iontrap_pulse (Qturbo_core.Extract.iontrap_pulse trap ~env ~t_sim));
+      ramp = Fun.id;
+    }
+  in
+  {
+    name = "iontrap";
+    doc =
+      "trapped-ion chain: per-ion drives and light shifts, Molmer-Sorensen \
+       pair couplings";
+    flags = [ Device_preset ];
+    devices =
+      List.map (fun (name, s) -> (name, describe_iontrap s)) iontrap_presets;
+    default_device = Some "iontrap-chain";
+    instantiate;
+  }
+
+let () =
+  register rydberg;
+  register heisenberg;
+  register iontrap

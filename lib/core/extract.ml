@@ -34,10 +34,29 @@ let rydberg_pulse_segments ryd ~segments =
           List.map (fun (env, tau) -> rydberg_segment ryd env tau) segments;
       }
 
-let heisenberg_pulse (heis : Heisenberg.t) ~env ~t_sim =
+let heisenberg_pulse (heis : Heisenberg.t) ~env ~t_sim : Pulse.heisenberg =
   let h = Heisenberg.hamiltonian heis ~env in
   {
     Pulse.spec = heis.Heisenberg.spec;
     segments =
       [ { Pulse.duration = t_sim; amplitudes = Qturbo_pauli.Pauli_sum.terms h } ];
+  }
+
+let iontrap_pulse (trap : Iontrap.t) ~env ~t_sim : Pulse.iontrap =
+  let value (v : Variable.t) = env.(v.Variable.id) in
+  {
+    Pulse.spec = trap.Iontrap.spec;
+    segments =
+      [
+        {
+          Pulse.duration = t_sim;
+          omega = Array.map value trap.Iontrap.omegas;
+          phi = Array.map value trap.Iontrap.phis;
+          mu = Array.map value trap.Iontrap.mus;
+          couplings =
+            List.map
+              (fun (i, j, op, v) -> (i, j, op, value v))
+              trap.Iontrap.pairs;
+        };
+      ];
   }

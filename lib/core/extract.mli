@@ -21,3 +21,11 @@ val heisenberg_pulse :
   env:float array ->
   t_sim:float ->
   Qturbo_aais.Pulse.heisenberg
+
+val iontrap_pulse :
+  Qturbo_aais.Iontrap.t ->
+  env:float array ->
+  t_sim:float ->
+  Qturbo_aais.Pulse.iontrap
+(** Single-segment ion-trap schedule: per-ion drives/shifts plus every
+    Mølmer–Sørensen coupling amplitude at its compiled value. *)

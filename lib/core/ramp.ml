@@ -16,7 +16,9 @@ let omega_area (p : Pulse.rydberg) =
   area
 
 let ramp_admissible ?(fraction = 0.2) (p : Pulse.rydberg) =
-  let seg_peak s = Array.fold_left Float.max 0.0 s.Pulse.omega in
+  let seg_peak (s : Pulse.rydberg_segment) =
+    Array.fold_left Float.max 0.0 s.Pulse.omega
+  in
   let peak =
     List.fold_left (fun acc s -> Float.max acc (seg_peak s)) 0.0 p.Pulse.segments
   in

@@ -113,6 +113,44 @@ let verify_heisenberg heis ~target ~t_tar (result : Compiler.result) =
     plan = result.Compiler.plan;
   }
 
+let verify_iontrap trap ~target ~t_tar (result : Compiler.result) =
+  let env = result.Compiler.env in
+  let t_sim = result.Compiler.t_sim in
+  let h_sim = Iontrap.hamiltonian trap ~env in
+  let error_l1, relative_error, max_term_error =
+    compare_hamiltonians ~h_sim ~t_sim ~target ~t_tar
+  in
+  let pulse = Extract.iontrap_pulse trap ~env ~t_sim in
+  let violations = ref (Pulse.iontrap_within_limits pulse) in
+  let diagnostics = ref (Qturbo_analysis.Device_check.iontrap_pulse pulse) in
+  if t_sim > trap.Iontrap.spec.Device.max_time then begin
+    (* already a QT012 violation via within_limits, but keep the QT014
+       schedule-length diagnostic uniform across families *)
+    diagnostics :=
+      !diagnostics
+      @ [
+          Diagnostic.make ~code:"QT014" ~severity:Diagnostic.Error
+            ~subject:Diagnostic.Pulse
+            ~hint:
+              "split the evolution into repeated shorter executions or \
+               rescale the target"
+            (Printf.sprintf "T_sim %.3f us exceeds the device limit %.3f us"
+               t_sim trap.Iontrap.spec.Device.max_time);
+        ]
+  end;
+  {
+    error_l1;
+    relative_error;
+    max_term_error;
+    executable = !violations = [];
+    violations = !violations;
+    diagnostics = !diagnostics;
+    consistent_with_compiler = consistency ~recomputed:error_l1 result;
+    failures = result.Compiler.failures;
+    degraded = result.Compiler.degraded;
+    plan = result.Compiler.plan;
+  }
+
 (* All float emission goes through [Json.float_lit]: degraded
    best-effort results can carry nan/inf error metrics, and "%.17g"
    would render them as invalid JSON — the helper maps non-finite

@@ -46,6 +46,17 @@ val verify_heisenberg :
   Compiler.result ->
   report
 
+val verify_iontrap :
+  Qturbo_aais.Iontrap.t ->
+  target:Qturbo_pauli.Pauli_sum.t ->
+  t_tar:float ->
+  Compiler.result ->
+  report
+(** Same reconstruction through {!Qturbo_aais.Iontrap.hamiltonian}; the
+    extracted pulse is checked with
+    {!Qturbo_aais.Pulse.iontrap_within_limits} ([QT012]) plus the
+    cross-family [QT014] schedule-length diagnostic. *)
+
 val report_to_json : report -> string
 (** One JSON object; the structured diagnostics land under ["analysis"]
     (see {!Qturbo_analysis.Diagnostic.list_to_json}). *)

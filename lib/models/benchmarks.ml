@@ -72,6 +72,24 @@ let mis_chain ?(u = 1.0) ?(omega = 1.0) ?(alpha = 1.0) ~n () =
   in
   Model.driven ~name:"mis-chain" ~n at
 
+let qaoa_chain ?(p = 2) ?(gamma = 1.0) ?(beta = 1.0) ~n () =
+  check_n ~min:2 "qaoa_chain" n;
+  if p < 1 then invalid_arg "Benchmarks.qaoa_chain: need at least one round";
+  (* SimuQ-GenQS-style QAOA as an analog drive: 2p equal slots in
+     s ∈ [0, 1) alternating between the MaxCut cost layer γ·ΣZᵢZᵢ₊₁ and
+     the mixer layer β·ΣXᵢ.  Discretizing with [segments = 2p] (midpoint
+     sampling) reproduces the layer sequence exactly. *)
+  let cost = sum_terms (zz_terms (chain_pairs n) gamma) in
+  let mixer = sum_terms (single_terms n Pauli.X beta) in
+  let slots = 2 * p in
+  let at s =
+    let k =
+      Int.min (slots - 1) (int_of_float (Float.of_int slots *. s))
+    in
+    if k mod 2 = 0 then cost else mixer
+  in
+  Model.driven ~name:"qaoa-chain" ~n at
+
 let ising_grid ?(j = 1.0) ?(h = 1.0) ~rows ~cols () =
   if rows < 1 || cols < 1 then
     invalid_arg "Benchmarks.ising_grid: need at least a 1x1 lattice";
@@ -116,6 +134,7 @@ let by_name ~name ~n =
   | "ising-cycle+" -> ising_cycle_plus ~n ()
   | "heis-chain" -> heisenberg_chain ~n ()
   | "mis-chain" -> mis_chain ~n ()
+  | "qaoa-chain" -> qaoa_chain ~n ()
   | "pxp" -> pxp ~n ()
   | "ising-grid" ->
       let side = int_of_float (Float.round (sqrt (float_of_int n))) in

@@ -26,6 +26,15 @@ val mis_chain :
     [Σ ((1−2s)U n̂_i + (ω/2) X_i) + Σ α n̂_i n̂_{i+1}] with the normalised
     time [s] sweeping the detuning from [+U] to [−U]. *)
 
+val qaoa_chain :
+  ?p:int -> ?gamma:float -> ?beta:float -> n:int -> unit -> Model.t
+(** QAOA-style alternating drive on an open chain (SimuQ's GenQS QAOA
+    generator, as an analog schedule): [2p] equal slots in [s ∈ [0, 1)]
+    alternating between the MaxCut cost layer [γ Σ Z_iZ_{i+1}] (even
+    slots) and the mixer layer [β Σ X_i] (odd slots).  Discretize with
+    [segments = 2p] to reproduce the layer sequence exactly; other
+    segment counts sample the same piecewise schedule. *)
+
 val ising_grid : ?j:float -> ?h:float -> rows:int -> cols:int -> unit -> Model.t
 (** Transverse-field Ising model on a [rows × cols] square lattice
     (open boundaries), qubit [(r, c)] numbered [r·cols + c].  The paper
@@ -48,6 +57,6 @@ val all_static :
 val by_name : name:string -> n:int -> Model.t
 (** Lookup by the names used in the paper's figures: ["ising-chain"],
     ["ising-cycle"], ["kitaev"], ["ising-cycle+"], ["heis-chain"],
-    ["mis-chain"], ["pxp"], plus ["ising-grid"] which requires [n] to be
-    a perfect square ([√n × √n] lattice).  Raises [Invalid_argument] on
-    unknown names or non-square grid sizes. *)
+    ["mis-chain"], ["qaoa-chain"], ["pxp"], plus ["ising-grid"] which
+    requires [n] to be a perfect square ([√n × √n] lattice).  Raises
+    [Invalid_argument] on unknown names or non-square grid sizes. *)

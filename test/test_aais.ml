@@ -316,7 +316,7 @@ let test_pulse_segment_hamiltonians () =
 
 let test_heisenberg_pulse () =
   let h = Pauli_sum.term 0.5 (Pauli_string.two 0 Pauli.X 1 Pauli.X) in
-  let p =
+  let p : Pulse.heisenberg =
     {
       Pulse.spec = Device.heisenberg_default;
       segments = [ { Pulse.duration = 2.0; amplitudes = Pauli_sum.terms h } ];
