@@ -1502,6 +1502,64 @@ let plan () =
   in
   let mean_speedup = mean_of series in
   let iontrap_mean_speedup = mean_of iontrap_series in
+  (* persistent plan store: a cold *process* (simulated by clearing the
+     in-memory caches) whose structural key is already on disk skips the
+     whole front end.  Per size: store-off cold compile vs warm-store
+     cold-process compile, asserted bitwise-identical. *)
+  let store_dir =
+    let f = Filename.temp_file "qturbo-bench-store" "" in
+    Sys.remove f;
+    f
+  in
+  let store_series =
+    List.map
+      (fun n ->
+        let ryd = rydberg_for "ising-cycle" n in
+        let target = static_target "ising-cycle" n in
+        let compile () =
+          C.compile ~aais:ryd.Rydberg.aais ~target ~t_tar:1.0 ()
+        in
+        CP.disable_store ();
+        CP.clear_caches ();
+        let cold_s, r_off = time_run compile in
+        CP.enable_store ~dir:store_dir;
+        CP.clear_caches ();
+        ignore (compile ());
+        (* the warm-store cold-process run being measured *)
+        CP.clear_caches ();
+        let store_s, r_on = time_run compile in
+        CP.disable_store ();
+        if not r_on.C.plan.C.store_hit then
+          failwith (Printf.sprintf "store: n=%d expected a store hit" n);
+        let bits x = Int64.bits_of_float x in
+        let identical =
+          Int64.equal (bits r_off.C.t_sim) (bits r_on.C.t_sim)
+          && Array.length r_off.C.env = Array.length r_on.C.env
+          && Array.for_all2
+               (fun a b -> Int64.equal (bits a) (bits b))
+               r_off.C.env r_on.C.env
+        in
+        if not identical then
+          failwith
+            (Printf.sprintf "store: n=%d result differs from store-off" n);
+        let speedup = cold_s /. Float.max 1e-12 store_s in
+        progress
+          "plan: store n=%d cold %.3f s stored %.3f s speedup %.2fx" n cold_s
+          store_s speedup;
+        (n, cold_s, store_s, speedup))
+      (sweep_sizes ())
+  in
+  (try
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat store_dir f))
+       (Sys.readdir store_dir);
+     Sys.rmdir store_dir
+   with Sys_error _ -> ());
+  let store_mean_speedup =
+    List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0.0 store_series
+    /. float_of_int (List.length store_series)
+  in
+  progress "plan: store mean speedup %.2fx (target >= 1.5)" store_mean_speedup;
   (* large-N scaling: cold compiles on the auto-cutoff ising-cycle from
      n = 100 to n = 1000, with per-plan memory from Gc deltas and a
      fitted log-log exponent.  The SimuQ baseline grows alongside until
@@ -1624,6 +1682,14 @@ let plan () =
     \    \"series\": [\n%s\n\
     \    ]\n\
     \  },\n\
+    \  \"store\": {\n\
+    \    \"benchmark\": \"ising-cycle\",\n\
+    \    \"mean_speedup\": %.4f,\n\
+    \    \"target_speedup\": 1.5,\n\
+    \    \"bitwise_identical\": true,\n\
+    \    \"series\": [\n%s\n\
+    \    ]\n\
+    \  },\n\
     \  \"large_n\": {\n\
     \    \"benchmark\": \"ising-cycle\",\n\
     \    \"cutoff\": \"auto\",\n\
@@ -1663,6 +1729,15 @@ let plan () =
                %.6f, \"speedup\": %.4f, \"warm_cache_hits\": %d}"
               n cold_s warm_s speedup hits)
           iontrap_series))
+    store_mean_speedup
+    (String.concat ",\n"
+       (List.map
+          (fun (n, cold_s, store_s, speedup) ->
+            Printf.sprintf
+              "      {\"n\": %d, \"cold_seconds\": %.6f, \"store_seconds\": \
+               %.6f, \"speedup\": %.4f}"
+              n cold_s store_s speedup)
+          store_series))
     large_exponent simuq_budget simuq_max_n simuq_timeout_n
     (String.concat ",\n"
        (List.map

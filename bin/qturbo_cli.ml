@@ -29,51 +29,75 @@ let run_device_presets =
     ("aquila-fig6b", Device.aquila_fig6b);
   ]
 
-let model_names =
-  [
-    "ising-chain"; "ising-cycle"; "kitaev"; "ising-cycle+"; "heis-chain";
-    "mis-chain"; "qaoa-chain"; "pxp"; "ising-grid";
-  ]
+(* Model/backend resolution, range parsing, and the machine-readable
+   payload builders live in {!Qturbo_service.Ops}, shared with the
+   [qturbo serve] daemon — a CLI --json invocation and a daemon request
+   are byte-identical for the same job. *)
+module Ops = Qturbo_service.Ops
+
+let build_model = Ops.build_model
+let resolve_model = Ops.resolve_model
+let resolve_backend = Ops.resolve_backend
+
+(* ---- persistent plan store -------------------------------------------- *)
+
+(* --plan-store DIR (or the QTURBO_PLAN_STORE environment variable)
+   enables the on-disk plan store for this invocation; --no-plan-store
+   wins over the environment. *)
+let setup_plan_store ~plan_store ~no_plan_store =
+  if no_plan_store then Qturbo_core.Compile_plan.disable_store ()
+  else
+    let dir =
+      match plan_store with
+      | Some _ -> plan_store
+      | None -> (
+          match Sys.getenv_opt "QTURBO_PLAN_STORE" with
+          | Some "" | None -> None
+          | dir -> dir)
+    in
+    Option.iter (fun dir -> Qturbo_core.Compile_plan.enable_store ~dir) dir
+
+let plan_store_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "plan-store" ] ~docv:"DIR"
+        ~doc:
+          "Persist coefficient-free compile plans under $(docv) and reuse \
+           them across processes: a cold invocation whose structural key is \
+           already stored skips the whole front end.  Entries are keyed by \
+           the exact structural key plus a store-format/binary version; any \
+           mismatch or corruption falls back to a counted rebuild.  Results \
+           are bitwise-identical with the store on or off.  The \
+           $(b,QTURBO_PLAN_STORE) environment variable sets a default \
+           directory.")
+
+let no_plan_store_flag =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "no-plan-store" ]
+        ~doc:
+          "Ignore $(b,QTURBO_PLAN_STORE) and run without the on-disk plan \
+           store.")
 
 (* ---- compile ---- *)
 
-let build_model ~name ~n ~j ~h =
-  match name with
-  | "ising-chain" -> Qturbo_models.Benchmarks.ising_chain ?j ?h ~n ()
-  | "ising-cycle" -> Qturbo_models.Benchmarks.ising_cycle ?j ?h ~n ()
-  | "kitaev" -> Qturbo_models.Benchmarks.kitaev ?h ~n ()
-  | "ising-cycle+" -> Qturbo_models.Benchmarks.ising_cycle_plus ?j ?h ~n ()
-  | "heis-chain" -> Qturbo_models.Benchmarks.heisenberg_chain ?j ?h ~n ()
-  | "mis-chain" -> Qturbo_models.Benchmarks.mis_chain ~n ()
-  | "qaoa-chain" -> Qturbo_models.Benchmarks.qaoa_chain ?gamma:j ?beta:h ~n ()
-  | "pxp" -> Qturbo_models.Benchmarks.pxp ?j ?h ~n ()
-  | "ising-grid" ->
-      let side = int_of_float (Float.round (sqrt (float_of_int n))) in
-      if side * side <> n then
-        invalid_arg "ising-grid needs a square qubit count";
-      Qturbo_models.Benchmarks.ising_grid ?j ?h ~rows:side ~cols:side ()
-  | other -> invalid_arg ("unknown model: " ^ other)
-
-let resolve_model ~hamiltonian ~model_name ~n ~j ~h =
-  let j = if j = 0.0 then None else Some j in
-  let h = if h = 0.0 then None else Some h in
-  match (hamiltonian, model_name) with
-  | Some text, _ ->
-      (* the register size is exactly what the expression touches *)
-      let sum = Qturbo_pauli.Pauli_parse.parse_exn text in
-      Qturbo_models.Model.static ~name:"custom"
-        ~n:(Qturbo_pauli.Pauli_sum.n_qubits sum)
-        sum
-  | None, Some name -> build_model ~name ~n ~j ~h
-  | None, None -> failwith "provide either --model or --hamiltonian"
-
-(* Resolve --backend/--device/--cutoff through the registry, rejecting
-   explicitly-passed flags the chosen backend does not declare (the old
-   dispatch silently ignored --cutoff and --device under heisenberg). *)
-let resolve_backend ~backend ~device ~cutoff ~ramp ~model_name ~n =
-  let b = Backend.find_exn backend in
-  Backend.reject_unsupported b ~device ~cutoff ~ramp;
-  b.Backend.instantiate ?device ?cutoff ~model_name ~n ()
+let print_store_summary () =
+  match Qturbo_core.Compile_plan.store_stats () with
+  | None -> ()
+  | Some s ->
+      Printf.printf
+        "store: %d hit(s) / %d miss(es) / %d corrupt / %d version \
+         mismatch(es); %d write(s)%s (%s)\n"
+        s.Qturbo_store.Plan_store.hits s.Qturbo_store.Plan_store.misses
+        s.Qturbo_store.Plan_store.corrupt
+        s.Qturbo_store.Plan_store.version_mismatch
+        s.Qturbo_store.Plan_store.writes
+        (if s.Qturbo_store.Plan_store.write_errors > 0 then
+           Printf.sprintf " / %d write error(s)"
+             s.Qturbo_store.Plan_store.write_errors
+         else "")
+        (Option.value (Qturbo_core.Compile_plan.store_dir ()) ~default:"?")
 
 let print_compile_result ~(instance : Backend.instance) ~show_pulse ~ramp
     (r : Qturbo_core.Compiler.result) =
@@ -98,7 +122,9 @@ let print_compile_result ~(instance : Backend.instance) ~show_pulse ~ramp
     Printf.printf
       "plan: %s (cache %d hit(s) / %d miss(es)%s; this key %d/%d; build %.2f \
        ms, solve %.2f ms)\n"
-      (if p.Qturbo_core.Compiler.cache_hit then "cached" else "built")
+      (if p.Qturbo_core.Compiler.cache_hit then "cached"
+       else if p.Qturbo_core.Compiler.store_hit then "stored"
+       else "built")
       p.Qturbo_core.Compiler.cache_hits p.Qturbo_core.Compiler.cache_misses
       (if p.Qturbo_core.Compiler.cache_discarded > 0 then
          Printf.sprintf " / %d discarded"
@@ -111,6 +137,7 @@ let print_compile_result ~(instance : Backend.instance) ~show_pulse ~ramp
     Printf.printf "plan: built, cache disabled (build %.2f ms, solve %.2f ms)\n"
       (1000.0 *. p.Qturbo_core.Compiler.build_seconds)
       (1000.0 *. p.Qturbo_core.Compiler.solve_seconds);
+  print_store_summary ();
   if show_pulse then begin
     let pulse =
       instance.Backend.extract ~env:r.Qturbo_core.Compiler.env
@@ -153,10 +180,12 @@ let user_errors f =
 
 let compile_cmd model_name hamiltonian n backend device_name cutoff t_tar j h
     segments
-    domains baseline no_refine no_time_opt no_plan_cache repeat best_effort
+    domains baseline no_refine no_time_opt no_plan_cache plan_store
+    no_plan_store repeat best_effort
     deadline show_pulse ramp json verbose =
  user_errors @@ fun () ->
   setup_logging verbose;
+  setup_plan_store ~plan_store ~no_plan_store;
   let model = resolve_model ~hamiltonian ~model_name ~n ~j ~h in
   let n = model.Qturbo_models.Model.n in
   if json && (baseline || Qturbo_models.Model.is_driven model) then
@@ -233,33 +262,22 @@ let compile_cmd model_name hamiltonian n backend device_name cutoff t_tar j h
         r.Qturbo_simuq.Simuq_compiler.compile_seconds;
       0
     end
+    else if json then begin
+      (* the report builder is shared with the daemon, so the printed
+         bytes match a `qturbo serve` compile response for the same job *)
+      print_endline
+        (repeated (fun () ->
+             Ops.compile_report_json ~options ~inst ~target ~t_tar ~show_pulse
+               ~ramp ()));
+      0
+    end
     else begin
       let r =
         repeated (fun () ->
             Qturbo_core.Compiler.compile ~options ~aais:inst.Backend.aais
               ~target ~t_tar ())
       in
-      if json then begin
-        let report =
-          Qturbo_core.Verifier.report_to_json (inst.Backend.verify ~target ~t_tar r)
-        in
-        (* --show-pulse under --json: splice a "pulse" field into the
-           report object (previously the flag was silently ignored) *)
-        let report =
-          if show_pulse then begin
-            let pulse =
-              inst.Backend.extract ~env:r.Qturbo_core.Compiler.env
-                ~t_sim:r.Qturbo_core.Compiler.t_sim
-            in
-            let pulse = if ramp then inst.Backend.ramp pulse else pulse in
-            String.sub report 0 (String.length report - 1)
-            ^ ",\"pulse\":" ^ Backend.pulse_json pulse ^ "}"
-          end
-          else report
-        in
-        print_endline report
-      end
-      else print_compile_result ~instance:inst ~show_pulse ~ramp r;
+      print_compile_result ~instance:inst ~show_pulse ~ramp r;
       0
     end
   end
@@ -403,7 +421,8 @@ let compile_term =
   Term.(
     const compile_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg $ device_arg $ cutoff_arg $ t_tar_arg
     $ j_arg $ h_arg $ segments_arg $ domains_arg $ baseline_flag $ no_refine_flag
-    $ no_time_opt_flag $ no_plan_cache_flag $ repeat_arg $ best_effort_flag
+    $ no_time_opt_flag $ no_plan_cache_flag $ plan_store_arg
+    $ no_plan_store_flag $ repeat_arg $ best_effort_flag
     $ deadline_arg $ show_pulse_flag $ ramp_flag $ json_flag $ verbose_flag)
 
 let compile_info =
@@ -699,41 +718,8 @@ let lint_info =
 
 (* ---- sweep: many (coefficients, t_tar) jobs through one shared plan ---- *)
 
-let parse_range ~what text =
-  let fail () =
-    failwith
-      (Printf.sprintf "%s: expected VALUE or LO:HI:COUNT, got %s" what text)
-  in
-  let num s =
-    match float_of_string_opt (String.trim s) with
-    | Some v -> v
-    | None -> fail ()
-  in
-  match String.split_on_char ':' text with
-  | [ v ] -> [ num v ]
-  | [ lo; hi; count ] ->
-      let lo = num lo and hi = num hi in
-      let count =
-        match int_of_string_opt (String.trim count) with
-        | Some k when k >= 1 -> k
-        | _ -> fail ()
-      in
-      if count = 1 then [ lo ]
-      else
-        List.init count (fun i ->
-            lo +. (float_of_int i *. (hi -. lo) /. float_of_int (count - 1)))
-  | _ -> fail ()
-
-let parse_int_list ~what text =
-  List.filter_map
-    (fun s ->
-      let s = String.trim s in
-      if s = "" then None
-      else
-        match int_of_string_opt s with
-        | Some k when k >= 1 -> Some k
-        | _ -> failwith (what ^ ": expected comma-separated counts >= 1"))
-    (String.split_on_char ',' text)
+let parse_range = Ops.parse_range
+let parse_int_list = Ops.parse_int_list
 
 (* One job per non-empty, non-comment line: "J H T_TAR" (0 = model
    default, same convention as the compile flags). *)
@@ -758,28 +744,7 @@ let parse_jobs_file path =
    with End_of_file -> ());
   List.rev !jobs
 
-(* Plan-cache keys are exact structural strings (kilobytes for large
-   devices); display layers show a stable digest prefix instead. *)
-let digest_key key = String.sub (Digest.to_hex (Digest.string key)) 0 12
-
-let plan_cache_json () =
-  let s = Qturbo_core.Compile_plan.cache_stats () in
-  let per_key = Qturbo_core.Compile_plan.cache_per_key () in
-  Printf.sprintf
-    {|{"hits":%d,"misses":%d,"evictions":%d,"discarded":%d,"size":%d,"capacity":%d,"per_key":[%s]}|}
-    s.Qturbo_core.Plan_cache.hits s.Qturbo_core.Plan_cache.misses
-    s.Qturbo_core.Plan_cache.evictions s.Qturbo_core.Plan_cache.discarded
-    s.Qturbo_core.Plan_cache.size s.Qturbo_core.Plan_cache.capacity
-    (String.concat ","
-       (List.map
-          (fun (key, (k : Qturbo_core.Plan_cache.key_stats)) ->
-            Printf.sprintf
-              {|{"key":"%s","hits":%d,"misses":%d,"evictions":%d,"discarded":%d}|}
-              (digest_key key) k.Qturbo_core.Plan_cache.key_hits
-              k.Qturbo_core.Plan_cache.key_misses
-              k.Qturbo_core.Plan_cache.key_evictions
-              k.Qturbo_core.Plan_cache.key_discarded)
-          per_key))
+let digest_key = Ops.digest_key
 
 let print_plan_summary ~plan_cache =
   if not plan_cache then print_endline "plan: cache disabled"
@@ -797,14 +762,15 @@ let print_plan_summary ~plan_cache =
           k.Qturbo_core.Plan_cache.key_hits
           k.Qturbo_core.Plan_cache.key_misses)
       (Qturbo_core.Compile_plan.cache_per_key ())
-  end
+  end;
+  print_store_summary ()
 
 let sweep_cmd model_name hamiltonian n backend device_name jobs_file sweep_j
     sweep_h sweep_t sweep_segments domains batch_domains no_plan_cache
-    best_effort json verbose =
+    plan_store no_plan_store best_effort json verbose =
  user_errors @@ fun () ->
   setup_logging verbose;
-  let jf = Qturbo_util.Json.float_lit in
+  setup_plan_store ~plan_store ~no_plan_store;
   let options =
     {
       Qturbo_core.Compiler.default_options with
@@ -835,13 +801,6 @@ let sweep_cmd model_name hamiltonian n backend device_name jobs_file sweep_j
   let model_of ~j ~h = resolve_model ~hamiltonian ~model_name ~n ~j ~h in
   let probe = model_of ~j:0.0 ~h:0.0 in
   let n = probe.Qturbo_models.Model.n in
-  let sweep_header ~mode ~job_count =
-    Printf.sprintf
-      {|"sweep":{"model":%s,"backend":%s,"n":%d,"mode":"%s","jobs":%d,"batch_domains":%d}|}
-      (Qturbo_util.Json.quote probe.Qturbo_models.Model.name)
-      (Qturbo_util.Json.quote backend)
-      n mode job_count batch_domains
-  in
   let inst =
     resolve_backend ~backend ~device:device_name ~cutoff:None ~ramp:false
       ~model_name:probe.Qturbo_models.Model.name ~n
@@ -857,33 +816,20 @@ let sweep_cmd model_name hamiltonian n backend device_name jobs_file sweep_j
       List.concat_map (fun segments -> List.map (fun t -> (segments, t)) ts)
         seg_list
     in
-    let results =
-      List.map
-        (fun (segments, t_tar) ->
-          ( segments,
-            t_tar,
-            Qturbo_core.Td_compiler.compile ~options ~aais:inst.Backend.aais
-              ~model:probe ~t_tar ~segments () ))
-        td_jobs
-    in
-    if json then begin
-      let job_json (segments, t_tar, (td : Qturbo_core.Td_compiler.result)) =
-        Printf.sprintf
-          {|{"segments":%d,"t_tar":%s,"t_sim":%s,"relative_error":%s,"plan_shapes":%d,"plan_builds":%d,"degraded":%b}|}
-          segments (jf t_tar)
-          (jf td.Qturbo_core.Td_compiler.t_sim)
-          (jf td.Qturbo_core.Td_compiler.relative_error)
-          td.Qturbo_core.Td_compiler.plan_shapes
-          td.Qturbo_core.Td_compiler.plan_builds
-          td.Qturbo_core.Td_compiler.degraded
-      in
-      Printf.printf {|{%s,"jobs":[%s],"plan_cache":%s}|}
-        (sweep_header ~mode:"td" ~job_count:(List.length td_jobs))
-        (String.concat "," (List.map job_json results))
-        (plan_cache_json ());
-      print_newline ()
-    end
+    if json then
+      print_endline
+        (Ops.sweep_td_json ~options ~batch_domains ~backend ~inst ~probe
+           ~td_jobs ())
     else begin
+      let results =
+        List.map
+          (fun (segments, t_tar) ->
+            ( segments,
+              t_tar,
+              Qturbo_core.Td_compiler.compile ~options ~aais:inst.Backend.aais
+                ~model:probe ~t_tar ~segments () ))
+          td_jobs
+      in
       List.iteri
         (fun i (segments, t_tar, (td : Qturbo_core.Td_compiler.result)) ->
           Printf.printf
@@ -904,30 +850,16 @@ let sweep_cmd model_name hamiltonian n backend device_name jobs_file sweep_j
       Qturbo_pauli.Pauli_sum.drop_identity
         (Qturbo_models.Model.hamiltonian_at (model_of ~j ~h) ~s:0.0)
     in
-    let batch = List.map (fun (j, h, t) -> (target_of ~j ~h, t)) jobs in
-    let results =
-      Qturbo_core.Compiler.compile_batch ~options ~batch_domains
-        ~aais:inst.Backend.aais batch
-    in
-    let reports =
-      lazy
-        (List.map2
-           (fun (target, t_tar) r -> inst.Backend.verify ~target ~t_tar r)
-           batch results)
-    in
-    if json then begin
-      let job_json (j, h, t) report =
-        Printf.sprintf {|{"j":%s,"h":%s,"t_tar":%s,"report":%s}|} (jf j)
-          (jf h) (jf t)
-          (Qturbo_core.Verifier.report_to_json report)
-      in
-      Printf.printf {|{%s,"jobs":[%s],"plan_cache":%s}|}
-        (sweep_header ~mode:"static" ~job_count:(List.length jobs))
-        (String.concat "," (List.map2 job_json jobs (Lazy.force reports)))
-        (plan_cache_json ());
-      print_newline ()
-    end
+    if json then
+      print_endline
+        (Ops.sweep_static_json ~options ~batch_domains ~backend ~inst ~probe
+           ~target_of ~jobs ())
     else begin
+      let batch = List.map (fun (j, h, t) -> (target_of ~j ~h, t)) jobs in
+      let results =
+        Qturbo_core.Compiler.compile_batch ~options ~batch_domains
+          ~aais:inst.Backend.aais batch
+      in
       List.iteri
         (fun i ((j, h, t), (r : Qturbo_core.Compiler.result)) ->
           Printf.printf
@@ -995,7 +927,8 @@ let sweep_term =
     const sweep_cmd $ model_arg $ hamiltonian_arg $ n_arg $ backend_arg
     $ device_arg $ jobs_file_arg $ sweep_j_arg $ sweep_h_arg $ sweep_t_arg
     $ sweep_segments_arg $ domains_arg $ batch_domains_arg
-    $ no_plan_cache_flag $ best_effort_flag $ json_flag $ verbose_flag)
+    $ no_plan_cache_flag $ plan_store_arg $ no_plan_store_flag
+    $ best_effort_flag $ json_flag $ verbose_flag)
 
 let sweep_info =
   Cmd.info "sweep"
@@ -1079,10 +1012,119 @@ let run_info =
   Cmd.info "run"
     ~doc:"Compile a model and execute the pulse on the noisy device emulator."
 
+(* ---- serve / client: the Unix-domain-socket compile service ---- *)
+
+let default_socket_path () =
+  Filename.concat (Filename.get_temp_dir_name ()) "qturbo.sock"
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path (default: $(b,qturbo.sock) in the \
+           system temporary directory).")
+
+let serve_cmd socket max_request_bytes deadline_cap max_requests plan_store
+    no_plan_store verbose =
+ user_errors @@ fun () ->
+  setup_logging verbose;
+  setup_plan_store ~plan_store ~no_plan_store;
+  let socket_path = Option.value socket ~default:(default_socket_path ()) in
+  if max_request_bytes < 1 then failwith "--max-request-bytes must be >= 1";
+  let config =
+    {
+      Qturbo_service.Server.socket_path;
+      max_request_bytes;
+      deadline_cap = (if deadline_cap > 0.0 then Some deadline_cap else None);
+      max_requests = (if max_requests > 0 then Some max_requests else None);
+    }
+  in
+  Qturbo_service.Server.serve config;
+  0
+
+let max_request_bytes_arg =
+  Arg.(
+    value
+    & opt int (1 lsl 20)
+    & info [ "max-request-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Reject request lines longer than $(docv) with a parse-error \
+           response (default 1 MiB).")
+
+let deadline_cap_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "deadline-cap" ] ~docv:"SECONDS"
+        ~doc:
+          "Upper bound applied to every compile request's deadline; \
+           requests asking for more (or for none) get this (0 = no cap).")
+
+let max_requests_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "max-requests" ] ~docv:"K"
+        ~doc:
+          "Serve at most $(docv) requests, then exit (0 = serve until \
+           shutdown); tests and smoke jobs use it to bound the daemon's \
+           life.")
+
+let serve_term =
+  Term.(
+    const serve_cmd $ socket_arg $ max_request_bytes_arg $ deadline_cap_arg
+    $ max_requests_arg $ plan_store_arg $ no_plan_store_flag $ verbose_flag)
+
+let serve_info =
+  Cmd.info "serve"
+    ~doc:
+      "Run the compile daemon on a Unix-domain socket: one warm process \
+       (plan cache, device artifacts, optional plan store) answering \
+       newline-delimited JSON requests — compile, check, lint, sweep, \
+       stats, ping, shutdown.  Responses reuse the exact --json payload \
+       shapes; a request can fail (typed error responses carrying the \
+       diagnostics or classified failure records), the daemon does not."
+
+let client_cmd socket request verbose =
+ user_errors @@ fun () ->
+  setup_logging verbose;
+  let socket_path = Option.value socket ~default:(default_socket_path ()) in
+  let line =
+    match request with
+    | "-" -> ( match In_channel.input_line stdin with
+      | Some l -> l
+      | None -> failwith "client: no request on stdin")
+    | r -> r
+  in
+  match Qturbo_service.Client.request ~socket_path line with
+  | Error msg -> failwith msg
+  | Ok resp ->
+      print_endline resp;
+      if Qturbo_service.Client.response_ok resp then 0 else 1
+
+let request_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"REQUEST"
+        ~doc:
+          "The JSON request line, e.g. \
+           '{\"op\":\"compile\",\"model\":\"ising-chain\",\"n\":5}'; \
+           $(b,-) reads it from stdin.")
+
+let client_term = Term.(const client_cmd $ socket_arg $ request_arg $ verbose_flag)
+
+let client_info =
+  Cmd.info "client"
+    ~doc:
+      "Send one JSON request to a running `qturbo serve` daemon and print \
+       the response line.  Exits 0 when the response carries \
+       \"ok\": true, 1 otherwise."
+
 (* ---- models / devices ---- *)
 
 let models_cmd () =
-  List.iter print_endline model_names;
+  List.iter print_endline Ops.model_names;
   0
 
 let devices_cmd () =
@@ -1105,6 +1147,8 @@ let main () =
         Cmd.v check_info check_term;
         Cmd.v lint_info lint_term;
         Cmd.v sweep_info sweep_term;
+        Cmd.v serve_info serve_term;
+        Cmd.v client_info client_term;
         Cmd.v run_info run_term;
         Cmd.v (Cmd.info "models" ~doc:"List benchmark models.") Term.(const models_cmd $ const ());
         Cmd.v (Cmd.info "devices" ~doc:"List device presets.") Term.(const devices_cmd $ const ());

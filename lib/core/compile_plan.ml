@@ -61,6 +61,8 @@ type component_summary = {
 type plan_stats = {
   cache_enabled : bool;
   cache_hit : bool;
+  store_enabled : bool;
+  store_hit : bool;
   cache_hits : int;
   cache_misses : int;
   cache_discarded : int;
@@ -70,6 +72,10 @@ type plan_stats = {
   build_seconds : float;
   solve_seconds : float;
 }
+
+(* Where this compile's plan came from: a fresh front-end build, the
+   in-memory LRU, or the on-disk store. *)
+type provenance = Built | Cached | Stored
 
 type result = {
   env : float array;
@@ -385,11 +391,80 @@ let admit (plan : t) =
           m "plan lint refused cache admission (%d errors)" (List.length errs));
       errs
 
+(* ------------------------------------------------------------------ *)
+(* Persistent plan store                                               *)
+
+module Plan_store = Qturbo_store.Plan_store
+
+(* Marshaled closures are only decodable by the exact binary that wrote
+   them (the runtime embeds code digests), so the store-format version
+   bakes in the executable's digest: a rebuilt binary invalidates every
+   prior entry as a counted version mismatch up front instead of a
+   decode failure later. *)
+let store_version =
+  let v = lazy (
+    let exe_digest =
+      try Digest.to_hex (Digest.file Sys.executable_name)
+      with Sys_error _ -> "unknown-executable"
+    in
+    "qturbo-plan/1 " ^ exe_digest)
+  in
+  fun () -> Lazy.force v
+
+let store : Plan_store.t option ref = ref None
+
+let enable_store ~dir =
+  store := Some (Plan_store.open_store ~version:(store_version ()) ~dir)
+
+let disable_store () = store := None
+let store_dir () = Option.map Plan_store.dir !store
+let store_stats () = Option.map Plan_store.stats !store
+
+(* A payload that passed the store's byte-level checks (magic, version,
+   key, checksum) can still be semantic garbage — a hand-edited entry
+   with a recomputed checksum.  The decode is exception-guarded and
+   every deserialized plan passes the full [Plan_lint] gate before it
+   is served; this is the "deserialized plan store" case the
+   [lint_on_hit] doc anticipates, except here the lint is
+   unconditional.  Any failure demotes the store hit to a corrupt miss
+   and the caller rebuilds. *)
+let store_fetch ~key =
+  match !store with
+  | None -> None
+  | Some st -> (
+      match Plan_store.load st ~key with
+      | None -> None
+      | Some payload -> (
+          match (Marshal.from_string payload 0 : t) with
+          | exception _ ->
+              Plan_store.reclassify_corrupt st;
+              Log.warn (fun m ->
+                  m "plan store entry failed to decode; rebuilding");
+              None
+          | p ->
+              if p.key <> key || Diagnostic.has_errors (lint p) then begin
+                Plan_store.reclassify_corrupt st;
+                Log.warn (fun m ->
+                    m "plan store entry failed the lint gate; rebuilding");
+                None
+              end
+              else Some p))
+
+let store_persist (p : t) =
+  match !store with
+  | None -> ()
+  | Some st -> (
+      match Marshal.to_string p [ Marshal.Closures ] with
+      | payload -> ignore (Plan_store.save st ~key:p.key ~payload : bool)
+      | exception _ ->
+          Log.warn (fun m -> m "plan could not be marshaled for the store"))
+
 (* Fetch-or-build a plan for an explicit support.  Returns the plan and
-   whether it came out of the cache. *)
+   where it came from: memory LRU, then on-disk store, then a fresh
+   build (which back-fills both). *)
 let obtain_for_support ~options ~aais ~support =
   if not options.plan_cache then
-    (build ~options ~aais ~target_shape:support (), false)
+    (build ~options ~aais ~target_shape:support (), Built)
   else
     let key = plan_key_of_support ~options ~aais ~support in
     let rebuild () =
@@ -399,7 +474,8 @@ let obtain_for_support ~options ~aais ~support =
          admission would double the gate cost on every fresh build;
          when the gate is off, the caller asked for no linting at all *)
       Plan_cache.add plan_cache p.key p;
-      (p, false)
+      store_persist p;
+      (p, Built)
     in
     match Plan_cache.find plan_cache key with
     | Some p ->
@@ -413,9 +489,18 @@ let obtain_for_support ~options ~aais ~support =
         end
         else begin
           !stage_hook "plan-cache-hit";
-          (p, true)
+          (p, Cached)
         end
-    | None -> rebuild ()
+    | None -> (
+        match store_fetch ~key with
+        | Some p ->
+            !stage_hook "plan-store-hit";
+            Plan_cache.add plan_cache p.key p;
+            (* the deserialized device part is shareable too: admit it so
+               fresh shapes on the same device skip the prepare pass *)
+            Plan_cache.add device_cache p.device.device_key p.device;
+            (p, Stored)
+        | None -> rebuild ())
 
 let obtain ~options ~aais ~target =
   obtain_for_support ~options ~aais ~support:(support_of_target target)
@@ -533,7 +618,7 @@ let alpha_achieved_of_env ~domains ~channels ~env ~t_sim =
    Ported verbatim from the pre-plan [Compiler.compile] body — the float
    operations and their order are unchanged, so results are
    bitwise-identical to the monolithic pipeline. *)
-let solve_from ~t0 ~cache_hit ~options ~strict ?t_max ~plan ~target ~t_tar () =
+let solve_from ~t0 ~provenance ~options ~strict ?t_max ~plan ~target ~t_tar () =
   validate_t_tar ~who:"Compiler.compile" t_tar;
   let aais = plan.device.aais in
   if Pauli_sum.n_qubits target > aais.Aais.n_qubits then
@@ -855,21 +940,26 @@ let solve_from ~t0 ~cache_hit ~options ~strict ?t_max ~plan ~target ~t_tar () =
     plan =
       {
         cache_enabled = options.plan_cache;
-        cache_hit;
+        cache_hit = provenance = Cached;
+        store_enabled = Option.is_some !store;
+        store_hit = provenance = Stored;
         cache_hits = cache.Plan_cache.hits;
         cache_misses = cache.Plan_cache.misses;
         cache_discarded = cache.Plan_cache.discarded;
         key_hits = kstats.Plan_cache.key_hits;
         key_misses = kstats.Plan_cache.key_misses;
         key_evictions = kstats.Plan_cache.key_evictions;
-        build_seconds = (if cache_hit then 0.0 else plan.build_seconds);
+        build_seconds =
+          (* a store hit skipped the front end too; the build time baked
+             into the deserialized plan belongs to the writer process *)
+          (match provenance with Built -> plan.build_seconds | _ -> 0.0);
         solve_seconds = now -. solve_t0;
       };
   }
 
-let solve ?(options = default_options) ?(strict = true) ?t_max ?(cache_hit = false)
-    ~plan ~coeffs ~t_tar () =
-  solve_from ~t0:(Qturbo_util.Clock.now ()) ~cache_hit ~options ~strict ?t_max
+let solve ?(options = default_options) ?(strict = true) ?t_max
+    ?(provenance = Built) ~plan ~coeffs ~t_tar () =
+  solve_from ~t0:(Qturbo_util.Clock.now ()) ~provenance ~options ~strict ?t_max
     ~plan ~target:coeffs ~t_tar ()
 
 let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
@@ -878,5 +968,5 @@ let compile ?(options = default_options) ?(strict = true) ?t_max ~aais ~target
   if Pauli_sum.n_qubits target > aais.Aais.n_qubits then
     invalid_arg "Compiler.compile: target touches qubits outside the AAIS";
   let t0 = Qturbo_util.Clock.now () in
-  let plan, cache_hit = obtain ~options ~aais ~target in
-  solve_from ~t0 ~cache_hit ~options ~strict ?t_max ~plan ~target ~t_tar ()
+  let plan, provenance = obtain ~options ~aais ~target in
+  solve_from ~t0 ~provenance ~options ~strict ?t_max ~plan ~target ~t_tar ()

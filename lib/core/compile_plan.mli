@@ -66,7 +66,9 @@ type component_summary = {
 
 type plan_stats = {
   cache_enabled : bool;
-  cache_hit : bool;  (** this compile's plan came from the cache *)
+  cache_hit : bool;  (** this compile's plan came from the memory cache *)
+  store_enabled : bool;  (** the persistent plan store was active *)
+  store_hit : bool;  (** this compile's plan came off the on-disk store *)
   cache_hits : int;  (** process-wide counter, sampled at completion *)
   cache_misses : int;
   cache_discarded : int;
@@ -75,9 +77,13 @@ type plan_stats = {
   key_hits : int;  (** counters for {e this} compile's plan key *)
   key_misses : int;
   key_evictions : int;
-  build_seconds : float;  (** front-end cost (0 on a cache hit) *)
+  build_seconds : float;  (** front-end cost (0 on a cache or store hit) *)
   solve_seconds : float;  (** numeric back-end cost *)
 }
+
+type provenance = Built | Cached | Stored
+    (** Where a compile's plan came from: a fresh front-end build, the
+        in-memory LRU, or the on-disk {!Qturbo_store.Plan_store}. *)
 
 type result = {
   env : float array;
@@ -151,18 +157,23 @@ val build :
 (** Build a plan for a target shape (fires the ["plan-build"] hook).
     [?device] reuses an already-built device part. *)
 
-val obtain : options:options -> aais:Aais.t -> target:Pauli_sum.t -> t * bool
-(** Fetch-or-build the plan for [target]'s shape; the flag is [true] on
-    a cache hit.  Fresh builds pass through the {!lint} gate (see
-    {!build}); with {!lint_on_hit} set, resident plans are re-linted on
-    every hit and a failing plan is pulled, counted as a rejection and
-    rebuilt rather than served. *)
+val obtain :
+  options:options -> aais:Aais.t -> target:Pauli_sum.t -> t * provenance
+(** Fetch-or-build the plan for [target]'s shape, reporting where it
+    came from.  Lookup order: memory LRU, then the persistent store
+    (when {!enable_store} is active — a validated store hit back-fills
+    the LRU), then a fresh build (which back-fills both).  Fresh builds
+    pass through the {!lint} gate (see {!build}); with {!lint_on_hit}
+    set, resident plans are re-linted on every hit and a failing plan
+    is pulled, counted as a rejection and rebuilt rather than served.
+    Store payloads are {e always} re-linted before being served,
+    whatever {!lint_on_hit} says. *)
 
 val obtain_for_support :
   options:options ->
   aais:Aais.t ->
   support:Pauli_string.t list ->
-  t * bool
+  t * provenance
 (** {!obtain} for an explicit (canonically sorted, identity-free)
     support instead of a target's own shape.  [Td_compiler] uses this to
     compile every segment of a sweep against the {e union} support of
@@ -210,7 +221,7 @@ val solve :
   ?options:options ->
   ?strict:bool ->
   ?t_max:float ->
-  ?cache_hit:bool ->
+  ?provenance:provenance ->
   plan:t ->
   coeffs:Pauli_sum.t ->
   t_tar:float ->
@@ -221,8 +232,8 @@ val solve :
     constraint iteration, refinement.  Bitwise-identical to the
     monolithic pre-plan pipeline.  [coeffs] must lie inside the plan's
     shape (terms outside it raise [Invalid_argument]); extra shape rows
-    simply get a zero target.  [?cache_hit] only annotates
-    [result.plan]. *)
+    simply get a zero target.  [?provenance] (default [Built]) only
+    annotates [result.plan]. *)
 
 val compile :
   ?options:options ->
@@ -235,6 +246,33 @@ val compile :
   result
 (** [obtain] + [solve] — the staged equivalent of the historical
     [Compiler.compile]. *)
+
+(** {1 Persistent plan store}
+
+    Process-wide hook for the on-disk store ({!Qturbo_store.Plan_store}):
+    when enabled, {!obtain} consults it on every memory-cache miss and
+    persists every fresh build, so a second process skips the front end
+    for shapes a first process already compiled.  Payloads are whole
+    plans marshaled with closures; the store version ties entries to
+    the exact executable (see {!store_version}), and every load is
+    checksum-validated and re-linted, so a stale, torn or hand-edited
+    entry degrades to a rebuild, never to wrong output.  Results are
+    bitwise-identical with the store on or off. *)
+
+val enable_store : dir:string -> unit
+(** Route {!obtain} through a store rooted at [dir] (created lazily).
+    Replaces any previously enabled store. *)
+
+val disable_store : unit -> unit
+
+val store_dir : unit -> string option
+val store_stats : unit -> Qturbo_store.Plan_store.stats option
+
+val store_version : unit -> string
+(** The store-format version tag this process writes and requires:
+    a format prefix plus the running executable's digest (marshaled
+    closures do not survive a rebuild, so a new binary must invalidate
+    every prior entry).  Exposed for tests and ops tooling. *)
 
 (** {1 Cache control} *)
 

@@ -39,6 +39,8 @@ type component_summary = Compile_plan.component_summary = {
 type plan_stats = Compile_plan.plan_stats = {
   cache_enabled : bool;
   cache_hit : bool;
+  store_enabled : bool;
+  store_hit : bool;
   cache_hits : int;
   cache_misses : int;
   cache_discarded : int;
@@ -48,6 +50,8 @@ type plan_stats = Compile_plan.plan_stats = {
   build_seconds : float;
   solve_seconds : float;
 }
+
+type provenance = Compile_plan.provenance = Built | Cached | Stored
 
 type result = Compile_plan.result = {
   env : float array;
@@ -140,23 +144,23 @@ let compile_batch ?(options = default_options) ?(strict = true) ?t_max
         if Pauli_sum.n_qubits target > aais.Aais.n_qubits then
           invalid_arg
             "Compiler.compile: target touches qubits outside the AAIS";
-        let plan, cache_hit =
+        let plan, provenance =
           if options.plan_cache then Compile_plan.obtain ~options ~aais ~target
           else begin
             let support = Compile_plan.support_of_target target in
             let key = Shape.of_support support in
             match Hashtbl.find_opt local key with
-            | Some p -> (p, true)
+            | Some p -> (p, Compile_plan.Cached)
             | None ->
                 let p =
                   Compile_plan.build ~options ~device:(Lazy.force device) ~aais
                     ~target_shape:support ()
                 in
                 Hashtbl.add local key p;
-                (p, false)
+                (p, Compile_plan.Built)
           end
         in
-        (target, t_tar, plan, cache_hit))
+        (target, t_tar, plan, provenance))
       jobs
   in
   (* Phase 2 — numeric back-ends over the shared plans on the work
@@ -166,7 +170,7 @@ let compile_batch ?(options = default_options) ?(strict = true) ?t_max
      parallel sections detect the worker context and run
      sequentially). *)
   Qturbo_par.Pool.parallel_map_list ~domains:batch_domains ~chunk:1
-    (fun (target, t_tar, plan, cache_hit) ->
-      Compile_plan.solve ~options ~strict ?t_max ~cache_hit ~plan
+    (fun (target, t_tar, plan, provenance) ->
+      Compile_plan.solve ~options ~strict ?t_max ~provenance ~plan
         ~coeffs:target ~t_tar ())
     prepared

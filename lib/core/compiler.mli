@@ -80,7 +80,9 @@ type component_summary = Compile_plan.component_summary = {
 
 type plan_stats = Compile_plan.plan_stats = {
   cache_enabled : bool;
-  cache_hit : bool;  (** this compile's plan came from the cache *)
+  cache_hit : bool;  (** this compile's plan came from the memory cache *)
+  store_enabled : bool;  (** the persistent plan store was active *)
+  store_hit : bool;  (** this compile's plan came off the on-disk store *)
   cache_hits : int;  (** process-wide counter, sampled at completion *)
   cache_misses : int;
   cache_discarded : int;
@@ -92,6 +94,9 @@ type plan_stats = Compile_plan.plan_stats = {
   build_seconds : float;  (** structural front-end cost (0 on a hit) *)
   solve_seconds : float;  (** numeric back-end cost *)
 }
+
+type provenance = Compile_plan.provenance = Built | Cached | Stored
+    (** Where a compile's plan came from (see {!Compile_plan.obtain}). *)
 
 type result = Compile_plan.result = {
   env : float array;  (** value of every AAIS variable *)

@@ -107,7 +107,9 @@ let compile_single ?options ?strict ?t_max ~aais ~model ~t_tar ~t0 () =
     failures = r.Compile_plan.failures;
     degraded = r.Compile_plan.degraded;
     plan_shapes = 1;
-    plan_builds = (if r.Compile_plan.plan.cache_hit then 0 else 1);
+    plan_builds =
+      (if r.Compile_plan.plan.cache_hit || r.Compile_plan.plan.store_hit then 0
+       else 1);
   }
 
 let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
@@ -171,10 +173,10 @@ let compile ?(options = Compiler.default_options) ?(strict = true) ?t_max ~aais
   in
   let shared_plan =
     if options.Compiler.plan_cache then begin
-      let p, hit =
+      let p, provenance =
         Compile_plan.obtain_for_support ~options ~aais ~support:union_support
       in
-      if not hit then incr plan_builds;
+      if provenance = Compile_plan.Built then incr plan_builds;
       p
     end
     else begin

@@ -1,0 +1,31 @@
+module J = Qturbo_util.Json
+
+let request ~socket_path line =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let finally () = try Unix.close sock with Unix.Unix_error _ -> () in
+  match
+    Fun.protect ~finally (fun () ->
+        Unix.connect sock (Unix.ADDR_UNIX socket_path);
+        let oc = Unix.out_channel_of_descr sock in
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        let ic = Unix.in_channel_of_descr sock in
+        input_line ic)
+  with
+  | resp -> Ok resp
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot reach daemon at %s: %s" socket_path
+           (Unix.error_message e))
+  | exception End_of_file ->
+      Error "daemon closed the connection without responding"
+  | exception Sys_error msg -> Error msg
+
+let response_ok line =
+  match J.parse line with
+  | Ok (J.Object fields) -> (
+      match List.assoc_opt "ok" fields with
+      | Some (J.Bool b) -> b
+      | _ -> false)
+  | _ -> false

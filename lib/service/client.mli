@@ -1,0 +1,12 @@
+(** Thin client side of the daemon protocol: connect, send one
+    newline-terminated request, read one response line.  [qturbo
+    client] and the service tests are the callers. *)
+
+val request : socket_path:string -> string -> (string, string) result
+(** Send [line] (a JSON request, no trailing newline needed) to the
+    daemon at [socket_path]; the response line, or a connection-level
+    error message.  Never raises. *)
+
+val response_ok : string -> bool
+(** [true] iff the response line strict-parses and carries
+    ["ok"]: true. *)

@@ -1,0 +1,181 @@
+module J = Qturbo_util.Json
+
+type job = {
+  model : string option;
+  hamiltonian : string option;
+  n : int;
+  backend : string;
+  device : string option;
+  cutoff : string option;
+  j : float;
+  h : float;
+  t_tar : float;
+}
+
+type compile = {
+  job : job;
+  domains : int;
+  best_effort : bool;
+  deadline : float;
+  show_pulse : bool;
+  ramp : bool;
+  no_plan_cache : bool;
+}
+
+type sweep = {
+  sweep_job : job;
+  sweep_j : string;
+  sweep_h : string;
+  sweep_t : string;
+  sweep_segments : string;
+  sweep_domains : int;
+  batch_domains : int;
+  sweep_best_effort : bool;
+  sweep_no_plan_cache : bool;
+}
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Compile of compile
+  | Check of job
+  | Lint of job
+  | Sweep of sweep
+
+let op_name = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+  | Compile _ -> "compile"
+  | Check _ -> "check"
+  | Lint _ -> "lint"
+  | Sweep _ -> "sweep"
+
+(* ---- field extraction -------------------------------------------------- *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let opt_string fields name =
+  match List.assoc_opt name fields with
+  | None | Some J.Null -> None
+  | Some (J.String s) -> Some s
+  | Some _ -> fail "field %S must be a string" name
+
+let str fields name ~default =
+  Option.value (opt_string fields name) ~default
+
+let num fields name ~default =
+  match List.assoc_opt name fields with
+  | None | Some J.Null -> default
+  | Some (J.Number f) when Float.is_finite f -> f
+  | Some _ -> fail "field %S must be a finite number" name
+
+let int_of fields name ~default =
+  let f = num fields name ~default:(float_of_int default) in
+  if Float.is_integer f && Float.abs f <= 1e9 then int_of_float f
+  else fail "field %S must be an integer" name
+
+let boolean fields name ~default =
+  match List.assoc_opt name fields with
+  | None | Some J.Null -> default
+  | Some (J.Bool b) -> b
+  | Some _ -> fail "field %S must be a boolean" name
+
+(* strict protocol: an op accepts exactly its declared fields — a typo
+   like "t_targ" is an error, not a silently applied default *)
+let check_fields fields ~allowed =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k allowed) then
+        fail "unknown field %S for op %S" k (str fields "op" ~default:"?"))
+    fields
+
+let job_fields =
+  [ "model"; "hamiltonian"; "n"; "backend"; "device"; "cutoff"; "j"; "h";
+    "t_tar" ]
+
+let job_of fields =
+  {
+    model = opt_string fields "model";
+    hamiltonian = opt_string fields "hamiltonian";
+    n = int_of fields "n" ~default:5;
+    backend = str fields "backend" ~default:"rydberg";
+    device = opt_string fields "device";
+    cutoff = opt_string fields "cutoff";
+    j = num fields "j" ~default:0.0;
+    h = num fields "h" ~default:0.0;
+    t_tar = num fields "t_tar" ~default:1.0;
+  }
+
+let parse v =
+  match
+    match v with
+    | J.Object fields -> (
+        let op =
+          match opt_string fields "op" with
+          | Some op -> op
+          | None -> fail "request object needs an \"op\" field"
+        in
+        match op with
+        | "ping" ->
+            check_fields fields ~allowed:[ "op" ];
+            Ping
+        | "stats" ->
+            check_fields fields ~allowed:[ "op" ];
+            Stats
+        | "shutdown" ->
+            check_fields fields ~allowed:[ "op" ];
+            Shutdown
+        | "compile" ->
+            check_fields fields
+              ~allowed:
+                ("op" :: "domains" :: "best_effort" :: "deadline"
+                :: "show_pulse" :: "ramp" :: "no_plan_cache" :: job_fields);
+            Compile
+              {
+                job = job_of fields;
+                domains = int_of fields "domains" ~default:0;
+                best_effort = boolean fields "best_effort" ~default:false;
+                deadline = num fields "deadline" ~default:0.0;
+                show_pulse = boolean fields "show_pulse" ~default:false;
+                ramp = boolean fields "ramp" ~default:false;
+                no_plan_cache = boolean fields "no_plan_cache" ~default:false;
+              }
+        | "check" ->
+            check_fields fields ~allowed:("op" :: job_fields);
+            Check (job_of fields)
+        | "lint" ->
+            check_fields fields ~allowed:("op" :: job_fields);
+            Lint (job_of fields)
+        | "sweep" ->
+            check_fields fields
+              ~allowed:
+                ("op" :: "sweep_j" :: "sweep_h" :: "sweep_t"
+                :: "sweep_segments" :: "domains" :: "batch_domains"
+                :: "best_effort" :: "no_plan_cache" :: job_fields);
+            Sweep
+              {
+                sweep_job = job_of fields;
+                sweep_j = str fields "sweep_j" ~default:"0";
+                sweep_h = str fields "sweep_h" ~default:"0";
+                sweep_t = str fields "sweep_t" ~default:"1.0";
+                sweep_segments = str fields "sweep_segments" ~default:"";
+                sweep_domains = int_of fields "domains" ~default:0;
+                batch_domains = int_of fields "batch_domains" ~default:0;
+                sweep_best_effort = boolean fields "best_effort" ~default:false;
+                sweep_no_plan_cache =
+                  boolean fields "no_plan_cache" ~default:false;
+              }
+        | other -> fail "unknown op %S" other)
+    | _ -> fail "request must be a JSON object"
+  with
+  | req -> Ok req
+  | exception Bad msg -> Error msg
+
+let parse_line line =
+  match J.parse line with
+  | Error msg -> Error ("invalid JSON: " ^ msg)
+  | Ok v -> parse v

@@ -1,0 +1,65 @@
+(** Wire protocol of the [qturbo serve] daemon.
+
+    Requests are single-line strict-JSON objects with an ["op"] field;
+    responses are single-line JSON objects with an ["ok"] field (see
+    docs/SERVICE.md for the full request/response catalogue).  The
+    parser is strict in both senses: the bytes must be RFC 8259 (the
+    hardened [Qturbo_util.Json] parser — bounded nesting, full
+    surrogate-pair support), and the object must carry only fields the
+    requested op declares, with the right types.  Anything else is a
+    per-request error response, never a crash. *)
+
+(** Target selection + device resolution, shared by every compiling
+    op; mirrors the CLI flags of the same names (and their
+    defaults). *)
+type job = {
+  model : string option;
+  hamiltonian : string option;  (** overrides [model], like [-H] *)
+  n : int;  (** default 5 *)
+  backend : string;  (** default ["rydberg"] *)
+  device : string option;
+  cutoff : string option;
+  j : float;  (** 0 = model default *)
+  h : float;  (** 0 = model default *)
+  t_tar : float;  (** default 1.0 *)
+}
+
+type compile = {
+  job : job;
+  domains : int;  (** 0 = process default *)
+  best_effort : bool;
+  deadline : float;  (** seconds; 0 = request imposes none *)
+  show_pulse : bool;
+  ramp : bool;
+  no_plan_cache : bool;
+}
+
+type sweep = {
+  sweep_job : job;  (** [j]/[h]/[t_tar] ignored — ranges below rule *)
+  sweep_j : string;  (** CLI range syntax: VALUE or LO:HI:COUNT *)
+  sweep_h : string;
+  sweep_t : string;
+  sweep_segments : string;  (** driven models: comma-separated counts *)
+  sweep_domains : int;
+  batch_domains : int;
+  sweep_best_effort : bool;
+  sweep_no_plan_cache : bool;
+}
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Compile of compile
+  | Check of job
+  | Lint of job
+  | Sweep of sweep
+
+val op_name : request -> string
+
+val parse : Qturbo_util.Json.value -> (request, string) result
+(** Shape-check a parsed value into a request. *)
+
+val parse_line : string -> (request, string) result
+(** Strict-parse one line of bytes (bounded nesting) and shape-check
+    it.  All failures are [Error] — hostile input cannot raise. *)

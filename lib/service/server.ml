@@ -1,0 +1,175 @@
+module J = Qturbo_util.Json
+module D = Qturbo_analysis.Diagnostic
+module Failure_r = Qturbo_resilience.Failure
+
+let src = Logs.Src.create "qturbo.service" ~doc:"qturbo serve daemon"
+
+module Log = (val Logs.src_log src)
+
+type config = {
+  socket_path : string;
+  max_request_bytes : int;
+  deadline_cap : float option;
+  max_requests : int option;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    max_request_bytes = 1 lsl 20;
+    deadline_cap = None;
+    max_requests = None;
+  }
+
+(* ---- responses -------------------------------------------------------- *)
+
+(* [extra] fields are pre-rendered JSON (diagnostics, failure records). *)
+let error_json ~kind ~message ?(extra = []) () =
+  Printf.sprintf {|{"ok":false,"error":{"kind":%s,"message":%s%s}}|}
+    (J.quote kind) (J.quote message)
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf ",%s:%s" (J.quote k) v) extra))
+
+let ok_json payload = {|{"ok":true,"result":|} ^ payload ^ "}"
+
+let stats_json ~requests ~started =
+  Printf.sprintf
+    {|{"requests":%d,"uptime_seconds":%s,"plan_cache":%s,"plan_store":%s}|}
+    requests
+    (J.float_lit (Qturbo_util.Clock.now () -. started))
+    (Ops.plan_cache_json ()) (Ops.plan_store_json ())
+
+(* The same failure taxonomy the CLI maps to exit codes, as typed error
+   responses: a request can fail, the daemon does not. *)
+let guarded f =
+  match f () with
+  | payload -> ok_json payload
+  | exception (Failure msg | Invalid_argument msg) ->
+      error_json ~kind:"user" ~message:msg ()
+  | exception D.Rejected ds ->
+      error_json ~kind:"rejected"
+        ~message:"input rejected by the pre-solve analyzer"
+        ~extra:[ ("diagnostics", D.list_to_json ds) ]
+        ()
+  | exception Failure_r.Failed fs ->
+      error_json ~kind:"failed"
+        ~message:
+          (Printf.sprintf
+             "compilation failed: %d classified failure record(s); retry \
+              with best_effort for a degraded result"
+             (List.length fs))
+        ~extra:[ ("failures", Failure_r.list_to_json fs) ]
+        ()
+  | exception exn ->
+      error_json ~kind:"internal" ~message:(Printexc.to_string exn) ()
+
+let handle_request ?deadline_cap ~requests ~started line =
+  match Protocol.parse_line line with
+  | Error msg -> (error_json ~kind:"parse" ~message:msg (), true)
+  | Ok req -> (
+      Log.debug (fun m -> m "request: %s" (Protocol.op_name req));
+      match req with
+      | Protocol.Ping -> (ok_json {|"pong"|}, true)
+      | Protocol.Shutdown -> (ok_json {|"shutting down"|}, false)
+      | Protocol.Stats -> (ok_json (stats_json ~requests ~started), true)
+      | Protocol.Compile c ->
+          (guarded (fun () -> Ops.handle_compile c ~deadline_cap), true)
+      | Protocol.Check j -> (guarded (fun () -> Ops.handle_check j), true)
+      | Protocol.Lint j -> (guarded (fun () -> Ops.handle_lint j), true)
+      | Protocol.Sweep s -> (guarded (fun () -> Ops.handle_sweep s), true))
+
+(* ---- socket plumbing -------------------------------------------------- *)
+
+(* A crashed daemon leaves its socket file behind; a live one answers a
+   probe connect.  Only the former may be cleaned up and reused. *)
+let prepare_path path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if alive then
+      failwith ("qturbo serve: a daemon is already listening on " ^ path);
+    try Sys.remove path with Sys_error _ -> ()
+  end
+
+exception Line_too_long
+
+(* One newline-terminated request, bounded: a hostile client cannot
+   buffer the daemon into the ground.  None = clean EOF. *)
+let read_line_bounded ic ~max_bytes =
+  let b = Buffer.create 256 in
+  let rec go () =
+    match input_char ic with
+    | '\n' -> Some (Buffer.contents b)
+    | c ->
+        if Buffer.length b >= max_bytes then raise Line_too_long;
+        Buffer.add_char b c;
+        go ()
+    | exception End_of_file ->
+        if Buffer.length b = 0 then None else Some (Buffer.contents b)
+  in
+  go ()
+
+let serve config =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  prepare_path config.socket_path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen sock 16;
+  Log.info (fun m -> m "serving on %s" config.socket_path);
+  let started = Qturbo_util.Clock.now () in
+  let requests = ref 0 in
+  let keep_serving = ref true in
+  let budget_left () =
+    match config.max_requests with None -> true | Some k -> !requests < k
+  in
+  while !keep_serving && budget_left () do
+    match Unix.accept sock with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | fd, _ ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        (try
+           (* serve request lines until the client hangs up *)
+           let rec connection () =
+             if !keep_serving && budget_left () then
+               match
+                 read_line_bounded ic ~max_bytes:config.max_request_bytes
+               with
+               | None -> ()
+               | Some line ->
+                   incr requests;
+                   let resp, keep =
+                     handle_request ?deadline_cap:config.deadline_cap
+                       ~requests:!requests ~started line
+                   in
+                   output_string oc resp;
+                   output_char oc '\n';
+                   flush oc;
+                   if not keep then keep_serving := false else connection ()
+           in
+           connection ()
+         with
+        | Line_too_long ->
+            incr requests;
+            (try
+               output_string oc
+                 (error_json ~kind:"parse"
+                    ~message:
+                      (Printf.sprintf "request exceeds %d bytes"
+                         config.max_request_bytes)
+                    ());
+               output_char oc '\n';
+               flush oc
+             with Sys_error _ -> ())
+        | Sys_error _ | Unix.Unix_error _ -> ());
+        (try flush oc with Sys_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  try Sys.remove config.socket_path with Sys_error _ -> ()

@@ -146,9 +146,29 @@ let parse_string cur =
         | Some 'u' ->
             advance cur;
             let code = parse_hex4 cur in
-            (match Uchar.of_int code with
-            | u -> Buffer.add_utf_8_uchar b u
-            | exception Invalid_argument _ -> fail cur "invalid \\u escape");
+            (* RFC 8259 §7: astral-plane characters are encoded as a
+               UTF-16 surrogate pair of two \uXXXX escapes.  A high
+               surrogate must be immediately followed by an escaped low
+               surrogate; anything else (lone high, lone low, high+BMP)
+               is malformed. *)
+            let scalar =
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                (match peek cur with
+                | Some '\\' -> advance cur
+                | _ -> fail cur "unpaired high surrogate in \\u escape");
+                (match peek cur with
+                | Some 'u' -> advance cur
+                | _ -> fail cur "unpaired high surrogate in \\u escape");
+                let low = parse_hex4 cur in
+                if low < 0xDC00 || low > 0xDFFF then
+                  fail cur "unpaired high surrogate in \\u escape";
+                0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then
+                fail cur "unpaired low surrogate in \\u escape"
+              else code
+            in
+            Buffer.add_utf_8_uchar b (Uchar.of_int scalar);
             go ()
         | _ -> fail cur "invalid escape sequence")
     | Some c ->
@@ -188,7 +208,13 @@ let parse_number cur =
   | _ -> ());
   Number (float_of_string (String.sub cur.text start (cur.pos - start)))
 
-let rec parse_value cur =
+(* The parser recurses once per nested container, so hostile input like
+   500 KB of "[[[[…" would otherwise die with [Stack_overflow].  The
+   depth bound turns that into a clean {!Parse_error}; 512 is far above
+   anything the code base emits while keeping stack use trivial. *)
+let default_max_depth = 512
+
+let rec parse_value cur depth max_depth =
   skip_ws cur;
   match peek cur with
   | None -> fail cur "unexpected end of input"
@@ -197,6 +223,7 @@ let rec parse_value cur =
   | Some 'f' -> literal cur "false" (Bool false)
   | Some '"' -> String (parse_string cur)
   | Some '[' ->
+      if depth >= max_depth then fail cur "nesting depth limit exceeded";
       advance cur;
       skip_ws cur;
       if peek cur = Some ']' then begin
@@ -205,7 +232,7 @@ let rec parse_value cur =
       end
       else begin
         let rec items acc =
-          let v = parse_value cur in
+          let v = parse_value cur (depth + 1) max_depth in
           skip_ws cur;
           match peek cur with
           | Some ',' ->
@@ -219,6 +246,7 @@ let rec parse_value cur =
         Array (items [])
       end
   | Some '{' ->
+      if depth >= max_depth then fail cur "nesting depth limit exceeded";
       advance cur;
       skip_ws cur;
       if peek cur = Some '}' then begin
@@ -231,7 +259,7 @@ let rec parse_value cur =
           let k = parse_string cur in
           skip_ws cur;
           expect cur ':';
-          (k, parse_value cur)
+          (k, parse_value cur (depth + 1) max_depth)
         in
         let rec fields acc =
           let f = field () in
@@ -250,15 +278,16 @@ let rec parse_value cur =
   | Some ('-' | '0' .. '9') -> parse_number cur
   | Some c -> fail cur (Printf.sprintf "unexpected character '%c'" c)
 
-let parse_exn text =
+let parse_exn ?(max_depth = default_max_depth) text =
+  if max_depth < 1 then invalid_arg "Json.parse_exn: max_depth must be >= 1";
   let cur = { text; pos = 0 } in
-  let v = parse_value cur in
+  let v = parse_value cur 0 max_depth in
   skip_ws cur;
   if cur.pos <> String.length text then fail cur "trailing garbage after value";
   v
 
-let parse text =
-  match parse_exn text with
+let parse ?max_depth text =
+  match parse_exn ?max_depth text with
   | v -> Ok v
   | exception Parse_error msg -> Error msg
 

@@ -10,9 +10,15 @@
 
     {!parse} is a strict RFC 8259 recursive-descent parser — no [NaN] /
     [Infinity] literals, no trailing commas, no garbage after the
-    top-level value.  Tests use it to pin that every [--json] output
-    path (including degraded and fault-injected compiles) stays valid
-    JSON. *)
+    top-level value.  [\uXXXX] escapes cover the full Unicode range:
+    astral-plane characters arrive as UTF-16 surrogate pairs and are
+    decoded to the combined scalar; a lone or mismatched surrogate is a
+    {!Parse_error}.  Container nesting is bounded ([?max_depth],
+    default {!default_max_depth}) so hostile input fails with
+    {!Parse_error} instead of [Stack_overflow] — the daemon feeds this
+    parser raw bytes off a socket.  Tests use it to pin that every
+    [--json] output path (including degraded and fault-injected
+    compiles) stays valid JSON. *)
 
 type value =
   | Null
@@ -41,10 +47,17 @@ val emit : value -> string
 
 exception Parse_error of string
 
-val parse : string -> (value, string) result
+val default_max_depth : int
+(** Container-nesting bound applied when [?max_depth] is omitted
+    (512). *)
 
-val parse_exn : string -> value
-(** Raises {!Parse_error} with an offset-annotated message. *)
+val parse : ?max_depth:int -> string -> (value, string) result
+
+val parse_exn : ?max_depth:int -> string -> value
+(** Raises {!Parse_error} with an offset-annotated message.
+    [max_depth] bounds container nesting: input nested deeper than
+    [max_depth] arrays/objects fails cleanly instead of overflowing the
+    stack.  Raises [Invalid_argument] if [max_depth < 1]. *)
 
 val member : string -> value -> value option
 (** Field lookup on an [Object]; [None] on other constructors. *)

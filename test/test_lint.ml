@@ -355,8 +355,11 @@ let test_cache_hit_relint_pulls_corrupted () =
   let options = Compile_plan.default_options in
   (* plant a corrupted resident under the true structural key: same key,
      broken prepared-context invariant *)
-  let plan, hit = Compile_plan.obtain ~options ~aais:ryd.Rydberg.aais ~target in
-  Alcotest.(check bool) "first obtain is a miss" false hit;
+  let plan, prov =
+    Compile_plan.obtain ~options ~aais:ryd.Rydberg.aais ~target
+  in
+  Alcotest.(check bool) "first obtain is a miss" true
+    (prov = Compile_plan.Built);
   let d = plan.Compile_plan.device in
   let corrupted =
     {
@@ -372,19 +375,21 @@ let test_cache_hit_relint_pulls_corrupted () =
     ~finally:(fun () -> Compile_plan.lint_on_hit := false)
     (fun () ->
       let before = (Compile_plan.cache_stats ()).Plan_cache.rejected in
-      let served, hit =
+      let served, prov' =
         Compile_plan.obtain ~options ~aais:ryd.Rydberg.aais ~target
       in
-      Alcotest.(check bool) "re-lint turns the hit into a rebuild" false hit;
+      Alcotest.(check bool) "re-lint turns the hit into a rebuild" true
+        (prov' = Compile_plan.Built);
       Alcotest.(check (list string)) "served plan is sound" []
         (codes (Compile_plan.lint served));
       let after = (Compile_plan.cache_stats ()).Plan_cache.rejected in
       Alcotest.(check int) "pull counted as rejection" (before + 1) after;
       (* the rebuilt plan was re-admitted: a second obtain hits clean *)
-      let again, hit2 =
+      let again, prov2 =
         Compile_plan.obtain ~options ~aais:ryd.Rydberg.aais ~target
       in
-      Alcotest.(check bool) "resident is sound again" true hit2;
+      Alcotest.(check bool) "resident is sound again" true
+        (prov2 = Compile_plan.Cached);
       Alcotest.(check (list string)) "clean" [] (codes (Compile_plan.lint again)));
   Compile_plan.clear_caches ()
 

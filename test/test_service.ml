@@ -1,0 +1,268 @@
+(* Tests for the compile service: strict request parsing, the
+   socket-free request handler (response shapes, typed errors, warm
+   plan-cache reuse, CLI parity), and one end-to-end daemon round-trip
+   over a real Unix-domain socket. *)
+
+module J = Qturbo_util.Json
+module Protocol = Qturbo_service.Protocol
+module Server = Qturbo_service.Server
+module Ops = Qturbo_service.Ops
+module Client = Qturbo_service.Client
+
+let parse_ok line =
+  match Protocol.parse_line line with
+  | Ok req -> req
+  | Error msg -> Alcotest.failf "%s did not parse: %s" line msg
+
+let parse_err line =
+  match Protocol.parse_line line with
+  | Ok req ->
+      Alcotest.failf "%s parsed as %s, expected an error" line
+        (Protocol.op_name req)
+  | Error msg -> msg
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains msg ~needle hay =
+  if not (contains ~needle hay) then
+    Alcotest.failf "%s: %S not in %s" msg needle hay
+
+(* ---- protocol ---- *)
+
+let test_protocol_parse () =
+  (match parse_ok {|{"op":"ping"}|} with
+  | Protocol.Ping -> ()
+  | req -> Alcotest.failf "expected ping, got %s" (Protocol.op_name req));
+  (match parse_ok {|{"op":"compile","model":"ising-chain"}|} with
+  | Protocol.Compile c ->
+      (* documented defaults *)
+      Alcotest.(check int) "default n" 5 c.Protocol.job.Protocol.n;
+      Alcotest.(check string) "default backend" "rydberg"
+        c.Protocol.job.Protocol.backend;
+      Alcotest.(check bool) "default best_effort" false
+        c.Protocol.best_effort
+  | req -> Alcotest.failf "expected compile, got %s" (Protocol.op_name req));
+  (match
+     parse_ok
+       {|{"op":"sweep","model":"ising-chain","n":4,"sweep_j":"0.1:0.3:3","best_effort":true}|}
+   with
+  | Protocol.Sweep s ->
+      Alcotest.(check string) "sweep_j" "0.1:0.3:3" s.Protocol.sweep_j;
+      Alcotest.(check bool) "best_effort" true s.Protocol.sweep_best_effort
+  | req -> Alcotest.failf "expected sweep, got %s" (Protocol.op_name req))
+
+let test_protocol_strict () =
+  (* unknown op *)
+  check_contains "unknown op" ~needle:"unknown op"
+    (parse_err {|{"op":"frobnicate"}|});
+  (* a typo'd field is an error, not a silently applied default *)
+  check_contains "unknown field" ~needle:"t_targ"
+    (parse_err {|{"op":"compile","model":"ising-chain","t_targ":2.0}|});
+  (* ping accepts nothing but op *)
+  check_contains "ping is closed" ~needle:"unknown field"
+    (parse_err {|{"op":"ping","extra":1}|});
+  (* type errors *)
+  check_contains "n must be a number" ~needle:"\"n\""
+    (parse_err {|{"op":"compile","model":"ising-chain","n":"five"}|});
+  check_contains "n must be integral" ~needle:"integer"
+    (parse_err {|{"op":"compile","model":"ising-chain","n":2.5}|});
+  (* shape errors *)
+  check_contains "needs op" ~needle:"op" (parse_err {|{"model":"x"}|});
+  check_contains "object only" ~needle:"object" (parse_err {|[1,2]|});
+  check_contains "invalid JSON" ~needle:"invalid JSON" (parse_err "{nope")
+
+(* ---- the socket-free handler ---- *)
+
+let handle line = Server.handle_request ~requests:1 ~started:0.0 line
+
+let response_fields resp =
+  match J.parse_exn resp with
+  | J.Object fields -> fields
+  | _ -> Alcotest.failf "response is not an object: %s" resp
+
+let response_result resp =
+  let fields = response_fields resp in
+  match (List.assoc_opt "ok" fields, List.assoc_opt "result" fields) with
+  | Some (J.Bool true), Some v -> v
+  | _ -> Alcotest.failf "expected an ok response, got %s" resp
+
+let response_error resp =
+  let fields = response_fields resp in
+  match (List.assoc_opt "ok" fields, List.assoc_opt "error" fields) with
+  | Some (J.Bool false), Some (J.Object err) -> (
+      match List.assoc_opt "kind" err with
+      | Some (J.String kind) -> (kind, err)
+      | _ -> Alcotest.failf "error without kind: %s" resp)
+  | _ -> Alcotest.failf "expected an error response, got %s" resp
+
+let test_handler_basics () =
+  let resp, keep = handle {|{"op":"ping"}|} in
+  Alcotest.(check string) "ping" {|{"ok":true,"result":"pong"}|} resp;
+  Alcotest.(check bool) "ping keeps serving" true keep;
+  let _, keep = handle {|{"op":"shutdown"}|} in
+  Alcotest.(check bool) "shutdown stops" false keep;
+  let resp, keep = handle "definitely not json" in
+  let kind, _ = response_error resp in
+  Alcotest.(check string) "malformed is a parse error" "parse" kind;
+  Alcotest.(check bool) "parse errors keep serving" true keep;
+  (* the depth bomb gets a clean parse error, not a crash *)
+  let resp, _ = handle (String.make 10_000 '[') in
+  let kind, _ = response_error resp in
+  Alcotest.(check string) "depth bomb" "parse" kind;
+  (* stats is well-formed *)
+  let resp, _ = handle {|{"op":"stats"}|} in
+  match response_result resp with
+  | J.Object fields ->
+      List.iter
+        (fun k ->
+          if not (List.mem_assoc k fields) then
+            Alcotest.failf "stats lacks %S: %s" k resp)
+        [ "requests"; "uptime_seconds"; "plan_cache"; "plan_store" ]
+  | _ -> Alcotest.fail "stats result is not an object"
+
+let test_handler_compile_and_warm_cache () =
+  Qturbo_core.Compile_plan.clear_caches ();
+  let req = {|{"op":"compile","model":"ising-chain","n":5}|} in
+  let member path v =
+    List.fold_left
+      (fun v k ->
+        match v with
+        | J.Object fields -> (
+            match List.assoc_opt k fields with
+            | Some v -> v
+            | None -> Alcotest.failf "missing field %s" k)
+        | _ -> Alcotest.failf "not an object at %s" k)
+      v path
+  in
+  let resp1, _ = handle req in
+  let r1 = response_result resp1 in
+  (match member [ "plan_cache"; "hit" ] r1 with
+  | J.Bool false -> ()
+  | _ -> Alcotest.fail "first compile should build its plan");
+  let resp2, _ = handle req in
+  let r2 = response_result resp2 in
+  (match member [ "plan_cache"; "hit" ] r2 with
+  | J.Bool true -> ()
+  | _ -> Alcotest.fail "second compile should reuse the warm plan");
+  (* numbers agree across the warm hit *)
+  let error_l1 v =
+    match member [ "error_l1" ] v with
+    | J.Number f -> f
+    | _ -> Alcotest.fail "error_l1 missing"
+  in
+  Alcotest.(check bool) "error_l1 identical" true
+    (Int64.equal
+       (Int64.bits_of_float (error_l1 r1))
+       (Int64.bits_of_float (error_l1 r2)))
+
+let test_handler_typed_errors () =
+  let kind_of line = fst (response_error (fst (handle line))) in
+  Alcotest.(check string) "unknown model is a user error" "user"
+    (kind_of {|{"op":"compile","model":"not-a-model"}|});
+  Alcotest.(check string) "driven model rejected" "user"
+    (kind_of {|{"op":"compile","model":"mis-chain"}|});
+  (* an analyzer rejection (uncoverable target) carries its diagnostics *)
+  let resp, _ = handle {|{"op":"compile","hamiltonian":"1.0*Y0 Y1"}|} in
+  let kind, err = response_error resp in
+  Alcotest.(check string) "rejected" "rejected" kind;
+  (match List.assoc_opt "diagnostics" err with
+  | Some (J.Object _) -> ()
+  | _ -> Alcotest.failf "rejection without diagnostics: %s" resp);
+  (* requests after an error still work: the daemon survives *)
+  let resp, keep = handle {|{"op":"ping"}|} in
+  Alcotest.(check string) "still alive" {|{"ok":true,"result":"pong"}|} resp;
+  Alcotest.(check bool) "keep" true keep
+
+(* A daemon compile response's result matches the payload the CLI's
+   --json path builds for the same job (both call Ops) — modulo the
+   plan_cache object, which carries wall-clock timings. *)
+let drop_plan_cache = function
+  | J.Object fields ->
+      J.Object (List.filter (fun (k, _) -> k <> "plan_cache") fields)
+  | v -> v
+
+let test_handler_cli_parity () =
+  Qturbo_core.Compile_plan.clear_caches ();
+  let resp, _ = handle {|{"op":"compile","model":"ising-chain","n":5}|} in
+  Qturbo_core.Compile_plan.clear_caches ();
+  let model =
+    Ops.resolve_model ~hamiltonian:None ~model_name:(Some "ising-chain") ~n:5
+      ~j:0.0 ~h:0.0
+  in
+  let inst =
+    Ops.resolve_backend ~backend:"rydberg" ~device:None ~cutoff:None
+      ~ramp:false ~model_name:model.Qturbo_models.Model.name
+      ~n:model.Qturbo_models.Model.n
+  in
+  let direct =
+    Ops.compile_report_json ~options:Qturbo_core.Compiler.default_options
+      ~inst
+      ~target:(Ops.static_target model)
+      ~t_tar:1.0 ~show_pulse:false ~ramp:false ()
+  in
+  Alcotest.(check string) "daemon result = CLI --json payload"
+    (J.emit (drop_plan_cache (J.parse_exn direct)))
+    (J.emit (drop_plan_cache (response_result resp)))
+
+(* ---- end-to-end over a real socket ---- *)
+
+let test_socket_end_to_end () =
+  let socket_path = Filename.temp_file "qturbo-serve-test" ".sock" in
+  Sys.remove socket_path;
+  let config =
+    { (Server.default_config ~socket_path) with Server.max_requests = Some 8 }
+  in
+  let daemon = Thread.create Server.serve config in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Sys.file_exists socket_path)) && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.01
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      (* belt and braces: the daemon removes it on clean shutdown *)
+      if Sys.file_exists socket_path then Sys.remove socket_path)
+    (fun () ->
+      let request line =
+        match Client.request ~socket_path line with
+        | Ok resp -> resp
+        | Error msg -> Alcotest.failf "client error: %s" msg
+      in
+      Alcotest.(check string) "ping" {|{"ok":true,"result":"pong"}|}
+        (request {|{"op":"ping"}|});
+      let resp = request {|{"op":"check","model":"ising-chain","n":4}|} in
+      Alcotest.(check bool) "check ok" true (Client.response_ok resp);
+      let resp = request {|{"op":"compile","model":"bogus"}|} in
+      Alcotest.(check bool) "error response" false (Client.response_ok resp);
+      check_contains "user error over the wire" ~needle:{|"kind":"user"|} resp;
+      Alcotest.(check string) "shutdown" {|{"ok":true,"result":"shutting down"}|}
+        (request {|{"op":"shutdown"}|});
+      Thread.join daemon;
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists socket_path);
+      match Client.request ~socket_path {|{"op":"ping"}|} with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "daemon still answering after shutdown")
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "requests parse" `Quick test_protocol_parse;
+          Alcotest.test_case "strict fields" `Quick test_protocol_strict;
+        ] );
+      ( "handler",
+        [
+          Alcotest.test_case "basics" `Quick test_handler_basics;
+          Alcotest.test_case "compile + warm cache" `Quick
+            test_handler_compile_and_warm_cache;
+          Alcotest.test_case "typed errors" `Quick test_handler_typed_errors;
+          Alcotest.test_case "CLI --json parity" `Quick
+            test_handler_cli_parity;
+        ] );
+      ( "socket",
+        [ Alcotest.test_case "end to end" `Quick test_socket_end_to_end ] );
+    ]

@@ -1,0 +1,301 @@
+(* Tests for the persistent plan store: entry format validation (the
+   corruption suite), the Compile_plan integration (cold-process reuse,
+   fall-back-to-rebuild, self-repair), and bitwise identity of compile
+   results with the store on or off at several domain counts. *)
+
+open Qturbo_pauli
+open Qturbo_aais
+open Qturbo_core
+module PS = Qturbo_store.Plan_store
+
+let relaxed_line = { Device.aquila_paper with Device.max_extent = 2000.0 }
+
+let rydberg_for n = Rydberg.build ~spec:relaxed_line ~n
+
+let static_target name n =
+  Pauli_sum.drop_identity
+    (Qturbo_models.Model.hamiltonian_at
+       (Qturbo_models.Benchmarks.by_name ~name ~n)
+       ~s:0.0)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+let check_bits_arr msg a b =
+  if not (bits_equal a b) then Alcotest.failf "%s: arrays differ bitwise" msg
+
+let check_bits msg a b =
+  if not (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)) then
+    Alcotest.failf "%s: %h vs %h" msg a b
+
+(* temp_file reserves a unique name; the store recreates it as a dir *)
+let fresh_dir () =
+  let f = Filename.temp_file "qturbo-store-test" "" in
+  Sys.remove f;
+  f
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path bytes =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc bytes)
+
+(* ---- Plan_store unit tests: byte-level validation ---- *)
+
+let with_raw_store f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () ->
+      f (PS.open_store ~version:"test/1" ~dir) dir)
+
+let check_stats msg store ~hits ~misses ~corrupt ~version_mismatch ~writes =
+  let s = PS.stats store in
+  Alcotest.(check int) (msg ^ ": hits") hits s.PS.hits;
+  Alcotest.(check int) (msg ^ ": misses") misses s.PS.misses;
+  Alcotest.(check int) (msg ^ ": corrupt") corrupt s.PS.corrupt;
+  Alcotest.(check int)
+    (msg ^ ": version_mismatch")
+    version_mismatch s.PS.version_mismatch;
+  Alcotest.(check int) (msg ^ ": writes") writes s.PS.writes
+
+let test_store_roundtrip () =
+  with_raw_store @@ fun store _dir ->
+  let key = "some structural key\nwith newlines"
+  and payload = "opaque \x00 binary \xff payload" in
+  Alcotest.(check bool) "save" true (PS.save store ~key ~payload);
+  Alcotest.(check (option string)) "load" (Some payload)
+    (PS.load store ~key);
+  Alcotest.(check (option string)) "other key absent" None
+    (PS.load store ~key:"different key");
+  check_stats "round-trip" store ~hits:1 ~misses:1 ~corrupt:0
+    ~version_mismatch:0 ~writes:1;
+  (* a save replaces the prior entry *)
+  Alcotest.(check bool) "re-save" true (PS.save store ~key ~payload:"v2");
+  Alcotest.(check (option string)) "replaced" (Some "v2")
+    (PS.load store ~key)
+
+let test_store_corruption_suite () =
+  with_raw_store @@ fun store _dir ->
+  let key = "corruption victim" and payload = "payload bytes to protect" in
+  let path = PS.entry_path store ~key in
+  let plant () = ignore (PS.save store ~key ~payload) in
+  let expect_invalid msg =
+    match PS.load store ~key with
+    | None -> ()
+    | Some _ -> Alcotest.failf "%s: load accepted a damaged entry" msg
+  in
+  (* truncated file *)
+  plant ();
+  let whole = read_file path in
+  write_file path (String.sub whole 0 (String.length whole / 2));
+  expect_invalid "truncated";
+  (* garbage bytes *)
+  write_file path "complete garbage, not even a header";
+  expect_invalid "garbage";
+  (* one flipped payload byte breaks the checksum *)
+  plant ();
+  let whole = read_file path in
+  let b = Bytes.of_string whole in
+  let last = Bytes.length b - 1 in
+  Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 1));
+  write_file path (Bytes.to_string b);
+  expect_invalid "flipped byte";
+  (* an entry written under a different store-format version *)
+  plant ();
+  let other = PS.open_store ~version:"test/2" ~dir:(PS.dir store) in
+  Alcotest.(check (option string)) "version mismatch" None
+    (PS.load other ~key);
+  check_stats "version mismatch counted" other ~hits:0 ~misses:0 ~corrupt:0
+    ~version_mismatch:1 ~writes:0;
+  (* the damage was counted, never raised *)
+  let s = PS.stats store in
+  Alcotest.(check int) "three corrupt loads" 3 s.PS.corrupt;
+  (* ... and a fresh save repairs the entry *)
+  plant ();
+  Alcotest.(check (option string)) "repaired" (Some payload)
+    (PS.load store ~key)
+
+let test_store_reclassify () =
+  with_raw_store @@ fun store _dir ->
+  ignore (PS.save store ~key:"k" ~payload:"p");
+  ignore (PS.load store ~key:"k");
+  PS.reclassify_corrupt store;
+  check_stats "reclassified" store ~hits:0 ~misses:0 ~corrupt:1
+    ~version_mismatch:0 ~writes:1
+
+let test_store_unusable_dir () =
+  (* a directory that cannot be created: loads miss, saves fail, nothing
+     raises *)
+  let dir = Filename.concat "/dev/null" "not-a-dir" in
+  let store = PS.open_store ~version:"test/1" ~dir in
+  Alcotest.(check (option string)) "load misses" None (PS.load store ~key:"k");
+  Alcotest.(check bool) "save fails" false
+    (PS.save store ~key:"k" ~payload:"p");
+  let s = PS.stats store in
+  Alcotest.(check int) "write error counted" 1 s.PS.write_errors
+
+(* ---- Compile_plan integration ---- *)
+
+let with_store f =
+  let dir = fresh_dir () in
+  Compile_plan.clear_caches ();
+  Compile_plan.enable_store ~dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Compile_plan.disable_store ();
+      Compile_plan.clear_caches ();
+      rm_rf dir)
+    (fun () -> f dir)
+
+let compile_ising ?(options = Compiler.default_options) ?(n = 5) () =
+  let ryd = rydberg_for n in
+  Compiler.compile ~options ~aais:ryd.Rydberg.aais
+    ~target:(static_target "ising-chain" n)
+    ~t_tar:1.0 ()
+
+(* the only entry file in a fresh store dir *)
+let sole_entry dir =
+  match Sys.readdir dir with
+  | [| f |] -> Filename.concat dir f
+  | files -> Alcotest.failf "expected one store entry, found %d" (Array.length files)
+
+let test_cold_process_store_hit () =
+  with_store @@ fun _dir ->
+  let r1 = compile_ising () in
+  Alcotest.(check bool) "store enabled" true r1.Compiler.plan.Compiler.store_enabled;
+  Alcotest.(check bool) "first compile misses" false
+    r1.Compiler.plan.Compiler.store_hit;
+  (* a fresh process = empty in-memory caches, same store *)
+  Compile_plan.clear_caches ();
+  let r2 = compile_ising () in
+  Alcotest.(check bool) "second cold compile hits the store" true
+    r2.Compiler.plan.Compiler.store_hit;
+  check_bits "t_sim" r1.Compiler.t_sim r2.Compiler.t_sim;
+  check_bits_arr "env" r1.Compiler.env r2.Compiler.env;
+  (* stored plans skip the front-end build *)
+  check_bits "no rebuild cost" 0.0 r2.Compiler.plan.Compiler.build_seconds;
+  (match Compile_plan.store_stats () with
+  | None -> Alcotest.fail "store stats missing"
+  | Some s ->
+      Alcotest.(check int) "one write" 1 s.PS.writes;
+      Alcotest.(check int) "one hit" 1 s.PS.hits;
+      Alcotest.(check int) "one miss" 1 s.PS.misses);
+  (* within one process the LRU wins; the store is not re-read *)
+  let r3 = compile_ising () in
+  Alcotest.(check bool) "warm compile is an LRU hit" true
+    r3.Compiler.plan.Compiler.cache_hit;
+  Alcotest.(check bool) "not a store hit" false r3.Compiler.plan.Compiler.store_hit
+
+let test_corrupt_store_rebuilds () =
+  with_store @@ fun dir ->
+  let r1 = compile_ising () in
+  let entry = sole_entry dir in
+  let damage bytes msg =
+    Compile_plan.clear_caches ();
+    write_file entry bytes;
+    let r = compile_ising () in
+    Alcotest.(check bool) (msg ^ ": rebuilt, not crashed") false
+      r.Compiler.plan.Compiler.store_hit;
+    check_bits (msg ^ ": t_sim identical") r1.Compiler.t_sim r.Compiler.t_sim;
+    check_bits_arr (msg ^ ": env identical") r1.Compiler.env r.Compiler.env
+  in
+  let whole = read_file entry in
+  damage (String.sub whole 0 (String.length whole / 3)) "truncated";
+  damage "not a store entry at all" "garbage";
+  (let b = Bytes.of_string (read_file entry) in
+   (* the rebuild above re-wrote the entry; flip a payload byte *)
+   let last = Bytes.length b - 1 in
+   Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 1));
+   damage (Bytes.to_string b) "flipped checksum");
+  (match Compile_plan.store_stats () with
+  | None -> Alcotest.fail "store stats missing"
+  | Some s ->
+      Alcotest.(check int) "every damage counted" 3 s.PS.corrupt;
+      (* each rebuild repaired the entry *)
+      Alcotest.(check int) "repair writes" 4 s.PS.writes);
+  (* the final repair is loadable again *)
+  Compile_plan.clear_caches ();
+  let r = compile_ising () in
+  Alcotest.(check bool) "repaired entry hits" true
+    r.Compiler.plan.Compiler.store_hit
+
+let test_version_mismatch_rebuilds () =
+  with_store @@ fun dir ->
+  let r1 = compile_ising () in
+  let entry = sole_entry dir in
+  (* rewrite the entry's version line; the payload checksum still holds,
+     so only the version gate can reject it *)
+  (match String.split_on_char '\n' (read_file entry) with
+  | magic :: _version :: rest ->
+      write_file entry (String.concat "\n" (magic :: "stale/0" :: rest))
+  | _ -> Alcotest.fail "unexpected entry layout");
+  Compile_plan.clear_caches ();
+  let r2 = compile_ising () in
+  Alcotest.(check bool) "rebuilt" false r2.Compiler.plan.Compiler.store_hit;
+  check_bits "identical" r1.Compiler.t_sim r2.Compiler.t_sim;
+  match Compile_plan.store_stats () with
+  | None -> Alcotest.fail "store stats missing"
+  | Some s ->
+      Alcotest.(check int) "counted as version mismatch" 1 s.PS.version_mismatch;
+      Alcotest.(check int) "not as corruption" 0 s.PS.corrupt
+
+let test_store_bitwise_identical_across_domains () =
+  List.iter
+    (fun domains ->
+      let options = { Compiler.default_options with Compiler.domains } in
+      Compile_plan.clear_caches ();
+      Compile_plan.disable_store ();
+      let off = compile_ising ~options () in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains %d: store off" domains)
+        false off.Compiler.plan.Compiler.store_enabled;
+      with_store (fun _dir ->
+          let cold = compile_ising ~options () in
+          Compile_plan.clear_caches ();
+          let stored = compile_ising ~options () in
+          Alcotest.(check bool)
+            (Printf.sprintf "domains %d: stored run hits" domains)
+            true stored.Compiler.plan.Compiler.store_hit;
+          List.iter
+            (fun (label, (r : Compiler.result)) ->
+              let msg =
+                Printf.sprintf "domains %d: %s vs store-off" domains label
+              in
+              check_bits (msg ^ " t_sim") off.Compiler.t_sim r.Compiler.t_sim;
+              check_bits_arr (msg ^ " env") off.Compiler.env r.Compiler.env;
+              check_bits (msg ^ " error") off.Compiler.error_l1
+                r.Compiler.error_l1)
+            [ ("cold store", cold); ("store hit", stored) ]))
+    [ 1; 4 ]
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "plan_store",
+        [
+          Alcotest.test_case "save/load round-trip" `Quick test_store_roundtrip;
+          Alcotest.test_case "corruption suite" `Quick
+            test_store_corruption_suite;
+          Alcotest.test_case "reclassify corrupt" `Quick test_store_reclassify;
+          Alcotest.test_case "unusable directory" `Quick
+            test_store_unusable_dir;
+        ] );
+      ( "compile_plan",
+        [
+          Alcotest.test_case "cold-process store hit" `Quick
+            test_cold_process_store_hit;
+          Alcotest.test_case "corrupt entries rebuild" `Quick
+            test_corrupt_store_rebuilds;
+          Alcotest.test_case "version mismatch rebuilds" `Quick
+            test_version_mismatch_rebuilds;
+          Alcotest.test_case "bitwise identical on/off, domains 1 and 4"
+            `Quick test_store_bitwise_identical_across_domains;
+        ] );
+    ]

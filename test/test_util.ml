@@ -315,6 +315,125 @@ let test_json_emit_examples () =
   Alcotest.(check string) "empty containers" "{\"a\":[],\"b\":{}}"
     (Json.emit (Json.Object [ ("a", Json.Array []); ("b", Json.Object []) ]))
 
+(* ---- Json: RFC 8259 surrogate pairs ---- *)
+
+let utf8_of_scalar u =
+  let b = Buffer.create 4 in
+  Buffer.add_utf_8_uchar b (Uchar.of_int u);
+  Buffer.contents b
+
+let parse_string_exn text =
+  match Json.parse_exn text with
+  | Json.String s -> s
+  | _ -> Alcotest.failf "%S did not parse to a string" text
+
+let test_json_surrogate_pairs () =
+  Alcotest.(check string) "U+1F600" (utf8_of_scalar 0x1F600)
+    (parse_string_exn {|"\ud83d\ude00"|});
+  Alcotest.(check string) "pair floor U+10000" (utf8_of_scalar 0x10000)
+    (parse_string_exn {|"\ud800\udc00"|});
+  Alcotest.(check string) "pair ceiling U+10FFFF" (utf8_of_scalar 0x10FFFF)
+    (parse_string_exn {|"\udbff\udfff"|});
+  Alcotest.(check string) "pair amid text"
+    ("ab" ^ utf8_of_scalar 0x1D11E ^ "cd")
+    (parse_string_exn {|"ab\ud834\udd1ecd"|});
+  (* capital hex digits *)
+  Alcotest.(check string) "uppercase hex" (utf8_of_scalar 0x1F600)
+    (parse_string_exn {|"😀"|});
+  (* a lone or mismatched surrogate is malformed, not silently decoded *)
+  List.iter
+    (fun text ->
+      match Json.parse text with
+      | Ok _ -> Alcotest.failf "accepted lone/mismatched surrogate %S" text
+      | Error _ -> ())
+    [
+      {|"\ud800"|} (* lone high, end of string *);
+      {|"\udc00"|} (* lone low *);
+      {|"\ude00\ud83d"|} (* reversed pair *);
+      {|"\ud83d x"|} (* high then raw text *);
+      {|"\ud83dA"|} (* high then non-surrogate escape *);
+      {|"\ud83d\ud83d"|} (* high then high *);
+      {|"\ud83d\n"|} (* high then a different escape *);
+    ]
+
+(* Every astral scalar's escaped surrogate pair decodes to exactly its
+   UTF-8 bytes. *)
+let prop_json_surrogate_escape_equiv =
+  QCheck.Test.make ~name:"escaped surrogate pair = raw UTF-8" ~count:500
+    QCheck.(make Gen.(int_range 0x10000 0x10FFFF))
+    (fun u ->
+      let v = u - 0x10000 in
+      let hi = 0xD800 lor (v lsr 10) and lo = 0xDC00 lor (v land 0x3FF) in
+      let escaped = Printf.sprintf "\"\\u%04x\\u%04x\"" hi lo in
+      match Json.parse escaped with
+      | Ok (Json.String s) -> String.equal s (utf8_of_scalar u)
+      | _ -> false)
+
+(* parse/emit round-trip over well-formed UTF-8 strings, astral plane
+   included (the byte-oriented [json_gen] above never produces them). *)
+let utf8_string_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        int_range 0x20 0x7E;
+        int_range 0xA0 0xD7FF;
+        int_range 0xE000 0xFFFD;
+        int_range 0x10000 0x10FFFF;
+      ]
+  in
+  map
+    (fun us -> String.concat "" (List.map utf8_of_scalar us))
+    (list_size (int_range 0 10) scalar)
+
+let prop_json_utf8_roundtrip =
+  QCheck.Test.make ~name:"astral-plane strings round-trip" ~count:500
+    (QCheck.make utf8_string_gen)
+    (fun s ->
+      match Json.parse (Json.emit (Json.String s)) with
+      | Ok (Json.String back) -> String.equal back s
+      | _ -> false)
+
+(* ---- Json: nesting-depth bound ---- *)
+
+let test_json_depth_limit () =
+  let deep k = String.make k '[' ^ String.make k ']' in
+  (match Json.parse (deep Json.default_max_depth) with
+  | Ok _ -> ()
+  | Error msg ->
+      Alcotest.failf "rejected input at the default depth bound: %s" msg);
+  (match Json.parse (deep (Json.default_max_depth + 1)) with
+  | Ok _ -> Alcotest.fail "accepted input one past the depth bound"
+  | Error _ -> ());
+  (* the classic parser bomb: a clean error, not Stack_overflow *)
+  (match Json.parse (String.make 10_000 '[') with
+  | Ok _ -> Alcotest.fail "accepted the 10k-deep bomb"
+  | Error _ -> ());
+  (* objects count toward the same bound *)
+  (match Json.parse ~max_depth:2 {|{"a":{"b":1}}|} with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "rejected depth-2 object: %s" msg);
+  (match Json.parse ~max_depth:2 {|{"a":{"b":{"c":1}}}|} with
+  | Ok _ -> Alcotest.fail "accepted an object past ~max_depth:2"
+  | Error _ -> ());
+  (* override in both directions *)
+  (match Json.parse ~max_depth:2 "[[1]]" with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "rejected [[1]] at ~max_depth:2: %s" msg);
+  (match Json.parse ~max_depth:2 "[[[1]]]" with
+  | Ok _ -> Alcotest.fail "accepted [[[1]]] at ~max_depth:2"
+  | Error _ -> ());
+  (match
+     Json.parse
+       ~max_depth:(Json.default_max_depth + 2)
+       (deep (Json.default_max_depth + 1))
+   with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "rejected under a raised bound: %s" msg);
+  Alcotest.check_raises "max_depth < 1 is a caller error"
+    (Invalid_argument "Json.parse_exn: max_depth must be >= 1") (fun () ->
+      ignore (Json.parse_exn ~max_depth:0 "1"))
+
 (* ---- qcheck properties ---- *)
 
 let prop_clamp_inside =
@@ -393,8 +512,14 @@ let () =
         Alcotest.test_case "malformed inputs rejected" `Quick
           test_json_rejects_malformed
         :: Alcotest.test_case "emit examples" `Quick test_json_emit_examples
+        :: Alcotest.test_case "surrogate pairs" `Quick test_json_surrogate_pairs
+        :: Alcotest.test_case "nesting depth limit" `Quick
+             test_json_depth_limit
         :: List.map QCheck_alcotest.to_alcotest
-             [ prop_json_roundtrip; prop_json_emit_stable ] );
+             [
+               prop_json_roundtrip; prop_json_emit_stable;
+               prop_json_surrogate_escape_equiv; prop_json_utf8_roundtrip;
+             ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_clamp_inside; prop_percentile_monotone; prop_mean_between_min_max ]
